@@ -1,0 +1,829 @@
+(* Benchmark harness: regenerates every table/figure of the paper's
+   evaluation (Section 7) on the simulated substrates, plus the
+   design-goal ablations from DESIGN.md.
+
+   Figures:
+     fig5   SR latencies: DRAM-s/p/i vs PMem-s/p/i vs DISK-i  (sim time)
+     fig6   IU latencies incl. commit, hot and cold            (sim time)
+     fig7   SR: AOT vs JIT vs JIT+compile, single-threaded     (wall, spin)
+     fig8   index lookups: DRAM vs PMem vs Hybrid + recovery   (sim + wall)
+     fig9   IU: AOT vs JIT cold/hot                            (wall, spin)
+     fig10  adaptive vs multi-threaded AOT on DRAM and PMem    (wall, spin)
+     ablations  DG3 / DG5 / DG6 / dict / JIT opt levels
+
+   Time bases: the DRAM/PMem/disk comparisons report the simulated media
+   clock (deterministic, calibrated to the device ratios); the JIT
+   figures report wall-clock with media spin enabled, so CPU-side engine
+   differences and media latency appear on the same axis.  Parallel
+   figures report aggregate-media-time / workers as the elapsed estimate.
+
+   Usage: main.exe [all|fig5|fig6|fig7|fig8|fig9|fig10|ablations|bechamel]
+                   [--sf F] [--runs N] [--workers N] *)
+
+module Media = Pmem.Media
+module Pool = Pmem.Pool
+module Value = Storage.Value
+module A = Query.Algebra
+module Engine = Jit.Engine
+module SR = Snb.Short_reads
+module IU = Snb.Updates
+module Mvto = Mvcc.Mvto
+module G = Storage.Graph_store
+
+let sf = ref 0.1
+let runs = ref 25
+let nworkers = ref 2
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+let us ns = float_of_int ns /. 1e3
+let ms ns = float_of_int ns /. 1e6
+
+(* --- Setups ------------------------------------------------------------------ *)
+
+let index_specs = [ "Person"; "Post"; "Comment"; "Forum"; "Place"; "Tag" ]
+
+let mk_core mode =
+  let db = Core.create ~mode ~pool_size:(1 lsl 27) () in
+  let ds =
+    Snb.Gen.generate ~params:{ Snb.Gen.default_params with sf = !sf } (Core.store db)
+  in
+  List.iter (fun l -> ignore (Core.create_index db ~label:l ~prop:"id" ())) index_specs;
+  (db, ds)
+
+let mk_disk () =
+  let disk = Diskdb.Disk_graph.create ~pool_size:(1 lsl 27) () in
+  let ds =
+    Snb.Gen.generate
+      ~params:{ Snb.Gen.default_params with sf = !sf }
+      (Diskdb.Disk_graph.store disk)
+  in
+  let idx = Snb.Gen.build_indexes ~placement:Gindex.Node_store.Volatile ds in
+  (disk, ds, idx)
+
+let sr_params ds rng spec = Array.init !runs (fun _ -> SR.draw_param ds rng spec)
+
+let pick_array rng arr = arr.(Random.State.int rng (Array.length arr))
+
+let jit_config ds =
+  { Engine.default_config with prop_tag = Snb.Schema.prop_tag ds.Snb.Gen.schema }
+
+(* run all plans of a SR spec once on a Core db *)
+let run_sr db ~mode ~config ~access ~parallel spec param =
+  List.iter
+    (fun plan ->
+      ignore (Core.query db ~mode ~config ~parallel ~params:[| param |] plan))
+    (spec.SR.plans ~access)
+
+let sim_avg media f n =
+  let c0 = Media.clock media in
+  for i = 0 to n - 1 do
+    f i
+  done;
+  (Media.clock media - c0) / max 1 n
+
+let wall_avg f n =
+  let t0 = now_ns () in
+  for i = 0 to n - 1 do
+    f i
+  done;
+  (now_ns () - t0) / max 1 n
+
+let header title cols =
+  Printf.printf "\n== %s ==\n%-8s" title "query";
+  List.iter (Printf.printf "%12s") cols;
+  print_newline ();
+  Printf.printf "%s\n" (String.make (8 + (12 * List.length cols)) '-')
+
+let row name cells =
+  Printf.printf "%-8s" name;
+  List.iter (fun v -> Printf.printf "%12.1f" v) cells;
+  print_newline ()
+
+(* --- Fig 5: interactive short reads ------------------------------------------- *)
+
+let fig5 () =
+  Printf.printf
+    "\n\
+     #### Fig 5: SR query latencies (avg of %d hot runs, simulated us) ####\n\
+     (DRAM/PMem: -s single-thread scan, -p %d-worker scan, -i indexed;\n\
+    \ DISK-i: page-cache engine, hot, indexed)\n"
+    !runs !nworkers;
+  let dram, dram_ds = mk_core `Dram in
+  let pmem, pmem_ds = mk_core `Pmem in
+  let disk, disk_ds, disk_idx = mk_disk () in
+  Core.set_workers dram !nworkers;
+  Core.set_workers pmem !nworkers;
+  let rng = Random.State.make [| 1 |] in
+  header "Fig 5"
+    [ "dram-s"; "dram-p"; "dram-i"; "pmem-s"; "pmem-p"; "pmem-i"; "disk-i" ];
+  let specs = SR.all pmem_ds.Snb.Gen.schema in
+  List.iter
+    (fun spec ->
+      let params = sr_params pmem_ds rng spec in
+      let core_case (db, ds) ~access ~parallel =
+        let media = Core.media db in
+        let config = jit_config ds in
+        run_sr db ~mode:Engine.Interp ~config ~access ~parallel spec params.(0);
+        let avg =
+          sim_avg media
+            (fun i ->
+              run_sr db ~mode:Engine.Interp ~config ~access ~parallel spec
+                params.(i mod Array.length params))
+            !runs
+        in
+        if parallel then avg / !nworkers else avg
+      in
+      let disk_case () =
+        let media = Diskdb.Disk_graph.media disk in
+        let spec_d =
+          List.find (fun s -> s.SR.name = spec.SR.name)
+            (SR.all disk_ds.Snb.Gen.schema)
+        in
+        let run param =
+          Mvto.with_txn (Diskdb.Disk_graph.mgr disk) (fun txn ->
+              let g =
+                Diskdb.Disk_graph.source
+                  ~indexes:(Snb.Gen.index_lookup_fn disk_ds disk_idx)
+                  disk txn
+              in
+              List.iter
+                (fun plan -> ignore (Query.Interp.run g ~params:[| param |] plan))
+                (spec_d.SR.plans ~access:`Index))
+        in
+        Array.iter run params (* warm the page cache: hot runs *);
+        sim_avg media (fun i -> run params.(i mod Array.length params)) !runs
+      in
+      let cells =
+        [
+          us (core_case (dram, dram_ds) ~access:`Scan ~parallel:false);
+          us (core_case (dram, dram_ds) ~access:`Scan ~parallel:true);
+          us (core_case (dram, dram_ds) ~access:`Index ~parallel:false);
+          us (core_case (pmem, pmem_ds) ~access:`Scan ~parallel:false);
+          us (core_case (pmem, pmem_ds) ~access:`Scan ~parallel:true);
+          us (core_case (pmem, pmem_ds) ~access:`Index ~parallel:false);
+          us (disk_case ());
+        ]
+      in
+      row spec.SR.name cells)
+    specs;
+  Core.shutdown dram;
+  Core.shutdown pmem
+
+(* --- Fig 6: interactive updates ------------------------------------------------ *)
+
+let fig6 () =
+  Printf.printf
+    "\n\
+     #### Fig 6: IU latencies, indexed (avg of %d runs, simulated us) ####\n\
+     (exec = update execution, commit = persisting at commit;\n\
+    \ disk-cold = empty page cache per run, disk-hot = warmed)\n"
+    !runs;
+  let dram, dram_ds = mk_core `Dram in
+  let pmem, pmem_ds = mk_core `Pmem in
+  let disk, disk_ds, disk_idx = mk_disk () in
+  let rng = Random.State.make [| 2 |] in
+  header "Fig 6"
+    [ "dram-exec"; "dram-cmt"; "pmem-exec"; "pmem-cmt"; "disk-hot"; "disk-cold" ];
+  List.iter
+    (fun spec ->
+      let core_case (db, ds) =
+        let sc = ds.Snb.Gen.schema in
+        let media = Core.media db in
+        let ctx = IU.make_ctx () in
+        let exec_total = ref 0 and commit_total = ref 0 in
+        for _ = 1 to !runs do
+          let params = spec.IU.draw ds rng ctx in
+          let c0 = Media.clock media in
+          let _, _, commit_ns = Core.execute_update db ~params (spec.IU.plan sc) in
+          let total = Media.clock media - c0 in
+          exec_total := !exec_total + (total - commit_ns);
+          commit_total := !commit_total + commit_ns
+        done;
+        (!exec_total / !runs, !commit_total / !runs)
+      in
+      let disk_case ~cold =
+        let sc = disk_ds.Snb.Gen.schema in
+        let media = Diskdb.Disk_graph.media disk in
+        let ctx = IU.make_ctx () in
+        let total = ref 0 in
+        for _ = 1 to !runs do
+          if cold then Diskdb.Disk_graph.drop_caches disk;
+          let params = spec.IU.draw disk_ds rng ctx in
+          let c0 = Media.clock media in
+          Diskdb.Disk_graph.with_txn disk (fun txn ->
+              let g =
+                Diskdb.Disk_graph.source
+                  ~indexes:(Snb.Gen.index_lookup_fn disk_ds disk_idx)
+                  disk txn
+              in
+              ignore (Query.Interp.run g ~params (spec.IU.plan sc)));
+          total := !total + (Media.clock media - c0)
+        done;
+        !total / !runs
+      in
+      let de, dc = core_case (dram, dram_ds) in
+      let pe, pc = core_case (pmem, pmem_ds) in
+      let dhot = disk_case ~cold:false in
+      let dcold = disk_case ~cold:true in
+      row spec.IU.name [ us de; us dc; us pe; us pc; us dhot; us dcold ])
+    IU.all;
+  Core.shutdown dram;
+  Core.shutdown pmem
+
+(* --- Fig 8: index placements and recovery --------------------------------------- *)
+
+let fig8 () =
+  Printf.printf "\n#### Fig 8: Person-id index lookups by placement + recovery ####\n";
+  let media = Media.create () in
+  let pool = Pool.create ~kind:`Pmem ~media ~id:1 ~size:(1 lsl 27) () in
+  let store = G.format pool in
+  let ds = Snb.Gen.generate ~params:{ Snb.Gen.default_params with sf = !sf } store in
+  let sc = ds.Snb.Gen.schema in
+  (* pad the index to a realistic SF10-like entry count so the trees have
+     full depth regardless of the graph scale factor *)
+  let n = max 50_000 (Array.length ds.Snb.Gen.persons) in
+  let mk placement =
+    let idx =
+      Gindex.Index.create pool ~placement ~label:sc.Snb.Schema.person
+        ~key:sc.Snb.Schema.k_id
+    in
+    for i = 0 to n - 1 do
+      Gindex.Index.insert idx
+        (Value.Int (Snb.Gen.person_base + i))
+        (i mod max 1 (Array.length ds.Snb.Gen.persons))
+    done;
+    idx
+  in
+  let vol = mk Gindex.Node_store.Volatile in
+  let per = mk Gindex.Node_store.Persistent in
+  let hyb = mk Gindex.Node_store.Hybrid in
+  let lookups = 2000 in
+  let bench idx =
+    sim_avg media
+      (fun i ->
+        ignore
+          (Gindex.Index.lookup idx
+             (Value.Int (Snb.Gen.person_base + (i * 7919 mod n)))))
+      lookups
+  in
+  Printf.printf "%-12s%18s\n" "placement" "lookup (sim ns)";
+  Printf.printf "%s\n" (String.make 30 '-');
+  Printf.printf "%-12s%18d\n" "dram" (bench vol);
+  Printf.printf "%-12s%18d\n" "pmem" (bench per);
+  Printf.printf "%-12s%18d\n" "hybrid" (bench hyb);
+  let c0 = Media.clock media in
+  let w0 = now_ns () in
+  let hyb' =
+    Gindex.Index.open_ pool ~desc:(Gindex.Index.descriptor hyb)
+      ~rebuild:(fun _ -> assert false)
+  in
+  let hyb_sim = Media.clock media - c0 and hyb_wall = now_ns () - w0 in
+  let c1 = Media.clock media in
+  let w1 = now_ns () in
+  let vol2 =
+    Gindex.Index.create pool ~placement:Gindex.Node_store.Volatile
+      ~label:sc.Snb.Schema.person ~key:sc.Snb.Schema.k_id
+  in
+  (* full rebuild: scan the (PMem) node records and re-insert all [n]
+     entries - the paper's 671 ms comparator *)
+  let np = Array.length ds.Snb.Gen.persons in
+  for i = 0 to n - 1 do
+    let node = ds.Snb.Gen.persons.(i mod np) in
+    ignore (G.read_node store node);
+    ignore (G.node_prop store node sc.Snb.Schema.k_id);
+    Gindex.Index.insert vol2 (Value.Int (Snb.Gen.person_base + i)) node
+  done;
+  let vol_sim = Media.clock media - c1 and vol_wall = now_ns () - w1 in
+  Printf.printf "\nrecovery after restart (%d entries):\n" (Gindex.Index.count hyb');
+  Printf.printf
+    "  hybrid (rebuild inner from PMem leaves): %8.3f sim-ms  %8.3f wall-ms\n"
+    (ms hyb_sim) (ms hyb_wall);
+  Printf.printf
+    "  volatile (full rebuild from node table): %8.3f sim-ms  %8.3f wall-ms\n"
+    (ms vol_sim) (ms vol_wall);
+  Printf.printf "  ratio (volatile / hybrid, sim):          %8.1fx\n"
+    (float_of_int vol_sim /. float_of_int (max 1 hyb_sim));
+  ignore vol
+
+(* --- Fig 7: SR with the JIT engine ----------------------------------------------- *)
+
+let fig7 () =
+  let reps = max 5 (!runs / 3) in
+  Printf.printf
+    "\n\
+     #### Fig 7: SR with JIT engine, single-thread, no index ####\n\
+     (avg of %d hot runs, wall us with media spin; jit+comp pays the\n\
+    \ modeled backend latency each run, jit hits the persistent code cache)\n"
+    reps;
+  let pmem, ds = mk_core `Pmem in
+  let media = Core.media pmem in
+  let config = jit_config ds in
+  let rng = Random.State.make [| 3 |] in
+  Media.set_spin media true;
+  header "Fig 7" [ "aot"; "jit"; "jit+comp" ];
+  List.iter
+    (fun spec ->
+      let params = sr_params ds rng spec in
+      let aot =
+        wall_avg
+          (fun i ->
+            run_sr pmem ~mode:Engine.Interp ~config ~access:`Scan ~parallel:false
+              spec
+              params.(i mod Array.length params))
+          reps
+      in
+      (* jit+compile: a cacheless engine pays codegen+passes+backend each run *)
+      let jit_comp =
+        wall_avg
+          (fun i ->
+            Core.with_txn pmem (fun txn ->
+                List.iter
+                  (fun plan ->
+                    ignore
+                      (Engine.run ~media ~config ~mode:Engine.Jit
+                         (Core.source pmem txn)
+                         ~params:[| params.(i mod Array.length params) |]
+                         plan))
+                  (spec.SR.plans ~access:`Scan)))
+          reps
+      in
+      (* jit hot: persistent cache primed, only link + execution *)
+      run_sr pmem ~mode:Engine.Jit ~config ~access:`Scan ~parallel:false spec
+        params.(0);
+      let jit =
+        wall_avg
+          (fun i ->
+            run_sr pmem ~mode:Engine.Jit ~config ~access:`Scan ~parallel:false spec
+              params.(i mod Array.length params))
+          reps
+      in
+      row spec.SR.name [ us aot; us jit; us jit_comp ])
+    (SR.all ds.Snb.Gen.schema);
+  Media.set_spin media false;
+  Core.shutdown pmem
+
+(* --- Fig 9: IU with the JIT engine ------------------------------------------------ *)
+
+let fig9 () =
+  let reps = max 5 (!runs / 3) in
+  Printf.printf
+    "\n\
+     #### Fig 9: IU with JIT engine, indexed (wall us with media spin) ####\n\
+     (jit-cold = every run compiles; jit-hot = persistent code cache hit)\n";
+  let pmem, ds = mk_core `Pmem in
+  let media = Core.media pmem in
+  let sc = ds.Snb.Gen.schema in
+  let config = jit_config ds in
+  let rng = Random.State.make [| 4 |] in
+  Media.set_spin media true;
+  header "Fig 9" [ "aot"; "jit-cold"; "jit-hot" ];
+  List.iter
+    (fun spec ->
+      let ctx = IU.make_ctx () in
+      let aot =
+        wall_avg
+          (fun _ ->
+            let params = spec.IU.draw ds rng ctx in
+            ignore
+              (Core.execute_update pmem ~mode:Engine.Interp ~config ~params
+                 (spec.IU.plan sc)))
+          reps
+      in
+      let jit_cold =
+        wall_avg
+          (fun _ ->
+            let params = spec.IU.draw ds rng ctx in
+            Core.with_txn pmem (fun txn ->
+                ignore
+                  (Engine.run ~media ~config ~mode:Engine.Jit (Core.source pmem txn)
+                     ~params (spec.IU.plan sc))))
+          reps
+      in
+      (let params = spec.IU.draw ds rng ctx in
+       ignore
+         (Core.execute_update pmem ~mode:Engine.Jit ~config ~params (spec.IU.plan sc)));
+      let jit_hot =
+        wall_avg
+          (fun _ ->
+            let params = spec.IU.draw ds rng ctx in
+            ignore
+              (Core.execute_update pmem ~mode:Engine.Jit ~config ~params
+                 (spec.IU.plan sc)))
+          reps
+      in
+      row spec.IU.name [ us aot; us jit_cold; us jit_hot ])
+    IU.all;
+  Media.set_spin media false;
+  Core.shutdown pmem
+
+(* --- Fig 10: adaptive execution ----------------------------------------------------- *)
+
+let fig10 () =
+  let reps = max 3 (!runs / 5) in
+  Printf.printf
+    "\n\
+     #### Fig 10: adaptive execution vs multi-threaded AOT (%d workers) ####\n\
+     (avg of %d runs, simulated us per worker; media spin stays on so the\n\
+    \ interp->compiled switch races real compilation, but the reported\n\
+    \ time is the deterministic media clock - compilation runs on a\n\
+    \ background domain and charges the workers nothing)\n"
+    !nworkers reps;
+  let dram, dram_ds = mk_core `Dram in
+  let pmem, pmem_ds = mk_core `Pmem in
+  Core.set_workers dram !nworkers;
+  Core.set_workers pmem !nworkers;
+  header "Fig 10" [ "dram-aot"; "dram-adp"; "pmem-aot"; "pmem-adp" ];
+  let rng = Random.State.make [| 5 |] in
+  List.iter
+    (fun spec ->
+      let cells =
+        List.concat_map
+          (fun (db, ds) ->
+            let media = Core.media db in
+            let config = jit_config ds in
+            let params = sr_params ds rng spec in
+            Media.set_spin media true;
+            let run mode i =
+              run_sr db ~mode ~config ~access:`Scan ~parallel:true spec
+                params.(i mod Array.length params)
+            in
+            run Engine.Interp 0;
+            let aot = sim_avg media (run Engine.Interp) reps / !nworkers in
+            run Engine.Adaptive 0;
+            let adp = sim_avg media (run Engine.Adaptive) reps / !nworkers in
+            Media.set_spin media false;
+            [ us aot; us adp ])
+          [ (dram, dram_ds); (pmem, pmem_ds) ]
+      in
+      row spec.SR.name cells)
+    (SR.all pmem_ds.Snb.Gen.schema);
+  Core.shutdown dram;
+  Core.shutdown pmem
+
+(* --- Ablations (DESIGN.md section 5) -------------------------------------------------- *)
+
+let ablations () =
+  Printf.printf "\n#### Ablations: design goals on the simulated substrate ####\n";
+  let media = Media.create () in
+  let pool = Pool.create ~kind:`Pmem ~media ~id:1 ~size:(1 lsl 26) () in
+  let store = G.format pool in
+  let ds = Snb.Gen.generate ~params:{ Snb.Gen.default_params with sf = !sf } store in
+  let g = ds.Snb.Gen.store in
+  let n_nodes = Storage.Table.nchunks (G.node_table g) * Storage.Table.chunk_capacity (G.node_table g) in
+  (* DG3: sequential chunk scan vs random access of the same records *)
+  let seq =
+    sim_avg media
+      (fun _ -> G.iter_nodes g (fun id -> ignore (G.node_label g id)))
+      3
+  in
+  let ids = Array.init n_nodes (fun i -> i * 7919 mod n_nodes) in
+  let rand =
+    sim_avg media
+      (fun _ ->
+        Array.iter
+          (fun id -> if G.node_live g id then ignore (G.node_label g id))
+          ids)
+      3
+  in
+  Printf.printf
+    "DG3  access pattern  : sequential scan %8.1f sim-us vs random %8.1f sim-us (%.2fx)\n"
+    (us seq) (us rand)
+    (float_of_int rand /. float_of_int (max 1 seq));
+  (* DG5: slot reuse vs fresh chunk growth *)
+  let count_allocs f =
+    let a0 = (Media.stats media).Media.allocs in
+    let c0 = Media.clock media in
+    f ();
+    ((Media.stats media).Media.allocs - a0, Media.clock media - c0)
+  in
+  let t = Storage.Table.create pool ~capacity:64 ~record_size:64 () in
+  let ids = ref [] in
+  let fresh_allocs, fresh_ns =
+    count_allocs (fun () ->
+        for _ = 1 to 2048 do
+          let id, _ = Storage.Table.reserve t in
+          Storage.Table.publish t id;
+          ids := id :: !ids
+        done)
+  in
+  List.iter (Storage.Table.delete t) !ids;
+  let reuse_allocs, reuse_ns =
+    count_allocs (fun () ->
+        for _ = 1 to 2048 do
+          let id, _ = Storage.Table.reserve t in
+          Storage.Table.publish t id
+        done)
+  in
+  Printf.printf
+    "DG5  slot reuse      : fresh %2d allocs %8.1f sim-us vs reuse %2d allocs %8.1f sim-us\n"
+    fresh_allocs (us fresh_ns) reuse_allocs (us reuse_ns);
+  (* DG6: offset-mirror iteration vs pptr-chain iteration *)
+  let mirror =
+    sim_avg media (fun _ -> Storage.Table.iter (G.node_table g) (fun _ _ -> ())) 5
+  in
+  let chain =
+    sim_avg media
+      (fun _ -> Storage.Table.iter_via_chain (G.node_table g) (G.registry g) (fun _ _ -> ()))
+      5
+  in
+  Printf.printf
+    "DG6  addressing      : DRAM-mirror offsets %8.1f sim-us vs pptr chain %8.1f sim-us\n"
+    (us mirror) (us chain);
+  (* dict placement: hybrid (DRAM mirror) vs pmem-only decodes *)
+  let media2 = Media.create () in
+  let pool2 = Pool.create ~kind:`Pmem ~media:media2 ~id:2 ~size:(1 lsl 24) () in
+  Pmem.Alloc.format pool2;
+  let mk_dict hybrid =
+    let d = Storage.Dict.create ~hybrid pool2 in
+    for i = 0 to 999 do
+      ignore (Storage.Dict.encode d (Printf.sprintf "word-%04d" i))
+    done;
+    d
+  in
+  let d_hybrid = mk_dict true and d_pmem = mk_dict false in
+  let decode_cost d =
+    sim_avg media2 (fun i -> ignore (Storage.Dict.decode d (1 + (i * 37 mod 999)))) 5000
+  in
+  Printf.printf
+    "dict placement       : hybrid decode %6d sim-ns vs pmem-only %6d sim-ns\n"
+    (decode_cost d_hybrid) (decode_cost d_pmem);
+  (* DG1/DG2: dirty versions in DRAM (the paper's design) vs persisted on
+     every modification (the rejected pure-PMem alternative) *)
+  let dg1 ~write_through =
+    let db, ds2 = mk_core `Pmem in
+    Mvcc.Mvto.set_write_through (Core.mgr db) write_through;
+    let sc = ds2.Snb.Gen.schema in
+    let mediad = Core.media db in
+    let rng = Random.State.make [| 77 |] in
+    ignore sc;
+    let persons = ds2.Snb.Gen.persons in
+    let f0 = (Media.stats mediad).Media.flushes in
+    let c0 = Media.clock mediad in
+    let txns = 400 in
+    for _ = 1 to txns do
+      (* update transaction touching one person's properties three times -
+         in the paper's design all three happen at DRAM latency and one
+         persist runs at commit; write-through persists each *)
+      let p = persons.(Random.State.int rng (Array.length persons)) in
+      Core.with_txn db (fun txn ->
+          (* a longer-running transaction revising its writes: the paper's
+             design keeps all of this at DRAM latency until commit *)
+          for i = 1 to 10 do
+            Core.set_node_prop db txn p ~key:"birthday" (Value.Int i)
+          done;
+          Core.set_node_prop db txn p ~key:"browserUsed" (Value.Text "Opera");
+          Core.set_node_prop db txn p ~key:"locationIP" (Value.Text "10.0.0.1"))
+    done;
+    let flushes = (Media.stats mediad).Media.flushes - f0 in
+    let ns = Media.clock mediad - c0 in
+    Core.shutdown db;
+    (flushes / txns, ns / txns)
+  in
+  let fl_dram, ns_dram = dg1 ~write_through:false in
+  let fl_wt, ns_wt = dg1 ~write_through:true in
+  Printf.printf
+    "DG1  dirty versions  : DRAM-resident %3d flushes/txn %8.1f sim-us vs write-through %3d flushes/txn %8.1f sim-us\n"
+    fl_dram (us ns_dram) fl_wt (us ns_wt);
+  (* rts durability (Section 5.1 discussion): flushing the read timestamp
+     on every first read vs relaxed stores *)
+  let rts ~durable =
+    let db, ds2 = mk_core `Pmem in
+    Mvcc.Mvto.set_durable_rts (Core.mgr db) durable;
+    let sc = ds2.Snb.Gen.schema in
+    let mediad = Core.media db in
+    let rng = Random.State.make [| 78 |] in
+    let plan = SR.is3 sc ~access:`Scan in
+    let c0 = Media.clock mediad in
+    for _ = 1 to 20 do
+      let param = Value.Int (pick_array rng ds2.Snb.Gen.person_ids) in
+      List.iter
+        (fun p -> ignore (Core.query db ~params:[| param |] p))
+        plan
+    done;
+    let ns = (Media.clock mediad - c0) / 20 in
+    Core.shutdown db;
+    ns
+  in
+  let rts_relaxed = rts ~durable:false in
+  let rts_durable = rts ~durable:true in
+  Printf.printf
+    "rts durability       : relaxed %8.1f sim-us vs flushed %8.1f sim-us per IS3 scan (%.2fx)\n"
+    (us rts_relaxed) (us rts_durable)
+    (float_of_int rts_durable /. float_of_int (max 1 rts_relaxed));
+  (* JIT optimisation levels on the most complex query *)
+  let pmemdb, ds2 = mk_core `Pmem in
+  let mediap = Core.media pmemdb in
+  let sc = ds2.Snb.Gen.schema in
+  let plan = SR.is7 sc ~access:`Scan ~msg:`Cmt in
+  let param = Value.Int ds2.Snb.Gen.comment_ids.(0) in
+  (* pure CPU effect of the pass cascade: spin off *)
+  let lvl level =
+    let config = { (jit_config ds2) with Engine.opt_level = level } in
+    ignore (Core.query pmemdb ~mode:Engine.Jit ~config ~params:[| param |] plan);
+    let w =
+      wall_avg
+        (fun _ ->
+          ignore (Core.query pmemdb ~mode:Engine.Jit ~config ~params:[| param |] plan))
+        25
+    in
+    let _, report = Core.query pmemdb ~mode:Engine.Jit ~config ~params:[| param |] plan in
+    (w, report.Engine.ir_instrs)
+  in
+  let w0, i0 = lvl Jit.Passes.O0 in
+  let w1, i1 = lvl Jit.Passes.O1 in
+  let w3, i3 = lvl Jit.Passes.O3 in
+  ignore mediap;
+  Printf.printf
+    "JIT opt levels (IS7) : O0 %8.1f us (%3d instrs)  O1 %8.1f us (%3d)  O3 %8.1f us (%3d)\n"
+    (us w0) i0 (us w1) i1 (us w3) i3;
+  Core.shutdown pmemdb
+
+(* --- Complex reads (extension): where JIT pays off most --------------------------------- *)
+
+let complex () =
+  let reps = max 5 (!runs / 5) in
+  Printf.printf
+    "\n\
+     #### Complex reads (IC-style extension): long-running traversals ####\n\
+     (avg of %d hot runs, wall us with media spin; the paper expects JIT\n\
+    \ gains to grow with query complexity - these queries test that)\n"
+    reps;
+  let pmem, ds = mk_core `Pmem in
+  let media = Core.media pmem in
+  let sc = ds.Snb.Gen.schema in
+  let config = jit_config ds in
+  let rng = Random.State.make [| 8 |] in
+  Media.set_spin media true;
+  header "Complex" [ "aot"; "jit"; "speedup" ];
+  List.iter
+    (fun spec ->
+      let params =
+        Array.init !runs (fun _ -> Snb.Complex_reads.draw_params ds rng spec)
+      in
+      let run mode i =
+        ignore
+          (Core.query pmem ~mode ~config
+             ~params:params.(i mod Array.length params)
+             (spec.Snb.Complex_reads.plan ~access:`Scan))
+      in
+      run Engine.Interp 0;
+      run Engine.Jit 0;
+      let aot = wall_avg (run Engine.Interp) reps in
+      let jit = wall_avg (run Engine.Jit) reps in
+      Printf.printf "%-8s%12.1f%12.1f%11.2fx\n" spec.Snb.Complex_reads.name
+        (us aot) (us jit)
+        (float_of_int aot /. float_of_int (max 1 jit)))
+    (Snb.Complex_reads.all sc);
+  Media.set_spin media false;
+  Core.shutdown pmem
+
+(* --- Concurrency (paper Section 8, ongoing work): update throughput -------------------- *)
+
+let concurrency () =
+  Printf.printf
+    "\n\
+     #### Concurrent updates (paper future work): IU throughput ####\n\
+     (IU2/IU3/IU8 mix, wall-clock, MVTO with retry-on-abort)\n";
+  Printf.printf "%-10s%14s%14s%12s\n" "domains" "txns/s" "aborts" "retries";
+  List.iter
+    (fun ndomains ->
+      let db, ds = mk_core `Pmem in
+      let sc = ds.Snb.Gen.schema in
+      let per_domain = 400 in
+      let aborts = Atomic.make 0 in
+      let worker k () =
+        let rng = Random.State.make [| 100 + k |] in
+        let ctx = IU.make_ctx () in
+        let specs = [ List.nth IU.all 1; List.nth IU.all 2; List.nth IU.all 7 ] in
+        for _ = 1 to per_domain do
+          let spec = List.nth specs (Random.State.int rng 3) in
+          let params = spec.IU.draw ds rng ctx in
+          let rec attempt n =
+            match Core.execute_update db ~params (spec.IU.plan sc) with
+            | _ -> ()
+            | exception Core.Abort _ when n < 8 ->
+                Atomic.incr aborts;
+                attempt (n + 1)
+          in
+          attempt 0
+        done
+      in
+      (* best of two rounds: wall-clock on a small shared box is noisy *)
+      let round () =
+        let t0 = now_ns () in
+        let domains = List.init ndomains (fun k -> Domain.spawn (worker k)) in
+        List.iter Domain.join domains;
+        float_of_int (ndomains * per_domain)
+        /. (float_of_int (now_ns () - t0) /. 1e9)
+      in
+      let tput = max (round ()) (round ()) in
+      Printf.printf "%-10d%14.0f%14d%12s\n" ndomains tput (Atomic.get aborts) "-";
+      Core.shutdown db)
+    [ 1; 2 ]
+
+(* --- Bechamel micro-benchmarks: one Test per figure ------------------------------------ *)
+
+let bechamel () =
+  Printf.printf "\n#### Bechamel wall-clock microbenchmarks (ns/run, OLS) ####\n";
+  let open Bechamel in
+  let pmem, ds = mk_core `Pmem in
+  let sc = ds.Snb.Gen.schema in
+  let config = jit_config ds in
+  let param () = Value.Int ds.Snb.Gen.person_ids.(7) in
+  let msg_param () = Value.Int ds.Snb.Gen.post_ids.(3) in
+  let is1 = SR.is1 sc ~access:`Index in
+  let is4 = SR.is4 sc ~access:`Index ~msg:`Post in
+  let ctx = IU.make_ctx () in
+  let rng = Random.State.make [| 6 |] in
+  let iu8 = List.nth IU.all 7 in
+  (* prime the jit cache so the cached figures measure steady state *)
+  ignore (Core.query pmem ~mode:Engine.Jit ~config ~params:[| msg_param () |] is4);
+  let tests =
+    [
+      Test.make ~name:"fig5/is1-index"
+        (Staged.stage (fun () -> ignore (Core.query pmem ~params:[| param () |] is1)));
+      Test.make ~name:"fig6/iu8-update"
+        (Staged.stage (fun () ->
+             let params = iu8.IU.draw ds rng ctx in
+             ignore (Core.execute_update pmem ~params (iu8.IU.plan sc))));
+      Test.make ~name:"fig7/is4-jit"
+        (Staged.stage (fun () ->
+             ignore
+               (Core.query pmem ~mode:Engine.Jit ~config ~params:[| msg_param () |] is4)));
+      Test.make ~name:"fig8/index-lookup"
+        (Staged.stage (fun () ->
+             match
+               Core.index_lookup_fn pmem ~label:sc.Snb.Schema.person
+                 ~key:sc.Snb.Schema.k_id
+             with
+             | Some idx -> ignore (Gindex.Index.lookup idx (param ()))
+             | None -> ()));
+      Test.make ~name:"fig9/iu8-jit"
+        (Staged.stage (fun () ->
+             let params = iu8.IU.draw ds rng ctx in
+             ignore
+               (Core.execute_update pmem ~mode:Engine.Jit ~config ~params
+                  (iu8.IU.plan sc))));
+      Test.make ~name:"fig10/is1-adaptive"
+        (Staged.stage (fun () ->
+             ignore
+               (Core.query pmem ~mode:Engine.Adaptive ~config ~params:[| param () |]
+                  (SR.is1 sc ~access:`Scan))));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] test in
+      let res = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name est ->
+          match Analyze.OLS.estimates est with
+          | Some [ v ] -> Printf.printf "%-24s %12.0f ns/run\n" name v
+          | _ -> Printf.printf "%-24s %12s\n" name "n/a")
+        res)
+    tests;
+  Core.shutdown pmem
+
+(* --- Driver ------------------------------------------------------------------------------ *)
+
+let () =
+  let which = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--sf" :: v :: rest ->
+        sf := float_of_string v;
+        parse rest
+    | "--runs" :: v :: rest ->
+        runs := int_of_string v;
+        parse rest
+    | "--workers" :: v :: rest ->
+        nworkers := int_of_string v;
+        parse rest
+    | x :: rest ->
+        which := x :: !which;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let which = if !which = [] then [ "all" ] else List.rev !which in
+  let run name f =
+    if List.mem "all" which || List.mem name which then begin
+      let t0 = now_ns () in
+      f ();
+      Printf.printf "[%s done in %.1fs]\n%!" name
+        (float_of_int (now_ns () - t0) /. 1e9)
+    end
+  in
+  Printf.printf "Poseidon-reproduction benchmarks (sf=%.2f, runs=%d, workers=%d)\n"
+    !sf !runs !nworkers;
+  run "fig5" fig5;
+  run "fig6" fig6;
+  run "fig7" fig7;
+  run "fig8" fig8;
+  run "fig9" fig9;
+  run "fig10" fig10;
+  run "ablations" ablations;
+  run "complex" complex;
+  run "concurrency" concurrency;
+  run "bechamel" bechamel

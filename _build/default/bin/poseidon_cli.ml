@@ -1,0 +1,318 @@
+(* poseidon-cli: drive the PMem graph engine from the command line.
+
+   Subcommands:
+     generate   build an SNB-like dataset and print its statistics
+     sr         run the interactive short-read workload
+     iu         run the interactive update workload
+     crash      crash/recovery drill with invariant checks
+     stats      media/cost-model statistics for a workload mix
+
+   Examples:
+     poseidon_cli generate --sf 0.5
+     poseidon_cli sr --sf 0.2 --mode jit --access index --runs 20
+     poseidon_cli iu --sf 0.2 --runs 50
+     poseidon_cli crash --sf 0.1 --evict 0.5 *)
+
+open Cmdliner
+module Value = Storage.Value
+module Engine = Jit.Engine
+module SR = Snb.Short_reads
+module IU = Snb.Updates
+
+let mk_db ~mode ~sf ~indexed =
+  let db = Core.create ~mode ~pool_size:(1 lsl 27) () in
+  let ds =
+    Snb.Gen.generate ~params:{ Snb.Gen.default_params with sf } (Core.store db)
+  in
+  if indexed then
+    List.iter
+      (fun l -> ignore (Core.create_index db ~label:l ~prop:"id" ()))
+      [ "Person"; "Post"; "Comment"; "Forum"; "Place"; "Tag" ];
+  (db, ds)
+
+(* --- common options --------------------------------------------------- *)
+
+let sf_t =
+  let doc = "Scale factor (1.0 ~ 1000 persons)." in
+  Arg.(value & opt float 0.1 & info [ "sf" ] ~doc)
+
+let runs_t =
+  let doc = "Runs per query (different parameters each)." in
+  Arg.(value & opt int 10 & info [ "runs" ] ~doc)
+
+let mode_t =
+  let doc = "Storage mode: pmem or dram." in
+  let storage_conv = Arg.enum [ ("pmem", `Pmem); ("dram", `Dram) ] in
+  Arg.(value & opt storage_conv `Pmem & info [ "storage" ] ~doc)
+
+let engine_t =
+  let doc = "Execution mode: aot, jit or adaptive." in
+  let engine_conv =
+    Arg.enum
+      [ ("aot", Engine.Interp); ("jit", Engine.Jit); ("adaptive", Engine.Adaptive) ]
+  in
+  Arg.(value & opt engine_conv Engine.Interp & info [ "mode" ] ~doc)
+
+let access_t =
+  let doc = "Access path for parameter lookups: scan or index." in
+  let access_conv = Arg.enum [ ("scan", `Scan); ("index", `Index) ] in
+  Arg.(value & opt access_conv `Index & info [ "access" ] ~doc)
+
+let seed_t =
+  let doc = "Random seed for parameter selection." in
+  Arg.(value & opt int 7 & info [ "seed" ] ~doc)
+
+(* --- generate ---------------------------------------------------------- *)
+
+let generate sf storage =
+  let db, ds = mk_db ~mode:storage ~sf ~indexed:false in
+  Printf.printf "dataset (sf=%.2f, %s):\n" sf
+    (match storage with `Pmem -> "pmem" | `Dram -> "dram");
+  Printf.printf "  persons       %8d\n" (Array.length ds.Snb.Gen.persons);
+  Printf.printf "  posts         %8d\n" (Array.length ds.Snb.Gen.posts);
+  Printf.printf "  comments      %8d\n" (Array.length ds.Snb.Gen.comments);
+  Printf.printf "  forums        %8d\n" (Array.length ds.Snb.Gen.forums);
+  Printf.printf "  nodes total   %8d\n" (Core.node_count db);
+  Printf.printf "  rels total    %8d\n" (Core.rel_count db);
+  let s = Pmem.Media.stats (Core.media db) in
+  Printf.printf "  line writes   %8d\n" s.Pmem.Media.writes;
+  Printf.printf "  flushes       %8d\n" s.Pmem.Media.flushes;
+  Printf.printf "  allocations   %8d\n" s.Pmem.Media.allocs;
+  Printf.printf "  sim load time %8.1f ms\n"
+    (float_of_int (Pmem.Media.clock (Core.media db)) /. 1e6)
+
+(* --- sr ------------------------------------------------------------------ *)
+
+let sr sf storage engine access runs seed =
+  let db, ds = mk_db ~mode:storage ~sf ~indexed:true in
+  let sc = ds.Snb.Gen.schema in
+  let config =
+    { Engine.default_config with prop_tag = Snb.Schema.prop_tag sc }
+  in
+  let media = Core.media db in
+  let rng = Random.State.make [| seed |] in
+  Printf.printf "%-8s%14s%10s\n" "query" "avg sim-us" "rows";
+  List.iter
+    (fun spec ->
+      let rows_total = ref 0 in
+      (* warm-up *)
+      let p0 = SR.draw_param ds rng spec in
+      List.iter
+        (fun plan ->
+          ignore (Core.query db ~mode:engine ~config ~params:[| p0 |] plan))
+        (spec.SR.plans ~access);
+      let c0 = Pmem.Media.clock media in
+      for _ = 1 to runs do
+        let param = SR.draw_param ds rng spec in
+        List.iter
+          (fun plan ->
+            let rows, _ = Core.query db ~mode:engine ~config ~params:[| param |] plan in
+            rows_total := !rows_total + List.length rows)
+          (spec.SR.plans ~access)
+      done;
+      let avg = (Pmem.Media.clock media - c0) / runs in
+      Printf.printf "%-8s%14.1f%10d\n" spec.SR.name
+        (float_of_int avg /. 1e3)
+        (!rows_total / runs))
+    (SR.all sc)
+
+(* --- iu ------------------------------------------------------------------- *)
+
+let iu sf storage engine runs seed =
+  let db, ds = mk_db ~mode:storage ~sf ~indexed:true in
+  let sc = ds.Snb.Gen.schema in
+  let config =
+    { Engine.default_config with prop_tag = Snb.Schema.prop_tag sc }
+  in
+  let media = Core.media db in
+  let rng = Random.State.make [| seed |] in
+  let ctx = IU.make_ctx () in
+  Printf.printf "%-8s%14s%14s\n" "query" "exec sim-us" "commit sim-us";
+  List.iter
+    (fun spec ->
+      let exec_total = ref 0 and commit_total = ref 0 in
+      for _ = 1 to runs do
+        let params = spec.IU.draw ds rng ctx in
+        let c0 = Pmem.Media.clock media in
+        let _, _, commit_ns =
+          Core.execute_update db ~mode:engine ~config ~params (spec.IU.plan sc)
+        in
+        let total = Pmem.Media.clock media - c0 in
+        exec_total := !exec_total + total - commit_ns;
+        commit_total := !commit_total + commit_ns
+      done;
+      Printf.printf "%-8s%14.1f%14.1f\n" spec.IU.name
+        (float_of_int (!exec_total / runs) /. 1e3)
+        (float_of_int (!commit_total / runs) /. 1e3))
+    IU.all;
+  let stats = Core.txn_stats db in
+  Printf.printf "commits %d, aborts %d\n" stats.Mvcc.Mvto.commits
+    stats.Mvcc.Mvto.aborts
+
+(* --- crash ------------------------------------------------------------------ *)
+
+let crash sf evict seed =
+  let db, ds = mk_db ~mode:`Pmem ~sf ~indexed:true in
+  let sc = ds.Snb.Gen.schema in
+  let rng = Random.State.make [| seed |] in
+  let ctx = IU.make_ctx () in
+  (* commit some updates *)
+  List.iter
+    (fun spec ->
+      let params = spec.IU.draw ds rng ctx in
+      ignore (Core.execute_update db ~params (spec.IU.plan sc)))
+    IU.all;
+  let nodes = Core.node_count db and rels = Core.rel_count db in
+  (* leave one transaction in flight *)
+  let txn = Core.begin_txn db in
+  ignore (Core.create_node db txn ~label:"Person" ~props:[]);
+  Printf.printf "pre-crash: %d nodes, %d rels (+1 uncommitted)\n" nodes rels;
+  Core.crash ~evict_prob:evict db;
+  let t0 = Unix.gettimeofday () in
+  let db = Core.reopen db in
+  Printf.printf "recovered in %.1f ms (wall)\n"
+    ((Unix.gettimeofday () -. t0) *. 1e3);
+  Printf.printf "post-recovery: %d nodes, %d rels\n" (Core.node_count db)
+    (Core.rel_count db);
+  if Core.node_count db = nodes && Core.rel_count db = rels then
+    print_endline "OK: committed data durable, uncommitted insert reclaimed"
+  else begin
+    print_endline "FAILED: counts diverged";
+    exit 1
+  end;
+  (* run a query through the recovered indexes *)
+  let param = Value.Int ds.Snb.Gen.person_ids.(0) in
+  let rows, _ = Core.query db ~params:[| param |] (SR.is1 sc ~access:`Index) in
+  Printf.printf "IS1 through recovered hybrid index: %d row(s)\n"
+    (List.length rows)
+
+let evict_t =
+  let doc = "Probability that an unflushed line persists anyway (cache eviction)." in
+  Arg.(value & opt float 0.5 & info [ "evict" ] ~doc)
+
+(* --- stats ------------------------------------------------------------------- *)
+
+let stats sf =
+  let db, ds = mk_db ~mode:`Pmem ~sf ~indexed:true in
+  let sc = ds.Snb.Gen.schema in
+  let media = Core.media db in
+  Pmem.Media.reset media;
+  let rng = Random.State.make [| 3 |] in
+  let ctx = IU.make_ctx () in
+  (* a mixed workload: reads and updates *)
+  for _ = 1 to 50 do
+    let spec = List.nth (SR.all sc) (Random.State.int rng 12) in
+    let param = SR.draw_param ds rng spec in
+    List.iter
+      (fun plan -> ignore (Core.query db ~params:[| param |] plan))
+      (spec.SR.plans ~access:`Index)
+  done;
+  for _ = 1 to 20 do
+    let spec = List.nth IU.all (Random.State.int rng 8) in
+    let params = spec.IU.draw ds rng ctx in
+    ignore (Core.execute_update db ~params (spec.IU.plan sc))
+  done;
+  let s = Pmem.Media.stats media in
+  Printf.printf "mixed workload (50 SR + 20 IU) media profile:\n";
+  Printf.printf "  line reads      %10d\n" s.Pmem.Media.reads;
+  Printf.printf "  line writes     %10d\n" s.Pmem.Media.writes;
+  Printf.printf "  clwb flushes    %10d\n" s.Pmem.Media.flushes;
+  Printf.printf "  sfences         %10d\n" s.Pmem.Media.fences;
+  Printf.printf "  allocations     %10d\n" s.Pmem.Media.allocs;
+  Printf.printf "  pptr derefs     %10d\n" s.Pmem.Media.derefs;
+  Printf.printf "  bytes read      %10d\n" s.Pmem.Media.bytes_read;
+  Printf.printf "  bytes written   %10d\n" s.Pmem.Media.bytes_written;
+  Printf.printf "  sim time        %10.2f ms\n"
+    (float_of_int (Pmem.Media.clock media) /. 1e6)
+
+(* --- query (Cypher-like) -------------------------------------------------------- *)
+
+let query_run sf storage engine qstr params explain =
+  let db, ds = mk_db ~mode:storage ~sf ~indexed:true in
+  let sc = ds.Snb.Gen.schema in
+  let config = { Engine.default_config with prop_tag = Snb.Schema.prop_tag sc } in
+  let params = Array.of_list (List.map (fun i -> Value.Int i) params) in
+  Core.with_txn db (fun txn ->
+      let g = Core.source db txn in
+      let indexed ~label ~key =
+        Core.index_lookup_fn db ~label ~key <> None
+      in
+      let plan = Query.Cypher.compile ~indexed g qstr in
+      if explain then begin
+        print_endline "plan:";
+        Fmt.pr "%a" (Query.Algebra.pp_plan ~dict:(Core.decode db)) plan
+      end;
+      let rows, report = Engine.run ~cache:(Core.jit_cache db) ~mode:engine ~config g ~params plan in
+      List.iter
+        (fun row ->
+          let cell = function
+            | Value.Str c -> Core.decode db c
+            | v -> Value.to_string v
+          in
+          print_endline (String.concat " | " (Array.to_list (Array.map cell row))))
+        rows;
+      Printf.printf "-- %d row(s), engine=%s%s\n" (List.length rows)
+        (Fmt.to_to_string Engine.pp_mode engine)
+        (if report.Engine.fell_back then " (fell back to aot)" else ""))
+
+let qstr_t =
+  let doc = "Cypher-like query string." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc)
+
+let qparams_t =
+  let doc = "Positional integer parameters ($0, $1, ...)." in
+  Arg.(value & opt_all int [] & info [ "p"; "param" ] ~doc)
+
+let explain_t =
+  let doc = "Print the compiled operator tree before executing." in
+  Arg.(value & flag & info [ "explain" ] ~doc)
+
+(* --- command wiring ------------------------------------------------------------ *)
+
+let generate_cmd =
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate an SNB-like dataset and print statistics")
+    Term.(const generate $ sf_t $ mode_t)
+
+let sr_cmd =
+  Cmd.v
+    (Cmd.info "sr" ~doc:"Run the LDBC interactive short-read workload")
+    Term.(const sr $ sf_t $ mode_t $ engine_t $ access_t $ runs_t $ seed_t)
+
+let iu_cmd =
+  Cmd.v
+    (Cmd.info "iu" ~doc:"Run the LDBC interactive update workload")
+    Term.(const iu $ sf_t $ mode_t $ engine_t $ runs_t $ seed_t)
+
+let crash_cmd =
+  Cmd.v
+    (Cmd.info "crash" ~doc:"Crash/recovery drill with invariant checks")
+    Term.(const crash $ sf_t $ evict_t $ seed_t)
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Media/cost-model statistics for a mixed workload")
+    Term.(const stats $ sf_t)
+
+let query_cmd =
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Run a Cypher-like query over a generated dataset"
+       ~man:
+         [
+           `S Manpage.s_examples;
+           `P
+             "poseidon_cli query \"MATCH (p:Person {id: \\$0})-[:KNOWS]->(f) \
+              RETURN f.id\" -p 1000042";
+         ])
+    Term.(const query_run $ sf_t $ mode_t $ engine_t $ qstr_t $ qparams_t $ explain_t)
+
+let () =
+  let info =
+    Cmd.info "poseidon_cli" ~version:"1.0"
+      ~doc:"Transactional graph processing in (simulated) persistent memory"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ generate_cmd; sr_cmd; iu_cmd; crash_cmd; stats_cmd; query_cmd ]))

@@ -1,0 +1,1 @@
+examples/analytics.ml: Array Core Domain Hashtbl List Mvcc Printf Query Random Snb Storage

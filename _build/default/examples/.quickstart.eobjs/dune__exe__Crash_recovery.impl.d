@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Array Core Mvcc Printf Query Storage Unix

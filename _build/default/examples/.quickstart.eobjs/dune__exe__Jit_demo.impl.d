@@ -1,0 +1,1 @@
+examples/jit_demo.ml: Array Core Fmt Jit List Printf Query Snb Storage Unix

@@ -1,0 +1,1 @@
+examples/social_network.ml: Array Core Jit List Mvcc Pmem Printf Random Snb Storage Unix

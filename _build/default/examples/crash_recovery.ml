@@ -1,0 +1,72 @@
+(* Crash-recovery example: power failures at awkward moments, with
+   random cache-line eviction, and what survives them.
+
+   dune exec examples/crash_recovery.exe *)
+
+module Value = Storage.Value
+module V = Mvcc.Version
+
+let () =
+  let db = Core.create ~mode:`Pmem () in
+
+  (* committed data *)
+  let accounts =
+    Core.with_txn db (fun txn ->
+        Array.init 4 (fun i ->
+            Core.create_node db txn ~label:"Account"
+              ~props:
+                [ ("id", Value.Int i); ("balance", Value.Int 100) ]))
+  in
+  ignore (Core.create_index db ~label:"Account" ~prop:"id" ());
+  Printf.printf "4 accounts created and committed\n";
+
+  (* a transfer transaction is interrupted by a power failure between its
+     updates - after recovery, either both or neither must be visible *)
+  let txn = Core.begin_txn db in
+  Core.set_node_prop db txn accounts.(0) ~key:"balance" (Value.Int 50);
+  Core.set_node_prop db txn accounts.(1) ~key:"balance" (Value.Int 150);
+  Printf.printf "transfer in flight (uncommitted)... power failure!\n";
+  Core.crash ~evict_prob:0.5 db;
+
+  let db = Core.reopen db in
+  let balances txn =
+    Array.map
+      (fun a ->
+        match Core.node_prop db txn a ~key:"balance" with
+        | Some (Value.Int b) -> b
+        | _ -> -1)
+      accounts
+  in
+  Core.with_txn db (fun txn ->
+      let b = balances txn in
+      Printf.printf "after recovery: balances = [%d; %d; %d; %d]\n" b.(0) b.(1)
+        b.(2) b.(3);
+      assert (Array.for_all (fun x -> x = 100) b);
+      print_endline "the interrupted transfer left no trace: atomicity holds");
+
+  (* now commit a transfer, crash *during* nothing in particular, and
+     watch it survive *)
+  Core.with_txn db (fun txn ->
+      Core.set_node_prop db txn accounts.(0) ~key:"balance" (Value.Int 25);
+      Core.set_node_prop db txn accounts.(3) ~key:"balance" (Value.Int 175));
+  Core.crash ~evict_prob:0.5 db;
+  let db = Core.reopen db in
+  Core.with_txn db (fun txn ->
+      let b = balances txn in
+      Printf.printf "after second crash: balances = [%d; %d; %d; %d]\n" b.(0)
+        b.(1) b.(2) b.(3);
+      assert (b.(0) = 25 && b.(3) = 175);
+      print_endline "the committed transfer is durable");
+
+  (* hybrid index recovery: inner levels are rebuilt from PMem leaves *)
+  let t0 = Unix.gettimeofday () in
+  let db = Core.reopen db in
+  Printf.printf "index recovery on reopen took %.3f ms (leaf-scan rebuild)\n"
+    ((Unix.gettimeofday () -. t0) *. 1e3);
+  Core.with_txn db (fun txn ->
+      let g = Core.source db txn in
+      let hits = ref 0 in
+      g.Query.Source.index_lookup ~label:(Core.code db "Account")
+        ~key:(Core.code db "id") (Value.Int 2) (fun _ -> incr hits);
+      Printf.printf "index lookup after recovery: %d hit(s)\n" !hits);
+  print_endline "crash_recovery done."

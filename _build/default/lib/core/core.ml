@@ -1,0 +1,343 @@
+(* Poseidon-style PMem graph engine - the public facade.
+
+   This module ties the substrates together into the system the paper
+   describes: a property-graph store in (simulated) persistent memory,
+   MVTO transactions with snapshot isolation, hybrid DRAM/PMem secondary
+   indexes with a persistent catalog, and a query engine with AOT
+   interpretation, JIT compilation (with a persistent compiled-query
+   cache) and adaptive execution.
+
+   Typical use:
+
+   {[
+     let db = Core.create ~mode:`Pmem () in
+     Core.with_txn db (fun txn ->
+         let alice = Core.create_node db txn ~label:"Person"
+             ~props:[ ("name", Value.Text "Alice") ] in
+         ...);
+     Core.create_index db ~label:"Person" ~prop:"id" ();
+     let rows, report = Core.query db ~mode:Jit.Engine.Jit plan ~params in
+     ...
+     Core.crash db;                    (* power failure *)
+     let db = Core.reopen db in        (* recovery *)
+   ]} *)
+
+module Media = Pmem.Media
+module Pool = Pmem.Pool
+module Value = Storage.Value
+module Layout = Storage.Layout
+module G = Storage.Graph_store
+module Mvto = Mvcc.Mvto
+module Txn = Mvcc.Txn
+module Version = Mvcc.Version
+module Algebra = Query.Algebra
+module Expr = Query.Expr
+module Engine = Jit.Engine
+
+let log_src = Logs.Src.create "poseidon.core" ~doc:"Poseidon engine facade"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type mode = [ `Pmem | `Dram ]
+
+type t = {
+  mode : mode;
+  media : Media.t;
+  pool : Pool.t;
+  store : G.t;
+  mgr : Mvto.t;
+  mutable indexes : ((int * int) * Gindex.Index.t) list; (* (label, key) *)
+  catalog : int; (* persistent index catalog offset *)
+  jit_cache : Jit.Cache.t;
+  mutable workers : Exec.Task_pool.t option;
+  index_placement : Gindex.Node_store.placement;
+}
+
+let default_pool_size = 1 lsl 26
+
+(* --- Lifecycle ---------------------------------------------------------------- *)
+
+let create ?(mode = `Pmem) ?(pool_size = default_pool_size) ?chunk_capacity
+    ?costs ?(index_placement = Gindex.Node_store.Hybrid) () =
+  let media = Media.create ?costs () in
+  let pool = Pool.create ~kind:mode ~media ~id:1 ~size:pool_size () in
+  let store = G.format ?chunk_capacity pool in
+  let catalog = Gindex.Index.Catalog.create pool ~root_slot:G.root_index in
+  let jit_cache = Jit.Cache.create pool ~root_slot:G.root_jit () in
+  {
+    mode;
+    media;
+    pool;
+    store;
+    mgr = Mvto.create store;
+    indexes = [];
+    catalog;
+    jit_cache;
+    workers = None;
+    index_placement;
+  }
+
+let media t = t.media
+let pool t = t.pool
+let store t = t.store
+let mgr t = t.mgr
+let jit_cache t = t.jit_cache
+let txn_stats t = Mvto.stats t.mgr
+
+let set_workers t n =
+  (match t.workers with Some p -> Exec.Task_pool.shutdown p | None -> ());
+  t.workers <-
+    (if n <= 1 then None
+     else Some (Exec.Task_pool.create ~media:t.media ~nworkers:n ()))
+
+let workers t = t.workers
+
+let shutdown t =
+  match t.workers with
+  | Some p ->
+      Exec.Task_pool.shutdown p;
+      t.workers <- None
+  | None -> ()
+
+(* --- Crash / recovery ------------------------------------------------------------ *)
+
+let crash ?evict_prob t =
+  shutdown t;
+  Pool.crash ?evict_prob t.pool
+
+(* Rebuild a volatile index from the node table. *)
+let rebuild_index store idx =
+  let label = Gindex.Index.label_code idx and key = Gindex.Index.key_code idx in
+  G.iter_nodes store (fun id ->
+      if G.node_label store id = label then
+        match G.node_prop store id key with
+        | Some v -> Gindex.Index.insert idx v id
+        | None -> ())
+
+(* Reattach after a crash: PMDK-log rollback, table/dict recovery, MVTO
+   lock scrubbing, index recovery per placement, JIT cache reattach. *)
+let reopen (old : t) =
+  let pool = old.pool in
+  let store = G.open_ pool in
+  let mgr = Mvto.recover store in
+  let catalog = Gindex.Index.Catalog.attach pool ~root_slot:G.root_index in
+  let indexes =
+    List.map
+      (fun desc ->
+        let idx =
+          Gindex.Index.open_ pool ~desc ~rebuild:(fun fresh ->
+              rebuild_index store fresh)
+        in
+        ((Gindex.Index.label_code idx, Gindex.Index.key_code idx), idx))
+      (Gindex.Index.Catalog.list pool ~catalog)
+  in
+  let jit_cache = Jit.Cache.open_or_create pool ~root_slot:G.root_jit in
+  Log.info (fun m ->
+      m "reopened: %d nodes, %d rels, %d indexes, %d cached queries"
+        (G.node_count store) (G.rel_count store) (List.length indexes)
+        (Jit.Cache.count jit_cache));
+  {
+    mode = old.mode;
+    media = old.media;
+    pool;
+    store;
+    mgr;
+    indexes;
+    catalog;
+    jit_cache;
+    workers = None;
+    index_placement = old.index_placement;
+  }
+
+(* --- Transactions ------------------------------------------------------------------ *)
+
+exception Abort = Mvto.Abort
+
+(* Post-commit secondary-index maintenance: collected from the write set
+   before commit (the saved versions still hold the old property
+   values). *)
+let index_ops t txn =
+  if t.indexes = [] then []
+  else
+    List.filter_map
+      (fun (key, wop) ->
+        match (key, wop) with
+        | (Version.Node, id), Txn.Insert ->
+            let label = G.node_label t.store id in
+            Some (`Insert (label, id, G.node_props t.store id))
+        | (Version.Node, id), Txn.Update { dirty; saved } ->
+            let label = G.node_label t.store id in
+            Some (`Change (label, id, saved.Version.props, dirty.Version.props))
+        | (Version.Node, id), Txn.Delete { saved; _ } ->
+            let label = G.node_label t.store id in
+            Some (`Remove (label, id, saved.Version.props))
+        | (Version.Rel, _), _ -> None)
+      (Txn.writes txn)
+
+let apply_index_ops t ops =
+  let for_label label f =
+    List.iter (fun ((l, k), idx) -> if l = label then f k idx) t.indexes
+  in
+  List.iter
+    (function
+      | `Insert (label, id, props) ->
+          for_label label (fun k idx ->
+              match List.assoc_opt k props with
+              | Some v -> Gindex.Index.insert idx v id
+              | None -> ())
+      | `Remove (label, id, props) ->
+          for_label label (fun k idx ->
+              match List.assoc_opt k props with
+              | Some v -> ignore (Gindex.Index.remove idx v id)
+              | None -> ())
+      | `Change (label, id, old_props, new_props) ->
+          for_label label (fun k idx ->
+              let ov = List.assoc_opt k old_props
+              and nv = List.assoc_opt k new_props in
+              if ov <> nv then begin
+                (match ov with
+                | Some v -> ignore (Gindex.Index.remove idx v id)
+                | None -> ());
+                match nv with
+                | Some v -> Gindex.Index.insert idx v id
+                | None -> ()
+              end))
+    ops
+
+let begin_txn t = Mvto.begin_txn t.mgr
+
+let commit t txn =
+  let ops = index_ops t txn in
+  Mvto.commit t.mgr txn;
+  apply_index_ops t ops
+
+let abort t txn = Mvto.abort t.mgr txn
+
+let with_txn t f =
+  let txn = begin_txn t in
+  match f txn with
+  | v ->
+      commit t txn;
+      v
+  | exception e ->
+      if Txn.is_active txn then abort t txn;
+      raise e
+
+let with_txn_retry ?(max_retries = 16) t f =
+  let rec go n =
+    match with_txn t f with
+    | v -> v
+    | exception Abort _ when n < max_retries -> go (n + 1)
+  in
+  go 0
+
+(* --- Data API (string labels/keys at the boundary) --------------------------------- *)
+
+let code t s = G.code t.store s
+let decode t c = G.string_of_code t.store c
+let encode_value t v = G.encode_value t.store v
+let decode_value t v = G.decode_value t.store v
+
+let create_node t txn ~label ~props =
+  Mvto.insert_node t.mgr txn ~label:(code t label)
+    ~props:(List.map (fun (k, v) -> (code t k, encode_value t v)) props)
+
+let create_rel t txn ~label ~src ~dst ~props =
+  Mvto.insert_rel t.mgr txn ~label:(code t label) ~src ~dst
+    ~props:(List.map (fun (k, v) -> (code t k, encode_value t v)) props)
+
+let node_prop t txn id ~key =
+  match Mvto.read_node t.mgr txn id with
+  | None -> None
+  | Some view ->
+      Option.map (decode_value t) (Mvto.view_prop view (code t key))
+
+let rel_prop t txn id ~key =
+  match Mvto.read_rel t.mgr txn id with
+  | None -> None
+  | Some view ->
+      Option.map (decode_value t) (Mvto.view_prop view (code t key))
+
+let set_node_prop t txn id ~key value =
+  let k = code t key and v = encode_value t value in
+  Mvto.update t.mgr txn (Version.Node, id) (fun ver ->
+      ver.Version.props <- (k, v) :: List.remove_assoc k ver.Version.props)
+
+let set_rel_prop t txn id ~key value =
+  let k = code t key and v = encode_value t value in
+  Mvto.update t.mgr txn (Version.Rel, id) (fun ver ->
+      ver.Version.props <- (k, v) :: List.remove_assoc k ver.Version.props)
+
+let delete_node t txn id = Mvto.delete t.mgr txn (Version.Node, id)
+let delete_rel t txn id = Mvto.delete t.mgr txn (Version.Rel, id)
+let node_label t txn id =
+  match Mvto.read_node t.mgr txn id with
+  | None -> None
+  | Some view -> Some (decode t (Mvto.view_node view).Layout.label)
+
+let node_count t = G.node_count t.store
+let rel_count t = G.rel_count t.store
+
+let out_rels t txn id =
+  let acc = ref [] in
+  G.iter_out t.store id (fun rid ->
+      if Mvto.visible t.mgr txn (Version.Rel, rid) then acc := rid :: !acc);
+  List.rev !acc
+
+let in_rels t txn id =
+  let acc = ref [] in
+  G.iter_in t.store id (fun rid ->
+      if Mvto.visible t.mgr txn (Version.Rel, rid) then acc := rid :: !acc);
+  List.rev !acc
+
+(* --- Indexes ------------------------------------------------------------------------- *)
+
+let find_index t ~label ~key = List.assoc_opt (label, key) t.indexes
+
+let create_index ?placement t ~label ~prop () =
+  let placement = Option.value placement ~default:t.index_placement in
+  let label_code = code t label and key = code t prop in
+  match find_index t ~label:label_code ~key with
+  | Some idx -> idx
+  | None ->
+      let idx = Gindex.Index.create t.pool ~placement ~label:label_code ~key in
+      rebuild_index t.store idx;
+      Gindex.Index.Catalog.add t.pool ~catalog:t.catalog
+        (Gindex.Index.descriptor idx);
+      t.indexes <- ((label_code, key), idx) :: t.indexes;
+      idx
+
+let index_lookup_fn t ~label ~key = find_index t ~label ~key
+
+(* --- Queries ------------------------------------------------------------------------- *)
+
+let source t txn =
+  Query.Source.of_mvcc ~indexes:(fun ~label ~key -> find_index t ~label ~key)
+    t.mgr txn
+
+(* Run a read-only query in its own transaction. *)
+let query ?(mode = Engine.Interp) ?config ?parallel t ~params plan =
+  let pool_ = match parallel with Some true -> t.workers | _ -> None in
+  with_txn t (fun txn ->
+      Engine.run ?pool:pool_ ~cache:t.jit_cache ~media:t.media ?config ~mode
+        (source t txn) ~params plan)
+
+(* Run an update plan transactionally; returns rows, the engine report
+   and the commit's simulated duration (Fig. 6 separates execution from
+   commit time). *)
+let execute_update ?(mode = Engine.Interp) ?config t ~params plan =
+  let txn = begin_txn t in
+  match
+    Engine.run ~cache:t.jit_cache ~media:t.media ?config ~mode (source t txn)
+      ~params plan
+  with
+  | rows, report ->
+      let ops = index_ops t txn in
+      let c0 = Media.clock t.media in
+      Mvto.commit t.mgr txn;
+      let commit_ns = Media.clock t.media - c0 in
+      apply_index_ops t ops;
+      (rows, report, commit_ns)
+  | exception e ->
+      if Txn.is_active txn then abort t txn;
+      raise e

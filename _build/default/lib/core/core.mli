@@ -1,0 +1,146 @@
+(** Poseidon-style PMem graph engine - the public facade.
+
+    A property-graph database over (simulated) persistent memory with
+    MVTO snapshot-isolation transactions, hybrid DRAM/PMem secondary
+    indexes with a persistent catalog, and a query engine offering AOT
+    interpretation, JIT compilation (with a persistent compiled-query
+    cache) and adaptive execution.
+
+    {[
+      let db = Core.create ~mode:`Pmem () in
+      Core.with_txn db (fun txn ->
+          let alice =
+            Core.create_node db txn ~label:"Person"
+              ~props:[ ("name", Value.Text "Alice") ]
+          in
+          ...);
+      ignore (Core.create_index db ~label:"Person" ~prop:"id" ());
+      let rows, report = Core.query db ~mode:Jit.Engine.Jit ~params plan in
+      Core.crash db;
+      let db = Core.reopen db in     (* full recovery *)
+    ]} *)
+
+module Value = Storage.Value
+module Engine = Jit.Engine
+
+type mode = [ `Dram | `Pmem ]
+type t
+
+exception Abort of string
+(** Transaction conflict; alias of [Mvcc.Mvto.Abort]. *)
+
+(** {1 Lifecycle} *)
+
+val create :
+  ?mode:mode ->
+  ?pool_size:int ->
+  ?chunk_capacity:int ->
+  ?costs:Pmem.Media.costs ->
+  ?index_placement:Gindex.Node_store.placement ->
+  unit ->
+  t
+
+val crash : ?evict_prob:float -> t -> unit
+(** Simulate a power failure: all unflushed stores are lost (each dirty
+    line survives with probability [evict_prob]). *)
+
+val reopen : t -> t
+(** Recover after {!crash}: PMDK-log rollback, table/dictionary
+    reattachment, MVTO lock scrubbing and timestamp restart, per-placement
+    index recovery, JIT-cache reattachment. *)
+
+val set_workers : t -> int -> unit
+(** Size the morsel-execution pool (0/1 disables parallel execution). *)
+
+val workers : t -> Exec.Task_pool.t option
+val shutdown : t -> unit
+
+(** {1 Accessors} *)
+
+val media : t -> Pmem.Media.t
+val pool : t -> Pmem.Pool.t
+val store : t -> Storage.Graph_store.t
+val mgr : t -> Mvcc.Mvto.t
+val jit_cache : t -> Jit.Cache.t
+val txn_stats : t -> Mvcc.Mvto.stats
+val node_count : t -> int
+val rel_count : t -> int
+val code : t -> string -> int
+val decode : t -> int -> string
+val encode_value : t -> Value.t -> Value.t
+val decode_value : t -> Value.t -> Value.t
+
+(** {1 Transactions} *)
+
+val begin_txn : t -> Mvcc.Txn.t
+val commit : t -> Mvcc.Txn.t -> unit
+(** Commit and apply secondary-index maintenance for the write set. *)
+
+val abort : t -> Mvcc.Txn.t -> unit
+val with_txn : t -> (Mvcc.Txn.t -> 'a) -> 'a
+val with_txn_retry : ?max_retries:int -> t -> (Mvcc.Txn.t -> 'a) -> 'a
+
+(** {1 Data API (string labels/keys at the boundary)} *)
+
+val create_node :
+  t -> Mvcc.Txn.t -> label:string -> props:(string * Value.t) list -> int
+
+val create_rel :
+  t ->
+  Mvcc.Txn.t ->
+  label:string ->
+  src:int ->
+  dst:int ->
+  props:(string * Value.t) list ->
+  int
+
+val node_prop : t -> Mvcc.Txn.t -> int -> key:string -> Value.t option
+val rel_prop : t -> Mvcc.Txn.t -> int -> key:string -> Value.t option
+val set_node_prop : t -> Mvcc.Txn.t -> int -> key:string -> Value.t -> unit
+val set_rel_prop : t -> Mvcc.Txn.t -> int -> key:string -> Value.t -> unit
+val delete_node : t -> Mvcc.Txn.t -> int -> unit
+val delete_rel : t -> Mvcc.Txn.t -> int -> unit
+val node_label : t -> Mvcc.Txn.t -> int -> string option
+val out_rels : t -> Mvcc.Txn.t -> int -> int list
+val in_rels : t -> Mvcc.Txn.t -> int -> int list
+
+(** {1 Indexes} *)
+
+val create_index :
+  ?placement:Gindex.Node_store.placement ->
+  t ->
+  label:string ->
+  prop:string ->
+  unit ->
+  Gindex.Index.t
+(** Create (or return) the secondary index on (label, property), built
+    from existing data and registered in the persistent catalog;
+    maintained on every subsequent commit. *)
+
+val index_lookup_fn : t -> label:int -> key:int -> Gindex.Index.t option
+
+(** {1 Queries} *)
+
+val source : t -> Mvcc.Txn.t -> Query.Source.t
+(** Snapshot access for one transaction, wired to the database indexes. *)
+
+val query :
+  ?mode:Engine.mode ->
+  ?config:Engine.config ->
+  ?parallel:bool ->
+  t ->
+  params:Value.t array ->
+  Query.Algebra.plan ->
+  Value.t array list * Engine.report
+(** Run a read-only plan in its own transaction. *)
+
+val execute_update :
+  ?mode:Engine.mode ->
+  ?config:Engine.config ->
+  t ->
+  params:Value.t array ->
+  Query.Algebra.plan ->
+  Value.t array list * Engine.report * int
+(** Run an update plan transactionally; the third component is the
+    commit's simulated duration in nanoseconds (Fig. 6 separates
+    execution from commit time). *)

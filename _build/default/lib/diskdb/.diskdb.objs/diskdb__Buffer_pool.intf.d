@@ -1,0 +1,1 @@
+lib/diskdb/buffer_pool.mli: Pmem

@@ -1,0 +1,1 @@
+lib/diskdb/disk_graph.ml: Buffer_pool List Mvcc Pmem Query Storage

@@ -1,0 +1,1 @@
+lib/diskdb/disk_graph.mli: Buffer_pool Gindex Mvcc Pmem Query Storage

@@ -1,0 +1,16 @@
+(** Buffer-pool model for the disk baseline: LRU page frames over a
+    simulated SSD.  A miss charges an SSD page read (plus a write-back
+    when evicting a dirty frame); even a hit charges the page-cache
+    indirection that distinguishes block-oriented engines from direct
+    byte-addressing.  Commits append and sync WAL pages. *)
+
+type t
+
+val create :
+  ?page_size:int -> ?capacity:int -> ?hit_ns:int -> Pmem.Media.t -> t
+
+val touch : t -> off:int -> rw:[ `R | `W ] -> unit
+val wal_commit : t -> bytes:int -> unit
+val clear : t -> unit
+val stats : t -> int * int * int * int
+(** (hits, misses, evictions, wal pages written). *)

@@ -1,0 +1,206 @@
+(* The disk-based baseline engine (Section 7.3, "disk").
+
+   Same record layouts and transaction protocol as the PMem engine, but
+   every record access is routed through the block-oriented buffer pool:
+   record bytes conceptually live on SSD and are only reachable through
+   page frames.  The underlying pool is volatile (its DRAM access costs
+   stand for the CPU reading the mapped frame); durability comes from the
+   WAL charged at commit.
+
+   [source] wraps an MVCC source so that the identical query plans run
+   unmodified against the baseline, with page-touch charges layered on
+   every record and property access.  Secondary indexes are DRAM-resident
+   (the paper's baseline "created an additional DRAM index"). *)
+
+module Media = Pmem.Media
+module Pool = Pmem.Pool
+module G = Storage.Graph_store
+module L = Storage.Layout
+module Value = Storage.Value
+module Mvto = Mvcc.Mvto
+
+type t = {
+  store : G.t;
+  mgr : Mvto.t;
+  bp : Buffer_pool.t;
+  media : Media.t;
+}
+
+(* A disk instance wraps a volatile pool: flushes are free (no PMem), and
+   all media cost comes from DRAM line access + buffer-pool charges. *)
+let create ?(pool_size = 1 lsl 26) ?buffer_pages () =
+  let media = Media.create () in
+  let pool = Pool.create ~kind:`Dram ~media ~id:77 ~size:pool_size () in
+  let store = G.format pool in
+  let bp = Buffer_pool.create ?capacity:buffer_pages media in
+  { store; mgr = Mvto.create store; bp; media }
+
+let store t = t.store
+let mgr t = t.mgr
+let media t = t.media
+let buffer_pool t = t.bp
+
+(* cold runs: empty the page cache *)
+let drop_caches t = Buffer_pool.clear t.bp
+
+let touch_node t ~rw id = Buffer_pool.touch t.bp ~off:(G.node_off t.store id) ~rw
+let touch_rel t ~rw id = Buffer_pool.touch t.bp ~off:(G.rel_off t.store id) ~rw
+
+let touch_node_props t id =
+  (* property batches live on their own pages; touch the first batch *)
+  let first = G.node_field t.store id L.Node.first_prop in
+  match L.unlink first with
+  | None -> ()
+  | Some pid ->
+      Buffer_pool.touch t.bp
+        ~off:(Storage.Table.record_off (Storage.Props.table (G.prop_store t.store)) pid)
+        ~rw:`R
+
+let touch_rel_props t id =
+  let first = G.rel_field t.store id L.Rel.first_prop in
+  match L.unlink first with
+  | None -> ()
+  | Some pid ->
+      Buffer_pool.touch t.bp
+        ~off:(Storage.Table.record_off (Storage.Props.table (G.prop_store t.store)) pid)
+        ~rw:`R
+
+(* Build a query source over one transaction's snapshot, with page-touch
+   accounting layered over the MVCC source. *)
+let source ?indexes t txn : Query.Source.t =
+  let base = Query.Source.of_mvcc ?indexes t.mgr txn in
+  let open Query.Source in
+  {
+    base with
+    scan_nodes_chunk =
+      (fun ci f ->
+        base.scan_nodes_chunk ci (fun id ->
+            touch_node t ~rw:`R id;
+            f id));
+    scan_nodes =
+      (fun f ->
+        base.scan_nodes (fun id ->
+            touch_node t ~rw:`R id;
+            f id));
+    scan_rels =
+      (fun f ->
+        base.scan_rels (fun id ->
+            touch_rel t ~rw:`R id;
+            f id));
+    node_exists =
+      (fun id ->
+        touch_node t ~rw:`R id;
+        base.node_exists id);
+    node_label =
+      (fun id ->
+        touch_node t ~rw:`R id;
+        base.node_label id);
+    rel_label =
+      (fun id ->
+        touch_rel t ~rw:`R id;
+        base.rel_label id);
+    node_prop =
+      (fun id key ->
+        touch_node t ~rw:`R id;
+        touch_node_props t id;
+        base.node_prop id key);
+    rel_prop =
+      (fun id key ->
+        touch_rel t ~rw:`R id;
+        touch_rel_props t id;
+        base.rel_prop id key);
+    rel_src =
+      (fun id ->
+        touch_rel t ~rw:`R id;
+        base.rel_src id);
+    rel_dst =
+      (fun id ->
+        touch_rel t ~rw:`R id;
+        base.rel_dst id);
+    out_rels =
+      (fun id f ->
+        touch_node t ~rw:`R id;
+        base.out_rels id (fun rid ->
+            touch_rel t ~rw:`R rid;
+            f rid));
+    in_rels =
+      (fun id f ->
+        touch_node t ~rw:`R id;
+        base.in_rels id (fun rid ->
+            touch_rel t ~rw:`R rid;
+            f rid));
+    index_lookup =
+      (fun ~label ~key v f ->
+        (* DRAM index probe, then the record page *)
+        base.index_lookup ~label ~key v (fun id ->
+            touch_node t ~rw:`R id;
+            f id));
+    index_range =
+      (fun ~label ~key ~lo ~hi f ->
+        base.index_range ~label ~key ~lo ~hi (fun id ->
+            touch_node t ~rw:`R id;
+            f id));
+    create_node =
+      (fun ~label ~props ->
+        let id = base.create_node ~label ~props in
+        touch_node t ~rw:`W id;
+        id);
+    create_rel =
+      (fun ~label ~src ~dst ~props ->
+        let id = base.create_rel ~label ~src ~dst ~props in
+        touch_rel t ~rw:`W id;
+        touch_node t ~rw:`W src;
+        touch_node t ~rw:`W dst;
+        id);
+    set_node_prop =
+      (fun id ~key v ->
+        touch_node t ~rw:`W id;
+        base.set_node_prop id ~key v);
+    set_rel_prop =
+      (fun id ~key v ->
+        touch_rel t ~rw:`W id;
+        base.set_rel_prop id ~key v);
+    delete_node =
+      (fun id ->
+        touch_node t ~rw:`W id;
+        base.delete_node id);
+    delete_rel =
+      (fun id ->
+        touch_rel t ~rw:`W id;
+        base.delete_rel id);
+    node_prop_fast =
+      (fun id key ->
+        touch_node t ~rw:`R id;
+        touch_node_props t id;
+        base.node_prop_fast id key);
+    rel_prop_fast =
+      (fun id key ->
+        touch_rel t ~rw:`R id;
+        touch_rel_props t id;
+        base.rel_prop_fast id key);
+    fetch_node =
+      (fun ~chunk ~slot ->
+        let id = base.fetch_node ~chunk ~slot in
+        if id >= 0 then touch_node t ~rw:`R id;
+        id);
+    rel_visible =
+      (fun rid ->
+        touch_rel t ~rw:`R rid;
+        base.rel_visible rid);
+  }
+
+(* Transactional execution with WAL durability: the commit writes one WAL
+   page per touched record set (approximated by the write-set size). *)
+let with_txn t f =
+  let txn = Mvto.begin_txn t.mgr in
+  match f txn with
+  | v ->
+      let wal_bytes =
+        128 + List.length (Mvcc.Txn.writes txn) * 256 (* header + per-record redo *)
+      in
+      Mvto.commit t.mgr txn;
+      Buffer_pool.wal_commit t.bp ~bytes:wal_bytes;
+      v
+  | exception e ->
+      if Mvcc.Txn.is_active txn then Mvto.abort t.mgr txn;
+      raise e

@@ -1,0 +1,29 @@
+(** The disk baseline engine (Section 7.3, "disk").
+
+    Same record layouts and MVTO protocol as the PMem engine, but every
+    record access is routed through a block-oriented buffer pool (page
+    faults charge SSD reads, hits charge the page-cache indirection), and
+    durability comes from write-ahead logging charged at commit.  The
+    identical query plans run unmodified against it. *)
+
+type t
+
+val create : ?pool_size:int -> ?buffer_pages:int -> unit -> t
+val store : t -> Storage.Graph_store.t
+val mgr : t -> Mvcc.Mvto.t
+val media : t -> Pmem.Media.t
+val buffer_pool : t -> Buffer_pool.t
+val drop_caches : t -> unit
+(** Empty the page cache: the next runs are cold. *)
+
+val source :
+  ?indexes:(label:int -> key:int -> Gindex.Index.t option) ->
+  t ->
+  Mvcc.Txn.t ->
+  Query.Source.t
+(** Snapshot source with page-touch accounting layered over every record
+    and property access. *)
+
+val with_txn : t -> (Mvcc.Txn.t -> 'a) -> 'a
+(** Transactional execution; the commit appends and syncs WAL pages
+    sized by the write set. *)

@@ -1,0 +1,1 @@
+lib/exec/task_pool.ml: Condition Domain List Mutex Pmem Queue

@@ -1,0 +1,121 @@
+(* Morsel-driven task pool (Section 6.1).
+
+   Scans are split into morsels (chunk ranges); each morsel is pinned to a
+   task and pushed into this pool; worker domains pull tasks and run the
+   query function on the pinned morsel.  The adaptive JIT engine relies on
+   the task granularity: the task function is re-read from an atomic
+   reference between morsels, so a background compile can redirect
+   execution mid-query (Section 6.2, "Adaptive Execution").
+
+   Workers install a per-domain media meter so that the simulated clock can
+   attribute work to individual workers (the harness reports parallel
+   elapsed time as the max per-worker busy time). *)
+
+type task = unit -> unit
+
+type t = {
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  all_done : Condition.t;
+  queue : task Queue.t;
+  mutable outstanding : int;
+  mutable stop : bool;
+  mutable first_error : exn option;
+  mutable workers : unit Domain.t list;
+  nworkers : int;
+  media : Pmem.Media.t option;
+}
+
+let worker_loop t =
+  (match t.media with
+  | Some m -> ignore (Pmem.Media.install_meter m)
+  | None -> ());
+  let rec loop () =
+    Mutex.lock t.mu;
+    while Queue.is_empty t.queue && not t.stop do
+      Condition.wait t.nonempty t.mu
+    done;
+    if t.stop && Queue.is_empty t.queue then Mutex.unlock t.mu
+    else begin
+      let task = Queue.pop t.queue in
+      Mutex.unlock t.mu;
+      (try task ()
+       with e ->
+         Mutex.lock t.mu;
+         if t.first_error = None then t.first_error <- Some e;
+         Mutex.unlock t.mu);
+      Mutex.lock t.mu;
+      t.outstanding <- t.outstanding - 1;
+      if t.outstanding = 0 then Condition.broadcast t.all_done;
+      Mutex.unlock t.mu;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?media ~nworkers () =
+  if nworkers < 1 then invalid_arg "Task_pool.create";
+  let t =
+    {
+      mu = Mutex.create ();
+      nonempty = Condition.create ();
+      all_done = Condition.create ();
+      queue = Queue.create ();
+      outstanding = 0;
+      stop = false;
+      first_error = None;
+      workers = [];
+      nworkers;
+      media;
+    }
+  in
+  t.workers <- List.init nworkers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let size t = t.nworkers
+
+let submit_all t tasks =
+  Mutex.lock t.mu;
+  List.iter
+    (fun task ->
+      t.outstanding <- t.outstanding + 1;
+      Queue.push task t.queue)
+    tasks;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mu
+
+let wait t =
+  Mutex.lock t.mu;
+  while t.outstanding > 0 do
+    Condition.wait t.all_done t.mu
+  done;
+  let err = t.first_error in
+  t.first_error <- None;
+  Mutex.unlock t.mu;
+  match err with Some e -> raise e | None -> ()
+
+(* Run all tasks to completion; re-raises the first task exception. *)
+let run t tasks =
+  submit_all t tasks;
+  wait t
+
+let shutdown t =
+  Mutex.lock t.mu;
+  t.stop <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mu;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+(* Convenience: run [f lo hi] in parallel over [0, n) split into morsels
+   of [grain] items. *)
+let parallel_ranges t ~n ~grain f =
+  let tasks = ref [] in
+  let lo = ref 0 in
+  while !lo < n do
+    let l = !lo in
+    let h = min n (l + grain) in
+    tasks := (fun () -> f l h) :: !tasks;
+    lo := h
+  done;
+  run t (List.rev !tasks)

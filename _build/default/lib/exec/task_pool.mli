@@ -1,0 +1,23 @@
+(** Morsel-driven task pool (Section 6.1).
+
+    Worker domains pull tasks from a shared queue; scans are split into
+    chunk morsels and submitted here.  When created with a [media], each
+    worker installs a per-domain meter so simulated work can be
+    attributed per worker. *)
+
+type t
+
+val create : ?media:Pmem.Media.t -> nworkers:int -> unit -> t
+val size : t -> int
+val submit_all : t -> (unit -> unit) list -> unit
+val wait : t -> unit
+(** Wait for all outstanding tasks; re-raises the first task exception. *)
+
+val run : t -> (unit -> unit) list -> unit
+(** {!submit_all} + {!wait}. *)
+
+val shutdown : t -> unit
+(** Stop and join all workers. *)
+
+val parallel_ranges : t -> n:int -> grain:int -> (int -> int -> unit) -> unit
+(** Run [f lo hi] over [0, n) split into morsels of [grain] items. *)

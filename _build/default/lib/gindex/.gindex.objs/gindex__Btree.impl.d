@@ -1,0 +1,1 @@
+lib/gindex/btree.ml: Array Int64 List Node_store

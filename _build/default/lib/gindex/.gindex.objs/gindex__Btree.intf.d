@@ -1,0 +1,1 @@
+lib/gindex/btree.mli: Node_store

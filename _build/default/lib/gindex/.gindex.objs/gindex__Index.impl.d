@@ -1,0 +1,1 @@
+lib/gindex/index.ml: Btree Int64 List Node_store Pmem Printf Storage

@@ -1,0 +1,1 @@
+lib/gindex/index.mli: Btree Node_store Pmem Storage

@@ -1,0 +1,1 @@
+lib/gindex/node_store.mli: Format Pmem

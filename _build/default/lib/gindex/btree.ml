@@ -1,0 +1,358 @@
+(* B+-tree core over an abstract node store (Section 4.2).
+
+   Keys and values are int64 (property values are indexed by their 64-bit
+   payload, values are record ids).  Duplicate keys are supported: inserts
+   descend by upper bound, searches descend by lower bound and then scan
+   forward through the leaf chain, so all duplicates are found even when
+   they span leaves.
+
+   Deletion is by (key, value) pair and does not rebalance (lazy deletion:
+   separators remain valid upper bounds, empty leaves stay chained).  This
+   matches the secondary-index role: the index over-approximates and the
+   MVCC layer re-checks visibility anyway.
+
+   Persistence ordering on splits keeps the leaf chain recoverable: the new
+   right leaf is persisted before the left leaf's shrunken key count and
+   new [next] are, so a crash either shows the old single leaf or the
+   complete pair. *)
+
+module S = Node_store
+
+type t = {
+  s : S.t;
+  mutable root : int;
+  mutable first_leaf : int;
+  mutable count : int;
+}
+
+let create s =
+  let leaf = s.S.alloc ~leaf:true in
+  { s; root = leaf; first_leaf = leaf; count = 0 }
+
+(* Reattach to an existing tree (after recovery). *)
+let attach s ~root ~first_leaf ~count = { s; root; first_leaf; count }
+
+let store t = t.s
+let root t = t.root
+let first_leaf t = t.first_leaf
+let count t = t.count
+
+(* first index in [0, n) with keys.(i) >= key *)
+let lower_bound s h key =
+  let n = s.S.nkeys h in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Int64.compare (s.S.get_key h mid) key < 0 then lo := mid + 1
+    else hi := mid
+  done;
+  !lo
+
+(* first index in [0, n) with keys.(i) > key *)
+let upper_bound s h key =
+  let n = s.S.nkeys h in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Int64.compare (s.S.get_key h mid) key <= 0 then lo := mid + 1
+    else hi := mid
+  done;
+  !lo
+
+let child s h i = Int64.to_int (s.S.get_val h i)
+let set_child s h i c = s.S.set_val h i (Int64.of_int c)
+
+(* shift keys[i..n) and vals one to the right (leaf) *)
+let leaf_shift_right s h i =
+  let n = s.S.nkeys h in
+  for j = n downto i + 1 do
+    s.S.set_key h j (s.S.get_key h (j - 1));
+    s.S.set_val h j (s.S.get_val h (j - 1))
+  done
+
+let leaf_insert_at s h i key v =
+  leaf_shift_right s h i;
+  s.S.set_key h i key;
+  s.S.set_val h i v;
+  s.S.set_nkeys h (s.S.nkeys h + 1)
+
+(* Split a full leaf; returns (separator, right handle). *)
+let leaf_split s h =
+  let n = s.S.nkeys h in
+  let mid = n / 2 in
+  let r = s.S.alloc ~leaf:true in
+  for j = mid to n - 1 do
+    s.S.set_key r (j - mid) (s.S.get_key h j);
+    s.S.set_val r (j - mid) (s.S.get_val h j)
+  done;
+  s.S.set_nkeys r (n - mid);
+  s.S.set_next r (s.S.get_next h);
+  s.S.persist r;
+  s.S.set_nkeys h mid;
+  s.S.set_next h r;
+  s.S.persist h;
+  (s.S.get_key r 0, r)
+
+let inner_insert_at s h i sep c =
+  let n = s.S.nkeys h in
+  for j = n downto i + 1 do
+    s.S.set_key h j (s.S.get_key h (j - 1))
+  done;
+  for j = n + 1 downto i + 2 do
+    set_child s h j (child s h (j - 1))
+  done;
+  s.S.set_key h i sep;
+  set_child s h (i + 1) c;
+  s.S.set_nkeys h (n + 1);
+  s.S.persist h
+
+(* Split an over-full inner node (called before it would overflow):
+   redistribute keys/children including the pending (sep, c) at slot [i];
+   returns (promoted key, right handle). *)
+let inner_split_insert s h i sep c =
+  let n = s.S.nkeys h in
+  (* gather into temp arrays of n+1 keys / n+2 children *)
+  let keys = Array.make (n + 1) 0L and kids = Array.make (n + 2) 0 in
+  for j = 0 to n - 1 do
+    keys.(if j < i then j else j + 1) <- s.S.get_key h j
+  done;
+  keys.(i) <- sep;
+  for j = 0 to n do
+    kids.(if j <= i then j else j + 1) <- child s h j
+  done;
+  kids.(i + 1) <- c;
+  let total = n + 1 in
+  let mid = total / 2 in
+  let promoted = keys.(mid) in
+  (* left keeps keys[0..mid-1], children[0..mid] *)
+  for j = 0 to mid - 1 do
+    s.S.set_key h j keys.(j)
+  done;
+  for j = 0 to mid do
+    set_child s h j kids.(j)
+  done;
+  s.S.set_nkeys h mid;
+  (* right gets keys[mid+1..], children[mid+1..] *)
+  let r = s.S.alloc ~leaf:false in
+  for j = mid + 1 to total - 1 do
+    s.S.set_key r (j - mid - 1) keys.(j)
+  done;
+  for j = mid + 1 to total do
+    set_child s r (j - mid - 1) kids.(j)
+  done;
+  s.S.set_nkeys r (total - 1 - mid);
+  s.S.persist r;
+  s.S.persist h;
+  (promoted, r)
+
+let rec ins t h key v =
+  let s = t.s in
+  s.S.touch h;
+  if s.S.is_leaf h then begin
+    if s.S.nkeys h < S.fanout then begin
+      leaf_insert_at s h (upper_bound s h key) key v;
+      s.S.persist h;
+      None
+    end
+    else begin
+      let sep, r = leaf_split s h in
+      let target = if Int64.compare key sep >= 0 then r else h in
+      leaf_insert_at s target (upper_bound s target key) key v;
+      s.S.persist target;
+      Some (sep, r)
+    end
+  end
+  else
+    let ci = upper_bound s h key in
+    match ins t (child s h ci) key v with
+    | None -> None
+    | Some (sep, c) ->
+        if s.S.nkeys h < S.fanout then begin
+          inner_insert_at s h ci sep c;
+          None
+        end
+        else Some (inner_split_insert s h ci sep c)
+
+let insert t key v =
+  (match ins t t.root key v with
+  | None -> ()
+  | Some (sep, r) ->
+      let s = t.s in
+      let nr = s.S.alloc ~leaf:false in
+      s.S.set_key nr 0 sep;
+      set_child s nr 0 t.root;
+      set_child s nr 1 r;
+      s.S.set_nkeys nr 1;
+      s.S.persist nr;
+      t.root <- nr);
+  t.count <- t.count + 1
+
+(* Descend to the leftmost leaf that may contain [key]. *)
+let rec find_leaf t h key =
+  let s = t.s in
+  s.S.touch h;
+  if s.S.is_leaf h then h
+  else find_leaf t (child s h (lower_bound s h key)) key
+
+(* Iterate all (key, value) pairs with lo <= key <= hi, in key order. *)
+let iter_range t ~lo ~hi f =
+  let s = t.s in
+  let rec walk h start ~touch =
+    if h <> 0 then begin
+      if touch then s.S.touch h;
+      let n = s.S.nkeys h in
+      let rec go i =
+        if i >= n then walk (s.S.get_next h) 0 ~touch:true
+        else
+          let k = s.S.get_key h i in
+          if Int64.compare k hi > 0 then ()
+          else begin
+            f k (s.S.get_val h i);
+            go (i + 1)
+          end
+      in
+      go start
+    end
+  in
+  let leaf = find_leaf t t.root lo in
+  (* [find_leaf] already touched the first leaf *)
+  walk leaf (lower_bound t.s leaf lo) ~touch:false
+
+let lookup t key =
+  let acc = ref [] in
+  iter_range t ~lo:key ~hi:key (fun _ v -> acc := v :: !acc);
+  List.rev !acc
+
+let iter_all t f = iter_range t ~lo:Int64.min_int ~hi:Int64.max_int f
+
+(* Remove one occurrence of (key, v); returns whether found. *)
+let remove t key v =
+  let s = t.s in
+  let rec walk h =
+    if h = 0 then false
+    else begin
+      s.S.touch h;
+      let n = s.S.nkeys h in
+      let rec go i =
+        if i >= n then
+          (* key may continue in the next leaf *)
+          if n > 0 && Int64.compare (s.S.get_key h (n - 1)) key > 0 then false
+          else walk (s.S.get_next h)
+        else
+          let k = s.S.get_key h i in
+          if Int64.compare k key > 0 then false
+          else if Int64.equal k key && Int64.equal (s.S.get_val h i) v then begin
+            for j = i to n - 2 do
+              s.S.set_key h j (s.S.get_key h (j + 1));
+              s.S.set_val h j (s.S.get_val h (j + 1))
+            done;
+            s.S.set_nkeys h (n - 1);
+            s.S.persist h;
+            t.count <- t.count - 1;
+            true
+          end
+          else go (i + 1)
+      in
+      go 0
+    end
+  in
+  let leaf = find_leaf t t.root key in
+  walk leaf
+
+let height t =
+  let s = t.s in
+  let rec go h acc = if s.S.is_leaf h then acc else go (child s h 0) (acc + 1) in
+  go t.root 1
+
+(* Rebuild the inner levels from the persistent leaf chain - the hybrid
+   index recovery path (paper Section 7.4: ~8 ms vs a 671 ms full
+   rebuild). *)
+let rebuild_from_leaves s ~first_leaf =
+  let leaves = ref [] and n = ref 0 and entries = ref 0 in
+  let h = ref first_leaf in
+  while !h <> 0 do
+    s.S.touch !h;
+    let min_key = if s.S.nkeys !h > 0 then s.S.get_key !h 0 else Int64.min_int in
+    leaves := (min_key, !h) :: !leaves;
+    entries := !entries + s.S.nkeys !h;
+    incr n;
+    h := s.S.get_next !h
+  done;
+  let rec build level =
+    match level with
+    | [] -> invalid_arg "Btree.rebuild_from_leaves: empty chain"
+    | [ (_, h) ] -> h
+    | _ ->
+        let group = S.fanout + 1 in
+        let rec parents acc = function
+          | [] -> List.rev acc
+          | batch ->
+              let len = List.length batch in
+              (* never leave a trailing parent with a single child *)
+              let take =
+                if len - group = 1 then group - 1 else min group len
+              in
+              let rec split i xs taken =
+                if i = take then (List.rev taken, xs)
+                else
+                  match xs with
+                  | x :: rest -> split (i + 1) rest (x :: taken)
+                  | [] -> (List.rev taken, [])
+              in
+              let mine, rest = split 0 batch [] in
+              let p = s.S.alloc ~leaf:false in
+              List.iteri
+                (fun i (mk, ch) ->
+                  if i > 0 then s.S.set_key p (i - 1) mk;
+                  set_child s p i ch)
+                mine;
+              s.S.set_nkeys p (List.length mine - 1);
+              let pmin = fst (List.hd mine) in
+              parents ((pmin, p) :: acc) rest
+        in
+        build (parents [] level)
+  in
+  let root = build (List.rev !leaves) in
+  (attach s ~root ~first_leaf ~count:!entries, !n)
+
+(* Structural invariant checks, used by property tests. *)
+let rec check_node t h ~lo ~hi depth =
+  let s = t.s in
+  let n = s.S.nkeys h in
+  for i = 0 to n - 1 do
+    let k = s.S.get_key h i in
+    if Int64.compare k lo < 0 || Int64.compare k hi > 0 then
+      failwith "btree: key out of separator range";
+    if i > 0 && Int64.compare (s.S.get_key h (i - 1)) k > 0 then
+      failwith "btree: keys unsorted"
+  done;
+  if s.S.is_leaf h then depth
+  else begin
+    if n = 0 then failwith "btree: empty inner node";
+    let d = ref (-1) in
+    for i = 0 to n do
+      let clo = if i = 0 then lo else s.S.get_key h (i - 1) in
+      let chi = if i = n then hi else s.S.get_key h i in
+      let cd = check_node t (child s h i) ~lo:clo ~hi:chi (depth + 1) in
+      if !d = -1 then d := cd
+      else if !d <> cd then failwith "btree: leaves at different depths"
+    done;
+    !d
+  end
+
+let check_invariants t =
+  ignore (check_node t t.root ~lo:Int64.min_int ~hi:Int64.max_int 0);
+  (* leaf chain sorted and complete *)
+  let s = t.s in
+  let h = ref t.first_leaf and prev = ref Int64.min_int and seen = ref 0 in
+  while !h <> 0 do
+    let n = s.S.nkeys !h in
+    for i = 0 to n - 1 do
+      let k = s.S.get_key !h i in
+      if Int64.compare !prev k > 0 then failwith "btree: leaf chain unsorted";
+      prev := k;
+      incr seen
+    done;
+    h := s.S.get_next !h
+  done;
+  if !seen <> t.count then failwith "btree: count mismatch"

@@ -1,0 +1,39 @@
+(** B+-tree core over an abstract node store (Section 4.2).
+
+    Keys and values are [int64]; duplicate keys are supported (inserts
+    descend by upper bound, searches by lower bound and then scan the
+    leaf chain).  Deletion is by (key, value) pair without rebalancing
+    (lazy deletion - the index over-approximates and the MVCC layer
+    re-checks visibility). *)
+
+type t
+
+val create : Node_store.t -> t
+val attach : Node_store.t -> root:int -> first_leaf:int -> count:int -> t
+(** Reattach to an existing tree (after recovery). *)
+
+val store : t -> Node_store.t
+val root : t -> int
+val first_leaf : t -> int
+val count : t -> int
+val insert : t -> int64 -> int64 -> unit
+val remove : t -> int64 -> int64 -> bool
+(** Remove one occurrence of the pair; [true] when found. *)
+
+val lookup : t -> int64 -> int64 list
+(** All values stored under the key, in insertion-scan order. *)
+
+val iter_range : t -> lo:int64 -> hi:int64 -> (int64 -> int64 -> unit) -> unit
+(** All pairs with [lo <= key <= hi], in key order. *)
+
+val iter_all : t -> (int64 -> int64 -> unit) -> unit
+val height : t -> int
+
+val rebuild_from_leaves : Node_store.t -> first_leaf:int -> t * int
+(** Rebuild the inner levels from the persistent leaf chain - the hybrid
+    index recovery fast path (Fig. 8).  Returns the tree and the number
+    of leaves walked. *)
+
+val check_invariants : t -> unit
+(** Structural validation (sorted keys, separator bounds, uniform leaf
+    depth, complete chain); raises [Failure] on violation.  Test use. *)

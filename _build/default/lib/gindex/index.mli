@@ -1,0 +1,39 @@
+(** Secondary index on (node label, property key) with selectable
+    placement, plus a persistent index catalog (Section 4.2).
+
+    The descriptor is the index's persistent anchor; recovery depends on
+    the placement: hybrid rebuilds its DRAM inner levels from the PMem
+    leaf chain, persistent attaches directly, volatile is re-inserted by
+    the caller from primary data. *)
+
+type t
+
+val create :
+  Pmem.Pool.t -> placement:Node_store.placement -> label:int -> key:int -> t
+
+val open_ : Pmem.Pool.t -> desc:int -> rebuild:(t -> unit) -> t
+(** Reattach an index from its descriptor after a crash.  [rebuild] is
+    invoked for volatile placement with the fresh empty index. *)
+
+val descriptor : t -> int
+val placement : t -> Node_store.placement
+val label_code : t -> int
+val key_code : t -> int
+val tree : t -> Btree.t
+val insert : t -> Storage.Value.t -> int -> unit
+val remove : t -> Storage.Value.t -> int -> bool
+val lookup : t -> Storage.Value.t -> int list
+val iter_range :
+  t -> lo:Storage.Value.t -> hi:Storage.Value.t -> (int -> unit) -> unit
+
+val count : t -> int
+
+(** Persistent list of index descriptors, anchored in a pool root slot,
+    so all indexes can be found and recovered after a restart. *)
+module Catalog : sig
+  val max_entries : int
+  val create : Pmem.Pool.t -> root_slot:int -> int
+  val attach : Pmem.Pool.t -> root_slot:int -> int
+  val add : Pmem.Pool.t -> catalog:int -> int -> unit
+  val list : Pmem.Pool.t -> catalog:int -> int list
+end

@@ -1,0 +1,185 @@
+(* Node placement backends for the B+-tree (Section 4.2, "Hybrid Indexes").
+
+   The tree core is written against this record of operations; three
+   placements are provided:
+
+   - [volatile]: all nodes on the OCaml heap, charged DRAM costs - the
+     paper's DRAM baseline index;
+   - [persistent]: all nodes as 512-byte pool blocks - the all-PMem
+     baseline;
+   - [hybrid]: inner nodes on the heap, leaves in the pool (selective
+     persistence a la FPTree): at most one PMem node is read per lookup and
+     recovery only rebuilds the inner levels from the leaf chain.
+
+   Handle encoding: 0 is null; negative handles are heap nodes (-idx - 1);
+   positive handles are pool offsets.  This keeps the two spaces disjoint
+   in the hybrid placement.
+
+   Cost model: one [touch] per node visit - heap nodes charge a single
+   DRAM line (upper levels are effectively cache-resident), pool nodes
+   charge a two-line block-granular PMem read; field reads within a visited
+   node are then uncharged.  Writes and persists of pool nodes go through
+   the charged [Pool] operations.
+
+   Pool node layout (512 B, a multiple of the 256 B DCPMM block, DG3):
+
+     0    meta u64: bit 0 = leaf flag, bits 8.. = nkeys
+     8    next leaf (u64 offset, 0 = null)
+     16   keys: 30 x i64
+     256  leaf values / inner children: 31 x i64 (only 31st used by inner)
+*)
+
+module Pool = Pmem.Pool
+module Alloc = Pmem.Alloc
+module Media = Pmem.Media
+
+let fanout = 30
+let node_bytes = 512
+
+type t = {
+  alloc : leaf:bool -> int;
+  free : int -> unit;
+  is_leaf : int -> bool;
+  nkeys : int -> int;
+  set_nkeys : int -> int -> unit;
+  get_key : int -> int -> int64;
+  set_key : int -> int -> int64 -> unit;
+  get_val : int -> int -> int64; (* leaf payloads / inner children (as i64) *)
+  set_val : int -> int -> int64 -> unit;
+  get_next : int -> int;
+  set_next : int -> int -> unit;
+  touch : int -> unit; (* charge one node visit *)
+  persist : int -> unit; (* make a node durable (no-op on heap) *)
+  media : Media.t;
+}
+
+(* --- Heap backend ------------------------------------------------------- *)
+
+type hnode = {
+  mutable n : int;
+  keys : int64 array;
+  vals : int64 array; (* vals.(fanout) holds the extra inner child *)
+  mutable next : int;
+  leaf : bool;
+}
+
+type heap = { mutable nodes : hnode option array; mutable used : int }
+
+let heap_create () = { nodes = Array.make 64 None; used = 0 }
+
+let heap_get h handle =
+  match h.nodes.(-handle - 1) with
+  | Some n -> n
+  | None -> invalid_arg "Node_store: freed heap node"
+
+let heap_alloc h ~leaf =
+  if h.used = Array.length h.nodes then begin
+    let bigger = Array.make (2 * h.used) None in
+    Array.blit h.nodes 0 bigger 0 h.used;
+    h.nodes <- bigger
+  end;
+  let node =
+    {
+      n = 0;
+      keys = Array.make fanout 0L;
+      vals = Array.make (fanout + 1) 0L;
+      next = 0;
+      leaf;
+    }
+  in
+  h.nodes.(h.used) <- Some node;
+  h.used <- h.used + 1;
+  -h.used (* handle of index used-1 *)
+
+let volatile media =
+  let h = heap_create () in
+  {
+    alloc =
+      (fun ~leaf ->
+        Media.alloc media Media.Dram;
+        heap_alloc h ~leaf);
+    free = (fun handle -> h.nodes.(-handle - 1) <- None);
+    is_leaf = (fun handle -> (heap_get h handle).leaf);
+    nkeys = (fun handle -> (heap_get h handle).n);
+    set_nkeys = (fun handle n -> (heap_get h handle).n <- n);
+    get_key = (fun handle i -> (heap_get h handle).keys.(i));
+    set_key = (fun handle i k -> (heap_get h handle).keys.(i) <- k);
+    get_val = (fun handle i -> (heap_get h handle).vals.(i));
+    set_val = (fun handle i v -> (heap_get h handle).vals.(i) <- v);
+    get_next = (fun handle -> (heap_get h handle).next);
+    set_next = (fun handle nx -> (heap_get h handle).next <- nx);
+    touch = (fun _ -> Media.read media Media.Dram ~off:0 ~len:1);
+    persist = (fun _ -> ());
+    media;
+  }
+
+(* --- Pool backend ------------------------------------------------------- *)
+
+let k_off i = 16 + (8 * i)
+let v_off i = 256 + (8 * i)
+
+let pool_backend pool =
+  let media = Pool.media pool in
+  {
+    alloc =
+      (fun ~leaf ->
+        let off = Alloc.alloc pool node_bytes in
+        Pool.fill pool ~off ~len:node_bytes '\000';
+        Pool.write_int pool off (if leaf then 1 else 0);
+        Pool.persist pool ~off ~len:node_bytes;
+        off);
+    free = (fun off -> Alloc.free pool ~off ~size:node_bytes);
+    is_leaf = (fun off -> Pool.raw_read_int pool off land 1 = 1);
+    nkeys = (fun off -> Pool.raw_read_int pool off lsr 8);
+    set_nkeys =
+      (fun off n ->
+        let leaf = Pool.raw_read_int pool off land 1 in
+        Pool.write_int pool off ((n lsl 8) lor leaf));
+    get_key = (fun off i -> Pool.raw_read_i64 pool (off + k_off i));
+    set_key = (fun off i k -> Pool.write_i64 pool (off + k_off i) k);
+    get_val = (fun off i -> Pool.raw_read_i64 pool (off + v_off i));
+    set_val = (fun off i v -> Pool.write_i64 pool (off + v_off i) v);
+    get_next = (fun off -> Pool.raw_read_int pool (off + 8));
+    set_next = (fun off nx -> Pool.write_int pool (off + 8) nx);
+    touch = (fun off -> Pool.touch_read pool ~off ~len:128);
+    persist = (fun off -> Pool.persist pool ~off ~len:node_bytes);
+    media;
+  }
+
+(* --- Hybrid backend ----------------------------------------------------- *)
+
+(* Dispatch on the handle sign: heap (inner) handles are negative, pool
+   (leaf) offsets positive.  Inner nodes never use [next]. *)
+let hybrid pool =
+  let inner = volatile (Pool.media pool) in
+  let leaf = pool_backend pool in
+  let pick handle = if handle < 0 then inner else leaf in
+  {
+    alloc = (fun ~leaf:l -> if l then leaf.alloc ~leaf:true else inner.alloc ~leaf:false);
+    free = (fun h -> (pick h).free h);
+    is_leaf = (fun h -> h > 0);
+    nkeys = (fun h -> (pick h).nkeys h);
+    set_nkeys = (fun h n -> (pick h).set_nkeys h n);
+    get_key = (fun h i -> (pick h).get_key h i);
+    set_key = (fun h i k -> (pick h).set_key h i k);
+    get_val = (fun h i -> (pick h).get_val h i);
+    set_val = (fun h i v -> (pick h).set_val h i v);
+    get_next = (fun h -> (pick h).get_next h);
+    set_next = (fun h nx -> (pick h).set_next h nx);
+    touch = (fun h -> (pick h).touch h);
+    persist = (fun h -> (pick h).persist h);
+    media = Pool.media pool;
+  }
+
+type placement = Volatile | Persistent | Hybrid
+
+let pp_placement ppf = function
+  | Volatile -> Fmt.string ppf "dram"
+  | Persistent -> Fmt.string ppf "pmem"
+  | Hybrid -> Fmt.string ppf "hybrid"
+
+let make placement ~pool ~media =
+  match placement with
+  | Volatile -> volatile media
+  | Persistent -> pool_backend pool
+  | Hybrid -> hybrid pool

@@ -1,0 +1,32 @@
+(** Node placement backends for the B+-tree (Section 4.2).
+
+    Handles: 0 is null, negative = heap (DRAM) nodes, positive = pool
+    offsets - disjoint spaces, so the hybrid placement dispatches on the
+    sign.  Costs: one [touch] per node visit (heap nodes charge a DRAM
+    line, pool nodes a block-granular PMem read); writes go through the
+    charged pool operations and [persist] makes a pool node durable. *)
+
+val fanout : int
+val node_bytes : int
+
+type t = {
+  alloc : leaf:bool -> int;
+  free : int -> unit;
+  is_leaf : int -> bool;
+  nkeys : int -> int;
+  set_nkeys : int -> int -> unit;
+  get_key : int -> int -> int64;
+  set_key : int -> int -> int64 -> unit;
+  get_val : int -> int -> int64;
+  set_val : int -> int -> int64 -> unit;
+  get_next : int -> int;
+  set_next : int -> int -> unit;
+  touch : int -> unit;
+  persist : int -> unit;
+  media : Pmem.Media.t;
+}
+
+type placement = Volatile | Persistent | Hybrid
+
+val pp_placement : Format.formatter -> placement -> unit
+val make : placement -> pool:Pmem.Pool.t -> media:Pmem.Media.t -> t

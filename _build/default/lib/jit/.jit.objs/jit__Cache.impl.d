@@ -1,0 +1,1 @@
+lib/jit/cache.ml: Emit Fun Hashtbl Mutex Pmem String

@@ -1,0 +1,1 @@
+lib/jit/cache.mli: Emit Pmem

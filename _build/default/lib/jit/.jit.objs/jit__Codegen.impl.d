@@ -1,0 +1,1 @@
+lib/jit/codegen.ml: Array Ir List Query Storage

@@ -1,0 +1,1 @@
+lib/jit/codegen.mli: Ir Query

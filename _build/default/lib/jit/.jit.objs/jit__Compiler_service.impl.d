@@ -1,0 +1,1 @@
+lib/jit/compiler_service.ml: Condition Domain Mutex Queue

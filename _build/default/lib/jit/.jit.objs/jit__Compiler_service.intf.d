@@ -1,0 +1,1 @@
+lib/jit/compiler_service.mli:

@@ -1,0 +1,1 @@
+lib/jit/emit.ml: Array Ir Jit_uses List Passes Query Storage

@@ -1,0 +1,1 @@
+lib/jit/emit.mli: Ir Query Storage

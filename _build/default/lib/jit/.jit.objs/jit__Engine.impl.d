@@ -1,0 +1,1 @@
+lib/jit/engine.ml: Array Atomic Cache Codegen Compiler_service Emit Exec Fmt Ir List Mutex Option Passes Pmem Printf Query Storage Unix

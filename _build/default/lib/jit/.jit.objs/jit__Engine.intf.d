@@ -1,0 +1,1 @@
+lib/jit/engine.mli: Cache Exec Format Ir Passes Pmem Query Storage

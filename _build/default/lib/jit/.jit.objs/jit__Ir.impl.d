@@ -1,0 +1,1 @@
+lib/jit/ir.ml: Array Fmt List Marshal Printf String

@@ -1,0 +1,1 @@
+lib/jit/jit_uses.ml: Array Ir List

@@ -1,0 +1,1 @@
+lib/jit/jit_uses.mli: Ir

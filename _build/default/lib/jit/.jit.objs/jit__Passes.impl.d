@@ -1,0 +1,1 @@
+lib/jit/passes.ml: Array Hashtbl Ir List

@@ -1,0 +1,129 @@
+(* Persistent compiled-query cache (Section 6.2, "JIT Compilation").
+
+   The paper persists the JIT's binary object files in a persistent,
+   concurrent hash map keyed by a query identifier derived from the
+   operator tree; subsequent runs - even across restarts - skip
+   compilation and only re-link.  Our "object file" is the serialised
+   optimised IR; a hit skips codegen, the pass cascade and the modeled
+   backend latency, leaving only closure emission ("linking").
+
+   On-pool layout:
+
+     header: cap u64; count u64
+     table:  cap x entry offset (u64; 0 = empty)
+     entry:  klen u32; vlen u32; key bytes; value bytes   (blob, 8-aligned)
+
+   Entries are published with an atomic table-slot store after the blob is
+   persisted, so the cache is always recoverable; a torn insert at worst
+   loses that entry. *)
+
+module Pool = Pmem.Pool
+module Alloc = Pmem.Alloc
+
+type t = {
+  pool : Pool.t;
+  hdr : int;
+  cap : int;
+  mu : Mutex.t;
+  memo : (string, Emit.compiled) Hashtbl.t;
+      (* volatile, per-process: already-linked code; lost on restart like
+         any mapped code segment, rebuilt from the persistent entries *)
+}
+
+let default_cap = 512
+
+let hash s = Hashtbl.hash s land max_int
+
+let create pool ?(cap = default_cap) ~root_slot () =
+  let hdr = Alloc.alloc pool (16 + (8 * cap)) in
+  Pool.write_int pool hdr cap;
+  Pool.write_int pool (hdr + 8) 0;
+  Pool.fill pool ~off:(hdr + 16) ~len:(8 * cap) '\000';
+  Pool.persist pool ~off:hdr ~len:(16 + (8 * cap));
+  Alloc.set_root pool root_slot hdr;
+  { pool; hdr; cap; mu = Mutex.create (); memo = Hashtbl.create 64 }
+
+let attach pool ~root_slot =
+  let hdr = Alloc.get_root pool root_slot in
+  if hdr = 0 then None
+  else
+    let cap = Pool.read_int pool hdr in
+    Some { pool; hdr; cap; mu = Mutex.create (); memo = Hashtbl.create 64 }
+
+let open_or_create pool ~root_slot =
+  match attach pool ~root_slot with
+  | Some t -> t
+  | None -> create pool ~root_slot ()
+
+let count t = Pool.read_int t.pool (t.hdr + 8)
+
+let slot_off t i = t.hdr + 16 + (8 * i)
+
+let entry_key t off =
+  let klen = Pool.read_u32 t.pool off in
+  Pool.read_string t.pool (off + 8) klen
+
+let entry_value t off =
+  let klen = Pool.read_u32 t.pool off in
+  let vlen = Pool.read_u32 t.pool (off + 4) in
+  Pool.read_string t.pool (off + 8 + klen) vlen
+
+let find t key =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) @@ fun () ->
+  let rec probe i steps =
+    if steps >= t.cap then None
+    else
+      let e = Pool.read_int t.pool (slot_off t i) in
+      if e = 0 then None
+      else if String.equal (entry_key t e) key then Some (entry_value t e)
+      else probe ((i + 1) mod t.cap) (steps + 1)
+  in
+  probe (hash key mod t.cap) 0
+
+exception Full
+
+let store t key value =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) @@ fun () ->
+  let blob_len = 8 + String.length key + String.length value in
+  let write_blob () =
+    let off = Alloc.alloc t.pool blob_len in
+    Pool.write_u32 t.pool off (String.length key);
+    Pool.write_u32 t.pool (off + 4) (String.length value);
+    Pool.write_string t.pool (off + 8) key;
+    Pool.write_string t.pool (off + 8 + String.length key) value;
+    Pool.persist t.pool ~off ~len:blob_len;
+    off
+  in
+  let rec probe i steps =
+    if steps >= t.cap then raise Full
+    else
+      let e = Pool.read_int t.pool (slot_off t i) in
+      if e = 0 then begin
+        let blob = write_blob () in
+        Pool.atomic_write_int t.pool (slot_off t i) blob;
+        Pool.atomic_write_int t.pool (t.hdr + 8) (count t + 1)
+      end
+      else if String.equal (entry_key t e) key then begin
+        (* replace: new blob, swing the slot atomically, free the old *)
+        let blob = write_blob () in
+        Pool.atomic_write_int t.pool (slot_off t i) blob;
+        let old_len = 8 + Pool.read_u32 t.pool e + Pool.read_u32 t.pool (e + 4) in
+        Alloc.free t.pool ~off:e ~size:old_len
+      end
+      else probe ((i + 1) mod t.cap) (steps + 1)
+  in
+  probe (hash key mod t.cap) 0
+
+(* volatile memo of already-emitted ("linked") code *)
+let memo_find t key =
+  Mutex.lock t.mu;
+  let r = Hashtbl.find_opt t.memo key in
+  Mutex.unlock t.mu;
+  r
+
+let memo_add t key compiled =
+  Mutex.lock t.mu;
+  Hashtbl.replace t.memo key compiled;
+  Mutex.unlock t.mu

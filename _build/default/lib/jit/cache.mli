@@ -1,0 +1,23 @@
+(** Persistent compiled-query cache (Section 6.2).
+
+    A pool-resident hash map keyed by the query identifier; the value is
+    the serialised optimised IR (our "object file").  A hit skips
+    codegen, the pass cascade and the modeled backend latency; only
+    re-emission ("linking") remains.  A volatile per-process memo holds
+    already-linked code. *)
+
+type t
+
+exception Full
+
+val default_cap : int
+val create : Pmem.Pool.t -> ?cap:int -> root_slot:int -> unit -> t
+val attach : Pmem.Pool.t -> root_slot:int -> t option
+val open_or_create : Pmem.Pool.t -> root_slot:int -> t
+val count : t -> int
+val find : t -> string -> string option
+val store : t -> string -> string -> unit
+(** Insert or replace. @raise Full when the table is full. *)
+
+val memo_find : t -> string -> Emit.compiled option
+val memo_add : t -> string -> Emit.compiled -> unit

@@ -1,0 +1,560 @@
+(* Graph algebra -> IR code generation (Section 6.2).
+
+   Visitor-style, continuation-passing: each operator generates its entry
+   code and invokes the continuation to generate the consuming operator's
+   code inline, so the whole pipeline becomes a single IR function with
+   tuples held in registers.  Each operator's "return path" is the loop
+   header/advance of the previous operator, wired through the builder's
+   pending-block frames (Fig. 4 of the paper).
+
+   Code-generation requirements honoured:
+   (1) loop counters live in stack slots with explicit Load/Store - naive
+       frontend output that the Mem2Reg pass promotes;
+   (2) loop-invariant values (chunk size, parameters, probe arrays) are
+       initialised once in the entry block;
+   (3) types are resolved here: property tags come from the schema hints,
+       so comparisons compile to plain integer compares;
+   (4) all data access goes through the AOT-compiled runtime calls, which
+       are already DG-compliant. *)
+
+open Ir
+module A = Query.Algebra
+module E = Query.Expr
+module Value = Storage.Value
+
+(* --- Builder --------------------------------------------------------------- *)
+
+type bblock = { mutable rev_instrs : instr list; mutable bterm : term }
+
+type b = {
+  mutable blocks : bblock array;
+  mutable nblocks : int;
+  mutable cur : int;
+  mutable nregs : int;
+  mutable nslots : int;
+  mutable frames : int list ref list; (* pending skip blocks per loop *)
+  mutable loops : loop_info list;
+  mutable nprobes : int;
+  prop_tag : int -> vtag;
+  param_tag : int -> vtag;
+}
+
+let builder ~prop_tag ~param_tag =
+  {
+    blocks = Array.init 8 (fun _ -> { rev_instrs = []; bterm = Ret });
+    nblocks = 0;
+    cur = -1;
+    nregs = 0;
+    nslots = 0;
+    frames = [];
+    loops = [];
+    nprobes = 0;
+    prop_tag;
+    param_tag;
+  }
+
+let new_block b =
+  if b.nblocks = Array.length b.blocks then begin
+    let bigger = Array.init (2 * b.nblocks) (fun _ -> { rev_instrs = []; bterm = Ret }) in
+    Array.blit b.blocks 0 bigger 0 b.nblocks;
+    b.blocks <- bigger
+  end;
+  b.blocks.(b.nblocks) <- { rev_instrs = []; bterm = Ret };
+  b.nblocks <- b.nblocks + 1;
+  b.nblocks - 1
+
+let switch b l = b.cur <- l
+let emit b i = b.blocks.(b.cur).rev_instrs <- i :: b.blocks.(b.cur).rev_instrs
+let set_term b l t = b.blocks.(l).bterm <- t
+let terminate b t = set_term b b.cur t
+
+let reg b =
+  let r = b.nregs in
+  b.nregs <- r + 1;
+  r
+
+let slot b =
+  let s = b.nslots in
+  b.nslots <- s + 1;
+  s
+
+let fresh_probe b =
+  let p = b.nprobes in
+  b.nprobes <- p + 1;
+  p
+
+let push_frame b = b.frames <- ref [] :: b.frames
+
+let pop_frame b =
+  match b.frames with
+  | f :: rest ->
+      b.frames <- rest;
+      !f
+  | [] -> invalid_arg "Codegen: no frame"
+
+let add_pending b l =
+  match b.frames with
+  | f :: _ -> f := l :: !f
+  | [] -> invalid_arg "Codegen: skip outside any loop"
+
+let finish b ~entry : func =
+  {
+    blocks =
+      Array.init b.nblocks (fun i ->
+          {
+            instrs = List.rev b.blocks.(i).rev_instrs;
+            term = b.blocks.(i).bterm;
+          });
+    entry;
+    nregs = b.nregs;
+    nslots = b.nslots;
+    loops = b.loops;
+  }
+
+(* --- Tuple layout: one register (+ static tag) per slot --------------------- *)
+
+type slot_ty = SNode | SRel | SVal of vtag
+
+type regs = (int * slot_ty) list (* in slot order *)
+
+exception Unsupported of string
+
+(* --- Expressions ------------------------------------------------------------- *)
+
+let tag_of_slot = function
+  | SNode | SRel -> TagRef
+  | SVal t -> t
+
+let rec gen_expr b (regs : regs) (e : E.t) : rv * vtag =
+  match e with
+  | E.Const (Value.Int i) -> (Imm i, TagInt)
+  | E.Const (Value.Str c) -> (Imm c, TagStr)
+  | E.Const (Value.Bool v) -> (Imm (if v then 1 else 0), TagBool)
+  | E.Const Value.Null -> (Imm null_v, TagInt)
+  | E.Const (Value.Float _) -> raise (Unsupported "float constant")
+  | E.Const (Value.Text _) -> raise (Unsupported "unencoded text constant")
+  | E.Param i ->
+      let r = reg b in
+      emit b (LoadParam (r, i));
+      (Reg r, b.param_tag i)
+  | E.Col i ->
+      let r, ty = List.nth regs i in
+      (Reg r, tag_of_slot ty)
+  | E.Prop { col; kind; key } ->
+      let r, _ = List.nth regs col in
+      let d = reg b in
+      emit b
+        (match kind with
+        | E.KNode -> NodePropV (d, Reg r, key)
+        | E.KRel -> RelPropV (d, Reg r, key));
+      (Reg d, b.prop_tag key)
+  | E.LabelOf { col; kind } ->
+      let r, _ = List.nth regs col in
+      let d = reg b in
+      emit b
+        (match kind with
+        | E.KNode -> NodeLabel (d, Reg r)
+        | E.KRel -> RelLabel (d, Reg r));
+      (Reg d, TagStr)
+  | E.SrcOf col ->
+      let r, _ = List.nth regs col in
+      let d = reg b in
+      emit b (RelSrc (d, Reg r));
+      (Reg d, TagRef)
+  | E.DstOf col ->
+      let r, _ = List.nth regs col in
+      let d = reg b in
+      emit b (RelDst (d, Reg r));
+      (Reg d, TagRef)
+  | E.Cmp (op, x, y) ->
+      let vx, tx = gen_expr b regs x and vy, ty = gen_expr b regs y in
+      let d = reg b in
+      (* types are resolved at compile time (requirement (3)): a
+         comparison across incompatible type classes folds to Null, as in
+         the interpreter's SQL-style semantics *)
+      let cls = function
+        | TagInt | TagRef -> `Num
+        | TagStr -> `Str
+        | TagBool -> `Bool
+      in
+      if cls tx <> cls ty then begin
+        emit b (Move (d, Imm null_v));
+        (Reg d, TagBool)
+      end
+      else begin
+        let c =
+          match op with
+          | E.Eq -> Ceq
+          | E.Ne -> Cne
+          | E.Lt -> Clt
+          | E.Le -> Cle
+          | E.Gt -> Cgt
+          | E.Ge -> Cge
+        in
+        emit b (Cmp (c, d, vx, vy));
+        (Reg d, TagBool)
+      end
+  | E.And (x, y) ->
+      let vx, _ = gen_expr b regs x and vy, _ = gen_expr b regs y in
+      let d = reg b in
+      emit b (Bin (BAnd, d, vx, vy));
+      (Reg d, TagBool)
+  | E.Or (x, y) ->
+      let vx, _ = gen_expr b regs x and vy, _ = gen_expr b regs y in
+      let d = reg b in
+      emit b (Bin (BOr, d, vx, vy));
+      (Reg d, TagBool)
+  | E.Not x ->
+      let vx, _ = gen_expr b regs x in
+      let d = reg b in
+      emit b (Not (d, vx));
+      (Reg d, TagBool)
+  | E.Add (x, y) ->
+      let vx, _ = gen_expr b regs x and vy, _ = gen_expr b regs y in
+      let d = reg b in
+      emit b (Bin (Add, d, vx, vy));
+      (Reg d, TagInt)
+  | E.Sub (x, y) ->
+      let vx, _ = gen_expr b regs x and vy, _ = gen_expr b regs y in
+      let d = reg b in
+      emit b (Bin (Sub, d, vx, vy));
+      (Reg d, TagInt)
+  | E.IsNull x ->
+      let vx, _ = gen_expr b regs x in
+      let d = reg b in
+      emit b (IsNull (d, vx));
+      (Reg d, TagBool)
+
+let gen_props b regs props =
+  List.map
+    (fun (k, e) ->
+      let v, tag = gen_expr b regs e in
+      (k, tag, v))
+    props
+
+(* --- Operators ---------------------------------------------------------------- *)
+
+(* The continuation generates the consuming code for one tuple; when it
+   returns, the current block and the pending frame blocks are patched to
+   the producing loop's advance point. *)
+let rec gen b (plan : A.plan) (k : regs -> unit) : unit =
+  match plan with
+  | A.NodeScan { label } ->
+      (* chunk loop (slots) around a slot loop (slots), per (1) *)
+      let s_chunk = slot b and s_slot = slot b in
+      let r_nchunks = reg b and r_cap = reg b in
+      let r0 = reg b in
+      emit b (ChunkStart r0);
+      emit b (Store (s_chunk, Reg r0));
+      emit b (ChunkCount r_nchunks);
+      emit b (ChunkSize r_cap);
+      let header_c = new_block b
+      and body_c = new_block b
+      and header_s = new_block b
+      and body_s = new_block b
+      and adv_c = new_block b
+      and exit = new_block b in
+      terminate b (Br header_c);
+      switch b header_c;
+      let rc = reg b and ccond = reg b in
+      emit b (Load (rc, s_chunk));
+      emit b (Cmp (Clt, ccond, Reg rc, Reg r_nchunks));
+      terminate b (CondBr (Reg ccond, body_c, exit));
+      switch b body_c;
+      emit b (Store (s_slot, Imm 0));
+      terminate b (Br header_s);
+      switch b header_s;
+      let rs = reg b and scond = reg b in
+      emit b (Load (rs, s_slot));
+      emit b (Cmp (Clt, scond, Reg rs, Reg r_cap));
+      terminate b (CondBr (Reg scond, body_s, adv_c));
+      switch b adv_c;
+      let rc2 = reg b and rc3 = reg b in
+      emit b (Load (rc2, s_chunk));
+      emit b (Bin (Add, rc3, Reg rc2, Imm 1));
+      emit b (Store (s_chunk, Reg rc3));
+      terminate b (Br header_c);
+      switch b body_s;
+      let rc4 = reg b and rs2 = reg b and rt = reg b and rs3 = reg b in
+      emit b (Load (rc4, s_chunk));
+      emit b (Load (rs2, s_slot));
+      emit b (FetchNode (rt, Reg rc4, Reg rs2));
+      emit b (Bin (Add, rs3, Reg rs2, Imm 1));
+      emit b (Store (s_slot, Reg rs3));
+      let live = reg b in
+      emit b (Cmp (Cge, live, Reg rt, Imm 0));
+      let consume = new_block b in
+      terminate b (CondBr (Reg live, consume, header_s));
+      switch b consume;
+      (match label with
+      | Some l ->
+          let rl = reg b and lok = reg b in
+          emit b (NodeLabel (rl, Reg rt));
+          emit b (Cmp (Ceq, lok, Reg rl, Imm l));
+          let tuple = new_block b in
+          terminate b (CondBr (Reg lok, tuple, header_s));
+          switch b tuple
+      | None -> ());
+      push_frame b;
+      k [ (rt, SNode) ];
+      let pend = pop_frame b in
+      List.iter (fun l -> set_term b l (Br header_s)) (b.cur :: pend);
+      b.loops <-
+        { l_header = header_s; l_body = body_s; l_advance = header_s; l_exit = adv_c }
+        :: b.loops;
+      switch b exit
+  | A.NodeById { id } ->
+      let v, _ = gen_expr b [] id in
+      let ok = reg b in
+      emit b (NodeExists (ok, v));
+      let kblk = new_block b and exit = new_block b in
+      terminate b (CondBr (Reg ok, kblk, exit));
+      switch b kblk;
+      let rid = reg b in
+      emit b (Move (rid, v));
+      push_frame b;
+      k [ (rid, SNode) ];
+      let pend = pop_frame b in
+      List.iter (fun l -> set_term b l (Br exit)) (b.cur :: pend);
+      switch b exit
+  | A.Unit ->
+      push_frame b;
+      let exit = new_block b in
+      k [];
+      let pend = pop_frame b in
+      List.iter (fun l -> set_term b l (Br exit)) (b.cur :: pend);
+      switch b exit
+  | A.IndexScan { label; key; value } ->
+      let v, _ = gen_expr b [] value in
+      gen_index_loop b ~label ~key ~lo:v ~hi:v k
+  | A.IndexRange { label; key; lo; hi } ->
+      let vlo, _ = gen_expr b [] lo and vhi, _ = gen_expr b [] hi in
+      gen_index_loop b ~label ~key ~lo:vlo ~hi:vhi k
+  | A.RelScan _ -> raise (Unsupported "RelScan in generated code")
+  | A.Expand { col; dir; label; child } ->
+      gen b child (fun regs ->
+          let rnode, _ = List.nth regs col in
+          let s_rel = slot b in
+          let r0 = reg b in
+          emit b
+            (match dir with
+            | A.Out -> FirstOut (r0, Reg rnode)
+            | A.In -> FirstIn (r0, Reg rnode));
+          emit b (Store (s_rel, Reg r0));
+          let header = new_block b
+          and body = new_block b
+          and advance = new_block b
+          and exit = new_block b in
+          terminate b (Br header);
+          switch b header;
+          let re = reg b and c = reg b in
+          emit b (Load (re, s_rel));
+          emit b (Cmp (Cge, c, Reg re, Imm 0));
+          terminate b (CondBr (Reg c, body, exit));
+          switch b advance;
+          let re2 = reg b and re3 = reg b in
+          emit b (Load (re2, s_rel));
+          emit b
+            (match dir with
+            | A.Out -> NextSrc (re3, Reg re2)
+            | A.In -> NextDst (re3, Reg re2));
+          emit b (Store (s_rel, Reg re3));
+          terminate b (Br header);
+          switch b body;
+          let vis = reg b in
+          emit b (RelVisible (vis, Reg re));
+          let chk = new_block b in
+          terminate b (CondBr (Reg vis, chk, advance));
+          switch b chk;
+          (match label with
+          | Some l ->
+              let rl = reg b and lok = reg b in
+              emit b (RelLabel (rl, Reg re));
+              emit b (Cmp (Ceq, lok, Reg rl, Imm l));
+              let tuple = new_block b in
+              terminate b (CondBr (Reg lok, tuple, advance));
+              switch b tuple
+          | None -> ());
+          push_frame b;
+          k (regs @ [ (re, SRel) ]);
+          let pend = pop_frame b in
+          List.iter (fun l -> set_term b l (Br advance)) (b.cur :: pend);
+          b.loops <-
+            { l_header = header; l_body = body; l_advance = advance; l_exit = exit }
+            :: b.loops;
+          switch b exit)
+  | A.EndPoint { col; which; child } ->
+      gen b child (fun regs ->
+          let re, _ = List.nth regs col in
+          let d = reg b in
+          emit b
+            (match which with
+            | `Src -> RelSrc (d, Reg re)
+            | `Dst -> RelDst (d, Reg re));
+          k (regs @ [ (d, SNode) ]))
+  | A.WalkToRoot { col; rel_label; child } ->
+      gen b child (fun regs ->
+          let rnode, _ = List.nth regs col in
+          let s_cur = slot b and s_e = slot b in
+          emit b (Store (s_cur, Reg rnode));
+          let header_w = new_block b
+          and header_f = new_block b
+          and body_f = new_block b
+          and adv_f = new_block b
+          and found = new_block b
+          and done_w = new_block b in
+          terminate b (Br header_w);
+          switch b header_w;
+          let rc = reg b and re0 = reg b in
+          emit b (Load (rc, s_cur));
+          emit b (FirstOut (re0, Reg rc));
+          emit b (Store (s_e, Reg re0));
+          terminate b (Br header_f);
+          switch b header_f;
+          let re = reg b and c = reg b in
+          emit b (Load (re, s_e));
+          emit b (Cmp (Cge, c, Reg re, Imm 0));
+          terminate b (CondBr (Reg c, body_f, done_w));
+          switch b body_f;
+          let vis = reg b and rl = reg b and lok = reg b and both = reg b in
+          emit b (RelVisible (vis, Reg re));
+          emit b (RelLabel (rl, Reg re));
+          emit b (Cmp (Ceq, lok, Reg rl, Imm rel_label));
+          emit b (Bin (BAnd, both, Reg vis, Reg lok));
+          terminate b (CondBr (Reg both, found, adv_f));
+          switch b adv_f;
+          let re2 = reg b and re3 = reg b in
+          emit b (Load (re2, s_e));
+          emit b (NextSrc (re3, Reg re2));
+          emit b (Store (s_e, Reg re3));
+          terminate b (Br header_f);
+          switch b found;
+          let re4 = reg b and rd = reg b in
+          emit b (Load (re4, s_e));
+          emit b (RelDst (rd, Reg re4));
+          emit b (Store (s_cur, Reg rd));
+          terminate b (Br header_w);
+          switch b done_w;
+          let rout = reg b in
+          emit b (Load (rout, s_cur));
+          k (regs @ [ (rout, SNode) ]))
+  | A.AttachByIndex { label; key; value; child } ->
+      gen b child (fun regs ->
+          let v, _ = gen_expr b regs value in
+          let p = fresh_probe b in
+          let s_i = slot b in
+          let rn = reg b in
+          emit b (IndexProbe (rn, label, key, p, v, v));
+          emit b (Store (s_i, Imm 0));
+          let header = new_block b and body = new_block b and exit = new_block b in
+          terminate b (Br header);
+          switch b header;
+          let ri = reg b and c = reg b in
+          emit b (Load (ri, s_i));
+          emit b (Cmp (Clt, c, Reg ri, Reg rn));
+          terminate b (CondBr (Reg c, body, exit));
+          switch b body;
+          let rt = reg b and ri2 = reg b in
+          emit b (IndexCursorNext (rt, p, ri));
+          emit b (Bin (Add, ri2, Reg ri, Imm 1));
+          emit b (Store (s_i, Reg ri2));
+          push_frame b;
+          k (regs @ [ (rt, SNode) ]);
+          let pend = pop_frame b in
+          List.iter (fun l -> set_term b l (Br header)) (b.cur :: pend);
+          switch b exit)
+  | A.Filter { pred; child } ->
+      gen b child (fun regs ->
+          let v, _ = gen_expr b regs pred in
+          let cont = new_block b and skip = new_block b in
+          terminate b (CondBr (v, cont, skip));
+          add_pending b skip;
+          switch b cont;
+          k regs)
+  | A.Project { exprs; child } ->
+      gen b child (fun regs ->
+          let cols =
+            List.map
+              (fun e ->
+                let v, tag = gen_expr b regs e in
+                let r = reg b in
+                emit b (Move (r, v));
+                (r, SVal tag))
+              exprs
+          in
+          k cols)
+  | A.CreateNode { label; props; child } ->
+      gen b child (fun regs ->
+          let ps = gen_props b regs props in
+          let d = reg b in
+          emit b (CreateNode (d, label, ps));
+          k (regs @ [ (d, SNode) ]))
+  | A.CreateRel { label; src; dst; props; child } ->
+      gen b child (fun regs ->
+          let rs, _ = List.nth regs src and rd, _ = List.nth regs dst in
+          let ps = gen_props b regs props in
+          let d = reg b in
+          emit b (CreateRel (d, label, Reg rs, Reg rd, ps));
+          k (regs @ [ (d, SRel) ]))
+  | A.SetNodeProp { col; key; value; child } ->
+      gen b child (fun regs ->
+          let rn, _ = List.nth regs col in
+          let v, tag = gen_expr b regs value in
+          emit b (SetNodeProp (Reg rn, key, tag, v));
+          k regs)
+  | A.SetRelProp { col; key; value; child } ->
+      gen b child (fun regs ->
+          let rn, _ = List.nth regs col in
+          let v, tag = gen_expr b regs value in
+          emit b (SetRelProp (Reg rn, key, tag, v));
+          k regs)
+  | A.DeleteNode { col; child } ->
+      gen b child (fun regs ->
+          let rn, _ = List.nth regs col in
+          emit b (DeleteNode (Reg rn));
+          k regs)
+  | A.DeleteRel { col; child } ->
+      gen b child (fun regs ->
+          let rn, _ = List.nth regs col in
+          emit b (DeleteRel (Reg rn));
+          k regs)
+  | A.Limit _ | A.Sort _ | A.Distinct _ | A.CountAgg _ | A.GroupCount _
+  | A.NestedLoopJoin _ | A.HashJoin _ ->
+      raise (Unsupported "pipeline breaker inside generated pipeline")
+
+and gen_index_loop b ~label ~key ~lo ~hi k =
+  let p = fresh_probe b in
+  let s_i = slot b in
+  let rn = reg b in
+  (* the probe materialises outside the loop: init once, per (2) *)
+  emit b (IndexProbe (rn, label, key, p, lo, hi));
+  emit b (Store (s_i, Imm 0));
+  let header = new_block b and body = new_block b and exit = new_block b in
+  terminate b (Br header);
+  switch b header;
+  let ri = reg b and c = reg b in
+  emit b (Load (ri, s_i));
+  emit b (Cmp (Clt, c, Reg ri, Reg rn));
+  terminate b (CondBr (Reg c, body, exit));
+  switch b body;
+  let rt = reg b and ri2 = reg b in
+  emit b (IndexCursorNext (rt, p, ri));
+  emit b (Bin (Add, ri2, Reg ri, Imm 1));
+  emit b (Store (s_i, Reg ri2));
+  push_frame b;
+  k [ (rt, SNode) ];
+  let pend = pop_frame b in
+  List.iter (fun l -> set_term b l (Br header)) (b.cur :: pend);
+  switch b exit
+
+(* Compile a pipelined plan into an IR function whose sink is EmitRow of
+   the plan's output tuple. *)
+let codegen ?(prop_tag = fun _ -> TagInt) ?(param_tag = fun _ -> TagInt) plan :
+    func =
+  let b = builder ~prop_tag ~param_tag in
+  let entry = new_block b in
+  switch b entry;
+  gen b plan (fun regs ->
+      emit b (EmitRow (List.map (fun (r, ty) -> (tag_of_slot ty, Reg r)) regs)));
+  terminate b Ret;
+  finish b ~entry

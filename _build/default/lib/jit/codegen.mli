@@ -1,0 +1,22 @@
+(** Graph algebra -> IR code generation (Section 6.2).
+
+    Visitor-style, continuation-passing: each operator generates its
+    entry code and invokes the continuation inline, producing one IR
+    function per pipeline with tuples held in registers; each operator's
+    return path is the previous operator's loop header (Fig. 4). *)
+
+exception Unsupported of string
+(** Raised for plan shapes generated code does not cover (RelScan,
+    pipeline breakers inside the pipeline, floats/unencoded text); the
+    engine falls back to the interpreter. *)
+
+val codegen :
+  ?prop_tag:(int -> Ir.vtag) ->
+  ?param_tag:(int -> Ir.vtag) ->
+  Query.Algebra.plan ->
+  Ir.func
+(** Compile a pipelined plan (leaf access path + streaming operators)
+    into an IR function whose sink is [EmitRow] of the output tuple.
+    [prop_tag] supplies the schema's compile-time property types
+    (requirement (3)); generated comparisons across incompatible type
+    classes fold to Null. *)

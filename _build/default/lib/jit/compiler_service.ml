@@ -1,0 +1,49 @@
+(* The background query-compilation service (Section 6.2, "Adaptive
+   Execution": "the backend thread compiles the query plan into machine
+   code").
+
+   One persistent domain drains a queue of compile jobs.  Adaptive
+   queries submit a job and keep interpreting morsels; they never block
+   on the compiler - when the job finishes it publishes the emitted code
+   through the query's atomic cell and the next pulled morsel runs
+   compiled. *)
+
+type t = {
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable started : bool;
+}
+
+let service = { mu = Mutex.create (); nonempty = Condition.create (); queue = Queue.create (); started = false }
+
+let rec loop () =
+  Mutex.lock service.mu;
+  while Queue.is_empty service.queue do
+    Condition.wait service.nonempty service.mu
+  done;
+  let job = Queue.pop service.queue in
+  Mutex.unlock service.mu;
+  (try job () with _ -> ());
+  loop ()
+
+let ensure_started () =
+  Mutex.lock service.mu;
+  if not service.started then begin
+    service.started <- true;
+    ignore (Domain.spawn loop)
+  end;
+  Mutex.unlock service.mu
+
+let submit job =
+  ensure_started ();
+  Mutex.lock service.mu;
+  Queue.push job service.queue;
+  Condition.signal service.nonempty;
+  Mutex.unlock service.mu
+
+let pending () =
+  Mutex.lock service.mu;
+  let n = Queue.length service.queue in
+  Mutex.unlock service.mu;
+  n

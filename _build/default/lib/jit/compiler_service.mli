@@ -1,0 +1,7 @@
+(** Background query-compilation service (Section 6.2, adaptive
+    execution).  One persistent domain drains compile jobs; adaptive
+    queries submit and never block - the job publishes emitted code
+    through the query's atomic cell. *)
+
+val submit : (unit -> unit) -> unit
+val pending : unit -> int

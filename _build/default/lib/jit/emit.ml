@@ -1,0 +1,360 @@
+(* IR -> executable code (the "backend").
+
+   Each basic block is partially evaluated into one fused OCaml closure:
+   operands, field offsets, property keys and call targets are resolved at
+   emission time, so executing a block is a straight run of monomorphic
+   closures over an unboxed [int array] register file - no per-tuple
+   allocation, no operator dispatch, no boxed values.  This is the
+   closure-generation stand-in for LLVM machine-code emission: the same
+   *relative* gap to the tree-walking interpreter (which allocates a tuple
+   per operator hop and dispatches on every expression node) that the
+   paper measures between JIT-compiled and AOT-interpreted execution.
+
+   The emitted function is re-entrant: every invocation allocates its own
+   register file, so morsels can run it concurrently. *)
+
+open Ir
+module Value = Storage.Value
+
+type runtime = {
+  g : Query.Source.t;
+  params : Value.t array;
+  sink : Value.t array -> unit;
+  chunk_lo : int; (* morsel bounds; chunk_hi = -1 means "all chunks" *)
+  chunk_hi : int;
+  nchunks : int;
+}
+
+type state = {
+  regs : int array;
+  probes : int array array; (* per IndexProbe materialisation *)
+  rt : runtime;
+}
+
+let payload_of_value = function
+  | Value.Int i -> i
+  | Value.Str c -> c
+  | Value.Bool b -> if b then 1 else 0
+  | Value.Null -> null_v
+  | Value.Float _ -> invalid_arg "Jit: float values not supported in generated code"
+  | Value.Text _ -> invalid_arg "Jit: unencoded text at runtime"
+
+let value_of_payload tag p =
+  if p = null_v then Value.Null
+  else
+    match tag with
+    | TagInt -> Value.Int p
+    | TagBool -> Value.Bool (p <> 0)
+    | TagStr -> Value.Str p
+    | TagRef -> Value.Int p
+
+let prop_payload = function
+  | Some v -> ( match v with Value.Null -> null_v | v -> payload_of_value v)
+  | None -> null_v
+
+(* Compile one rv to an accessor closure.  Register indices are validated
+   at compile time (they come from the code generator), so the emitted
+   code uses unchecked array access - this is "machine code", after
+   all. *)
+let rv_c = function
+  | Imm i -> fun (_ : state) -> i
+  | Reg r -> fun st -> Array.unsafe_get st.regs r
+
+let cmp_c op =
+  match op with
+  | Ceq -> fun a b -> if a = null_v || b = null_v then 0 else if a = b then 1 else 0
+  | Cne -> fun a b -> if a = null_v || b = null_v then 0 else if a <> b then 1 else 0
+  | Clt -> fun a b -> if a = null_v || b = null_v then 0 else if a < b then 1 else 0
+  | Cle -> fun a b -> if a = null_v || b = null_v then 0 else if a <= b then 1 else 0
+  | Cgt -> fun a b -> if a = null_v || b = null_v then 0 else if a > b then 1 else 0
+  | Cge -> fun a b -> if a = null_v || b = null_v then 0 else if a >= b then 1 else 0
+
+let truthy v = v <> 0 && v <> null_v
+
+let bin_c op =
+  match op with
+  | Add -> ( + )
+  | Sub -> ( - )
+  | Mul -> ( * )
+  | BAnd -> fun a b -> if truthy a && truthy b then 1 else 0
+  | BOr -> fun a b -> if truthy a || truthy b then 1 else 0
+  | BXor -> ( lxor )
+
+let instr_c (ins : instr) : state -> unit =
+  match ins with
+  | Load _ | Store _ ->
+      invalid_arg "Jit.Emit: stack slots must be promoted before emission"
+  | Move (r, v) ->
+      let v = rv_c v in
+      fun st -> Array.unsafe_set st.regs r (v st)
+  | Bin (op, r, a, b) ->
+      let op = bin_c op and a = rv_c a and b = rv_c b in
+      fun st -> Array.unsafe_set st.regs r (op (a st) (b st))
+  | Cmp (op, r, a, b) ->
+      let op = cmp_c op and a = rv_c a and b = rv_c b in
+      fun st -> Array.unsafe_set st.regs r (op (a st) (b st))
+  | Not (r, a) ->
+      let a = rv_c a in
+      fun st -> Array.unsafe_set st.regs r (if truthy (a st) then 0 else 1)
+  | IsNull (r, a) ->
+      let a = rv_c a in
+      fun st -> Array.unsafe_set st.regs r (if a st = null_v then 1 else 0)
+  | ChunkStart r -> fun st -> Array.unsafe_set st.regs r st.rt.chunk_lo
+  | ChunkCount r ->
+      fun st ->
+        Array.unsafe_set st.regs r
+          (if st.rt.chunk_hi < 0 then st.rt.nchunks else st.rt.chunk_hi)
+  | ChunkSize r -> fun st -> Array.unsafe_set st.regs r (st.rt.g.Query.Source.chunk_size ())
+  | FetchNode (r, c, s) ->
+      let c = rv_c c and s = rv_c s in
+      fun st ->
+        Array.unsafe_set st.regs r
+          (st.rt.g.Query.Source.fetch_node ~chunk:(c st) ~slot:(s st))
+  | NodeExists (r, n) ->
+      let n = rv_c n in
+      fun st ->
+        let id = n st in
+        Array.unsafe_set st.regs r
+          (if id >= 0 && id <> null_v && st.rt.g.Query.Source.node_exists id then 1
+           else 0)
+  | NodeLabel (r, n) ->
+      let n = rv_c n in
+      fun st -> Array.unsafe_set st.regs r (st.rt.g.Query.Source.node_label (n st))
+  | RelLabel (r, n) ->
+      let n = rv_c n in
+      fun st -> Array.unsafe_set st.regs r (st.rt.g.Query.Source.rel_label (n st))
+  | NodePropV (r, n, key) ->
+      let n = rv_c n in
+      fun st ->
+        Array.unsafe_set st.regs r
+          (prop_payload (st.rt.g.Query.Source.node_prop_fast (n st) key))
+  | RelPropV (r, n, key) ->
+      let n = rv_c n in
+      fun st ->
+        Array.unsafe_set st.regs r
+          (prop_payload (st.rt.g.Query.Source.rel_prop_fast (n st) key))
+  | RelSrc (r, e) ->
+      let e = rv_c e in
+      fun st -> Array.unsafe_set st.regs r (st.rt.g.Query.Source.rel_src (e st))
+  | RelDst (r, e) ->
+      let e = rv_c e in
+      fun st -> Array.unsafe_set st.regs r (st.rt.g.Query.Source.rel_dst (e st))
+  | FirstOut (r, n) ->
+      let n = rv_c n in
+      fun st -> Array.unsafe_set st.regs r (st.rt.g.Query.Source.first_out (n st))
+  | NextSrc (r, e) ->
+      let e = rv_c e in
+      fun st -> Array.unsafe_set st.regs r (st.rt.g.Query.Source.next_src (e st))
+  | FirstIn (r, n) ->
+      let n = rv_c n in
+      fun st -> Array.unsafe_set st.regs r (st.rt.g.Query.Source.first_in (n st))
+  | NextDst (r, e) ->
+      let e = rv_c e in
+      fun st -> Array.unsafe_set st.regs r (st.rt.g.Query.Source.next_dst (e st))
+  | RelVisible (r, e) ->
+      let e = rv_c e in
+      fun st -> Array.unsafe_set st.regs r (if st.rt.g.Query.Source.rel_visible (e st) then 1 else 0)
+  | LoadParam (r, i) ->
+      fun st -> Array.unsafe_set st.regs r (payload_of_value st.rt.params.(i))
+  | IndexProbe (r, label, key, probe, lo, hi) ->
+      let lo = rv_c lo and hi = rv_c hi in
+      fun st ->
+        let acc = ref [] and n = ref 0 in
+        let vlo = lo st and vhi = hi st in
+        (if vlo = vhi then
+           st.rt.g.Query.Source.index_lookup ~label ~key (Value.Int vlo) (fun id ->
+               acc := id :: !acc;
+               incr n)
+         else
+           st.rt.g.Query.Source.index_range ~label ~key ~lo:(Value.Int vlo)
+             ~hi:(Value.Int vhi) (fun id ->
+               acc := id :: !acc;
+               incr n));
+        let arr = Array.make (max 1 !n) (-1) in
+        List.iteri (fun i id -> arr.(!n - 1 - i) <- id) !acc;
+        st.probes.(probe) <- arr;
+        st.regs.(r) <- !n
+  | IndexCursorNext (r, probe, cursor) ->
+      fun st -> Array.unsafe_set st.regs r (Array.unsafe_get st.probes.(probe) (Array.unsafe_get st.regs cursor))
+  | CreateNode (r, label, props) ->
+      let props = List.map (fun (k, t, v) -> (k, t, rv_c v)) props in
+      fun st ->
+        let ps =
+          List.filter_map
+            (fun (k, t, v) ->
+              let p = v st in
+              if p = null_v then None else Some (k, value_of_payload t p))
+            props
+        in
+        st.regs.(r) <- st.rt.g.Query.Source.create_node ~label ~props:ps
+  | CreateRel (r, label, s, d, props) ->
+      let s = rv_c s and d = rv_c d in
+      let props = List.map (fun (k, t, v) -> (k, t, rv_c v)) props in
+      fun st ->
+        let ps =
+          List.filter_map
+            (fun (k, t, v) ->
+              let p = v st in
+              if p = null_v then None else Some (k, value_of_payload t p))
+            props
+        in
+        st.regs.(r) <-
+          st.rt.g.Query.Source.create_rel ~label ~src:(s st) ~dst:(d st) ~props:ps
+  | SetNodeProp (n, key, tag, v) ->
+      let n = rv_c n and v = rv_c v in
+      fun st ->
+        st.rt.g.Query.Source.set_node_prop (n st) ~key (value_of_payload tag (v st))
+  | SetRelProp (n, key, tag, v) ->
+      let n = rv_c n and v = rv_c v in
+      fun st ->
+        st.rt.g.Query.Source.set_rel_prop (n st) ~key (value_of_payload tag (v st))
+  | DeleteNode n ->
+      let n = rv_c n in
+      fun st -> st.rt.g.Query.Source.delete_node (n st)
+  | DeleteRel n ->
+      let n = rv_c n in
+      fun st -> st.rt.g.Query.Source.delete_rel (n st)
+  | EmitRow cols ->
+      let cols = List.map (fun (t, v) -> (t, rv_c v)) cols in
+      let n = List.length cols in
+      let cols = Array.of_list cols in
+      fun st ->
+        let row = Array.make n Value.Null in
+        for i = 0 to n - 1 do
+          let t, v = cols.(i) in
+          row.(i) <- value_of_payload t (v st)
+        done;
+        st.rt.sink row
+
+type compiled = { run : runtime -> unit; nblocks : int; ninstrs : int }
+
+(* Compile a function: each block folds its instruction closures into one
+   straight-line closure; a trampoline follows block ids. *)
+let emit (f : func) : compiled =
+  if f.nslots > 0 then begin
+    (* -O0 still has to run: promote trivially (same as mem2reg) *)
+    Passes.mem2reg f
+  end;
+  let nprobes =
+    Array.fold_left
+      (fun acc b ->
+        List.fold_left
+          (fun acc i ->
+            match i with IndexProbe (_, _, _, p, _, _) -> max acc (p + 1) | _ -> acc)
+          acc b.instrs)
+      0 f.blocks
+  in
+  (* instruction selection: fuse recurring multi-instruction patterns
+     into single closures (a closure call is our "instruction" cost) *)
+  let rec select = function
+    | [] -> []
+    (* scan step: fetch + slot increment *)
+    | FetchNode (rt, c, Reg sr) :: Bin (Add, x, Reg sr2, Imm 1) :: Move (sd, Reg x2)
+      :: rest
+      when sr = sr2 && x = x2 && sd = sr ->
+        let c = rv_c c in
+        (fun st ->
+          let sv = Array.unsafe_get st.regs sr in
+          Array.unsafe_set st.regs rt
+            (st.rt.g.Query.Source.fetch_node ~chunk:(c st) ~slot:sv);
+          let sv1 = sv + 1 in
+          Array.unsafe_set st.regs x sv1;
+          Array.unsafe_set st.regs sr sv1)
+        :: select rest
+    (* adjacency advance: next pointer chased into the cursor register *)
+    | NextSrc (d, Reg cur) :: Move (cur2, Reg d2) :: rest
+      when cur = cur2 && d = d2 ->
+        (fun st ->
+          let v = st.rt.g.Query.Source.next_src (Array.unsafe_get st.regs cur) in
+          Array.unsafe_set st.regs d v;
+          Array.unsafe_set st.regs cur v)
+        :: select rest
+    | NextDst (d, Reg cur) :: Move (cur2, Reg d2) :: rest
+      when cur = cur2 && d = d2 ->
+        (fun st ->
+          let v = st.rt.g.Query.Source.next_dst (Array.unsafe_get st.regs cur) in
+          Array.unsafe_set st.regs d v;
+          Array.unsafe_set st.regs cur v)
+        :: select rest
+    (* cursor step in index loops *)
+    | IndexCursorNext (rt, p, cur) :: Bin (Add, x, Reg cur2, Imm 1) :: Move (sd, Reg x2)
+      :: rest
+      when cur = cur2 && x = x2 && sd = cur ->
+        (fun st ->
+          let i = Array.unsafe_get st.regs cur in
+          Array.unsafe_set st.regs rt (Array.unsafe_get st.probes.(p) i);
+          Array.unsafe_set st.regs x (i + 1);
+          Array.unsafe_set st.regs cur (i + 1))
+        :: select rest
+    | ins :: rest -> instr_c ins :: select rest
+  in
+  let compile_body instrs =
+    let body =
+      List.fold_left
+        (fun acc c ->
+          match acc with
+          | None -> Some c
+          | Some g ->
+              Some
+                (fun st ->
+                  g st;
+                  c st))
+        None (select instrs)
+    in
+    match body with None -> fun _ -> () | Some g -> g
+  in
+  let rec split_last = function
+    | [] -> (None, [])
+    | [ x ] -> (Some x, [])
+    | x :: rest ->
+        let last, init = split_last rest in
+        (last, x :: init)
+  in
+  (* direct-threaded dispatch: every terminator tail-calls the successor
+     through a closure table - no trampoline, no block-id interpretation *)
+  let fns : (state -> unit) array =
+    Array.make (Array.length f.blocks) (fun _ -> ())
+  in
+  let compile_block bi b =
+    match b.term with
+    | Ret -> compile_body b.instrs
+    | Br l ->
+        let body = compile_body b.instrs in
+        fun st ->
+          body st;
+          (Array.unsafe_get fns l) st
+    | CondBr (v, a, c) -> (
+        (* peephole: fuse a trailing compare into the branch *)
+        let fused =
+          match (v, split_last b.instrs) with
+          | Reg r, (Some (Cmp (op, d, x, y)), init)
+            when d = r && not (Jit_uses.read_elsewhere f ~reg:r ~except:bi) ->
+              let op = cmp_c op and x = rv_c x and y = rv_c y in
+              let body = compile_body init in
+              Some
+                (fun st ->
+                  body st;
+                  if truthy (op (x st) (y st)) then (Array.unsafe_get fns a) st
+                  else (Array.unsafe_get fns c) st)
+          | _ -> None
+        in
+        match fused with
+        | Some fn -> fn
+        | None ->
+            let body = compile_body b.instrs in
+            let v = rv_c v in
+            fun st ->
+              body st;
+              if truthy (v st) then (Array.unsafe_get fns a) st
+              else (Array.unsafe_get fns c) st)
+  in
+  Array.iteri (fun bi b -> fns.(bi) <- compile_block bi b) f.blocks;
+  let entry = f.entry in
+  let nregs = f.nregs in
+  let run rt =
+    let st =
+      { regs = Array.make (max 1 nregs) 0; probes = Array.make (max 1 nprobes) [||]; rt }
+    in
+    fns.(entry) st
+  in
+  { run; nblocks = Array.length f.blocks; ninstrs = instr_count f }

@@ -1,0 +1,26 @@
+(** IR -> executable code (the backend).
+
+    Each basic block is partially evaluated into a fused closure over an
+    unboxed [int array] register file; dispatch is direct-threaded (tail
+    calls through a closure table), trailing compares fuse into branches
+    and recurring patterns (scan step, adjacency advance, index cursor)
+    become super-instructions.  The emitted function is re-entrant:
+    every invocation gets its own register file, so morsels run it
+    concurrently. *)
+
+(** Per-invocation context of the generated function. *)
+type runtime = {
+  g : Query.Source.t;
+  params : Storage.Value.t array;
+  sink : Storage.Value.t array -> unit;
+  chunk_lo : int;  (** morsel bounds; [chunk_hi = -1] means all chunks *)
+  chunk_hi : int;
+  nchunks : int;
+}
+
+type compiled = { run : runtime -> unit; nblocks : int; ninstrs : int }
+
+val payload_of_value : Storage.Value.t -> int
+val value_of_payload : Ir.vtag -> int -> Storage.Value.t
+val emit : Ir.func -> compiled
+(** Promote any remaining stack slots and compile to closures. *)

@@ -1,0 +1,317 @@
+(* Query execution engine with three modes (Section 6.2):
+
+   - [Interp]: the AOT-compiled push-based interpreter;
+   - [Jit]: compile the pipelined part of the plan (codegen -> pass
+     cascade -> emission), optionally consulting the persistent compiled-
+     query cache, then execute the emitted code;
+   - [Adaptive]: start interpreting morsels immediately while a background
+     domain compiles; once compilation finishes, the task function is
+     redirected and the remaining morsels run the compiled code - hiding
+     both the compilation time and (on PMem) part of the access latency.
+
+   Pipeline breakers (Sort/Limit/Distinct/Count/joins) always execute in
+   the AOT engine, consuming the pipeline's output; the JIT compiles the
+   per-tuple hot path, as in the paper where the generated function covers
+   the scan-to-materialisation pipeline.
+
+   The modeled backend latency stands in for LLVM's milliseconds-scale
+   code generation: it is charged to the simulated clock (and, when the
+   media is in spin mode, to wall-clock) exactly when the paper would pay
+   it - on a cache miss in Jit mode, or in the background in Adaptive
+   mode. *)
+
+module Value = Storage.Value
+module A = Query.Algebra
+module I = Query.Interp
+
+type mode = Interp | Jit | Adaptive
+
+let pp_mode ppf = function
+  | Interp -> Fmt.string ppf "aot"
+  | Jit -> Fmt.string ppf "jit"
+  | Adaptive -> Fmt.string ppf "adaptive"
+
+type config = {
+  backend_latency_ns : int; (* modeled LLVM base compile time *)
+  backend_latency_per_op_ns : int;
+  link_latency_ns : int; (* paid on cache hits: re-linking the object *)
+  opt_level : Passes.level;
+  prop_tag : int -> Ir.vtag;
+}
+
+let default_config =
+  {
+    backend_latency_ns = 1_500_000;
+    backend_latency_per_op_ns = 350_000;
+    link_latency_ns = 120_000;
+    opt_level = Passes.O3;
+    prop_tag = (fun _ -> Ir.TagInt);
+  }
+
+type report = {
+  mutable mode_used : mode;
+  mutable compile_wall_ns : int; (* measured codegen+passes+emit *)
+  mutable compile_modeled_ns : int; (* charged backend latency *)
+  mutable cache_hit : bool;
+  mutable fell_back : bool; (* unsupported plan: ran interpreted *)
+  mutable morsels_interp : int;
+  mutable morsels_jit : int;
+  mutable ir_instrs : int;
+  mutable rows : int;
+}
+
+let fresh_report mode =
+  {
+    mode_used = mode;
+    compile_wall_ns = 0;
+    compile_modeled_ns = 0;
+    cache_hit = false;
+    fell_back = false;
+    morsels_interp = 0;
+    morsels_jit = 0;
+    ir_instrs = 0;
+    rows = 0;
+  }
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let param_tag_of params i =
+  match params.(i) with
+  | Value.Int _ -> Ir.TagInt
+  | Value.Str _ -> Ir.TagStr
+  | Value.Bool _ -> Ir.TagBool
+  | Value.Null -> Ir.TagInt
+  | Value.Float _ | Value.Text _ ->
+      raise (Codegen.Unsupported "float/text parameter")
+
+(* Split a plan into its pipelined core and the serial breaker suffix. *)
+let split g ~params plan =
+  match I.split_plan g ~params plan with
+  | I.Par p -> (p, fun (s : I.stream) -> s)
+  | I.Ser (p, tr) -> (p, tr)
+
+let cache_key cfg plan =
+  Printf.sprintf "%s@%s" (A.fingerprint plan)
+    (match cfg.opt_level with Passes.O0 -> "O0" | Passes.O1 -> "O1" | Passes.O3 -> "O3")
+
+(* Compile the pipelined plan: returns the emitted code, consulting and
+   filling [cache]. *)
+let compile ?cache ?media ~config ~params report plan =
+  let t0 = now_ns () in
+  let key = cache_key config plan in
+  match Option.bind cache (fun c -> Cache.memo_find c key) with
+  | Some compiled ->
+      (* already linked into this process: free, like any resident code *)
+      report.cache_hit <- true;
+      report.ir_instrs <- compiled.Emit.ninstrs;
+      compiled
+  | None ->
+      let func =
+        match Option.bind cache (fun c -> Cache.find c key) with
+        | Some blob ->
+            report.cache_hit <- true;
+            report.compile_modeled_ns <- config.link_latency_ns;
+            Ir.of_string blob
+        | None ->
+            let f =
+              Codegen.codegen ~prop_tag:config.prop_tag
+                ~param_tag:(param_tag_of params) plan
+            in
+            let f = Passes.optimize ~level:config.opt_level f in
+            report.compile_modeled_ns <-
+              config.backend_latency_ns
+              + (config.backend_latency_per_op_ns * A.operator_count plan);
+            (match cache with
+            | Some c -> (
+                try Cache.store c key (Ir.to_string f) with Cache.Full -> ())
+            | None -> ());
+            f
+      in
+      let compiled = Emit.emit func in
+      report.ir_instrs <- compiled.Emit.ninstrs;
+      (* the modeled backend latency elapses in wall-clock, as LLVM's would *)
+      Pmem.Media.busy_wait_ns report.compile_modeled_ns;
+      report.compile_wall_ns <- report.compile_wall_ns + (now_ns () - t0);
+      (match media with
+      | Some m -> Pmem.Media.charge m report.compile_modeled_ns
+      | None -> ());
+      (match cache with Some c -> Cache.memo_add c key compiled | None -> ());
+      compiled
+
+let run_compiled (compiled : Emit.compiled) ?pool (g : Query.Source.t) ~params
+    report =
+  let nchunks = g.Query.Source.node_chunks () in
+  let acc = ref [] in
+  (match pool with
+  | None ->
+      let local = ref [] in
+      compiled.Emit.run
+        {
+          Emit.g;
+          params;
+          sink = (fun row -> local := row :: !local);
+          chunk_lo = 0;
+          chunk_hi = -1;
+          nchunks;
+        };
+      acc := !local;
+      report.morsels_jit <- report.morsels_jit + max 1 nchunks
+  | Some pool ->
+      let mu = Mutex.create () in
+      let tasks =
+        List.init (max 1 nchunks) (fun ci () ->
+            let local = ref [] in
+            compiled.Emit.run
+              {
+                Emit.g;
+                params;
+                sink = (fun row -> local := row :: !local);
+                chunk_lo = ci;
+                chunk_hi = ci + 1;
+                nchunks;
+              };
+            Mutex.lock mu;
+            acc := List.rev_append !local !acc;
+            Mutex.unlock mu)
+      in
+      Exec.Task_pool.run pool tasks;
+      report.morsels_jit <- report.morsels_jit + max 1 nchunks);
+  !acc
+
+let finish tr rows_rev =
+  let out = ref [] in
+  tr (fun k -> List.iter k (List.rev rows_rev)) (fun row -> out := row :: !out);
+  List.rev !out
+
+(* --- Public entry point ------------------------------------------------------ *)
+
+let run ?pool ?cache ?media ?(config = default_config) ~mode
+    (g : Query.Source.t) ~params plan =
+  let report = fresh_report mode in
+  let rows =
+    match mode with
+    | Interp ->
+        let rows = I.run ?pool g ~params plan in
+        report.morsels_interp <- max 1 (g.Query.Source.node_chunks ());
+        rows
+    | Jit -> (
+        let pipelined, tr = split g ~params plan in
+        match compile ?cache ?media ~config ~params report pipelined with
+        | compiled -> (
+            match pool with
+            | None ->
+                (* serial: the compiled pipeline streams straight into the
+                   AOT breaker suffix, no intermediate materialisation *)
+                let nchunks = g.Query.Source.node_chunks () in
+                let out = ref [] in
+                let producer yield =
+                  compiled.Emit.run
+                    {
+                      Emit.g;
+                      params;
+                      sink = yield;
+                      chunk_lo = 0;
+                      chunk_hi = -1;
+                      nchunks;
+                    }
+                in
+                (try tr producer (fun row -> out := row :: !out)
+                 with I.Limit_stop -> ());
+                report.morsels_jit <- max 1 nchunks;
+                List.rev !out
+            | Some _ ->
+                let collected = run_compiled compiled ?pool g ~params report in
+                finish tr collected)
+        | exception Codegen.Unsupported _ ->
+            report.fell_back <- true;
+            I.run ?pool g ~params plan)
+    | Adaptive -> (
+        let pipelined, tr = split g ~params plan in
+        if not (I.chunkable (I.leftmost_leaf pipelined)) then begin
+          (* too short to adapt: the whole query is one morsel; per the
+             paper this degenerates to pure AOT execution *)
+          report.fell_back <- true;
+          report.morsels_interp <- 1;
+          I.run g ~params plan
+        end
+        else begin
+          let key = cache_key config pipelined in
+          let current : Emit.compiled option Atomic.t =
+            (* a previous execution may have left compiled code in the
+               cache: then every morsel runs compiled from the start *)
+            match Option.bind cache (fun c -> Cache.memo_find c key) with
+            | Some compiled ->
+                report.cache_hit <- true;
+                Atomic.make (Some compiled)
+            | None -> Atomic.make None
+          in
+          if Atomic.get current = None then
+            (* hand the plan to the background compiler service; the query
+               does NOT wait for it - morsels just watch the cell *)
+            Compiler_service.submit (fun () ->
+                match
+                  let f =
+                    Codegen.codegen ~prop_tag:config.prop_tag
+                      ~param_tag:(param_tag_of params) pipelined
+                  in
+                  let f = Passes.optimize ~level:config.opt_level f in
+                  let modeled =
+                    config.backend_latency_ns
+                    + (config.backend_latency_per_op_ns * A.operator_count pipelined)
+                  in
+                  (* the backend runs on its own domain: wall time elapses
+                     but no worker CPU is stolen *)
+                  Unix.sleepf (float_of_int modeled /. 1e9);
+                  report.compile_modeled_ns <- modeled;
+                  (f, Emit.emit f)
+                with
+                | f, compiled ->
+                    (match cache with
+                    | Some c ->
+                        (try Cache.store c key (Ir.to_string f)
+                         with Cache.Full -> ());
+                        Cache.memo_add c key compiled
+                    | None -> ());
+                    Atomic.set current (Some compiled)
+                | exception Codegen.Unsupported _ -> ());
+          let nchunks = max 1 (g.Query.Source.node_chunks ()) in
+          let mu = Mutex.create () in
+          let acc = ref [] in
+          let interp_morsels = Atomic.make 0 and jit_morsels = Atomic.make 0 in
+          let run_morsel ci =
+            let local = ref [] in
+            (match Atomic.get current with
+            | Some compiled ->
+                Atomic.incr jit_morsels;
+                compiled.Emit.run
+                  {
+                    Emit.g;
+                    params;
+                    sink = (fun row -> local := row :: !local);
+                    chunk_lo = ci;
+                    chunk_hi = ci + 1;
+                    nchunks;
+                  }
+            | None ->
+                Atomic.incr interp_morsels;
+                I.produce g ~params ~chunk:ci pipelined (fun row ->
+                    local := row :: !local));
+            Mutex.lock mu;
+            acc := List.rev_append !local !acc;
+            Mutex.unlock mu
+          in
+          (match pool with
+          | Some pool ->
+              Exec.Task_pool.run pool
+                (List.init nchunks (fun ci () -> run_morsel ci))
+          | None ->
+              for ci = 0 to nchunks - 1 do
+                run_morsel ci
+              done);
+          report.morsels_interp <- Atomic.get interp_morsels;
+          report.morsels_jit <- Atomic.get jit_morsels;
+          finish tr !acc
+        end)
+  in
+  report.rows <- List.length rows;
+  (rows, report)

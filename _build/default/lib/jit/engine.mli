@@ -1,0 +1,49 @@
+(** Query execution engine with the paper's three modes (Section 6.2):
+    AOT interpretation, JIT compilation with a persistent compiled-query
+    cache, and adaptive execution that interprets morsels while a
+    background domain compiles, then hot-swaps.
+
+    Pipeline breakers (sorts, limits, aggregates, joins) always run in
+    the AOT engine over the compiled pipeline's output stream. *)
+
+type mode = Interp | Jit | Adaptive
+
+val pp_mode : Format.formatter -> mode -> unit
+
+type config = {
+  backend_latency_ns : int;  (** modeled LLVM backend compile time (base) *)
+  backend_latency_per_op_ns : int;
+  link_latency_ns : int;  (** paid on persistent-cache hits (re-linking) *)
+  opt_level : Passes.level;
+  prop_tag : int -> Ir.vtag;
+      (** schema type hints: property key -> compile-time value tag *)
+}
+
+val default_config : config
+
+type report = {
+  mutable mode_used : mode;
+  mutable compile_wall_ns : int;
+  mutable compile_modeled_ns : int;
+  mutable cache_hit : bool;
+  mutable fell_back : bool;  (** unsupported plan shape: ran interpreted *)
+  mutable morsels_interp : int;
+  mutable morsels_jit : int;
+  mutable ir_instrs : int;
+  mutable rows : int;
+}
+
+val run :
+  ?pool:Exec.Task_pool.t ->
+  ?cache:Cache.t ->
+  ?media:Pmem.Media.t ->
+  ?config:config ->
+  mode:mode ->
+  Query.Source.t ->
+  params:Storage.Value.t array ->
+  Query.Algebra.plan ->
+  Storage.Value.t array list * report
+(** Execute a plan.  With [pool], the scan is morsel-parallelised.  With
+    [cache], compiled queries are memoised in-process and persisted
+    across restarts.  [media] receives the modeled compilation-latency
+    charge in [Jit] mode. *)

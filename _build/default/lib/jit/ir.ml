@@ -1,0 +1,189 @@
+(* The JIT intermediate representation (Section 6.2).
+
+   A register machine over 63-bit integers, organised in basic blocks -
+   the moral equivalent of the LLVM IR subset the paper generates: loads
+   and stores on stack slots (so that the Mem2Reg pass has real work, per
+   code-generation requirement (1)), integer ALU ops, comparisons with
+   null-sentinel semantics, calls into the AOT-compiled runtime (access
+   methods, per DG-compliance reuse), and branches.
+
+   All property values flow through registers as their 64-bit payloads -
+   type information is resolved at compile time (requirement (3)), so
+   integer, dictionary-code and boolean comparisons are all plain integer
+   comparisons.  [null_v] is the missing-value sentinel.
+
+   Tuples live entirely in registers: each tuple slot of the pipeline is
+   assigned a register at code-generation time, as in HyPer-style
+   data-centric compilation. *)
+
+type rv = Reg of int | Imm of int
+
+(* value type of an emitted column, fixed at compile time *)
+type vtag = TagInt | TagBool | TagStr | TagRef
+
+type cmp = Ceq | Cne | Clt | Cle | Cgt | Cge
+type binop = Add | Sub | Mul | BAnd | BOr | BXor
+
+type instr =
+  (* stack traffic (removed by Mem2Reg) *)
+  | Load of int * int (* reg <- slot *)
+  | Store of int * rv (* slot <- rv *)
+  (* ALU *)
+  | Move of int * rv
+  | Bin of binop * int * rv * rv
+  | Cmp of cmp * int * rv * rv (* null-sentinel aware; result 0/1 *)
+  | Not of int * rv
+  | IsNull of int * rv
+  (* runtime calls: AOT-compiled access methods (DG-compliant) *)
+  | ChunkStart of int (* dst <- first chunk of this invocation's morsel *)
+  | ChunkCount of int (* dst <- one past the last chunk of the morsel *)
+  | ChunkSize of int
+  | FetchNode of int * rv * rv (* dst, chunk, slot: visible id or -1 *)
+  | NodeExists of int * rv
+  | NodeLabel of int * rv
+  | RelLabel of int * rv
+  | NodePropV of int * rv * int (* dst <- payload of prop [key] or null_v *)
+  | RelPropV of int * rv * int
+  | RelSrc of int * rv
+  | RelDst of int * rv
+  | FirstOut of int * rv
+  | NextSrc of int * rv
+  | FirstIn of int * rv
+  | NextDst of int * rv
+  | RelVisible of int * rv
+  | LoadParam of int * int (* dst <- payload of query parameter *)
+  | IndexProbe of int * int * int * int * rv * rv
+    (* dst_count, label, key, probe-id, lo, hi: materialise the matching
+       node ids into a runtime array; dst receives its length *)
+  | IndexCursorNext of int * int * int (* dst, probe-id, cursor *)
+  | CreateNode of int * int * (int * vtag * rv) list (* dst, label, props *)
+  | CreateRel of int * int * rv * rv * (int * vtag * rv) list
+  | SetNodeProp of rv * int * vtag * rv (* node, key, tag, value *)
+  | SetRelProp of rv * int * vtag * rv
+  | DeleteNode of rv
+  | DeleteRel of rv
+  | EmitRow of (vtag * rv) list (* push one result row *)
+
+type term =
+  | Br of int
+  | CondBr of rv * int * int (* nonzero -> first target *)
+  | Ret
+
+type block = { mutable instrs : instr list; (* in execution order *) mutable term : term }
+
+(* Loop metadata recorded by the code generator so the unrolling pass can
+   find loop regions without a full CFG analysis (the paper's while_loop /
+   while_loop_condition abstractions). *)
+type loop_info = {
+  l_header : int;
+  l_body : int;
+  l_advance : int; (* block that increments and jumps back to header *)
+  l_exit : int;
+}
+
+type func = {
+  mutable blocks : block array;
+  mutable entry : int;
+  mutable nregs : int;
+  mutable nslots : int;
+  mutable loops : loop_info list;
+}
+
+let null_v = min_int
+
+let rv_fp = function Reg r -> Printf.sprintf "r%d" r | Imm i -> string_of_int i
+
+let tag_fp = function
+  | TagInt -> "i"
+  | TagBool -> "b"
+  | TagStr -> "s"
+  | TagRef -> "#"
+
+let cmp_fp = function
+  | Ceq -> "eq"
+  | Cne -> "ne"
+  | Clt -> "lt"
+  | Cle -> "le"
+  | Cgt -> "gt"
+  | Cge -> "ge"
+
+let bin_fp = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | BAnd -> "and"
+  | BOr -> "or"
+  | BXor -> "xor"
+
+let instr_fp = function
+  | Load (r, s) -> Printf.sprintf "r%d=ld[%d]" r s
+  | Store (s, v) -> Printf.sprintf "st[%d]=%s" s (rv_fp v)
+  | Move (r, v) -> Printf.sprintf "r%d=%s" r (rv_fp v)
+  | Bin (op, r, a, b) ->
+      Printf.sprintf "r%d=%s(%s,%s)" r (bin_fp op) (rv_fp a) (rv_fp b)
+  | Cmp (op, r, a, b) ->
+      Printf.sprintf "r%d=%s(%s,%s)" r (cmp_fp op) (rv_fp a) (rv_fp b)
+  | Not (r, a) -> Printf.sprintf "r%d=not(%s)" r (rv_fp a)
+  | IsNull (r, a) -> Printf.sprintf "r%d=isnull(%s)" r (rv_fp a)
+  | ChunkStart r -> Printf.sprintf "r%d=chunk0" r
+  | ChunkCount r -> Printf.sprintf "r%d=chunks" r
+  | ChunkSize r -> Printf.sprintf "r%d=chunksz" r
+  | FetchNode (r, c, s) -> Printf.sprintf "r%d=fetch(%s,%s)" r (rv_fp c) (rv_fp s)
+  | NodeExists (r, n) -> Printf.sprintf "r%d=nexists(%s)" r (rv_fp n)
+  | NodeLabel (r, n) -> Printf.sprintf "r%d=nlabel(%s)" r (rv_fp n)
+  | RelLabel (r, n) -> Printf.sprintf "r%d=rlabel(%s)" r (rv_fp n)
+  | NodePropV (r, n, k) -> Printf.sprintf "r%d=nprop(%s,%d)" r (rv_fp n) k
+  | RelPropV (r, n, k) -> Printf.sprintf "r%d=rprop(%s,%d)" r (rv_fp n) k
+  | RelSrc (r, e) -> Printf.sprintf "r%d=src(%s)" r (rv_fp e)
+  | RelDst (r, e) -> Printf.sprintf "r%d=dst(%s)" r (rv_fp e)
+  | FirstOut (r, n) -> Printf.sprintf "r%d=fout(%s)" r (rv_fp n)
+  | NextSrc (r, e) -> Printf.sprintf "r%d=nsrc(%s)" r (rv_fp e)
+  | FirstIn (r, n) -> Printf.sprintf "r%d=fin(%s)" r (rv_fp n)
+  | NextDst (r, e) -> Printf.sprintf "r%d=ndst(%s)" r (rv_fp e)
+  | RelVisible (r, e) -> Printf.sprintf "r%d=rvis(%s)" r (rv_fp e)
+  | LoadParam (r, i) -> Printf.sprintf "r%d=param(%d)" r i
+  | IndexProbe (r, l, k, p, lo, hi) ->
+      Printf.sprintf "r%d=iprobe(%d,%d,%d,%s,%s)" r l k p (rv_fp lo) (rv_fp hi)
+  | IndexCursorNext (r, p, c) -> Printf.sprintf "r%d=inext(%d,r%d)" r p c
+  | CreateNode (r, l, ps) ->
+      Printf.sprintf "r%d=cnode(%d,%s)" r l
+        (String.concat ";"
+           (List.map (fun (k, t, v) -> Printf.sprintf "%d%s%s" k (tag_fp t) (rv_fp v)) ps))
+  | CreateRel (r, l, s, d, ps) ->
+      Printf.sprintf "r%d=crel(%d,%s,%s,%s)" r l (rv_fp s) (rv_fp d)
+        (String.concat ";"
+           (List.map (fun (k, t, v) -> Printf.sprintf "%d%s%s" k (tag_fp t) (rv_fp v)) ps))
+  | SetNodeProp (n, k, t, v) ->
+      Printf.sprintf "setn(%s,%d,%s%s)" (rv_fp n) k (tag_fp t) (rv_fp v)
+  | SetRelProp (n, k, t, v) ->
+      Printf.sprintf "setr(%s,%d,%s%s)" (rv_fp n) k (tag_fp t) (rv_fp v)
+  | DeleteNode n -> Printf.sprintf "deln(%s)" (rv_fp n)
+  | DeleteRel n -> Printf.sprintf "delr(%s)" (rv_fp n)
+  | EmitRow cols ->
+      Printf.sprintf "emit(%s)"
+        (String.concat ","
+           (List.map (fun (t, v) -> tag_fp t ^ rv_fp v) cols))
+
+let term_fp = function
+  | Br l -> Printf.sprintf "br %d" l
+  | CondBr (v, a, b) -> Printf.sprintf "cbr %s %d %d" (rv_fp v) a b
+  | Ret -> "ret"
+
+let pp_func ppf f =
+  Fmt.pf ppf "func entry=%d regs=%d slots=%d@." f.entry f.nregs f.nslots;
+  Array.iteri
+    (fun i b ->
+      Fmt.pf ppf "L%d:@." i;
+      List.iter (fun ins -> Fmt.pf ppf "  %s@." (instr_fp ins)) b.instrs;
+      Fmt.pf ppf "  %s@." (term_fp b.term))
+    f.blocks
+
+let instr_count f =
+  Array.fold_left (fun acc b -> acc + List.length b.instrs + 1) 0 f.blocks
+
+(* Serialisation for the persistent compiled-query cache: the optimised IR
+   is the "object file" we persist; loading it back only requires
+   re-emission ("linking"), skipping codegen + passes + the backend. *)
+let to_string (f : func) : string = Marshal.to_string f []
+
+let of_string (s : string) : func = Marshal.from_string s 0

@@ -1,0 +1,83 @@
+(** The JIT intermediate representation (Section 6.2): a register machine
+    over 63-bit integers organised in basic blocks - the moral equivalent
+    of the LLVM IR subset the paper generates.  Stack slots with explicit
+    Load/Store model naive frontend output (promoted by Mem2Reg); all
+    property values flow as 64-bit payloads with types resolved at
+    compile time; [null_v] is the missing-value sentinel; runtime calls
+    are the AOT-compiled access methods. *)
+
+type rv = Reg of int | Imm of int
+
+(** Compile-time value tag of an emitted column. *)
+type vtag = TagInt | TagBool | TagStr | TagRef
+
+type cmp = Ceq | Cne | Clt | Cle | Cgt | Cge
+type binop = Add | Sub | Mul | BAnd | BOr | BXor
+
+type instr =
+  | Load of int * int  (** reg <- slot (removed by Mem2Reg) *)
+  | Store of int * rv
+  | Move of int * rv
+  | Bin of binop * int * rv * rv
+  | Cmp of cmp * int * rv * rv  (** null-sentinel aware; 0/1 result *)
+  | Not of int * rv
+  | IsNull of int * rv
+  | ChunkStart of int
+  | ChunkCount of int
+  | ChunkSize of int
+  | FetchNode of int * rv * rv  (** dst, chunk, slot: visible id or -1 *)
+  | NodeExists of int * rv
+  | NodeLabel of int * rv
+  | RelLabel of int * rv
+  | NodePropV of int * rv * int  (** dst <- payload of prop or [null_v] *)
+  | RelPropV of int * rv * int
+  | RelSrc of int * rv
+  | RelDst of int * rv
+  | FirstOut of int * rv
+  | NextSrc of int * rv
+  | FirstIn of int * rv
+  | NextDst of int * rv
+  | RelVisible of int * rv
+  | LoadParam of int * int
+  | IndexProbe of int * int * int * int * rv * rv
+      (** dst_count, label, key, probe id, lo, hi: materialise matching
+          node ids into a runtime array *)
+  | IndexCursorNext of int * int * int
+  | CreateNode of int * int * (int * vtag * rv) list
+  | CreateRel of int * int * rv * rv * (int * vtag * rv) list
+  | SetNodeProp of rv * int * vtag * rv
+  | SetRelProp of rv * int * vtag * rv
+  | DeleteNode of rv
+  | DeleteRel of rv
+  | EmitRow of (vtag * rv) list
+
+type term = Br of int | CondBr of rv * int * int | Ret
+
+type block = { mutable instrs : instr list; mutable term : term }
+
+(** Loop metadata recorded by the code generator (the paper's while_loop
+    abstractions), consumed by the unrolling pass. *)
+type loop_info = {
+  l_header : int;
+  l_body : int;
+  l_advance : int;
+  l_exit : int;
+}
+
+type func = {
+  mutable blocks : block array;
+  mutable entry : int;
+  mutable nregs : int;
+  mutable nslots : int;
+  mutable loops : loop_info list;
+}
+
+val null_v : int
+val pp_func : Format.formatter -> func -> unit
+val instr_count : func -> int
+
+val to_string : func -> string
+(** Serialise for the persistent compiled-query cache (the "object
+    file"); loading back only requires re-emission. *)
+
+val of_string : string -> func

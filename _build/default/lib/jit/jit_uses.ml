@@ -1,0 +1,46 @@
+(* Register-use queries over an IR function, shared by the DCE pass and
+   the emitter's compare/branch fusion peephole. *)
+
+open Ir
+
+let uses acc ins =
+  let rv acc = function Reg r -> r :: acc | Imm _ -> acc in
+  match ins with
+  | Load _ | ChunkStart _ | ChunkCount _ | ChunkSize _ | LoadParam _ -> acc
+  | Store (_, v) | Move (_, v) | Not (_, v) | IsNull (_, v) -> rv acc v
+  | Bin (_, _, a, b) | Cmp (_, _, a, b) | FetchNode (_, a, b) -> rv (rv acc a) b
+  | NodeExists (_, n)
+  | NodeLabel (_, n) | RelLabel (_, n)
+  | NodePropV (_, n, _) | RelPropV (_, n, _)
+  | RelSrc (_, n) | RelDst (_, n)
+  | FirstOut (_, n) | NextSrc (_, n) | FirstIn (_, n) | NextDst (_, n)
+  | RelVisible (_, n)
+  | DeleteNode n | DeleteRel n ->
+      rv acc n
+  | IndexProbe (_, _, _, _, lo, hi) -> rv (rv acc lo) hi
+  | IndexCursorNext (_, _, c) -> c :: acc
+  | CreateNode (_, _, ps) -> List.fold_left (fun a (_, _, v) -> rv a v) acc ps
+  | CreateRel (_, _, s, d, ps) ->
+      List.fold_left (fun a (_, _, v) -> rv a v) (rv (rv acc s) d) ps
+  | SetNodeProp (n, _, _, v) | SetRelProp (n, _, _, v) -> rv (rv acc n) v
+  | EmitRow cols -> List.fold_left (fun a (_, v) -> rv a v) acc cols
+
+(* Is [reg] read anywhere besides as the condition of block [except]'s
+   terminator and by that block's own trailing compare?  Conservative:
+   any other read (instruction operand or other terminator) counts. *)
+let read_elsewhere (f : func) ~reg ~except =
+  let found = ref false in
+  Array.iteri
+    (fun bi b ->
+      let n = List.length b.instrs in
+      List.iteri
+        (fun ii ins ->
+          let is_trailing_def = bi = except && ii = n - 1 in
+          if (not is_trailing_def) && List.mem reg (uses [] ins) then
+            found := true)
+        b.instrs;
+      match b.term with
+      | CondBr (Reg r, _, _) when r = reg && bi <> except -> found := true
+      | _ -> ())
+    f.blocks;
+  !found

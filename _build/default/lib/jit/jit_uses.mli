@@ -1,0 +1,9 @@
+(** Register-use queries over an IR function, shared by the DCE pass and
+    the emitter's compare/branch fusion peephole. *)
+
+val uses : int list -> Ir.instr -> int list
+(** Registers read by an instruction, prepended to the accumulator. *)
+
+val read_elsewhere : Ir.func -> reg:int -> except:int -> bool
+(** Is [reg] read anywhere besides block [except]'s terminator condition
+    and that block's own trailing definition?  Conservative. *)

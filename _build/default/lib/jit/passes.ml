@@ -1,0 +1,484 @@
+(* IR optimisation passes (Section 6.2, "JIT Compilation").
+
+   The paper's run-time optimisation cascade, reproduced on our register
+   IR:
+
+   - Promote Memory To Register (Mem2Reg): stack slots become registers;
+     their Load/Store traffic becomes Moves (our registers are mutable
+     cells, so the 1:1 promotion is semantics-preserving without SSA);
+   - Instruction Combining / constant folding + per-block copy
+     propagation: removes the Moves the promotion left behind and folds
+     constant ALU ops;
+   - Dead Code Elimination: drops pure instructions whose results are
+     never read (graph reads are treated as pure: re-reading a committed
+     record is idempotent for the query result);
+   - Control Flow Graph Simplification: threads empty blocks, merges
+     single-predecessor straight-line chains, drops unreachable blocks;
+   - Loop Unrolling: innermost loop regions (as recorded by the code
+     generator's while_loop abstractions) are cloned once, halving the
+     loop-header dispatch overhead per iteration.
+
+   The cascade order is unroll -> mem2reg -> combine -> dce -> simplify
+   (unrolling first, while the generator's loop metadata still names live
+   block ids). *)
+
+open Ir
+
+(* --- Mem2Reg ----------------------------------------------------------------- *)
+
+let mem2reg (f : func) =
+  if f.nslots > 0 then begin
+    let base = f.nregs in
+    let reg_of_slot s = base + s in
+    Array.iter
+      (fun b ->
+        b.instrs <-
+          List.map
+            (function
+              | Load (r, s) -> Move (r, Reg (reg_of_slot s))
+              | Store (s, v) -> Move (reg_of_slot s, v)
+              | i -> i)
+            b.instrs)
+      f.blocks;
+    f.nregs <- base + f.nslots;
+    f.nslots <- 0
+  end
+
+(* --- Copy propagation + instruction combining (per block) -------------------- *)
+
+let defines = function
+  | Load (r, _)
+  | Move (r, _)
+  | Bin (_, r, _, _)
+  | Cmp (_, r, _, _)
+  | Not (r, _)
+  | IsNull (r, _)
+  | ChunkStart r | ChunkCount r | ChunkSize r
+  | FetchNode (r, _, _)
+  | NodeExists (r, _)
+  | NodeLabel (r, _) | RelLabel (r, _)
+  | NodePropV (r, _, _) | RelPropV (r, _, _)
+  | RelSrc (r, _) | RelDst (r, _)
+  | FirstOut (r, _) | NextSrc (r, _) | FirstIn (r, _) | NextDst (r, _)
+  | RelVisible (r, _)
+  | LoadParam (r, _)
+  | IndexProbe (r, _, _, _, _, _)
+  | IndexCursorNext (r, _, _)
+  | CreateNode (r, _, _)
+  | CreateRel (r, _, _, _, _) ->
+      Some r
+  | Store _ | SetNodeProp _ | SetRelProp _ | DeleteNode _ | DeleteRel _
+  | EmitRow _ ->
+      None
+
+let fold_cmp op a b =
+  if a = null_v || b = null_v then 0
+  else
+    let c = compare a b in
+    let r =
+      match op with
+      | Ceq -> c = 0
+      | Cne -> c <> 0
+      | Clt -> c < 0
+      | Cle -> c <= 0
+      | Cgt -> c > 0
+      | Cge -> c >= 0
+    in
+    if r then 1 else 0
+
+let truthy v = v <> 0 && v <> null_v
+
+let fold_bin op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | BAnd -> if truthy a && truthy b then 1 else 0
+  | BOr -> if truthy a || truthy b then 1 else 0
+  | BXor -> a lxor b
+
+let combine (f : func) =
+  Array.iter
+    (fun blk ->
+      let env : (int, rv) Hashtbl.t = Hashtbl.create 16 in
+      let subst = function
+        | Imm i -> Imm i
+        | Reg r -> ( match Hashtbl.find_opt env r with Some v -> v | None -> Reg r)
+      in
+      let invalidate r =
+        Hashtbl.remove env r;
+        Hashtbl.iter
+          (fun k v -> if v = Reg r then Hashtbl.remove env k)
+          (Hashtbl.copy env)
+      in
+      let out = ref [] in
+      List.iter
+        (fun ins ->
+          let rewritten =
+            match ins with
+            | Move (r, v) -> Move (r, subst v)
+            | Bin (op, r, a, b) -> (
+                match (subst a, subst b) with
+                | Imm x, Imm y -> Move (r, Imm (fold_bin op x y))
+                | Reg x, Imm 0 when op = Add || op = Sub -> Move (r, Reg x)
+                | Imm 0, Reg x when op = Add -> Move (r, Reg x)
+                | a', b' -> Bin (op, r, a', b'))
+            | Cmp (op, r, a, b) -> (
+                match (subst a, subst b) with
+                | Imm x, Imm y -> Move (r, Imm (fold_cmp op x y))
+                | a', b' -> Cmp (op, r, a', b'))
+            | Not (r, a) -> (
+                match subst a with
+                | Imm x -> Move (r, Imm (if truthy x then 0 else 1))
+                | a' -> Not (r, a'))
+            | IsNull (r, a) -> (
+                match subst a with
+                | Imm x -> Move (r, Imm (if x = null_v then 1 else 0))
+                | a' -> IsNull (r, a'))
+            | Store (s, v) -> Store (s, subst v)
+            | FetchNode (r, c, s) -> FetchNode (r, subst c, subst s)
+            | NodeExists (r, n) -> NodeExists (r, subst n)
+            | NodeLabel (r, n) -> NodeLabel (r, subst n)
+            | RelLabel (r, n) -> RelLabel (r, subst n)
+            | NodePropV (r, n, k) -> NodePropV (r, subst n, k)
+            | RelPropV (r, n, k) -> RelPropV (r, subst n, k)
+            | RelSrc (r, e) -> RelSrc (r, subst e)
+            | RelDst (r, e) -> RelDst (r, subst e)
+            | FirstOut (r, n) -> FirstOut (r, subst n)
+            | NextSrc (r, e) -> NextSrc (r, subst e)
+            | FirstIn (r, n) -> FirstIn (r, subst n)
+            | NextDst (r, e) -> NextDst (r, subst e)
+            | RelVisible (r, e) -> RelVisible (r, subst e)
+            | IndexProbe (r, l, k, p, lo, hi) ->
+                IndexProbe (r, l, k, p, subst lo, subst hi)
+            | CreateNode (r, l, ps) ->
+                CreateNode (r, l, List.map (fun (k, t, v) -> (k, t, subst v)) ps)
+            | CreateRel (r, l, s, d, ps) ->
+                CreateRel
+                  (r, l, subst s, subst d,
+                   List.map (fun (k, t, v) -> (k, t, subst v)) ps)
+            | SetNodeProp (n, k, t, v) -> SetNodeProp (subst n, k, t, subst v)
+            | SetRelProp (n, k, t, v) -> SetRelProp (subst n, k, t, subst v)
+            | DeleteNode n -> DeleteNode (subst n)
+            | DeleteRel n -> DeleteRel (subst n)
+            | EmitRow cols -> EmitRow (List.map (fun (t, v) -> (t, subst v)) cols)
+            | Load _ | ChunkStart _ | ChunkCount _ | ChunkSize _ | LoadParam _
+            | IndexCursorNext _ ->
+                ins
+          in
+          (match defines rewritten with
+          | Some r -> (
+              invalidate r;
+              match rewritten with
+              | Move (r', (Imm _ as v)) -> Hashtbl.replace env r' v
+              | Move (r', (Reg src as v)) when r' <> src -> Hashtbl.replace env r' v
+              | _ -> ())
+          | None -> ());
+          out := rewritten :: !out)
+        blk.instrs;
+      blk.instrs <- List.rev !out;
+      (* propagate into the terminator *)
+      let subst = function
+        | Imm i -> Imm i
+        | Reg r -> ( match Hashtbl.find_opt env r with Some v -> v | None -> Reg r)
+      in
+      blk.term <-
+        (match blk.term with
+        | CondBr (v, a, b) -> (
+            match subst v with
+            | Imm x -> if truthy x then Br a else Br b
+            | v' -> CondBr (v', a, b))
+        | t -> t))
+    f.blocks
+
+(* --- Dead code elimination ----------------------------------------------------- *)
+
+let uses_of_instr acc ins =
+  let rv acc = function Reg r -> r :: acc | Imm _ -> acc in
+  match ins with
+  | Load _ | ChunkStart _ | ChunkCount _ | ChunkSize _ | LoadParam _ -> acc
+  | Store (_, v) | Move (_, v) | Not (_, v) | IsNull (_, v) -> rv acc v
+  | Bin (_, _, a, b) | Cmp (_, _, a, b) | FetchNode (_, a, b) -> rv (rv acc a) b
+  | NodeExists (_, n)
+  | NodeLabel (_, n) | RelLabel (_, n)
+  | NodePropV (_, n, _) | RelPropV (_, n, _)
+  | RelSrc (_, n) | RelDst (_, n)
+  | FirstOut (_, n) | NextSrc (_, n) | FirstIn (_, n) | NextDst (_, n)
+  | RelVisible (_, n)
+  | DeleteNode n | DeleteRel n ->
+      rv acc n
+  | IndexProbe (_, _, _, _, lo, hi) -> rv (rv acc lo) hi
+  | IndexCursorNext (_, _, c) -> c :: acc
+  | CreateNode (_, _, ps) -> List.fold_left (fun a (_, _, v) -> rv a v) acc ps
+  | CreateRel (_, _, s, d, ps) ->
+      List.fold_left (fun a (_, _, v) -> rv a v) (rv (rv acc s) d) ps
+  | SetNodeProp (n, _, _, v) | SetRelProp (n, _, _, v) -> rv (rv acc n) v
+  | EmitRow cols -> List.fold_left (fun a (_, v) -> rv a v) acc cols
+
+(* instructions safe to drop when their destination is dead *)
+let droppable = function
+  | Load _ | Move _ | Bin _ | Cmp _ | Not _ | IsNull _ | ChunkStart _
+  | ChunkCount _ | ChunkSize _ | LoadParam _ | NodeLabel _ | RelLabel _
+  | NodePropV _ | RelPropV _ | RelSrc _ | RelDst _ | FirstOut _ | NextSrc _
+  | FirstIn _ | NextDst _ | NodeExists _ | FetchNode _ | IndexCursorNext _ ->
+      true
+  | RelVisible _ (* keep: bumps rts / may abort, protocol-relevant *)
+  | Store _ | IndexProbe _ | CreateNode _ | CreateRel _ | SetNodeProp _
+  | SetRelProp _ | DeleteNode _ | DeleteRel _ | EmitRow _ ->
+      false
+
+let dce (f : func) =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let live = Hashtbl.create 64 in
+    Array.iter
+      (fun b ->
+        List.iter (fun i -> List.iter (fun r -> Hashtbl.replace live r ()) (uses_of_instr [] i)) b.instrs;
+        match b.term with
+        | CondBr (Reg r, _, _) -> Hashtbl.replace live r ()
+        | _ -> ())
+      f.blocks;
+    Array.iter
+      (fun b ->
+        let before = List.length b.instrs in
+        b.instrs <-
+          List.filter
+            (fun i ->
+              match defines i with
+              | Some r when droppable i && not (Hashtbl.mem live r) -> false
+              | _ -> true)
+            b.instrs;
+        if List.length b.instrs <> before then changed := true)
+      f.blocks
+  done
+
+(* --- CFG simplification ---------------------------------------------------------- *)
+
+let retarget f map =
+  let m l = map l in
+  Array.iter
+    (fun b ->
+      b.term <-
+        (match b.term with
+        | Br l -> Br (m l)
+        | CondBr (v, a, c) -> CondBr (v, m a, m c)
+        | Ret -> Ret))
+    f.blocks;
+  f.entry <- map f.entry
+
+let simplify_cfg (f : func) =
+  (* 1. thread jumps through empty blocks *)
+  let resolve = Array.make (Array.length f.blocks) (-1) in
+  let rec final l seen =
+    if List.mem l seen then l
+    else if resolve.(l) >= 0 then resolve.(l)
+    else
+      let b = f.blocks.(l) in
+      match (b.instrs, b.term) with
+      | [], Br t ->
+          let r = final t (l :: seen) in
+          resolve.(l) <- r;
+          r
+      | _ ->
+          resolve.(l) <- l;
+          l
+  in
+  retarget f (fun l -> final l []);
+  (* 2. merge straight-line chains: A ends in Br B, B has one predecessor *)
+  let preds = Array.make (Array.length f.blocks) 0 in
+  let bump l = preds.(l) <- preds.(l) + 1 in
+  bump f.entry;
+  Array.iter
+    (fun b ->
+      match b.term with
+      | Br l -> bump l
+      | CondBr (_, a, c) ->
+          bump a;
+          if a <> c then bump c
+      | Ret -> ())
+    f.blocks;
+  let merged = ref true in
+  while !merged do
+    merged := false;
+    Array.iteri
+      (fun i b ->
+        match b.term with
+        | Br t when t <> i && preds.(t) = 1 ->
+            let tb = f.blocks.(t) in
+            b.instrs <- b.instrs @ tb.instrs;
+            b.term <- tb.term;
+            tb.instrs <- [];
+            tb.term <- Ret;
+            preds.(t) <- 0;
+            (* successors of t keep their pred count (edge moved, not added) *)
+            merged := true
+        | _ -> ())
+      f.blocks
+  done;
+  (* 3. drop unreachable blocks and compact ids *)
+  let reach = Array.make (Array.length f.blocks) false in
+  let rec mark l =
+    if not reach.(l) then begin
+      reach.(l) <- true;
+      match f.blocks.(l).term with
+      | Br t -> mark t
+      | CondBr (_, a, c) ->
+          mark a;
+          mark c
+      | Ret -> ()
+    end
+  in
+  mark f.entry;
+  let remap = Array.make (Array.length f.blocks) (-1) in
+  let next = ref 0 in
+  Array.iteri
+    (fun i r ->
+      if r then begin
+        remap.(i) <- !next;
+        incr next
+      end)
+    reach;
+  let blocks =
+    Array.of_list
+      (List.filteri (fun i _ -> reach.(i)) (Array.to_list f.blocks))
+  in
+  Array.iter
+    (fun b ->
+      b.term <-
+        (match b.term with
+        | Br l -> Br remap.(l)
+        | CondBr (v, a, c) -> CondBr (v, remap.(a), remap.(c))
+        | Ret -> Ret))
+    blocks;
+  f.entry <- remap.(f.entry);
+  f.blocks <- blocks;
+  (* loop metadata is stale after renumbering; remap or drop *)
+  f.loops <-
+    List.filter_map
+      (fun l ->
+        let ok i = i < Array.length remap && remap.(i) >= 0 in
+        if ok l.l_header && ok l.l_body && ok l.l_advance && ok l.l_exit then
+          Some
+            {
+              l_header = remap.(l.l_header);
+              l_body = remap.(l.l_body);
+              l_advance = remap.(l.l_advance);
+              l_exit = remap.(l.l_exit);
+            }
+        else None)
+      f.loops
+
+(* --- Loop unrolling ---------------------------------------------------------------- *)
+
+(* Region of a loop: blocks reachable from its header without passing
+   through its exit. *)
+let loop_region f (l : loop_info) =
+  let seen = Hashtbl.create 16 in
+  let rec go b =
+    if b <> l.l_exit && not (Hashtbl.mem seen b) then begin
+      Hashtbl.replace seen b ();
+      match f.blocks.(b).term with
+      | Br t -> go t
+      | CondBr (_, a, c) ->
+          go a;
+          go c
+      | Ret -> ()
+    end
+  in
+  go l.l_header;
+  seen
+
+let unroll_limit = 48
+
+(* Unroll innermost loops once (factor 2): clone the region; the original
+   back-edges jump into the clone, the clone's back-edges return to the
+   original header - each trip around now runs two iterations' worth of
+   header checks and bodies. *)
+let unroll (f : func) =
+  let regions = List.map (fun l -> (l, loop_region f l)) f.loops in
+  let innermost =
+    List.filter
+      (fun (l, region) ->
+        Hashtbl.length region <= unroll_limit
+        && not
+             (List.exists
+                (fun (l', _) -> l != l' && Hashtbl.mem region l'.l_header)
+                regions))
+      regions
+  in
+  List.iter
+    (fun (l, region) ->
+      let nb = Array.length f.blocks in
+      let ids = Hashtbl.fold (fun k () acc -> k :: acc) region [] in
+      let ids = List.sort compare ids in
+      let clone_of = Hashtbl.create 16 in
+      List.iteri (fun i id -> Hashtbl.replace clone_of id (nb + i)) ids;
+      let map l' = match Hashtbl.find_opt clone_of l' with Some c -> c | None -> l' in
+      let clones =
+        List.map
+          (fun id ->
+            let b = f.blocks.(id) in
+            {
+              instrs = b.instrs;
+              term =
+                (match b.term with
+                | Br t -> Br (map t)
+                | CondBr (v, a, c) -> CondBr (v, map a, map c)
+                | Ret -> Ret);
+            })
+          ids
+      in
+      f.blocks <- Array.append f.blocks (Array.of_list clones);
+      (* original back-edges -> clone header; clone back-edges -> original *)
+      let c_header = map l.l_header in
+      List.iter
+        (fun id ->
+          let b = f.blocks.(id) in
+          b.term <-
+            (match b.term with
+            | Br t when t = l.l_header -> Br c_header
+            | CondBr (v, a, c) ->
+                CondBr
+                  ( v,
+                    (if a = l.l_header then c_header else a),
+                    if c = l.l_header then c_header else c )
+            | t -> t))
+        (List.filter (fun id -> id <> l.l_header) ids);
+      let c_of id = Hashtbl.find clone_of id in
+      List.iter
+        (fun id ->
+          let b = f.blocks.(c_of id) in
+          b.term <-
+            (match b.term with
+            | Br t when t = c_header -> Br l.l_header
+            | CondBr (v, a, c) ->
+                CondBr
+                  ( v,
+                    (if a = c_header then l.l_header else a),
+                    if c = c_header then l.l_header else c )
+            | t -> t))
+        (List.filter (fun id -> c_of id <> c_header) ids))
+    innermost
+
+(* --- The cascade (the paper's -O3-style pipeline) ---------------------------------- *)
+
+type level = O0 | O1 | O3
+
+let optimize ?(level = O3) (f : func) =
+  (match level with
+  | O0 -> ()
+  | O1 ->
+      mem2reg f;
+      combine f;
+      dce f;
+      simplify_cfg f
+  | O3 ->
+      unroll f;
+      mem2reg f;
+      combine f;
+      dce f;
+      combine f;
+      dce f;
+      simplify_cfg f);
+  f

@@ -1,0 +1,17 @@
+(** IR optimisation passes - the paper's runtime cascade (Section 6.2):
+    Promote-Memory-To-Register, Instruction Combining / constant folding
+    with per-block copy propagation, Dead Code Elimination, CFG
+    Simplification, and Loop Unrolling of innermost loop regions. *)
+
+val mem2reg : Ir.func -> unit
+val combine : Ir.func -> unit
+val dce : Ir.func -> unit
+val simplify_cfg : Ir.func -> unit
+val unroll : Ir.func -> unit
+val unroll_limit : int
+
+type level = O0 | O1 | O3
+
+val optimize : ?level:level -> Ir.func -> Ir.func
+(** Run the cascade at the given level ([O3] default: unroll, mem2reg,
+    combine, dce, combine, dce, simplify). *)

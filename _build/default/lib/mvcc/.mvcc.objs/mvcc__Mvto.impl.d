@@ -1,0 +1,1 @@
+lib/mvcc/mvto.ml: Atomic Hashtbl List Logs Mutex Pmem Storage Txn Version

@@ -1,0 +1,1 @@
+lib/mvcc/mvto.mli: Storage Txn Version

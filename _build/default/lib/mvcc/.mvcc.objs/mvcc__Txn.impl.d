@@ -1,0 +1,1 @@
+lib/mvcc/txn.ml: Fmt List Version

@@ -1,0 +1,1 @@
+lib/mvcc/txn.mli: Format Version

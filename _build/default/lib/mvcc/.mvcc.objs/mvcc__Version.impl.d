@@ -1,0 +1,1 @@
+lib/mvcc/version.ml: Array Fmt Fun Hashtbl List Mutex Storage

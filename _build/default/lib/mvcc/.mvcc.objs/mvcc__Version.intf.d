@@ -1,0 +1,1 @@
+lib/mvcc/version.mli: Format Mutex Storage

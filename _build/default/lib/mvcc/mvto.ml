@@ -1,0 +1,755 @@
+(* Timestamp-ordering multi-version concurrency control (Section 5),
+   optimised for PMem:
+
+   - the PMem record always holds the most recent *committed* version and
+     doubles as the write lock (its txn_id field, set with a CAS-like
+     store under the record's stripe latch);
+   - all dirty (uncommitted) versions live in DRAM chains and are written
+     at DRAM latency until commit (DG1, DG2);
+   - superseded committed versions are preserved in the DRAM chain so
+     older readers still see their snapshot after the in-place commit;
+   - commit persists the dirty version into the PMem record inside a
+     PMDK-style undo-log transaction (DG4), then garbage-collects at
+     transaction granularity (Section 5.3);
+   - deletes and aborted inserts never deallocate record slots: the chunk
+     bitmap marks them free for reuse (DG5).
+
+   Timestamp rules (as in the paper): transaction T may read version o_i
+   iff bts(o_i) <= id(T) < ets(o_i) and o_i is not locked by another active
+   transaction (else T aborts); T may update the latest version iff it is
+   unlocked, its rts <= id(T), and its bts <= id(T); reads bump rts.
+
+   Physical adjacency splicing (relationship inserts prepend to the
+   endpoint nodes' lists) is not versioned: relationships carry their own
+   visibility interval, so a snapshot traversal simply skips invisible
+   ones.  This mirrors the paper's storage model where next-pointers are
+   plain offsets in the records. *)
+
+module Pool = Pmem.Pool
+module Pmdk_tx = Pmem.Pmdk_tx
+
+let log_src = Logs.Src.create "poseidon.mvto" ~doc:"MVTO transaction manager"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+module Layout = Storage.Layout
+module Value = Storage.Value
+module G = Storage.Graph_store
+module Props = Storage.Props
+
+exception Abort of string
+
+let inf = Layout.inf_ts
+
+type stats = {
+  mutable commits : int;
+  mutable aborts : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable gc_pruned : int;
+}
+
+type t = {
+  store : G.t;
+  chains : Version.chains;
+  next_ts : int Atomic.t;
+  active : (int, Txn.t) Hashtbl.t;
+  active_mu : Mutex.t;
+  deferred : (Version.key * int) list ref; (* physical frees awaiting GC *)
+  deferred_mu : Mutex.t;
+  stats : stats;
+  stats_mu : Mutex.t;
+  mutable write_through : bool;
+      (* DG1/DG2 ablation: when set, every dirty-version mutation is also
+         persisted to the PMem record immediately - the "pure PMem"
+         version-storage alternative the paper rejects *)
+  mutable durable_rts : bool;
+      (* ablation of the paper's Section 5.1 discussion: rts updates are
+         flushed+fenced on every first read instead of being left to
+         opportunistic write-back (rts can be re-initialised on recovery,
+         so durability is not required for correctness) *)
+}
+
+let create store =
+  {
+    store;
+    chains = Version.create_chains ();
+    next_ts = Atomic.make 1;
+    active = Hashtbl.create 64;
+    active_mu = Mutex.create ();
+    deferred = ref [];
+    deferred_mu = Mutex.create ();
+    stats = { commits = 0; aborts = 0; reads = 0; writes = 0; gc_pruned = 0 };
+    stats_mu = Mutex.create ();
+    write_through = false;
+    durable_rts = false;
+  }
+
+let store t = t.store
+let stats t = t.stats
+let chains t = t.chains
+let set_write_through t on = t.write_through <- on
+let set_durable_rts t on = t.durable_rts <- on
+
+let bump_stat t f =
+  Mutex.lock t.stats_mu;
+  f t.stats;
+  Mutex.unlock t.stats_mu
+
+(* --- Persistent header access ------------------------------------------ *)
+
+let fields = function
+  | Version.Node ->
+      Layout.Node.(txn_id, bts, ets, rts)
+  | Version.Rel ->
+      Layout.Rel.(txn_id, bts, ets, rts)
+
+let record_off t (kind, id) =
+  match kind with
+  | Version.Node -> G.node_off t.store id
+  | Version.Rel -> G.rel_off t.store id
+
+(* The four MVTO header words share one cache line: charge a single
+   line-granular read, then pick the fields out of the fetched line. *)
+let hdr t key =
+  let f_txn, f_bts, f_ets, f_rts = fields (fst key) in
+  let off = record_off t key in
+  let p = G.pool t.store in
+  Pool.touch_read p ~off:(off + f_txn) ~len:(f_rts - f_txn + 8);
+  ( Pool.raw_read_int p (off + f_txn),
+    Pool.raw_read_int p (off + f_bts),
+    Pool.raw_read_int p (off + f_ets),
+    Pool.raw_read_int p (off + f_rts) )
+
+(* Write lock: a failure-atomic 8-byte store of the txn_id field (the
+   paper's CaS; atomicity against concurrent writers comes from the
+   stripe latch held by the caller). *)
+let set_lock t key v =
+  let f_txn, _, _, _ = fields (fst key) in
+  Pool.atomic_write_int (G.pool t.store) (record_off t key + f_txn) v
+
+(* rts does not need to be durable - after a crash all transactions are
+   gone and recovery re-initialises it - so by default it is stored
+   without an explicit flush (the line is written back opportunistically).
+   The durable_rts ablation pays the full flush+fence instead. *)
+let set_rts_relaxed t key v =
+  let _, _, _, f_rts = fields (fst key) in
+  if t.durable_rts then
+    Pool.atomic_write_int (G.pool t.store) (record_off t key + f_rts) v
+  else Pool.write_int (G.pool t.store) (record_off t key + f_rts) v
+
+let read_image t (kind, id) =
+  match kind with
+  | Version.Node -> Version.N (G.read_node t.store id)
+  | Version.Rel -> Version.R (G.read_rel t.store id)
+
+let read_pmem_props t (kind, id) =
+  match kind with
+  | Version.Node -> G.node_props t.store id
+  | Version.Rel -> G.rel_props t.store id
+
+let is_live t (kind, id) =
+  match kind with
+  | Version.Node -> G.node_live t.store id
+  | Version.Rel -> G.rel_live t.store id
+
+(* --- Transaction lifecycle ---------------------------------------------- *)
+
+let begin_txn t =
+  let id = Atomic.fetch_and_add t.next_ts 1 in
+  let txn = Txn.make id in
+  Mutex.lock t.active_mu;
+  Hashtbl.replace t.active id txn;
+  Mutex.unlock t.active_mu;
+  txn
+
+let unregister t txn =
+  Mutex.lock t.active_mu;
+  Hashtbl.remove t.active (Txn.id txn);
+  Mutex.unlock t.active_mu
+
+let watermark t =
+  Mutex.lock t.active_mu;
+  let w = Hashtbl.fold (fun id _ acc -> min id acc) t.active max_int in
+  Mutex.unlock t.active_mu;
+  w
+
+let active_count t =
+  Mutex.lock t.active_mu;
+  let n = Hashtbl.length t.active in
+  Mutex.unlock t.active_mu;
+  n
+
+(* --- Views --------------------------------------------------------------- *)
+
+type view = {
+  v_key : Version.key;
+  v_image : Version.image;
+  v_props : (int * Value.t) list;
+}
+
+let view_id v = snd v.v_key
+
+let view_node v =
+  match v.v_image with
+  | Version.N n -> n
+  | Version.R _ -> invalid_arg "Mvto.view_node: relationship view"
+
+let view_rel v =
+  match v.v_image with
+  | Version.R r -> r
+  | Version.N _ -> invalid_arg "Mvto.view_rel: node view"
+
+let view_prop v key = List.assoc_opt key v.v_props
+
+let of_version key (v : Version.version) =
+  { v_key = key; v_image = v.Version.image; v_props = v.Version.props }
+
+(* --- Read path (Section 5.1, "Read transaction") ------------------------ *)
+
+let abort_exn reason = Abort reason
+
+let read t txn key =
+  if not (Txn.is_active txn) then raise (abort_exn "txn not active");
+  bump_stat t (fun s -> s.reads <- s.reads + 1);
+  if not (is_live t key) then None
+  else
+    Version.with_stripe t.chains key @@ fun () ->
+    let chain = Version.find t.chains key in
+    (* own dirty version first: read-your-writes *)
+    match chain with
+    | d :: _ when Version.txn_id d = Txn.id txn ->
+        if d.Version.deleted then None else Some (of_version key d)
+    | _ -> (
+        let h_txn, h_bts, h_ets, h_rts = hdr t key in
+        if h_bts <= Txn.id txn && Txn.id txn < h_ets then begin
+          if h_txn <> 0 && h_txn <> Txn.id txn then
+            raise (abort_exn "read: object locked by active writer");
+          if h_rts < Txn.id txn then set_rts_relaxed t key (Txn.id txn);
+          Some
+            {
+              v_key = key;
+              v_image = read_image t key;
+              v_props = read_pmem_props t key;
+            }
+        end
+        else if Txn.id txn < h_bts then
+          (* too new: an older committed version may survive in the chain *)
+          match
+            List.find_opt
+              (fun v ->
+                Version.txn_id v = 0
+                && Version.bts v <= Txn.id txn
+                && Txn.id txn < Version.ets v)
+              chain
+          with
+          | Some v -> Some (of_version key v)
+          | None -> None
+        else (* h_ets <= id: deleted before our snapshot began *) None)
+
+let read_node t txn id = read t txn (Version.Node, id)
+let read_rel t txn id = read t txn (Version.Rel, id)
+
+(* Header-only visibility test for scan fast paths: same protocol as
+   [read] (including the rts bump and lock abort) without materialising
+   properties.  When no version chains exist at all (no writer has
+   preserved or dirtied any version), the stripe latch and chain lookup
+   are skipped - the common case for read-mostly workloads. *)
+let visible t txn key =
+  if not (is_live t key) then false
+  else if Version.chain_count t.chains = 0 then begin
+    let h_txn, h_bts, h_ets, h_rts = hdr t key in
+    if h_bts <= Txn.id txn && Txn.id txn < h_ets then begin
+      if h_txn <> 0 && h_txn <> Txn.id txn then
+        raise (abort_exn "scan: object locked by active writer");
+      if h_rts < Txn.id txn then set_rts_relaxed t key (Txn.id txn);
+      true
+    end
+    else false
+  end
+  else
+    Version.with_stripe t.chains key @@ fun () ->
+    let chain = Version.find t.chains key in
+    match chain with
+    | d :: _ when Version.txn_id d = Txn.id txn -> not d.Version.deleted
+    | _ ->
+        let h_txn, h_bts, h_ets, h_rts = hdr t key in
+        if h_bts <= Txn.id txn && Txn.id txn < h_ets then begin
+          if h_txn <> 0 && h_txn <> Txn.id txn then
+            raise (abort_exn "scan: object locked by active writer");
+          if h_rts < Txn.id txn then set_rts_relaxed t key (Txn.id txn);
+          true
+        end
+        else if Txn.id txn < h_bts then
+          List.exists
+            (fun v ->
+              Version.txn_id v = 0
+              && Version.bts v <= Txn.id txn
+              && Txn.id txn < Version.ets v)
+            chain
+        else false
+
+(* Lean single-property read for generated code: same visibility protocol
+   as [read], but fetches only the requested property instead of
+   materialising the whole view.  The interpreter keeps the general
+   view-materialising path - compiled code knowing the (object, key) pair
+   at compile time is exactly what lets it skip the generality. *)
+let read_prop t txn key pkey =
+  if not (is_live t key) then None
+  else if Version.chain_count t.chains = 0 then begin
+    let h_txn, h_bts, h_ets, h_rts = hdr t key in
+    if h_bts <= Txn.id txn && Txn.id txn < h_ets then begin
+      if h_txn <> 0 && h_txn <> Txn.id txn then
+        raise (abort_exn "read: object locked by active writer");
+      if h_rts < Txn.id txn then set_rts_relaxed t key (Txn.id txn);
+      let ps = G.prop_store t.store in
+      match key with
+      | Version.Node, id ->
+          Props.get ps ~first:(G.node_field t.store id Layout.Node.first_prop)
+            ~key:pkey
+      | Version.Rel, id ->
+          Props.get ps ~first:(G.rel_field t.store id Layout.Rel.first_prop)
+            ~key:pkey
+    end
+    else None
+  end
+  else
+    match read t txn key with
+    | None -> None
+    | Some view -> view_prop view pkey
+
+(* --- Write path (Section 5.1, "Write transaction") ---------------------- *)
+
+(* Create (or find) the dirty version of [key] owned by [txn], preserving
+   the current committed version in the chain, then apply [mutate]. *)
+let with_dirty t txn key mutate =
+  if not (Txn.is_active txn) then raise (abort_exn "txn not active");
+  bump_stat t (fun s -> s.writes <- s.writes + 1);
+  (* DG1/DG2 ablation: the rejected design persists the dirty version on
+     every modification instead of once at commit *)
+  let mutate =
+    if not t.write_through then mutate
+    else fun v ->
+      mutate v;
+      let len =
+        match fst key with
+        | Version.Node -> Layout.node_size
+        | Version.Rel -> Layout.rel_size
+      in
+      let off = record_off t key in
+      let p = G.pool t.store in
+      Pool.write_bytes p off (Pool.read_bytes p off len);
+      Pool.persist p ~off ~len
+  in
+  Version.with_stripe t.chains key @@ fun () ->
+  match Txn.find_write txn key with
+  | Some (Txn.Update { dirty; _ }) -> mutate dirty
+  | Some (Txn.Delete _) -> raise (abort_exn "update after delete")
+  | Some Txn.Insert ->
+      (* our own fresh insert: mutate the PMem record directly *)
+      let v =
+        {
+          Version.image = read_image t key;
+          props = read_pmem_props t key;
+          deleted = false;
+        }
+      in
+      mutate v;
+      let wb () =
+        match (v.Version.image, key) with
+        | Version.N n, (Version.Node, id) -> G.write_node t.store id n
+        | Version.R r, (Version.Rel, id) -> G.write_rel t.store id r
+        | _ -> assert false
+      in
+      wb ();
+      (match key with
+      | Version.Node, id ->
+          let first = Props.build (G.prop_store t.store) ~owner:(id + 1) v.Version.props in
+          let old = G.node_field t.store id Layout.Node.first_prop in
+          if old <> first then begin
+            Props.free_chain (G.prop_store t.store) ~first:old;
+            G.set_node_field t.store id Layout.Node.first_prop first
+          end
+      | Version.Rel, id ->
+          let first = Props.build (G.prop_store t.store) ~owner:(id + 1) v.Version.props in
+          let old = G.rel_field t.store id Layout.Rel.first_prop in
+          if old <> first then begin
+            Props.free_chain (G.prop_store t.store) ~first:old;
+            G.set_rel_field t.store id Layout.Rel.first_prop first
+          end)
+  | None ->
+      if not (is_live t key) then raise (abort_exn "update: no such object");
+      let h_txn, h_bts, h_ets, h_rts = hdr t key in
+      if h_txn <> 0 then raise (abort_exn "update: write-write conflict");
+      if h_bts > Txn.id txn then
+        raise (abort_exn "update: newer version already committed");
+      if h_ets <> inf then raise (abort_exn "update: object deleted");
+      if h_rts > Txn.id txn then
+        raise (abort_exn "update: already read by newer transaction");
+      set_lock t key (Txn.id txn);
+      let saved =
+        {
+          Version.image = read_image t key;
+          props = read_pmem_props t key;
+          deleted = false;
+        }
+      in
+      Version.set_txn_id saved 0;
+      let dirty = Version.copy saved in
+      Version.set_txn_id dirty (Txn.id txn);
+      Version.set_bts dirty (Txn.id txn);
+      Version.set_ets dirty inf;
+      mutate dirty;
+      Version.set t.chains key (dirty :: saved :: Version.find t.chains key);
+      Txn.add_write txn key (Txn.Update { dirty; saved })
+
+let update t txn key mutate = with_dirty t txn key mutate
+
+let delete t txn key =
+  (match Txn.find_write txn key with
+  | Some (Txn.Delete _) -> raise (abort_exn "delete: already deleted")
+  | _ -> ());
+  with_dirty t txn key (fun v -> v.Version.deleted <- true);
+  (* promote an Update entry to Delete *)
+  match Txn.find_write txn key with
+  | Some (Txn.Update { dirty; saved }) ->
+      dirty.Version.deleted <- true;
+      Txn.replace_write txn key (Txn.Delete { dirty; saved })
+  | Some Txn.Insert ->
+      (* inserting then deleting in the same txn: treat as insert-abort *)
+      raise (abort_exn "delete of same-txn insert not supported")
+  | _ -> ()
+
+(* Inserts write the record straight to the persistent table, locked until
+   commit (Section 5.1: "If the transaction inserts a new object, this
+   object is already stored in the persistent array, but still locked"). *)
+
+let insert_node t txn ~label ~props =
+  if not (Txn.is_active txn) then raise (abort_exn "txn not active");
+  bump_stat t (fun s -> s.writes <- s.writes + 1);
+  let n =
+    {
+      (Layout.empty_node ()) with
+      label;
+      txn_id = Txn.id txn;
+      bts = Txn.id txn;
+      ets = inf;
+    }
+  in
+  let id = G.insert_node t.store n in
+  List.iter (fun (k, v) -> G.set_node_prop t.store id ~key:k v) props;
+  Txn.add_write txn (Version.Node, id) Txn.Insert;
+  id
+
+let insert_rel t txn ~label ~src ~dst ~props =
+  if not (Txn.is_active txn) then raise (abort_exn "txn not active");
+  bump_stat t (fun s -> s.writes <- s.writes + 1);
+  let r =
+    {
+      (Layout.empty_rel ()) with
+      rlabel = label;
+      src;
+      dst;
+      rtxn_id = Txn.id txn;
+      rbts = Txn.id txn;
+      rets = inf;
+    }
+  in
+  (* serialise the adjacency-head splice against other writers of the
+     endpoints (canonical stripe order avoids deadlock) *)
+  let ka = (Version.Node, min src dst) and kb = (Version.Node, max src dst) in
+  let lock2 f =
+    Version.with_stripe t.chains ka (fun () ->
+        if
+          Version.stripe t.chains ka == Version.stripe t.chains kb
+          || src = dst
+        then f ()
+        else Version.with_stripe t.chains kb f)
+  in
+  let id = lock2 (fun () -> G.insert_rel t.store r) in
+  List.iter (fun (k, v) -> G.set_rel_prop t.store id ~key:k v) props;
+  Txn.add_write txn (Version.Rel, id) Txn.Insert;
+  id
+
+(* --- Commit / abort (Section 5.1, "Commit") ------------------------------ *)
+
+let defer t key ets =
+  Mutex.lock t.deferred_mu;
+  t.deferred := (key, ets) :: !(t.deferred);
+  Mutex.unlock t.deferred_mu
+
+(* Apply a dirty version's property map to the PMem chain as a diff:
+   changed values update in place, removed keys clear their slot, new
+   keys fill free slots or prepend a batch (DG5: in-place updates, no
+   copy-on-write).  Old snapshot readers are unaffected - superseded
+   versions in the DRAM chain carry materialised property copies.  The
+   touched batches are snapshotted into the commit's undo log first, so
+   a crash rolls the whole transaction back. *)
+let apply_prop_diff t tx ~owner ~first ~old_props ~new_props =
+  let ps = G.prop_store t.store in
+  (* log the pre-images of every existing batch of the chain *)
+  let rec log_batches link =
+    match Layout.unlink link with
+    | None -> ()
+    | Some id ->
+        let off = Storage.Table.record_off (Props.table ps) id in
+        Pmdk_tx.add_range tx ~off ~len:Layout.prop_size;
+        log_batches
+          (Pool.read_int (G.pool t.store) (off + Layout.Prop.next))
+  in
+  log_batches first;
+  let first' =
+    List.fold_left
+      (fun link (k, v) ->
+        if List.assoc_opt k old_props = Some v then link
+        else Props.set ps ~owner ~first:link ~key:k v)
+      first new_props
+  in
+  List.iter
+    (fun (k, _) ->
+      if not (List.mem_assoc k new_props) then
+        ignore (Props.remove ps ~first:first' ~key:k))
+    old_props;
+  first'
+
+(* Write a dirty version back into its PMem record.  Link fields
+   (adjacency heads / next pointers) are taken from the current PMem
+   record, not the version image: they may have been physically spliced
+   by concurrent relationship inserts and are not versioned. *)
+let install t tx key (dirty : Version.version) (saved : Version.version)
+    commit_ts =
+  let p = G.pool t.store in
+  let off = record_off t key in
+  match (dirty.Version.image, key) with
+  | Version.N n, (Version.Node, id) ->
+      let old_prop = Pool.read_int p (off + Layout.Node.first_prop) in
+      let first_prop =
+        apply_prop_diff t tx ~owner:(id + 1) ~first:old_prop
+          ~old_props:saved.Version.props ~new_props:dirty.Version.props
+      in
+      let cur_out = Pool.read_int p (off + Layout.Node.first_out) in
+      let cur_in = Pool.read_int p (off + Layout.Node.first_in) in
+      G.write_node ~persist:false t.store id
+        {
+          n with
+          first_out = cur_out;
+          first_in = cur_in;
+          first_prop;
+          txn_id = 0;
+          bts = commit_ts;
+          ets = inf;
+          rts = 0;
+        }
+  | Version.R r, (Version.Rel, id) ->
+      let old_prop = Pool.read_int p (off + Layout.Rel.first_prop) in
+      let first_prop =
+        apply_prop_diff t tx ~owner:(id + 1) ~first:old_prop
+          ~old_props:saved.Version.props ~new_props:dirty.Version.props
+      in
+      let cur_ns = Pool.read_int p (off + Layout.Rel.next_src) in
+      let cur_nd = Pool.read_int p (off + Layout.Rel.next_dst) in
+      G.write_rel ~persist:false t.store id
+        {
+          r with
+          next_src = cur_ns;
+          next_dst = cur_nd;
+          rfirst_prop = first_prop;
+          rtxn_id = 0;
+          rbts = commit_ts;
+          rets = inf;
+          rrts = 0;
+        }
+  | _ -> assert false
+
+let record_len = function
+  | Version.Node, _ -> Layout.node_size
+  | Version.Rel, _ -> Layout.rel_size
+
+let gc t =
+  let w = watermark t in
+  (* physically reclaim deleted records no snapshot can reach any more
+     (bitmap reuse, DG5) *)
+  Mutex.lock t.deferred_mu;
+  let ready, still = List.partition (fun (_, ets) -> ets < w) !(t.deferred) in
+  t.deferred := still;
+  Mutex.unlock t.deferred_mu;
+  (* relationships are unlinked before any endpoint slot is reclaimed:
+     unlinking walks the endpoints' adjacency chains *)
+  let rels, nodes =
+    List.partition (fun (key, _) -> fst key = Version.Rel) ready
+  in
+  List.iter
+    (fun (key, _) ->
+      Version.with_stripe t.chains key @@ fun () ->
+      match key with
+      | Version.Rel, id -> if G.rel_live t.store id then G.remove_rel t.store id
+      | Version.Node, _ -> assert false)
+    rels;
+  List.iter
+    (fun (key, _) ->
+      Version.with_stripe t.chains key @@ fun () ->
+      match key with
+      | Version.Node, id -> if G.node_live t.store id then G.remove_node t.store id
+      | Version.Rel, _ -> assert false)
+    nodes;
+  (* prune superseded committed versions no active transaction can see *)
+  Version.iter_keys t.chains (fun key ->
+      Version.with_stripe t.chains key @@ fun () ->
+      let chain = Version.find t.chains key in
+      let keep =
+        List.filter
+          (fun v ->
+            Version.txn_id v <> 0 (* dirty: owner still active *)
+            || Version.ets v >= w)
+          chain
+      in
+      if List.length keep <> List.length chain then begin
+        bump_stat t (fun s ->
+            s.gc_pruned <- s.gc_pruned + List.length chain - List.length keep);
+        Version.set t.chains key keep
+      end)
+
+let commit t txn =
+  if not (Txn.is_active txn) then raise (abort_exn "txn not active");
+  let id = Txn.id txn in
+  let writes = List.rev (Txn.writes txn) in
+  if writes <> [] then begin
+    Pmdk_tx.run (G.pool t.store) (fun tx ->
+        List.iter
+          (fun (key, wop) ->
+            Version.with_stripe t.chains key @@ fun () ->
+            let off = record_off t key in
+            match wop with
+            | Txn.Insert ->
+                (* just unlock: the record was persisted at insert *)
+                let f_txn, _, _, _ = fields (fst key) in
+                Pmdk_tx.add_range tx ~off:(off + f_txn) ~len:8;
+                Pool.write_int (G.pool t.store) (off + f_txn) 0
+            | Txn.Update { dirty; saved } ->
+                Pmdk_tx.add_range tx ~off ~len:(record_len key);
+                install t tx key dirty saved id;
+                Version.set_ets saved id;
+                (* drop the dirty entry: the PMem record now carries it *)
+                let chain = Version.find t.chains key in
+                Version.set t.chains key
+                  (List.filter (fun v -> v != dirty) chain)
+            | Txn.Delete { dirty; saved } ->
+                let _, _, f_ets, _ = fields (fst key) in
+                let f_txn, _, _, _ = fields (fst key) in
+                Pmdk_tx.add_range tx ~off ~len:(record_len key);
+                Pool.write_int (G.pool t.store) (off + f_ets) id;
+                Pool.write_int (G.pool t.store) (off + f_txn) 0;
+                Version.set_ets saved id;
+                let chain = Version.find t.chains key in
+                Version.set t.chains key
+                  (List.filter (fun v -> v != dirty) chain);
+                defer t key id)
+          writes)
+  end;
+  txn.Txn.status <- Txn.Committed;
+  unregister t txn;
+  bump_stat t (fun s -> s.commits <- s.commits + 1);
+  gc t
+
+let abort t txn =
+  if not (Txn.is_active txn) then raise (abort_exn "txn not active");
+  List.iter
+    (fun (key, wop) ->
+      Version.with_stripe t.chains key @@ fun () ->
+      match wop with
+      | Txn.Insert -> (
+          match key with
+          | Version.Node, id -> if G.node_live t.store id then G.remove_node t.store id
+          | Version.Rel, id -> if G.rel_live t.store id then G.remove_rel t.store id)
+      | Txn.Update { dirty; saved } | Txn.Delete { dirty; saved } ->
+          let chain = Version.find t.chains key in
+          Version.set t.chains key
+            (List.filter (fun v -> v != dirty && v != saved) chain);
+          set_lock t key 0)
+    (Txn.writes txn);
+  txn.Txn.status <- Txn.Aborted;
+  unregister t txn;
+  bump_stat t (fun s -> s.aborts <- s.aborts + 1);
+  gc t
+
+(* Run [f] in a transaction; abort on exception.  [Abort] is re-raised so
+   callers can implement retry policies. *)
+let with_txn t f =
+  let txn = begin_txn t in
+  match f txn with
+  | v ->
+      commit t txn;
+      v
+  | exception e ->
+      if Txn.is_active txn then abort t txn;
+      raise e
+
+(* Retry a transactional computation on [Abort], with a bound. *)
+let with_txn_retry ?(max_retries = 16) t f =
+  let rec go n =
+    match with_txn t f with
+    | v -> v
+    | exception Abort _ when n < max_retries -> go (n + 1)
+  in
+  go 0
+
+(* --- Recovery -------------------------------------------------------------
+
+   After a crash the PMDK undo log has already been rolled back by
+   [Graph_store.open_], so every record is either its last committed
+   version or a published-but-uncommitted insert.  What remains:
+
+   - stale write locks: txn_id <> 0 with bts <> txn_id marks an update
+     lock whose owner died before entering its commit transaction; the
+     record content is the old committed version, so the lock is simply
+     cleared;
+   - uncommitted inserts: txn_id <> 0 with bts = txn_id; the record never
+     became visible, so its slot is reclaimed (relationships are unlinked
+     from the adjacency lists first);
+   - the timestamp oracle restarts above every timestamp in the store. *)
+
+let recover store =
+  let t = create store in
+  let max_ts = ref 0 in
+  let dead_nodes = ref [] and dead_rels = ref [] in
+  let consider ~txn_id ~bts ~ets ~rts kind id =
+    max_ts := max !max_ts bts;
+    max_ts := max !max_ts rts;
+    if ets <> inf then max_ts := max !max_ts ets;
+    if txn_id <> 0 then begin
+      max_ts := max !max_ts txn_id;
+      if bts = txn_id then
+        match kind with
+        | Version.Node -> dead_nodes := id :: !dead_nodes
+        | Version.Rel -> dead_rels := id :: !dead_rels
+      else set_lock t (kind, id) 0
+    end
+  in
+  G.iter_nodes store (fun id ->
+      let n = G.read_node store id in
+      consider ~txn_id:n.Layout.txn_id ~bts:n.Layout.bts ~ets:n.Layout.ets
+        ~rts:n.Layout.rts Version.Node id);
+  G.iter_rels store (fun id ->
+      let r = G.read_rel store id in
+      consider ~txn_id:r.Layout.rtxn_id ~bts:r.Layout.rbts ~ets:r.Layout.rets
+        ~rts:r.Layout.rrts Version.Rel id);
+  List.iter (fun id -> G.remove_rel store id) !dead_rels;
+  List.iter (fun id -> G.remove_node store id) !dead_nodes;
+  Atomic.set t.next_ts (!max_ts + 1);
+  Log.info (fun m ->
+      m "recovery: %d uncommitted inserts reclaimed (%d nodes, %d rels), next ts %d"
+        (List.length !dead_nodes + List.length !dead_rels)
+        (List.length !dead_nodes) (List.length !dead_rels) (!max_ts + 1));
+  t
+
+(* --- Scans ---------------------------------------------------------------- *)
+
+let scan_nodes t txn f =
+  G.iter_nodes t.store (fun id ->
+      if visible t txn (Version.Node, id) then f id)
+
+let scan_nodes_chunk t txn ci f =
+  G.iter_nodes_chunk t.store ci (fun id ->
+      if visible t txn (Version.Node, id) then f id)
+
+let scan_rels t txn f =
+  G.iter_rels t.store (fun id -> if visible t txn (Version.Rel, id) then f id)

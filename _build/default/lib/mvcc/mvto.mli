@@ -1,0 +1,115 @@
+(** Timestamp-ordering multi-version concurrency control optimised for
+    PMem (Section 5).
+
+    The PMem record always holds the most recent committed version and
+    doubles as the write lock; dirty versions live in DRAM chains
+    (DG1/DG2); commit persists in place under a PMDK-style undo-log
+    transaction (DG4); garbage collection runs at transaction granularity
+    with bitmap slot reuse (DG5).
+
+    Visibility: transaction T reads version o iff
+    [bts(o) <= id(T) < ets(o)] and o is not locked by another active
+    transaction (otherwise T aborts); reads bump rts; a write requires
+    the latest version unlocked with [rts <= id(T)] and [bts <= id(T)]. *)
+
+exception Abort of string
+
+type stats = {
+  mutable commits : int;
+  mutable aborts : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable gc_pruned : int;
+}
+
+type t
+
+val create : Storage.Graph_store.t -> t
+val recover : Storage.Graph_store.t -> t
+(** Reattach after a crash: clears stale write locks, reclaims
+    published-but-uncommitted inserts, restarts the timestamp oracle
+    above every timestamp in the store.  (The PMDK undo log has already
+    been rolled back by [Graph_store.open_].) *)
+
+val store : t -> Storage.Graph_store.t
+val stats : t -> stats
+val chains : t -> Version.chains
+val set_write_through : t -> bool -> unit
+(** DG1/DG2 ablation: persist dirty versions to PMem on every modification
+    (the "pure PMem" version storage the paper rejects) instead of once at
+    commit. *)
+
+val set_durable_rts : t -> bool -> unit
+(** Ablation of Section 5.1's design discussion: flush+fence every rts
+    bump instead of leaving the line to opportunistic write-back. *)
+
+val watermark : t -> int
+(** Oldest active transaction id ([max_int] when none). *)
+
+val active_count : t -> int
+
+(** {1 Transactions} *)
+
+val begin_txn : t -> Txn.t
+val commit : t -> Txn.t -> unit
+val abort : t -> Txn.t -> unit
+val with_txn : t -> (Txn.t -> 'a) -> 'a
+(** Commit on return, abort on exception (re-raised). *)
+
+val with_txn_retry : ?max_retries:int -> t -> (Txn.t -> 'a) -> 'a
+(** Like {!with_txn}, retrying on {!Abort}. *)
+
+val gc : t -> unit
+(** Transaction-level garbage collection: prune superseded versions below
+    the watermark and physically reclaim deleted record slots. *)
+
+(** {1 Views} *)
+
+type view
+
+val view_id : view -> int
+val view_node : view -> Storage.Layout.node
+val view_rel : view -> Storage.Layout.rel
+val view_prop : view -> int -> Storage.Value.t option
+
+(** {1 Reads} *)
+
+val read : t -> Txn.t -> Version.key -> view option
+(** Snapshot read; [None] when the object is invisible to the
+    transaction. @raise Abort on a lock conflict. *)
+
+val read_node : t -> Txn.t -> int -> view option
+val read_rel : t -> Txn.t -> int -> view option
+val visible : t -> Txn.t -> Version.key -> bool
+(** Header-only visibility test (scan fast path); same protocol
+    semantics as {!read} including the rts bump and lock abort. *)
+
+val read_prop : t -> Txn.t -> Version.key -> int -> Storage.Value.t option
+(** Lean single-property read used by generated (JIT) code: same
+    protocol, no view materialisation. *)
+
+(** {1 Writes} *)
+
+val update : t -> Txn.t -> Version.key -> (Version.version -> unit) -> unit
+(** Create (or find) the transaction's dirty version of the object and
+    apply the mutation in DRAM. @raise Abort on conflicts. *)
+
+val delete : t -> Txn.t -> Version.key -> unit
+val insert_node :
+  t -> Txn.t -> label:int -> props:(int * Storage.Value.t) list -> int
+(** Insert directly into the persistent table, locked until commit. *)
+
+val insert_rel :
+  t ->
+  Txn.t ->
+  label:int ->
+  src:int ->
+  dst:int ->
+  props:(int * Storage.Value.t) list ->
+  int
+
+(** {1 Scans} *)
+
+val scan_nodes : t -> Txn.t -> (int -> unit) -> unit
+val scan_nodes_chunk : t -> Txn.t -> int -> (int -> unit) -> unit
+val scan_rels : t -> Txn.t -> (int -> unit) -> unit

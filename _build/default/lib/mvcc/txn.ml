@@ -1,0 +1,40 @@
+(* Transaction objects for the MVTO protocol (Section 5.1).
+
+   A transaction is identified by the timestamp handed out at begin; its
+   write set records, per object, the dirty version it created in DRAM and
+   the preserved copy of the version it superseded (so that abort can
+   restore the chain exactly). *)
+
+type status = Active | Committed | Aborted
+
+type wop =
+  | Insert (* record written directly to PMem, still locked (Sec. 5.1) *)
+  | Update of { dirty : Version.version; saved : Version.version }
+  | Delete of { dirty : Version.version; saved : Version.version }
+
+type t = {
+  id : int; (* begin timestamp = transaction identifier *)
+  mutable status : status;
+  mutable writes : (Version.key * wop) list; (* newest first *)
+  mutable nreads : int;
+}
+
+let make id = { id; status = Active; writes = []; nreads = 0 }
+let id t = t.id
+let status t = t.status
+let is_active t = t.status = Active
+
+let find_write t key =
+  List.find_map (fun (k, w) -> if k = key then Some w else None) t.writes
+
+let add_write t key w = t.writes <- (key, w) :: t.writes
+
+let replace_write t key w =
+  t.writes <- (key, w) :: List.filter (fun (k, _) -> k <> key) t.writes
+
+let writes t = t.writes
+
+let pp_status ppf = function
+  | Active -> Fmt.string ppf "active"
+  | Committed -> Fmt.string ppf "committed"
+  | Aborted -> Fmt.string ppf "aborted"

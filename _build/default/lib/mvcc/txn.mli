@@ -1,0 +1,30 @@
+(** Transaction objects for the MVTO protocol (Section 5.1).
+
+    A transaction is identified by its begin timestamp; the write set
+    records per object the dirty version created in DRAM and the
+    preserved copy of the superseded version (for exact abort
+    rollback). *)
+
+type status = Active | Committed | Aborted
+
+type wop =
+  | Insert  (** record written directly to PMem, locked until commit *)
+  | Update of { dirty : Version.version; saved : Version.version }
+  | Delete of { dirty : Version.version; saved : Version.version }
+
+type t = {
+  id : int;
+  mutable status : status;
+  mutable writes : (Version.key * wop) list;
+  mutable nreads : int;
+}
+
+val make : int -> t
+val id : t -> int
+val status : t -> status
+val is_active : t -> bool
+val find_write : t -> Version.key -> wop option
+val add_write : t -> Version.key -> wop -> unit
+val replace_write : t -> Version.key -> wop -> unit
+val writes : t -> (Version.key * wop) list
+val pp_status : Format.formatter -> status -> unit

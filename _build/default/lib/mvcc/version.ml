@@ -1,0 +1,119 @@
+(* Volatile version chains (Section 5.2).
+
+   A record's chain lives in DRAM and holds, newest first:
+   - at most one *dirty* (uncommitted) version owned by the single writer
+     currently holding the record's write lock, and
+   - superseded *committed* versions preserved so that older readers can
+     still see them after a commit overwrites the PMem record in place.
+
+   The version images reuse the decoded [Layout] records; their embedded
+   txn_id / bts / ets / rts fields carry the MVTO metadata.  Properties are
+   materialised into the version when it is created (a version is a full
+   copy of the object, as in the paper). *)
+
+module Value = Storage.Value
+module Layout = Storage.Layout
+
+type kind = Node | Rel
+
+let pp_kind ppf = function
+  | Node -> Fmt.string ppf "node"
+  | Rel -> Fmt.string ppf "rel"
+
+type key = kind * int
+
+type image = N of Layout.node | R of Layout.rel
+
+type version = {
+  image : image;
+  mutable props : (int * Value.t) list;
+  mutable deleted : bool; (* dirty delete marker *)
+}
+
+let txn_id v = match v.image with N n -> n.Layout.txn_id | R r -> r.Layout.rtxn_id
+let bts v = match v.image with N n -> n.Layout.bts | R r -> r.Layout.rbts
+let ets v = match v.image with N n -> n.Layout.ets | R r -> r.Layout.rets
+(* timestamps are 63-bit ints; [Layout.inf_ts] marks an open interval *)
+
+let set_txn_id v x =
+  match v.image with
+  | N n -> n.Layout.txn_id <- x
+  | R r -> r.Layout.rtxn_id <- x
+
+let set_bts v x =
+  match v.image with N n -> n.Layout.bts <- x | R r -> r.Layout.rbts <- x
+
+let set_ets v x =
+  match v.image with N n -> n.Layout.ets <- x | R r -> r.Layout.rets <- x
+
+let copy v =
+  {
+    image =
+      (match v.image with
+      | N n -> N (Layout.copy_node n)
+      | R r -> R (Layout.copy_rel r));
+    props = v.props;
+    deleted = v.deleted;
+  }
+
+(* Striped chain table: one mutex stripe guards both the chain and the
+   persistent header of the records hashing to it. *)
+
+type chains = {
+  tbl : (key, version list ref) Hashtbl.t;
+  tbl_mu : Mutex.t;
+  stripes : Mutex.t array;
+}
+
+let n_stripes = 256
+
+let create_chains () =
+  {
+    tbl = Hashtbl.create 1024;
+    tbl_mu = Mutex.create ();
+    stripes = Array.init n_stripes (fun _ -> Mutex.create ());
+  }
+
+let stripe c (key : key) = c.stripes.(Hashtbl.hash key land (n_stripes - 1))
+
+let with_stripe c key f =
+  let mu = stripe c key in
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+(* All chain accessors must be called with the key's stripe held. *)
+
+let find c key =
+  Mutex.lock c.tbl_mu;
+  let r = Hashtbl.find_opt c.tbl key in
+  Mutex.unlock c.tbl_mu;
+  match r with Some l -> !l | None -> []
+
+let set c key versions =
+  Mutex.lock c.tbl_mu;
+  (if versions = [] then Hashtbl.remove c.tbl key
+   else
+     match Hashtbl.find_opt c.tbl key with
+     | Some l -> l := versions
+     | None -> Hashtbl.add c.tbl key (ref versions));
+  Mutex.unlock c.tbl_mu
+
+let push c key v = set c key (v :: find c key)
+
+let chain_count c =
+  Mutex.lock c.tbl_mu;
+  let n = Hashtbl.length c.tbl in
+  Mutex.unlock c.tbl_mu;
+  n
+
+let total_versions c =
+  Mutex.lock c.tbl_mu;
+  let n = Hashtbl.fold (fun _ l acc -> acc + List.length !l) c.tbl 0 in
+  Mutex.unlock c.tbl_mu;
+  n
+
+let iter_keys c f =
+  Mutex.lock c.tbl_mu;
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) c.tbl [] in
+  Mutex.unlock c.tbl_mu;
+  List.iter f keys

@@ -1,0 +1,44 @@
+(** Volatile version chains (Section 5.2).
+
+    A record's chain lives in DRAM and holds, newest first, the single
+    dirty (uncommitted) version of the current writer and the superseded
+    committed versions still visible to older snapshots.  A version is a
+    full copy of the object: record image plus materialised properties. *)
+
+module Value = Storage.Value
+
+type kind = Node | Rel
+
+val pp_kind : Format.formatter -> kind -> unit
+
+type key = kind * int
+
+type image = N of Storage.Layout.node | R of Storage.Layout.rel
+
+type version = {
+  image : image;
+  mutable props : (int * Value.t) list;
+  mutable deleted : bool;
+}
+
+val txn_id : version -> int
+val bts : version -> int
+val ets : version -> int
+val set_txn_id : version -> int -> unit
+val set_bts : version -> int -> unit
+val set_ets : version -> int -> unit
+val copy : version -> version
+
+(** Striped chain table; the stripe mutex also guards the record's
+    persistent MVTO header. *)
+type chains
+
+val create_chains : unit -> chains
+val stripe : chains -> key -> Mutex.t
+val with_stripe : chains -> key -> (unit -> 'a) -> 'a
+val find : chains -> key -> version list
+val set : chains -> key -> version list -> unit
+val push : chains -> key -> version -> unit
+val chain_count : chains -> int
+val total_versions : chains -> int
+val iter_keys : chains -> (key -> unit) -> unit

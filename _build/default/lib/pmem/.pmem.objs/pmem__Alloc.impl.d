@@ -1,0 +1,1 @@
+lib/pmem/alloc.ml: Fun Media Mutex Pool

@@ -1,0 +1,1 @@
+lib/pmem/media.ml: Atomic Domain Fmt Hashtbl List Mutex Sys

@@ -1,0 +1,1 @@
+lib/pmem/pmdk_tx.ml: Alloc Array Hashtbl List Mutex Pool

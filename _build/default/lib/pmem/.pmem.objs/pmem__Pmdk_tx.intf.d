@@ -1,0 +1,1 @@
+lib/pmem/pmdk_tx.mli: Pool

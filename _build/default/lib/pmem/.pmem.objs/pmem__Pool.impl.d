@@ -1,0 +1,1 @@
+lib/pmem/pool.ml: Bytes Int32 Int64 Media Mutex Random

@@ -1,0 +1,1 @@
+lib/pmem/pptr.ml: Fmt Hashtbl Int64 Media Pool

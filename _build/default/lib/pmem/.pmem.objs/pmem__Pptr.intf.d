@@ -1,0 +1,1 @@
+lib/pmem/pptr.mli: Format Pool

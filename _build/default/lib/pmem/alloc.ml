@@ -1,0 +1,115 @@
+(* Pool-resident allocator with size classes and free-list reuse (DG5).
+
+   PMem allocations are expensive (C5): every allocation is charged the
+   PMDK-like overhead, so higher layers allocate whole chunks and reuse
+   record slots via bitmaps instead of allocating per record.
+
+   Pool layout managed here:
+
+     0    magic (u64)
+     8    bump pointer (u64)                 - next never-allocated offset
+     16   free-list heads (n_classes x u64)  - head of each size class
+     176  root directory (64 x u64)          - PMDK-root-like named slots
+     1024 undo-log region (Pmdk_tx)
+     data_base ...                           - allocatable space
+
+   Failure atomicity: the bump pointer and each free-list head are updated
+   with single atomic 8-byte stores.  A crash between linking a freed block
+   and updating the head can leak one block (exactly as real allocators
+   accept before offline leak detection); it can never double-allocate. *)
+
+let magic = 0x504F534549444F4EL (* "POSEIDON" *)
+let min_class_log = 6 (* 64 B *)
+let n_classes = 20 (* 64 B .. 32 MiB *)
+let bump_off = 8
+let heads_off = 16
+let roots_off = 176
+let n_roots = 64
+let log_off = 1024
+let log_size = 1_048_576
+let data_base = log_off + log_size (* 263168, 4 KiB-ish aligned below *)
+let data_base = (data_base + 4095) / 4096 * 4096
+
+exception Out_of_memory of { pool : int; requested : int }
+
+let class_of_size size =
+  if size <= 0 then invalid_arg "Alloc.class_of_size";
+  let rec go c bytes = if bytes >= size then c else go (c + 1) (bytes * 2) in
+  let c = go 0 (1 lsl min_class_log) in
+  if c >= n_classes then invalid_arg "Alloc.class_of_size: too large";
+  c
+
+let class_bytes c = 1 lsl (min_class_log + c)
+
+let head_off c = heads_off + (8 * c)
+
+let format pool =
+  Pool.write_i64 pool 0 magic;
+  Pool.write_int pool bump_off data_base;
+  for c = 0 to n_classes - 1 do
+    Pool.write_int pool (head_off c) 0
+  done;
+  for r = 0 to n_roots - 1 do
+    Pool.write_int pool (roots_off + (8 * r)) 0
+  done;
+  (* the log region's state word must be durable before first use *)
+  Pool.write_int pool log_off 0;
+  Pool.persist pool ~off:0 ~len:(roots_off + (8 * n_roots));
+  Pool.persist pool ~off:log_off ~len:16
+
+let is_formatted pool = Pool.read_i64 pool 0 = magic
+
+(* Allocate a block of at least [size] bytes; returns its offset.  The
+   returned block is always 64-byte aligned and a power-of-two size class,
+   so chunk layouts can align records to cache lines (DG3). *)
+let alloc pool size =
+  let c = class_of_size size in
+  let mu = Pool.alloc_mutex pool in
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) @@ fun () ->
+  Media.alloc (Pool.media pool) (Pool.device pool);
+  let head = Pool.read_int pool (head_off c) in
+  if head <> 0 then begin
+    (* pop: next pointer lives in the first word of the free block *)
+    let next = Pool.read_int pool head in
+    Pool.atomic_write_int pool (head_off c) next;
+    head
+  end
+  else begin
+    let bump = Pool.read_int pool bump_off in
+    let bytes = class_bytes c in
+    if bump + bytes > Pool.size pool then
+      raise (Out_of_memory { pool = Pool.id pool; requested = bytes });
+    Pool.atomic_write_int pool bump_off (bump + bytes);
+    bump
+  end
+
+let free pool ~off ~size =
+  let c = class_of_size size in
+  let mu = Pool.alloc_mutex pool in
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) @@ fun () ->
+  Media.free (Pool.media pool) (Pool.device pool);
+  let head = Pool.read_int pool (head_off c) in
+  (* link first, persist, then swing the head: a crash in between leaks
+     [off] but never corrupts the list *)
+  Pool.write_int pool off head;
+  Pool.persist pool ~off ~len:8;
+  Pool.atomic_write_int pool (head_off c) off
+
+(* Named persistent roots (like PMDK's root object): fixed slots that let
+   higher layers find their table directories after a restart. *)
+
+let set_root pool slot v =
+  if slot < 0 || slot >= n_roots then invalid_arg "Alloc.set_root";
+  Pool.atomic_write_int pool (roots_off + (8 * slot)) v
+
+let get_root pool slot =
+  if slot < 0 || slot >= n_roots then invalid_arg "Alloc.get_root";
+  Pool.read_int pool (roots_off + (8 * slot))
+
+let bump_value pool = Pool.read_int pool bump_off
+
+let free_list_length pool c =
+  let rec go off n = if off = 0 then n else go (Pool.read_int pool off) (n + 1) in
+  go (Pool.read_int pool (head_off c)) 0

@@ -1,0 +1,38 @@
+(** Pool-resident allocator with size classes and free-list reuse (DG5).
+
+    Allocations are charged the PMem allocation overhead (C5); higher
+    layers therefore allocate whole chunks and recycle record slots through
+    bitmaps rather than allocating per record. *)
+
+exception Out_of_memory of { pool : int; requested : int }
+
+val n_classes : int
+val class_of_size : int -> int
+(** Smallest size class holding [size] bytes. *)
+
+val class_bytes : int -> int
+val log_off : int
+(** Offset of the undo-log region reserved for {!Pmdk_tx}. *)
+
+val log_size : int
+val data_base : int
+(** First allocatable offset. *)
+
+val format : Pool.t -> unit
+(** Initialise allocator metadata in a fresh pool. *)
+
+val is_formatted : Pool.t -> bool
+
+val alloc : Pool.t -> int -> int
+(** Allocate a block of at least the given size; 64-byte aligned.
+    @raise Out_of_memory when the pool is exhausted. *)
+
+val free : Pool.t -> off:int -> size:int -> unit
+
+val n_roots : int
+val set_root : Pool.t -> int -> int -> unit
+(** Store a named persistent root offset (failure-atomically). *)
+
+val get_root : Pool.t -> int -> int
+val bump_value : Pool.t -> int
+val free_list_length : Pool.t -> int -> int

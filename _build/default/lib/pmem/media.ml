@@ -1,0 +1,318 @@
+(* Device cost model and simulated clock for the persistent-memory simulator.
+
+   The paper's evaluation is driven by the latency/bandwidth/asymmetry
+   characteristics (C1)-(C3) of Intel Optane DCPMMs.  Since no PMem hardware
+   (nor PMDK bindings) is available, every storage access in this repository
+   is routed through a [Media.t] which charges calibrated per-access costs to
+   a simulated nanosecond clock.  The default parameters follow the ratios
+   reported in the paper and the studies it cites ([42, 48]):
+
+   - PMem random reads are ~3x slower than DRAM (C1);
+   - reads within an already-open 256-byte DCPMM block are cheaper,
+     rewarding sequential, block-aligned layouts (C3);
+   - writes are asymmetrically more expensive than reads and the real cost
+     is paid at cache-line flush ([clwb]) and fence ([sfence]) time (C2, DG1);
+   - PMem allocations are up to ~8x more expensive than DRAM ones (C5);
+   - dereferencing a 16-byte persistent pointer costs extra (C6);
+   - SSD access is page-granular and orders of magnitude slower. *)
+
+type device = Dram | Pmem | Ssd
+
+let pp_device ppf = function
+  | Dram -> Fmt.string ppf "dram"
+  | Pmem -> Fmt.string ppf "pmem"
+  | Ssd -> Fmt.string ppf "ssd"
+
+(* All costs in simulated nanoseconds. *)
+type costs = {
+  dram_read_line : int;
+  dram_write_line : int;
+  pmem_read_line_random : int; (* first line of a 256 B block *)
+  pmem_read_line_seq : int; (* subsequent lines within/adjacent block *)
+  pmem_write_line : int; (* store reaching the write-combining buffer *)
+  pmem_flush_line : int; (* clwb write-back of one dirty line *)
+  pmem_fence : int; (* sfence drain *)
+  pmem_alloc : int; (* PMDK-style allocation overhead (C5) *)
+  dram_alloc : int;
+  pptr_deref : int; (* persistent-pointer translation (C6) *)
+  ssd_read_page : int;
+  ssd_write_page : int;
+}
+
+let default_costs =
+  {
+    dram_read_line = 80;
+    dram_write_line = 60;
+    pmem_read_line_random = 290;
+    pmem_read_line_seq = 95;
+    pmem_write_line = 120;
+    pmem_flush_line = 150;
+    pmem_fence = 420;
+    pmem_alloc = 2600;
+    dram_alloc = 320;
+    pptr_deref = 35;
+    ssd_read_page = 80_000;
+    ssd_write_page = 95_000;
+  }
+
+type stats = {
+  mutable reads : int; (* line-granular accesses *)
+  mutable writes : int;
+  mutable flushes : int;
+  mutable fences : int;
+  mutable allocs : int;
+  mutable frees : int;
+  mutable derefs : int;
+  mutable ssd_reads : int;
+  mutable ssd_writes : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+}
+
+(* internal lock-free counters; [stats] returns a snapshot *)
+type counters = {
+  c_reads : int Atomic.t;
+  c_writes : int Atomic.t;
+  c_flushes : int Atomic.t;
+  c_fences : int Atomic.t;
+  c_allocs : int Atomic.t;
+  c_frees : int Atomic.t;
+  c_derefs : int Atomic.t;
+  c_ssd_reads : int Atomic.t;
+  c_ssd_writes : int Atomic.t;
+  c_bytes_read : int Atomic.t;
+  c_bytes_written : int Atomic.t;
+}
+
+let empty_counters () =
+  {
+    c_reads = Atomic.make 0;
+    c_writes = Atomic.make 0;
+    c_flushes = Atomic.make 0;
+    c_fences = Atomic.make 0;
+    c_allocs = Atomic.make 0;
+    c_frees = Atomic.make 0;
+    c_derefs = Atomic.make 0;
+    c_ssd_reads = Atomic.make 0;
+    c_ssd_writes = Atomic.make 0;
+    c_bytes_read = Atomic.make 0;
+    c_bytes_written = Atomic.make 0;
+  }
+
+let add c n = ignore (Atomic.fetch_and_add c n)
+
+type t = {
+  costs : costs;
+  mutable spin : bool; (* wall-clock emulation of charges *)
+  clock : int Atomic.t; (* total charged simulated ns *)
+  counters : counters;
+  last_block : int Atomic.t; (* last 256 B block read, for C3 modelling *)
+  meter_key : int option ref Domain.DLS.key;
+      (* per-domain meter: when installed, charges are also accumulated
+         locally so a parallel harness can compute per-worker busy time *)
+  meters : (int, int ref) Hashtbl.t;
+  meters_mu : Mutex.t;
+  mutable next_meter : int;
+}
+
+let line_size = 64
+let block_size = 256
+
+let create ?(costs = default_costs) () =
+  {
+    costs;
+    spin = false;
+    clock = Atomic.make 0;
+    counters = empty_counters ();
+    last_block = Atomic.make (-10);
+    meter_key = Domain.DLS.new_key (fun () -> ref None);
+    meters = Hashtbl.create 8;
+    meters_mu = Mutex.create ();
+    next_meter = 0;
+  }
+
+let clock t = Atomic.get t.clock
+
+let stats t =
+  let c = t.counters in
+  {
+    reads = Atomic.get c.c_reads;
+    writes = Atomic.get c.c_writes;
+    flushes = Atomic.get c.c_flushes;
+    fences = Atomic.get c.c_fences;
+    allocs = Atomic.get c.c_allocs;
+    frees = Atomic.get c.c_frees;
+    derefs = Atomic.get c.c_derefs;
+    ssd_reads = Atomic.get c.c_ssd_reads;
+    ssd_writes = Atomic.get c.c_ssd_writes;
+    bytes_read = Atomic.get c.c_bytes_read;
+    bytes_written = Atomic.get c.c_bytes_written;
+  }
+
+let costs t = t.costs
+
+(* Wall-clock emulation: when enabled, every charged nanosecond is also
+   busy-waited, so simulated device latency becomes real elapsed time.
+   Used by benchmarks that measure CPU-side effects (JIT vs AOT) together
+   with media effects (DRAM vs PMem), e.g. the adaptive-execution figure.
+   The spin is calibrated once per process. *)
+
+let iters_per_ns = ref 0.0
+
+let calibrate_spin () =
+  if !iters_per_ns = 0.0 then begin
+    let iters = 50_000_000 in
+    let t0 = Sys.time () in
+    let x = ref 0 in
+    for i = 1 to iters do
+      x := !x lxor i
+    done;
+    ignore (Sys.opaque_identity !x);
+    let dt = Sys.time () -. t0 in
+    let ns = dt *. 1e9 in
+    iters_per_ns := if ns <= 0.0 then 1.0 else float_of_int iters /. ns
+  end
+
+let busy_wait_ns ns =
+  if ns > 0 then begin
+    calibrate_spin ();
+    let iters = int_of_float (float_of_int ns *. !iters_per_ns) in
+    let x = ref 0 in
+    for i = 1 to iters do
+      x := !x lxor i
+    done;
+    ignore (Sys.opaque_identity !x)
+  end
+
+let reset t =
+  Atomic.set t.clock 0;
+  let c = t.counters in
+  List.iter
+    (fun a -> Atomic.set a 0)
+    [
+      c.c_reads; c.c_writes; c.c_flushes; c.c_fences; c.c_allocs; c.c_frees;
+      c.c_derefs; c.c_ssd_reads; c.c_ssd_writes; c.c_bytes_read;
+      c.c_bytes_written;
+    ];
+  Mutex.lock t.meters_mu;
+  Hashtbl.reset t.meters;
+  Mutex.unlock t.meters_mu
+
+let set_spin t on =
+  if on then calibrate_spin ();
+  t.spin <- on
+
+let charge t ns =
+  ignore (Atomic.fetch_and_add t.clock ns);
+  if t.spin then busy_wait_ns ns;
+  let local = Domain.DLS.get t.meter_key in
+  match !local with
+  | None -> ()
+  | Some id -> (
+      (* registered meters are only mutated by their owning domain *)
+      match Hashtbl.find_opt t.meters id with
+      | Some r -> r := !r + ns
+      | None -> ())
+
+(* Install a per-domain meter; returns its id.  Used by the task pool to
+   attribute simulated work to individual workers. *)
+let install_meter t =
+  Mutex.lock t.meters_mu;
+  let id = t.next_meter in
+  t.next_meter <- id + 1;
+  Hashtbl.replace t.meters id (ref 0);
+  Mutex.unlock t.meters_mu;
+  Domain.DLS.get t.meter_key := Some id;
+  id
+
+let uninstall_meter t = Domain.DLS.get t.meter_key := None
+
+let meter_value t id =
+  Mutex.lock t.meters_mu;
+  let v = match Hashtbl.find_opt t.meters id with Some r -> !r | None -> 0 in
+  Mutex.unlock t.meters_mu;
+  v
+
+
+(* Charge a line-granular read of [len] bytes starting at absolute pool
+   offset [off] on [device].  For PMem the first line of a 256 B block pays
+   the random-access cost while lines within the same or the directly
+   following block pay the cheaper sequential cost (C3). *)
+let read t device ~off ~len =
+  let first_line = off / line_size and last_line = (off + len - 1) / line_size in
+  let nlines = last_line - first_line + 1 in
+  let cost =
+    match device with
+    | Dram -> nlines * t.costs.dram_read_line
+    | Ssd -> nlines * t.costs.dram_read_line (* buffer-pool resident page *)
+    | Pmem ->
+        let acc = ref 0 in
+        for line = first_line to last_line do
+          let block = line * line_size / block_size in
+          let last = Atomic.get t.last_block in
+          if block = last || block = last + 1 then
+            acc := !acc + t.costs.pmem_read_line_seq
+          else acc := !acc + t.costs.pmem_read_line_random;
+          Atomic.set t.last_block block
+        done;
+        !acc
+  in
+  charge t cost;
+  add t.counters.c_reads nlines;
+  add t.counters.c_bytes_read len
+
+let write t device ~off ~len =
+  let first_line = off / line_size and last_line = (off + len - 1) / line_size in
+  let nlines = last_line - first_line + 1 in
+  let cost =
+    match device with
+    | Dram | Ssd -> nlines * t.costs.dram_write_line
+    | Pmem -> nlines * t.costs.pmem_write_line
+  in
+  charge t cost;
+  add t.counters.c_writes nlines;
+  add t.counters.c_bytes_written len
+
+let flush_line t device =
+  match device with
+  | Dram | Ssd -> ()
+  | Pmem ->
+      charge t t.costs.pmem_flush_line;
+      add t.counters.c_flushes 1
+
+let fence t device =
+  match device with
+  | Dram | Ssd -> ()
+  | Pmem ->
+      charge t t.costs.pmem_fence;
+      add t.counters.c_fences 1
+
+let alloc t device =
+  let cost =
+    match device with
+    | Dram | Ssd -> t.costs.dram_alloc
+    | Pmem -> t.costs.pmem_alloc
+  in
+  charge t cost;
+  add t.counters.c_allocs 1
+
+let free t _device = add t.counters.c_frees 1
+
+let pptr_deref t =
+  charge t t.costs.pptr_deref;
+  add t.counters.c_derefs 1
+
+let ssd_read_page t =
+  charge t t.costs.ssd_read_page;
+  add t.counters.c_ssd_reads 1
+
+let ssd_write_page t =
+  charge t t.costs.ssd_write_page;
+  add t.counters.c_ssd_writes 1
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "reads=%d writes=%d flushes=%d fences=%d allocs=%d frees=%d derefs=%d \
+     ssd_r=%d ssd_w=%d bytes_r=%d bytes_w=%d"
+    s.reads s.writes s.flushes s.fences s.allocs s.frees s.derefs s.ssd_reads
+    s.ssd_writes s.bytes_read s.bytes_written

@@ -1,0 +1,94 @@
+(** Device cost model and simulated clock for the persistent-memory
+    simulator.
+
+    Every byte accessed through {!Pool} is charged here according to a
+    calibrated cost table reproducing the PMem characteristics (C1)-(C3),
+    (C5), (C6) from the paper: ~3x slower random reads than DRAM, 256-byte
+    internal block granularity, asymmetric writes whose real cost is paid at
+    [clwb]/[sfence] time, expensive allocations and persistent-pointer
+    dereferencing. *)
+
+type device = Dram | Pmem | Ssd
+
+val pp_device : Format.formatter -> device -> unit
+
+(** Cost table, all values in simulated nanoseconds. *)
+type costs = {
+  dram_read_line : int;
+  dram_write_line : int;
+  pmem_read_line_random : int;  (** first line of a 256 B block *)
+  pmem_read_line_seq : int;  (** line within/adjacent to the last block *)
+  pmem_write_line : int;
+  pmem_flush_line : int;  (** [clwb] write-back of one dirty line *)
+  pmem_fence : int;  (** [sfence] drain *)
+  pmem_alloc : int;
+  dram_alloc : int;
+  pptr_deref : int;
+  ssd_read_page : int;
+  ssd_write_page : int;
+}
+
+val default_costs : costs
+(** Defaults following the latency ratios reported in the paper. *)
+
+(** Access counters, useful for the design-goal ablations (flushed lines are
+    the decisive metric per DG1). *)
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable flushes : int;
+  mutable fences : int;
+  mutable allocs : int;
+  mutable frees : int;
+  mutable derefs : int;
+  mutable ssd_reads : int;
+  mutable ssd_writes : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+}
+
+type t
+
+val line_size : int
+(** Cache-line size (64). *)
+
+val block_size : int
+(** DCPMM internal block size (256), see (C3). *)
+
+val create : ?costs:costs -> unit -> t
+val clock : t -> int
+(** Total simulated nanoseconds charged so far. *)
+
+val stats : t -> stats
+val costs : t -> costs
+val reset : t -> unit
+val charge : t -> int -> unit
+(** Charge raw nanoseconds (used for modeled compilation latency etc.). *)
+
+val set_spin : t -> bool -> unit
+(** Enable wall-clock emulation: every charged nanosecond is also
+    busy-waited, so device latency becomes real elapsed time (used by the
+    JIT/adaptive benchmarks). *)
+
+val busy_wait_ns : int -> unit
+(** Calibrated busy-wait (wall-clock), independent of any clock. *)
+
+val calibrate_spin : unit -> unit
+
+val install_meter : t -> int
+(** Install a per-domain meter accumulating charges made by the calling
+    domain; returns the meter id. *)
+
+val uninstall_meter : t -> unit
+val meter_value : t -> int -> int
+
+val read : t -> device -> off:int -> len:int -> unit
+val write : t -> device -> off:int -> len:int -> unit
+val flush_line : t -> device -> unit
+val fence : t -> device -> unit
+val alloc : t -> device -> unit
+val free : t -> device -> unit
+val pptr_deref : t -> unit
+val ssd_read_page : t -> unit
+val ssd_write_page : t -> unit
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,135 @@
+(* PMDK-style failure-atomic transactions (undo logging).
+
+   The paper's MVTO commit uses PMDK transactions to atomically persist
+   updates larger than the 8-byte power-fail atomic size (Section 5.1).
+   PMDK implements transactional snapshots via undo logging: before a range
+   is modified it is snapshotted into a persistent log; on crash the log is
+   rolled back, on commit it is invalidated with a single atomic store.
+
+   Log layout (within the region reserved by {!Alloc}):
+
+     +0   state (u64)        0 = idle, 1 = active
+     +8   n_entries (u64)    only entries < n_entries are valid
+     +16  entries: { off u64; len u64; pre-image bytes (8-byte padded) }
+
+   Ordering discipline:
+   - an entry's bytes are persisted *before* n_entries is bumped, so a torn
+     entry is never replayed;
+   - [commit] persists every snapshotted range, fences, then clears [state]
+     with one atomic store - the linearization point;
+   - [recover] rolls entries back in reverse order. *)
+
+type t = {
+  pool : Pool.t;
+  mutable entries : (int * int) list; (* (off, len), newest first *)
+  mutable write_head : int; (* next free byte in the log region *)
+  mutable n : int;
+  mutable live : bool;
+}
+
+exception Log_full
+exception Not_active
+
+let base = Alloc.log_off
+let state_off = base
+let nentries_off = base + 8
+let entries_off = base + 16
+let limit = base + Alloc.log_size
+
+let active_tx : (int, t) Hashtbl.t = Hashtbl.create 4
+(* one active transaction per pool, guarded by the pool's tx mutex *)
+
+let begin_ pool =
+  Mutex.lock (Pool.tx_mutex pool);
+  let tx =
+    { pool; entries = []; write_head = entries_off; n = 0; live = true }
+  in
+  Pool.atomic_write_int pool state_off 1;
+  Pool.atomic_write_int pool nentries_off 0;
+  Hashtbl.replace active_tx (Pool.id pool) tx;
+  tx
+
+let pad8 n = (n + 7) land lnot 7
+
+(* Snapshot the current contents of [off, off+len) so that a crash or abort
+   restores them.  Must be called before modifying the range. *)
+let add_range tx ~off ~len =
+  if not tx.live then raise Not_active;
+  if len > 0 then begin
+    let need = 16 + pad8 len in
+    if tx.write_head + need > limit then raise Log_full;
+    let p = tx.pool in
+    Pool.write_int p tx.write_head off;
+    Pool.write_int p (tx.write_head + 8) len;
+    Pool.write_bytes p (tx.write_head + 16) (Pool.read_bytes p off len);
+    Pool.persist p ~off:tx.write_head ~len:need;
+    tx.write_head <- tx.write_head + need;
+    tx.n <- tx.n + 1;
+    Pool.atomic_write_int p nentries_off tx.n;
+    tx.entries <- (off, len) :: tx.entries
+  end
+
+let finish tx =
+  tx.live <- false;
+  Hashtbl.remove active_tx (Pool.id tx.pool);
+  Mutex.unlock (Pool.tx_mutex tx.pool)
+
+let commit tx =
+  if not tx.live then raise Not_active;
+  let p = tx.pool in
+  (* persist all modified ranges, then invalidate the log atomically *)
+  List.iter (fun (off, len) -> Pool.flush_range p ~off ~len) tx.entries;
+  Pool.sfence p;
+  Pool.atomic_write_int p state_off 0;
+  finish tx
+
+let rollback_log pool =
+  let n = Pool.read_int pool nentries_off in
+  (* collect entry locations, then undo newest-first *)
+  let locs = Array.make n (0, 0, 0) in
+  let head = ref entries_off in
+  for i = 0 to n - 1 do
+    let off = Pool.read_int pool !head in
+    let len = Pool.read_int pool (!head + 8) in
+    locs.(i) <- (off, len, !head + 16);
+    head := !head + 16 + pad8 len
+  done;
+  for i = n - 1 downto 0 do
+    let off, len, data = locs.(i) in
+    Pool.write_bytes pool off (Pool.read_bytes pool data len);
+    Pool.flush_range pool ~off ~len
+  done;
+  Pool.sfence pool;
+  Pool.atomic_write_int pool state_off 0;
+  Pool.atomic_write_int pool nentries_off 0
+
+let abort tx =
+  if not tx.live then raise Not_active;
+  rollback_log tx.pool;
+  finish tx
+
+(* Crash recovery: if a transaction was active when the crash happened, its
+   undo log is rolled back.  Returns [true] when a rollback was applied. *)
+let recover pool =
+  (match Hashtbl.find_opt active_tx (Pool.id pool) with
+  | Some tx ->
+      (* the crashing "process" held the tx open; drop its handle *)
+      tx.live <- false;
+      Hashtbl.remove active_tx (Pool.id pool);
+      Mutex.unlock (Pool.tx_mutex pool)
+  | None -> ());
+  if Pool.read_int pool state_off = 1 then begin
+    rollback_log pool;
+    true
+  end
+  else false
+
+let run pool f =
+  let tx = begin_ pool in
+  match f tx with
+  | v ->
+      commit tx;
+      v
+  | exception e ->
+      if tx.live then abort tx;
+      raise e

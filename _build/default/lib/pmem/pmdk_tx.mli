@@ -1,0 +1,27 @@
+(** PMDK-style failure-atomic transactions via undo logging (DG4).
+
+    Snapshot ranges with {!add_range} before modifying them; {!commit}
+    persists every snapshotted range and invalidates the log with a single
+    atomic store.  After a crash, {!recover} rolls back any active log.
+    One transaction per pool at a time (serialised on the pool's tx
+    mutex). *)
+
+type t
+
+exception Log_full
+exception Not_active
+
+val begin_ : Pool.t -> t
+val add_range : t -> off:int -> len:int -> unit
+(** Snapshot the current contents of the range; must precede modification.
+    @raise Log_full when the undo log region overflows. *)
+
+val commit : t -> unit
+val abort : t -> unit
+(** Roll the snapshotted ranges back immediately. *)
+
+val recover : Pool.t -> bool
+(** Roll back an interrupted transaction, if any; [true] when applied. *)
+
+val run : Pool.t -> (t -> 'a) -> 'a
+(** [run pool f] wraps [f] in a transaction, aborting on exception. *)

@@ -1,0 +1,240 @@
+(* A simulated persistent-memory pool.
+
+   The pool keeps two byte images:
+
+   - [working]: what the CPU sees (stores land here immediately, like stores
+     hitting the cache hierarchy);
+   - [durable]: what survives a crash (stores reach it only via [clwb]).
+
+   A bitmap tracks dirty cache lines.  [crash] replaces [working] with
+   [durable], optionally first "evicting" random dirty lines to model the
+   fact that real caches may write back unflushed lines at any time - code
+   must therefore be correct both when unflushed stores persist and when
+   they do not, exactly the failure-atomicity discipline (C4) demands.
+
+   Failure atomicity granularity: persistence is line-granular, and an
+   aligned 8-byte store never tears (a line persists as a whole), matching
+   the hardware guarantee that only 8-byte aligned stores are atomic.
+
+   Pools created with [kind = `Dram] share one image, making flushes free -
+   the engine's pure in-memory mode runs through the identical code path so
+   that the DRAM-vs-PMem comparison isolates the media cost. *)
+
+type kind = [ `Pmem | `Dram ]
+
+type t = {
+  id : int;
+  kind : kind;
+  media : Media.t;
+  device : Media.device;
+  size : int;
+  working : Bytes.t;
+  durable : Bytes.t; (* == working for `Dram pools *)
+  dirty : Bytes.t; (* one bit per cache line *)
+  mutable crashes : int;
+  alloc_mu : Mutex.t; (* used by Alloc *)
+  tx_mu : Mutex.t; (* used by Pmdk_tx *)
+}
+
+let line = Media.line_size
+
+exception Out_of_bounds of { pool : int; off : int; len : int }
+
+let check t off len =
+  if off < 0 || len < 0 || off + len > t.size then
+    raise (Out_of_bounds { pool = t.id; off; len })
+
+let create ?(kind = `Pmem) ~media ~id ~size () =
+  let working = Bytes.make size '\000' in
+  let durable =
+    match kind with `Dram -> working | `Pmem -> Bytes.make size '\000'
+  in
+  let nlines = (size + line - 1) / line in
+  {
+    id;
+    kind;
+    media;
+    device = (match kind with `Pmem -> Media.Pmem | `Dram -> Media.Dram);
+    size;
+    working;
+    durable;
+    dirty = Bytes.make ((nlines + 7) / 8) '\000';
+    crashes = 0;
+    alloc_mu = Mutex.create ();
+    tx_mu = Mutex.create ();
+  }
+
+let id t = t.id
+let size t = t.size
+let kind t = t.kind
+let media t = t.media
+let device t = t.device
+let alloc_mutex t = t.alloc_mu
+let tx_mutex t = t.tx_mu
+let crashes t = t.crashes
+
+let mark_dirty t off len =
+  if t.kind = `Pmem then begin
+    let first = off / line and last = (off + len - 1) / line in
+    for l = first to last do
+      let b = Bytes.get_uint8 t.dirty (l / 8) in
+      Bytes.set_uint8 t.dirty (l / 8) (b lor (1 lsl (l mod 8)))
+    done
+  end
+
+let is_dirty_line t l = Bytes.get_uint8 t.dirty (l / 8) land (1 lsl (l mod 8)) <> 0
+
+let clear_dirty t l =
+  let b = Bytes.get_uint8 t.dirty (l / 8) in
+  Bytes.set_uint8 t.dirty (l / 8) (b land lnot (1 lsl (l mod 8)))
+
+(* Reads (charged). *)
+
+let read_u8 t off =
+  check t off 1;
+  Media.read t.media t.device ~off ~len:1;
+  Bytes.get_uint8 t.working off
+
+let read_u32 t off =
+  check t off 4;
+  Media.read t.media t.device ~off ~len:4;
+  Int32.to_int (Bytes.get_int32_le t.working off) land 0xFFFFFFFF
+
+let read_i64 t off =
+  check t off 8;
+  Media.read t.media t.device ~off ~len:8;
+  Bytes.get_int64_le t.working off
+
+let read_int t off = Int64.to_int (read_i64 t off)
+
+let read_bytes t off len =
+  check t off len;
+  Media.read t.media t.device ~off ~len;
+  Bytes.sub t.working off len
+
+let read_string t off len = Bytes.to_string (read_bytes t off len)
+
+let blit_out t ~off ~dst ~dst_off ~len =
+  check t off len;
+  Media.read t.media t.device ~off ~len;
+  Bytes.blit t.working off dst dst_off len
+
+(* Writes (charged; land in the working view and mark lines dirty). *)
+
+let write_u8 t off v =
+  check t off 1;
+  Media.write t.media t.device ~off ~len:1;
+  Bytes.set_uint8 t.working off v;
+  mark_dirty t off 1
+
+let write_u32 t off v =
+  check t off 4;
+  Media.write t.media t.device ~off ~len:4;
+  Bytes.set_int32_le t.working off (Int32.of_int v);
+  mark_dirty t off 4
+
+let write_i64 t off v =
+  check t off 8;
+  Media.write t.media t.device ~off ~len:8;
+  Bytes.set_int64_le t.working off v;
+  mark_dirty t off 8
+
+let write_int t off v = write_i64 t off (Int64.of_int v)
+
+let write_bytes t off b =
+  let len = Bytes.length b in
+  check t off len;
+  Media.write t.media t.device ~off ~len;
+  Bytes.blit b 0 t.working off len;
+  mark_dirty t off len
+
+let write_string t off s = write_bytes t off (Bytes.unsafe_of_string s)
+
+let fill t ~off ~len c =
+  check t off len;
+  Media.write t.media t.device ~off ~len;
+  Bytes.fill t.working off len c;
+  mark_dirty t off len
+
+(* Persistence primitives. *)
+
+let clwb t off =
+  check t off 1;
+  if t.kind = `Pmem then begin
+    let l = off / line in
+    if is_dirty_line t l then begin
+      let loff = l * line in
+      let len = min line (t.size - loff) in
+      Bytes.blit t.working loff t.durable loff len;
+      clear_dirty t l;
+      Media.flush_line t.media t.device
+    end
+  end
+
+let sfence t = Media.fence t.media t.device
+
+let flush_range t ~off ~len =
+  if len > 0 then begin
+    check t off len;
+    let first = off / line and last = (off + len - 1) / line in
+    for l = first to last do
+      clwb t (l * line)
+    done
+  end
+
+let persist t ~off ~len =
+  flush_range t ~off ~len;
+  sfence t
+
+(* Failure-atomic 8-byte store: aligned store + clwb + sfence (DG4). *)
+let atomic_write_i64 t off v =
+  if off mod 8 <> 0 then invalid_arg "Pool.atomic_write_i64: unaligned";
+  write_i64 t off v;
+  clwb t off;
+  sfence t
+
+let atomic_write_int t off v = atomic_write_i64 t off (Int64.of_int v)
+
+(* Crash injection. *)
+
+let crash ?(evict_prob = 0.0) ?(rng = Random.State.make [| 0xC0FFEE |]) t =
+  if t.kind = `Dram then invalid_arg "Pool.crash: volatile pool";
+  let nlines = (t.size + line - 1) / line in
+  for l = 0 to nlines - 1 do
+    if is_dirty_line t l then begin
+      if evict_prob > 0.0 && Random.State.float rng 1.0 < evict_prob then begin
+        (* the cache evicted this line on its own before the crash *)
+        let loff = l * line in
+        let len = min line (t.size - loff) in
+        Bytes.blit t.working loff t.durable loff len
+      end;
+      clear_dirty t l
+    end
+  done;
+  Bytes.blit t.durable 0 t.working 0 t.size;
+  t.crashes <- t.crashes + 1
+
+let dirty_line_count t =
+  let nlines = (t.size + line - 1) / line in
+  let n = ref 0 in
+  for l = 0 to nlines - 1 do
+    if is_dirty_line t l then incr n
+  done;
+  !n
+
+(* Uncharged peek at the durable image, for tests. *)
+let durable_i64 t off = Bytes.get_int64_le t.durable off
+
+(* Uncharged loads, for callers that model their own access granularity
+   (e.g. the B+-tree charges one block-granular read per node visit and
+   then picks fields out of the already-fetched block). *)
+
+let raw_read_i64 t off =
+  check t off 8;
+  Bytes.get_int64_le t.working off
+
+let raw_read_int t off = Int64.to_int (raw_read_i64 t off)
+
+let touch_read t ~off ~len =
+  check t off len;
+  Media.read t.media t.device ~off ~len

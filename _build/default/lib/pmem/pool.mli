@@ -1,0 +1,86 @@
+(** Simulated persistent-memory pool.
+
+    A pool exposes byte-addressable load/store with explicit persistence
+    primitives ([clwb], [sfence]) and crash injection.  Stores land in a
+    volatile working view; only flushed cache lines reach the durable image
+    that survives {!crash}.  All accesses are charged to the pool's
+    {!Media.t}.  Pools of kind [`Dram] run the identical code path with the
+    two images aliased (flushes free), providing the paper's pure in-memory
+    baseline. *)
+
+type kind = [ `Pmem | `Dram ]
+type t
+
+exception Out_of_bounds of { pool : int; off : int; len : int }
+
+val create : ?kind:kind -> media:Media.t -> id:int -> size:int -> unit -> t
+val id : t -> int
+val size : t -> int
+val kind : t -> kind
+val media : t -> Media.t
+val device : t -> Media.device
+val alloc_mutex : t -> Mutex.t
+(** Mutex serialising allocator metadata updates (used by {!Alloc}). *)
+
+val tx_mutex : t -> Mutex.t
+(** Mutex serialising PMDK-style transactions (used by {!Pmdk_tx}). *)
+
+val crashes : t -> int
+
+(** {1 Charged loads} *)
+
+val read_u8 : t -> int -> int
+val read_u32 : t -> int -> int
+val read_i64 : t -> int -> int64
+val read_int : t -> int -> int
+val read_bytes : t -> int -> int -> Bytes.t
+val read_string : t -> int -> int -> string
+val blit_out : t -> off:int -> dst:Bytes.t -> dst_off:int -> len:int -> unit
+
+(** {1 Charged stores (volatile until flushed)} *)
+
+val write_u8 : t -> int -> int -> unit
+val write_u32 : t -> int -> int -> unit
+val write_i64 : t -> int -> int64 -> unit
+val write_int : t -> int -> int -> unit
+val write_bytes : t -> int -> Bytes.t -> unit
+val write_string : t -> int -> string -> unit
+val fill : t -> off:int -> len:int -> char -> unit
+
+(** {1 Persistence primitives} *)
+
+val clwb : t -> int -> unit
+(** Write back the (dirty) cache line containing the offset. *)
+
+val sfence : t -> unit
+val flush_range : t -> off:int -> len:int -> unit
+val persist : t -> off:int -> len:int -> unit
+(** [flush_range] followed by [sfence]. *)
+
+val atomic_write_i64 : t -> int -> int64 -> unit
+(** Failure-atomic aligned 8-byte store: store + [clwb] + [sfence] (DG4).
+    @raise Invalid_argument if the offset is not 8-byte aligned. *)
+
+val atomic_write_int : t -> int -> int -> unit
+
+(** {1 Crash injection} *)
+
+val crash : ?evict_prob:float -> ?rng:Random.State.t -> t -> unit
+(** Discard all unflushed stores and revert to the durable image.  With
+    [evict_prob > 0] each dirty line is first persisted with that
+    probability, modelling spontaneous cache eviction: correct recovery code
+    must tolerate both outcomes (C4). *)
+
+val dirty_line_count : t -> int
+val durable_i64 : t -> int -> int64
+(** Uncharged peek at the durable image (tests only). *)
+
+(** {1 Uncharged loads}
+
+    For callers that model their own access granularity: charge once per
+    node/block with {!touch_read}, then pick fields out of the fetched block
+    with the raw loads. *)
+
+val raw_read_i64 : t -> int -> int64
+val raw_read_int : t -> int -> int
+val touch_read : t -> off:int -> len:int -> unit

@@ -1,0 +1,48 @@
+(* Persistent pointers, as introduced by PMDK (C6).
+
+   A persistent pointer is a 16-byte (pool id, offset) pair that stays valid
+   across restarts.  Dereferencing requires a pool-registry lookup and is
+   charged extra ([Media.pptr_deref]); the storage layer therefore follows
+   DG6 and uses plain 8-byte offsets wherever the pool is implied, keeping
+   persistent pointers only for cross-chunk links that must be
+   self-describing. *)
+
+type t = { pool : int; off : int }
+
+let null = { pool = -1; off = -1 }
+let is_null p = p.pool < 0
+let v ~pool ~off = { pool; off }
+let pool t = t.pool
+let off t = t.off
+
+let size = 16
+
+(* Registry mapping pool ids to open pools, rebuilt at application start
+   (per DG6, persistent pointers are resolved once during restart). *)
+type registry = (int, Pool.t) Hashtbl.t
+
+let registry_create () : registry = Hashtbl.create 8
+let register (r : registry) pool = Hashtbl.replace r (Pool.id pool) pool
+let unregister (r : registry) pool = Hashtbl.remove r (Pool.id pool)
+
+exception Dangling of t
+
+let deref (r : registry) t =
+  match Hashtbl.find_opt r t.pool with
+  | None -> raise (Dangling t)
+  | Some pool ->
+      Media.pptr_deref (Pool.media pool);
+      (pool, t.off)
+
+let store pool ~at t =
+  Pool.write_i64 pool at (Int64.of_int t.pool);
+  Pool.write_i64 pool (at + 8) (Int64.of_int t.off)
+
+let load pool ~at =
+  let pid = Pool.read_int pool at and off = Pool.read_int pool (at + 8) in
+  { pool = pid; off }
+
+let equal a b = a.pool = b.pool && a.off = b.off
+let pp ppf t =
+  if is_null t then Fmt.string ppf "pptr:null"
+  else Fmt.pf ppf "pptr:%d@%d" t.pool t.off

@@ -1,0 +1,31 @@
+(** Persistent pointers (16-byte pool-id/offset pairs), as in PMDK (C6).
+
+    Dereferencing goes through a registry and is charged extra, which is why
+    the storage layer prefers 8-byte offsets (DG6). *)
+
+type t
+
+val null : t
+val is_null : t -> bool
+val v : pool:int -> off:int -> t
+val pool : t -> int
+val off : t -> int
+val size : int
+(** Stored size in bytes (16). *)
+
+type registry
+
+val registry_create : unit -> registry
+val register : registry -> Pool.t -> unit
+val unregister : registry -> Pool.t -> unit
+
+exception Dangling of t
+
+val deref : registry -> t -> Pool.t * int
+(** Resolve to an open pool and offset, charging the translation cost.
+    @raise Dangling if the pool is not registered. *)
+
+val store : Pool.t -> at:int -> t -> unit
+val load : Pool.t -> at:int -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

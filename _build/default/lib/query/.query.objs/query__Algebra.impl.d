@@ -1,0 +1,1 @@
+lib/query/algebra.ml: Expr Format List Printf Storage String

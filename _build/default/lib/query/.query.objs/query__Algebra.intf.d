@@ -1,0 +1,1 @@
+lib/query/algebra.mli: Expr Format Storage

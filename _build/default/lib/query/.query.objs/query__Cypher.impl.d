@@ -1,0 +1,1 @@
+lib/query/cypher.ml: Algebra Buffer Expr Interp List Option Printf Source Storage String

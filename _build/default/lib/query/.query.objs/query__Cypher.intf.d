@@ -1,0 +1,1 @@
+lib/query/cypher.mli: Algebra Exec Source Storage

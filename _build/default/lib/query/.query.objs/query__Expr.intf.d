@@ -1,0 +1,1 @@
+lib/query/expr.mli: Source Storage

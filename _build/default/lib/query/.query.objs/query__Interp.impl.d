@@ -1,0 +1,1 @@
+lib/query/interp.ml: Algebra Array Exec Expr Hashtbl Lazy List Mutex Source Storage

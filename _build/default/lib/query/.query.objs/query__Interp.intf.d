@@ -1,0 +1,1 @@
+lib/query/interp.mli: Algebra Exec Source Storage

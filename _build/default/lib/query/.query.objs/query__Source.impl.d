@@ -1,0 +1,1 @@
+lib/query/source.ml: Gindex List Mvcc Storage

@@ -1,0 +1,1 @@
+lib/query/source.mli: Gindex Mvcc Storage

@@ -1,0 +1,282 @@
+(* Graph algebra (Section 6.1).
+
+   Plans are operator trees with graph-specific operators (NodeScan,
+   ForeachRelationship - here [Expand] - IndexScan, ...) plus standard
+   relational ones.  Access paths are the leaves; every other operator
+   consumes the tuples its child pushes.  Tuples grow to the right: an
+   operator that "appends" adds one slot at the end of the child's tuple.
+
+   [width] computes the tuple arity produced by a plan, used by both
+   engines to allocate register files / projection buffers. *)
+
+module Value = Storage.Value
+
+type dir = Out | In
+
+type plan =
+  (* access paths *)
+  | NodeScan of { label : int option }
+  | NodeById of { id : Expr.t } (* direct offset access; emits one tuple *)
+  | RelScan of { label : int option }
+  | IndexScan of { label : int; key : int; value : Expr.t }
+  | IndexRange of { label : int; key : int; lo : Expr.t; hi : Expr.t }
+  (* graph traversal *)
+  | Expand of { col : int; dir : dir; label : int option; child : plan }
+    (* ForeachRelationship: for the node in [col], push one tuple per
+       (visible) incident relationship; appends the relationship slot *)
+  | EndPoint of { col : int; which : [ `Src | `Dst ]; child : plan }
+    (* appends the source/destination node of the relationship in [col] *)
+  | WalkToRoot of { col : int; rel_label : int; child : plan }
+    (* follow out-relationships with [rel_label] transitively from the
+       node in [col] until none remains; appends the terminal node
+       (e.g. REPLY_OF chains from a comment to its root post) *)
+  | AttachByIndex of { label : int; key : int; value : Expr.t; child : plan }
+    (* mid-pipeline index lookup: for each input tuple, push one output
+       tuple per matching node, appending the node slot (used by the
+       interactive-update plans to fetch their second endpoint) *)
+  (* relational *)
+  | Filter of { pred : Expr.t; child : plan }
+  | Project of { exprs : Expr.t list; child : plan }
+  | Limit of { n : int; child : plan }
+  | Sort of { keys : (Expr.t * [ `Asc | `Desc ]) list; child : plan }
+  | Distinct of { child : plan }
+  | CountAgg of { child : plan }
+  | GroupCount of { child : plan }
+    (* group identical tuples; emits each distinct tuple with its
+       multiplicity appended (the group-by-count of the IC-style
+       workloads) *)
+  | NestedLoopJoin of { pred : Expr.t option; left : plan; right : plan }
+    (* right side materialised; output = left tuple ++ right tuple *)
+  | HashJoin of { lkey : Expr.t; rkey : Expr.t; left : plan; right : plan }
+  (* updates (Create access path & friends, Section 6.2) *)
+  | CreateNode of { label : int; props : (int * Expr.t) list; child : plan }
+  | CreateRel of {
+      label : int;
+      src : int; (* tuple slot of source node *)
+      dst : int;
+      props : (int * Expr.t) list;
+      child : plan;
+    }
+  | SetNodeProp of { col : int; key : int; value : Expr.t; child : plan }
+  | SetRelProp of { col : int; key : int; value : Expr.t; child : plan }
+  | DeleteNode of { col : int; child : plan }
+  | DeleteRel of { col : int; child : plan }
+  (* a leaf producing exactly one empty tuple: the access path of pure
+     insert statements (Create in Cypher without a match part) *)
+  | Unit
+
+let rec width = function
+  | NodeScan _ | NodeById _ | RelScan _ | IndexScan _ | IndexRange _ -> 1
+  | Unit -> 0
+  | Expand { child; _ }
+  | EndPoint { child; _ }
+  | WalkToRoot { child; _ }
+  | AttachByIndex { child; _ } ->
+      width child + 1
+  | Filter { child; _ }
+  | Limit { child; _ }
+  | Sort { child; _ }
+  | Distinct { child }
+  | SetNodeProp { child; _ }
+  | SetRelProp { child; _ }
+  | DeleteNode { child; _ }
+  | DeleteRel { child; _ } ->
+      width child
+  | Project { exprs; _ } -> List.length exprs
+  | CountAgg _ -> 1
+  | GroupCount { child } -> width child + 1
+  | NestedLoopJoin { left; right; _ } | HashJoin { left; right; _ } ->
+      width left + width right
+  | CreateNode { child; _ } | CreateRel { child; _ } -> width child + 1
+
+(* Structural identity of a plan: the query identifier used to look up
+   previously compiled code in the persistent JIT cache (Section 6.2). *)
+let rec fingerprint = function
+  | NodeScan { label } ->
+      Printf.sprintf "nscan(%s)" (match label with None -> "*" | Some l -> string_of_int l)
+  | NodeById { id } -> Printf.sprintf "nbyid(%s)" (Expr.fingerprint id)
+  | RelScan { label } ->
+      Printf.sprintf "rscan(%s)" (match label with None -> "*" | Some l -> string_of_int l)
+  | IndexScan { label; key; value } ->
+      Printf.sprintf "iscan(%d,%d,%s)" label key (Expr.fingerprint value)
+  | IndexRange { label; key; lo; hi } ->
+      Printf.sprintf "irange(%d,%d,%s,%s)" label key (Expr.fingerprint lo)
+        (Expr.fingerprint hi)
+  | Unit -> "unit"
+  | Expand { col; dir; label; child } ->
+      Printf.sprintf "expand(%d,%s,%s)<-%s" col
+        (match dir with Out -> "out" | In -> "in")
+        (match label with None -> "*" | Some l -> string_of_int l)
+        (fingerprint child)
+  | EndPoint { col; which; child } ->
+      Printf.sprintf "end(%d,%s)<-%s" col
+        (match which with `Src -> "src" | `Dst -> "dst")
+        (fingerprint child)
+  | WalkToRoot { col; rel_label; child } ->
+      Printf.sprintf "walk(%d,%d)<-%s" col rel_label (fingerprint child)
+  | AttachByIndex { label; key; value; child } ->
+      Printf.sprintf "attach(%d,%d,%s)<-%s" label key (Expr.fingerprint value)
+        (fingerprint child)
+  | Filter { pred; child } ->
+      Printf.sprintf "filter(%s)<-%s" (Expr.fingerprint pred) (fingerprint child)
+  | Project { exprs; child } ->
+      Printf.sprintf "proj(%s)<-%s"
+        (String.concat "," (List.map Expr.fingerprint exprs))
+        (fingerprint child)
+  | Limit { n; child } -> Printf.sprintf "limit(%d)<-%s" n (fingerprint child)
+  | Sort { keys; child } ->
+      Printf.sprintf "sort(%s)<-%s"
+        (String.concat ","
+           (List.map
+              (fun (e, d) ->
+                Expr.fingerprint e ^ match d with `Asc -> "+" | `Desc -> "-")
+              keys))
+        (fingerprint child)
+  | Distinct { child } -> Printf.sprintf "distinct<-%s" (fingerprint child)
+  | CountAgg { child } -> Printf.sprintf "count<-%s" (fingerprint child)
+  | GroupCount { child } -> Printf.sprintf "gcount<-%s" (fingerprint child)
+  | NestedLoopJoin { pred; left; right } ->
+      Printf.sprintf "nlj(%s)[%s|%s]"
+        (match pred with None -> "" | Some p -> Expr.fingerprint p)
+        (fingerprint left) (fingerprint right)
+  | HashJoin { lkey; rkey; left; right } ->
+      Printf.sprintf "hj(%s,%s)[%s|%s]" (Expr.fingerprint lkey)
+        (Expr.fingerprint rkey) (fingerprint left) (fingerprint right)
+  | CreateNode { label; props; child } ->
+      Printf.sprintf "cnode(%d,%s)<-%s" label
+        (String.concat ","
+           (List.map (fun (k, e) -> Printf.sprintf "%d=%s" k (Expr.fingerprint e)) props))
+        (fingerprint child)
+  | CreateRel { label; src; dst; props; child } ->
+      Printf.sprintf "crel(%d,%d,%d,%s)<-%s" label src dst
+        (String.concat ","
+           (List.map (fun (k, e) -> Printf.sprintf "%d=%s" k (Expr.fingerprint e)) props))
+        (fingerprint child)
+  | SetNodeProp { col; key; value; child } ->
+      Printf.sprintf "setn(%d,%d,%s)<-%s" col key (Expr.fingerprint value)
+        (fingerprint child)
+  | SetRelProp { col; key; value; child } ->
+      Printf.sprintf "setr(%d,%d,%s)<-%s" col key (Expr.fingerprint value)
+        (fingerprint child)
+  | DeleteNode { col; child } ->
+      Printf.sprintf "deln(%d)<-%s" col (fingerprint child)
+  | DeleteRel { col; child } ->
+      Printf.sprintf "delr(%d)<-%s" col (fingerprint child)
+
+(* Count operators - the paper reports compilation time growing with the
+   number of operators. *)
+let rec operator_count = function
+  | NodeScan _ | NodeById _ | RelScan _ | IndexScan _ | IndexRange _ | Unit -> 1
+  | Expand { child; _ }
+  | EndPoint { child; _ }
+  | WalkToRoot { child; _ }
+  | AttachByIndex { child; _ }
+  | Filter { child; _ }
+  | Project { child; _ }
+  | Limit { child; _ }
+  | Sort { child; _ }
+  | Distinct { child }
+  | CountAgg { child }
+  | GroupCount { child }
+  | CreateNode { child; _ }
+  | CreateRel { child; _ }
+  | SetNodeProp { child; _ }
+  | SetRelProp { child; _ }
+  | DeleteNode { child; _ }
+  | DeleteRel { child; _ } ->
+      1 + operator_count child
+  | NestedLoopJoin { left; right; _ } | HashJoin { left; right; _ } ->
+      1 + operator_count left + operator_count right
+
+(* Pretty-printed operator tree (EXPLAIN output). *)
+let pp_plan ?dict ppf plan =
+  let str c = match dict with Some f -> f c | None -> Printf.sprintf "#%d" c in
+  let lbl = function None -> "*" | Some l -> str l in
+  let rec go indent p =
+    let pr fmt = Format.fprintf ppf ("%s" ^^ fmt ^^ "@.") indent in
+    let child = indent ^ "  " in
+    match p with
+    | NodeScan { label } -> pr "NodeScan(%s)" (lbl label)
+    | NodeById { id } -> pr "NodeById(%s)" (Expr.fingerprint id)
+    | RelScan { label } -> pr "RelationshipScan(%s)" (lbl label)
+    | IndexScan { label; key; value } ->
+        pr "IndexScan(%s.%s = %s)" (str label) (str key) (Expr.fingerprint value)
+    | IndexRange { label; key; lo; hi } ->
+        pr "IndexRange(%s.%s in [%s, %s])" (str label) (str key)
+          (Expr.fingerprint lo) (Expr.fingerprint hi)
+    | Unit -> pr "Unit"
+    | Expand { col; dir; label; child = c } ->
+        pr "ForeachRelationship(col %d, %s, %s)" col
+          (match dir with Out -> "out" | In -> "in")
+          (lbl label);
+        go child c
+    | EndPoint { col; which; child = c } ->
+        pr "EndPoint(col %d, %s)" col
+          (match which with `Src -> "src" | `Dst -> "dst");
+        go child c
+    | WalkToRoot { col; rel_label; child = c } ->
+        pr "WalkToRoot(col %d, %s)" col (str rel_label);
+        go child c
+    | AttachByIndex { label; key; value; child = c } ->
+        pr "AttachByIndex(%s.%s = %s)" (str label) (str key)
+          (Expr.fingerprint value);
+        go child c
+    | Filter { pred; child = c } ->
+        pr "Filter(%s)" (Expr.fingerprint pred);
+        go child c
+    | Project { exprs; child = c } ->
+        pr "Project(%s)" (String.concat ", " (List.map Expr.fingerprint exprs));
+        go child c
+    | Limit { n; child = c } ->
+        pr "Limit(%d)" n;
+        go child c
+    | Sort { keys; child = c } ->
+        pr "Sort(%s)"
+          (String.concat ", "
+             (List.map
+                (fun (e, d) ->
+                  Expr.fingerprint e ^ match d with `Asc -> " asc" | `Desc -> " desc")
+                keys));
+        go child c
+    | Distinct { child = c } ->
+        pr "Distinct";
+        go child c
+    | CountAgg { child = c } ->
+        pr "Count";
+        go child c
+    | GroupCount { child = c } ->
+        pr "GroupCount";
+        go child c
+    | NestedLoopJoin { pred; left; right } ->
+        pr "NestedLoopJoin(%s)"
+          (match pred with None -> "true" | Some e -> Expr.fingerprint e);
+        go child left;
+        go child right
+    | HashJoin { lkey; rkey; left; right } ->
+        pr "HashJoin(%s = %s)" (Expr.fingerprint lkey) (Expr.fingerprint rkey);
+        go child left;
+        go child right
+    | CreateNode { label; props; child = c } ->
+        pr "CreateNode(%s {%s})" (str label)
+          (String.concat ", "
+             (List.map (fun (k, e) -> str k ^ ": " ^ Expr.fingerprint e) props));
+        go child c
+    | CreateRel { label; src; dst; props; child = c } ->
+        pr "CreateRelationship(%s, col %d -> col %d {%s})" (str label) src dst
+          (String.concat ", "
+             (List.map (fun (k, e) -> str k ^ ": " ^ Expr.fingerprint e) props));
+        go child c
+    | SetNodeProp { col; key; value; child = c } ->
+        pr "SetProperty(node col %d, %s = %s)" col (str key) (Expr.fingerprint value);
+        go child c
+    | SetRelProp { col; key; value; child = c } ->
+        pr "SetProperty(rel col %d, %s = %s)" col (str key) (Expr.fingerprint value);
+        go child c
+    | DeleteNode { col; child = c } ->
+        pr "DeleteNode(col %d)" col;
+        go child c
+    | DeleteRel { col; child = c } ->
+        pr "DeleteRelationship(col %d)" col;
+        go child c
+  in
+  go "" plan

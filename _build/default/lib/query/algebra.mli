@@ -1,0 +1,62 @@
+(** Graph algebra (Section 6.1): operator trees with graph-specific
+    operators (NodeScan, ForeachRelationship as [Expand], IndexScan,
+    WalkToRoot, ...) plus standard relational ones and update operators.
+    Access paths are the leaves; tuples grow to the right (an "appending"
+    operator adds one slot at the end of its child's tuple). *)
+
+module Value = Storage.Value
+
+type dir = Out | In
+
+type plan =
+  | NodeScan of { label : int option }
+  | NodeById of { id : Expr.t }
+  | RelScan of { label : int option }
+  | IndexScan of { label : int; key : int; value : Expr.t }
+  | IndexRange of { label : int; key : int; lo : Expr.t; hi : Expr.t }
+  | Expand of { col : int; dir : dir; label : int option; child : plan }
+      (** ForeachRelationship: one output tuple per visible incident
+          relationship of the node in [col]; appends the rel slot *)
+  | EndPoint of { col : int; which : [ `Dst | `Src ]; child : plan }
+  | WalkToRoot of { col : int; rel_label : int; child : plan }
+      (** follow labelled out-relationships transitively to the terminal
+          node (e.g. REPLY_OF chains to the thread root); appends it *)
+  | AttachByIndex of { label : int; key : int; value : Expr.t; child : plan }
+      (** mid-pipeline index lookup appending the matching node(s) *)
+  | Filter of { pred : Expr.t; child : plan }
+  | Project of { exprs : Expr.t list; child : plan }
+  | Limit of { n : int; child : plan }
+  | Sort of { keys : (Expr.t * [ `Asc | `Desc ]) list; child : plan }
+  | Distinct of { child : plan }
+  | CountAgg of { child : plan }
+  | GroupCount of { child : plan }
+      (** group identical tuples; emits each distinct tuple with its
+          multiplicity appended *)
+  | NestedLoopJoin of { pred : Expr.t option; left : plan; right : plan }
+  | HashJoin of { lkey : Expr.t; rkey : Expr.t; left : plan; right : plan }
+  | CreateNode of { label : int; props : (int * Expr.t) list; child : plan }
+  | CreateRel of {
+      label : int;
+      src : int;
+      dst : int;
+      props : (int * Expr.t) list;
+      child : plan;
+    }
+  | SetNodeProp of { col : int; key : int; value : Expr.t; child : plan }
+  | SetRelProp of { col : int; key : int; value : Expr.t; child : plan }
+  | DeleteNode of { col : int; child : plan }
+  | DeleteRel of { col : int; child : plan }
+  | Unit  (** one empty tuple: the access path of pure inserts *)
+
+val width : plan -> int
+(** Output tuple arity. *)
+
+val fingerprint : plan -> string
+(** Structural identity - the query identifier keying the persistent
+    compiled-query cache (Section 6.2). *)
+
+val operator_count : plan -> int
+
+val pp_plan : ?dict:(int -> string) -> Format.formatter -> plan -> unit
+(** Pretty-print the operator tree (EXPLAIN output); [dict] renders
+    label/key codes as names. *)

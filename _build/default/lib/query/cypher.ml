@@ -1,0 +1,757 @@
+(* A Cypher-like query language (Section 1: "we support Cypher-like
+   navigational queries"), compiled to the graph algebra.
+
+   Supported surface:
+
+     MATCH (p:Person {id: $0})-[k:KNOWS]->(f:Person)
+     WHERE f.age > 30 AND NOT f.name = 'Bob'
+     RETURN f.name, f.age, count( * )
+     ORDER BY f.age DESC
+     LIMIT 10
+
+     CREATE (p:Person {name: 'Ada', age: 36})
+
+     MATCH (a:Person {id: $0}), (b:Person {id: $1})
+     CREATE (a)-[:KNOWS {since: 2020}]->(b)
+
+     MATCH (p:Person {id: $0}) SET p.age = 37
+     MATCH (p:Person {id: $0}) DETACH DELETE p   (single node)
+
+   - node patterns: (var[:Label] [{key: literal|$param, ...}])
+   - relationships: -[var?:LABEL]-> or <-[var?:LABEL]- (one hop each)
+   - a second comma-separated MATCH pattern may bind additional single
+     nodes (fetched by property lookup), enabling CREATE between them
+   - literals: integers, single-quoted strings, true/false, null
+   - parameters: $0, $1, ... (positional)
+
+   Planning: the first node pattern becomes the access path (an
+   IndexScan when [indexed] approves the (label, key) pair, otherwise a
+   filtered NodeScan); each hop becomes Expand + EndPoint (+ label
+   filter); property constraints and WHERE become Filters; RETURN becomes
+   Project (or CountAgg); ORDER BY sorts before projection so keys can
+   reference pattern variables. *)
+
+module Value = Storage.Value
+module A = Algebra
+module E = Expr
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* --- Lexer ------------------------------------------------------------- *)
+
+type token =
+  | IDENT of string (* bare identifier, original case *)
+  | KW of string (* recognised keyword, uppercased *)
+  | INT of int
+  | STRING of string
+  | PARAM of int
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | COLON | COMMA | DOT
+  | DASH | ARROW_R (* -> *) | ARROW_L (* <- *)
+  | EQ | NE | LT | LE | GT | GE
+  | STAR
+  | EOF
+
+let keywords =
+  [ "MATCH"; "WHERE"; "RETURN"; "ORDER"; "BY"; "LIMIT"; "ASC"; "DESC";
+    "AND"; "OR"; "NOT"; "CREATE"; "SET"; "DELETE"; "DETACH"; "COUNT";
+    "DISTINCT"; "TRUE"; "FALSE"; "NULL" ]
+
+let lex (s : string) : token list =
+  let n = String.length s in
+  let toks = ref [] in
+  let push t = toks := t :: !toks in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some s.[!i + k] else None in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\n' || c = '\t' || c = '\r' then incr i
+    else if c = '(' then (push LPAREN; incr i)
+    else if c = ')' then (push RPAREN; incr i)
+    else if c = '{' then (push LBRACE; incr i)
+    else if c = '}' then (push RBRACE; incr i)
+    else if c = '[' then (push LBRACKET; incr i)
+    else if c = ']' then (push RBRACKET; incr i)
+    else if c = ':' then (push COLON; incr i)
+    else if c = ',' then (push COMMA; incr i)
+    else if c = '.' then (push DOT; incr i)
+    else if c = '*' then (push STAR; incr i)
+    else if c = '-' then
+      if peek 1 = Some '>' then (push ARROW_R; i := !i + 2)
+      else (push DASH; incr i)
+    else if c = '<' then
+      if peek 1 = Some '-' then (push ARROW_L; i := !i + 2)
+      else if peek 1 = Some '=' then (push LE; i := !i + 2)
+      else if peek 1 = Some '>' then (push NE; i := !i + 2)
+      else (push LT; incr i)
+    else if c = '>' then
+      if peek 1 = Some '=' then (push GE; i := !i + 2) else (push GT; incr i)
+    else if c = '=' then (push EQ; incr i)
+    else if c = '!' && peek 1 = Some '=' then (push NE; i := !i + 2)
+    else if c = '$' then begin
+      incr i;
+      let j = ref !i in
+      while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do incr j done;
+      if !j = !i then fail "parameter must be positional, e.g. $0";
+      push (PARAM (int_of_string (String.sub s !i (!j - !i))));
+      i := !j
+    end
+    else if c = '\'' then begin
+      incr i;
+      let b = Buffer.create 8 in
+      let closed = ref false in
+      while not !closed do
+        if !i >= n then fail "unterminated string literal";
+        if s.[!i] = '\'' then closed := true
+        else Buffer.add_char b s.[!i];
+        incr i
+      done;
+      push (STRING (Buffer.contents b))
+    end
+    else if c >= '0' && c <= '9' then begin
+      let j = ref !i in
+      while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do incr j done;
+      push (INT (int_of_string (String.sub s !i (!j - !i))));
+      i := !j
+    end
+    else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' then begin
+      let j = ref !i in
+      let word_char c =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9') || c = '_'
+      in
+      while !j < n && word_char s.[!j] do incr j done;
+      let w = String.sub s !i (!j - !i) in
+      let upper = String.uppercase_ascii w in
+      if List.mem upper keywords then push (KW upper) else push (IDENT w);
+      i := !j
+    end
+    else fail "unexpected character %c" c
+  done;
+  List.rev (EOF :: !toks)
+
+(* --- AST ---------------------------------------------------------------- *)
+
+type lit = LInt of int | LStr of string | LBool of bool | LNull | LParam of int
+
+type node_pat = {
+  np_var : string option;
+  np_label : string option;
+  np_props : (string * lit) list;
+}
+
+type hop = {
+  h_var : string option;
+  h_label : string option;
+  h_out : bool; (* -[]-> vs <-[]- *)
+  h_dst : node_pat;
+}
+
+type pattern = { p_start : node_pat; p_hops : hop list }
+
+type wexpr =
+  | WCmp of E.cmp * operand * operand
+  | WAnd of wexpr * wexpr
+  | WOr of wexpr * wexpr
+  | WNot of wexpr
+
+and operand = OProp of string * string | OLit of lit
+
+type ret_item = RProp of string * string | RVar of string | RCount
+
+type order = (string * string * [ `Asc | `Desc ]) list (* var, prop, dir *)
+
+type update =
+  | UCreateNode of node_pat
+  | UCreateRel of string * string option * string (* src var, label, dst var *) * (string * lit) list
+  | USet of string * string * lit
+  | UDelete of string
+
+type query = {
+  q_patterns : pattern list;
+  q_where : wexpr option;
+  q_return : ret_item list;
+  q_distinct : bool;
+  q_order : order;
+  q_limit : int option;
+  q_updates : update list;
+}
+
+(* --- Parser -------------------------------------------------------------- *)
+
+type pstate = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> EOF | t :: _ -> t
+let advance st = match st.toks with [] -> () | _ :: r -> st.toks <- r
+
+let expect st t what =
+  if peek st = t then advance st else fail "expected %s" what
+
+let parse_lit st =
+  match peek st with
+  | INT i -> advance st; LInt i
+  | STRING s -> advance st; LStr s
+  | PARAM p -> advance st; LParam p
+  | KW "TRUE" -> advance st; LBool true
+  | KW "FALSE" -> advance st; LBool false
+  | KW "NULL" -> advance st; LNull
+  | _ -> fail "expected literal or parameter"
+
+let parse_props st =
+  if peek st <> LBRACE then []
+  else begin
+    advance st;
+    let rec items acc =
+      match peek st with
+      | RBRACE -> advance st; List.rev acc
+      | IDENT k ->
+          advance st;
+          expect st COLON "':'";
+          let v = parse_lit st in
+          let acc = (k, v) :: acc in
+          if peek st = COMMA then (advance st; items acc)
+          else (expect st RBRACE "'}'"; List.rev acc)
+      | _ -> fail "expected property key"
+    in
+    items []
+  end
+
+let parse_node_pat st =
+  expect st LPAREN "'('";
+  let var = match peek st with IDENT v -> advance st; Some v | _ -> None in
+  let label =
+    if peek st = COLON then begin
+      advance st;
+      match peek st with
+      | IDENT l -> advance st; Some l
+      | _ -> fail "expected label after ':'"
+    end
+    else None
+  in
+  let props = parse_props st in
+  expect st RPAREN "')'";
+  { np_var = var; np_label = label; np_props = props }
+
+let parse_rel_spec st =
+  (* handles the bracket part of -[v:LABEL {k: v}]-> ; bare -- allowed *)
+  if peek st = LBRACKET then begin
+    advance st;
+    let var = match peek st with IDENT v -> advance st; Some v | _ -> None in
+    let label =
+      if peek st = COLON then begin
+        advance st;
+        match peek st with
+        | IDENT l | KW l -> advance st; Some l
+        | _ -> fail "expected relationship label"
+      end
+      else None
+    in
+    let props = parse_props st in
+    expect st RBRACKET "']'";
+    (var, label, props)
+  end
+  else (None, None, [])
+
+let rec parse_pattern st =
+  let start = parse_node_pat st in
+  let rec hops acc =
+    match peek st with
+    | DASH ->
+        advance st;
+        let var, label, _props = parse_rel_spec st in
+        (match peek st with
+        | ARROW_R ->
+            advance st;
+            let dst = parse_node_pat st in
+            hops ({ h_var = var; h_label = label; h_out = true; h_dst = dst } :: acc)
+        | DASH ->
+            (* undirected --; treat as outgoing *)
+            advance st;
+            let dst = parse_node_pat st in
+            hops ({ h_var = var; h_label = label; h_out = true; h_dst = dst } :: acc)
+        | _ -> fail "expected '->' or '-' after relationship")
+    | ARROW_L ->
+        advance st;
+        let var, label, _props = parse_rel_spec st in
+        expect st DASH "'-'";
+        let dst = parse_node_pat st in
+        hops ({ h_var = var; h_label = label; h_out = false; h_dst = dst } :: acc)
+    | _ -> List.rev acc
+  in
+  { p_start = start; p_hops = hops [] }
+
+and parse_patterns st =
+  let p = parse_pattern st in
+  if peek st = COMMA then begin
+    advance st;
+    p :: parse_patterns st
+  end
+  else [ p ]
+
+let parse_operand st =
+  match peek st with
+  | IDENT v -> (
+      advance st;
+      match peek st with
+      | DOT -> (
+          advance st;
+          match peek st with
+          | IDENT p -> advance st; OProp (v, p)
+          | _ -> fail "expected property name after '.'")
+      | _ -> fail "bare variables are not valid comparison operands")
+  | _ -> OLit (parse_lit st)
+
+let parse_cmp st =
+  let a = parse_operand st in
+  let op =
+    match peek st with
+    | EQ -> E.Eq | NE -> E.Ne | LT -> E.Lt | LE -> E.Le | GT -> E.Gt | GE -> E.Ge
+    | _ -> fail "expected comparison operator"
+  in
+  advance st;
+  let b = parse_operand st in
+  WCmp (op, a, b)
+
+let rec parse_wexpr st = parse_or st
+
+and parse_or st =
+  let l = parse_and st in
+  if peek st = KW "OR" then begin
+    advance st;
+    WOr (l, parse_or st)
+  end
+  else l
+
+and parse_and st =
+  let l = parse_not st in
+  if peek st = KW "AND" then begin
+    advance st;
+    WAnd (l, parse_and st)
+  end
+  else l
+
+and parse_not st =
+  if peek st = KW "NOT" then begin
+    advance st;
+    WNot (parse_not st)
+  end
+  else if peek st = LPAREN then begin
+    advance st;
+    let e = parse_wexpr st in
+    expect st RPAREN "')'";
+    e
+  end
+  else parse_cmp st
+
+let parse_return_items st =
+  let item () =
+    match peek st with
+    | KW "COUNT" ->
+        advance st;
+        expect st LPAREN "'('";
+        expect st STAR "'*'";
+        expect st RPAREN "')'";
+        RCount
+    | IDENT v -> (
+        advance st;
+        match peek st with
+        | DOT -> (
+            advance st;
+            match peek st with
+            | IDENT p -> advance st; RProp (v, p)
+            | _ -> fail "expected property after '.'")
+        | _ -> RVar v)
+    | _ -> fail "expected return item"
+  in
+  let rec go acc =
+    let acc = item () :: acc in
+    if peek st = COMMA then (advance st; go acc) else List.rev acc
+  in
+  go []
+
+let parse st : query =
+  let patterns = ref [] in
+  let where = ref None in
+  let updates = ref [] in
+  let ret = ref [] in
+  let distinct = ref false in
+  let order = ref [] in
+  let limit = ref None in
+  let rec clauses () =
+    match peek st with
+    | KW "MATCH" ->
+        advance st;
+        patterns := !patterns @ parse_patterns st;
+        clauses ()
+    | KW "WHERE" ->
+        advance st;
+        where := Some (parse_wexpr st);
+        clauses ()
+    | KW "CREATE" ->
+        advance st;
+        (* CREATE (n:L {..}) or CREATE (a)-[:R {..}]->(b) *)
+        let np = parse_node_pat st in
+        (match peek st with
+        | DASH | ARROW_L ->
+            let out = peek st = DASH in
+            advance st;
+            let _, label, props = parse_rel_spec st in
+            let label =
+              match label with
+              | Some l -> l
+              | None -> fail "CREATE relationship needs a label"
+            in
+            (if out then expect st ARROW_R "'->'" else expect st DASH "'-'");
+            let dst = parse_node_pat st in
+            let v np =
+              match np.np_var with
+              | Some v -> v
+              | None -> fail "CREATE relationship endpoints must be bound variables"
+            in
+            let src_v, dst_v = if out then (v np, v dst) else (v dst, v np) in
+            updates := !updates @ [ UCreateRel (src_v, Some label, dst_v, props) ]
+        | _ -> updates := !updates @ [ UCreateNode np ]);
+        clauses ()
+    | KW "SET" ->
+        advance st;
+        (match peek st with
+        | IDENT v -> (
+            advance st;
+            expect st DOT "'.'";
+            match peek st with
+            | IDENT p ->
+                advance st;
+                expect st EQ "'='";
+                let value = parse_lit st in
+                updates := !updates @ [ USet (v, p, value) ]
+            | _ -> fail "expected property after '.'")
+        | _ -> fail "expected variable after SET");
+        clauses ()
+    | KW "DETACH" ->
+        advance st;
+        expect st (KW "DELETE") "DELETE";
+        (match peek st with
+        | IDENT v ->
+            advance st;
+            updates := !updates @ [ UDelete v ]
+        | _ -> fail "expected variable after DELETE");
+        clauses ()
+    | KW "DELETE" ->
+        advance st;
+        (match peek st with
+        | IDENT v ->
+            advance st;
+            updates := !updates @ [ UDelete v ]
+        | _ -> fail "expected variable after DELETE");
+        clauses ()
+    | KW "RETURN" ->
+        advance st;
+        if peek st = KW "DISTINCT" then begin
+          advance st;
+          distinct := true
+        end;
+        ret := parse_return_items st;
+        clauses ()
+    | KW "ORDER" ->
+        advance st;
+        expect st (KW "BY") "BY";
+        let rec keys () =
+          match peek st with
+          | IDENT v -> (
+              advance st;
+              expect st DOT "'.'";
+              match peek st with
+              | IDENT p ->
+                  advance st;
+                  let dir =
+                    match peek st with
+                    | KW "DESC" -> advance st; `Desc
+                    | KW "ASC" -> advance st; `Asc
+                    | _ -> `Asc
+                  in
+                  order := !order @ [ (v, p, dir) ];
+                  if peek st = COMMA then (advance st; keys ())
+              | _ -> fail "expected property in ORDER BY")
+          | _ -> fail "expected variable in ORDER BY"
+        in
+        keys ();
+        clauses ()
+    | KW "LIMIT" ->
+        advance st;
+        (match peek st with
+        | INT n -> advance st; limit := Some n
+        | _ -> fail "expected integer after LIMIT");
+        clauses ()
+    | EOF -> ()
+    | _ -> fail "unexpected token"
+  in
+  clauses ();
+  {
+    q_patterns = !patterns;
+    q_where = !where;
+    q_return = !ret;
+    q_distinct = !distinct;
+    q_order = !order;
+    q_limit = !limit;
+    q_updates = !updates;
+  }
+
+(* --- Planner ------------------------------------------------------------- *)
+
+(* variable environment: name -> (tuple slot, kind) *)
+type env = (string * (int * E.kind)) list
+
+let lit_expr encode = function
+  | LInt i -> E.Const (Value.Int i)
+  | LStr s -> E.Const (Value.Str (encode s))
+  | LBool b -> E.Const (Value.Bool b)
+  | LNull -> E.Const Value.Null
+  | LParam p -> E.Param p
+
+let slot_of env v =
+  match List.assoc_opt v env with
+  | Some (slot, kind) -> (slot, kind)
+  | None -> fail "unbound variable %s" v
+
+(* Compile a query against a source's dictionary.  [indexed] tells the
+   planner which (label code, key code) pairs have a secondary index. *)
+let plan ?(indexed = fun ~label:_ ~key:_ -> false) (g : Source.t) (q : query) :
+    A.plan =
+  let encode = g.Source.encode in
+  let width = ref 0 in
+  let fresh_slot () =
+    let s = !width in
+    incr width;
+    s
+  in
+  let env : env ref = ref [] in
+  let bind np slot =
+    match np.np_var with
+    | Some v -> env := (v, (slot, E.KNode)) :: !env
+    | None -> ()
+  in
+  let bind_rel h slot =
+    match h.h_var with
+    | Some v -> env := (v, (slot, E.KRel)) :: !env
+    | None -> ()
+  in
+  let prop_filter ~slot props child =
+    List.fold_left
+      (fun child (k, v) ->
+        A.Filter
+          {
+            pred =
+              E.Cmp
+                ( E.Eq,
+                  E.Prop { col = slot; kind = E.KNode; key = encode k },
+                  lit_expr encode v );
+            child;
+          })
+      child props
+  in
+  (* access path for the first node of a pattern *)
+  let access_path np =
+    let slot = fresh_slot () in
+    bind np slot;
+    let plan =
+      match (np.np_label, np.np_props) with
+      | Some l, (k, v) :: rest when indexed ~label:(encode l) ~key:(encode k) ->
+          prop_filter ~slot rest
+            (A.IndexScan
+               { label = encode l; key = encode k; value = lit_expr encode v })
+      | Some l, props ->
+          prop_filter ~slot props (A.NodeScan { label = Some (encode l) })
+      | None, props -> prop_filter ~slot props (A.NodeScan { label = None })
+    in
+    plan
+  in
+  (* secondary pattern nodes fetched mid-pipeline *)
+  let attach_node np child =
+    let slot = fresh_slot () in
+    bind np slot;
+    match (np.np_label, np.np_props) with
+    | Some l, (k, v) :: rest when indexed ~label:(encode l) ~key:(encode k) ->
+        prop_filter ~slot rest
+          (A.AttachByIndex
+             { label = encode l; key = encode k; value = lit_expr encode v; child })
+    | _ ->
+        fail "additional MATCH patterns must look up an indexed property"
+  in
+  let hop child h ~src_slot =
+    let rel_slot = fresh_slot () in
+    bind_rel h rel_slot;
+    let child =
+      A.Expand
+        {
+          col = src_slot;
+          dir = (if h.h_out then A.Out else A.In);
+          label = Option.map encode h.h_label;
+          child;
+        }
+    in
+    let node_slot = fresh_slot () in
+    bind h.h_dst node_slot;
+    let child =
+      A.EndPoint { col = rel_slot; which = (if h.h_out then `Dst else `Src); child }
+    in
+    let child =
+      match h.h_dst.np_label with
+      | Some l ->
+          A.Filter
+            {
+              pred =
+                E.Cmp
+                  ( E.Eq,
+                    E.LabelOf { col = node_slot; kind = E.KNode },
+                    E.Const (Value.Str (encode l)) );
+              child;
+            }
+      | None -> child
+    in
+    prop_filter ~slot:node_slot h.h_dst.np_props child
+  in
+  (* 1. patterns *)
+  let base =
+    match q.q_patterns with
+    | [] ->
+        if q.q_updates = [] then fail "query has neither MATCH nor CREATE";
+        A.Unit
+    | first :: rest ->
+        let p0 = access_path first.p_start in
+        let plan =
+          List.fold_left
+            (fun child h ->
+              let src_slot =
+                (* the hop source is the most recently bound node *)
+                !width - 1
+              in
+              hop child h ~src_slot)
+            p0 first.p_hops
+        in
+        (* additional patterns: single-node lookups *)
+        List.fold_left
+          (fun child p ->
+            if p.p_hops <> [] then
+              fail "only the first MATCH pattern may contain relationships";
+            attach_node p.p_start child)
+          plan rest
+  in
+  (* fix hop chaining: sources must be the previous node slot, which the
+     fold above guarantees because slots grow monotonically *)
+  (* 2. WHERE *)
+  let rec wexpr = function
+    | WCmp (op, a, b) -> E.Cmp (op, operand a, operand b)
+    | WAnd (a, b) -> E.And (wexpr a, wexpr b)
+    | WOr (a, b) -> E.Or (wexpr a, wexpr b)
+    | WNot a -> E.Not (wexpr a)
+  and operand = function
+    | OProp (v, p) ->
+        let slot, kind = slot_of !env v in
+        E.Prop { col = slot; kind; key = encode p }
+    | OLit l -> lit_expr encode l
+  in
+  let planned =
+    match q.q_where with
+    | None -> base
+    | Some w -> A.Filter { pred = wexpr w; child = base }
+  in
+  (* 3. updates *)
+  let planned =
+    List.fold_left
+      (fun child u ->
+        match u with
+        | UCreateNode np ->
+            let slot = fresh_slot () in
+            bind np slot;
+            let label =
+              match np.np_label with
+              | Some l -> encode l
+              | None -> fail "CREATE node needs a label"
+            in
+            A.CreateNode
+              {
+                label;
+                props =
+                  List.map (fun (k, v) -> (encode k, lit_expr encode v)) np.np_props;
+                child;
+              }
+        | UCreateRel (src, label, dst, props) ->
+            let src_slot, _ = slot_of !env src in
+            let dst_slot, _ = slot_of !env dst in
+            let _ = fresh_slot () in
+            A.CreateRel
+              {
+                label = encode (Option.get label);
+                src = src_slot;
+                dst = dst_slot;
+                props =
+                  List.map (fun (k, v) -> (encode k, lit_expr encode v)) props;
+                child;
+              }
+        | USet (v, p, value) ->
+            let slot, kind = slot_of !env v in
+            let key = encode p in
+            let value = lit_expr encode value in
+            (match kind with
+            | E.KNode -> A.SetNodeProp { col = slot; key; value; child }
+            | E.KRel -> A.SetRelProp { col = slot; key; value; child })
+        | UDelete v ->
+            let slot, kind = slot_of !env v in
+            (match kind with
+            | E.KNode -> A.DeleteNode { col = slot; child }
+            | E.KRel -> A.DeleteRel { col = slot; child }))
+      planned q.q_updates
+  in
+  (* 4. ORDER BY (pre-projection, so keys can use pattern variables) *)
+  let planned =
+    if q.q_order = [] then planned
+    else
+      A.Sort
+        {
+          keys =
+            List.map
+              (fun (v, p, dir) ->
+                let slot, kind = slot_of !env v in
+                (E.Prop { col = slot; kind; key = encode p }, dir))
+              q.q_order;
+          child = planned;
+        }
+  in
+  let planned =
+    match q.q_limit with None -> planned | Some n -> A.Limit { n; child = planned }
+  in
+  (* 5. RETURN *)
+  let planned =
+    match q.q_return with
+    | [] -> planned
+    | [ RCount ] -> A.CountAgg { child = planned }
+    | items ->
+        let exprs =
+          List.map
+            (function
+              | RCount -> fail "count(*) cannot be mixed with other return items"
+              | RVar v ->
+                  let slot, _ = slot_of !env v in
+                  E.Col slot
+              | RProp (v, p) ->
+                  let slot, kind = slot_of !env v in
+                  E.Prop { col = slot; kind; key = encode p })
+            items
+        in
+        A.Project { exprs; child = planned }
+  in
+  if q.q_distinct then A.Distinct { child = planned } else planned
+
+(* --- Public API ------------------------------------------------------------ *)
+
+let parse_string (s : string) : query =
+  let st = { toks = lex s } in
+  parse st
+
+let compile ?indexed g s = plan ?indexed g (parse_string s)
+
+(* Parse, plan and run in one go. *)
+let run ?indexed ?pool (g : Source.t) ~params (s : string) =
+  Interp.run ?pool g ~params (compile ?indexed g s)

@@ -1,0 +1,42 @@
+(** A Cypher-like query language, compiled to the graph algebra.
+
+    Surface (one path pattern; additional comma patterns bind single
+    indexed nodes):
+
+    {v
+    MATCH (p:Person {id: $0})-[k:KNOWS]->(f:Person)
+    WHERE f.age > 30 AND NOT f.name = 'Bob'
+    RETURN f.name, f.age          -- or: RETURN count( * )
+    ORDER BY f.age DESC  LIMIT 10
+
+    CREATE (p:Person {name: 'Ada'})
+    MATCH (a:Person {id: $0}), (b:Person {id: $1})
+    CREATE (a)-[:KNOWS {since: 2020}]->(b)
+    MATCH (p:Person {id: $0}) SET p.age = 37
+    MATCH (p:Person {id: $0}) DETACH DELETE p
+    v} *)
+
+exception Parse_error of string
+
+type query
+
+val parse_string : string -> query
+(** @raise Parse_error with a descriptive message. *)
+
+val plan :
+  ?indexed:(label:int -> key:int -> bool) -> Source.t -> query -> Algebra.plan
+(** Compile to algebra against the source's dictionary.  [indexed]
+    reports which (label code, key code) pairs have a secondary index, so
+    lookups become IndexScan / AttachByIndex. *)
+
+val compile :
+  ?indexed:(label:int -> key:int -> bool) -> Source.t -> string -> Algebra.plan
+
+val run :
+  ?indexed:(label:int -> key:int -> bool) ->
+  ?pool:Exec.Task_pool.t ->
+  Source.t ->
+  params:Storage.Value.t array ->
+  string ->
+  Storage.Value.t array list
+(** Parse, plan and execute in one call (AOT interpreter). *)

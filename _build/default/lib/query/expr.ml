@@ -1,0 +1,130 @@
+(* Scalar expressions over tuples.
+
+   A tuple is a [Value.t array]; node and relationship references are
+   stored as [Value.Int id] in slots whose role (node vs relationship) the
+   plan knows statically, which is why [Prop] carries the slot kind.
+   Strings are dictionary codes ([Value.Str]); equality on them compares
+   codes - the dictionary speed-up of DD3. *)
+
+module Value = Storage.Value
+
+type kind = KNode | KRel
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | Const of Value.t
+  | Param of int (* query parameter slot *)
+  | Col of int (* tuple slot *)
+  | Prop of { col : int; kind : kind; key : int } (* property of a node/rel slot *)
+  | LabelOf of { col : int; kind : kind }
+  | SrcOf of int (* source node id of a relationship slot *)
+  | DstOf of int
+  | Cmp of cmp * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Add of t * t
+  | Sub of t * t
+  | IsNull of t
+
+let col_id tuple i =
+  match tuple.(i) with
+  | Value.Int id -> id
+  | v -> invalid_arg ("Expr: slot is not a reference: " ^ Value.to_string v)
+
+let truthy = function
+  | Value.Bool b -> b
+  | Value.Null -> false
+  | Value.Int i -> i <> 0
+  | _ -> true
+
+let cmp_op = function
+  | Eq -> fun c -> c = 0
+  | Ne -> fun c -> c <> 0
+  | Lt -> fun c -> c < 0
+  | Le -> fun c -> c <= 0
+  | Gt -> fun c -> c > 0
+  | Ge -> fun c -> c >= 0
+
+(* Interpreted evaluation: a per-tuple tree walk with boxed values - the
+   deliberately dynamic AOT path that the JIT engine specialises away. *)
+let rec eval (g : Source.t) ~params tuple = function
+  | Const v -> v
+  | Param i -> params.(i)
+  | Col i -> tuple.(i)
+  | Prop { col; kind; key } -> (
+      let id = col_id tuple col in
+      let r =
+        match kind with
+        | KNode -> g.Source.node_prop id key
+        | KRel -> g.Source.rel_prop id key
+      in
+      match r with Some v -> v | None -> Value.Null)
+  | LabelOf { col; kind } ->
+      let id = col_id tuple col in
+      Value.Str
+        (match kind with
+        | KNode -> g.Source.node_label id
+        | KRel -> g.Source.rel_label id)
+  | SrcOf col -> Value.Int (g.Source.rel_src (col_id tuple col))
+  | DstOf col -> Value.Int (g.Source.rel_dst (col_id tuple col))
+  | Cmp (op, a, b) -> (
+      let va = eval g ~params tuple a and vb = eval g ~params tuple b in
+      (* SQL-style: comparisons across incompatible types (and against
+         Null) are Null - the same rule the JIT folds at compile time
+         from its type hints *)
+      match (va, vb) with
+      | Value.Null, _ | _, Value.Null -> Value.Null
+      | Value.Int _, Value.Int _
+      | Value.Str _, Value.Str _
+      | Value.Bool _, Value.Bool _
+      | Value.Float _, Value.Float _ ->
+          Value.Bool (cmp_op op (Value.compare va vb))
+      | Value.Int x, Value.Float y ->
+          Value.Bool (cmp_op op (Float.compare (float_of_int x) y))
+      | Value.Float x, Value.Int y ->
+          Value.Bool (cmp_op op (Float.compare x (float_of_int y)))
+      | _ -> Value.Null)
+  | And (a, b) ->
+      Value.Bool (truthy (eval g ~params tuple a) && truthy (eval g ~params tuple b))
+  | Or (a, b) ->
+      Value.Bool (truthy (eval g ~params tuple a) || truthy (eval g ~params tuple b))
+  | Not a -> Value.Bool (not (truthy (eval g ~params tuple a)))
+  | Add (a, b) -> arith ( + ) ( +. ) (eval g ~params tuple a) (eval g ~params tuple b)
+  | Sub (a, b) -> arith ( - ) ( -. ) (eval g ~params tuple a) (eval g ~params tuple b)
+  | IsNull a -> Value.Bool (eval g ~params tuple a = Value.Null)
+
+and arith iop fop a b =
+  match (a, b) with
+  | Value.Int x, Value.Int y -> Value.Int (iop x y)
+  | Value.Float x, Value.Float y -> Value.Float (fop x y)
+  | Value.Int x, Value.Float y -> Value.Float (fop (float_of_int x) y)
+  | Value.Float x, Value.Int y -> Value.Float (fop x (float_of_int y))
+  | _ -> Value.Null
+
+let eval_bool g ~params tuple e = truthy (eval g ~params tuple e)
+
+(* structural fingerprint, part of the JIT cache key *)
+let rec fingerprint = function
+  | Const v -> "c" ^ Value.to_string v
+  | Param i -> Printf.sprintf "p%d" i
+  | Col i -> Printf.sprintf "t%d" i
+  | Prop { col; kind; key } ->
+      Printf.sprintf "prop(%d,%s,%d)" col
+        (match kind with KNode -> "n" | KRel -> "r")
+        key
+  | LabelOf { col; kind } ->
+      Printf.sprintf "label(%d,%s)" col (match kind with KNode -> "n" | KRel -> "r")
+  | SrcOf c -> Printf.sprintf "src(%d)" c
+  | DstOf c -> Printf.sprintf "dst(%d)" c
+  | Cmp (op, a, b) ->
+      Printf.sprintf "cmp%d(%s,%s)"
+        (match op with Eq -> 0 | Ne -> 1 | Lt -> 2 | Le -> 3 | Gt -> 4 | Ge -> 5)
+        (fingerprint a) (fingerprint b)
+  | And (a, b) -> Printf.sprintf "and(%s,%s)" (fingerprint a) (fingerprint b)
+  | Or (a, b) -> Printf.sprintf "or(%s,%s)" (fingerprint a) (fingerprint b)
+  | Not a -> Printf.sprintf "not(%s)" (fingerprint a)
+  | Add (a, b) -> Printf.sprintf "add(%s,%s)" (fingerprint a) (fingerprint b)
+  | Sub (a, b) -> Printf.sprintf "sub(%s,%s)" (fingerprint a) (fingerprint b)
+  | IsNull a -> Printf.sprintf "isnull(%s)" (fingerprint a)

@@ -1,0 +1,36 @@
+(** Scalar expressions over tuples.
+
+    A tuple is a [Value.t array]; node/relationship references are stored
+    as [Value.Int id] in slots whose role the plan knows statically
+    ([Prop] carries the slot kind).  Comparison semantics are SQL-style:
+    Null operands and comparisons across incompatible types yield Null
+    (falsy in filters) - the same rule the JIT folds at compile time. *)
+
+module Value = Storage.Value
+
+type kind = KNode | KRel
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | Const of Value.t
+  | Param of int  (** positional query parameter *)
+  | Col of int  (** tuple slot *)
+  | Prop of { col : int; kind : kind; key : int }
+  | LabelOf of { col : int; kind : kind }
+  | SrcOf of int
+  | DstOf of int
+  | Cmp of cmp * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Add of t * t
+  | Sub of t * t
+  | IsNull of t
+
+val col_id : Value.t array -> int -> int
+(** Read a reference slot. @raise Invalid_argument otherwise. *)
+
+val truthy : Value.t -> bool
+val eval : Source.t -> params:Value.t array -> Value.t array -> t -> Value.t
+val eval_bool : Source.t -> params:Value.t array -> Value.t array -> t -> bool
+val fingerprint : t -> string

@@ -1,0 +1,425 @@
+(* Push-based query interpretation - the AOT execution mode (Section 6.1).
+
+   Every operator is an AOT-compiled stream transformer; interpreting a
+   plan means composing these transformers and pushing tuples through the
+   resulting chain.  Each tuple materialises a fresh [Value.t array] per
+   operator hop and every expression is evaluated by a boxed tree walk -
+   exactly the dynamic dispatch overhead the JIT engine removes.
+
+   Parallel execution follows the morsel-driven model: the leaf scan is
+   split into chunk morsels executed by the task pool; operators above the
+   first pipeline breaker (Sort, Limit, Distinct, CountAgg, joins) run
+   serially over the merged morsel output. *)
+
+module Value = Storage.Value
+open Algebra
+
+type row = Value.t array
+type stream = (row -> unit) -> unit
+
+exception Limit_stop
+
+let append tuple v =
+  let n = Array.length tuple in
+  let out = Array.make (n + 1) Value.Null in
+  Array.blit tuple 0 out 0 n;
+  out.(n) <- v;
+  out
+
+let label_ok label got = match label with None -> true | Some l -> l = got
+
+(* --- Leaf access paths ---------------------------------------------------- *)
+
+let produce_leaf (g : Source.t) ~params ?chunk plan : stream =
+ fun yield ->
+  match plan with
+  | NodeScan { label } ->
+      let emit id =
+        if label_ok label (g.node_label id) then yield [| Value.Int id |]
+      in
+      (match chunk with
+      | Some ci -> g.scan_nodes_chunk ci emit
+      | None -> g.scan_nodes emit)
+  | RelScan { label } ->
+      let emit id =
+        if label_ok label (g.rel_label id) then yield [| Value.Int id |]
+      in
+      g.scan_rels emit
+  | NodeById { id } -> (
+      match Expr.eval g ~params [||] id with
+      | Value.Int nid when nid >= 0 && g.node_exists nid ->
+          yield [| Value.Int nid |]
+      | _ -> ())
+  | IndexScan { label; key; value } ->
+      let v = Expr.eval g ~params [||] value in
+      g.index_lookup ~label ~key v (fun id -> yield [| Value.Int id |])
+  | IndexRange { label; key; lo; hi } ->
+      let lo = Expr.eval g ~params [||] lo and hi = Expr.eval g ~params [||] hi in
+      g.index_range ~label ~key ~lo ~hi (fun id -> yield [| Value.Int id |])
+  | Unit -> yield [||]
+  | _ -> invalid_arg "Interp.produce_leaf: not an access path"
+
+let is_leaf = function
+  | NodeScan _ | NodeById _ | RelScan _ | IndexScan _ | IndexRange _ | Unit ->
+      true
+  | _ -> false
+
+let chunkable = function NodeScan _ -> true | _ -> false
+
+(* --- Streaming (pipelined) operators -------------------------------------- *)
+
+let expand_stream (g : Source.t) ~col ~dir ~label : stream -> stream =
+ fun src yield ->
+  src (fun tuple ->
+      let id = Expr.col_id tuple col in
+      let iter = match dir with Out -> g.out_rels | In -> g.in_rels in
+      iter id (fun rid ->
+          if label_ok label (g.rel_label rid) then
+            yield (append tuple (Value.Int rid))))
+
+let endpoint_stream (g : Source.t) ~col ~which : stream -> stream =
+ fun src yield ->
+  src (fun tuple ->
+      let rid = Expr.col_id tuple col in
+      let nid = match which with `Src -> g.rel_src rid | `Dst -> g.rel_dst rid in
+      yield (append tuple (Value.Int nid)))
+
+let walk_to_root_stream (g : Source.t) ~col ~rel_label : stream -> stream =
+ fun src yield ->
+  src (fun tuple ->
+      let rec walk id =
+        let next = ref None in
+        g.out_rels id (fun rid ->
+            if !next = None && g.rel_label rid = rel_label then
+              next := Some (g.rel_dst rid));
+        match !next with None -> id | Some n -> walk n
+      in
+      yield (append tuple (Value.Int (walk (Expr.col_id tuple col)))))
+
+let attach_by_index_stream (g : Source.t) ~params ~label ~key ~value :
+    stream -> stream =
+ fun src yield ->
+  src (fun tuple ->
+      let v = Expr.eval g ~params tuple value in
+      g.index_lookup ~label ~key v (fun id -> yield (append tuple (Value.Int id))))
+
+let filter_stream g ~params pred : stream -> stream =
+ fun src yield ->
+  src (fun tuple -> if Expr.eval_bool g ~params tuple pred then yield tuple)
+
+let project_stream g ~params exprs : stream -> stream =
+ fun src yield ->
+  src (fun tuple ->
+      yield (Array.of_list (List.map (Expr.eval g ~params tuple) exprs)))
+
+let create_node_stream (g : Source.t) ~params ~label ~props : stream -> stream =
+ fun src yield ->
+  src (fun tuple ->
+      let props = List.map (fun (k, e) -> (k, Expr.eval g ~params tuple e)) props in
+      let id = g.create_node ~label ~props in
+      yield (append tuple (Value.Int id)))
+
+let create_rel_stream (g : Source.t) ~params ~label ~src:s ~dst ~props :
+    stream -> stream =
+ fun src yield ->
+  src (fun tuple ->
+      let props = List.map (fun (k, e) -> (k, Expr.eval g ~params tuple e)) props in
+      let id =
+        g.create_rel ~label ~src:(Expr.col_id tuple s) ~dst:(Expr.col_id tuple dst)
+          ~props
+      in
+      yield (append tuple (Value.Int id)))
+
+let set_prop_stream (g : Source.t) ~params ~kind ~col ~key ~value :
+    stream -> stream =
+ fun src yield ->
+  src (fun tuple ->
+      let v = Expr.eval g ~params tuple value in
+      let id = Expr.col_id tuple col in
+      (match kind with
+      | Expr.KNode -> g.set_node_prop id ~key v
+      | Expr.KRel -> g.set_rel_prop id ~key v);
+      yield tuple)
+
+let delete_stream (g : Source.t) ~kind ~col : stream -> stream =
+ fun src yield ->
+  src (fun tuple ->
+      let id = Expr.col_id tuple col in
+      (match kind with
+      | Expr.KNode -> g.delete_node id
+      | Expr.KRel -> g.delete_rel id);
+      yield tuple)
+
+(* --- Pipeline breakers ----------------------------------------------------- *)
+
+let sort_stream g ~params keys : stream -> stream =
+ fun src yield ->
+  let acc = ref [] in
+  src (fun tuple -> acc := tuple :: !acc);
+  let cmp a b =
+    let rec go = function
+      | [] -> 0
+      | (e, dir) :: rest ->
+          let c =
+            Value.compare (Expr.eval g ~params a e) (Expr.eval g ~params b e)
+          in
+          let c = match dir with `Asc -> c | `Desc -> -c in
+          if c <> 0 then c else go rest
+    in
+    go keys
+  in
+  List.iter yield (List.stable_sort cmp !acc)
+
+let limit_stream n : stream -> stream =
+ fun src yield ->
+  let count = ref 0 in
+  try
+    src (fun tuple ->
+        if !count < n then begin
+          incr count;
+          yield tuple
+        end;
+        if !count >= n then raise Limit_stop)
+  with Limit_stop -> ()
+
+let distinct_stream : stream -> stream =
+ fun src yield ->
+  let seen = Hashtbl.create 64 in
+  src (fun tuple ->
+      let key = Array.to_list tuple in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        yield tuple
+      end)
+
+let count_stream : stream -> stream =
+ fun src yield ->
+  let n = ref 0 in
+  src (fun _ -> incr n);
+  yield [| Value.Int !n |]
+
+let group_count_stream : stream -> stream =
+ fun src yield ->
+  let groups = Hashtbl.create 64 in
+  let order = ref [] in
+  src (fun tuple ->
+      let key = Array.to_list tuple in
+      match Hashtbl.find_opt groups key with
+      | Some n -> Hashtbl.replace groups key (n + 1)
+      | None ->
+          Hashtbl.add groups key 1;
+          order := tuple :: !order);
+  List.iter
+    (fun tuple ->
+      let n = Hashtbl.find groups (Array.to_list tuple) in
+      yield (append tuple (Value.Int n)))
+    (List.rev !order)
+
+let materialize (src : stream) =
+  let acc = ref [] in
+  src (fun t -> acc := t :: !acc);
+  List.rev !acc
+
+let nl_join_stream g ~params ~pred right_rows : stream -> stream =
+ fun src yield ->
+  src (fun lt ->
+      List.iter
+        (fun rt ->
+          let tuple = Array.append lt rt in
+          match pred with
+          | None -> yield tuple
+          | Some p -> if Expr.eval_bool g ~params tuple p then yield tuple)
+        right_rows)
+
+let hash_join_stream g ~params ~lkey ~rkey right_rows : stream -> stream =
+  let table = Hashtbl.create 256 in
+  List.iter
+    (fun rt ->
+      let k = Expr.eval g ~params rt rkey in
+      Hashtbl.add table k rt)
+    right_rows;
+  fun src yield ->
+    src (fun lt ->
+        let k = Expr.eval g ~params lt lkey in
+        List.iter
+          (fun rt -> yield (Array.append lt rt))
+          (List.rev (Hashtbl.find_all table k)))
+
+(* --- Serial execution ------------------------------------------------------ *)
+
+let rec produce (g : Source.t) ~params ?chunk plan : stream =
+  match plan with
+  | NodeScan _ | NodeById _ | RelScan _ | IndexScan _ | IndexRange _ | Unit ->
+      produce_leaf g ~params ?chunk plan
+  | Expand { col; dir; label; child } ->
+      expand_stream g ~col ~dir ~label (produce g ~params ?chunk child)
+  | EndPoint { col; which; child } ->
+      endpoint_stream g ~col ~which (produce g ~params ?chunk child)
+  | WalkToRoot { col; rel_label; child } ->
+      walk_to_root_stream g ~col ~rel_label (produce g ~params ?chunk child)
+  | AttachByIndex { label; key; value; child } ->
+      attach_by_index_stream g ~params ~label ~key ~value
+        (produce g ~params ?chunk child)
+  | Filter { pred; child } ->
+      filter_stream g ~params pred (produce g ~params ?chunk child)
+  | Project { exprs; child } ->
+      project_stream g ~params exprs (produce g ~params ?chunk child)
+  | Limit { n; child } -> limit_stream n (produce g ~params ?chunk child)
+  | Sort { keys; child } -> sort_stream g ~params keys (produce g ~params ?chunk child)
+  | Distinct { child } -> distinct_stream (produce g ~params ?chunk child)
+  | CountAgg { child } -> count_stream (produce g ~params ?chunk child)
+  | GroupCount { child } -> group_count_stream (produce g ~params ?chunk child)
+  | NestedLoopJoin { pred; left; right } ->
+      let right_rows = materialize (produce g ~params right) in
+      nl_join_stream g ~params ~pred right_rows (produce g ~params ?chunk left)
+  | HashJoin { lkey; rkey; left; right } ->
+      let right_rows = materialize (produce g ~params right) in
+      hash_join_stream g ~params ~lkey ~rkey right_rows
+        (produce g ~params ?chunk left)
+  | CreateNode { label; props; child } ->
+      create_node_stream g ~params ~label ~props (produce g ~params ?chunk child)
+  | CreateRel { label; src; dst; props; child } ->
+      create_rel_stream g ~params ~label ~src ~dst ~props
+        (produce g ~params ?chunk child)
+  | SetNodeProp { col; key; value; child } ->
+      set_prop_stream g ~params ~kind:Expr.KNode ~col ~key ~value
+        (produce g ~params ?chunk child)
+  | SetRelProp { col; key; value; child } ->
+      set_prop_stream g ~params ~kind:Expr.KRel ~col ~key ~value
+        (produce g ~params ?chunk child)
+  | DeleteNode { col; child } ->
+      delete_stream g ~kind:Expr.KNode ~col (produce g ~params ?chunk child)
+  | DeleteRel { col; child } ->
+      delete_stream g ~kind:Expr.KRel ~col (produce g ~params ?chunk child)
+
+(* --- Morsel-parallel execution --------------------------------------------- *)
+
+(* Split a plan into a chunk-parallel part (rooted at a chunkable scan,
+   containing only pipelined operators) and a serial stream transformer
+   applied to the merged morsel output. *)
+type split = Par of plan | Ser of plan * (stream -> stream)
+
+let rec split_plan (g : Source.t) ~params plan : split =
+  let unary child ~rebuild ~serial_tr =
+    match split_plan g ~params child with
+    | Par _ -> rebuild ()
+    | Ser (p, tr) -> Ser (p, fun s -> serial_tr (tr s))
+  in
+  match plan with
+  | NodeScan _ | NodeById _ | RelScan _ | IndexScan _ | IndexRange _ | Unit ->
+      Par plan
+  | Expand { col; dir; label; child } ->
+      unary child
+        ~rebuild:(fun () -> Par plan)
+        ~serial_tr:(expand_stream g ~col ~dir ~label)
+  | EndPoint { col; which; child } ->
+      unary child ~rebuild:(fun () -> Par plan)
+        ~serial_tr:(endpoint_stream g ~col ~which)
+  | WalkToRoot { col; rel_label; child } ->
+      unary child ~rebuild:(fun () -> Par plan)
+        ~serial_tr:(walk_to_root_stream g ~col ~rel_label)
+  | AttachByIndex { label; key; value; child } ->
+      unary child ~rebuild:(fun () -> Par plan)
+        ~serial_tr:(attach_by_index_stream g ~params ~label ~key ~value)
+  | Filter { pred; child } ->
+      unary child ~rebuild:(fun () -> Par plan)
+        ~serial_tr:(filter_stream g ~params pred)
+  | Project { exprs; child } ->
+      unary child ~rebuild:(fun () -> Par plan)
+        ~serial_tr:(project_stream g ~params exprs)
+  | CreateNode { label; props; child } ->
+      unary child ~rebuild:(fun () -> Par plan)
+        ~serial_tr:(create_node_stream g ~params ~label ~props)
+  | CreateRel { label; src; dst; props; child } ->
+      unary child ~rebuild:(fun () -> Par plan)
+        ~serial_tr:(create_rel_stream g ~params ~label ~src ~dst ~props)
+  | SetNodeProp { col; key; value; child } ->
+      unary child ~rebuild:(fun () -> Par plan)
+        ~serial_tr:(set_prop_stream g ~params ~kind:Expr.KNode ~col ~key ~value)
+  | SetRelProp { col; key; value; child } ->
+      unary child ~rebuild:(fun () -> Par plan)
+        ~serial_tr:(set_prop_stream g ~params ~kind:Expr.KRel ~col ~key ~value)
+  | DeleteNode { col; child } ->
+      unary child ~rebuild:(fun () -> Par plan)
+        ~serial_tr:(delete_stream g ~kind:Expr.KNode ~col)
+  | DeleteRel { col; child } ->
+      unary child ~rebuild:(fun () -> Par plan)
+        ~serial_tr:(delete_stream g ~kind:Expr.KRel ~col)
+  (* pipeline breakers: everything from here up runs serially *)
+  | Limit { n; child } -> breaker g ~params child (limit_stream n)
+  | Sort { keys; child } -> breaker g ~params child (sort_stream g ~params keys)
+  | Distinct { child } -> breaker g ~params child distinct_stream
+  | CountAgg { child } -> breaker g ~params child count_stream
+  | GroupCount { child } -> breaker g ~params child group_count_stream
+  | NestedLoopJoin { pred; left; right } ->
+      let right_rows = lazy (materialize (produce g ~params right)) in
+      breaker g ~params left (fun s ->
+          nl_join_stream g ~params ~pred (Lazy.force right_rows) s)
+  | HashJoin { lkey; rkey; left; right } ->
+      let right_rows = lazy (materialize (produce g ~params right)) in
+      breaker g ~params left (fun s ->
+          hash_join_stream g ~params ~lkey ~rkey (Lazy.force right_rows) s)
+
+and breaker g ~params child tr =
+  match split_plan g ~params child with
+  | Par p -> Ser (p, tr)
+  | Ser (p, tr') -> Ser (p, fun s -> tr (tr' s))
+
+(* Run the chunk-parallel part over all morsels, collecting rows. *)
+let run_parallel_part (g : Source.t) ~params pool plan =
+  let acc = ref [] in
+  let mu = Mutex.create () in
+  let nchunks = g.node_chunks () in
+  let tasks =
+    List.init nchunks (fun ci () ->
+        let local = ref [] in
+        produce g ~params ~chunk:ci plan (fun t -> local := t :: !local);
+        Mutex.lock mu;
+        acc := List.rev_append !local !acc;
+        Mutex.unlock mu)
+  in
+  Exec.Task_pool.run pool tasks;
+  !acc
+
+let rec leftmost_leaf = function
+  | NodeScan _ | NodeById _ | RelScan _ | IndexScan _ | IndexRange _ | Unit as p
+    ->
+      p
+  | Expand { child; _ }
+  | EndPoint { child; _ }
+  | WalkToRoot { child; _ }
+  | AttachByIndex { child; _ }
+  | Filter { child; _ }
+  | Project { child; _ }
+  | Limit { child; _ }
+  | Sort { child; _ }
+  | Distinct { child }
+  | CountAgg { child }
+  | GroupCount { child }
+  | CreateNode { child; _ }
+  | CreateRel { child; _ }
+  | SetNodeProp { child; _ }
+  | SetRelProp { child; _ }
+  | DeleteNode { child; _ }
+  | DeleteRel { child; _ } ->
+      leftmost_leaf child
+  | NestedLoopJoin { left; _ } | HashJoin { left; _ } -> leftmost_leaf left
+
+(* Execute a plan; with [pool], the scan is morsel-parallelised. *)
+let run ?pool (g : Source.t) ~params plan =
+  let rows = ref [] in
+  let yield t = rows := t :: !rows in
+  (match pool with
+  | None -> produce g ~params plan yield
+  | Some pool when chunkable (leftmost_leaf plan) -> (
+      match split_plan g ~params plan with
+      | Par p ->
+          let collected = run_parallel_part g ~params pool p in
+          List.iter yield collected
+      | Ser (p, tr) ->
+          let collected = run_parallel_part g ~params pool p in
+          tr (fun k -> List.iter k collected) yield)
+  | Some _ -> produce g ~params plan yield);
+  List.rev !rows
+
+let count ?pool g ~params plan = List.length (run ?pool g ~params plan)

@@ -1,0 +1,37 @@
+(** Push-based query interpretation - the AOT execution mode
+    (Section 6.1).  Operators are AOT-compiled stream transformers;
+    parallel execution splits the leaf scan into chunk morsels and runs
+    operators above the first pipeline breaker serially over the merged
+    output. *)
+
+module Value = Storage.Value
+
+type row = Value.t array
+type stream = (row -> unit) -> unit
+
+exception Limit_stop
+
+val is_leaf : Algebra.plan -> bool
+val chunkable : Algebra.plan -> bool
+val leftmost_leaf : Algebra.plan -> Algebra.plan
+
+val produce :
+  Source.t -> params:Value.t array -> ?chunk:int -> Algebra.plan -> stream
+(** Serial stream of a plan's rows; with [chunk], the leaf scan is
+    restricted to that morsel. *)
+
+(** Result of {!split_plan}: either fully chunk-parallelisable, or a
+    parallel core plus the serial transformer for everything above the
+    first breaker. *)
+type split = Par of Algebra.plan | Ser of Algebra.plan * (stream -> stream)
+
+val split_plan : Source.t -> params:Value.t array -> Algebra.plan -> split
+
+val run :
+  ?pool:Exec.Task_pool.t ->
+  Source.t ->
+  params:Value.t array ->
+  Algebra.plan ->
+  row list
+
+val count : ?pool:Exec.Task_pool.t -> Source.t -> params:Value.t array -> Algebra.plan -> int

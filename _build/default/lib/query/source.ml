@@ -1,0 +1,173 @@
+(* Abstract graph access for query execution.
+
+   Both engines (AOT interpreter and JIT) and all storage backends (the
+   PMem/DRAM MVCC store and the disk baseline) meet at this interface.
+   All ids are *visible* ids under the caller's snapshot: implementations
+   apply their own visibility filtering.
+
+   Strings never cross this interface at query time: labels, property keys
+   and string values are dictionary codes (DD3). *)
+
+module Value = Storage.Value
+
+type t = {
+  (* scans *)
+  node_chunks : unit -> int; (* number of morsel units *)
+  scan_nodes_chunk : int -> (int -> unit) -> unit;
+  scan_nodes : (int -> unit) -> unit;
+  scan_rels : (int -> unit) -> unit;
+  (* point access *)
+  node_exists : int -> bool;
+  node_label : int -> int;
+  rel_label : int -> int;
+  node_prop : int -> int -> Value.t option;
+  rel_prop : int -> int -> Value.t option;
+  rel_src : int -> int;
+  rel_dst : int -> int;
+  (* traversal (DD4: offset chains) *)
+  out_rels : int -> (int -> unit) -> unit;
+  in_rels : int -> (int -> unit) -> unit;
+  (* secondary indexes; raise Not_found when no suitable index exists *)
+  index_lookup : label:int -> key:int -> Value.t -> (int -> unit) -> unit;
+  index_range : label:int -> key:int -> lo:Value.t -> hi:Value.t -> (int -> unit) -> unit;
+  (* updates (transactional on MVCC backends) *)
+  create_node : label:int -> props:(int * Value.t) list -> int;
+  create_rel : label:int -> src:int -> dst:int -> props:(int * Value.t) list -> int;
+  set_node_prop : int -> key:int -> Value.t -> unit;
+  set_rel_prop : int -> key:int -> Value.t -> unit;
+  delete_node : int -> unit;
+  delete_rel : int -> unit;
+  (* dictionary *)
+  encode : string -> int;
+  decode : int -> string;
+  (* pull-style accessors for generated (JIT) code: loops over integer
+     cursors instead of callback iterators; -1 means "none" *)
+  chunk_size : unit -> int;
+  node_prop_fast : int -> int -> Value.t option;
+      (* single-property read without view materialisation; same snapshot
+         semantics as [node_prop] *)
+  rel_prop_fast : int -> int -> Value.t option;
+  fetch_node : chunk:int -> slot:int -> int; (* visible node id or -1 *)
+  first_out : int -> int; (* first outgoing rel id or -1 (raw chain) *)
+  next_src : int -> int;
+  first_in : int -> int;
+  next_dst : int -> int;
+  rel_visible : int -> bool;
+}
+
+exception No_index of { label : int; key : int }
+
+(* Build a source over the MVCC store for one transaction's snapshot.
+   [indexes] maps (label code, property-key code) to a secondary index. *)
+let of_mvcc ?(indexes = fun ~label:_ ~key:_ -> None) mgr txn : t =
+  let g = Mvcc.Mvto.store mgr in
+  let module G = Storage.Graph_store in
+  let module V = Mvcc.Version in
+  let module L = Storage.Layout in
+  let prop_of_view view key = Mvcc.Mvto.view_prop view key in
+  let need_index ~label ~key =
+    match indexes ~label ~key with
+    | Some idx -> idx
+    | None -> raise (No_index { label; key })
+  in
+  {
+    node_chunks = (fun () -> G.node_chunks g);
+    scan_nodes_chunk = (fun ci f -> Mvcc.Mvto.scan_nodes_chunk mgr txn ci f);
+    scan_nodes = (fun f -> Mvcc.Mvto.scan_nodes mgr txn f);
+    scan_rels = (fun f -> Mvcc.Mvto.scan_rels mgr txn f);
+    node_exists = (fun id -> Mvcc.Mvto.visible mgr txn (V.Node, id));
+    node_label = (fun id -> G.node_label g id);
+    rel_label = (fun id -> G.rel_label g id);
+    node_prop =
+      (fun id key ->
+        match Mvcc.Mvto.read_node mgr txn id with
+        | None -> None
+        | Some view -> prop_of_view view key);
+    rel_prop =
+      (fun id key ->
+        match Mvcc.Mvto.read_rel mgr txn id with
+        | None -> None
+        | Some view -> prop_of_view view key);
+    rel_src = (fun id -> G.rel_field g id L.Rel.src);
+    rel_dst = (fun id -> G.rel_field g id L.Rel.dst);
+    out_rels =
+      (fun id f ->
+        G.iter_out g id (fun rid ->
+            if Mvcc.Mvto.visible mgr txn (V.Rel, rid) then f rid));
+    in_rels =
+      (fun id f ->
+        G.iter_in g id (fun rid ->
+            if Mvcc.Mvto.visible mgr txn (V.Rel, rid) then f rid));
+    index_lookup =
+      (fun ~label ~key value f ->
+        let idx = need_index ~label ~key in
+        List.iter
+          (fun id -> if Mvcc.Mvto.visible mgr txn (V.Node, id) then f id)
+          (Gindex.Index.lookup idx value));
+    index_range =
+      (fun ~label ~key ~lo ~hi f ->
+        let idx = need_index ~label ~key in
+        Gindex.Index.iter_range idx ~lo ~hi (fun id ->
+            if Mvcc.Mvto.visible mgr txn (V.Node, id) then f id));
+    create_node =
+      (fun ~label ~props -> Mvcc.Mvto.insert_node mgr txn ~label ~props);
+    create_rel =
+      (fun ~label ~src ~dst ~props ->
+        Mvcc.Mvto.insert_rel mgr txn ~label ~src ~dst ~props);
+    set_node_prop =
+      (fun id ~key value ->
+        Mvcc.Mvto.update mgr txn (V.Node, id) (fun ver ->
+            ver.V.props <- (key, value) :: List.remove_assoc key ver.V.props));
+    set_rel_prop =
+      (fun id ~key value ->
+        Mvcc.Mvto.update mgr txn (V.Rel, id) (fun ver ->
+            ver.V.props <- (key, value) :: List.remove_assoc key ver.V.props));
+    delete_node =
+      (fun id ->
+        (* DETACH semantics: incident visible relationships go first *)
+        let rels = ref [] in
+        G.iter_out g id (fun rid ->
+            if Mvcc.Mvto.visible mgr txn (V.Rel, rid) then rels := rid :: !rels);
+        G.iter_in g id (fun rid ->
+            if Mvcc.Mvto.visible mgr txn (V.Rel, rid) then rels := rid :: !rels);
+        List.iter (fun rid -> Mvcc.Mvto.delete mgr txn (V.Rel, rid)) !rels;
+        Mvcc.Mvto.delete mgr txn (V.Node, id));
+    delete_rel = (fun id -> Mvcc.Mvto.delete mgr txn (V.Rel, id));
+    encode = (fun s -> G.code g s);
+    decode = (fun c -> G.string_of_code g c);
+    chunk_size = (fun () -> Storage.Table.chunk_capacity (G.node_table g));
+    node_prop_fast = (fun id key -> Mvcc.Mvto.read_prop mgr txn (V.Node, id) key);
+    rel_prop_fast = (fun id key -> Mvcc.Mvto.read_prop mgr txn (V.Rel, id) key);
+    fetch_node =
+      (fun ~chunk ~slot ->
+        let cap = Storage.Table.chunk_capacity (G.node_table g) in
+        let id = (chunk * cap) + slot in
+        (* the bitmap word is charged once per scan entry; per-slot
+           probing within it is cache-resident *)
+        if
+          Storage.Table.is_live_raw (G.node_table g) id
+          && Mvcc.Mvto.visible mgr txn (V.Node, id)
+        then id
+        else -1);
+    first_out =
+      (fun id ->
+        match L.unlink (G.node_field g id L.Node.first_out) with
+        | Some r -> r
+        | None -> -1);
+    next_src =
+      (fun rid ->
+        match L.unlink (G.rel_field g rid L.Rel.next_src) with
+        | Some r -> r
+        | None -> -1);
+    first_in =
+      (fun id ->
+        match L.unlink (G.node_field g id L.Node.first_in) with
+        | Some r -> r
+        | None -> -1);
+    next_dst =
+      (fun rid ->
+        match L.unlink (G.rel_field g rid L.Rel.next_dst) with
+        | Some r -> r
+        | None -> -1);
+    rel_visible = (fun rid -> Mvcc.Mvto.visible mgr txn (V.Rel, rid));
+  }

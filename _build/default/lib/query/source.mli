@@ -1,0 +1,60 @@
+(** Abstract graph access for query execution.
+
+    Both engines (AOT interpreter and JIT) and all storage backends (the
+    PMem/DRAM MVCC store and the disk baseline) meet at this record of
+    operations.  All ids delivered by scans/traversals are already
+    visibility-filtered for the calling transaction's snapshot; strings
+    never cross the interface at query time - labels, property keys and
+    string values are dictionary codes (DD3). *)
+
+module Value = Storage.Value
+
+type t = {
+  node_chunks : unit -> int;  (** number of morsel units *)
+  scan_nodes_chunk : int -> (int -> unit) -> unit;
+  scan_nodes : (int -> unit) -> unit;
+  scan_rels : (int -> unit) -> unit;
+  node_exists : int -> bool;
+  node_label : int -> int;
+  rel_label : int -> int;
+  node_prop : int -> int -> Value.t option;
+  rel_prop : int -> int -> Value.t option;
+  rel_src : int -> int;
+  rel_dst : int -> int;
+  out_rels : int -> (int -> unit) -> unit;
+  in_rels : int -> (int -> unit) -> unit;
+  index_lookup : label:int -> key:int -> Value.t -> (int -> unit) -> unit;
+  index_range :
+    label:int -> key:int -> lo:Value.t -> hi:Value.t -> (int -> unit) -> unit;
+  create_node : label:int -> props:(int * Value.t) list -> int;
+  create_rel :
+    label:int -> src:int -> dst:int -> props:(int * Value.t) list -> int;
+  set_node_prop : int -> key:int -> Value.t -> unit;
+  set_rel_prop : int -> key:int -> Value.t -> unit;
+  delete_node : int -> unit;
+      (** DETACH semantics: incident visible relationships are deleted in
+          the same transaction *)
+  delete_rel : int -> unit;
+  encode : string -> int;
+  decode : int -> string;
+  chunk_size : unit -> int;
+  node_prop_fast : int -> int -> Value.t option;
+      (** single-property read without view materialisation (JIT path) *)
+  rel_prop_fast : int -> int -> Value.t option;
+  fetch_node : chunk:int -> slot:int -> int;
+      (** pull-style cursor for generated code; -1 = empty/invisible *)
+  first_out : int -> int;
+  next_src : int -> int;
+  first_in : int -> int;
+  next_dst : int -> int;
+  rel_visible : int -> bool;
+}
+
+exception No_index of { label : int; key : int }
+
+val of_mvcc :
+  ?indexes:(label:int -> key:int -> Gindex.Index.t option) ->
+  Mvcc.Mvto.t ->
+  Mvcc.Txn.t ->
+  t
+(** Source over one transaction's snapshot of the MVCC store. *)

@@ -1,0 +1,1 @@
+lib/snb/complex_reads.ml: Array Gen Query Random Schema Storage

@@ -1,0 +1,1 @@
+lib/snb/complex_reads.mli: Gen Query Random Schema Storage

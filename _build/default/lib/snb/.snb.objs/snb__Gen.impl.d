@@ -1,0 +1,1 @@
+lib/snb/gen.ml: Array Gindex List Printf Schema Storage

@@ -1,0 +1,1 @@
+lib/snb/gen.mli: Gindex Schema Storage

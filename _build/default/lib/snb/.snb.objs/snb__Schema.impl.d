@@ -1,0 +1,1 @@
+lib/snb/schema.ml: Jit Storage

@@ -1,0 +1,1 @@
+lib/snb/schema.mli: Jit Storage

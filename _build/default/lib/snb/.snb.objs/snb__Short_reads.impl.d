@@ -1,0 +1,1 @@
+lib/snb/short_reads.ml: Array Gen Query Random Schema Storage

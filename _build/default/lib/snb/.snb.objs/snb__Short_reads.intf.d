@@ -1,0 +1,1 @@
+lib/snb/short_reads.mli: Gen Query Random Schema Storage

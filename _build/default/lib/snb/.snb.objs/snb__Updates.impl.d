@@ -1,0 +1,1 @@
+lib/snb/updates.ml: Array Gen Query Random Schema Storage

@@ -1,0 +1,1 @@
+lib/snb/updates.mli: Gen Query Random Schema Storage

@@ -1,0 +1,241 @@
+(* Complex-read extension workload (IC-style).
+
+   The paper evaluates only the Interactive Short Read and Update sets and
+   notes (Sections 7.5, 8) that JIT compilation should pay off far more
+   for "analytical and long-running queries" that traverse a significant
+   portion of the graph.  These three queries - modelled on the LDBC
+   Interactive Complex Reads - provide exactly that workload:
+
+   CR1 (IC1-like): persons up to two KNOWS hops from the start person
+        whose first name matches the parameter, most recently created
+        first, limit 20.
+   CR2 (IC2-like): the 20 most recent messages created by the start
+        person's friends.
+   CR3 (IC6-like): tag popularity among the posts created by the start
+        person's friends (group-by-count, descending).
+
+   Parameters: 0 = person LDBC id, 1 = first-name dictionary code (CR1). *)
+
+module A = Query.Algebra
+module E = Query.Expr
+module Value = Storage.Value
+open Schema
+
+let entity ~access ~label sc =
+  match access with
+  | `Index -> A.IndexScan { label; key = sc.k_id; value = E.Param 0 }
+  | `Scan ->
+      A.Filter
+        {
+          pred =
+            E.Cmp (E.Eq, E.Prop { col = 0; kind = E.KNode; key = sc.k_id }, E.Param 0);
+          child = A.NodeScan { label = Some label };
+        }
+
+let nprop col key = E.Prop { col; kind = E.KNode; key }
+
+(* start(0) -[KNOWS]-(1)-> friend(2) -[KNOWS]-(3)-> fof(4) *)
+let two_hops sc ~access =
+  A.EndPoint
+    {
+      col = 3;
+      which = `Dst;
+      child =
+        A.Expand
+          {
+            col = 2;
+            dir = A.Out;
+            label = Some sc.knows;
+            child =
+              A.EndPoint
+                {
+                  col = 1;
+                  which = `Dst;
+                  child =
+                    A.Expand
+                      {
+                        col = 0;
+                        dir = A.Out;
+                        label = Some sc.knows;
+                        child = entity ~access ~label:sc.person sc;
+                      };
+                };
+          };
+    }
+
+let cr1 sc ~access =
+  A.Limit
+    {
+      n = 20;
+      child =
+        A.Sort
+          {
+            keys = [ (E.Col 1, `Desc) ];
+            child =
+              A.Distinct
+                {
+                  child =
+                    A.Project
+                      {
+                        exprs =
+                          [
+                            nprop 4 sc.k_id;
+                            nprop 4 sc.k_creation_date;
+                            nprop 4 sc.k_last_name;
+                          ];
+                        child =
+                          A.Filter
+                            {
+                              pred =
+                                E.Cmp
+                                  ( E.Eq,
+                                    nprop 4 sc.k_first_name,
+                                    E.Param 1 );
+                              child = two_hops sc ~access;
+                            };
+                      };
+                };
+          };
+    }
+
+let cr2 sc ~access =
+  A.Limit
+    {
+      n = 20;
+      child =
+        A.Sort
+          {
+            keys = [ (E.Col 3, `Desc) ];
+            child =
+              A.Project
+                {
+                  exprs =
+                    [
+                      nprop 2 sc.k_id (* friend *);
+                      nprop 4 sc.k_id (* message *);
+                      nprop 4 sc.k_content;
+                      nprop 4 sc.k_creation_date;
+                    ];
+                  child =
+                    A.EndPoint
+                      {
+                        col = 3;
+                        which = `Src;
+                        child =
+                          A.Expand
+                            {
+                              col = 2;
+                              dir = A.In;
+                              label = Some sc.has_creator;
+                              child =
+                                A.EndPoint
+                                  {
+                                    col = 1;
+                                    which = `Dst;
+                                    child =
+                                      A.Expand
+                                        {
+                                          col = 0;
+                                          dir = A.Out;
+                                          label = Some sc.knows;
+                                          child = entity ~access ~label:sc.person sc;
+                                        };
+                                  };
+                            };
+                      };
+                };
+          };
+    }
+
+let cr3 sc ~access =
+  A.Sort
+    {
+      keys = [ (E.Col 1, `Desc) ];
+      child =
+        A.GroupCount
+          {
+            child =
+              A.Project
+                {
+                  exprs = [ nprop 6 sc.k_name ];
+                  child =
+                    A.EndPoint
+                      {
+                        col = 5;
+                        which = `Dst;
+                        child =
+                          A.Expand
+                            {
+                              col = 4;
+                              dir = A.Out;
+                              label = Some sc.has_tag;
+                              child =
+                                A.Filter
+                                  {
+                                    pred =
+                                      E.Cmp
+                                        ( E.Eq,
+                                          E.LabelOf { col = 4; kind = E.KNode },
+                                          E.Const (Value.Str sc.post) );
+                                    child =
+                                      A.EndPoint
+                                        {
+                                          col = 3;
+                                          which = `Src;
+                                          child =
+                                            A.Expand
+                                              {
+                                                col = 2;
+                                                dir = A.In;
+                                                label = Some sc.has_creator;
+                                                child =
+                                                  A.EndPoint
+                                                    {
+                                                      col = 1;
+                                                      which = `Dst;
+                                                      child =
+                                                        A.Expand
+                                                          {
+                                                            col = 0;
+                                                            dir = A.Out;
+                                                            label = Some sc.knows;
+                                                            child =
+                                                              entity ~access
+                                                                ~label:sc.person sc;
+                                                          };
+                                                    };
+                                              };
+                                        };
+                                  };
+                            };
+                      };
+                };
+          };
+    }
+
+type spec = {
+  name : string;
+  plan : access:[ `Index | `Scan ] -> A.plan;
+  nparams : int;
+}
+
+let all sc =
+  [
+    { name = "CR1"; plan = (fun ~access -> cr1 sc ~access); nparams = 2 };
+    { name = "CR2"; plan = (fun ~access -> cr2 sc ~access); nparams = 1 };
+    { name = "CR3"; plan = (fun ~access -> cr3 sc ~access); nparams = 1 };
+  ]
+
+let draw_params (ds : Gen.dataset) rng spec =
+  let person = Value.Int ds.Gen.person_ids.(Random.State.int rng (Array.length ds.Gen.person_ids)) in
+  if spec.nparams = 1 then [| person |]
+  else
+    (* a first-name code that actually occurs *)
+    let g = ds.Gen.store in
+    let p = ds.Gen.persons.(Random.State.int rng (Array.length ds.Gen.persons)) in
+    let name =
+      match Storage.Graph_store.node_prop g p ds.Gen.schema.Schema.k_first_name with
+      | Some v -> v
+      | None -> Value.Str 0
+    in
+    [| person; name |]

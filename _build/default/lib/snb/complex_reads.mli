@@ -1,0 +1,23 @@
+(** IC-style complex-read extension queries (CR1..CR3): long-running
+    traversals testing the paper's expectation that JIT gains grow with
+    query complexity (Sections 7.5, 8). *)
+
+module A = Query.Algebra
+
+val cr1 : Schema.t -> access:[ `Index | `Scan ] -> A.plan
+(** Persons two KNOWS hops away with a given first name (IC1-like). *)
+
+val cr2 : Schema.t -> access:[ `Index | `Scan ] -> A.plan
+(** The 20 most recent messages of the person's friends (IC2-like). *)
+
+val cr3 : Schema.t -> access:[ `Index | `Scan ] -> A.plan
+(** Tag popularity among friends' posts, group-by-count (IC6-like). *)
+
+type spec = {
+  name : string;
+  plan : access:[ `Index | `Scan ] -> A.plan;
+  nparams : int;
+}
+
+val all : Schema.t -> spec list
+val draw_params : Gen.dataset -> Random.State.t -> spec -> Storage.Value.t array

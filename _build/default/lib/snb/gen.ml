@@ -1,0 +1,353 @@
+(* A deterministic, scaled-down LDBC-SNB-like data generator (Section 7.2).
+
+   The official datagen needs a Spark cluster; this generator reproduces
+   the statistics the interactive short-read and update workloads are
+   sensitive to:
+
+   - a KNOWS graph with power-law-ish degrees (preferential attachment),
+   - per-person activity: posts in forums, comment reply trees with
+     geometric depth (so post/cmt query variants traverse different
+     distances to the thread root),
+   - likes, tags, places and organisations with skewed popularity.
+
+   The scale factor multiplies the person count (sf = 1.0 ~ 1000 persons,
+   a laptop-scale stand-in for the paper's SF10).  Generation is a bulk
+   load through the raw graph store: records are born committed
+   (bts = 0), which matches a datagen import that precedes all
+   transactions. *)
+
+module G = Storage.Graph_store
+module Value = Storage.Value
+
+type params = {
+  sf : float;
+  seed : int;
+  friends_per_person : int; (* mean out-degree of KNOWS *)
+  posts_per_person : int;
+  comments_per_post : int; (* mean size of a reply tree *)
+  likes_per_message : int;
+}
+
+let default_params =
+  {
+    sf = 0.1;
+    seed = 42;
+    friends_per_person = 8;
+    posts_per_person = 3;
+    comments_per_post = 3;
+    likes_per_message = 2;
+  }
+
+type dataset = {
+  store : G.t;
+  schema : Schema.t;
+  persons : int array; (* physical node ids *)
+  posts : int array;
+  comments : int array;
+  forums : int array;
+  tags : int array;
+  places : int array;
+  organisations : int array;
+  person_ids : int array; (* LDBC ids, aligned with [persons] *)
+  post_ids : int array;
+  comment_ids : int array;
+}
+
+(* splitmix64-style deterministic PRNG *)
+module Rng = struct
+  type t = { mutable s : int }
+
+  let make seed = { s = (seed * 0x9E3779B9) lor 1 }
+
+  let next t =
+    t.s <- (t.s + 0x2545F4914F6CDD1D) land max_int;
+    let z = t.s in
+    let z = (z lxor (z lsr 30)) * 0x5851F42D4C957F2D land max_int in
+    let z = (z lxor (z lsr 27)) * 0x14057B7EF767814F land max_int in
+    z lxor (z lsr 31)
+
+  let int t bound = if bound <= 0 then 0 else next t mod bound
+
+  (* geometric with mean ~m *)
+  let geometric t m =
+    let rec go acc = if int t (m + 1) = 0 then acc else go (acc + 1) in
+    go 0
+
+  (* power-law-ish pick favouring low indices *)
+  let zipf_pick t n =
+    if n <= 1 then 0
+    else
+      let u = float_of_int (int t 1_000_000) /. 1_000_000. in
+      let x = (1. -. u) ** 2.5 in
+      min (n - 1) (int_of_float (x *. float_of_int n))
+end
+
+let first_names = [| "Jan"; "Yang"; "Maria"; "Ali"; "Otto"; "Ivan"; "Akira"; "Lena" |]
+let last_names = [| "Smith"; "Mueller"; "Zhang"; "Khan"; "Silva"; "Ito"; "Novak" |]
+let browsers = [| "Firefox"; "Chrome"; "Safari"; "Opera" |]
+let genders = [| "male"; "female" |]
+let cities = [| "Ilmenau"; "Berlin"; "Beijing"; "Lagos"; "Lima"; "Mumbai"; "Oslo" |]
+let org_names = [| "TU_Ilmenau"; "Acme"; "Globex"; "Initech"; "Umbrella" |]
+let tag_names =
+  [| "databases"; "pmem"; "jit"; "graphs"; "ocaml"; "llvm"; "mvcc"; "btree" |]
+
+let day = 86_400_000 (* ms *)
+let epoch_2010 = 1_262_304_000_000
+
+(* LDBC id spaces (disjoint per entity type, as in the datagen) *)
+let person_base = 1_000_000
+let post_base = 10_000_000
+let comment_base = 20_000_000
+let forum_base = 30_000_000
+
+let generate ?(params = default_params) store =
+  let sc = Schema.attach store in
+  let rng = Rng.make params.seed in
+  let n_persons = max 4 (int_of_float (params.sf *. 1000.)) in
+  let str s = G.encode_value store (Value.Text s) in
+  let pick arr = arr.(Rng.int rng (Array.length arr)) in
+  (* static pools *)
+  let tags =
+    Array.mapi
+      (fun i name ->
+        G.create_node store ~label:"Tag"
+          ~props:[ ("id", Value.Int i); ("name", Value.Text name) ])
+      tag_names
+  in
+  let places =
+    Array.mapi
+      (fun i name ->
+        G.create_node store ~label:"Place"
+          ~props:
+            [ ("id", Value.Int i); ("name", Value.Text name);
+              ("type", Value.Text "city") ])
+      cities
+  in
+  let organisations =
+    Array.mapi
+      (fun i name ->
+        G.create_node store ~label:"Organisation"
+          ~props:[ ("id", Value.Int i); ("name", Value.Text name) ])
+      org_names
+  in
+  (* persons *)
+  let person_ids = Array.init n_persons (fun i -> person_base + i) in
+  let persons =
+    Array.init n_persons (fun i ->
+        let creation = epoch_2010 + (Rng.int rng 3650 * day) in
+        G.create_node store ~label:"Person"
+          ~props:
+            [
+              ("id", Value.Int person_ids.(i));
+              ("firstName", Value.Text (pick first_names));
+              ("lastName", Value.Text (pick last_names));
+              ("gender", Value.Text (pick genders));
+              ("birthday", Value.Int (epoch_2010 - (Rng.int rng 18250 * day)));
+              ("creationDate", Value.Int creation);
+              ("locationIP",
+               Value.Text
+                 (Printf.sprintf "%d.%d.%d.%d" (Rng.int rng 255) (Rng.int rng 255)
+                    (Rng.int rng 255) (Rng.int rng 255)));
+              ("browserUsed", Value.Text (pick browsers));
+            ])
+  in
+  Array.iter
+    (fun p ->
+      ignore
+        (G.create_rel store ~label:"IS_LOCATED_IN" ~src:p
+           ~dst:places.(Rng.int rng (Array.length places)) ~props:[]);
+      for _ = 0 to Rng.int rng 3 do
+        ignore
+          (G.create_rel store ~label:"HAS_INTEREST" ~src:p
+             ~dst:tags.(Rng.zipf_pick rng (Array.length tags)) ~props:[])
+      done;
+      if Rng.int rng 2 = 0 then
+        ignore
+          (G.create_rel store ~label:"STUDY_AT" ~src:p
+             ~dst:organisations.(Rng.int rng (Array.length organisations))
+             ~props:[ ("classYear", Value.Int (2000 + Rng.int rng 20)) ]);
+      if Rng.int rng 2 = 0 then
+        ignore
+          (G.create_rel store ~label:"WORK_AT" ~src:p
+             ~dst:organisations.(Rng.int rng (Array.length organisations))
+             ~props:[ ("workFrom", Value.Int (2000 + Rng.int rng 20)) ]))
+    persons;
+  (* KNOWS: ring for connectivity + preferential attachment extras *)
+  let knows_edge a b =
+    ignore
+      (G.create_rel store ~label:"KNOWS" ~src:persons.(a) ~dst:persons.(b)
+         ~props:[ ("creationDate", Value.Int (epoch_2010 + (Rng.int rng 3650 * day))) ])
+  in
+  for i = 0 to n_persons - 1 do
+    knows_edge i ((i + 1) mod n_persons);
+    let extras = max 0 (Rng.geometric rng (params.friends_per_person - 2)) in
+    for _ = 1 to extras do
+      let target = Rng.zipf_pick rng n_persons in
+      if target <> i then knows_edge i target
+    done
+  done;
+  (* forums, one per ~5 persons, moderated by a popular person *)
+  let n_forums = max 1 (n_persons / 5) in
+  let forums =
+    Array.init n_forums (fun i ->
+        let f =
+          G.create_node store ~label:"Forum"
+            ~props:
+              [
+                ("id", Value.Int (forum_base + i));
+                ("title", Value.Text (Printf.sprintf "Forum-%d" i));
+                ("creationDate", Value.Int (epoch_2010 + (Rng.int rng 3650 * day)));
+              ]
+        in
+        ignore
+          (G.create_rel store ~label:"HAS_MODERATOR" ~src:f
+             ~dst:persons.(Rng.zipf_pick rng n_persons) ~props:[]);
+        for _ = 1 to 4 do
+          ignore
+            (G.create_rel store ~label:"HAS_MEMBER" ~src:f
+               ~dst:persons.(Rng.int rng n_persons) ~props:[])
+        done;
+        f)
+  in
+  (* messages: posts with reply trees of comments *)
+  let posts = ref [] and comments = ref [] in
+  let post_ids = ref [] and comment_ids = ref [] in
+  let n_posts = ref 0 and n_comments = ref 0 in
+  let message_props ~id ~creation =
+    [
+      ("id", Value.Int id);
+      ("creationDate", Value.Int creation);
+      ("content", Value.Text (Printf.sprintf "msg-%d" id));
+      ("length", Value.Int (10 + Rng.int rng 500));
+      ("browserUsed", Value.Text (pick browsers));
+    ]
+  in
+  Array.iteri
+    (fun pi p ->
+      for _ = 1 to params.posts_per_person do
+        let id = post_base + !n_posts in
+        incr n_posts;
+        let creation = epoch_2010 + (Rng.int rng 3650 * day) in
+        let post = G.create_node store ~label:"Post" ~props:(message_props ~id ~creation) in
+        posts := post :: !posts;
+        post_ids := id :: !post_ids;
+        ignore (G.create_rel store ~label:"HAS_CREATOR" ~src:post ~dst:p ~props:[]);
+        ignore
+          (G.create_rel store ~label:"CONTAINER_OF"
+             ~src:forums.(Rng.int rng n_forums) ~dst:post ~props:[]);
+        ignore
+          (G.create_rel store ~label:"HAS_TAG" ~src:post
+             ~dst:tags.(Rng.zipf_pick rng (Array.length tags)) ~props:[]);
+        (* reply tree: each comment replies to the post or an earlier
+           comment of the same thread, giving variable root distance *)
+        let thread = ref [ post ] in
+        let n_replies = Rng.geometric rng params.comments_per_post in
+        for _ = 1 to n_replies do
+          let cid = comment_base + !n_comments in
+          incr n_comments;
+          let parent = List.nth !thread (Rng.int rng (List.length !thread)) in
+          let c =
+            G.create_node store ~label:"Comment"
+              ~props:(message_props ~id:cid ~creation:(creation + (Rng.int rng 30 * day)))
+          in
+          comments := c :: !comments;
+          comment_ids := cid :: !comment_ids;
+          ignore (G.create_rel store ~label:"REPLY_OF" ~src:c ~dst:parent ~props:[]);
+          ignore
+            (G.create_rel store ~label:"HAS_CREATOR" ~src:c
+               ~dst:persons.(Rng.zipf_pick rng n_persons) ~props:[]);
+          thread := c :: !thread
+        done;
+        (* likes *)
+        for _ = 1 to Rng.int rng (2 * params.likes_per_message) do
+          ignore
+            (G.create_rel store ~label:"LIKES"
+               ~src:persons.(Rng.int rng n_persons) ~dst:post
+               ~props:[ ("creationDate", Value.Int (creation + (Rng.int rng 60 * day))) ])
+        done
+      done;
+      ignore pi)
+    persons;
+  ignore str;
+  {
+    store;
+    schema = sc;
+    persons;
+    posts = Array.of_list (List.rev !posts);
+    comments = Array.of_list (List.rev !comments);
+    forums;
+    tags;
+    places;
+    organisations;
+    person_ids;
+    post_ids = Array.of_list (List.rev !post_ids);
+    comment_ids = Array.of_list (List.rev !comment_ids);
+  }
+
+(* Secondary indexes for the indexed execution variants (-i): one per
+   (label, id) pair, as maintained throughout the paper's experiments. *)
+type indexes = {
+  by_person_id : Gindex.Index.t;
+  by_post_id : Gindex.Index.t;
+  by_comment_id : Gindex.Index.t;
+  by_forum_id : Gindex.Index.t;
+  by_place_id : Gindex.Index.t;
+  by_tag_id : Gindex.Index.t;
+}
+
+let build_indexes ?(placement = Gindex.Node_store.Hybrid) ds =
+  let pool = G.pool ds.store in
+  let sc = ds.schema in
+  let mk label = Gindex.Index.create pool ~placement ~label ~key:sc.Schema.k_id in
+  let idx =
+    {
+      by_person_id = mk sc.Schema.person;
+      by_post_id = mk sc.Schema.post;
+      by_comment_id = mk sc.Schema.comment;
+      by_forum_id = mk sc.Schema.forum;
+      by_place_id = mk sc.Schema.place;
+      by_tag_id = mk sc.Schema.tag;
+    }
+  in
+  Array.iteri
+    (fun i p -> Gindex.Index.insert idx.by_person_id (Value.Int ds.person_ids.(i)) p)
+    ds.persons;
+  Array.iteri
+    (fun i p -> Gindex.Index.insert idx.by_post_id (Value.Int ds.post_ids.(i)) p)
+    ds.posts;
+  Array.iteri
+    (fun i c -> Gindex.Index.insert idx.by_comment_id (Value.Int ds.comment_ids.(i)) c)
+    ds.comments;
+  Array.iteri
+    (fun i f -> Gindex.Index.insert idx.by_forum_id (Value.Int (forum_base + i)) f)
+    ds.forums;
+  Array.iteri (fun i p -> Gindex.Index.insert idx.by_place_id (Value.Int i) p) ds.places;
+  Array.iteri (fun i t -> Gindex.Index.insert idx.by_tag_id (Value.Int i) t) ds.tags;
+  idx
+
+let index_lookup_fn ds idx ~label ~key =
+  let sc = ds.schema in
+  if key <> sc.Schema.k_id then None
+  else if label = sc.Schema.person then Some idx.by_person_id
+  else if label = sc.Schema.post then Some idx.by_post_id
+  else if label = sc.Schema.comment then Some idx.by_comment_id
+  else if label = sc.Schema.forum then Some idx.by_forum_id
+  else if label = sc.Schema.place then Some idx.by_place_id
+  else if label = sc.Schema.tag then Some idx.by_tag_id
+  else None
+
+(* Index maintenance for update transactions: the core engine calls this
+   after a commit with the transaction's write-set. *)
+let index_new_node ds idx ~label ~node =
+  match G.node_prop ds.store node ds.schema.Schema.k_id with
+  | Some (Value.Int id) -> (
+      let v = Value.Int id in
+      if label = ds.schema.Schema.person then
+        Gindex.Index.insert idx.by_person_id v node
+      else if label = ds.schema.Schema.post then
+        Gindex.Index.insert idx.by_post_id v node
+      else if label = ds.schema.Schema.comment then
+        Gindex.Index.insert idx.by_comment_id v node
+      else if label = ds.schema.Schema.forum then
+        Gindex.Index.insert idx.by_forum_id v node)
+  | _ -> ()

@@ -1,0 +1,56 @@
+(** Deterministic, scaled-down LDBC-SNB-like data generator (Section 7.2).
+
+    Reproduces the statistics the interactive workloads are sensitive to:
+    a power-law KNOWS graph, forum-contained posts with geometric-depth
+    comment reply trees, skewed likes/tags/places.  Generation is a bulk
+    load through the raw store (records are born committed). *)
+
+type params = {
+  sf : float;  (** scale factor; 1.0 ~ 1000 persons *)
+  seed : int;
+  friends_per_person : int;
+  posts_per_person : int;
+  comments_per_post : int;
+  likes_per_message : int;
+}
+
+val default_params : params
+
+type dataset = {
+  store : Storage.Graph_store.t;
+  schema : Schema.t;
+  persons : int array;  (** physical node ids *)
+  posts : int array;
+  comments : int array;
+  forums : int array;
+  tags : int array;
+  places : int array;
+  organisations : int array;
+  person_ids : int array;  (** LDBC ids, aligned with [persons] *)
+  post_ids : int array;
+  comment_ids : int array;
+}
+
+val person_base : int
+val post_base : int
+val comment_base : int
+val forum_base : int
+val generate : ?params:params -> Storage.Graph_store.t -> dataset
+
+(** One id index per entity type, as maintained throughout the paper's
+    indexed experiments. *)
+type indexes = {
+  by_person_id : Gindex.Index.t;
+  by_post_id : Gindex.Index.t;
+  by_comment_id : Gindex.Index.t;
+  by_forum_id : Gindex.Index.t;
+  by_place_id : Gindex.Index.t;
+  by_tag_id : Gindex.Index.t;
+}
+
+val build_indexes : ?placement:Gindex.Node_store.placement -> dataset -> indexes
+val index_lookup_fn :
+  dataset -> indexes -> label:int -> key:int -> Gindex.Index.t option
+
+val index_new_node : dataset -> indexes -> label:int -> node:int -> unit
+(** Post-commit index maintenance for update transactions. *)

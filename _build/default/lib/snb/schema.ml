@@ -1,0 +1,103 @@
+(* The LDBC Social Network Benchmark schema (Section 7.2), dictionary-
+   encoded against a concrete store.
+
+   Entities: persons interconnected by KNOWS; messages (posts and
+   comments) created by persons, posted in forums, liking and replying;
+   tags, places and organisations persons are connected to. *)
+
+module G = Storage.Graph_store
+module Value = Storage.Value
+
+type t = {
+  (* node labels *)
+  person : int;
+  post : int;
+  comment : int;
+  forum : int;
+  tag : int;
+  place : int;
+  organisation : int;
+  (* relationship labels *)
+  knows : int;
+  has_creator : int; (* message -> person *)
+  likes : int; (* person -> message *)
+  reply_of : int; (* comment -> message *)
+  container_of : int; (* forum -> post *)
+  has_moderator : int; (* forum -> person *)
+  has_member : int; (* forum -> person *)
+  has_tag : int; (* message -> tag *)
+  has_interest : int; (* person -> tag *)
+  is_located_in : int; (* person/message -> place *)
+  study_at : int; (* person -> organisation *)
+  work_at : int;
+  (* property keys *)
+  k_id : int; (* the LDBC identifier - what the workload looks up *)
+  k_first_name : int;
+  k_last_name : int;
+  k_gender : int;
+  k_birthday : int;
+  k_creation_date : int;
+  k_location_ip : int;
+  k_browser : int;
+  k_content : int;
+  k_length : int;
+  k_title : int;
+  k_name : int;
+  k_class_year : int;
+  k_work_from : int;
+  k_type : int;
+}
+
+let attach g =
+  {
+    person = G.code g "Person";
+    post = G.code g "Post";
+    comment = G.code g "Comment";
+    forum = G.code g "Forum";
+    tag = G.code g "Tag";
+    place = G.code g "Place";
+    organisation = G.code g "Organisation";
+    knows = G.code g "KNOWS";
+    has_creator = G.code g "HAS_CREATOR";
+    likes = G.code g "LIKES";
+    reply_of = G.code g "REPLY_OF";
+    container_of = G.code g "CONTAINER_OF";
+    has_moderator = G.code g "HAS_MODERATOR";
+    has_member = G.code g "HAS_MEMBER";
+    has_tag = G.code g "HAS_TAG";
+    has_interest = G.code g "HAS_INTEREST";
+    is_located_in = G.code g "IS_LOCATED_IN";
+    study_at = G.code g "STUDY_AT";
+    work_at = G.code g "WORK_AT";
+    k_id = G.code g "id";
+    k_first_name = G.code g "firstName";
+    k_last_name = G.code g "lastName";
+    k_gender = G.code g "gender";
+    k_birthday = G.code g "birthday";
+    k_creation_date = G.code g "creationDate";
+    k_location_ip = G.code g "locationIP";
+    k_browser = G.code g "browserUsed";
+    k_content = G.code g "content";
+    k_length = G.code g "length";
+    k_title = G.code g "title";
+    k_name = G.code g "name";
+    k_class_year = G.code g "classYear";
+    k_work_from = G.code g "workFrom";
+    k_type = G.code g "type";
+  }
+
+(* Property type hints for the JIT (compile-time type information,
+   Section 6.2 requirement (3)). *)
+let prop_tag t key : Jit.Ir.vtag =
+  if
+    key = t.k_first_name || key = t.k_last_name || key = t.k_gender
+    || key = t.k_location_ip || key = t.k_browser || key = t.k_content
+    || key = t.k_title || key = t.k_name || key = t.k_type
+  then Jit.Ir.TagStr
+  else Jit.Ir.TagInt
+
+(* message-subclass selector used by the post/cmt query variants *)
+type msg = [ `Post | `Cmt ]
+
+let msg_label t = function `Post -> t.post | `Cmt -> t.comment
+let msg_name = function `Post -> "post" | `Cmt -> "cmt"

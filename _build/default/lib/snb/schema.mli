@@ -1,0 +1,49 @@
+(** The LDBC-SNB schema (Section 7.2), dictionary-encoded against a
+    concrete store: label and property-key codes for persons, messages
+    (posts/comments), forums, tags, places and organisations. *)
+
+type t = {
+  person : int;
+  post : int;
+  comment : int;
+  forum : int;
+  tag : int;
+  place : int;
+  organisation : int;
+  knows : int;
+  has_creator : int;
+  likes : int;
+  reply_of : int;
+  container_of : int;
+  has_moderator : int;
+  has_member : int;
+  has_tag : int;
+  has_interest : int;
+  is_located_in : int;
+  study_at : int;
+  work_at : int;
+  k_id : int;
+  k_first_name : int;
+  k_last_name : int;
+  k_gender : int;
+  k_birthday : int;
+  k_creation_date : int;
+  k_location_ip : int;
+  k_browser : int;
+  k_content : int;
+  k_length : int;
+  k_title : int;
+  k_name : int;
+  k_class_year : int;
+  k_work_from : int;
+  k_type : int;
+}
+
+val attach : Storage.Graph_store.t -> t
+val prop_tag : t -> int -> Jit.Ir.vtag
+(** Compile-time property types for the JIT (requirement (3)). *)
+
+type msg = [ `Cmt | `Post ]
+
+val msg_label : t -> msg -> int
+val msg_name : msg -> string

@@ -1,0 +1,371 @@
+(* The LDBC-SNB Interactive Short Read queries IS1..IS7 (Section 7.2) as
+   graph-algebra plans.
+
+   Access-path variants, matching the paper's figures:
+   - [`Scan]: no index - the table of record chunks is scanned and
+     filtered on the LDBC id property (the -s / -p configurations);
+   - [`Index]: a B+-tree lookup on (label, id) (the -i configurations).
+
+   Message-centric queries (2, 4, 5, 6, 7) come in post/cmt variants: the
+   parameter is a Post or a Comment; comments additionally traverse the
+   REPLY_OF chain to the thread root, which is why the paper reports them
+   separately.
+
+   Parameter convention: params.(0) holds the LDBC id of the start
+   entity. *)
+
+module A = Query.Algebra
+module E = Query.Expr
+module Value = Storage.Value
+open Schema
+
+type access = [ `Scan | `Index ]
+
+(* access path for "the <label> node whose id property equals param 0" *)
+let entity ~access ~label sc =
+  match access with
+  | `Index -> A.IndexScan { label; key = sc.k_id; value = E.Param 0 }
+  | `Scan ->
+      A.Filter
+        {
+          pred =
+            E.Cmp (E.Eq, E.Prop { col = 0; kind = E.KNode; key = sc.k_id }, E.Param 0);
+          child = A.NodeScan { label = Some label };
+        }
+
+let nprop col key = E.Prop { col; kind = E.KNode; key }
+
+(* IS1: profile of a person - name fields plus the city they live in. *)
+let is1 sc ~access =
+  A.Project
+    {
+      exprs =
+        [
+          nprop 0 sc.k_first_name;
+          nprop 0 sc.k_last_name;
+          nprop 0 sc.k_birthday;
+          nprop 0 sc.k_location_ip;
+          nprop 0 sc.k_browser;
+          nprop 2 sc.k_id (* city id *);
+          nprop 0 sc.k_gender;
+          nprop 0 sc.k_creation_date;
+        ];
+      child =
+        A.EndPoint
+          {
+            col = 1;
+            which = `Dst;
+            child =
+              A.Expand
+                {
+                  col = 0;
+                  dir = A.Out;
+                  label = Some sc.is_located_in;
+                  child = entity ~access ~label:sc.person sc;
+                };
+          };
+    }
+
+(* IS2: a person's 10 most recent messages of the given subclass, each
+   with its thread root and the root's author. *)
+let is2 sc ~access ~(msg : msg) =
+  let message = msg_label sc msg in
+  A.Project
+    {
+      exprs =
+        [
+          nprop 2 sc.k_id (* message id *);
+          nprop 2 sc.k_content;
+          nprop 2 sc.k_creation_date;
+          nprop 3 sc.k_id (* root post id *);
+          nprop 5 sc.k_id (* root author id *);
+          nprop 5 sc.k_first_name;
+          nprop 5 sc.k_last_name;
+        ];
+      child =
+        A.EndPoint
+          {
+            col = 4;
+            which = `Dst;
+            child =
+              A.Expand
+                {
+                  col = 3;
+                  dir = A.Out;
+                  label = Some sc.has_creator;
+                  child =
+                    A.WalkToRoot
+                      {
+                        col = 2;
+                        rel_label = sc.reply_of;
+                        child =
+                          A.Limit
+                            {
+                              n = 10;
+                              child =
+                                A.Sort
+                                  {
+                                    keys = [ (nprop 2 sc.k_creation_date, `Desc) ];
+                                    child =
+                                      A.Filter
+                                        {
+                                          pred =
+                                            E.Cmp
+                                              ( E.Eq,
+                                                E.LabelOf { col = 2; kind = E.KNode },
+                                                E.Const (Value.Str message) );
+                                          child =
+                                            A.EndPoint
+                                              {
+                                                col = 1;
+                                                which = `Src;
+                                                child =
+                                                  A.Expand
+                                                    {
+                                                      col = 0;
+                                                      dir = A.In;
+                                                      label = Some sc.has_creator;
+                                                      child =
+                                                        entity ~access
+                                                          ~label:sc.person sc;
+                                                    };
+                                              };
+                                        };
+                                  };
+                            };
+                      };
+                };
+          };
+    }
+
+(* IS3: friends of a person with the friendship date.  KNOWS is
+   undirected in LDBC; we store one directed edge, so the query is the
+   union of both directions (returned as two plans). *)
+let is3 sc ~access =
+  let side dir which =
+    A.Project
+      {
+        exprs =
+          [
+            nprop 2 sc.k_id;
+            nprop 2 sc.k_first_name;
+            nprop 2 sc.k_last_name;
+            E.Prop { col = 1; kind = E.KRel; key = sc.k_creation_date };
+          ];
+        child =
+          A.EndPoint
+            {
+              col = 1;
+              which;
+              child =
+                A.Expand
+                  {
+                    col = 0;
+                    dir;
+                    label = Some sc.knows;
+                    child = entity ~access ~label:sc.person sc;
+                  };
+            };
+      }
+  in
+  [ side A.Out `Dst; side A.In `Src ]
+
+(* IS4: message content and creation date. *)
+let is4 sc ~access ~(msg : msg) =
+  A.Project
+    {
+      exprs = [ nprop 0 sc.k_creation_date; nprop 0 sc.k_content ];
+      child = entity ~access ~label:(msg_label sc msg) sc;
+    }
+
+(* IS5: creator of a message. *)
+let is5 sc ~access ~(msg : msg) =
+  A.Project
+    {
+      exprs = [ nprop 2 sc.k_id; nprop 2 sc.k_first_name; nprop 2 sc.k_last_name ];
+      child =
+        A.EndPoint
+          {
+            col = 1;
+            which = `Dst;
+            child =
+              A.Expand
+                {
+                  col = 0;
+                  dir = A.Out;
+                  label = Some sc.has_creator;
+                  child = entity ~access ~label:(msg_label sc msg) sc;
+                };
+          };
+    }
+
+(* IS6: the forum containing the message's thread root, and its
+   moderator.  For comments this walks the REPLY_OF chain first. *)
+let is6 sc ~access ~(msg : msg) =
+  A.Project
+    {
+      exprs =
+        [
+          nprop 3 sc.k_id (* forum id *);
+          nprop 3 sc.k_title;
+          nprop 5 sc.k_id (* moderator id *);
+          nprop 5 sc.k_first_name;
+          nprop 5 sc.k_last_name;
+        ];
+      child =
+        A.EndPoint
+          {
+            col = 4;
+            which = `Dst;
+            child =
+              A.Expand
+                {
+                  col = 3;
+                  dir = A.Out;
+                  label = Some sc.has_moderator;
+                  child =
+                    A.EndPoint
+                      {
+                        col = 2;
+                        which = `Src;
+                        child =
+                          A.Expand
+                            {
+                              col = 1;
+                              dir = A.In;
+                              label = Some sc.container_of;
+                              child =
+                                A.WalkToRoot
+                                  {
+                                    col = 0;
+                                    rel_label = sc.reply_of;
+                                    child = entity ~access ~label:(msg_label sc msg) sc;
+                                  };
+                            };
+                      };
+                };
+          };
+    }
+
+(* IS7: replies to a message together with their authors, most recent
+   first.  (The LDBC knows-flag between authors is omitted; see
+   DESIGN.md.) *)
+let is7 sc ~access ~(msg : msg) =
+  A.Sort
+    {
+      keys = [ (E.Col 2, `Desc) ];
+      child =
+        A.Project
+          {
+            exprs =
+              [
+                nprop 2 sc.k_id (* comment id *);
+                nprop 2 sc.k_content;
+                nprop 2 sc.k_creation_date;
+                nprop 4 sc.k_id (* author id *);
+                nprop 4 sc.k_first_name;
+                nprop 4 sc.k_last_name;
+              ];
+            child =
+              A.EndPoint
+                {
+                  col = 3;
+                  which = `Dst;
+                  child =
+                    A.Expand
+                      {
+                        col = 2;
+                        dir = A.Out;
+                        label = Some sc.has_creator;
+                        child =
+                          A.EndPoint
+                            {
+                              col = 1;
+                              which = `Src;
+                              child =
+                                A.Expand
+                                  {
+                                    col = 0;
+                                    dir = A.In;
+                                    label = Some sc.reply_of;
+                                    child = entity ~access ~label:(msg_label sc msg) sc;
+                                  };
+                            };
+                      };
+                };
+          };
+    }
+
+(* The full SR query set as (name, plans, parameter source), in the order
+   of the paper's figures: 1, 2-post, 2-cmt, 3, 4-post, 4-cmt, ...  A
+   query is a list of plans whose results are concatenated (only IS3 has
+   two). *)
+type spec = {
+  name : string;
+  plans : access:access -> A.plan list;
+  param : [ `Person | `Msg of msg ];
+}
+
+let all sc =
+  [
+    { name = "1"; plans = (fun ~access -> [ is1 sc ~access ]); param = `Person };
+    {
+      name = "2-post";
+      plans = (fun ~access -> [ is2 sc ~access ~msg:`Post ]);
+      param = `Person;
+    };
+    {
+      name = "2-cmt";
+      plans = (fun ~access -> [ is2 sc ~access ~msg:`Cmt ]);
+      param = `Person;
+    };
+    { name = "3"; plans = (fun ~access -> is3 sc ~access); param = `Person };
+    {
+      name = "4-post";
+      plans = (fun ~access -> [ is4 sc ~access ~msg:`Post ]);
+      param = `Msg `Post;
+    };
+    {
+      name = "4-cmt";
+      plans = (fun ~access -> [ is4 sc ~access ~msg:`Cmt ]);
+      param = `Msg `Cmt;
+    };
+    {
+      name = "5-post";
+      plans = (fun ~access -> [ is5 sc ~access ~msg:`Post ]);
+      param = `Msg `Post;
+    };
+    {
+      name = "5-cmt";
+      plans = (fun ~access -> [ is5 sc ~access ~msg:`Cmt ]);
+      param = `Msg `Cmt;
+    };
+    {
+      name = "6-post";
+      plans = (fun ~access -> [ is6 sc ~access ~msg:`Post ]);
+      param = `Msg `Post;
+    };
+    {
+      name = "6-cmt";
+      plans = (fun ~access -> [ is6 sc ~access ~msg:`Cmt ]);
+      param = `Msg `Cmt;
+    };
+    {
+      name = "7-post";
+      plans = (fun ~access -> [ is7 sc ~access ~msg:`Post ]);
+      param = `Msg `Post;
+    };
+    {
+      name = "7-cmt";
+      plans = (fun ~access -> [ is7 sc ~access ~msg:`Cmt ]);
+      param = `Msg `Cmt;
+    };
+  ]
+
+(* Draw a parameter (an LDBC id) for a query spec. *)
+let draw_param (ds : Gen.dataset) rng spec =
+  let pick arr = arr.(Random.State.int rng (Array.length arr)) in
+  match spec.param with
+  | `Person -> Value.Int (pick ds.Gen.person_ids)
+  | `Msg `Post -> Value.Int (pick ds.Gen.post_ids)
+  | `Msg `Cmt -> Value.Int (pick ds.Gen.comment_ids)

@@ -1,0 +1,29 @@
+(** LDBC-SNB Interactive Short Read queries IS1..IS7 as algebra plans
+    (Section 7.2), with scan/index access variants and post/cmt message
+    variants.  Parameter convention: [params.(0)] is the LDBC id of the
+    start entity. *)
+
+module A = Query.Algebra
+
+type access = [ `Index | `Scan ]
+
+val is1 : Schema.t -> access:access -> A.plan
+val is2 : Schema.t -> access:access -> msg:Schema.msg -> A.plan
+val is3 : Schema.t -> access:access -> A.plan list
+(** KNOWS is undirected: the result is the union of the two plans. *)
+
+val is4 : Schema.t -> access:access -> msg:Schema.msg -> A.plan
+val is5 : Schema.t -> access:access -> msg:Schema.msg -> A.plan
+val is6 : Schema.t -> access:access -> msg:Schema.msg -> A.plan
+val is7 : Schema.t -> access:access -> msg:Schema.msg -> A.plan
+
+type spec = {
+  name : string;  (** figure label: "1", "2-post", ... *)
+  plans : access:access -> A.plan list;
+  param : [ `Msg of Schema.msg | `Person ];
+}
+
+val all : Schema.t -> spec list
+(** The 12 query configurations in figure order. *)
+
+val draw_param : Gen.dataset -> Random.State.t -> spec -> Storage.Value.t

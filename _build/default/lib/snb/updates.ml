@@ -1,0 +1,307 @@
+(* The LDBC-SNB Interactive Update queries IU1..IU8 (Section 7.2) as
+   graph-algebra plans, executed transactionally through MVTO.
+
+   All plans are single pipelines: existing endpoints are fetched with
+   mid-pipeline index lookups ([AttachByIndex]), so the whole update is
+   JIT-compilable (Fig. 9 exercises exactly these plans).
+
+   Parameter convention is documented per query below; fresh LDBC ids are
+   drawn from a monotonic counter so repeated executions keep inserting
+   new entities, as the LDBC update streams do. *)
+
+module A = Query.Algebra
+module E = Query.Expr
+module Value = Storage.Value
+open Schema
+
+let attach sc ~label value child =
+  A.AttachByIndex { label; key = sc.k_id; value; child }
+
+(* IU1 add person:
+   params: 0 new person id, 1 creationDate, 2 city id, 3 tag id *)
+let iu1 sc =
+  A.CreateRel
+    {
+      label = sc.has_interest;
+      src = 0;
+      dst = 3;
+      props = [];
+      child =
+        attach sc ~label:sc.tag (E.Param 3)
+          (A.CreateRel
+             {
+               label = sc.is_located_in;
+               src = 0;
+               dst = 1;
+               props = [];
+               child =
+                 attach sc ~label:sc.place (E.Param 2)
+                   (A.CreateNode
+                      {
+                        label = sc.person;
+                        props =
+                          [
+                            (sc.k_id, E.Param 0);
+                            (sc.k_creation_date, E.Param 1);
+                            (sc.k_birthday, E.Param 1);
+                          ];
+                        child = A.Unit;
+                      });
+             });
+    }
+
+(* IU2 add like to post: params: 0 person id, 1 post id, 2 creationDate *)
+let like sc ~msg =
+  A.CreateRel
+    {
+      label = sc.likes;
+      src = 0;
+      dst = 1;
+      props = [ (sc.k_creation_date, E.Param 2) ];
+      child =
+        attach sc ~label:(msg_label sc msg) (E.Param 1)
+          (attach sc ~label:sc.person (E.Param 0) A.Unit);
+    }
+
+let iu2 sc = like sc ~msg:`Post
+let iu3 sc = like sc ~msg:`Cmt
+
+(* IU4 add forum: params: 0 forum id, 1 creationDate, 2 moderator id *)
+let iu4 sc =
+  A.CreateRel
+    {
+      label = sc.has_moderator;
+      src = 0;
+      dst = 1;
+      props = [];
+      child =
+        attach sc ~label:sc.person (E.Param 2)
+          (A.CreateNode
+             {
+               label = sc.forum;
+               props = [ (sc.k_id, E.Param 0); (sc.k_creation_date, E.Param 1) ];
+               child = A.Unit;
+             });
+    }
+
+(* IU5 add forum membership: params: 0 forum id, 1 person id, 2 joinDate *)
+let iu5 sc =
+  A.CreateRel
+    {
+      label = sc.has_member;
+      src = 0;
+      dst = 1;
+      props = [ (sc.k_creation_date, E.Param 2) ];
+      child =
+        attach sc ~label:sc.person (E.Param 1)
+          (attach sc ~label:sc.forum (E.Param 0) A.Unit);
+    }
+
+(* IU6 add post: params: 0 post id, 1 creationDate, 2 length,
+   3 author id, 4 forum id *)
+let iu6 sc =
+  A.CreateRel
+    {
+      label = sc.container_of;
+      src = 3;
+      dst = 0;
+      props = [];
+      child =
+        attach sc ~label:sc.forum (E.Param 4)
+          (A.CreateRel
+             {
+               label = sc.has_creator;
+               src = 0;
+               dst = 1;
+               props = [];
+               child =
+                 attach sc ~label:sc.person (E.Param 3)
+                   (A.CreateNode
+                      {
+                        label = sc.post;
+                        props =
+                          [
+                            (sc.k_id, E.Param 0);
+                            (sc.k_creation_date, E.Param 1);
+                            (sc.k_length, E.Param 2);
+                          ];
+                        child = A.Unit;
+                      });
+             });
+    }
+
+(* IU7 add comment replying to a post: params: 0 comment id,
+   1 creationDate, 2 length, 3 author id, 4 parent post id *)
+let iu7 sc =
+  A.CreateRel
+    {
+      label = sc.reply_of;
+      src = 0;
+      dst = 3;
+      props = [];
+      child =
+        attach sc ~label:sc.post (E.Param 4)
+          (A.CreateRel
+             {
+               label = sc.has_creator;
+               src = 0;
+               dst = 1;
+               props = [];
+               child =
+                 attach sc ~label:sc.person (E.Param 3)
+                   (A.CreateNode
+                      {
+                        label = sc.comment;
+                        props =
+                          [
+                            (sc.k_id, E.Param 0);
+                            (sc.k_creation_date, E.Param 1);
+                            (sc.k_length, E.Param 2);
+                          ];
+                        child = A.Unit;
+                      });
+             });
+    }
+
+(* IU8 add friendship: params: 0 person id, 1 person id, 2 creationDate *)
+let iu8 sc =
+  A.CreateRel
+    {
+      label = sc.knows;
+      src = 0;
+      dst = 1;
+      props = [ (sc.k_creation_date, E.Param 2) ];
+      child =
+        attach sc ~label:sc.person (E.Param 1)
+          (attach sc ~label:sc.person (E.Param 0) A.Unit);
+    }
+
+(* --- Query set ------------------------------------------------------------ *)
+
+(* fresh-id source for the update stream *)
+type ctx = { mutable next_fresh : int }
+
+let make_ctx () = { next_fresh = 90_000_000 }
+
+type spec = {
+  name : string;
+  plan : Schema.t -> A.plan;
+  draw : Gen.dataset -> Random.State.t -> ctx -> Value.t array;
+      (* parameter vector for one execution *)
+  creates : (Schema.t -> int) option; (* label of the created node, if any *)
+}
+
+let fresh ctx =
+  let id = ctx.next_fresh in
+  ctx.next_fresh <- id + 1;
+  id
+
+let now = 1_500_000_000_000
+
+let pick rng arr = arr.(Random.State.int rng (Array.length arr))
+
+let all : spec list =
+  [
+    {
+      name = "1";
+      plan = iu1;
+      draw =
+        (fun ds rng ctx ->
+          [|
+            Value.Int (fresh ctx);
+            Value.Int now;
+            Value.Int (Random.State.int rng (Array.length ds.Gen.places));
+            Value.Int (Random.State.int rng (Array.length ds.Gen.tags));
+          |]);
+      creates = Some (fun sc -> sc.person);
+    };
+    {
+      name = "2";
+      plan = iu2;
+      draw =
+        (fun ds rng _ ->
+          [|
+            Value.Int (pick rng ds.Gen.person_ids);
+            Value.Int (pick rng ds.Gen.post_ids);
+            Value.Int now;
+          |]);
+      creates = None;
+    };
+    {
+      name = "3";
+      plan = iu3;
+      draw =
+        (fun ds rng _ ->
+          [|
+            Value.Int (pick rng ds.Gen.person_ids);
+            Value.Int (pick rng ds.Gen.comment_ids);
+            Value.Int now;
+          |]);
+      creates = None;
+    };
+    {
+      name = "4";
+      plan = iu4;
+      draw =
+        (fun ds rng ctx ->
+          [|
+            Value.Int (fresh ctx);
+            Value.Int now;
+            Value.Int (pick rng ds.Gen.person_ids);
+          |]);
+      creates = Some (fun sc -> sc.forum);
+    };
+    {
+      name = "5";
+      plan = iu5;
+      draw =
+        (fun ds rng _ ->
+          [|
+            Value.Int (Gen.forum_base + Random.State.int rng (Array.length ds.Gen.forums));
+            Value.Int (pick rng ds.Gen.person_ids);
+            Value.Int now;
+          |]);
+      creates = None;
+    };
+    {
+      name = "6";
+      plan = iu6;
+      draw =
+        (fun ds rng ctx ->
+          [|
+            Value.Int (fresh ctx);
+            Value.Int now;
+            Value.Int (Random.State.int rng 500);
+            Value.Int (pick rng ds.Gen.person_ids);
+            Value.Int
+              (Gen.forum_base + Random.State.int rng (Array.length ds.Gen.forums));
+          |]);
+      creates = Some (fun sc -> sc.post);
+    };
+    {
+      name = "7";
+      plan = iu7;
+      draw =
+        (fun ds rng ctx ->
+          [|
+            Value.Int (fresh ctx);
+            Value.Int now;
+            Value.Int (Random.State.int rng 500);
+            Value.Int (pick rng ds.Gen.person_ids);
+            Value.Int (pick rng ds.Gen.post_ids);
+          |]);
+      creates = Some (fun sc -> sc.comment);
+    };
+    {
+      name = "8";
+      plan = iu8;
+      draw =
+        (fun ds rng _ ->
+          [|
+            Value.Int (pick rng ds.Gen.person_ids);
+            Value.Int (pick rng ds.Gen.person_ids);
+            Value.Int now;
+          |]);
+      creates = None;
+    };
+  ]

@@ -1,0 +1,45 @@
+(** LDBC-SNB Interactive Update queries IU1..IU8 as single-pipeline
+    algebra plans (Section 7.2), JIT-compilable end to end: existing
+    endpoints are fetched with mid-pipeline index lookups. *)
+
+module A = Query.Algebra
+
+val iu1 : Schema.t -> A.plan
+(** IU1: add person (+location, +interest). *)
+
+val iu2 : Schema.t -> A.plan
+(** IU2: add like to post. *)
+
+val iu3 : Schema.t -> A.plan
+(** IU3: add like to comment. *)
+
+val iu4 : Schema.t -> A.plan
+(** IU4: add forum (+moderator). *)
+
+val iu5 : Schema.t -> A.plan
+(** IU5: add forum membership. *)
+
+val iu6 : Schema.t -> A.plan
+(** IU6: add post (+creator, +container). *)
+
+val iu7 : Schema.t -> A.plan
+(** IU7: add comment replying to a post. *)
+
+val iu8 : Schema.t -> A.plan
+(** IU8: add friendship. *)
+
+(** Monotonic source of fresh LDBC ids for the update stream. *)
+type ctx
+
+val make_ctx : unit -> ctx
+val fresh : ctx -> int
+
+type spec = {
+  name : string;
+  plan : Schema.t -> A.plan;
+  draw : Gen.dataset -> Random.State.t -> ctx -> Storage.Value.t array;
+  creates : (Schema.t -> int) option;
+      (** label of the created node, for index maintenance *)
+}
+
+val all : spec list

@@ -1,0 +1,1 @@
+lib/storage/chunk.ml: Int64 Pmem

@@ -1,0 +1,1 @@
+lib/storage/chunk.mli: Pmem

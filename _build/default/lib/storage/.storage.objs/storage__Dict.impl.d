@@ -1,0 +1,1 @@
+lib/storage/dict.ml: Char Fun Hashtbl Mutex Pmem String

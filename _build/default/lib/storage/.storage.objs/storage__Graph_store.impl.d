@@ -1,0 +1,1 @@
+lib/storage/graph_store.ml: Dict Int64 Layout List Node Pmem Props Rel Table Value

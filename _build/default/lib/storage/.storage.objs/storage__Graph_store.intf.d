@@ -1,0 +1,1 @@
+lib/storage/graph_store.mli: Dict Layout Pmem Props Table Value

@@ -1,0 +1,1 @@
+lib/storage/props.ml: Int64 Layout List Pmem Prop Table Value

@@ -1,0 +1,1 @@
+lib/storage/props.mli: Pmem Table Value

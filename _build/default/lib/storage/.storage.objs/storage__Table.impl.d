@@ -1,0 +1,1 @@
+lib/storage/table.ml: Array Chunk Fun Mutex Pmem Queue

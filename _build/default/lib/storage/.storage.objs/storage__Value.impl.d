@@ -1,0 +1,1 @@
+lib/storage/value.ml: Bool Float Fmt Int Int64 Printf String

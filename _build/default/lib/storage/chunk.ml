@@ -1,0 +1,142 @@
+(* A fixed-size array of equally-sized records in persistent memory (DD1).
+
+   Layout (cache-line aligned, total size a multiple of 256 B per DG3):
+
+     0   next chunk (16 B persistent pointer - the only pptr in the
+         storage layer: chunks of one table may in principle span pools,
+         and the chain must be self-describing for recovery scans)
+     16  first_id     u64   id of the record in slot 0
+     24  capacity     u32
+     28  record_size  u32
+     32  occupancy bitmap, (capacity+63)/64 x u64
+     ..  records, starting at the next 64-byte boundary
+
+   The bitmap enables reclamation of deleted record slots without
+   deallocating (DG5); each bitmap word is updated with a failure-atomic
+   8-byte store. *)
+
+module Pool = Pmem.Pool
+module Alloc = Pmem.Alloc
+module Pptr = Pmem.Pptr
+module Media = Pmem.Media
+module Pmdk_tx = Pmem.Pmdk_tx
+
+type t = {
+  pool : Pool.t;
+  off : int;
+  capacity : int;
+  record_size : int;
+  bitmap_off : int;
+  data_off : int;
+}
+
+let align_up n a = (n + a - 1) / a * a
+
+let header_bytes ~capacity =
+  let bitmap_words = (capacity + 63) / 64 in
+  align_up (32 + (8 * bitmap_words)) 64
+
+let bytes_needed ~capacity ~record_size =
+  align_up (header_bytes ~capacity + (capacity * record_size)) Media.block_size
+
+let attach pool off =
+  let capacity = Pool.read_u32 pool (off + 24) in
+  let record_size = Pool.read_u32 pool (off + 28) in
+  {
+    pool;
+    off;
+    capacity;
+    record_size;
+    bitmap_off = off + 32;
+    data_off = off + header_bytes ~capacity;
+  }
+
+let create pool ~first_id ~capacity ~record_size =
+  let size = bytes_needed ~capacity ~record_size in
+  let off = Alloc.alloc pool size in
+  Pool.fill pool ~off ~len:size '\000';
+  Pptr.store pool ~at:off Pptr.null;
+  Pool.write_int pool (off + 16) first_id;
+  Pool.write_u32 pool (off + 24) capacity;
+  Pool.write_u32 pool (off + 28) record_size;
+  Pool.persist pool ~off ~len:(header_bytes ~capacity);
+  attach pool off
+
+let pool t = t.pool
+let off t = t.off
+let capacity t = t.capacity
+let record_size t = t.record_size
+let first_id t = Pool.read_int t.pool (t.off + 16)
+let next t = Pptr.load t.pool ~at:t.off
+
+let set_next t p =
+  Pptr.store t.pool ~at:t.off p;
+  Pool.persist t.pool ~off:t.off ~len:Pptr.size
+
+let slot_off t slot =
+  if slot < 0 || slot >= t.capacity then invalid_arg "Chunk.slot_off";
+  t.data_off + (slot * t.record_size)
+
+let bitmap_word_off t slot = t.bitmap_off + (8 * (slot / 64))
+
+let is_used t slot =
+  let w = Pool.read_i64 t.pool (bitmap_word_off t slot) in
+  Int64.logand (Int64.shift_right_logical w (slot mod 64)) 1L = 1L
+
+(* Uncharged liveness check for slot-granular scan loops: during a scan
+   the 64-slot bitmap word is cache-resident, so per-slot probing charges
+   nothing (the word was charged when the scan entered it). *)
+let is_used_raw t slot =
+  let w = Pool.raw_read_i64 t.pool (bitmap_word_off t slot) in
+  Int64.logand (Int64.shift_right_logical w (slot mod 64)) 1L = 1L
+
+(* Mark a slot used/free with a failure-atomic bitmap-word store (DG4). *)
+let set_used t slot used =
+  let woff = bitmap_word_off t slot in
+  let w = Pool.read_i64 t.pool woff in
+  let bit = Int64.shift_left 1L (slot mod 64) in
+  let w' = if used then Int64.logor w bit else Int64.logand w (Int64.lognot bit) in
+  Pool.atomic_write_i64 t.pool woff w'
+
+let find_free t =
+  let words = (t.capacity + 63) / 64 in
+  let rec scan w =
+    if w >= words then None
+    else
+      let v = Pool.read_i64 t.pool (t.bitmap_off + (8 * w)) in
+      if Int64.equal v (-1L) then scan (w + 1)
+      else
+        let rec bit i =
+          if i >= 64 then scan (w + 1)
+          else if Int64.logand (Int64.shift_right_logical v i) 1L = 0L then begin
+            let slot = (w * 64) + i in
+            if slot < t.capacity then Some slot else None
+          end
+          else bit (i + 1)
+        in
+        bit 0
+  in
+  scan 0
+
+let used_count t =
+  let n = ref 0 in
+  for slot = 0 to t.capacity - 1 do
+    if is_used t slot then incr n
+  done;
+  !n
+
+(* Scan occupied slots reading each 64-slot bitmap word once (the whole
+   word is one cache line access, not one per slot). *)
+let iter_used t f =
+  let words = (t.capacity + 63) / 64 in
+  for w = 0 to words - 1 do
+    let v = Pool.read_i64 t.pool (t.bitmap_off + (8 * w)) in
+    if not (Int64.equal v 0L) then
+      for i = 0 to 63 do
+        let slot = (w * 64) + i in
+        if
+          slot < t.capacity
+          && Int64.logand (Int64.shift_right_logical v i) 1L = 1L
+        then f slot (slot_off t slot)
+      done
+  done

@@ -1,0 +1,34 @@
+(** Fixed-size arrays of equally-sized records in persistent memory (DD1).
+
+    Cache-line aligned, total size a multiple of 256 B (DG3); an
+    occupancy bitmap enables slot reclamation without deallocation (DG5);
+    chunks chain through the storage layer's only persistent pointer. *)
+
+type t
+
+val header_bytes : capacity:int -> int
+val bytes_needed : capacity:int -> record_size:int -> int
+val create : Pmem.Pool.t -> first_id:int -> capacity:int -> record_size:int -> t
+val attach : Pmem.Pool.t -> int -> t
+(** Reattach to an existing chunk at the given offset. *)
+
+val pool : t -> Pmem.Pool.t
+val off : t -> int
+val capacity : t -> int
+val record_size : t -> int
+val first_id : t -> int
+val next : t -> Pmem.Pptr.t
+val set_next : t -> Pmem.Pptr.t -> unit
+val slot_off : t -> int -> int
+val is_used : t -> int -> bool
+val is_used_raw : t -> int -> bool
+(** Uncharged probe for scan loops (the bitmap word is cache-resident). *)
+
+val set_used : t -> int -> bool -> unit
+(** Failure-atomic bitmap-word store (DG4); caller serialises concurrent
+    updates to the same word. *)
+
+val find_free : t -> int option
+val used_count : t -> int
+val iter_used : t -> (int -> int -> unit) -> unit
+(** [iter_used t f] calls [f slot offset]; reads each bitmap word once. *)

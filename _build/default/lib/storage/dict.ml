@@ -1,0 +1,278 @@
+(* Persistent string dictionary (DD3).
+
+   All variable-length strings (labels, property keys, string property
+   values) are dictionary-encoded so that records stay fixed-size and
+   addressable by offset, writes shrink, and filters compare integer codes
+   instead of strings.
+
+   On PMem the dictionary keeps (as in the paper) both directions:
+   - a code array: code -> string-heap offset,
+   - an open-addressing hash table: string -> code (entries are
+     (heap offset, code) pairs; comparing via the heap string).
+   Strings live in bump-allocated heap segments, so encoding a new string
+   costs no per-string PMem allocation (DG5).
+
+   An optional DRAM mirror (the "hybrid" variant discussed in Sections 4.2
+   and 8) caches both directions; it is rebuilt on recovery.
+
+   Crash consistency: string bytes, the code-array entry and the hash entry
+   are persisted before [next_code] is bumped atomically; [recover] then
+   scrubs any hash entries whose code is >= [next_code] by rebuilding the
+   hash from the code array. *)
+
+module Pool = Pmem.Pool
+module Alloc = Pmem.Alloc
+module Pptr = Pmem.Pptr
+module Media = Pmem.Media
+module Pmdk_tx = Pmem.Pmdk_tx
+
+type t = {
+  pool : Pool.t;
+  hdr : int;
+  hybrid : bool;
+  mutable to_code : (string, int) Hashtbl.t; (* DRAM mirror *)
+  mutable of_code : (int, string) Hashtbl.t;
+  mu : Mutex.t;
+}
+
+(* header field offsets *)
+let f_hash_off = 0
+let f_hash_cap = 8
+let f_hash_count = 16
+let f_code_off = 24
+let f_code_cap = 32
+let f_next_code = 40
+let f_seg_end = 48
+let f_heap_bump = 56
+let hdr_bytes = 64
+
+let initial_hash_cap = 1024
+let initial_code_cap = 1024
+let seg_bytes = 262_144
+
+let fnv1a s =
+  (* FNV-1a with the offset basis truncated to OCaml's 63-bit int range *)
+  let h = ref 0x4bf29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    s;
+  !h land max_int
+
+let get t f = Pool.read_int t.pool (t.hdr + f)
+let set_atomic t f v = Pool.atomic_write_int t.pool (t.hdr + f) v
+
+let alloc_segment t =
+  let seg = Alloc.alloc t.pool seg_bytes in
+  set_atomic t f_heap_bump seg;
+  set_atomic t f_seg_end (seg + seg_bytes)
+
+let create ?(hybrid = true) pool =
+  let hdr = Alloc.alloc pool hdr_bytes in
+  let hash_off = Alloc.alloc pool (16 * initial_hash_cap) in
+  Pool.fill pool ~off:hash_off ~len:(16 * initial_hash_cap) '\000';
+  Pool.persist pool ~off:hash_off ~len:(16 * initial_hash_cap);
+  let code_off = Alloc.alloc pool (8 * initial_code_cap) in
+  Pool.fill pool ~off:code_off ~len:(8 * initial_code_cap) '\000';
+  Pool.persist pool ~off:code_off ~len:(8 * initial_code_cap);
+  let t =
+    {
+      pool;
+      hdr;
+      hybrid;
+      to_code = Hashtbl.create 1024;
+      of_code = Hashtbl.create 1024;
+      mu = Mutex.create ();
+    }
+  in
+  Pool.write_int pool (hdr + f_hash_off) hash_off;
+  Pool.write_int pool (hdr + f_hash_cap) initial_hash_cap;
+  Pool.write_int pool (hdr + f_hash_count) 0;
+  Pool.write_int pool (hdr + f_code_off) code_off;
+  Pool.write_int pool (hdr + f_code_cap) initial_code_cap;
+  Pool.write_int pool (hdr + f_next_code) 1; (* code 0 = none *)
+  Pool.persist pool ~off:hdr ~len:hdr_bytes;
+  alloc_segment t;
+  t
+
+let header_off t = t.hdr
+
+let read_heap_string t off =
+  let len = Pool.read_u32 t.pool off in
+  Pool.read_string t.pool (off + 4) len
+
+(* Store a string in the heap; returns its offset. *)
+let push_heap t s =
+  let need = 4 + String.length s in
+  if get t f_heap_bump + need > get t f_seg_end then alloc_segment t;
+  let off = get t f_heap_bump in
+  Pool.write_u32 t.pool off (String.length s);
+  Pool.write_string t.pool (off + 4) s;
+  Pool.persist t.pool ~off ~len:need;
+  set_atomic t f_heap_bump (off + ((need + 7) / 8 * 8));
+  off
+
+let hash_entry t i =
+  let base = get t f_hash_off + (16 * i) in
+  (Pool.read_int t.pool base, Pool.read_int t.pool (base + 8))
+
+let set_hash_entry t i ~heap_off ~code =
+  let base = get t f_hash_off + (16 * i) in
+  Pool.write_int t.pool base heap_off;
+  Pool.write_int t.pool (base + 8) code;
+  Pool.persist t.pool ~off:base ~len:16
+
+let rec hash_insert t ~heap_off ~code s =
+  let cap = get t f_hash_cap in
+  if (get t f_hash_count + 1) * 10 > cap * 7 then begin
+    grow_hash t;
+    hash_insert t ~heap_off ~code s
+  end
+  else begin
+    let rec probe i =
+      let h, _ = hash_entry t i in
+      if h = 0 then set_hash_entry t i ~heap_off ~code
+      else probe ((i + 1) mod cap)
+    in
+    probe (fnv1a s mod cap);
+    set_atomic t f_hash_count (get t f_hash_count + 1)
+  end
+
+and grow_hash t =
+  let old_off = get t f_hash_off and old_cap = get t f_hash_cap in
+  let cap = old_cap * 2 in
+  let off = Alloc.alloc t.pool (16 * cap) in
+  Pool.fill t.pool ~off ~len:(16 * cap) '\000';
+  for i = 0 to old_cap - 1 do
+    let heap_off, code = (fun (a, b) -> (a, b)) (hash_entry t i) in
+    if heap_off <> 0 then begin
+      let s = read_heap_string t heap_off in
+      let rec probe j =
+        let base = off + (16 * j) in
+        if Pool.read_int t.pool base = 0 then begin
+          Pool.write_int t.pool base heap_off;
+          Pool.write_int t.pool (base + 8) code
+        end
+        else probe ((j + 1) mod cap)
+      in
+      probe (fnv1a s mod cap)
+    end
+  done;
+  Pool.persist t.pool ~off ~len:(16 * cap);
+  (* publish the new table: cap first would break probing, so swing the
+     offset last; recovery rebuilds the hash anyway *)
+  set_atomic t f_hash_cap cap;
+  set_atomic t f_hash_off off;
+  Alloc.free t.pool ~off:old_off ~size:(16 * old_cap)
+
+let hash_find t s =
+  let cap = get t f_hash_cap in
+  let rec probe i steps =
+    if steps > cap then None
+    else
+      let heap_off, code = hash_entry t i in
+      if heap_off = 0 then None
+      else if
+        code < get t f_next_code && String.equal (read_heap_string t heap_off) s
+      then Some code
+      else probe ((i + 1) mod cap) (steps + 1)
+  in
+  probe (fnv1a s mod cap) 0
+
+let grow_code_array t needed =
+  let old_off = get t f_code_off and old_cap = get t f_code_cap in
+  if needed >= old_cap then begin
+    let cap = max (old_cap * 2) (needed + 1) in
+    let off = Alloc.alloc t.pool (8 * cap) in
+    Pool.fill t.pool ~off ~len:(8 * cap) '\000';
+    Pool.write_bytes t.pool off (Pool.read_bytes t.pool old_off (8 * old_cap));
+    Pool.persist t.pool ~off ~len:(8 * cap);
+    set_atomic t f_code_cap cap;
+    set_atomic t f_code_off off;
+    Alloc.free t.pool ~off:old_off ~size:(8 * old_cap)
+  end
+
+(* Encode a string, assigning a fresh code when absent. *)
+let encode t s =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) @@ fun () ->
+  match if t.hybrid then Hashtbl.find_opt t.to_code s else None with
+  | Some c -> c
+  | None -> (
+      match hash_find t s with
+      | Some c ->
+          if t.hybrid then begin
+            Hashtbl.replace t.to_code s c;
+            Hashtbl.replace t.of_code c s
+          end;
+          c
+      | None ->
+          let code = get t f_next_code in
+          let heap_off = push_heap t s in
+          grow_code_array t code;
+          Pool.write_int t.pool (get t f_code_off + (8 * code)) heap_off;
+          Pool.persist t.pool ~off:(get t f_code_off + (8 * code)) ~len:8;
+          hash_insert t ~heap_off ~code s;
+          set_atomic t f_next_code (code + 1);
+          if t.hybrid then begin
+            Hashtbl.replace t.to_code s code;
+            Hashtbl.replace t.of_code code s
+          end;
+          code)
+
+let lookup t s =
+  if t.hybrid then
+    match Hashtbl.find_opt t.to_code s with
+    | Some c -> Some c
+    | None -> hash_find t s
+  else hash_find t s
+
+exception Unknown_code of int
+
+let decode t code =
+  if code <= 0 || code >= get t f_next_code then raise (Unknown_code code);
+  match if t.hybrid then Hashtbl.find_opt t.of_code code else None with
+  | Some s -> s
+  | None ->
+      let heap_off = Pool.read_int t.pool (get t f_code_off + (8 * code)) in
+      if heap_off = 0 then raise (Unknown_code code);
+      let s = read_heap_string t heap_off in
+      if t.hybrid then begin
+        Hashtbl.replace t.of_code code s;
+        Hashtbl.replace t.to_code s code
+      end;
+      s
+
+let count t = get t f_next_code - 1
+
+(* Reattach after restart: rebuild the persistent hash from the code array
+   (scrubbing entries from interrupted inserts) and warm the DRAM mirror. *)
+let open_ ?(hybrid = true) pool ~hdr () =
+  let t =
+    {
+      pool;
+      hdr;
+      hybrid;
+      to_code = Hashtbl.create 1024;
+      of_code = Hashtbl.create 1024;
+      mu = Mutex.create ();
+    }
+  in
+  let next = get t f_next_code in
+  let hash_off = get t f_hash_off and cap = get t f_hash_cap in
+  Pool.fill pool ~off:hash_off ~len:(16 * cap) '\000';
+  set_atomic t f_hash_count 0;
+  for code = 1 to next - 1 do
+    let heap_off = Pool.read_int pool (get t f_code_off + (8 * code)) in
+    if heap_off <> 0 then begin
+      let s = read_heap_string t heap_off in
+      hash_insert t ~heap_off ~code s;
+      if hybrid then begin
+        Hashtbl.replace t.to_code s code;
+        Hashtbl.replace t.of_code code s
+      end
+    end
+  done;
+  Pool.persist pool ~off:(get t f_hash_off) ~len:(16 * get t f_hash_cap);
+  t

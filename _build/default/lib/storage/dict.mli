@@ -1,0 +1,25 @@
+(** Persistent bidirectional string dictionary (DD3).
+
+    Keeps both translation directions in PMem (code array + open
+    addressing hash) with an optional DRAM mirror (the hybrid variant of
+    Sections 4.2/8).  String storage is bump-allocated from segments, so
+    encoding costs no per-string PMem allocation (DG5). *)
+
+type t
+
+exception Unknown_code of int
+
+val create : ?hybrid:bool -> Pmem.Pool.t -> t
+val open_ : ?hybrid:bool -> Pmem.Pool.t -> hdr:int -> unit -> t
+(** Reattach after a restart: rebuilds the persistent hash from the code
+    array (scrubbing torn inserts) and warms the DRAM mirror. *)
+
+val header_off : t -> int
+val encode : t -> string -> int
+(** Return the code for a string, assigning a fresh one if absent. *)
+
+val lookup : t -> string -> int option
+val decode : t -> int -> string
+(** @raise Unknown_code for unassigned codes. *)
+
+val count : t -> int

@@ -1,0 +1,307 @@
+(* The persistent property-graph store (Section 4): node, relationship and
+   property tables in PMem, plus the string dictionary.
+
+   This layer is transaction-agnostic: it reads and writes records with the
+   MVTO header fields (txn_id, bts, ets, rts) as plain data.  The [Mvcc]
+   library implements the protocol on top; bulk loaders use it directly.
+
+   Adjacency (DD4): a node heads its outgoing and incoming relationship
+   lists; relationships chain through [next_src] / [next_dst] - all 8-byte
+   offsets, never persistent pointers. *)
+
+module Pool = Pmem.Pool
+module Alloc = Pmem.Alloc
+module Pptr = Pmem.Pptr
+module Media = Pmem.Media
+module Pmdk_tx = Pmem.Pmdk_tx
+
+open Layout
+
+(* Root-slot registry (see Alloc.set_root). *)
+let root_dict = 0
+let root_nodes = 1
+let root_rels = 2
+let root_props = 3
+let root_index = 4
+let root_jit = 5
+
+type t = {
+  pool : Pool.t;
+  registry : Pptr.registry;
+  dict : Dict.t;
+  nodes : Table.t;
+  rels : Table.t;
+  props : Props.t;
+}
+
+let format ?(hybrid_dict = true) ?chunk_capacity pool =
+  Alloc.format pool;
+  let dict = Dict.create ~hybrid:hybrid_dict pool in
+  Alloc.set_root pool root_dict (Dict.header_off dict);
+  let nodes = Table.create pool ?capacity:chunk_capacity ~record_size:node_size () in
+  Alloc.set_root pool root_nodes (Table.dir_off nodes);
+  let rels = Table.create pool ?capacity:chunk_capacity ~record_size:rel_size () in
+  Alloc.set_root pool root_rels (Table.dir_off rels);
+  let props = Props.create pool ?capacity:chunk_capacity () in
+  Alloc.set_root pool root_props (Props.dir_off props);
+  let registry = Pptr.registry_create () in
+  Pptr.register registry pool;
+  { pool; registry; dict; nodes; rels; props }
+
+(* Reattach to a formatted pool after a restart/crash: roll back any
+   interrupted PMDK transaction, then rebuild the volatile mirrors. *)
+let open_ ?(hybrid_dict = true) ?chunk_capacity pool =
+  if not (Alloc.is_formatted pool) then failwith "Graph_store.open_: unformatted pool";
+  ignore (Pmdk_tx.recover pool);
+  let dict = Dict.open_ ~hybrid:hybrid_dict pool ~hdr:(Alloc.get_root pool root_dict) () in
+  let nodes =
+    Table.open_ pool ?capacity:chunk_capacity ~record_size:node_size
+      ~dir_off:(Alloc.get_root pool root_nodes) ()
+  in
+  let rels =
+    Table.open_ pool ?capacity:chunk_capacity ~record_size:rel_size
+      ~dir_off:(Alloc.get_root pool root_rels) ()
+  in
+  let props =
+    Props.open_ pool ?capacity:chunk_capacity
+      ~dir_off:(Alloc.get_root pool root_props) ()
+  in
+  let registry = Pptr.registry_create () in
+  Pptr.register registry pool;
+  { pool; registry; dict; nodes; rels; props }
+
+let pool t = t.pool
+let dict t = t.dict
+let node_table t = t.nodes
+let rel_table t = t.rels
+let prop_store t = t.props
+let registry t = t.registry
+let media t = Pool.media t.pool
+
+(* Dictionary helpers. *)
+
+let code t s = Dict.encode t.dict s
+let code_opt t s = Dict.lookup t.dict s
+let string_of_code t c = Dict.decode t.dict c
+
+let encode_value t = function
+  | Value.Text s -> Value.Str (Dict.encode t.dict s)
+  | v -> v
+
+let decode_value t = function
+  | Value.Str c -> Value.Text (Dict.decode t.dict c)
+  | v -> v
+
+(* Decoded record I/O. *)
+
+(* Whole-record reads charge one line-granular access (the record is one
+   or two cache lines) and pick fields out of the fetched bytes. *)
+let read_node t id : node =
+  let off = Table.record_off t.nodes id in
+  let p = t.pool in
+  Pool.touch_read p ~off ~len:node_size;
+  {
+    label = Int64.to_int (Pool.raw_read_i64 p (off + Node.label)) land 0xFFFFFFFF;
+    first_out = Pool.raw_read_int p (off + Node.first_out);
+    first_in = Pool.raw_read_int p (off + Node.first_in);
+    first_prop = Pool.raw_read_int p (off + Node.first_prop);
+    txn_id = Pool.raw_read_int p (off + Node.txn_id);
+    bts = Pool.raw_read_int p (off + Node.bts);
+    ets = Pool.raw_read_int p (off + Node.ets);
+    rts = Pool.raw_read_int p (off + Node.rts);
+  }
+
+let write_node ?(persist = true) t id (n : node) =
+  let off = Table.record_off t.nodes id in
+  let p = t.pool in
+  Pool.write_u32 p (off + Node.label) n.label;
+  Pool.write_int p (off + Node.first_out) n.first_out;
+  Pool.write_int p (off + Node.first_in) n.first_in;
+  Pool.write_int p (off + Node.first_prop) n.first_prop;
+  Pool.write_int p (off + Node.txn_id) n.txn_id;
+  Pool.write_int p (off + Node.bts) n.bts;
+  Pool.write_int p (off + Node.ets) n.ets;
+  Pool.write_int p (off + Node.rts) n.rts;
+  if persist then Pool.persist p ~off ~len:node_size
+
+let read_rel t id : rel =
+  let off = Table.record_off t.rels id in
+  let p = t.pool in
+  Pool.touch_read p ~off ~len:rel_size;
+  {
+    rlabel = Int64.to_int (Pool.raw_read_i64 p (off + Rel.label)) land 0xFFFFFFFF;
+    src = Pool.raw_read_int p (off + Rel.src);
+    dst = Pool.raw_read_int p (off + Rel.dst);
+    next_src = Pool.raw_read_int p (off + Rel.next_src);
+    next_dst = Pool.raw_read_int p (off + Rel.next_dst);
+    rfirst_prop = Pool.raw_read_int p (off + Rel.first_prop);
+    rtxn_id = Pool.raw_read_int p (off + Rel.txn_id);
+    rbts = Pool.raw_read_int p (off + Rel.bts);
+    rets = Pool.raw_read_int p (off + Rel.ets);
+    rrts = Pool.raw_read_int p (off + Rel.rts);
+  }
+
+let write_rel ?(persist = true) t id (r : rel) =
+  let off = Table.record_off t.rels id in
+  let p = t.pool in
+  Pool.write_u32 p (off + Rel.label) r.rlabel;
+  Pool.write_int p (off + Rel.src) r.src;
+  Pool.write_int p (off + Rel.dst) r.dst;
+  Pool.write_int p (off + Rel.next_src) r.next_src;
+  Pool.write_int p (off + Rel.next_dst) r.next_dst;
+  Pool.write_int p (off + Rel.first_prop) r.rfirst_prop;
+  Pool.write_int p (off + Rel.txn_id) r.rtxn_id;
+  Pool.write_int p (off + Rel.bts) r.rbts;
+  Pool.write_int p (off + Rel.ets) r.rets;
+  Pool.write_int p (off + Rel.rts) r.rrts;
+  if persist then Pool.persist p ~off ~len:rel_size
+
+(* Single-field accessors for hot paths (scans, JIT runtime). *)
+
+let node_off t id = Table.record_off t.nodes id
+let rel_off t id = Table.record_off t.rels id
+let node_field t id field = Pool.read_int t.pool (node_off t id + field)
+let rel_field t id field = Pool.read_int t.pool (rel_off t id + field)
+let node_label t id = Pool.read_u32 t.pool (node_off t id + Node.label)
+let rel_label t id = Pool.read_u32 t.pool (rel_off t id + Rel.label)
+
+let set_node_field t id field v =
+  Pool.atomic_write_int t.pool (node_off t id + field) v
+
+let set_rel_field t id field v =
+  Pool.atomic_write_int t.pool (rel_off t id + field) v
+
+(* Record creation (raw, used by loaders and by the MVTO layer, which sets
+   the transactional header fields through the [node]/[rel] values). *)
+
+let insert_node t (n : node) =
+  let id, _off = Table.reserve t.nodes in
+  write_node t id n;
+  Table.publish t.nodes id;
+  id
+
+(* Insert a relationship and splice it into both adjacency lists.  The
+   record is persisted before publication; each list-head update is one
+   failure-atomic 8-byte store, so a crash leaves at worst a published
+   relationship reachable from one list - recovery-safe because the record
+   itself is complete. *)
+let insert_rel t (r : rel) =
+  let id, _off = Table.reserve t.rels in
+  let src_head = node_field t r.src Node.first_out in
+  let dst_head = node_field t r.dst Node.first_in in
+  write_rel t id { r with next_src = src_head; next_dst = dst_head };
+  Table.publish t.rels id;
+  set_node_field t r.src Node.first_out (id + 1);
+  set_node_field t r.dst Node.first_in (id + 1);
+  id
+
+(* Adjacency iteration (DD4): follows offset chains directly in PMem. *)
+
+let iter_out t node_id f =
+  let rec go link =
+    match unlink link with
+    | None -> ()
+    | Some rid ->
+        f rid;
+        go (rel_field t rid Rel.next_src)
+  in
+  go (node_field t node_id Node.first_out)
+
+let iter_in t node_id f =
+  let rec go link =
+    match unlink link with
+    | None -> ()
+    | Some rid ->
+        f rid;
+        go (rel_field t rid Rel.next_dst)
+  in
+  go (node_field t node_id Node.first_in)
+
+let out_degree t node_id =
+  let n = ref 0 in
+  iter_out t node_id (fun _ -> incr n);
+  !n
+
+let in_degree t node_id =
+  let n = ref 0 in
+  iter_in t node_id (fun _ -> incr n);
+  !n
+
+(* Unlink a relationship from both adjacency lists (walks the chains to fix
+   the predecessor; heads are fixed with atomic stores). *)
+let unlink_rel t rid =
+  let r = read_rel t rid in
+  let fix_list ~head_field ~next_field ~node =
+    let rec go prev link =
+      match unlink link with
+      | None -> ()
+      | Some cur when cur = rid -> (
+          let next = rel_field t cur next_field in
+          match prev with
+          | None -> set_node_field t node head_field next
+          | Some p -> set_rel_field t p next_field next)
+      | Some cur -> go (Some cur) (rel_field t cur next_field)
+    in
+    go None (node_field t node head_field)
+  in
+  fix_list ~head_field:Node.first_out ~next_field:Rel.next_src ~node:r.src;
+  fix_list ~head_field:Node.first_in ~next_field:Rel.next_dst ~node:r.dst
+
+let remove_rel t rid =
+  unlink_rel t rid;
+  let r = read_rel t rid in
+  Props.free_chain t.props ~first:r.rfirst_prop;
+  Table.delete t.rels rid
+
+let remove_node t id =
+  let n = read_node t id in
+  Props.free_chain t.props ~first:n.first_prop;
+  Table.delete t.nodes id
+
+(* Properties. *)
+
+let node_prop t id key =
+  Props.get t.props ~first:(node_field t id Node.first_prop) ~key
+
+let rel_prop t id key =
+  Props.get t.props ~first:(rel_field t id Rel.first_prop) ~key
+
+let set_node_prop t id ~key value =
+  let first = node_field t id Node.first_prop in
+  let value = encode_value t value in
+  let first' = Props.set t.props ~owner:(id + 1) ~first ~key value in
+  if first' <> first then set_node_field t id Node.first_prop first'
+
+let set_rel_prop t id ~key value =
+  let first = rel_field t id Rel.first_prop in
+  let value = encode_value t value in
+  let first' = Props.set t.props ~owner:(id + 1) ~first ~key value in
+  if first' <> first then set_rel_field t id Rel.first_prop first'
+
+let node_props t id = Props.all t.props ~first:(node_field t id Node.first_prop)
+let rel_props t id = Props.all t.props ~first:(rel_field t id Rel.first_prop)
+
+(* Scans. *)
+
+let iter_nodes t f = Table.iter t.nodes (fun id _off -> f id)
+let iter_rels t f = Table.iter t.rels (fun id _off -> f id)
+let iter_nodes_chunk t ci f = Table.iter_chunk t.nodes ci (fun id _off -> f id)
+let node_chunks t = Table.nchunks t.nodes
+let node_count t = Table.count t.nodes
+let rel_count t = Table.count t.rels
+let node_live t id = Table.is_live t.nodes id
+let rel_live t id = Table.is_live t.rels id
+
+(* High-level helpers used by loaders (string labels/keys, Text values). *)
+
+let create_node t ~label ~props:plist =
+  let id = insert_node t { (empty_node ()) with label = code t label } in
+  List.iter (fun (k, v) -> set_node_prop t id ~key:(code t k) v) plist;
+  id
+
+let create_rel t ~label ~src ~dst ~props:plist =
+  let id =
+    insert_rel t { (empty_rel ()) with rlabel = code t label; src; dst }
+  in
+  List.iter (fun (k, v) -> set_rel_prop t id ~key:(code t k) v) plist;
+  id

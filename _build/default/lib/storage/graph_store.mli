@@ -1,0 +1,106 @@
+(** The persistent property-graph store (Section 4): node, relationship
+    and property tables in PMem plus the string dictionary.
+
+    Transaction-agnostic: the MVTO header fields of records are plain
+    data here; {!Mvcc} implements the protocol on top, bulk loaders use
+    this layer directly.  Adjacency (DD4) chains through 8-byte offsets,
+    never persistent pointers. *)
+
+open Layout
+
+(** {1 Root slots} (see [Pmem.Alloc.set_root]) *)
+
+val root_dict : int
+val root_nodes : int
+val root_rels : int
+val root_props : int
+val root_index : int
+val root_jit : int
+
+type t
+
+val format : ?hybrid_dict:bool -> ?chunk_capacity:int -> Pmem.Pool.t -> t
+(** Initialise a fresh pool: allocator, dictionary, the three tables. *)
+
+val open_ : ?hybrid_dict:bool -> ?chunk_capacity:int -> Pmem.Pool.t -> t
+(** Reattach after a restart: rolls back any interrupted PMDK transaction
+    and rebuilds the volatile mirrors. *)
+
+val pool : t -> Pmem.Pool.t
+val dict : t -> Dict.t
+val node_table : t -> Table.t
+val rel_table : t -> Table.t
+val prop_store : t -> Props.t
+val registry : t -> Pmem.Pptr.registry
+val media : t -> Pmem.Media.t
+
+(** {1 Dictionary} *)
+
+val code : t -> string -> int
+val code_opt : t -> string -> int option
+val string_of_code : t -> int -> string
+val encode_value : t -> Value.t -> Value.t
+(** [Text] becomes [Str]; everything else is unchanged. *)
+
+val decode_value : t -> Value.t -> Value.t
+
+(** {1 Record I/O} *)
+
+val read_node : t -> int -> node
+val write_node : ?persist:bool -> t -> int -> node -> unit
+val read_rel : t -> int -> rel
+val write_rel : ?persist:bool -> t -> int -> rel -> unit
+val node_off : t -> int -> int
+val rel_off : t -> int -> int
+val node_field : t -> int -> int -> int
+val rel_field : t -> int -> int -> int
+val node_label : t -> int -> int
+val rel_label : t -> int -> int
+val set_node_field : t -> int -> int -> int -> unit
+(** Failure-atomic single-field store. *)
+
+val set_rel_field : t -> int -> int -> int -> unit
+
+(** {1 Creation / deletion (raw)} *)
+
+val insert_node : t -> node -> int
+val insert_rel : t -> rel -> int
+(** Persists the record, then splices it into both adjacency lists with
+    atomic head stores. *)
+
+val unlink_rel : t -> int -> unit
+val remove_rel : t -> int -> unit
+val remove_node : t -> int -> unit
+
+(** {1 Adjacency} *)
+
+val iter_out : t -> int -> (int -> unit) -> unit
+val iter_in : t -> int -> (int -> unit) -> unit
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+(** {1 Properties} *)
+
+val node_prop : t -> int -> int -> Value.t option
+val rel_prop : t -> int -> int -> Value.t option
+val set_node_prop : t -> int -> key:int -> Value.t -> unit
+val set_rel_prop : t -> int -> key:int -> Value.t -> unit
+val node_props : t -> int -> (int * Value.t) list
+val rel_props : t -> int -> (int * Value.t) list
+
+(** {1 Scans} *)
+
+val iter_nodes : t -> (int -> unit) -> unit
+val iter_rels : t -> (int -> unit) -> unit
+val iter_nodes_chunk : t -> int -> (int -> unit) -> unit
+val node_chunks : t -> int
+val node_count : t -> int
+val rel_count : t -> int
+val node_live : t -> int -> bool
+val rel_live : t -> int -> bool
+
+(** {1 High-level helpers (string labels/keys, [Text] values)} *)
+
+val create_node : t -> label:string -> props:(string * Value.t) list -> int
+val create_rel :
+  t -> label:string -> src:int -> dst:int -> props:(string * Value.t) list -> int

@@ -1,0 +1,137 @@
+(* Persistent record layouts (DD1-DD4).
+
+   Nodes and relationships are equally-sized, cache-line-aligned records so
+   that they can be addressed by 8-byte array offsets instead of 16-byte
+   persistent pointers (DD2, DG6).  All link fields store [id + 1] with 0
+   meaning "none", so a zero-initialised record is a valid empty one.
+
+   Node record - 64 bytes (paper: 56 B; we round up to one full cache line,
+   keeping the rts timestamp persistent as in Fig. 2):
+
+     0   label        u32
+     4   (reserved)   u32
+     8   first_out    u64   first outgoing relationship id + 1
+     16  first_in     u64   first incoming relationship id + 1
+     24  first_prop   u64   first property batch id + 1
+     32  txn_id       u64   write lock (0 = unlocked)           } MVTO
+     40  bts          u64   begin timestamp                     } fields
+     48  ets          u64   end timestamp (MAX = infinity)      } (Sec. 5)
+     56  rts          u64   read timestamp                      }
+
+   Relationship record - 80 bytes (paper: 72 B):
+
+     0   label        u32
+     4   (reserved)   u32
+     8   src          u64   source node id
+     16  dst          u64   destination node id
+     24  next_src     u64   next relationship of src's out-list, id + 1
+     32  next_dst     u64   next relationship of dst's in-list, id + 1
+     40  first_prop   u64   first property batch id + 1
+     48  txn_id / 56 bts / 64 ets / 72 rts   as above
+
+   Property batch - 64 bytes, key-value pairs grouped per owner to obtain
+   cache-line-sized records (DD3):
+
+     0   owner        u64   owning node/rel id + 1 (table implied by caller)
+     8   next         u64   next batch id + 1
+     16  3 slots x 16 B: { key u32; tag u32; payload u64 }
+         key = 0xFFFFFFFF marks an empty slot. *)
+
+let inf_ts = max_int
+let node_size = 64
+let rel_size = 80
+let prop_size = 64
+let prop_slots = 3
+let no_key = 0xFFFFFFFF
+
+module Node = struct
+  let label = 0
+  let first_out = 8
+  let first_in = 16
+  let first_prop = 24
+  let txn_id = 32
+  let bts = 40
+  let ets = 48
+  let rts = 56
+end
+
+module Rel = struct
+  let label = 0
+  let src = 8
+  let dst = 16
+  let next_src = 24
+  let next_dst = 32
+  let first_prop = 40
+  let txn_id = 48
+  let bts = 56
+  let ets = 64
+  let rts = 72
+end
+
+module Prop = struct
+  let owner = 0
+  let next = 8
+  let slot i = 16 + (16 * i)
+  let slot_key i = slot i
+  let slot_tag i = slot i + 4
+  let slot_payload i = slot i + 8
+end
+
+(* Decoded in-memory views.  Link fields keep the +1 encoding of the
+   persistent form; use [link] / [unlink] to convert. *)
+
+let link = function None -> 0 | Some id -> id + 1
+let unlink v = if v = 0 then None else Some (v - 1)
+
+type node = {
+  mutable label : int;
+  mutable first_out : int; (* id + 1, 0 = none *)
+  mutable first_in : int;
+  mutable first_prop : int;
+  mutable txn_id : int; (* 63-bit timestamps; 0 = unlocked *)
+  mutable bts : int;
+  mutable ets : int; (* inf_ts = infinity *)
+  mutable rts : int;
+}
+
+type rel = {
+  mutable rlabel : int;
+  mutable src : int;
+  mutable dst : int;
+  mutable next_src : int;
+  mutable next_dst : int;
+  mutable rfirst_prop : int;
+  mutable rtxn_id : int;
+  mutable rbts : int;
+  mutable rets : int;
+  mutable rrts : int;
+}
+
+let empty_node () =
+  {
+    label = 0;
+    first_out = 0;
+    first_in = 0;
+    first_prop = 0;
+    txn_id = 0;
+    bts = 0;
+    ets = inf_ts;
+    rts = 0;
+  }
+
+let empty_rel () =
+  {
+    rlabel = 0;
+    src = 0;
+    dst = 0;
+    next_src = 0;
+    next_dst = 0;
+    rfirst_prop = 0;
+    rtxn_id = 0;
+    rbts = 0;
+    rets = inf_ts;
+    rrts = 0;
+  }
+
+let copy_node n = { n with label = n.label }
+let copy_rel r = { r with rlabel = r.rlabel }

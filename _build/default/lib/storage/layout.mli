@@ -1,0 +1,90 @@
+(** Persistent record layouts (DD1-DD4).
+
+    Nodes (64 B) and relationships (80 B) are equally-sized, cache-line
+    aligned records addressed by 8-byte array offsets; property batches
+    are cache-line sized.  Link fields store [id + 1] with 0 meaning
+    "none", so zero-initialised records are valid empty ones.  Each
+    record embeds the MVTO fields txn_id / bts / ets / rts (Fig. 2 of the
+    paper). *)
+
+val inf_ts : int
+(** Open end-timestamp ("infinity"). *)
+
+val node_size : int
+val rel_size : int
+val prop_size : int
+val prop_slots : int
+val no_key : int
+(** Property-slot key marking an empty slot. *)
+
+(** Field offsets within a node record. *)
+module Node : sig
+  val label : int
+  val first_out : int
+  val first_in : int
+  val first_prop : int
+  val txn_id : int
+  val bts : int
+  val ets : int
+  val rts : int
+end
+
+(** Field offsets within a relationship record. *)
+module Rel : sig
+  val label : int
+  val src : int
+  val dst : int
+  val next_src : int
+  val next_dst : int
+  val first_prop : int
+  val txn_id : int
+  val bts : int
+  val ets : int
+  val rts : int
+end
+
+(** Field offsets within a property batch. *)
+module Prop : sig
+  val owner : int
+  val next : int
+  val slot : int -> int
+  val slot_key : int -> int
+  val slot_tag : int -> int
+  val slot_payload : int -> int
+end
+
+val link : int option -> int
+(** [Some id] -> [id + 1]; [None] -> 0. *)
+
+val unlink : int -> int option
+
+(** Decoded in-memory views (link fields keep the +1 encoding). *)
+
+type node = {
+  mutable label : int;
+  mutable first_out : int;
+  mutable first_in : int;
+  mutable first_prop : int;
+  mutable txn_id : int;
+  mutable bts : int;
+  mutable ets : int;
+  mutable rts : int;
+}
+
+type rel = {
+  mutable rlabel : int;
+  mutable src : int;
+  mutable dst : int;
+  mutable next_src : int;
+  mutable next_dst : int;
+  mutable rfirst_prop : int;
+  mutable rtxn_id : int;
+  mutable rbts : int;
+  mutable rets : int;
+  mutable rrts : int;
+}
+
+val empty_node : unit -> node
+val empty_rel : unit -> rel
+val copy_node : node -> node
+val copy_rel : rel -> rel

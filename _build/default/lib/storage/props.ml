@@ -1,0 +1,171 @@
+(* Property storage (DD3): cache-line-sized batches of key-value pairs in a
+   chunked table, linked per owner.
+
+   Each 64-byte batch holds up to three (key, tag, payload) slots.  Values
+   arrive already dictionary-encoded ([Value.Str] carries a code).
+
+   Crash consistency per slot: the 8-byte payload is persisted first, then
+   the (key, tag) pair - which shares one aligned 8-byte word - is written
+   with a failure-atomic store.  An unfinished slot therefore still carries
+   [no_key] and is invisible. *)
+
+module Pool = Pmem.Pool
+module Alloc = Pmem.Alloc
+module Pptr = Pmem.Pptr
+module Media = Pmem.Media
+module Pmdk_tx = Pmem.Pmdk_tx
+
+open Layout
+
+type t = { table : Table.t }
+
+let create pool ?capacity ?max_chunks () =
+  { table = Table.create pool ?capacity ?max_chunks ~record_size:prop_size () }
+
+let open_ pool ?capacity ?max_chunks ~dir_off () =
+  { table = Table.open_ pool ?capacity ?max_chunks ~record_size:prop_size ~dir_off () }
+
+let table t = t.table
+let dir_off t = Table.dir_off t.table
+
+let key_tag_word ~key ~tag =
+  Int64.logor
+    (Int64.of_int (key land 0xFFFFFFFF))
+    (Int64.shift_left (Int64.of_int tag) 32)
+
+let slot_key pool off i = Pool.read_u32 pool (off + Prop.slot_key i)
+let slot_tag pool off i = Pool.read_u32 pool (off + Prop.slot_tag i)
+let slot_payload pool off i = Pool.read_i64 pool (off + Prop.slot_payload i)
+
+let write_slot pool off i ~key ~tag ~payload =
+  Pool.write_i64 pool (off + Prop.slot_payload i) payload;
+  Pool.persist pool ~off:(off + Prop.slot_payload i) ~len:8;
+  Pool.atomic_write_i64 pool (off + Prop.slot_key i) (key_tag_word ~key ~tag)
+
+let clear_slot pool off i =
+  Pool.atomic_write_i64 pool (off + Prop.slot_key i) (key_tag_word ~key:no_key ~tag:0)
+
+(* Allocate a fresh batch for [owner] (id + 1 encoding kept by caller). *)
+let new_batch t ~owner ~next =
+  let pool = Table.pool t.table in
+  let id, off = Table.reserve t.table in
+  Pool.write_int pool (off + Prop.owner) owner;
+  Pool.write_int pool (off + Prop.next) next;
+  for i = 0 to prop_slots - 1 do
+    Pool.write_i64 pool (off + Prop.slot_key i) (key_tag_word ~key:no_key ~tag:0)
+  done;
+  Pool.persist pool ~off ~len:prop_size;
+  Table.publish t.table id;
+  (id, off)
+
+(* Find (batch offset, slot) holding [key] in the chain starting at
+   [first] (id + 1 encoding; 0 = empty chain). *)
+let find t ~first ~key =
+  let pool = Table.pool t.table in
+  let rec go link =
+    match unlink link with
+    | None -> None
+    | Some id ->
+        let off = Table.record_off t.table id in
+        let rec slots i =
+          if i >= prop_slots then go (Pool.read_int pool (off + Prop.next))
+          else if slot_key pool off i = key then Some (off, i)
+          else slots (i + 1)
+        in
+        slots 0
+  in
+  go first
+
+let get t ~first ~key =
+  let pool = Table.pool t.table in
+  match find t ~first ~key with
+  | None -> None
+  | Some (off, i) ->
+      Some (Value.decode ~tag:(slot_tag pool off i) ~payload:(slot_payload pool off i))
+
+(* Set [key] to [value] in the chain rooted at [first]; returns the
+   (possibly new) chain root.  In-place update when the key exists (DG5:
+   no copy-on-write); otherwise fills a free slot or prepends a batch. *)
+let set t ~owner ~first ~key value =
+  let pool = Table.pool t.table in
+  let tag = Value.tag value and payload = Value.payload value in
+  match find t ~first ~key with
+  | Some (off, i) ->
+      write_slot pool off i ~key ~tag ~payload;
+      first
+  | None ->
+      let rec free_slot link =
+        match unlink link with
+        | None -> None
+        | Some id ->
+            let off = Table.record_off t.table id in
+            let rec slots i =
+              if i >= prop_slots then
+                free_slot (Pool.read_int pool (off + Prop.next))
+              else if slot_key pool off i = no_key then Some (off, i)
+              else slots (i + 1)
+            in
+            slots 0
+      in
+      (match free_slot first with
+      | Some (off, i) ->
+          write_slot pool off i ~key ~tag ~payload;
+          first
+      | None ->
+          let id, off = new_batch t ~owner ~next:first in
+          write_slot pool off 0 ~key ~tag ~payload;
+          id + 1)
+
+let remove t ~first ~key =
+  match find t ~first ~key with
+  | None -> false
+  | Some (off, i) ->
+      clear_slot (Table.pool t.table) off i;
+      true
+
+let fold t ~first ~init f =
+  let pool = Table.pool t.table in
+  let rec go link acc =
+    match unlink link with
+    | None -> acc
+    | Some id ->
+        let off = Table.record_off t.table id in
+        let acc = ref acc in
+        for i = 0 to prop_slots - 1 do
+          let key = slot_key pool off i in
+          if key <> no_key then
+            acc :=
+              f !acc key
+                (Value.decode ~tag:(slot_tag pool off i)
+                   ~payload:(slot_payload pool off i))
+        done;
+        go (Pool.read_int pool (off + Prop.next)) !acc
+  in
+  go first init
+
+let all t ~first = List.rev (fold t ~first ~init:[] (fun acc k v -> (k, v) :: acc))
+
+(* Release every batch of a chain (bitmap reuse, no deallocation - DG5). *)
+let free_chain t ~first =
+  let pool = Table.pool t.table in
+  let rec go link =
+    match unlink link with
+    | None -> ()
+    | Some id ->
+        let off = Table.record_off t.table id in
+        let next = Pool.read_int pool (off + Prop.next) in
+        Table.delete t.table id;
+        go next
+  in
+  go first
+
+(* Build a fresh chain for [props] without touching any existing chain;
+   the MVTO commit builds the new chain first, atomically swings the
+   record's first_prop to it, and only then frees the old one. *)
+let build t ~owner props =
+  List.fold_left (fun link (key, v) -> set t ~owner ~first:link ~key v) 0 props
+
+(* Rewrite a chain to match [props] exactly (non-transactional callers). *)
+let overwrite t ~owner ~first props =
+  free_chain t ~first;
+  build t ~owner props

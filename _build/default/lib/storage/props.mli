@@ -1,0 +1,30 @@
+(** Property storage (DD3): cache-line-sized batches of key-value pairs
+    in a chunked table, linked per owner.  Values arrive already
+    dictionary-encoded.  Slot writes are failure-atomic: payload first,
+    then the (key, tag) word. *)
+
+type t
+
+val create : Pmem.Pool.t -> ?capacity:int -> ?max_chunks:int -> unit -> t
+val open_ :
+  Pmem.Pool.t -> ?capacity:int -> ?max_chunks:int -> dir_off:int -> unit -> t
+
+val table : t -> Table.t
+val dir_off : t -> int
+
+val get : t -> first:int -> key:int -> Value.t option
+(** Chain roots use the id+1 encoding; 0 = empty chain. *)
+
+val set : t -> owner:int -> first:int -> key:int -> Value.t -> int
+(** In-place update when the key exists (DG5), else fills a free slot or
+    prepends a batch; returns the (possibly new) chain root. *)
+
+val remove : t -> first:int -> key:int -> bool
+val fold : t -> first:int -> init:'a -> ('a -> int -> Value.t -> 'a) -> 'a
+val all : t -> first:int -> (int * Value.t) list
+val free_chain : t -> first:int -> unit
+val build : t -> owner:int -> (int * Value.t) list -> int
+(** Build a fresh chain without touching any existing one (MVTO commit:
+    build new, swing the record pointer, then free the old). *)
+
+val overwrite : t -> owner:int -> first:int -> (int * Value.t) list -> int

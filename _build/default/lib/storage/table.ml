@@ -1,0 +1,212 @@
+(* A persistent table: linked list of chunks plus a sparse chunk directory
+   (DD1, DD2).
+
+   Record ids are dense per chunk: id = chunk_index * capacity + slot, so
+   the directory (a persistent array of chunk offsets, indexed by chunk
+   number) acts as the paper's sparse index mapping the first record id of
+   each chunk to its memory location.  A DRAM mirror of the directory gives
+   O(1) id-to-offset translation without touching PMem (DG6); it is rebuilt
+   from the persistent directory on recovery.
+
+   Directory layout:  0: n_chunks u64;  8: chunk capacity u64;
+   16..: chunk offsets (u64 each).  The capacity is persisted so that a
+   reopen cannot disagree with the on-media id arithmetic.
+
+   Crash consistency:
+   - a new chunk is fully initialised and persisted, its directory entry is
+     persisted, and only then is n_chunks bumped atomically;
+   - a record insert persists the record bytes before the bitmap bit that
+     makes it reachable is set (atomic 8-byte bitmap store);
+   - deletes only clear the bitmap bit; the slot is recycled later (DG5). *)
+
+module Pool = Pmem.Pool
+module Alloc = Pmem.Alloc
+module Pptr = Pmem.Pptr
+module Media = Pmem.Media
+module Pmdk_tx = Pmem.Pmdk_tx
+
+type t = {
+  pool : Pool.t;
+  record_size : int;
+  capacity : int; (* records per chunk *)
+  dir_off : int;
+  max_chunks : int;
+  mutable chunks : Chunk.t array; (* DRAM mirror *)
+  mutable nchunks : int;
+  free : int Queue.t; (* DRAM cache of reusable record ids *)
+  mutable high : int; (* next never-reserved id (high-water mark) *)
+  mu : Mutex.t;
+}
+
+let default_capacity = 512
+
+let dir_bytes ~max_chunks = 16 + (8 * max_chunks)
+
+let create pool ?(capacity = default_capacity) ?(max_chunks = 65_536)
+    ~record_size () =
+  let dir_off = Alloc.alloc pool (dir_bytes ~max_chunks) in
+  Pool.write_int pool dir_off 0;
+  Pool.write_int pool (dir_off + 8) capacity;
+  Pool.persist pool ~off:dir_off ~len:16;
+  {
+    pool;
+    record_size;
+    capacity;
+    dir_off;
+    max_chunks;
+    chunks = [||];
+    nchunks = 0;
+    free = Queue.create ();
+    high = 0;
+    mu = Mutex.create ();
+  }
+
+(* Reattach after restart: rebuild the DRAM mirror and the free-slot cache
+   by scanning the persistent directory and the chunk bitmaps. *)
+let open_ pool ?capacity ?(max_chunks = 65_536) ~record_size ~dir_off () =
+  ignore capacity;
+  (* the authoritative capacity is the persisted one *)
+  let capacity = Pool.read_int pool (dir_off + 8) in
+  let nchunks = Pool.read_int pool dir_off in
+  let chunks =
+    Array.init nchunks (fun i ->
+        Chunk.attach pool (Pool.read_int pool (dir_off + 16 + (8 * i))))
+  in
+  let t =
+    {
+      pool;
+      record_size;
+      capacity;
+      dir_off;
+      max_chunks;
+      chunks;
+      nchunks;
+      free = Queue.create ();
+      high = nchunks * capacity;
+      mu = Mutex.create ();
+    }
+  in
+  Array.iteri
+    (fun ci c ->
+      for slot = 0 to Chunk.capacity c - 1 do
+        if not (Chunk.is_used c slot) then
+          Queue.add ((ci * capacity) + slot) t.free
+      done)
+    chunks;
+  t
+
+let pool t = t.pool
+let record_size t = t.record_size
+let chunk_capacity t = t.capacity
+let dir_off t = t.dir_off
+let nchunks t = t.nchunks
+let chunk t i = t.chunks.(i)
+
+let append_chunk t =
+  if t.nchunks >= t.max_chunks then failwith "Table: directory full";
+  let first_id = t.nchunks * t.capacity in
+  let c =
+    Chunk.create t.pool ~first_id ~capacity:t.capacity
+      ~record_size:t.record_size
+  in
+  if t.nchunks > 0 then
+    Chunk.set_next t.chunks.(t.nchunks - 1)
+      (Pptr.v ~pool:(Pool.id t.pool) ~off:(Chunk.off c));
+  Pool.write_int t.pool (t.dir_off + 16 + (8 * t.nchunks)) (Chunk.off c);
+  Pool.persist t.pool ~off:(t.dir_off + 16 + (8 * t.nchunks)) ~len:8;
+  Pool.atomic_write_int t.pool t.dir_off (t.nchunks + 1);
+  t.chunks <- Array.append t.chunks [| c |];
+  t.nchunks <- t.nchunks + 1;
+  c
+
+let locate t id =
+  let ci = id / t.capacity and slot = id mod t.capacity in
+  if ci >= t.nchunks then invalid_arg "Table.locate: id out of range";
+  (t.chunks.(ci), slot)
+
+let record_off t id =
+  let c, slot = locate t id in
+  Chunk.slot_off c slot
+
+let is_live t id =
+  let ci = id / t.capacity in
+  if ci >= t.nchunks then false
+  else
+    let c, slot = locate t id in
+    Chunk.is_used c slot
+
+(* uncharged variant for scan loops (see Chunk.is_used_raw) *)
+let is_live_raw t id =
+  let ci = id / t.capacity in
+  if ci >= t.nchunks then false
+  else
+    let c, slot = locate t id in
+    Chunk.is_used_raw c slot
+
+(* Reserve a fresh (or recycled) slot.  The caller writes and persists the
+   record at the returned offset, then calls [publish] to set the bitmap
+   bit that makes it reachable. *)
+let reserve t =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) @@ fun () ->
+  let id =
+    match Queue.take_opt t.free with
+    | Some id -> id
+    | None ->
+        if t.high >= t.nchunks * t.capacity then ignore (append_chunk t);
+        let id = t.high in
+        t.high <- t.high + 1;
+        id
+  in
+  (id, record_off t id)
+
+(* Bitmap updates are read-modify-write on a shared 64-slot word, so they
+   are serialised on the table mutex (the persistent store itself is a
+   single failure-atomic 8-byte write). *)
+let publish t id =
+  let c, slot = locate t id in
+  Mutex.lock t.mu;
+  Chunk.set_used c slot true;
+  Mutex.unlock t.mu
+
+let delete t id =
+  let c, slot = locate t id in
+  Mutex.lock t.mu;
+  Chunk.set_used c slot false;
+  Queue.add id t.free;
+  Mutex.unlock t.mu
+
+let count t =
+  let n = ref 0 in
+  Array.iter (fun c -> n := !n + Chunk.used_count c) t.chunks;
+  !n
+
+let max_id t = (t.nchunks * t.capacity) - 1
+
+let iter t f =
+  Array.iteri
+    (fun ci c ->
+      Chunk.iter_used c (fun slot off -> f ((ci * t.capacity) + slot) off))
+    t.chunks
+
+(* Iterate the records of one chunk - the unit of morsel-driven
+   parallelism in the query engine. *)
+let iter_chunk t ci f =
+  let c = t.chunks.(ci) in
+  Chunk.iter_used c (fun slot off -> f ((ci * t.capacity) + slot) off)
+
+(* Scan through the persistent chunk chain instead of the DRAM mirror;
+   exercises the pptr links (used by recovery checks and the DG6
+   ablation). *)
+let iter_via_chain t registry f =
+  if t.nchunks > 0 then begin
+    let rec go c ci =
+      Chunk.iter_used c (fun slot off -> f ((ci * t.capacity) + slot) off);
+      let next = Chunk.next c in
+      if not (Pptr.is_null next) then begin
+        let pool, off = Pptr.deref registry next in
+        go (Chunk.attach pool off) (ci + 1)
+      end
+    in
+    go t.chunks.(0) 0
+  end

@@ -1,0 +1,66 @@
+(** Persistent chunked tables (DD1, DD2).
+
+    A table is a linked list of fixed-size chunks plus a persistent chunk
+    directory (the paper's sparse index); record ids are dense per chunk
+    (id = chunk * capacity + slot).  A DRAM mirror of the directory gives
+    O(1) id-to-offset translation (DG6) and is rebuilt on {!open_}.
+
+    Crash discipline: a record's bytes are persisted before the bitmap
+    bit that publishes it; deletes only clear the bit and recycle the
+    slot later (DG5). *)
+
+type t
+
+val default_capacity : int
+
+val create :
+  Pmem.Pool.t -> ?capacity:int -> ?max_chunks:int -> record_size:int -> unit -> t
+
+val open_ :
+  Pmem.Pool.t ->
+  ?capacity:int ->
+  ?max_chunks:int ->
+  record_size:int ->
+  dir_off:int ->
+  unit ->
+  t
+(** Reattach after a restart: rebuilds the DRAM mirror and free-slot
+    cache from the persistent directory and chunk bitmaps.  The
+    authoritative chunk capacity is the persisted one. *)
+
+val pool : t -> Pmem.Pool.t
+val record_size : t -> int
+val chunk_capacity : t -> int
+val dir_off : t -> int
+(** Offset of the persistent directory; store it in a root slot. *)
+
+val nchunks : t -> int
+val chunk : t -> int -> Chunk.t
+val record_off : t -> int -> int
+val is_live : t -> int -> bool
+val is_live_raw : t -> int -> bool
+(** Uncharged liveness probe for scan loops (the bitmap word is
+    cache-resident during a scan). *)
+
+val reserve : t -> int * int
+(** Reserve a fresh or recycled slot; returns (id, offset).  Write and
+    persist the record, then {!publish} it. *)
+
+val publish : t -> int -> unit
+(** Set the bitmap bit that makes a reserved record reachable
+    (failure-atomic). *)
+
+val delete : t -> int -> unit
+(** Clear the bitmap bit and queue the slot for reuse. *)
+
+val count : t -> int
+val max_id : t -> int
+val iter : t -> (int -> int -> unit) -> unit
+(** [iter t f] calls [f id offset] for every live record. *)
+
+val iter_chunk : t -> int -> (int -> int -> unit) -> unit
+(** Iterate one chunk - the morsel unit of parallel scans. *)
+
+val iter_via_chain : t -> Pmem.Pptr.registry -> (int -> int -> unit) -> unit
+(** Scan through the persistent pptr chunk chain instead of the DRAM
+    mirror (recovery checks; DG6 ablation). *)

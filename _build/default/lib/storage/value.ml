@@ -1,0 +1,90 @@
+(* Property values of the property-graph data model.
+
+   Strings are dictionary-encoded before they reach persistent storage
+   (DD3), so the on-media representation of every value is a (tag, 64-bit
+   payload) pair; [Str] carries the dictionary code.  The [Text] constructor
+   only exists transiently at the API boundary, before encoding / after
+   decoding. *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Str of int (* dictionary code *)
+  | Text of string (* un-encoded string, API boundary only *)
+
+let tag = function
+  | Null -> 0
+  | Int _ -> 1
+  | Float _ -> 2
+  | Bool _ -> 3
+  | Str _ -> 4
+  | Text _ -> invalid_arg "Value.tag: Text must be dictionary-encoded first"
+
+let payload = function
+  | Null -> 0L
+  | Int i -> Int64.of_int i
+  | Float f -> Int64.bits_of_float f
+  | Bool b -> if b then 1L else 0L
+  | Str c -> Int64.of_int c
+  | Text _ -> invalid_arg "Value.payload: Text must be dictionary-encoded first"
+
+let decode ~tag ~payload =
+  match tag with
+  | 0 -> Null
+  | 1 -> Int (Int64.to_int payload)
+  | 2 -> Float (Int64.float_of_bits payload)
+  | 3 -> Bool (payload <> 0L)
+  | 4 -> Str (Int64.to_int payload)
+  | t -> invalid_arg (Printf.sprintf "Value.decode: bad tag %d" t)
+
+let equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Int a, Int b -> a = b
+  | Float a, Float b -> a = b
+  | Bool a, Bool b -> a = b
+  | Str a, Str b -> a = b
+  | Text a, Text b -> String.equal a b
+  | _ -> false
+
+let tag_rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Float _ -> 3
+  | Str _ -> 4
+  | Text _ -> 5
+
+let compare a b =
+  match (a, b) with
+  | Int a, Int b -> Int.compare a b
+  | Float a, Float b -> Float.compare a b
+  | Bool a, Bool b -> Bool.compare a b
+  | Str a, Str b -> Int.compare a b
+  | Text a, Text b -> String.compare a b
+  | _ -> Int.compare (tag_rank a) (tag_rank b)
+
+let pp ppf = function
+  | Null -> Fmt.string ppf "null"
+  | Int i -> Fmt.int ppf i
+  | Float f -> Fmt.float ppf f
+  | Bool b -> Fmt.bool ppf b
+  | Str c -> Fmt.pf ppf "str#%d" c
+  | Text s -> Fmt.pf ppf "%S" s
+
+let to_string = Fmt.to_to_string pp
+
+(* Sort key used by B+-tree indexes: values are indexed by their 64-bit
+   payload, with floats mapped to an order-preserving integer encoding. *)
+let index_key = function
+  | Int i -> Int64.of_int i
+  | Str c -> Int64.of_int c
+  | Bool b -> if b then 1L else 0L
+  | Float f ->
+      let bits = Int64.bits_of_float f in
+      if Int64.compare bits 0L < 0 then Int64.logxor bits Int64.max_int
+      else bits
+  | Null -> Int64.min_int
+  | Text _ -> invalid_arg "Value.index_key: Text must be encoded first"

@@ -1,0 +1,34 @@
+(** Property values of the property-graph data model.
+
+    Strings are dictionary-encoded before reaching persistent storage
+    (DD3): the on-media representation of every value is a (tag, 64-bit
+    payload) pair; [Str] carries a dictionary code.  [Text] exists only
+    transiently at the API boundary. *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Str of int  (** dictionary code *)
+  | Text of string  (** un-encoded string; API boundary only *)
+
+val tag : t -> int
+(** Persistent type tag.
+    @raise Invalid_argument on [Text] (encode it first). *)
+
+val payload : t -> int64
+(** Persistent 64-bit payload. @raise Invalid_argument on [Text]. *)
+
+val decode : tag:int -> payload:int64 -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Total order; same-type values compare naturally, different types by
+    type rank. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val index_key : t -> int64
+(** Order-preserving 64-bit key used by B+-tree indexes (floats are
+    mapped to an order-preserving integer encoding). *)

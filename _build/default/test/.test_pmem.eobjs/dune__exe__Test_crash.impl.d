@@ -1,0 +1,1 @@
+test/test_crash.ml: Alcotest Core Gindex List Mvcc QCheck QCheck_alcotest Random Storage

@@ -1,0 +1,1 @@
+test/test_cypher.ml: Alcotest Array Gindex Jit Lazy List Mvcc Option Printf QCheck QCheck_alcotest Query Storage Tutil

@@ -1,0 +1,1 @@
+test/test_diskdb.ml: Alcotest Diskdb List Mvcc Pmem Query Storage

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Atomic Domain Exec Fun Jit List Pmem Unix

@@ -1,0 +1,1 @@
+test/test_gindex.ml: Alcotest Fmt Fun Gen Gindex Hashtbl Int64 List Option Pmem Printf QCheck QCheck_alcotest Storage

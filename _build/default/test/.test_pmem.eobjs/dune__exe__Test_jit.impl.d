@@ -1,0 +1,1 @@
+test/test_jit.ml: Alcotest Array Exec Fun Gindex Jit List Mvcc Pmem Printf QCheck QCheck_alcotest Query Storage Tutil

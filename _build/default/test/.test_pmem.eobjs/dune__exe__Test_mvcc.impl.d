@@ -1,0 +1,1 @@
+test/test_mvcc.ml: Alcotest Array Atomic Domain List Mvcc Option Pmem Printf Random Storage

@@ -1,0 +1,1 @@
+test/test_pmem.ml: Alcotest Gen Int64 List Pmem Printf QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Array Exec Gindex List Mvcc Printf Query Storage Tutil

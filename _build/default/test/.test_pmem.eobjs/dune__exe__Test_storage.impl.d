@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Float Gen Hashtbl Int64 List Pmem Printf QCheck QCheck_alcotest Storage

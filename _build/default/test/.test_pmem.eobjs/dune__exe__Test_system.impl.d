@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Array Core Diskdb Fmt Gindex Jit List Mvcc Option Pmem Printf Query Random Snb Storage

@@ -1,0 +1,1 @@
+test/tutil.ml: Alcotest Array Jit List Mvcc Pmem Printf Query Storage

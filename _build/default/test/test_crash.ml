@@ -1,0 +1,177 @@
+(* Crash-storm tests: random transactional workloads interrupted by power
+   failures (with random cache-line eviction) at arbitrary points,
+   followed by recovery and full invariant checking.
+
+   The invariants checked after every recovery:
+   I1  every transaction reported committed before the crash is fully
+       visible (all its effects), and no uncommitted effect is;
+   I2  no record slot is leaked into visibility: every live node/rel is
+       one we committed;
+   I3  adjacency lists are structurally sound (every reachable rel id is
+       live and points back to live endpoints);
+   I4  all secondary indexes agree with a full table scan after recovery;
+   I5  the engine remains fully operational (insert/query/commit). *)
+
+module Value = Storage.Value
+module G = Storage.Graph_store
+module Mvto = Mvcc.Mvto
+
+type model = {
+  mutable nodes : (int * int) list; (* node id, expected "v" prop *)
+  mutable rels : (int * int * int) list; (* rel id, src, dst *)
+}
+
+let check_invariants db (m : model) =
+  let g = Core.store db in
+  (* I1/I2 for nodes *)
+  Core.with_txn db (fun txn ->
+      List.iter
+        (fun (id, v) ->
+          match Core.node_prop db txn id ~key:"v" with
+          | Some (Value.Int v') when v' = v -> ()
+          | other ->
+              Alcotest.failf "node %d: expected v=%d got %s" id v
+                (match other with
+                | Some x -> Value.to_string x
+                | None -> "missing"))
+        m.nodes;
+      let live = ref 0 in
+      Mvto.scan_nodes (Core.mgr db) txn (fun _ -> incr live);
+      Alcotest.(check int) "no ghost nodes" (List.length m.nodes) !live;
+      (* I3: adjacency soundness *)
+      List.iter
+        (fun (id, _) ->
+          G.iter_out g id (fun rid ->
+              if not (G.rel_live g rid) then
+                Alcotest.failf "dangling rel %d in out-list of %d" rid id;
+              let r = G.read_rel g rid in
+              if not (G.node_live g r.Storage.Layout.src) then
+                Alcotest.failf "rel %d has dead src" rid;
+              if not (G.node_live g r.Storage.Layout.dst) then
+                Alcotest.failf "rel %d has dead dst" rid))
+        m.nodes;
+      List.iter
+        (fun (rid, src, dst) ->
+          if not (G.rel_live g rid) then Alcotest.failf "committed rel %d lost" rid;
+          let r = G.read_rel g rid in
+          if r.Storage.Layout.src <> src || r.Storage.Layout.dst <> dst then
+            Alcotest.failf "rel %d endpoints corrupted" rid)
+        m.rels);
+  (* I4: index agrees with scan *)
+  (match Core.index_lookup_fn db ~label:(Core.code db "N") ~key:(Core.code db "id") with
+  | None -> ()
+  | Some idx ->
+      List.iter
+        (fun (id, _) ->
+          Core.with_txn db (fun txn ->
+              match Core.node_prop db txn id ~key:"id" with
+              | Some (Value.Int ldbc) ->
+                  if not (List.mem id (Gindex.Index.lookup idx (Value.Int ldbc)))
+                  then Alcotest.failf "index lost node %d" id
+              | _ -> ()))
+        m.nodes);
+  (* I5: still fully operational *)
+  let probe =
+    Core.with_txn db (fun txn -> Core.create_node db txn ~label:"Probe" ~props:[])
+  in
+  Core.with_txn db (fun txn -> Core.delete_node db txn probe);
+  (* let GC reclaim the probe so node counts stay exact *)
+  Core.with_txn db (fun _ -> ())
+
+let run_storm ~seed ~steps ~evict () =
+  let rng = Random.State.make [| seed |] in
+  let db = ref (Core.create ~mode:`Pmem ~pool_size:(1 lsl 24) ()) in
+  ignore (Core.create_index !db ~label:"N" ~prop:"id" ());
+  let m = { nodes = []; rels = [] } in
+  let next_ldbc = ref 0 in
+  for _ = 1 to steps do
+    match Random.State.int rng 100 with
+    | r when r < 40 -> (
+        (* committed insert (node, maybe + rel) *)
+        let ldbc = !next_ldbc in
+        incr next_ldbc;
+        let v = Random.State.int rng 1000 in
+        try
+          let id, rel =
+            Core.with_txn !db (fun txn ->
+                let id =
+                  Core.create_node !db txn ~label:"N"
+                    ~props:[ ("id", Value.Int ldbc); ("v", Value.Int v) ]
+                in
+                let rel =
+                  match m.nodes with
+                  | (dst, _) :: _ ->
+                      Some
+                        ( Core.create_rel !db txn ~label:"E" ~src:id ~dst
+                            ~props:[],
+                          id,
+                          dst )
+                  | [] -> None
+                in
+                (id, rel))
+          in
+          m.nodes <- (id, v) :: m.nodes;
+          match rel with
+          | Some (rid, src, dst) -> m.rels <- (rid, src, dst) :: m.rels
+          | None -> ()
+        with Core.Abort _ -> ())
+    | r when r < 55 -> (
+        (* committed update *)
+        match m.nodes with
+        | [] -> ()
+        | nodes -> (
+            let i = Random.State.int rng (List.length nodes) in
+            let id, _ = List.nth nodes i in
+            let v = Random.State.int rng 1000 in
+            try
+              Core.with_txn !db (fun txn ->
+                  Core.set_node_prop !db txn id ~key:"v" (Value.Int v));
+              m.nodes <-
+                List.map (fun (id', v') -> if id' = id then (id, v) else (id', v'))
+                  m.nodes
+            with Core.Abort _ -> ()))
+    | r when r < 70 ->
+        (* uncommitted work left in flight, then crash *)
+        let txn = Core.begin_txn !db in
+        (try
+           ignore
+             (Core.create_node !db txn ~label:"N"
+                ~props:[ ("id", Value.Int 999_999); ("v", Value.Int 0) ]);
+           match m.nodes with
+           | (id, _) :: _ ->
+               Core.set_node_prop !db txn id ~key:"v" (Value.Int (-1))
+           | [] -> ()
+         with Core.Abort _ -> ());
+        Core.crash ~evict_prob:evict !db;
+        db := Core.reopen !db;
+        check_invariants !db m
+    | _ ->
+        (* clean crash between transactions *)
+        Core.crash ~evict_prob:evict !db;
+        db := Core.reopen !db;
+        check_invariants !db m
+  done;
+  check_invariants !db m
+
+let test_storm_no_eviction () = run_storm ~seed:1 ~steps:60 ~evict:0.0 ()
+let test_storm_half_eviction () = run_storm ~seed:2 ~steps:60 ~evict:0.5 ()
+let test_storm_full_eviction () = run_storm ~seed:3 ~steps:60 ~evict:1.0 ()
+
+let test_storm_qcheck =
+  QCheck.Test.make ~name:"crash storm (random seeds and eviction)" ~count:8
+    QCheck.(pair (int_range 10 10_000) (int_range 0 100))
+    (fun (seed, evict) ->
+      run_storm ~seed ~steps:30 ~evict:(float_of_int evict /. 100.) ();
+      true)
+
+let () =
+  Alcotest.run "crash"
+    [
+      ( "storm",
+        [
+          Alcotest.test_case "no eviction" `Quick test_storm_no_eviction;
+          Alcotest.test_case "50% eviction" `Quick test_storm_half_eviction;
+          Alcotest.test_case "100% eviction" `Quick test_storm_full_eviction;
+          QCheck_alcotest.to_alcotest ~long:false test_storm_qcheck;
+        ] );
+    ]

@@ -1,0 +1,318 @@
+(* Tests for the Cypher-like frontend: parsing, planning, equivalence
+   with hand-built algebra, updates, and error reporting. *)
+
+module Value = Storage.Value
+module A = Query.Algebra
+module E = Query.Expr
+module I = Query.Interp
+module C = Query.Cypher
+module Mvto = Mvcc.Mvto
+open Tutil
+
+let run env ?params q =
+  with_source env (fun g ->
+      C.run g ~params:(Option.value params ~default:[||]) q)
+
+let test_match_label () =
+  let env = mk_env () in
+  let rows = run env "MATCH (p:Person) RETURN p" in
+  Alcotest.(check int) "all persons" (Array.length env.persons) (List.length rows)
+
+let test_match_prop_filter () =
+  let env = mk_env () in
+  let rows = run env "MATCH (p:Person {id: 1005}) RETURN p.name" in
+  match rows with
+  | [ [| Value.Str c |] ] ->
+      with_source env (fun g ->
+          Alcotest.(check string) "name" "p005" (g.Query.Source.decode c))
+  | _ -> Alcotest.fail "expected one name"
+
+let test_match_param () =
+  let env = mk_env () in
+  let rows =
+    run env ~params:[| Value.Int 1007 |] "MATCH (p:Person {id: $0}) RETURN p.id"
+  in
+  Alcotest.(check bool) "id round trip" true (rows = [ [| Value.Int 1007 |] ])
+
+let test_hop_and_where () =
+  let env = mk_env () in
+  let cypher =
+    run env
+      "MATCH (p:Person {id: 1000})-[:KNOWS]->(f:Person) WHERE f.age >= 20 \
+       RETURN f.id ORDER BY f.id ASC"
+  in
+  (* equivalent hand-built plan *)
+  let manual =
+    with_source env (fun g ->
+        let plan =
+          A.Project
+            {
+              exprs = [ E.Prop { col = 2; kind = E.KNode; key = env.k_id } ];
+              child =
+                A.Sort
+                  {
+                    keys =
+                      [ (E.Prop { col = 2; kind = E.KNode; key = env.k_id }, `Asc) ];
+                    child =
+                      A.Filter
+                        {
+                          pred =
+                            E.Cmp
+                              ( E.Ge,
+                                E.Prop { col = 2; kind = E.KNode; key = env.k_age },
+                                E.Const (Value.Int 20) );
+                          child =
+                            A.Filter
+                              {
+                                pred =
+                                  E.Cmp
+                                    ( E.Eq,
+                                      E.LabelOf { col = 2; kind = E.KNode },
+                                      E.Const (Value.Str env.person) );
+                                child =
+                                  A.EndPoint
+                                    {
+                                      col = 1;
+                                      which = `Dst;
+                                      child =
+                                        A.Expand
+                                          {
+                                            col = 0;
+                                            dir = A.Out;
+                                            label = Some env.knows;
+                                            child =
+                                              A.Filter
+                                                {
+                                                  pred =
+                                                    E.Cmp
+                                                      ( E.Eq,
+                                                        E.Prop
+                                                          {
+                                                            col = 0;
+                                                            kind = E.KNode;
+                                                            key = env.k_id;
+                                                          },
+                                                        E.Const (Value.Int 1000) );
+                                                  child =
+                                                    A.NodeScan
+                                                      { label = Some env.person };
+                                                };
+                                          };
+                                    };
+                              };
+                        };
+                  };
+            }
+        in
+        I.run g ~params:[||] plan)
+  in
+  (* sort direction handled inside both; compare ordered *)
+  Alcotest.(check bool)
+    (Printf.sprintf "cypher == manual (%d rows)" (List.length cypher))
+    true (cypher <> [] && cypher = manual)
+
+let test_incoming_hop () =
+  let env = mk_env () in
+  let rows =
+    run env "MATCH (p:Person {id: 1001})<-[:KNOWS]-(f) RETURN count(*)"
+  in
+  match rows with
+  | [ [| Value.Int n |] ] -> Alcotest.(check bool) "has incoming" true (n >= 1)
+  | _ -> Alcotest.fail "count shape"
+
+let test_two_hops () =
+  let env = mk_env () in
+  let rows =
+    run env
+      "MATCH (p:Person {id: 1000})-[:KNOWS]->(f)-[:KNOWS]->(ff) RETURN DISTINCT ff.id"
+  in
+  Alcotest.(check bool) "friends of friends" true (List.length rows >= 1)
+
+let test_order_limit () =
+  let env = mk_env () in
+  let rows =
+    run env "MATCH (p:Person) RETURN p.id ORDER BY p.id DESC LIMIT 3"
+  in
+  let ids = List.map (function [| Value.Int i |] -> i | _ -> -1) rows in
+  let n = Array.length env.persons in
+  Alcotest.(check (list int)) "top3 desc" [ 999 + n; 998 + n; 997 + n ] ids
+
+let test_count_star () =
+  let env = mk_env () in
+  match run env "MATCH (p:Post) RETURN count(*)" with
+  | [ [| Value.Int n |] ] ->
+      Alcotest.(check int) "post count" (Array.length env.posts) n
+  | _ -> Alcotest.fail "count shape"
+
+let test_create_node () =
+  let env = mk_env () in
+  Mvto.with_txn env.mgr (fun txn ->
+      let g = Query.Source.of_mvcc env.mgr txn in
+      ignore (C.run g ~params:[||] "CREATE (x:Person {id: 4242, age: 18})"));
+  let rows = run env "MATCH (p:Person {id: 4242}) RETURN p.age" in
+  Alcotest.(check bool) "created" true (rows = [ [| Value.Int 18 |] ])
+
+let test_create_rel_between_lookups () =
+  let env = mk_env () in
+  (* needs indexes for the AttachByIndex of the second pattern *)
+  let pool = Storage.Graph_store.pool (Mvto.store env.mgr) in
+  let idx =
+    Gindex.Index.create pool ~placement:Gindex.Node_store.Hybrid ~label:env.person
+      ~key:env.k_id
+  in
+  Array.iteri (fun i id -> Gindex.Index.insert idx (Value.Int (1000 + i)) id) env.persons;
+  let indexes ~label ~key =
+    if label = env.person && key = env.k_id then Some idx else None
+  in
+  let indexed ~label ~key = label = env.person && key = env.k_id in
+  let before =
+    with_source env (fun g ->
+        List.length
+          (C.run g ~params:[||]
+             "MATCH (a:Person {id: 1003})-[:KNOWS]->(b) RETURN b"))
+  in
+  Mvto.with_txn env.mgr (fun txn ->
+      let g = Query.Source.of_mvcc ~indexes env.mgr txn in
+      let rows =
+        C.run ~indexed g ~params:[||]
+          "MATCH (a:Person {id: 1003}), (b:Person {id: 1009}) CREATE \
+           (a)-[:KNOWS {since: 2024}]->(b)"
+      in
+      Alcotest.(check int) "one row through" 1 (List.length rows));
+  let after =
+    with_source env (fun g ->
+        List.length
+          (C.run g ~params:[||]
+             "MATCH (a:Person {id: 1003})-[:KNOWS]->(b) RETURN b"))
+  in
+  Alcotest.(check int) "one more friend" (before + 1) after
+
+let test_set_and_delete () =
+  let env = mk_env () in
+  Mvto.with_txn env.mgr (fun txn ->
+      let g = Query.Source.of_mvcc env.mgr txn in
+      ignore (C.run g ~params:[||] "MATCH (p:Person {id: 1002}) SET p.age = 99"));
+  let rows = run env "MATCH (p:Person {id: 1002}) RETURN p.age" in
+  Alcotest.(check bool) "set applied" true (rows = [ [| Value.Int 99 |] ]);
+  (* delete a fresh, unconnected node *)
+  Mvto.with_txn env.mgr (fun txn ->
+      let g = Query.Source.of_mvcc env.mgr txn in
+      ignore (C.run g ~params:[||] "CREATE (x:Person {id: 5555})"));
+  Mvto.with_txn env.mgr (fun txn ->
+      let g = Query.Source.of_mvcc env.mgr txn in
+      ignore (C.run g ~params:[||] "MATCH (p:Person {id: 5555}) DETACH DELETE p"));
+  let rows = run env "MATCH (p:Person {id: 5555}) RETURN p" in
+  Alcotest.(check int) "deleted" 0 (List.length rows)
+
+let test_cypher_jit_equivalence () =
+  let env = mk_env () in
+  let queries =
+    [
+      "MATCH (p:Person) RETURN p.id";
+      "MATCH (p:Person {id: 1004})-[:KNOWS]->(f) RETURN f.id, f.age";
+      "MATCH (p:Person) WHERE p.age > 40 RETURN p.id";
+    ]
+  in
+  with_source env (fun g ->
+      List.iter
+        (fun q ->
+          let plan = C.compile g q in
+          let interp, _ =
+            Jit.Engine.run ~mode:Jit.Engine.Interp g ~params:[||] plan
+          in
+          let jit, report = Jit.Engine.run ~mode:Jit.Engine.Jit g ~params:[||] plan in
+          Alcotest.(check bool) (q ^ " no fallback") false report.Jit.Engine.fell_back;
+          check_same_rows q interp jit)
+        queries)
+
+let test_parse_errors () =
+  let env = mk_env () in
+  List.iter
+    (fun q ->
+      match run env q with
+      | _ -> Alcotest.failf "expected parse error for %S" q
+      | exception C.Parse_error _ -> ())
+    [
+      "MATCH (p:Person RETURN p";
+      "MATCH (p)-[:]->(q) RETURN p";
+      "RETURN";
+      "MATCH (p) WHERE p. RETURN p";
+      "MATCH (p) LIMIT x";
+      "MATCH (p:Person {id 5}) RETURN p";
+    ]
+
+let test_unbound_variable () =
+  let env = mk_env () in
+  match run env "MATCH (p:Person) RETURN q.id" with
+  | _ -> Alcotest.fail "expected Parse_error"
+  | exception C.Parse_error _ -> ()
+
+let test_detach_delete_cascades () =
+  let env = mk_env () in
+  let g0 = Mvto.store env.mgr in
+  let rels_before = Storage.Graph_store.rel_count g0 in
+  (* person 1004 has at least its ring KNOWS edge; detach-delete it *)
+  Mvto.with_txn env.mgr (fun txn ->
+      let g = Query.Source.of_mvcc env.mgr txn in
+      ignore (C.run g ~params:[||] "MATCH (p:Person {id: 1004}) DETACH DELETE p"));
+  (* the node is gone and no dangling edges remain visible *)
+  let rows = run env "MATCH (p:Person {id: 1004}) RETURN p" in
+  Alcotest.(check int) "node gone" 0 (List.length rows);
+  with_source env (fun g ->
+      g.Query.Source.scan_rels (fun rid ->
+          let src = g.Query.Source.rel_src rid
+          and dst = g.Query.Source.rel_dst rid in
+          if src = env.persons.(4) || dst = env.persons.(4) then
+            Alcotest.failf "dangling visible rel %d" rid));
+  (* GC physically reclaims node + rels once no snapshot needs them *)
+  Mvto.with_txn env.mgr (fun _ -> ());
+  Alcotest.(check bool) "slot reclaimed" false
+    (Storage.Graph_store.node_live g0 env.persons.(4));
+  Alcotest.(check bool) "rels reclaimed" true
+    (Storage.Graph_store.rel_count g0 < rels_before)
+
+let fuzz_env = lazy (mk_env ~n:6 ~m:2 ())
+
+let test_fuzz_never_crashes =
+  QCheck.Test.make ~name:"lexer/parser total: Parse_error or plan, no crash"
+    ~count:300
+    QCheck.(string_gen_of_size (QCheck.Gen.int_range 0 60) QCheck.Gen.printable)
+    (fun s ->
+      let env = Lazy.force fuzz_env in
+      with_source env (fun g ->
+          match Query.Cypher.compile g s with
+          | (_ : A.plan) -> true
+          | exception Query.Cypher.Parse_error _ -> true))
+
+let () =
+  Alcotest.run "cypher"
+    [
+      ( "read",
+        [
+          Alcotest.test_case "match label" `Quick test_match_label;
+          Alcotest.test_case "prop filter" `Quick test_match_prop_filter;
+          Alcotest.test_case "parameter" `Quick test_match_param;
+          Alcotest.test_case "hop + where == manual" `Quick test_hop_and_where;
+          Alcotest.test_case "incoming hop" `Quick test_incoming_hop;
+          Alcotest.test_case "two hops distinct" `Quick test_two_hops;
+          Alcotest.test_case "order + limit" `Quick test_order_limit;
+          Alcotest.test_case "count(*)" `Quick test_count_star;
+        ] );
+      ( "write",
+        [
+          Alcotest.test_case "create node" `Quick test_create_node;
+          Alcotest.test_case "create rel between lookups" `Quick
+            test_create_rel_between_lookups;
+          Alcotest.test_case "set + delete" `Quick test_set_and_delete;
+          Alcotest.test_case "detach delete cascades" `Quick
+            test_detach_delete_cascades;
+        ] );
+      ( "engine",
+        [ Alcotest.test_case "jit equivalence" `Quick test_cypher_jit_equivalence ] );
+      ( "errors",
+        [
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "unbound variable" `Quick test_unbound_variable;
+          QCheck_alcotest.to_alcotest ~long:false test_fuzz_never_crashes;
+        ] );
+    ]

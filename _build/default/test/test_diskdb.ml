@@ -1,0 +1,131 @@
+(* Tests for the disk baseline: buffer-pool accounting (hits, misses,
+   evictions, WAL), page-cache cost model and transactional behaviour. *)
+
+module Media = Pmem.Media
+module BP = Diskdb.Buffer_pool
+module DG = Diskdb.Disk_graph
+module Value = Storage.Value
+
+let test_miss_then_hit () =
+  let media = Media.create () in
+  let bp = BP.create media in
+  let s0 = Media.stats media in
+  BP.touch bp ~off:0 ~rw:`R;
+  let s1 = Media.stats media in
+  Alcotest.(check int) "first touch is an ssd read" (s0.Media.ssd_reads + 1)
+    s1.Media.ssd_reads;
+  BP.touch bp ~off:100 ~rw:`R;
+  (* same page *)
+  let s2 = Media.stats media in
+  Alcotest.(check int) "second touch hits" s1.Media.ssd_reads s2.Media.ssd_reads;
+  let hits, misses, _, _ = BP.stats bp in
+  Alcotest.(check (pair int int)) "counters" (1, 1) (hits, misses)
+
+let test_hit_cost_nonzero () =
+  let media = Media.create () in
+  let bp = BP.create ~hit_ns:700 media in
+  BP.touch bp ~off:0 ~rw:`R;
+  let c0 = Media.clock media in
+  BP.touch bp ~off:8 ~rw:`R;
+  Alcotest.(check int) "page-cache indirection charged" 700
+    (Media.clock media - c0)
+
+let test_eviction_writes_back_dirty () =
+  let media = Media.create () in
+  let bp = BP.create ~capacity:2 media in
+  BP.touch bp ~off:0 ~rw:`W;
+  (* dirty page 0 *)
+  BP.touch bp ~off:8192 ~rw:`R;
+  let before = (Media.stats media).Media.ssd_writes in
+  BP.touch bp ~off:(2 * 8192) ~rw:`R;
+  (* evicts LRU = dirty page 0 *)
+  let after = (Media.stats media).Media.ssd_writes in
+  Alcotest.(check int) "dirty write-back" (before + 1) after;
+  let _, _, evictions, _ = BP.stats bp in
+  Alcotest.(check int) "one eviction" 1 evictions
+
+let test_clear_makes_cold () =
+  let media = Media.create () in
+  let bp = BP.create media in
+  BP.touch bp ~off:0 ~rw:`R;
+  BP.clear bp;
+  let before = (Media.stats media).Media.ssd_reads in
+  BP.touch bp ~off:0 ~rw:`R;
+  Alcotest.(check int) "cold again" (before + 1) (Media.stats media).Media.ssd_reads
+
+let test_wal_commit_pages () =
+  let media = Media.create () in
+  let bp = BP.create media in
+  BP.wal_commit bp ~bytes:100;
+  BP.wal_commit bp ~bytes:20_000;
+  let _, _, _, wal = BP.stats bp in
+  Alcotest.(check int) "1 + 3 wal pages" 4 wal
+
+let test_disk_graph_txn_and_wal () =
+  let disk = DG.create () in
+  let g = DG.store disk in
+  let label = Storage.Graph_store.code g "Person" in
+  let id =
+    DG.with_txn disk (fun txn ->
+        Mvcc.Mvto.insert_node (DG.mgr disk) txn ~label ~props:[])
+  in
+  Alcotest.(check bool) "node durable-ish" true (Storage.Graph_store.node_live g id);
+  let _, _, _, wal = BP.stats (DG.buffer_pool disk) in
+  Alcotest.(check bool) "wal written at commit" true (wal >= 1)
+
+let test_disk_abort_rolls_back () =
+  let disk = DG.create () in
+  let g = DG.store disk in
+  let label = Storage.Graph_store.code g "Person" in
+  (try
+     DG.with_txn disk (fun txn ->
+         ignore (Mvcc.Mvto.insert_node (DG.mgr disk) txn ~label ~props:[]);
+         failwith "abort me")
+   with Failure _ -> ());
+  Alcotest.(check int) "rolled back" 0 (Storage.Graph_store.node_count g)
+
+let test_disk_source_charges_pages () =
+  let disk = DG.create () in
+  let g = DG.store disk in
+  let label = Storage.Graph_store.code g "Person" in
+  let ids =
+    DG.with_txn disk (fun txn ->
+        List.init 50 (fun i ->
+            Mvcc.Mvto.insert_node (DG.mgr disk) txn ~label
+              ~props:[ (1, Value.Int i) ]))
+  in
+  ignore ids;
+  DG.drop_caches disk;
+  let misses_before =
+    let _, m, _, _ = BP.stats (DG.buffer_pool disk) in
+    m
+  in
+  Mvcc.Mvto.with_txn (DG.mgr disk) (fun txn ->
+      let src = DG.source disk txn in
+      src.Query.Source.scan_nodes (fun id -> ignore (src.Query.Source.node_label id)));
+  let misses_after =
+    let _, m, _, _ = BP.stats (DG.buffer_pool disk) in
+    m
+  in
+  Alcotest.(check bool) "cold scan faults pages" true (misses_after > misses_before)
+
+let () =
+  Alcotest.run "diskdb"
+    [
+      ( "buffer-pool",
+        [
+          Alcotest.test_case "miss then hit" `Quick test_miss_then_hit;
+          Alcotest.test_case "hit cost" `Quick test_hit_cost_nonzero;
+          Alcotest.test_case "eviction writes back dirty" `Quick
+            test_eviction_writes_back_dirty;
+          Alcotest.test_case "clear makes cold" `Quick test_clear_makes_cold;
+          Alcotest.test_case "wal pages" `Quick test_wal_commit_pages;
+        ] );
+      ( "disk-graph",
+        [
+          Alcotest.test_case "txn + wal" `Quick test_disk_graph_txn_and_wal;
+          Alcotest.test_case "abort rolls back" `Quick test_disk_abort_rolls_back;
+          Alcotest.test_case "source charges pages" `Quick
+            test_disk_source_charges_pages;
+        ] );
+    ]

@@ -1,0 +1,115 @@
+(* Tests for the morsel-driven task pool and the background compiler
+   service. *)
+
+module TP = Exec.Task_pool
+
+let test_runs_all_tasks () =
+  let pool = TP.create ~nworkers:3 () in
+  let hits = Atomic.make 0 in
+  TP.run pool (List.init 100 (fun _ () -> Atomic.incr hits));
+  Alcotest.(check int) "all tasks ran" 100 (Atomic.get hits);
+  (* the pool is reusable *)
+  TP.run pool (List.init 50 (fun _ () -> Atomic.incr hits));
+  Alcotest.(check int) "second batch" 150 (Atomic.get hits);
+  TP.shutdown pool
+
+let test_parallelism_is_real () =
+  let pool = TP.create ~nworkers:2 () in
+  (* two tasks that can only finish if they run concurrently *)
+  let a = Atomic.make false and b = Atomic.make false in
+  let spin_until flag =
+    let deadline = Unix.gettimeofday () +. 5.0 in
+    while (not (Atomic.get flag)) && Unix.gettimeofday () < deadline do
+      Domain.cpu_relax ()
+    done;
+    Atomic.get flag
+  in
+  TP.run pool
+    [
+      (fun () ->
+        Atomic.set a true;
+        if not (spin_until b) then failwith "no overlap");
+      (fun () ->
+        Atomic.set b true;
+        if not (spin_until a) then failwith "no overlap");
+    ];
+  TP.shutdown pool
+
+let test_exception_propagates () =
+  let pool = TP.create ~nworkers:2 () in
+  let ran = Atomic.make 0 in
+  (match
+     TP.run pool
+       [
+         (fun () -> Atomic.incr ran);
+         (fun () -> failwith "boom");
+         (fun () -> Atomic.incr ran);
+       ]
+   with
+  | () -> Alcotest.fail "expected exception"
+  | exception Failure m -> Alcotest.(check string) "message" "boom" m);
+  (* the pool survives a failed batch *)
+  TP.run pool [ (fun () -> Atomic.incr ran) ];
+  Alcotest.(check int) "other tasks still ran" 3 (Atomic.get ran);
+  TP.shutdown pool
+
+let test_parallel_ranges () =
+  let pool = TP.create ~nworkers:4 () in
+  let n = 1000 in
+  let seen = Array.make n false in
+  TP.parallel_ranges pool ~n ~grain:37 (fun lo hi ->
+      for i = lo to hi - 1 do
+        if seen.(i) then failwith "overlap";
+        seen.(i) <- true
+      done);
+  Alcotest.(check bool) "full coverage" true (Array.for_all Fun.id seen);
+  TP.shutdown pool
+
+let test_meters_attribute_work () =
+  let media = Pmem.Media.create () in
+  let pool = TP.create ~media ~nworkers:2 () in
+  TP.run pool
+    (List.init 8 (fun _ () -> Pmem.Media.charge media 1000));
+  Alcotest.(check int) "all charges counted" 8000 (Pmem.Media.clock media);
+  TP.shutdown pool
+
+let test_compiler_service_runs_jobs () =
+  let done_ = Atomic.make 0 in
+  for _ = 1 to 5 do
+    Jit.Compiler_service.submit (fun () -> Atomic.incr done_)
+  done;
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while Atomic.get done_ < 5 && Unix.gettimeofday () < deadline do
+    Domain.cpu_relax ()
+  done;
+  Alcotest.(check int) "all jobs executed" 5 (Atomic.get done_);
+  Alcotest.(check int) "queue drained" 0 (Jit.Compiler_service.pending ())
+
+let test_compiler_service_survives_job_exception () =
+  let ok = Atomic.make false in
+  Jit.Compiler_service.submit (fun () -> failwith "compiler job boom");
+  Jit.Compiler_service.submit (fun () -> Atomic.set ok true);
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while (not (Atomic.get ok)) && Unix.gettimeofday () < deadline do
+    Domain.cpu_relax ()
+  done;
+  Alcotest.(check bool) "service alive after exception" true (Atomic.get ok)
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "task-pool",
+        [
+          Alcotest.test_case "runs all tasks" `Quick test_runs_all_tasks;
+          Alcotest.test_case "parallelism is real" `Quick test_parallelism_is_real;
+          Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+          Alcotest.test_case "parallel ranges" `Quick test_parallel_ranges;
+          Alcotest.test_case "meters attribute work" `Quick test_meters_attribute_work;
+        ] );
+      ( "compiler-service",
+        [
+          Alcotest.test_case "runs jobs" `Quick test_compiler_service_runs_jobs;
+          Alcotest.test_case "survives exceptions" `Quick
+            test_compiler_service_survives_job_exception;
+        ] );
+    ]

@@ -1,0 +1,303 @@
+(* Tests for the B+-tree index: core algorithm against a model, duplicate
+   handling, all three placements, recovery paths and cost-model shape. *)
+
+module Media = Pmem.Media
+module Pool = Pmem.Pool
+module Alloc = Pmem.Alloc
+module Value = Storage.Value
+module NS = Gindex.Node_store
+module Btree = Gindex.Btree
+module Index = Gindex.Index
+
+let mk_pool ?(size = 1 lsl 24) () =
+  let media = Media.create () in
+  let p = Pool.create ~kind:`Pmem ~media ~id:1 ~size () in
+  Alloc.format p;
+  p
+
+let mk_tree placement =
+  let pool = mk_pool () in
+  let store = NS.make placement ~pool ~media:(Pool.media pool) in
+  (Btree.create store, pool)
+
+let placements = [ ("dram", NS.Volatile); ("pmem", NS.Persistent); ("hybrid", NS.Hybrid) ]
+
+(* --- Core algorithm ----------------------------------------------------- *)
+
+let test_insert_lookup placement () =
+  let t, _ = mk_tree placement in
+  for i = 0 to 999 do
+    Btree.insert t (Int64.of_int ((i * 37) mod 1000)) (Int64.of_int i)
+  done;
+  Btree.check_invariants t;
+  Alcotest.(check int) "count" 1000 (Btree.count t);
+  (* every key 0..999 is present exactly once *)
+  for k = 0 to 999 do
+    Alcotest.(check int)
+      (Printf.sprintf "key %d" k)
+      1
+      (List.length (Btree.lookup t (Int64.of_int k)))
+  done;
+  Alcotest.(check (list int) ) "absent" []
+    (List.map Int64.to_int (Btree.lookup t 5000L))
+
+let test_duplicates placement () =
+  let t, _ = mk_tree placement in
+  (* 200 duplicates of one key interleaved with others: they span leaves *)
+  for i = 0 to 199 do
+    Btree.insert t 42L (Int64.of_int i);
+    Btree.insert t (Int64.of_int (1000 + i)) 0L
+  done;
+  Btree.check_invariants t;
+  let vs = Btree.lookup t 42L in
+  Alcotest.(check int) "all duplicates found" 200 (List.length vs);
+  let sorted = List.sort_uniq Int64.compare vs in
+  Alcotest.(check int) "distinct payloads" 200 (List.length sorted)
+
+let test_range placement () =
+  let t, _ = mk_tree placement in
+  for i = 0 to 499 do
+    Btree.insert t (Int64.of_int (2 * i)) (Int64.of_int i)
+  done;
+  let acc = ref [] in
+  Btree.iter_range t ~lo:100L ~hi:120L (fun k _ -> acc := k :: !acc);
+  Alcotest.(check (list int64)) "range keys"
+    [ 100L; 102L; 104L; 106L; 108L; 110L; 112L; 114L; 116L; 118L; 120L ]
+    (List.rev !acc);
+  (* empty range *)
+  let n = ref 0 in
+  Btree.iter_range t ~lo:1001L ~hi:2000L (fun _ _ -> incr n);
+  Alcotest.(check int) "empty range" 0 !n
+
+let test_remove placement () =
+  let t, _ = mk_tree placement in
+  for i = 0 to 299 do
+    Btree.insert t (Int64.of_int i) (Int64.of_int (i * 10))
+  done;
+  Alcotest.(check bool) "remove hit" true (Btree.remove t 150L 1500L);
+  Alcotest.(check bool) "remove twice misses" false (Btree.remove t 150L 1500L);
+  Alcotest.(check bool) "wrong value misses" false (Btree.remove t 151L 0L);
+  Alcotest.(check int) "count" 299 (Btree.count t);
+  Btree.check_invariants t;
+  Alcotest.(check (list int)) "gone" []
+    (List.map Int64.to_int (Btree.lookup t 150L))
+
+let test_remove_duplicate_across_leaves placement () =
+  let t, _ = mk_tree placement in
+  for i = 0 to 99 do
+    Btree.insert t 7L (Int64.of_int i)
+  done;
+  (* remove a payload that lives deep in the duplicate run *)
+  Alcotest.(check bool) "found far dup" true (Btree.remove t 7L 93L);
+  Alcotest.(check int) "one fewer" 99 (List.length (Btree.lookup t 7L))
+
+let test_descending_and_ascending placement () =
+  let t, _ = mk_tree placement in
+  for i = 999 downto 500 do
+    Btree.insert t (Int64.of_int i) 0L
+  done;
+  for i = 0 to 499 do
+    Btree.insert t (Int64.of_int i) 0L
+  done;
+  Btree.check_invariants t;
+  let keys = ref [] in
+  Btree.iter_all t (fun k _ -> keys := k :: !keys);
+  Alcotest.(check int) "all there" 1000 (List.length !keys);
+  let sorted = List.rev !keys in
+  Alcotest.(check bool) "in order" true
+    (List.for_all2 (fun a b -> Int64.to_int a = b) sorted (List.init 1000 Fun.id))
+
+let test_model_qcheck placement =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "btree matches multiset model (%s)"
+             (Fmt.to_to_string NS.pp_placement placement))
+    ~count:30
+    QCheck.(list_of_size Gen.(1 -- 300) (pair (int_range 0 50) (int_range 0 3)))
+    (fun ops ->
+      let t, _ = mk_tree placement in
+      let model = Hashtbl.create 32 in
+      List.iter
+        (fun (k, op) ->
+          let key = Int64.of_int k in
+          if op = 0 then begin
+            (* remove one occurrence if present *)
+            match Hashtbl.find_opt model k with
+            | Some (v :: rest) ->
+                if not (Btree.remove t key (Int64.of_int v)) then
+                  failwith "remove missed";
+                Hashtbl.replace model k rest
+            | _ ->
+                if Btree.remove t key 424242L then failwith "phantom remove"
+          end
+          else begin
+            let v = Hashtbl.hash (k, op, Hashtbl.length model) land 0xFFFF in
+            Btree.insert t key (Int64.of_int v);
+            let cur = Option.value ~default:[] (Hashtbl.find_opt model k) in
+            Hashtbl.replace model k (v :: cur)
+          end)
+        ops;
+      Btree.check_invariants t;
+      Hashtbl.fold
+        (fun k vs ok ->
+          ok
+          && List.sort compare (List.map Int64.to_int (Btree.lookup t (Int64.of_int k)))
+             = List.sort compare vs)
+        model true)
+
+(* --- Recovery ------------------------------------------------------------ *)
+
+let test_hybrid_recovery () =
+  let pool = mk_pool () in
+  let store = NS.make NS.Hybrid ~pool ~media:(Pool.media pool) in
+  let t = Btree.create store in
+  for i = 0 to 4999 do
+    Btree.insert t (Int64.of_int i) (Int64.of_int (i * 2))
+  done;
+  let first_leaf = Btree.first_leaf t in
+  Pool.crash pool;
+  (* DRAM inner nodes are gone; rebuild them from the persistent leaves *)
+  let store' = NS.make NS.Hybrid ~pool ~media:(Pool.media pool) in
+  let t', nleaves = Btree.rebuild_from_leaves store' ~first_leaf in
+  Alcotest.(check bool) "many leaves" true (nleaves > 100);
+  Btree.check_invariants t';
+  Alcotest.(check int) "count recovered" 5000 (Btree.count t');
+  for i = 0 to 4999 do
+    let vs = Btree.lookup t' (Int64.of_int i) in
+    if vs <> [ Int64.of_int (i * 2) ] then
+      Alcotest.failf "lost key %d after recovery" i
+  done
+
+let test_hybrid_unflushed_insert_lost_but_consistent () =
+  let pool = mk_pool () in
+  let store = NS.make NS.Hybrid ~pool ~media:(Pool.media pool) in
+  let t = Btree.create store in
+  for i = 0 to 999 do
+    Btree.insert t (Int64.of_int i) 1L
+  done;
+  let first_leaf = Btree.first_leaf t in
+  Pool.crash ~evict_prob:0.5 pool;
+  let store' = NS.make NS.Hybrid ~pool ~media:(Pool.media pool) in
+  let t', _ = Btree.rebuild_from_leaves store' ~first_leaf in
+  (* whatever survived must still be a structurally valid tree *)
+  Btree.check_invariants t'
+
+let test_index_wrapper_and_catalog () =
+  let pool = mk_pool () in
+  let catalog = Index.Catalog.create pool ~root_slot:4 in
+  let idx = Index.create pool ~placement:NS.Hybrid ~label:3 ~key:7 in
+  Index.Catalog.add pool ~catalog (Index.descriptor idx);
+  for i = 0 to 999 do
+    Index.insert idx (Value.Int i) i
+  done;
+  Alcotest.(check (list int)) "lookup" [ 123 ] (Index.lookup idx (Value.Int 123));
+  Pool.crash pool;
+  let catalog' = Index.Catalog.attach pool ~root_slot:4 in
+  (match Index.Catalog.list pool ~catalog:catalog' with
+  | [ desc ] ->
+      let idx' = Index.open_ pool ~desc ~rebuild:(fun _ -> ()) in
+      Alcotest.(check int) "label code" 3 (Index.label_code idx');
+      Alcotest.(check int) "key code" 7 (Index.key_code idx');
+      Alcotest.(check (list int)) "lookup after recovery" [ 123 ]
+        (Index.lookup idx' (Value.Int 123));
+      Alcotest.(check int) "count after recovery" 1000 (Index.count idx')
+  | l -> Alcotest.failf "expected 1 catalog entry, got %d" (List.length l))
+
+let test_persistent_index_recovery () =
+  let pool = mk_pool () in
+  let idx = Index.create pool ~placement:NS.Persistent ~label:1 ~key:2 in
+  for i = 0 to 1999 do
+    Index.insert idx (Value.Int i) i
+  done;
+  Pool.crash pool;
+  let idx' = Index.open_ pool ~desc:(Index.descriptor idx) ~rebuild:(fun _ -> ()) in
+  Alcotest.(check int) "count" 2000 (Index.count idx');
+  Alcotest.(check (list int)) "lookup" [ 1999 ] (Index.lookup idx' (Value.Int 1999))
+
+let test_volatile_index_rebuild_callback () =
+  let pool = mk_pool () in
+  let idx = Index.create pool ~placement:NS.Volatile ~label:1 ~key:2 in
+  Index.insert idx (Value.Int 1) 10;
+  Pool.crash pool;
+  let rebuilt = ref false in
+  let idx' =
+    Index.open_ pool ~desc:(Index.descriptor idx) ~rebuild:(fun fresh ->
+        rebuilt := true;
+        Index.insert fresh (Value.Int 1) 10)
+  in
+  Alcotest.(check bool) "rebuild invoked" true !rebuilt;
+  Alcotest.(check (list int)) "content from rebuild" [ 10 ]
+    (Index.lookup idx' (Value.Int 1))
+
+(* --- Cost-model shape (pre-figure-8 sanity) ------------------------------ *)
+
+let avg_lookup_cost placement n =
+  let pool = mk_pool () in
+  let media = Pool.media pool in
+  let store = NS.make placement ~pool ~media in
+  let t = Btree.create store in
+  for i = 0 to n - 1 do
+    Btree.insert t (Int64.of_int i) (Int64.of_int i)
+  done;
+  Media.reset media;
+  for i = 0 to 999 do
+    ignore (Btree.lookup t (Int64.of_int ((i * 7919) mod n)))
+  done;
+  Media.clock media / 1000
+
+let test_lookup_cost_ordering () =
+  let n = 20_000 in
+  let dram = avg_lookup_cost NS.Volatile n in
+  let hybrid = avg_lookup_cost NS.Hybrid n in
+  let pmem = avg_lookup_cost NS.Persistent n in
+  Alcotest.(check bool)
+    (Printf.sprintf "dram %d < hybrid %d < pmem %d" dram hybrid pmem)
+    true
+    (dram < hybrid && hybrid < pmem);
+  Alcotest.(check bool)
+    (Printf.sprintf "hybrid at least 1.5x faster than pmem (%d vs %d)" hybrid pmem)
+    true
+    (pmem * 10 >= hybrid * 15)
+
+let test_float_keys_ordered () =
+  let t, _ = mk_tree NS.Volatile in
+  let floats = [ -5.5; -1.0; 0.0; 0.25; 3.5; 1e6 ] in
+  List.iteri (fun i f -> Btree.insert t (Value.index_key (Value.Float f)) (Int64.of_int i)) floats;
+  let keys = ref [] in
+  Btree.iter_all t (fun k _ -> keys := k :: !keys);
+  let got = List.rev !keys in
+  let expected = List.map (fun f -> Value.index_key (Value.Float f)) floats in
+  Alcotest.(check bool) "float order preserved" true (got = expected)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  let per_placement mk =
+    List.map (fun (name, p) -> Alcotest.test_case name `Quick (mk p)) placements
+  in
+  Alcotest.run "gindex"
+    [
+      ("insert-lookup", per_placement test_insert_lookup);
+      ("duplicates", per_placement test_duplicates);
+      ("range", per_placement test_range);
+      ("remove", per_placement test_remove);
+      ("remove-dup-across-leaves", per_placement test_remove_duplicate_across_leaves);
+      ("mixed-order", per_placement test_descending_and_ascending);
+      ( "model",
+        qsuite (List.map (fun (_, p) -> test_model_qcheck p) placements) );
+      ( "recovery",
+        [
+          Alcotest.test_case "hybrid rebuild from leaves" `Quick test_hybrid_recovery;
+          Alcotest.test_case "hybrid crash consistency" `Quick
+            test_hybrid_unflushed_insert_lost_but_consistent;
+          Alcotest.test_case "index wrapper + catalog" `Quick
+            test_index_wrapper_and_catalog;
+          Alcotest.test_case "persistent index" `Quick test_persistent_index_recovery;
+          Alcotest.test_case "volatile rebuild callback" `Quick
+            test_volatile_index_rebuild_callback;
+        ] );
+      ( "cost-model",
+        [
+          Alcotest.test_case "lookup cost ordering" `Quick test_lookup_cost_ordering;
+          Alcotest.test_case "float keys ordered" `Quick test_float_keys_ordered;
+        ] );
+    ]

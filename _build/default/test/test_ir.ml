@@ -1,0 +1,229 @@
+(* IR-level unit tests for the optimisation passes: each pass is checked
+   for its specific transformation on hand-built functions, and for
+   semantics preservation by executing before/after images. *)
+
+module Ir = Jit.Ir
+module Passes = Jit.Passes
+module Emit = Jit.Emit
+module Value = Storage.Value
+open Tutil
+
+let mk_func ?(nregs = 16) ?(nslots = 0) blocks : Ir.func =
+  {
+    Ir.blocks = Array.of_list blocks;
+    entry = 0;
+    nregs;
+    nslots;
+    loops = [];
+  }
+
+let block instrs term : Ir.block = { Ir.instrs; term }
+
+(* run a function against a real (tiny) source and collect emitted rows *)
+let exec env (f : Ir.func) =
+  with_source env (fun g ->
+      let rows = ref [] in
+      let compiled = Emit.emit f in
+      compiled.Emit.run
+        {
+          Emit.g;
+          params = [||];
+          sink = (fun r -> rows := r :: !rows);
+          chunk_lo = 0;
+          chunk_hi = -1;
+          nchunks = g.Query.Source.node_chunks ();
+        };
+      List.rev !rows)
+
+let straightline () =
+  (* r0 = 5; r1 = r0 + 7; r2 = (r1 = 12); emit r1, r2 *)
+  mk_func
+    [
+      block
+        [
+          Ir.Move (0, Ir.Imm 5);
+          Ir.Bin (Ir.Add, 1, Ir.Reg 0, Ir.Imm 7);
+          Ir.Cmp (Ir.Ceq, 2, Ir.Reg 1, Ir.Imm 12);
+          Ir.EmitRow [ (Ir.TagInt, Ir.Reg 1); (Ir.TagBool, Ir.Reg 2) ];
+        ]
+        Ir.Ret;
+    ]
+
+let test_combine_folds_constants () =
+  let env = mk_env ~n:4 ~m:2 () in
+  let f = straightline () in
+  let expected = exec env f in
+  Passes.combine f;
+  (* the adds/cmps over constants are now Moves of immediates *)
+  let folded =
+    List.for_all
+      (function Ir.Move _ | Ir.EmitRow _ -> true | _ -> false)
+      f.Ir.blocks.(0).Ir.instrs
+  in
+  Alcotest.(check bool) "all ALU folded to moves" true folded;
+  Alcotest.(check bool) "semantics preserved" true (exec env f = expected);
+  (match expected with
+  | [ [| Value.Int 12; Value.Bool true |] ] -> ()
+  | _ -> Alcotest.fail "unexpected result")
+
+let test_dce_drops_dead_pure () =
+  let env = mk_env ~n:4 ~m:2 () in
+  let f =
+    mk_func
+      [
+        block
+          [
+            Ir.Move (0, Ir.Imm 1);
+            Ir.Move (1, Ir.Imm 2) (* dead *);
+            Ir.Bin (Ir.Add, 2, Ir.Reg 1, Ir.Imm 1) (* dead *);
+            Ir.EmitRow [ (Ir.TagInt, Ir.Reg 0) ];
+          ]
+          Ir.Ret;
+      ]
+  in
+  let expected = exec env f in
+  Passes.dce f;
+  Alcotest.(check int) "two instrs left" 2 (List.length f.Ir.blocks.(0).Ir.instrs);
+  Alcotest.(check bool) "semantics" true (exec env f = expected)
+
+let test_dce_keeps_impure () =
+  let f =
+    mk_func
+      [
+        block
+          [
+            Ir.Move (0, Ir.Imm 1);
+            Ir.EmitRow [] (* impure: must stay even though it defines nothing *);
+            Ir.SetNodeProp (Ir.Imm 0, 1, Ir.TagInt, Ir.Imm 5) (* impure *);
+          ]
+          Ir.Ret;
+      ]
+  in
+  Passes.dce f;
+  Alcotest.(check int) "emits kept, dead move dropped" 2
+    (List.length f.Ir.blocks.(0).Ir.instrs)
+
+let test_simplify_threads_empty_blocks () =
+  (* entry -> empty -> empty -> target *)
+  let f =
+    mk_func
+      [
+        block [] (Ir.Br 1);
+        block [] (Ir.Br 2);
+        block [] (Ir.Br 3);
+        block [ Ir.EmitRow [ (Ir.TagInt, Ir.Imm 7) ] ] Ir.Ret;
+      ]
+  in
+  Passes.simplify_cfg f;
+  Alcotest.(check int) "collapsed to one block" 1 (Array.length f.Ir.blocks);
+  let env = mk_env ~n:4 ~m:2 () in
+  Alcotest.(check bool) "still emits" true
+    (exec env f = [ [| Value.Int 7 |] ])
+
+let test_simplify_drops_unreachable () =
+  let f =
+    mk_func
+      [
+        block [] (Ir.CondBr (Ir.Imm 1, 1, 2));
+        block [ Ir.EmitRow [ (Ir.TagInt, Ir.Imm 1) ] ] Ir.Ret;
+        block [ Ir.EmitRow [ (Ir.TagInt, Ir.Imm 2) ] ] Ir.Ret;
+      ]
+  in
+  (* fold the constant branch first, then drop the dead arm *)
+  Passes.combine f;
+  Passes.simplify_cfg f;
+  Alcotest.(check int) "dead arm removed" 1 (Array.length f.Ir.blocks);
+  let env = mk_env ~n:4 ~m:2 () in
+  Alcotest.(check bool) "took the true arm" true
+    (exec env f = [ [| Value.Int 1 |] ])
+
+let test_mem2reg_roundtrip () =
+  (* slot-based counting loop: slot0 = 0; while slot0 < 3 emit; slot0++ *)
+  let f =
+    mk_func ~nregs:8 ~nslots:1
+      [
+        block [ Ir.Store (0, Ir.Imm 0) ] (Ir.Br 1);
+        block
+          [ Ir.Load (0, 0); Ir.Cmp (Ir.Clt, 1, Ir.Reg 0, Ir.Imm 3) ]
+          (Ir.CondBr (Ir.Reg 1, 2, 3));
+        block
+          [
+            Ir.Load (2, 0);
+            Ir.EmitRow [ (Ir.TagInt, Ir.Reg 2) ];
+            Ir.Bin (Ir.Add, 3, Ir.Reg 2, Ir.Imm 1);
+            Ir.Store (0, Ir.Reg 3);
+          ]
+          (Ir.Br 1);
+        block [] Ir.Ret;
+      ]
+  in
+  let env = mk_env ~n:4 ~m:2 () in
+  let expected = exec env f in
+  Alcotest.(check int) "loop emitted 3 rows" 3 (List.length expected);
+  Passes.mem2reg f;
+  Alcotest.(check int) "no slots left" 0 f.Ir.nslots;
+  Array.iter
+    (fun b ->
+      List.iter
+        (function
+          | Ir.Load _ | Ir.Store _ -> Alcotest.fail "load/store survived"
+          | _ -> ())
+        b.Ir.instrs)
+    f.Ir.blocks;
+  Alcotest.(check bool) "semantics across promotion" true (exec env f = expected);
+  (* and the rest of the cascade keeps it working *)
+  Passes.combine f;
+  Passes.dce f;
+  Passes.simplify_cfg f;
+  Alcotest.(check bool) "semantics after full cascade" true (exec env f = expected)
+
+let test_null_semantics_in_emitted_code () =
+  (* null comparisons are falsy in branches, Not(null) is true *)
+  let f =
+    mk_func
+      [
+        block
+          [ Ir.Move (0, Ir.Imm Ir.null_v); Ir.Not (1, Ir.Reg 0) ]
+          (Ir.CondBr (Ir.Reg 0, 1, 2));
+        block [ Ir.EmitRow [ (Ir.TagInt, Ir.Imm 111) ] ] Ir.Ret;
+        block [ Ir.EmitRow [ (Ir.TagBool, Ir.Reg 1) ] ] Ir.Ret;
+      ]
+  in
+  let env = mk_env ~n:4 ~m:2 () in
+  Alcotest.(check bool) "null branch is false; not(null) = true" true
+    (exec env f = [ [| Value.Bool true |] ])
+
+let test_null_payload_boxes_to_null () =
+  let f =
+    mk_func
+      [
+        block
+          [ Ir.EmitRow [ (Ir.TagInt, Ir.Imm Ir.null_v); (Ir.TagStr, Ir.Imm 3) ] ]
+          Ir.Ret;
+      ]
+  in
+  let env = mk_env ~n:4 ~m:2 () in
+  Alcotest.(check bool) "null sentinel becomes Value.Null" true
+    (exec env f = [ [| Value.Null; Value.Str 3 |] ])
+
+let () =
+  Alcotest.run "ir"
+    [
+      ( "passes",
+        [
+          Alcotest.test_case "combine folds constants" `Quick
+            test_combine_folds_constants;
+          Alcotest.test_case "dce drops dead pure" `Quick test_dce_drops_dead_pure;
+          Alcotest.test_case "dce keeps impure" `Quick test_dce_keeps_impure;
+          Alcotest.test_case "simplify threads empty blocks" `Quick
+            test_simplify_threads_empty_blocks;
+          Alcotest.test_case "simplify drops unreachable" `Quick
+            test_simplify_drops_unreachable;
+          Alcotest.test_case "mem2reg roundtrip" `Quick test_mem2reg_roundtrip;
+        ] );
+      ( "emit",
+        [
+          Alcotest.test_case "null semantics" `Quick test_null_semantics_in_emitted_code;
+          Alcotest.test_case "null payload boxing" `Quick test_null_payload_boxes_to_null;
+        ] );
+    ]

@@ -1,0 +1,676 @@
+(* Tests for the JIT compiler: codegen correctness (JIT == interpreter on
+   every supported plan shape), pass-by-pass semantic preservation, the
+   persistent code cache, and adaptive execution. *)
+
+module Value = Storage.Value
+module A = Query.Algebra
+module E = Query.Expr
+module I = Query.Interp
+module Mvto = Mvcc.Mvto
+module Engine = Jit.Engine
+module Codegen = Jit.Codegen
+module Passes = Jit.Passes
+module Emit = Jit.Emit
+module Ir = Jit.Ir
+open Tutil
+
+let no_params : Value.t array = [||]
+
+(* run one plan through interp and jit (at a given level), compare rows *)
+let compare_modes ?(params = no_params) ?level env plan msg =
+  let config =
+    match level with
+    | None -> { Engine.default_config with prop_tag = prop_tag env }
+    | Some l ->
+        { Engine.default_config with opt_level = l; prop_tag = prop_tag env }
+  in
+  with_source env (fun g ->
+      let expected, _ = Engine.run ~mode:Engine.Interp g ~params plan in
+      let actual, report = Engine.run ~config ~mode:Engine.Jit g ~params plan in
+      Alcotest.(check bool) (msg ^ ": did not fall back") false
+        report.Engine.fell_back;
+      check_same_rows msg expected actual)
+
+let plans env =
+  [
+    ("scan", A.NodeScan { label = Some env.person });
+    ("scan-all", A.NodeScan { label = None });
+    ( "filter-const",
+      A.Filter
+        {
+          pred =
+            E.Cmp
+              ( E.Eq,
+                E.Prop { col = 0; kind = E.KNode; key = env.k_id },
+                E.Const (Value.Int 1005) );
+          child = A.NodeScan { label = Some env.person };
+        } );
+    ( "filter-range",
+      A.Filter
+        {
+          pred =
+            E.And
+              ( E.Cmp
+                  ( E.Ge,
+                    E.Prop { col = 0; kind = E.KNode; key = env.k_age },
+                    E.Const (Value.Int 30) ),
+                E.Cmp
+                  ( E.Lt,
+                    E.Prop { col = 0; kind = E.KNode; key = env.k_age },
+                    E.Const (Value.Int 50) ) );
+          child = A.NodeScan { label = Some env.person };
+        } );
+    ( "expand",
+      A.Expand
+        {
+          col = 0;
+          dir = A.Out;
+          label = Some env.knows;
+          child = A.NodeScan { label = Some env.person };
+        } );
+    ( "expand-endpoint-project",
+      A.Project
+        {
+          exprs =
+            [
+              E.Prop { col = 0; kind = E.KNode; key = env.k_id };
+              E.Prop { col = 2; kind = E.KNode; key = env.k_id };
+            ];
+          child =
+            A.EndPoint
+              {
+                col = 1;
+                which = `Dst;
+                child =
+                  A.Expand
+                    {
+                      col = 0;
+                      dir = A.Out;
+                      label = Some env.knows;
+                      child = A.NodeScan { label = Some env.person };
+                    };
+              };
+        } );
+    ( "expand-in",
+      A.Expand
+        {
+          col = 0;
+          dir = A.In;
+          label = Some env.likes;
+          child = A.NodeScan { label = Some env.post };
+        } );
+    ( "two-hop",
+      A.Expand
+        {
+          col = 2;
+          dir = A.Out;
+          label = Some env.knows;
+          child =
+            A.EndPoint
+              {
+                col = 1;
+                which = `Dst;
+                child =
+                  A.Expand
+                    {
+                      col = 0;
+                      dir = A.Out;
+                      label = Some env.knows;
+                      child = A.NodeScan { label = Some env.person };
+                    };
+              };
+        } );
+    ( "walk-to-root",
+      A.WalkToRoot
+        {
+          col = 0;
+          rel_label = env.reply_of;
+          child = A.NodeScan { label = Some env.post };
+        } );
+    ( "null-prop-filter",
+      A.Filter
+        {
+          (* posts have no age: Null comparisons must filter out *)
+          pred =
+            E.Cmp
+              ( E.Ge,
+                E.Prop { col = 0; kind = E.KNode; key = env.k_age },
+                E.Const (Value.Int 0) );
+          child = A.NodeScan { label = None };
+        } );
+    ( "arith-project",
+      A.Project
+        {
+          exprs =
+            [
+              E.Add
+                ( E.Prop { col = 0; kind = E.KNode; key = env.k_age },
+                  E.Const (Value.Int 100) );
+              E.Sub (E.Const (Value.Int 0), E.Col 0);
+            ];
+          child = A.NodeScan { label = Some env.person };
+        } );
+  ]
+
+let test_jit_matches_interp () =
+  let env = mk_env () in
+  List.iter (fun (name, plan) -> compare_modes env plan name) (plans env)
+
+let test_jit_matches_interp_o0 () =
+  let env = mk_env () in
+  List.iter
+    (fun (name, plan) -> compare_modes ~level:Passes.O0 env plan (name ^ "@O0"))
+    (plans env)
+
+let test_jit_matches_interp_o1 () =
+  let env = mk_env () in
+  List.iter
+    (fun (name, plan) -> compare_modes ~level:Passes.O1 env plan (name ^ "@O1"))
+    (plans env)
+
+let test_jit_with_params () =
+  let env = mk_env () in
+  let plan =
+    A.EndPoint
+      {
+        col = 1;
+        which = `Dst;
+        child =
+          A.Expand
+            {
+              col = 0;
+              dir = A.Out;
+              label = Some env.knows;
+              child = A.NodeById { id = E.Param 0 };
+            };
+      }
+  in
+  compare_modes ~params:[| Value.Int env.persons.(4) |] env plan "param node-by-id"
+
+let test_jit_breaker_suffix () =
+  let env = mk_env () in
+  (* Sort/Limit run in the AOT suffix; the pipeline below is compiled *)
+  let plan =
+    A.Limit
+      {
+        n = 3;
+        child =
+          A.Sort
+            {
+              keys = [ (E.Col 0, `Asc) ];
+              child =
+                A.Project
+                  {
+                    exprs = [ E.Prop { col = 0; kind = E.KNode; key = env.k_id } ];
+                    child = A.NodeScan { label = Some env.person };
+                  };
+            };
+      }
+  in
+  with_source env (fun g ->
+      let expected, _ = Engine.run ~mode:Engine.Interp g ~params:no_params plan in
+      let actual, report = Engine.run ~mode:Engine.Jit g ~params:no_params plan in
+      Alcotest.(check bool) "no fallback" false report.Engine.fell_back;
+      Alcotest.(check bool) "ordered equality" true (expected = actual))
+
+let test_jit_count () =
+  let env = mk_env () in
+  let plan =
+    A.CountAgg
+      {
+        child =
+          A.Expand
+            {
+              col = 0;
+              dir = A.Out;
+              label = Some env.knows;
+              child = A.NodeScan { label = Some env.person };
+            };
+      }
+  in
+  compare_modes env plan "count of expand"
+
+let test_jit_index_scan () =
+  let env = mk_env () in
+  let pool_ = Storage.Graph_store.pool (Mvto.store env.mgr) in
+  let idx =
+    Gindex.Index.create pool_ ~placement:Gindex.Node_store.Hybrid
+      ~label:env.person ~key:env.k_id
+  in
+  Array.iteri (fun i id -> Gindex.Index.insert idx (Value.Int (1000 + i)) id) env.persons;
+  let indexes ~label ~key =
+    if label = env.person && key = env.k_id then Some idx else None
+  in
+  let plan =
+    A.EndPoint
+      {
+        col = 1;
+        which = `Dst;
+        child =
+          A.Expand
+            {
+              col = 0;
+              dir = A.Out;
+              label = Some env.knows;
+              child =
+                A.IndexScan { label = env.person; key = env.k_id; value = E.Param 0 };
+            };
+      }
+  in
+  with_source_idx env ~indexes (fun g ->
+      let params = [| Value.Int 1010 |] in
+      let expected, _ = Engine.run ~mode:Engine.Interp g ~params plan in
+      let actual, report = Engine.run ~mode:Engine.Jit g ~params plan in
+      Alcotest.(check bool) "no fallback" false report.Engine.fell_back;
+      check_same_rows "index scan jit" expected actual)
+
+let test_jit_update_plan () =
+  let env = mk_env () in
+  (* run the update through the JIT inside a transaction, then verify *)
+  Mvto.with_txn env.mgr (fun txn ->
+      let g = Query.Source.of_mvcc env.mgr txn in
+      let plan =
+        A.CreateNode
+          {
+            label = env.person;
+            props = [ (env.k_id, E.Const (Value.Int 31337)) ];
+            child = A.Unit;
+          }
+      in
+      let rows, report = Engine.run ~mode:Engine.Jit g ~params:no_params plan in
+      Alcotest.(check bool) "no fallback" false report.Engine.fell_back;
+      Alcotest.(check int) "one row" 1 (List.length rows));
+  with_source env (fun g ->
+      let check_plan =
+        A.Filter
+          {
+            pred =
+              E.Cmp
+                ( E.Eq,
+                  E.Prop { col = 0; kind = E.KNode; key = env.k_id },
+                  E.Const (Value.Int 31337) );
+            child = A.NodeScan { label = Some env.person };
+          }
+      in
+      Alcotest.(check int) "created via jit" 1
+        (List.length (I.run g ~params:no_params check_plan)))
+
+let test_jit_parallel_matches () =
+  let env = mk_env ~n:150 () in
+  let pool = Exec.Task_pool.create ~media:env.media ~nworkers:4 () in
+  let plan =
+    A.Expand
+      {
+        col = 0;
+        dir = A.Out;
+        label = Some env.knows;
+        child = A.NodeScan { label = Some env.person };
+      }
+  in
+  with_source env (fun g ->
+      let expected, _ = Engine.run ~mode:Engine.Interp g ~params:no_params plan in
+      let actual, _ = Engine.run ~pool ~mode:Engine.Jit g ~params:no_params plan in
+      check_same_rows "parallel jit" expected actual);
+  Exec.Task_pool.shutdown pool
+
+let test_adaptive_matches () =
+  let env = mk_env ~n:150 () in
+  let pool = Exec.Task_pool.create ~media:env.media ~nworkers:4 () in
+  let plan =
+    A.Filter
+      {
+        pred =
+          E.Cmp
+            ( E.Gt,
+              E.Prop { col = 0; kind = E.KNode; key = env.k_age },
+              E.Const (Value.Int 25) );
+        child = A.NodeScan { label = Some env.person };
+      }
+  in
+  with_source env (fun g ->
+      let expected, _ = Engine.run ~mode:Engine.Interp g ~params:no_params plan in
+      let actual, report =
+        Engine.run ~pool ~mode:Engine.Adaptive g ~params:no_params plan
+      in
+      check_same_rows "adaptive rows" expected actual;
+      Alcotest.(check int) "all morsels accounted" (g.Query.Source.node_chunks ())
+        (report.Engine.morsels_interp + report.Engine.morsels_jit));
+  Exec.Task_pool.shutdown pool
+
+let test_adaptive_eventually_switches () =
+  (* with a zero-latency backend and wall-emulated PMem latency, the tail
+     of a long scan must run compiled; the graph is bulk-loaded through
+     the raw store to keep it out of a single giant transaction *)
+  let module G = Storage.Graph_store in
+  let media = Pmem.Media.create () in
+  let pool = Pmem.Pool.create ~kind:`Pmem ~media ~id:1 ~size:(1 lsl 26) () in
+  let g = G.format ~chunk_capacity:8 pool in
+  let label = G.code g "Person" in
+  for _ = 1 to 20_000 do
+    ignore (G.insert_node g { (Storage.Layout.empty_node ()) with label })
+  done;
+  let mgr = Mvcc.Mvto.create g in
+  let config =
+    { Engine.default_config with backend_latency_ns = 0; backend_latency_per_op_ns = 0 }
+  in
+  Pmem.Media.set_spin media true;
+  Fun.protect ~finally:(fun () -> Pmem.Media.set_spin media false)
+  @@ fun () ->
+  let plan = A.NodeScan { label = Some label } in
+  Mvcc.Mvto.with_txn mgr (fun txn ->
+      let src = Query.Source.of_mvcc mgr txn in
+      let _, report =
+        Engine.run ~config ~mode:Engine.Adaptive src ~params:no_params plan
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "some jit morsels (interp=%d jit=%d)"
+           report.Engine.morsels_interp report.Engine.morsels_jit)
+        true
+        (report.Engine.morsels_jit > 0))
+
+let test_unsupported_falls_back () =
+  let env = mk_env () in
+  let plan = A.RelScan { label = Some env.knows } in
+  with_source env (fun g ->
+      let expected, _ = Engine.run ~mode:Engine.Interp g ~params:no_params plan in
+      let actual, report = Engine.run ~mode:Engine.Jit g ~params:no_params plan in
+      Alcotest.(check bool) "fell back" true report.Engine.fell_back;
+      check_same_rows "fallback rows" expected actual)
+
+(* --- passes ------------------------------------------------------------------ *)
+
+let codegen_plan env plan =
+  ignore env;
+  Codegen.codegen plan
+
+let test_passes_reduce_instrs () =
+  let env = mk_env () in
+  let plan =
+    A.Filter
+      {
+        pred =
+          E.Cmp
+            ( E.Gt,
+              E.Prop { col = 0; kind = E.KNode; key = env.k_age },
+              E.Add (E.Const (Value.Int 20), E.Const (Value.Int 10)) );
+        child = A.NodeScan { label = Some env.person };
+      }
+  in
+  let raw = codegen_plan env plan in
+  let raw_count = Ir.instr_count raw in
+  let opt = Passes.optimize ~level:Passes.O1 (codegen_plan env plan) in
+  let opt_count = Ir.instr_count opt in
+  Alcotest.(check bool)
+    (Printf.sprintf "O1 shrinks IR (%d -> %d)" raw_count opt_count)
+    true (opt_count < raw_count);
+  (* no Load/Store survives mem2reg *)
+  Array.iter
+    (fun b ->
+      List.iter
+        (function
+          | Ir.Load _ | Ir.Store _ -> Alcotest.fail "stack slot survived mem2reg"
+          | _ -> ())
+        b.Ir.instrs)
+    opt.Ir.blocks
+
+let test_unroll_duplicates_loops () =
+  let env = mk_env () in
+  let plan = A.NodeScan { label = Some env.person } in
+  let raw = codegen_plan env plan in
+  let nblocks_before = Array.length raw.Ir.blocks in
+  Passes.unroll raw;
+  Alcotest.(check bool) "unroll adds blocks" true
+    (Array.length raw.Ir.blocks > nblocks_before)
+
+let test_constant_fold_condbr () =
+  let env = mk_env () in
+  (* a tautological filter folds to an unconditional branch *)
+  let plan =
+    A.Filter
+      {
+        pred = E.Cmp (E.Eq, E.Const (Value.Int 1), E.Const (Value.Int 1));
+        child = A.NodeScan { label = Some env.person };
+      }
+  in
+  let f = Passes.optimize ~level:Passes.O3 (codegen_plan env plan) in
+  let has_cond_on_const =
+    Array.exists
+      (fun b -> match b.Ir.term with Ir.CondBr (Ir.Imm _, _, _) -> true | _ -> false)
+      f.Ir.blocks
+  in
+  Alcotest.(check bool) "no condbr on constants" false has_cond_on_const;
+  (* and it still runs correctly *)
+  compare_modes ~level:Passes.O3 env plan "tautology"
+
+let test_dce_keeps_semantics () =
+  let env = mk_env () in
+  (* project only one of two computed values: the other is dead *)
+  let plan =
+    A.Project
+      {
+        exprs = [ E.Prop { col = 0; kind = E.KNode; key = env.k_id } ];
+        child = A.NodeScan { label = Some env.person };
+      }
+  in
+  compare_modes ~level:Passes.O3 env plan "dce project"
+
+let test_ir_serialization_roundtrip () =
+  let env = mk_env () in
+  let plan =
+    A.Expand
+      {
+        col = 0;
+        dir = A.Out;
+        label = Some env.knows;
+        child = A.NodeScan { label = Some env.person };
+      }
+  in
+  let f = Passes.optimize (codegen_plan env plan) in
+  let f' = Ir.of_string (Ir.to_string f) in
+  Alcotest.(check int) "same blocks" (Array.length f.Ir.blocks)
+    (Array.length f'.Ir.blocks);
+  Alcotest.(check int) "same instr count" (Ir.instr_count f) (Ir.instr_count f');
+  (* re-emitted code runs and matches *)
+  with_source env (fun g ->
+      let expected, _ = Engine.run ~mode:Engine.Interp g ~params:no_params plan in
+      let compiled = Emit.emit f' in
+      let acc = ref [] in
+      compiled.Emit.run
+        {
+          Emit.g;
+          params = no_params;
+          sink = (fun row -> acc := row :: !acc);
+          chunk_lo = 0;
+          chunk_hi = -1;
+          nchunks = g.Query.Source.node_chunks ();
+        };
+      check_same_rows "reloaded ir" expected !acc)
+
+(* --- persistent cache ----------------------------------------------------------- *)
+
+let test_cache_roundtrip () =
+  let env = mk_env () in
+  let pool_ = Storage.Graph_store.pool (Mvto.store env.mgr) in
+  let cache = Jit.Cache.create pool_ ~root_slot:5 () in
+  let plan = A.NodeScan { label = Some env.person } in
+  with_source env (fun g ->
+      let _, r1 = Engine.run ~cache ~mode:Engine.Jit g ~params:no_params plan in
+      Alcotest.(check bool) "first run misses" false r1.Engine.cache_hit;
+      let rows2, r2 = Engine.run ~cache ~mode:Engine.Jit g ~params:no_params plan in
+      Alcotest.(check bool) "second run hits" true r2.Engine.cache_hit;
+      Alcotest.(check int) "rows" (Array.length env.persons) (List.length rows2);
+      Alcotest.(check bool) "hit is cheaper (modeled)" true
+        (r2.Engine.compile_modeled_ns < r1.Engine.compile_modeled_ns))
+
+let test_cache_survives_crash () =
+  let env = mk_env () in
+  let pool_ = Storage.Graph_store.pool (Mvto.store env.mgr) in
+  let cache = Jit.Cache.create pool_ ~root_slot:5 () in
+  let plan = A.NodeScan { label = Some env.person } in
+  with_source env (fun g ->
+      ignore (Engine.run ~cache ~mode:Engine.Jit g ~params:no_params plan));
+  Pmem.Pool.crash pool_;
+  (* note: the graph itself is durable too, but here we only exercise the
+     cache: reattach and expect a hit *)
+  match Jit.Cache.attach pool_ ~root_slot:5 with
+  | None -> Alcotest.fail "cache lost"
+  | Some cache' ->
+      let g' = Storage.Graph_store.open_ pool_ in
+      let mgr' = Mvto.recover g' in
+      Mvto.with_txn mgr' (fun txn ->
+          let g = Query.Source.of_mvcc mgr' txn in
+          let rows, report =
+            Engine.run ~cache:cache' ~mode:Engine.Jit g ~params:no_params plan
+          in
+          Alcotest.(check bool) "hit after restart" true report.Engine.cache_hit;
+          Alcotest.(check int) "rows after restart" (Array.length env.persons)
+            (List.length rows))
+
+let test_cache_store_find_basic () =
+  let media = Pmem.Media.create () in
+  let pool_ = Pmem.Pool.create ~media ~id:9 ~size:(1 lsl 22) () in
+  Pmem.Alloc.format pool_;
+  let c = Jit.Cache.create pool_ ~root_slot:0 () in
+  Alcotest.(check (option string)) "miss" None (Jit.Cache.find c "nope");
+  Jit.Cache.store c "q1" "blob-one";
+  Jit.Cache.store c "q2" "blob-two";
+  Alcotest.(check (option string)) "hit 1" (Some "blob-one") (Jit.Cache.find c "q1");
+  Alcotest.(check (option string)) "hit 2" (Some "blob-two") (Jit.Cache.find c "q2");
+  Jit.Cache.store c "q1" "blob-one-v2";
+  Alcotest.(check (option string)) "replace" (Some "blob-one-v2") (Jit.Cache.find c "q1");
+  Alcotest.(check int) "count" 2 (Jit.Cache.count c)
+
+(* --- random-plan equivalence property --------------------------------------
+
+   Generate random pipelined plans over the shared test graph and check
+   that the compiled code agrees with the interpreter at every
+   optimisation level.  This is the JIT's strongest correctness net: any
+   codegen, pass or emission bug shows up as a row mismatch. *)
+
+let plan_gen env : A.plan QCheck.Gen.t =
+  let open QCheck.Gen in
+  let leaf =
+    oneofl
+      [
+        A.NodeScan { label = Some env.person };
+        A.NodeScan { label = Some env.post };
+        A.NodeScan { label = None };
+      ]
+  in
+  (* track the kind of the last slot so generated ops stay well-typed *)
+  let prop_keys = [ env.k_id; env.k_age; env.k_name ] in
+  let rec grow depth (plan, width, last_kind) =
+    if depth <= 0 then return plan
+    else
+      let filters =
+        [
+          (fun key c ->
+            A.Filter
+              {
+                pred =
+                  E.Cmp
+                    ( E.Gt,
+                      E.Prop { col = width - 1; kind = last_kind; key },
+                      E.Const (Value.Int c) );
+                child = plan;
+              });
+        ]
+      in
+      let choices =
+        (* filter on a property of the last slot *)
+        (if last_kind = E.KNode then
+           [
+             ( 3,
+               oneofl prop_keys >>= fun key ->
+               int_range 0 2000 >>= fun c ->
+               grow (depth - 1)
+                 ((List.hd filters) key c, width, last_kind) );
+             (* expand out/in *)
+             ( 3,
+               oneofl [ (A.Out, env.knows); (A.Out, env.likes); (A.In, env.knows) ]
+               >>= fun (dir, label) ->
+               grow (depth - 1)
+                 ( A.Expand { col = width - 1; dir; label = Some label; child = plan },
+                   width + 1,
+                   E.KRel ) );
+           ]
+         else
+           [
+             (* endpoint back to a node *)
+             ( 4,
+               oneofl [ `Src; `Dst ] >>= fun which ->
+               grow (depth - 1)
+                 ( A.EndPoint { col = width - 1; which; child = plan },
+                   width + 1,
+                   E.KNode ) );
+           ])
+        @ [
+            (* stop growing *)
+            (1, return plan);
+          ]
+      in
+      frequency choices
+  in
+  int_range 1 4 >>= fun depth ->
+  leaf >>= fun l -> grow depth (l, 1, E.KNode)
+
+let test_random_plan_equivalence =
+  let env = mk_env ~n:60 ~m:20 () in
+  QCheck.Test.make ~name:"random plans: jit == interp at O0/O1/O3" ~count:60
+    (QCheck.make ~print:A.fingerprint (plan_gen env))
+    (fun plan ->
+      with_source env (fun g ->
+          let expected, _ = Engine.run ~mode:Engine.Interp g ~params:no_params plan in
+          List.for_all
+            (fun level ->
+              let config =
+                { Engine.default_config with opt_level = level; prop_tag = prop_tag env }
+              in
+              let actual, report =
+                Engine.run ~config ~mode:Engine.Jit g ~params:no_params plan
+              in
+              (not report.Engine.fell_back)
+              && norm expected = norm actual)
+            [ Passes.O0; Passes.O1; Passes.O3 ]))
+
+let () =
+  Alcotest.run "jit"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "jit == interp (O3)" `Quick test_jit_matches_interp;
+          Alcotest.test_case "jit == interp (O0)" `Quick test_jit_matches_interp_o0;
+          Alcotest.test_case "jit == interp (O1)" `Quick test_jit_matches_interp_o1;
+          Alcotest.test_case "with params" `Quick test_jit_with_params;
+          Alcotest.test_case "breaker suffix" `Quick test_jit_breaker_suffix;
+          Alcotest.test_case "count" `Quick test_jit_count;
+          Alcotest.test_case "index scan" `Quick test_jit_index_scan;
+          Alcotest.test_case "update plan" `Quick test_jit_update_plan;
+          Alcotest.test_case "parallel" `Slow test_jit_parallel_matches;
+          Alcotest.test_case "unsupported falls back" `Quick
+            test_unsupported_falls_back;
+        ] );
+      ( "adaptive",
+        [
+          Alcotest.test_case "matches interp" `Slow test_adaptive_matches;
+          Alcotest.test_case "eventually switches" `Slow
+            test_adaptive_eventually_switches;
+        ] );
+      ( "passes",
+        [
+          Alcotest.test_case "reduce instrs + mem2reg" `Quick test_passes_reduce_instrs;
+          Alcotest.test_case "unroll duplicates loops" `Quick
+            test_unroll_duplicates_loops;
+          Alcotest.test_case "constant fold condbr" `Quick test_constant_fold_condbr;
+          Alcotest.test_case "dce keeps semantics" `Quick test_dce_keeps_semantics;
+          Alcotest.test_case "ir serialization" `Quick test_ir_serialization_roundtrip;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "store/find" `Quick test_cache_store_find_basic;
+          Alcotest.test_case "engine roundtrip" `Quick test_cache_roundtrip;
+          Alcotest.test_case "survives crash" `Quick test_cache_survives_crash;
+        ] );
+      ( "property",
+        [ QCheck_alcotest.to_alcotest ~long:false test_random_plan_equivalence ] );
+    ]

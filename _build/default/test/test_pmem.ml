@@ -1,0 +1,363 @@
+(* Tests for the persistent-memory substrate: pool semantics (working vs
+   durable image, flush granularity, crash injection), allocator, undo-log
+   transactions and persistent pointers. *)
+
+module Media = Pmem.Media
+module Pool = Pmem.Pool
+module Alloc = Pmem.Alloc
+module Pptr = Pmem.Pptr
+module Pmdk_tx = Pmem.Pmdk_tx
+
+let mk_pool ?(kind = `Pmem) ?(size = 1 lsl 21) () =
+  let media = Media.create () in
+  Pool.create ~kind ~media ~id:1 ~size ()
+
+let mk_formatted ?kind ?size () =
+  let p = mk_pool ?kind ?size () in
+  Alloc.format p;
+  p
+
+(* --- Pool ------------------------------------------------------------- *)
+
+let test_rw_roundtrip () =
+  let p = mk_pool () in
+  Pool.write_i64 p 128 0x1122334455667788L;
+  Alcotest.(check int64) "i64" 0x1122334455667788L (Pool.read_i64 p 128);
+  Pool.write_u32 p 200 0xDEADBEEF;
+  Alcotest.(check int) "u32" 0xDEADBEEF (Pool.read_u32 p 200);
+  Pool.write_u8 p 300 255;
+  Alcotest.(check int) "u8" 255 (Pool.read_u8 p 300);
+  Pool.write_string p 400 "hello pmem";
+  Alcotest.(check string) "str" "hello pmem" (Pool.read_string p 400 10)
+
+let test_unflushed_lost_on_crash () =
+  let p = mk_pool () in
+  Pool.write_i64 p 0 42L;
+  Pool.persist p ~off:0 ~len:8;
+  Pool.write_i64 p 64 99L;
+  (* not flushed *)
+  Pool.crash p;
+  Alcotest.(check int64) "flushed survives" 42L (Pool.read_i64 p 0);
+  Alcotest.(check int64) "unflushed lost" 0L (Pool.read_i64 p 64)
+
+let test_flush_is_line_granular () =
+  let p = mk_pool () in
+  (* two stores on the same line; flushing one offset persists the line *)
+  Pool.write_i64 p 512 1L;
+  Pool.write_i64 p 520 2L;
+  Pool.clwb p 516;
+  Pool.sfence p;
+  Pool.crash p;
+  Alcotest.(check int64) "first" 1L (Pool.read_i64 p 512);
+  Alcotest.(check int64) "second" 2L (Pool.read_i64 p 520)
+
+let test_atomic_write_alignment () =
+  let p = mk_pool () in
+  Alcotest.check_raises "unaligned rejected"
+    (Invalid_argument "Pool.atomic_write_i64: unaligned") (fun () ->
+      Pool.atomic_write_i64 p 12 1L)
+
+let test_dirty_count_and_crash_reset () =
+  let p = mk_pool () in
+  Alcotest.(check int) "clean" 0 (Pool.dirty_line_count p);
+  Pool.write_i64 p 0 1L;
+  Pool.write_i64 p 4096 1L;
+  Alcotest.(check int) "two dirty" 2 (Pool.dirty_line_count p);
+  Pool.crash p;
+  Alcotest.(check int) "clean after crash" 0 (Pool.dirty_line_count p)
+
+let test_out_of_bounds () =
+  let p = mk_pool ~size:4096 () in
+  (match Pool.read_i64 p 4095 with
+  | _ -> Alcotest.fail "expected Out_of_bounds"
+  | exception Pool.Out_of_bounds _ -> ());
+  match Pool.write_i64 p (-8) 0L with
+  | () -> Alcotest.fail "expected Out_of_bounds"
+  | exception Pool.Out_of_bounds _ -> ()
+
+let test_dram_pool_flush_free () =
+  let media = Media.create () in
+  let p = Pool.create ~kind:`Dram ~media ~id:7 ~size:4096 () in
+  Pool.write_i64 p 0 5L;
+  Pool.persist p ~off:0 ~len:8;
+  let s = Media.stats media in
+  Alcotest.(check int) "no flushes on dram" 0 s.Media.flushes;
+  Alcotest.(check int) "no fences on dram" 0 s.Media.fences
+
+let test_media_charges () =
+  let media = Media.create () in
+  let p = Pool.create ~kind:`Pmem ~media ~id:2 ~size:4096 () in
+  let c0 = Media.clock media in
+  Pool.write_i64 p 0 1L;
+  Pool.persist p ~off:0 ~len:8;
+  let c1 = Media.clock media in
+  Alcotest.(check bool) "cost charged" true (c1 > c0);
+  let s = Media.stats media in
+  Alcotest.(check int) "one flush" 1 s.Media.flushes;
+  Alcotest.(check int) "one fence" 1 s.Media.fences
+
+let test_sequential_cheaper_than_random () =
+  (* DG3: reading 4 KiB sequentially must be cheaper than the same lines
+     in a strided pattern *)
+  let media = Media.create () in
+  let p = Pool.create ~kind:`Pmem ~media ~id:3 ~size:(1 lsl 20) () in
+  Media.reset media;
+  for i = 0 to 63 do
+    ignore (Pool.read_i64 p (i * 64))
+  done;
+  let seq = Media.clock media in
+  Media.reset media;
+  for i = 0 to 63 do
+    ignore (Pool.read_i64 p (((i * 37) mod 64) * 8192))
+  done;
+  let random = Media.clock media in
+  Alcotest.(check bool)
+    (Printf.sprintf "seq %d < random %d" seq random)
+    true (seq < random)
+
+(* --- Allocator --------------------------------------------------------- *)
+
+let test_alloc_basic () =
+  let p = mk_formatted () in
+  let a = Alloc.alloc p 100 in
+  let b = Alloc.alloc p 100 in
+  Alcotest.(check bool) "distinct" true (a <> b);
+  Alcotest.(check bool) "beyond data base" true (a >= Alloc.data_base);
+  Alcotest.(check int) "aligned" 0 (a mod 64)
+
+let test_alloc_reuse () =
+  let p = mk_formatted () in
+  let a = Alloc.alloc p 128 in
+  Alloc.free p ~off:a ~size:128;
+  let b = Alloc.alloc p 128 in
+  Alcotest.(check int) "freed block reused" a b
+
+let test_alloc_classes_disjoint () =
+  let p = mk_formatted () in
+  let a = Alloc.alloc p 64 in
+  Alloc.free p ~off:a ~size:64;
+  let b = Alloc.alloc p 128 in
+  Alcotest.(check bool) "different class not reused" true (a <> b)
+
+let test_alloc_oom () =
+  let p = mk_formatted ~size:(1 lsl 20) () in
+  Alcotest.check_raises "oom"
+    (Alloc.Out_of_memory { pool = 1; requested = 1 lsl 19 }) (fun () ->
+      for _ = 1 to 10 do
+        ignore (Alloc.alloc p (1 lsl 19))
+      done)
+
+let test_roots_survive_crash () =
+  let p = mk_formatted () in
+  Alloc.set_root p 3 123_456;
+  Pool.crash p;
+  Alcotest.(check int) "root durable" 123_456 (Alloc.get_root p 3)
+
+let test_alloc_no_overlap_qcheck =
+  QCheck.Test.make ~name:"alloc blocks never overlap" ~count:50
+    QCheck.(list_of_size Gen.(1 -- 40) (QCheck.int_range 1 4096))
+    (fun sizes ->
+      let p = mk_formatted ~size:(1 lsl 23) () in
+      let blocks =
+        List.map
+          (fun sz ->
+            let off = Alloc.alloc p sz in
+            (off, Alloc.class_bytes (Alloc.class_of_size sz)))
+          sizes
+      in
+      let sorted = List.sort (fun (a, _) (b, _) -> compare a b) blocks in
+      let rec ok = function
+        | (o1, s1) :: ((o2, _) :: _ as rest) -> o1 + s1 <= o2 && ok rest
+        | _ -> true
+      in
+      ok sorted)
+
+let test_free_list_survives_crash () =
+  let p = mk_formatted () in
+  let a = Alloc.alloc p 256 in
+  Alloc.free p ~off:a ~size:256;
+  Pool.crash p;
+  Alcotest.(check int) "free list durable" 1
+    (Alloc.free_list_length p (Alloc.class_of_size 256));
+  let b = Alloc.alloc p 256 in
+  Alcotest.(check int) "reused after crash" a b
+
+(* --- PMDK-style transactions ------------------------------------------ *)
+
+let test_tx_commit_persists () =
+  let p = mk_formatted () in
+  let off = Alloc.alloc p 64 in
+  Pmdk_tx.run p (fun tx ->
+      Pmdk_tx.add_range tx ~off ~len:16;
+      Pool.write_i64 p off 7L;
+      Pool.write_i64 p (off + 8) 8L);
+  Pool.crash p;
+  Alcotest.(check int64) "first word" 7L (Pool.read_i64 p off);
+  Alcotest.(check int64) "second word" 8L (Pool.read_i64 p (off + 8))
+
+let test_tx_crash_rolls_back () =
+  let p = mk_formatted () in
+  let off = Alloc.alloc p 64 in
+  Pool.write_i64 p off 1L;
+  Pool.persist p ~off ~len:8;
+  let tx = Pmdk_tx.begin_ p in
+  Pmdk_tx.add_range tx ~off ~len:8;
+  Pool.write_i64 p off 2L;
+  (* crash mid-transaction; the store may even have been evicted *)
+  Pool.crash ~evict_prob:1.0 p;
+  let rolled = Pmdk_tx.recover p in
+  Alcotest.(check bool) "log applied" true rolled;
+  Alcotest.(check int64) "pre-image restored" 1L (Pool.read_i64 p off)
+
+let test_tx_abort_restores () =
+  let p = mk_formatted () in
+  let off = Alloc.alloc p 64 in
+  Pool.write_i64 p off 10L;
+  Pool.persist p ~off ~len:8;
+  (try
+     Pmdk_tx.run p (fun tx ->
+         Pmdk_tx.add_range tx ~off ~len:8;
+         Pool.write_i64 p off 20L;
+         failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int64) "abort rolled back" 10L (Pool.read_i64 p off)
+
+let test_tx_multi_range_reverse_undo () =
+  let p = mk_formatted () in
+  let a = Alloc.alloc p 64 and b = Alloc.alloc p 64 in
+  Pool.write_i64 p a 1L;
+  Pool.write_i64 p b 2L;
+  Pool.persist p ~off:a ~len:8;
+  Pool.persist p ~off:b ~len:8;
+  let tx = Pmdk_tx.begin_ p in
+  Pmdk_tx.add_range tx ~off:a ~len:8;
+  Pool.write_i64 p a 100L;
+  Pmdk_tx.add_range tx ~off:b ~len:8;
+  Pool.write_i64 p b 200L;
+  Pmdk_tx.abort tx;
+  Alcotest.(check int64) "a restored" 1L (Pool.read_i64 p a);
+  Alcotest.(check int64) "b restored" 2L (Pool.read_i64 p b)
+
+let test_tx_recover_idempotent () =
+  let p = mk_formatted () in
+  Alcotest.(check bool) "nothing to recover" false (Pmdk_tx.recover p);
+  Alcotest.(check bool) "still nothing" false (Pmdk_tx.recover p)
+
+let test_tx_crash_qcheck =
+  (* property: for a random set of committed and one interrupted tx, after
+     crash+recover every committed write is durable and the interrupted
+     one is fully rolled back, regardless of eviction randomness *)
+  QCheck.Test.make ~name:"pmdk_tx crash atomicity" ~count:30
+    QCheck.(pair (int_range 1 8) (int_range 0 100))
+    (fun (ntx, seed) ->
+      let p = mk_formatted () in
+      let cell i = Alloc.data_base + 65536 + (i * 64) in
+      for i = 0 to ntx - 1 do
+        Pmdk_tx.run p (fun tx ->
+            Pmdk_tx.add_range tx ~off:(cell i) ~len:8;
+            Pool.write_i64 p (cell i) (Int64.of_int (i + 1)))
+      done;
+      let tx = Pmdk_tx.begin_ p in
+      for i = 0 to ntx - 1 do
+        Pmdk_tx.add_range tx ~off:(cell i) ~len:8;
+        Pool.write_i64 p (cell i) 9999L
+      done;
+      Pool.crash ~evict_prob:0.5 ~rng:(Random.State.make [| seed |]) p;
+      ignore (Pmdk_tx.recover p);
+      let ok = ref true in
+      for i = 0 to ntx - 1 do
+        if Pool.read_i64 p (cell i) <> Int64.of_int (i + 1) then ok := false
+      done;
+      !ok)
+
+(* --- Persistent pointers ----------------------------------------------- *)
+
+let test_pptr_roundtrip () =
+  let p = mk_formatted () in
+  let reg = Pptr.registry_create () in
+  Pptr.register reg p;
+  let ptr = Pptr.v ~pool:(Pool.id p) ~off:4096 in
+  Pptr.store p ~at:Alloc.data_base ptr;
+  let ptr' = Pptr.load p ~at:Alloc.data_base in
+  Alcotest.(check bool) "roundtrip" true (Pptr.equal ptr ptr');
+  let pool, off = Pptr.deref reg ptr' in
+  Alcotest.(check int) "pool" (Pool.id p) (Pool.id pool);
+  Alcotest.(check int) "off" 4096 off
+
+let test_pptr_dangling () =
+  let reg = Pptr.registry_create () in
+  let ptr = Pptr.v ~pool:99 ~off:0 in
+  match Pptr.deref reg ptr with
+  | _ -> Alcotest.fail "expected Dangling"
+  | exception Pptr.Dangling _ -> ()
+
+let test_pptr_null () =
+  Alcotest.(check bool) "null is null" true (Pptr.is_null Pptr.null);
+  Alcotest.(check bool) "valid not null" false
+    (Pptr.is_null (Pptr.v ~pool:0 ~off:0))
+
+let test_pptr_deref_charged () =
+  let p = mk_formatted () in
+  let media = Pool.media p in
+  let reg = Pptr.registry_create () in
+  Pptr.register reg p;
+  let before = (Media.stats media).Media.derefs in
+  ignore (Pptr.deref reg (Pptr.v ~pool:(Pool.id p) ~off:0));
+  Alcotest.(check int) "deref counted" (before + 1)
+    (Media.stats media).Media.derefs
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "pmem"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "rw roundtrip" `Quick test_rw_roundtrip;
+          Alcotest.test_case "unflushed lost on crash" `Quick
+            test_unflushed_lost_on_crash;
+          Alcotest.test_case "flush is line granular" `Quick
+            test_flush_is_line_granular;
+          Alcotest.test_case "atomic write alignment" `Quick
+            test_atomic_write_alignment;
+          Alcotest.test_case "dirty count and crash reset" `Quick
+            test_dirty_count_and_crash_reset;
+          Alcotest.test_case "out of bounds" `Quick test_out_of_bounds;
+          Alcotest.test_case "dram pool flush free" `Quick
+            test_dram_pool_flush_free;
+          Alcotest.test_case "media charges" `Quick test_media_charges;
+          Alcotest.test_case "sequential cheaper than random" `Quick
+            test_sequential_cheaper_than_random;
+        ] );
+      ( "alloc",
+        [
+          Alcotest.test_case "basic" `Quick test_alloc_basic;
+          Alcotest.test_case "reuse" `Quick test_alloc_reuse;
+          Alcotest.test_case "classes disjoint" `Quick
+            test_alloc_classes_disjoint;
+          Alcotest.test_case "oom" `Quick test_alloc_oom;
+          Alcotest.test_case "roots survive crash" `Quick
+            test_roots_survive_crash;
+          Alcotest.test_case "free list survives crash" `Quick
+            test_free_list_survives_crash;
+        ]
+        @ qsuite [ test_alloc_no_overlap_qcheck ] );
+      ( "pmdk_tx",
+        [
+          Alcotest.test_case "commit persists" `Quick test_tx_commit_persists;
+          Alcotest.test_case "crash rolls back" `Quick test_tx_crash_rolls_back;
+          Alcotest.test_case "abort restores" `Quick test_tx_abort_restores;
+          Alcotest.test_case "multi range reverse undo" `Quick
+            test_tx_multi_range_reverse_undo;
+          Alcotest.test_case "recover idempotent" `Quick
+            test_tx_recover_idempotent;
+        ]
+        @ qsuite [ test_tx_crash_qcheck ] );
+      ( "pptr",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_pptr_roundtrip;
+          Alcotest.test_case "dangling" `Quick test_pptr_dangling;
+          Alcotest.test_case "null" `Quick test_pptr_null;
+          Alcotest.test_case "deref charged" `Quick test_pptr_deref_charged;
+        ] );
+    ]

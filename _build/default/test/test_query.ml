@@ -1,0 +1,451 @@
+(* Tests for the push-based AOT query engine: operator semantics, morsel
+   parallelism, joins, breakers and update plans. *)
+
+module Value = Storage.Value
+module A = Query.Algebra
+module E = Query.Expr
+module I = Query.Interp
+module Mvto = Mvcc.Mvto
+open Tutil
+
+let no_params : Value.t array = [||]
+
+let test_node_scan () =
+  let env = mk_env () in
+  with_source env (fun g ->
+      let rows = I.run g ~params:no_params (A.NodeScan { label = Some env.person }) in
+      Alcotest.(check int) "persons" (Array.length env.persons) (List.length rows);
+      let all = I.run g ~params:no_params (A.NodeScan { label = None }) in
+      Alcotest.(check int) "all nodes"
+        (Array.length env.persons + Array.length env.posts)
+        (List.length all))
+
+let test_node_by_id () =
+  let env = mk_env () in
+  with_source env (fun g ->
+      let plan = A.NodeById { id = E.Param 0 } in
+      let rows = I.run g ~params:[| Value.Int env.persons.(3) |] plan in
+      Alcotest.(check int) "one row" 1 (List.length rows);
+      let rows = I.run g ~params:[| Value.Int 999_999 |] plan in
+      Alcotest.(check int) "missing id" 0 (List.length rows))
+
+let test_filter_prop () =
+  let env = mk_env () in
+  with_source env (fun g ->
+      let plan =
+        A.Filter
+          {
+            pred =
+              E.Cmp
+                ( E.Eq,
+                  E.Prop { col = 0; kind = E.KNode; key = env.k_id },
+                  E.Const (Value.Int 1005) );
+            child = A.NodeScan { label = Some env.person };
+          }
+      in
+      let rows = I.run g ~params:no_params plan in
+      Alcotest.(check int) "exactly one" 1 (List.length rows);
+      match rows with
+      | [ [| Value.Int id |] ] ->
+          Alcotest.(check int) "right person" env.persons.(5) id
+      | _ -> Alcotest.fail "unexpected shape")
+
+let test_expand_endpoint () =
+  let env = mk_env () in
+  with_source env (fun g ->
+      (* friends of person 0 via out-KNOWS *)
+      let plan =
+        A.EndPoint
+          {
+            col = 1;
+            which = `Dst;
+            child =
+              A.Expand
+                {
+                  col = 0;
+                  dir = A.Out;
+                  label = Some env.knows;
+                  child = A.NodeById { id = E.Param 0 };
+                };
+          }
+      in
+      let rows = I.run g ~params:[| Value.Int env.persons.(0) |] plan in
+      Alcotest.(check bool) "at least ring edge" true (List.length rows >= 1);
+      (* in-direction gives the reverse neighbourhood *)
+      let plan_in =
+        A.Expand
+          {
+            col = 0;
+            dir = A.In;
+            label = Some env.knows;
+            child = A.NodeById { id = E.Param 0 };
+          }
+      in
+      let rows_in = I.run g ~params:[| Value.Int env.persons.(1) |] plan_in in
+      Alcotest.(check bool) "incoming found" true (List.length rows_in >= 1))
+
+let test_walk_to_root () =
+  let env = mk_env () in
+  with_source env (fun g ->
+      let m = Array.length env.posts in
+      let plan =
+        A.WalkToRoot
+          {
+            col = 0;
+            rel_label = env.reply_of;
+            child = A.NodeById { id = E.Param 0 };
+          }
+      in
+      (* from the deepest reply all the way to post 0 *)
+      let rows = I.run g ~params:[| Value.Int env.posts.(m - 1) |] plan in
+      (match rows with
+      | [ [| _; Value.Int root |] ] ->
+          Alcotest.(check int) "root post" env.posts.(0) root
+      | _ -> Alcotest.fail "unexpected shape");
+      (* from the root itself: stays put *)
+      let rows = I.run g ~params:[| Value.Int env.posts.(0) |] plan in
+      match rows with
+      | [ [| _; Value.Int root |] ] -> Alcotest.(check int) "self" env.posts.(0) root
+      | _ -> Alcotest.fail "unexpected shape")
+
+let test_project_sort_limit () =
+  let env = mk_env () in
+  with_source env (fun g ->
+      let plan =
+        A.Limit
+          {
+            n = 5;
+            child =
+              A.Sort
+                {
+                  keys = [ (E.Col 0, `Desc) ];
+                  child =
+                    A.Project
+                      {
+                        exprs = [ E.Prop { col = 0; kind = E.KNode; key = env.k_id } ];
+                        child = A.NodeScan { label = Some env.person };
+                      };
+                };
+          }
+      in
+      let rows = I.run g ~params:no_params plan in
+      let ids = List.map (function [| Value.Int i |] -> i | _ -> -1) rows in
+      let n = Array.length env.persons in
+      Alcotest.(check (list int)) "top 5 ids desc"
+        [ 1000 + n - 1; 1000 + n - 2; 1000 + n - 3; 1000 + n - 4; 1000 + n - 5 ]
+        ids)
+
+let test_count_distinct () =
+  let env = mk_env () in
+  with_source env (fun g ->
+      let count_plan = A.CountAgg { child = A.NodeScan { label = Some env.post } } in
+      (match I.run g ~params:no_params count_plan with
+      | [ [| Value.Int c |] ] ->
+          Alcotest.(check int) "count" (Array.length env.posts) c
+      | _ -> Alcotest.fail "count shape");
+      (* distinct over likers' ages *)
+      let plan =
+        A.Distinct
+          {
+            child =
+              A.Project
+                {
+                  exprs = [ E.LabelOf { col = 0; kind = E.KNode } ];
+                  child = A.NodeScan { label = None };
+                };
+          }
+      in
+      let rows = I.run g ~params:no_params plan in
+      Alcotest.(check int) "two labels" 2 (List.length rows))
+
+let test_group_count () =
+  let env = mk_env () in
+  with_source env (fun g ->
+      (* group persons by age: multiplicities must sum to the population *)
+      let plan =
+        A.GroupCount
+          {
+            child =
+              A.Project
+                {
+                  exprs = [ E.Prop { col = 0; kind = E.KNode; key = env.k_age } ];
+                  child = A.NodeScan { label = Some env.person };
+                };
+          }
+      in
+      let rows = I.run g ~params:no_params plan in
+      let total =
+        List.fold_left
+          (fun acc row ->
+            match row with
+            | [| _; Value.Int n |] -> acc + n
+            | _ -> Alcotest.fail "shape")
+          0 rows
+      in
+      Alcotest.(check int) "multiplicities sum" (Array.length env.persons) total;
+      (* groups are distinct *)
+      let keys = List.map (fun r -> r.(0)) rows in
+      Alcotest.(check int) "distinct groups" (List.length keys)
+        (List.length (List.sort_uniq compare keys)))
+
+let test_hash_join () =
+  let env = mk_env () in
+  with_source env (fun g ->
+      (* join persons with themselves on age: every person matches at
+         least itself *)
+      let mk_side () =
+        A.Project
+          {
+            exprs =
+              [ E.Col 0; E.Prop { col = 0; kind = E.KNode; key = env.k_age } ];
+            child = A.NodeScan { label = Some env.person };
+          }
+      in
+      let plan =
+        A.HashJoin
+          { lkey = E.Col 1; rkey = E.Col 1; left = mk_side (); right = mk_side () }
+      in
+      let rows = I.run g ~params:no_params plan in
+      Alcotest.(check bool) "at least n matches" true
+        (List.length rows >= Array.length env.persons);
+      List.iter
+        (function
+          | [| _; Value.Int a; _; Value.Int b |] ->
+              Alcotest.(check int) "join key equal" a b
+          | _ -> Alcotest.fail "shape")
+        rows)
+
+let test_nested_loop_join () =
+  let env = mk_env () in
+  with_source env (fun g ->
+      let left = A.NodeScan { label = Some env.post } in
+      let right = A.NodeScan { label = Some env.post } in
+      let plan =
+        A.NestedLoopJoin
+          { pred = Some (E.Cmp (E.Lt, E.Col 0, E.Col 1)); left; right }
+      in
+      let rows = I.run g ~params:no_params plan in
+      let m = Array.length env.posts in
+      Alcotest.(check int) "m*(m-1)/2 pairs" (m * (m - 1) / 2) (List.length rows))
+
+let test_parallel_matches_serial () =
+  let env = mk_env ~n:200 ~m:30 () in
+  let pool = Exec.Task_pool.create ~media:env.media ~nworkers:4 () in
+  with_source env (fun g ->
+      let plans =
+        [
+          A.NodeScan { label = Some env.person };
+          A.Filter
+            {
+              pred =
+                E.Cmp
+                  ( E.Gt,
+                    E.Prop { col = 0; kind = E.KNode; key = env.k_age },
+                    E.Const (Value.Int 40) );
+              child = A.NodeScan { label = Some env.person };
+            };
+          A.CountAgg
+            {
+              child =
+                A.Expand
+                  {
+                    col = 0;
+                    dir = A.Out;
+                    label = Some env.knows;
+                    child = A.NodeScan { label = Some env.person };
+                  };
+            };
+          A.Limit
+            {
+              n = 7;
+              child =
+                A.Sort
+                  {
+                    keys = [ (E.Col 0, `Asc) ];
+                    child =
+                      A.Project
+                        {
+                          exprs =
+                            [ E.Prop { col = 0; kind = E.KNode; key = env.k_id } ];
+                          child = A.NodeScan { label = Some env.person };
+                        };
+                  };
+            };
+        ]
+      in
+      List.iteri
+        (fun i plan ->
+          let serial = I.run g ~params:no_params plan in
+          let parallel = I.run ~pool g ~params:no_params plan in
+          check_same_rows (Printf.sprintf "plan %d" i) serial parallel)
+        plans);
+  Exec.Task_pool.shutdown pool
+
+let test_index_scan () =
+  let env = mk_env () in
+  let pool_ = Storage.Graph_store.pool (Mvto.store env.mgr) in
+  let idx =
+    Gindex.Index.create pool_ ~placement:Gindex.Node_store.Hybrid
+      ~label:env.person ~key:env.k_id
+  in
+  Array.iteri
+    (fun i id -> Gindex.Index.insert idx (Value.Int (1000 + i)) id)
+    env.persons;
+  let indexes ~label ~key =
+    if label = env.person && key = env.k_id then Some idx else None
+  in
+  with_source_idx env ~indexes (fun g ->
+      let plan =
+        A.IndexScan { label = env.person; key = env.k_id; value = E.Param 0 }
+      in
+      let rows = I.run g ~params:[| Value.Int 1007 |] plan in
+      (match rows with
+      | [ [| Value.Int id |] ] -> Alcotest.(check int) "hit" env.persons.(7) id
+      | _ -> Alcotest.fail "index scan shape");
+      let range =
+        A.IndexRange
+          {
+            label = env.person;
+            key = env.k_id;
+            lo = E.Const (Value.Int 1003);
+            hi = E.Const (Value.Int 1006);
+          }
+      in
+      Alcotest.(check int) "range width" 4
+        (List.length (I.run g ~params:no_params range));
+      (* missing index raises *)
+      match
+        I.run g ~params:no_params
+          (A.IndexScan
+             { label = env.person; key = env.k_age; value = E.Const (Value.Int 1) })
+      with
+      | _ -> Alcotest.fail "expected No_index"
+      | exception Query.Source.No_index _ -> ())
+
+let test_update_plans () =
+  let env = mk_env () in
+  (* create a node + relationship via plans, transactionally *)
+  Mvto.with_txn env.mgr (fun txn ->
+      let g = Query.Source.of_mvcc env.mgr txn in
+      let plan =
+        A.CreateRel
+          {
+            label = env.likes;
+            src = 1;
+            dst = 0;
+            props = [];
+            child =
+              A.CreateNode
+                {
+                  label = env.person;
+                  props = [ (env.k_id, E.Const (Value.Int 7777)) ];
+                  child = A.NodeById { id = E.Param 0 };
+                };
+          }
+      in
+      let rows = I.run g ~params:[| Value.Int env.posts.(0) |] plan in
+      Alcotest.(check int) "one row through" 1 (List.length rows));
+  with_source env (fun g ->
+      let plan =
+        A.Filter
+          {
+            pred =
+              E.Cmp
+                ( E.Eq,
+                  E.Prop { col = 0; kind = E.KNode; key = env.k_id },
+                  E.Const (Value.Int 7777) );
+            child = A.NodeScan { label = Some env.person };
+          }
+      in
+      Alcotest.(check int) "created person visible" 1
+        (List.length (I.run g ~params:no_params plan)));
+  (* set-property plan *)
+  Mvto.with_txn env.mgr (fun txn ->
+      let g = Query.Source.of_mvcc env.mgr txn in
+      let plan =
+        A.SetNodeProp
+          {
+            col = 0;
+            key = env.k_age;
+            value = E.Const (Value.Int 99);
+            child = A.NodeById { id = E.Param 0 };
+          }
+      in
+      ignore (I.run g ~params:[| Value.Int env.persons.(2) |] plan));
+  with_source env (fun g ->
+      Alcotest.(check bool) "age updated" true
+        (g.Query.Source.node_prop env.persons.(2) env.k_age = Some (Value.Int 99)))
+
+let test_abort_rolls_back_plan_updates () =
+  let env = mk_env () in
+  (try
+     Mvto.with_txn env.mgr (fun txn ->
+         let g = Query.Source.of_mvcc env.mgr txn in
+         let plan =
+           A.CreateNode
+             {
+               label = env.person;
+               props = [ (env.k_id, E.Const (Value.Int 8888)) ];
+               child = A.Unit;
+             }
+         in
+         ignore (I.run g ~params:no_params plan);
+         failwith "force abort")
+   with Failure _ -> ());
+  with_source env (fun g ->
+      let plan =
+        A.Filter
+          {
+            pred =
+              E.Cmp
+                ( E.Eq,
+                  E.Prop { col = 0; kind = E.KNode; key = env.k_id },
+                  E.Const (Value.Int 8888) );
+            child = A.NodeScan { label = Some env.person };
+          }
+      in
+      Alcotest.(check int) "rolled back" 0 (List.length (I.run g ~params:no_params plan)))
+
+let test_expr_semantics () =
+  let env = mk_env () in
+  with_source env (fun g ->
+      let t tuple e = E.eval g ~params:[| Value.Int 5 |] tuple e in
+      Alcotest.(check bool) "and" true
+        (t [||] (E.And (E.Const (Value.Bool true), E.Const (Value.Bool true)))
+        = Value.Bool true);
+      Alcotest.(check bool) "null cmp is null" true
+        (t [||] (E.Cmp (E.Eq, E.Const Value.Null, E.Const (Value.Int 1)))
+        = Value.Null);
+      Alcotest.(check bool) "param" true (t [||] (E.Param 0) = Value.Int 5);
+      Alcotest.(check bool) "add" true
+        (t [||] (E.Add (E.Const (Value.Int 2), E.Const (Value.Int 3))) = Value.Int 5);
+      Alcotest.(check bool) "isnull" true
+        (t [||] (E.IsNull (E.Const Value.Null)) = Value.Bool true))
+
+let () =
+  Alcotest.run "query"
+    [
+      ( "operators",
+        [
+          Alcotest.test_case "node scan" `Quick test_node_scan;
+          Alcotest.test_case "node by id" `Quick test_node_by_id;
+          Alcotest.test_case "filter on property" `Quick test_filter_prop;
+          Alcotest.test_case "expand + endpoint" `Quick test_expand_endpoint;
+          Alcotest.test_case "walk to root" `Quick test_walk_to_root;
+          Alcotest.test_case "project sort limit" `Quick test_project_sort_limit;
+          Alcotest.test_case "count + distinct" `Quick test_count_distinct;
+          Alcotest.test_case "group count" `Quick test_group_count;
+          Alcotest.test_case "hash join" `Quick test_hash_join;
+          Alcotest.test_case "nested loop join" `Quick test_nested_loop_join;
+          Alcotest.test_case "index scan" `Quick test_index_scan;
+        ] );
+      ( "parallel",
+        [ Alcotest.test_case "matches serial" `Slow test_parallel_matches_serial ] );
+      ( "updates",
+        [
+          Alcotest.test_case "create/set plans" `Quick test_update_plans;
+          Alcotest.test_case "abort rolls back" `Quick
+            test_abort_rolls_back_plan_updates;
+        ] );
+      ("expr", [ Alcotest.test_case "semantics" `Quick test_expr_semantics ]);
+    ]

@@ -1,0 +1,487 @@
+(* Tests for the storage layer: values, chunks, tables, dictionary,
+   properties and the graph store, including recovery after crashes. *)
+
+module Media = Pmem.Media
+module Pool = Pmem.Pool
+module Alloc = Pmem.Alloc
+module Pptr = Pmem.Pptr
+module Value = Storage.Value
+module Layout = Storage.Layout
+module Chunk = Storage.Chunk
+module Table = Storage.Table
+module Dict = Storage.Dict
+module Props = Storage.Props
+module G = Storage.Graph_store
+
+let mk_pool ?(size = 1 lsl 24) () =
+  let media = Media.create () in
+  let p = Pool.create ~kind:`Pmem ~media ~id:1 ~size () in
+  Alloc.format p;
+  p
+
+let mk_store ?size () = G.format (mk_pool ?size ())
+
+(* --- Value -------------------------------------------------------------- *)
+
+let test_value_roundtrip () =
+  let vs =
+    [ Value.Null; Value.Int 42; Value.Int (-7); Value.Float 3.25;
+      Value.Bool true; Value.Bool false; Value.Str 17 ]
+  in
+  List.iter
+    (fun v ->
+      let v' = Value.decode ~tag:(Value.tag v) ~payload:(Value.payload v) in
+      Alcotest.(check bool) (Value.to_string v) true (Value.equal v v'))
+    vs
+
+let test_value_text_rejected () =
+  Alcotest.check_raises "tag on Text"
+    (Invalid_argument "Value.tag: Text must be dictionary-encoded first")
+    (fun () -> ignore (Value.tag (Value.Text "x")))
+
+let test_value_index_key_order =
+  QCheck.Test.make ~name:"float index keys preserve order" ~count:200
+    QCheck.(pair (float_range (-1e6) 1e6) (float_range (-1e6) 1e6))
+    (fun (a, b) ->
+      let ka = Value.index_key (Value.Float a)
+      and kb = Value.index_key (Value.Float b) in
+      Int64.compare ka kb = Float.compare a b)
+
+(* --- Chunk -------------------------------------------------------------- *)
+
+let test_chunk_size_multiple_of_256 () =
+  List.iter
+    (fun (cap, rs) ->
+      let b = Chunk.bytes_needed ~capacity:cap ~record_size:rs in
+      Alcotest.(check int) (Printf.sprintf "cap=%d rs=%d" cap rs) 0 (b mod 256))
+    [ (512, 64); (512, 80); (100, 64); (7, 80); (1, 64) ]
+
+let test_chunk_bitmap () =
+  let p = mk_pool () in
+  let c = Chunk.create p ~first_id:0 ~capacity:100 ~record_size:64 in
+  Alcotest.(check bool) "initially free" false (Chunk.is_used c 5);
+  Chunk.set_used c 5 true;
+  Chunk.set_used c 64 true;
+  Alcotest.(check bool) "used" true (Chunk.is_used c 5);
+  Alcotest.(check int) "count" 2 (Chunk.used_count c);
+  Alcotest.(check (option int)) "find free skips used" (Some 0) (Chunk.find_free c);
+  Chunk.set_used c 5 false;
+  Alcotest.(check bool) "freed" false (Chunk.is_used c 5)
+
+let test_chunk_bitmap_survives_crash () =
+  let p = mk_pool () in
+  let c = Chunk.create p ~first_id:0 ~capacity:64 ~record_size:64 in
+  Chunk.set_used c 3 true;
+  Pool.crash p;
+  Alcotest.(check bool) "bitmap durable" true (Chunk.is_used c 3)
+
+let test_chunk_full () =
+  let p = mk_pool () in
+  let c = Chunk.create p ~first_id:0 ~capacity:3 ~record_size:64 in
+  Chunk.set_used c 0 true;
+  Chunk.set_used c 1 true;
+  Chunk.set_used c 2 true;
+  Alcotest.(check (option int)) "full" None (Chunk.find_free c)
+
+(* --- Table -------------------------------------------------------------- *)
+
+let test_table_insert_lookup () =
+  let p = mk_pool () in
+  let t = Table.create p ~capacity:16 ~record_size:64 () in
+  let id, off = Table.reserve t in
+  Pool.write_i64 p off 77L;
+  Pool.persist p ~off ~len:8;
+  Table.publish t id;
+  Alcotest.(check bool) "live" true (Table.is_live t id);
+  Alcotest.(check int64) "data" 77L (Pool.read_i64 p (Table.record_off t id))
+
+let test_table_grows_chunks () =
+  let p = mk_pool () in
+  let t = Table.create p ~capacity:4 ~record_size:64 () in
+  for _ = 1 to 10 do
+    let id, _ = Table.reserve t in
+    Table.publish t id
+  done;
+  Alcotest.(check int) "three chunks" 3 (Table.nchunks t);
+  Alcotest.(check int) "count" 10 (Table.count t)
+
+let test_table_slot_reuse () =
+  let p = mk_pool () in
+  let t = Table.create p ~capacity:8 ~record_size:64 () in
+  let ids = List.init 5 (fun _ -> fst (Table.reserve t)) in
+  List.iter (Table.publish t) ids;
+  Table.delete t (List.nth ids 2);
+  let id, _ = Table.reserve t in
+  Alcotest.(check int) "deleted slot reused" (List.nth ids 2) id
+
+let test_table_recovery () =
+  let p = mk_pool () in
+  let t = Table.create p ~capacity:4 ~record_size:64 () in
+  let ids = List.init 6 (fun _ -> fst (Table.reserve t)) in
+  List.iter
+    (fun id ->
+      Pool.write_i64 p (Table.record_off t id) (Int64.of_int (100 + id));
+      Pool.persist p ~off:(Table.record_off t id) ~len:8;
+      Table.publish t id)
+    ids;
+  Table.delete t 1;
+  Pool.crash p;
+  let t' = Table.open_ p ~capacity:4 ~record_size:64 ~dir_off:(Table.dir_off t) () in
+  Alcotest.(check int) "chunks recovered" 2 (Table.nchunks t');
+  Alcotest.(check int) "live records" 5 (Table.count t');
+  Alcotest.(check bool) "deleted stays deleted" false (Table.is_live t' 1);
+  Alcotest.(check int64) "data intact" 105L (Pool.read_i64 p (Table.record_off t' 5));
+  (* the recycled slot is found again *)
+  let id, _ = Table.reserve t' in
+  Alcotest.(check int) "slot 1 recycled" 1 id
+
+let test_table_iter_and_chain () =
+  let p = mk_pool () in
+  let t = Table.create p ~capacity:4 ~record_size:64 () in
+  for _ = 1 to 9 do
+    let id, _ = Table.reserve t in
+    Table.publish t id
+  done;
+  let via_mirror = ref [] and via_chain = ref [] in
+  Table.iter t (fun id _ -> via_mirror := id :: !via_mirror);
+  let reg = Pptr.registry_create () in
+  Pptr.register reg p;
+  Table.iter_via_chain t reg (fun id _ -> via_chain := id :: !via_chain);
+  Alcotest.(check (list int)) "chain matches mirror" !via_mirror !via_chain
+
+let test_table_model_qcheck =
+  (* model-based: a random sequence of inserts/deletes matches a simple
+     set model, including after a crash + reopen *)
+  QCheck.Test.make ~name:"table matches set model across recovery" ~count:40
+    QCheck.(list_of_size Gen.(1 -- 60) (QCheck.int_range 0 99))
+    (fun ops ->
+      let p = mk_pool () in
+      let t = ref (Table.create p ~capacity:8 ~record_size:64 ()) in
+      let dir = Table.dir_off !t in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun op ->
+          if op < 70 || Hashtbl.length model = 0 then begin
+            let id, _ = Table.reserve !t in
+            Table.publish !t id;
+            Hashtbl.replace model id ()
+          end
+          else begin
+            let keys = Hashtbl.fold (fun k () acc -> k :: acc) model [] in
+            let victim = List.nth keys (op mod List.length keys) in
+            Table.delete !t victim;
+            Hashtbl.remove model victim
+          end;
+          if op mod 13 = 0 then begin
+            Pool.crash p;
+            t := Table.open_ p ~capacity:8 ~record_size:64 ~dir_off:dir ()
+          end)
+        ops;
+      let live = ref 0 in
+      Table.iter !t (fun id _ ->
+          incr live;
+          if not (Hashtbl.mem model id) then failwith "ghost record");
+      !live = Hashtbl.length model)
+
+(* --- Dict --------------------------------------------------------------- *)
+
+let test_dict_encode_decode () =
+  let p = mk_pool () in
+  let d = Dict.create p in
+  let c1 = Dict.encode d "Person" in
+  let c2 = Dict.encode d "KNOWS" in
+  Alcotest.(check bool) "distinct codes" true (c1 <> c2);
+  Alcotest.(check int) "stable" c1 (Dict.encode d "Person");
+  Alcotest.(check string) "decode 1" "Person" (Dict.decode d c1);
+  Alcotest.(check string) "decode 2" "KNOWS" (Dict.decode d c2);
+  Alcotest.(check int) "count" 2 (Dict.count d)
+
+let test_dict_lookup_absent () =
+  let p = mk_pool () in
+  let d = Dict.create p in
+  Alcotest.(check (option int)) "absent" None (Dict.lookup d "nope")
+
+let test_dict_unknown_code () =
+  let p = mk_pool () in
+  let d = Dict.create p in
+  (match Dict.decode d 0 with
+  | _ -> Alcotest.fail "expected Unknown_code"
+  | exception Dict.Unknown_code _ -> ());
+  match Dict.decode d 42 with
+  | _ -> Alcotest.fail "expected Unknown_code"
+  | exception Dict.Unknown_code _ -> ()
+
+let test_dict_recovery () =
+  let p = mk_pool () in
+  let d = Dict.create p in
+  let words = List.init 200 (Printf.sprintf "word-%04d") in
+  let codes = List.map (Dict.encode d) words in
+  Pool.crash p;
+  let d' = Dict.open_ p ~hdr:(Dict.header_off d) () in
+  List.iter2
+    (fun w c ->
+      Alcotest.(check string) ("decode " ^ w) w (Dict.decode d' c);
+      Alcotest.(check (option int)) ("lookup " ^ w) (Some c) (Dict.lookup d' w))
+    words codes
+
+let test_dict_growth () =
+  let p = mk_pool ~size:(1 lsl 25) () in
+  let d = Dict.create p in
+  (* exceed both the initial hash capacity and the initial code array *)
+  let n = 3000 in
+  let codes = Array.init n (fun i -> Dict.encode d (Printf.sprintf "s%06d" i)) in
+  Array.iteri
+    (fun i c ->
+      if i mod 277 = 0 then
+        Alcotest.(check string) "decode after growth" (Printf.sprintf "s%06d" i)
+          (Dict.decode d c))
+    codes
+
+let test_dict_bijection_qcheck =
+  QCheck.Test.make ~name:"dict is a bijection (hybrid off)" ~count:30
+    QCheck.(list_of_size Gen.(1 -- 80) (string_gen_of_size Gen.(1 -- 12) Gen.printable))
+    (fun words ->
+      let p = mk_pool () in
+      let d = Dict.create ~hybrid:false p in
+      let tbl = Hashtbl.create 16 in
+      List.iter
+        (fun w ->
+          let c = Dict.encode d w in
+          match Hashtbl.find_opt tbl w with
+          | Some c' when c <> c' -> failwith "code changed"
+          | _ -> Hashtbl.replace tbl w c)
+        words;
+      Hashtbl.fold (fun w c ok -> ok && Dict.decode d c = w) tbl true)
+
+(* --- Props -------------------------------------------------------------- *)
+
+let test_props_set_get () =
+  let p = mk_pool () in
+  let ps = Props.create p () in
+  let first = Props.set ps ~owner:1 ~first:0 ~key:10 (Value.Int 5) in
+  let first = Props.set ps ~owner:1 ~first ~key:11 (Value.Bool true) in
+  Alcotest.(check bool) "get 10" true
+    (Props.get ps ~first ~key:10 = Some (Value.Int 5));
+  Alcotest.(check bool) "get 11" true
+    (Props.get ps ~first ~key:11 = Some (Value.Bool true));
+  Alcotest.(check bool) "absent" true (Props.get ps ~first ~key:99 = None)
+
+let test_props_update_in_place () =
+  let p = mk_pool () in
+  let ps = Props.create p () in
+  let first = Props.set ps ~owner:1 ~first:0 ~key:10 (Value.Int 5) in
+  let first' = Props.set ps ~owner:1 ~first ~key:10 (Value.Int 6) in
+  Alcotest.(check int) "no new batch" first first';
+  Alcotest.(check bool) "updated" true
+    (Props.get ps ~first:first' ~key:10 = Some (Value.Int 6))
+
+let test_props_overflow_chain () =
+  let p = mk_pool () in
+  let ps = Props.create p () in
+  let first = ref 0 in
+  for k = 1 to 10 do
+    first := Props.set ps ~owner:1 ~first:!first ~key:k (Value.Int k)
+  done;
+  for k = 1 to 10 do
+    Alcotest.(check bool)
+      (Printf.sprintf "key %d" k)
+      true
+      (Props.get ps ~first:!first ~key:k = Some (Value.Int k))
+  done;
+  Alcotest.(check int) "all listed" 10 (List.length (Props.all ps ~first:!first))
+
+let test_props_remove_and_reuse () =
+  let p = mk_pool () in
+  let ps = Props.create p () in
+  let first = ref 0 in
+  for k = 1 to 4 do
+    first := Props.set ps ~owner:1 ~first:!first ~key:k (Value.Int k)
+  done;
+  Alcotest.(check bool) "removed" true (Props.remove ps ~first:!first ~key:2);
+  Alcotest.(check bool) "gone" true (Props.get ps ~first:!first ~key:2 = None);
+  Alcotest.(check bool) "remove absent" false (Props.remove ps ~first:!first ~key:2);
+  (* the freed slot is reused without a new batch *)
+  let before = !first in
+  first := Props.set ps ~owner:1 ~first:!first ~key:9 (Value.Int 9);
+  Alcotest.(check int) "slot reused" before !first
+
+let test_props_free_chain () =
+  let p = mk_pool () in
+  let ps = Props.create p () in
+  let first = ref 0 in
+  for k = 1 to 10 do
+    first := Props.set ps ~owner:1 ~first:!first ~key:k (Value.Int k)
+  done;
+  Props.free_chain ps ~first:!first;
+  Alcotest.(check int) "all batches freed" 0 (Table.count (Props.table ps))
+
+let test_props_model_qcheck =
+  QCheck.Test.make ~name:"props match assoc model" ~count:50
+    QCheck.(list_of_size Gen.(1 -- 50) (pair (int_range 1 12) (int_range 0 1000)))
+    (fun ops ->
+      let p = mk_pool () in
+      let ps = Props.create p () in
+      let first = ref 0 in
+      let model = Hashtbl.create 8 in
+      List.iter
+        (fun (k, v) ->
+          if v mod 7 = 0 then begin
+            ignore (Props.remove ps ~first:!first ~key:k);
+            Hashtbl.remove model k
+          end
+          else begin
+            first := Props.set ps ~owner:1 ~first:!first ~key:k (Value.Int v);
+            Hashtbl.replace model k v
+          end)
+        ops;
+      Hashtbl.fold
+        (fun k v ok -> ok && Props.get ps ~first:!first ~key:k = Some (Value.Int v))
+        model true
+      && List.length (Props.all ps ~first:!first) = Hashtbl.length model)
+
+(* --- Graph store -------------------------------------------------------- *)
+
+let test_graph_create_and_read () =
+  let g = mk_store () in
+  let alice =
+    G.create_node g ~label:"Person"
+      ~props:[ ("name", Value.Text "Alice"); ("age", Value.Int 30) ]
+  in
+  let bob = G.create_node g ~label:"Person" ~props:[ ("name", Value.Text "Bob") ] in
+  let r = G.create_rel g ~label:"KNOWS" ~src:alice ~dst:bob ~props:[] in
+  Alcotest.(check int) "two nodes" 2 (G.node_count g);
+  Alcotest.(check int) "one rel" 1 (G.rel_count g);
+  let n = G.read_node g alice in
+  Alcotest.(check string) "label" "Person" (G.string_of_code g n.Layout.label);
+  let rl = G.read_rel g r in
+  Alcotest.(check int) "src" alice rl.Layout.src;
+  Alcotest.(check int) "dst" bob rl.Layout.dst;
+  match G.node_prop g alice (G.code g "age") with
+  | Some (Value.Int 30) -> ()
+  | _ -> Alcotest.fail "age property"
+
+let test_graph_adjacency () =
+  let g = mk_store () in
+  let hub = G.create_node g ~label:"Person" ~props:[] in
+  let spokes = List.init 5 (fun _ -> G.create_node g ~label:"Person" ~props:[]) in
+  let rels = List.map (fun s -> G.create_rel g ~label:"KNOWS" ~src:hub ~dst:s ~props:[]) spokes in
+  let outs = ref [] in
+  G.iter_out g hub (fun rid -> outs := rid :: !outs);
+  Alcotest.(check (list int)) "out list (prepend order)" rels (List.rev !outs |> List.rev);
+  Alcotest.(check int) "out degree" 5 (G.out_degree g hub);
+  List.iter
+    (fun s -> Alcotest.(check int) "in degree" 1 (G.in_degree g s))
+    spokes
+
+let test_graph_unlink_rel () =
+  let g = mk_store () in
+  let a = G.create_node g ~label:"P" ~props:[] in
+  let b = G.create_node g ~label:"P" ~props:[] in
+  let r1 = G.create_rel g ~label:"K" ~src:a ~dst:b ~props:[] in
+  let r2 = G.create_rel g ~label:"K" ~src:a ~dst:b ~props:[] in
+  let r3 = G.create_rel g ~label:"K" ~src:a ~dst:b ~props:[] in
+  G.remove_rel g r2;
+  let outs = ref [] in
+  G.iter_out g a (fun rid -> outs := rid :: !outs);
+  Alcotest.(check (list int)) "middle removed from out" [ r1; r3 ] !outs;
+  let ins = ref [] in
+  G.iter_in g b (fun rid -> ins := rid :: !ins);
+  Alcotest.(check (list int)) "middle removed from in" [ r1; r3 ] !ins;
+  (* removing head and tail too *)
+  G.remove_rel g r3;
+  G.remove_rel g r1;
+  Alcotest.(check int) "empty" 0 (G.out_degree g a)
+
+let test_graph_recovery () =
+  let g = mk_store () in
+  let a = G.create_node g ~label:"Person" ~props:[ ("name", Value.Text "Ada") ] in
+  let b = G.create_node g ~label:"Person" ~props:[ ("name", Value.Text "Bob") ] in
+  ignore (G.create_rel g ~label:"KNOWS" ~src:a ~dst:b ~props:[ ("since", Value.Int 2020) ]);
+  Pool.crash (G.pool g);
+  let g' = G.open_ (G.pool g) in
+  Alcotest.(check int) "nodes" 2 (G.node_count g');
+  Alcotest.(check int) "rels" 1 (G.rel_count g');
+  (match G.node_prop g' a (G.code g' "name") with
+  | Some (Value.Str c) ->
+      Alcotest.(check string) "name survives" "Ada" (G.string_of_code g' c)
+  | _ -> Alcotest.fail "name prop");
+  Alcotest.(check int) "adjacency survives" 1 (G.out_degree g' a)
+
+let test_graph_dram_mode () =
+  let media = Media.create () in
+  let p = Pool.create ~kind:`Dram ~media ~id:1 ~size:(1 lsl 24) () in
+  let g = G.format p in
+  let a = G.create_node g ~label:"Person" ~props:[ ("x", Value.Int 1) ] in
+  Alcotest.(check bool) "readable" true (G.node_live g a);
+  Alcotest.(check int) "no flushes in dram mode" 0 (Media.stats media).Media.flushes
+
+let test_graph_pmem_cheaper_writes_than_naive () =
+  (* DG1 sanity: creating a node performs a bounded number of flushes *)
+  let g = mk_store () in
+  let media = G.media g in
+  ignore (G.create_node g ~label:"Person" ~props:[]);
+  Media.reset media;
+  ignore (G.create_node g ~label:"Person" ~props:[]);
+  let s = Media.stats media in
+  Alcotest.(check bool)
+    (Printf.sprintf "flushes bounded (got %d)" s.Media.flushes)
+    true
+    (s.Media.flushes <= 6)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "storage"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_value_roundtrip;
+          Alcotest.test_case "text rejected" `Quick test_value_text_rejected;
+        ]
+        @ qsuite [ test_value_index_key_order ] );
+      ( "chunk",
+        [
+          Alcotest.test_case "256B multiple" `Quick test_chunk_size_multiple_of_256;
+          Alcotest.test_case "bitmap" `Quick test_chunk_bitmap;
+          Alcotest.test_case "bitmap survives crash" `Quick
+            test_chunk_bitmap_survives_crash;
+          Alcotest.test_case "full chunk" `Quick test_chunk_full;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "insert lookup" `Quick test_table_insert_lookup;
+          Alcotest.test_case "grows chunks" `Quick test_table_grows_chunks;
+          Alcotest.test_case "slot reuse" `Quick test_table_slot_reuse;
+          Alcotest.test_case "recovery" `Quick test_table_recovery;
+          Alcotest.test_case "iter and chain" `Quick test_table_iter_and_chain;
+        ]
+        @ qsuite [ test_table_model_qcheck ] );
+      ( "dict",
+        [
+          Alcotest.test_case "encode decode" `Quick test_dict_encode_decode;
+          Alcotest.test_case "lookup absent" `Quick test_dict_lookup_absent;
+          Alcotest.test_case "unknown code" `Quick test_dict_unknown_code;
+          Alcotest.test_case "recovery" `Quick test_dict_recovery;
+          Alcotest.test_case "growth" `Quick test_dict_growth;
+        ]
+        @ qsuite [ test_dict_bijection_qcheck ] );
+      ( "props",
+        [
+          Alcotest.test_case "set get" `Quick test_props_set_get;
+          Alcotest.test_case "update in place" `Quick test_props_update_in_place;
+          Alcotest.test_case "overflow chain" `Quick test_props_overflow_chain;
+          Alcotest.test_case "remove and reuse" `Quick test_props_remove_and_reuse;
+          Alcotest.test_case "free chain" `Quick test_props_free_chain;
+        ]
+        @ qsuite [ test_props_model_qcheck ] );
+      ( "graph_store",
+        [
+          Alcotest.test_case "create and read" `Quick test_graph_create_and_read;
+          Alcotest.test_case "adjacency" `Quick test_graph_adjacency;
+          Alcotest.test_case "unlink rel" `Quick test_graph_unlink_rel;
+          Alcotest.test_case "recovery" `Quick test_graph_recovery;
+          Alcotest.test_case "dram mode" `Quick test_graph_dram_mode;
+          Alcotest.test_case "bounded flushes" `Quick
+            test_graph_pmem_cheaper_writes_than_naive;
+        ] );
+    ]

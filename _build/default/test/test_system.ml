@@ -1,0 +1,472 @@
+(* System-level tests: the SNB workload over the full engine (core
+   facade), cross-checking every query across access paths (scan vs
+   index), execution modes (AOT vs JIT vs adaptive) and backends (PMem
+   engine vs disk baseline), plus end-to-end crash recovery. *)
+
+module Value = Storage.Value
+module A = Query.Algebra
+module Engine = Jit.Engine
+module Mvto = Mvcc.Mvto
+module SR = Snb.Short_reads
+module IU = Snb.Updates
+
+let norm rows = List.sort compare (List.map Array.to_list rows)
+
+let mk_dataset ?(sf = 0.05) ?(mode = `Pmem) () =
+  let db = Core.create ~mode ~pool_size:(1 lsl 26) () in
+  let ds = Snb.Gen.generate ~params:{ Snb.Gen.default_params with sf } (Core.store db) in
+  (db, ds)
+
+let mk_indexed ?sf () =
+  let db, ds = mk_dataset ?sf () in
+  let sc = ds.Snb.Gen.schema in
+  let mk label = Core.create_index db ~label ~prop:"id" () in
+  List.iter
+    (fun l -> ignore (mk l))
+    [ "Person"; "Post"; "Comment"; "Forum"; "Place"; "Tag" ];
+  ignore sc;
+  (db, ds)
+
+(* --- Generator ----------------------------------------------------------------- *)
+
+let test_generator_shape () =
+  let _db, ds = mk_dataset ~sf:0.05 () in
+  Alcotest.(check int) "persons" 50 (Array.length ds.Snb.Gen.persons);
+  Alcotest.(check bool) "posts" true (Array.length ds.Snb.Gen.posts >= 100);
+  Alcotest.(check bool) "comments exist" true (Array.length ds.Snb.Gen.comments > 0);
+  Alcotest.(check int) "ids aligned" (Array.length ds.Snb.Gen.posts)
+    (Array.length ds.Snb.Gen.post_ids);
+  (* degree distribution is skewed: someone has far more than the mean *)
+  let g = ds.Snb.Gen.store in
+  let max_deg = ref 0 and total = ref 0 in
+  Array.iter
+    (fun p ->
+      let d = Storage.Graph_store.out_degree g p in
+      total := !total + d;
+      if d > !max_deg then max_deg := d)
+    ds.Snb.Gen.persons;
+  let mean = !total / Array.length ds.Snb.Gen.persons in
+  Alcotest.(check bool)
+    (Printf.sprintf "skew (max %d vs mean %d)" !max_deg mean)
+    true
+    (!max_deg > 2 * mean)
+
+let test_generator_deterministic () =
+  let _, ds1 = mk_dataset ~sf:0.05 () in
+  let _, ds2 = mk_dataset ~sf:0.05 () in
+  Alcotest.(check int) "same posts" (Array.length ds1.Snb.Gen.posts)
+    (Array.length ds2.Snb.Gen.posts);
+  Alcotest.(check int) "same comments" (Array.length ds1.Snb.Gen.comments)
+    (Array.length ds2.Snb.Gen.comments);
+  Alcotest.(check int) "same rels"
+    (Storage.Graph_store.rel_count ds1.Snb.Gen.store)
+    (Storage.Graph_store.rel_count ds2.Snb.Gen.store)
+
+(* --- Short reads: cross-validation ---------------------------------------------- *)
+
+let run_spec db ds spec ~access ~mode param =
+  let sc = ds.Snb.Gen.schema in
+  let plans = spec.SR.plans ~access in
+  ignore sc;
+  List.concat_map
+    (fun plan ->
+      let rows, _ = Core.query db ~mode ~params:[| param |] plan in
+      rows)
+    plans
+
+let test_sr_scan_equals_index () =
+  let db, ds = mk_indexed () in
+  let rng = Random.State.make [| 7 |] in
+  List.iter
+    (fun spec ->
+      for _ = 1 to 5 do
+        let param = SR.draw_param ds rng spec in
+        let scan = run_spec db ds spec ~access:`Scan ~mode:Engine.Interp param in
+        let index = run_spec db ds spec ~access:`Index ~mode:Engine.Interp param in
+        Alcotest.(check bool)
+          (Printf.sprintf "SR%s scan==index (%d rows)" spec.SR.name
+             (List.length scan))
+          true
+          (norm scan = norm index)
+      done)
+    (SR.all ds.Snb.Gen.schema)
+
+let test_sr_jit_equals_interp () =
+  let db, ds = mk_indexed () in
+  let rng = Random.State.make [| 8 |] in
+  let config =
+    { Engine.default_config with prop_tag = Snb.Schema.prop_tag ds.Snb.Gen.schema }
+  in
+  List.iter
+    (fun spec ->
+      for _ = 1 to 3 do
+        let param = SR.draw_param ds rng spec in
+        List.iter
+          (fun access ->
+            let plans = spec.SR.plans ~access in
+            List.iter
+              (fun plan ->
+                let interp, _ =
+                  Core.query db ~mode:Engine.Interp ~params:[| param |] plan
+                in
+                let jit, report =
+                  Core.query db ~mode:Engine.Jit ~config ~params:[| param |] plan
+                in
+                Alcotest.(check bool)
+                  (Printf.sprintf "SR%s no fallback" spec.SR.name)
+                  false report.Engine.fell_back;
+                Alcotest.(check bool)
+                  (Printf.sprintf "SR%s jit==interp" spec.SR.name)
+                  true
+                  (norm interp = norm jit))
+              plans)
+          [ `Scan; `Index ]
+      done)
+    (SR.all ds.Snb.Gen.schema)
+
+let test_sr_sanity () =
+  let db, ds = mk_indexed () in
+  let sc = ds.Snb.Gen.schema in
+  (* IS1 for a known person returns exactly one row with 8 columns *)
+  let param = Value.Int ds.Snb.Gen.person_ids.(3) in
+  let rows, _ =
+    Core.query db ~mode:Engine.Interp ~params:[| param |] (SR.is1 sc ~access:`Index)
+  in
+  (match rows with
+  | [ row ] -> Alcotest.(check int) "is1 columns" 8 (Array.length row)
+  | _ -> Alcotest.failf "is1 returned %d rows" (List.length rows));
+  (* IS4 on a post returns its content *)
+  let param = Value.Int ds.Snb.Gen.post_ids.(0) in
+  let rows, _ =
+    Core.query db ~mode:Engine.Interp ~params:[| param |]
+      (SR.is4 sc ~access:`Index ~msg:`Post)
+  in
+  Alcotest.(check int) "is4 one row" 1 (List.length rows);
+  (* IS2 returns at most 10 messages *)
+  let param = Value.Int ds.Snb.Gen.person_ids.(0) in
+  let rows, _ =
+    Core.query db ~mode:Engine.Interp ~params:[| param |]
+      (SR.is2 sc ~access:`Index ~msg:`Post)
+  in
+  Alcotest.(check bool) "is2 <= 10" true (List.length rows <= 10)
+
+let test_sr_adaptive_equals_interp () =
+  let db, ds = mk_indexed ~sf:0.1 () in
+  Core.set_workers db 3;
+  let rng = Random.State.make [| 9 |] in
+  let config =
+    { Engine.default_config with prop_tag = Snb.Schema.prop_tag ds.Snb.Gen.schema }
+  in
+  let specs = SR.all ds.Snb.Gen.schema in
+  List.iter
+    (fun spec ->
+      let param = SR.draw_param ds rng spec in
+      let interp = run_spec db ds spec ~access:`Scan ~mode:Engine.Interp param in
+      let adaptive =
+        List.concat_map
+          (fun plan ->
+            fst
+              (Core.query db ~mode:Engine.Adaptive ~config ~parallel:true
+                 ~params:[| param |] plan))
+          (spec.SR.plans ~access:`Scan)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "SR%s adaptive==interp" spec.SR.name)
+        true
+        (norm interp = norm adaptive))
+    specs;
+  Core.shutdown db
+
+let test_complex_reads_cross_engine () =
+  let db, ds = mk_indexed ~sf:0.1 () in
+  let sc = ds.Snb.Gen.schema in
+  let config =
+    { Engine.default_config with prop_tag = Snb.Schema.prop_tag sc }
+  in
+  let rng = Random.State.make [| 21 |] in
+  List.iter
+    (fun spec ->
+      for _ = 1 to 3 do
+        let params = Snb.Complex_reads.draw_params ds rng spec in
+        let base = ref None in
+        List.iter
+          (fun (mode, access) ->
+            let rows, report =
+              Core.query db ~mode ~config ~params (spec.Snb.Complex_reads.plan ~access)
+            in
+            (match mode with
+            | Engine.Jit ->
+                Alcotest.(check bool)
+                  (spec.Snb.Complex_reads.name ^ " compiles")
+                  false report.Engine.fell_back
+            | _ -> ());
+            match !base with
+            | None -> base := Some (norm rows)
+            | Some expected ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s %s consistent" spec.Snb.Complex_reads.name
+                     (Fmt.to_to_string Engine.pp_mode mode))
+                  true
+                  (norm rows = expected))
+          [
+            (Engine.Interp, `Index);
+            (Engine.Interp, `Scan);
+            (Engine.Jit, `Index);
+            (Engine.Jit, `Scan);
+          ]
+      done)
+    (Snb.Complex_reads.all sc)
+
+(* --- Updates ----------------------------------------------------------------------- *)
+
+let test_iu_all_execute_and_commit () =
+  let db, ds = mk_indexed () in
+  let sc = ds.Snb.Gen.schema in
+  let rng = Random.State.make [| 11 |] in
+  let ctx = IU.make_ctx () in
+  let n0 = Core.node_count db and r0 = Core.rel_count db in
+  List.iter
+    (fun spec ->
+      let params = spec.IU.draw ds rng ctx in
+      let rows, _report, commit_ns =
+        Core.execute_update db ~mode:Engine.Interp ~params (spec.IU.plan sc)
+      in
+      Alcotest.(check int) (Printf.sprintf "IU%s one row" spec.IU.name) 1
+        (List.length rows);
+      Alcotest.(check bool)
+        (Printf.sprintf "IU%s commit charged" spec.IU.name)
+        true (commit_ns > 0))
+    IU.all;
+  Alcotest.(check bool) "nodes grew" true (Core.node_count db > n0);
+  Alcotest.(check bool) "rels grew" true (Core.rel_count db > r0)
+
+let test_iu_jit_equals_interp_effects () =
+  (* run IU6 (add post) via JIT; the post must exist afterwards and be
+     findable through the maintained index *)
+  let db, ds = mk_indexed () in
+  let sc = ds.Snb.Gen.schema in
+  let rng = Random.State.make [| 12 |] in
+  let ctx = IU.make_ctx () in
+  let spec = List.nth IU.all 5 in
+  Alcotest.(check string) "spec is IU6" "6" spec.IU.name;
+  let params = spec.IU.draw ds rng ctx in
+  let new_id = match params.(0) with Value.Int i -> i | _ -> assert false in
+  let rows, report, _ =
+    Core.execute_update db ~mode:Engine.Jit ~params (spec.IU.plan sc)
+  in
+  Alcotest.(check bool) "no fallback" false report.Engine.fell_back;
+  Alcotest.(check int) "one row" 1 (List.length rows);
+  (* the new post is reachable via the index under a fresh snapshot *)
+  let rows, _ =
+    Core.query db ~mode:Engine.Interp ~params:[| Value.Int new_id |]
+      (SR.is4 sc ~access:`Index ~msg:`Post)
+  in
+  Alcotest.(check int) "new post indexed + visible" 1 (List.length rows)
+
+let test_iu_visible_after_commit () =
+  let db, ds = mk_indexed () in
+  let sc = ds.Snb.Gen.schema in
+  let rng = Random.State.make [| 13 |] in
+  let ctx = IU.make_ctx () in
+  (* IU8: friendship between two persons *)
+  let spec = List.nth IU.all 7 in
+  let params = spec.IU.draw ds rng ctx in
+  let p0 = match params.(0) with Value.Int i -> i | _ -> assert false in
+  let before =
+    let rows, _ =
+      Core.query db ~mode:Engine.Interp ~params:[| Value.Int p0 |]
+        (List.hd (SR.is3 sc ~access:`Index))
+    in
+    List.length rows
+  in
+  ignore (Core.execute_update db ~params (spec.IU.plan sc));
+  let after =
+    let rows, _ =
+      Core.query db ~mode:Engine.Interp ~params:[| Value.Int p0 |]
+        (List.hd (SR.is3 sc ~access:`Index))
+    in
+    List.length rows
+  in
+  Alcotest.(check int) "one more friend" (before + 1) after
+
+let test_index_maintenance_on_update_and_delete () =
+  let db, ds = mk_indexed () in
+  let sc = ds.Snb.Gen.schema in
+  ignore sc;
+  let person = ds.Snb.Gen.persons.(3) in
+  let old_id = ds.Snb.Gen.person_ids.(3) in
+  let idx =
+    Option.get
+      (Core.index_lookup_fn db ~label:(Core.code db "Person")
+         ~key:(Core.code db "id"))
+  in
+  (* change the indexed property: the entry must move *)
+  Core.with_txn db (fun txn ->
+      Core.set_node_prop db txn person ~key:"id" (Value.Int 777_777));
+  Alcotest.(check (list int)) "old key gone" []
+    (Gindex.Index.lookup idx (Value.Int old_id));
+  Alcotest.(check (list int)) "new key present" [ person ]
+    (Gindex.Index.lookup idx (Value.Int 777_777));
+  (* create a standalone person, then delete it: entry removed *)
+  let p =
+    Core.with_txn db (fun txn ->
+        Core.create_node db txn ~label:"Person" ~props:[ ("id", Value.Int 888_888) ])
+  in
+  Alcotest.(check (list int)) "insert indexed" [ p ]
+    (Gindex.Index.lookup idx (Value.Int 888_888));
+  Core.with_txn db (fun txn -> Core.delete_node db txn p);
+  Alcotest.(check (list int)) "delete de-indexed" []
+    (Gindex.Index.lookup idx (Value.Int 888_888))
+
+(* --- Crash recovery end-to-end -------------------------------------------------------- *)
+
+let test_crash_recovery_end_to_end () =
+  let db, ds = mk_indexed () in
+  let sc = ds.Snb.Gen.schema in
+  let rng = Random.State.make [| 14 |] in
+  let ctx = IU.make_ctx () in
+  (* commit a few updates *)
+  List.iter
+    (fun spec ->
+      let params = spec.IU.draw ds rng ctx in
+      ignore (Core.execute_update db ~params (spec.IU.plan sc)))
+    IU.all;
+  let param = Value.Int ds.Snb.Gen.person_ids.(5) in
+  let expected, _ =
+    Core.query db ~mode:Engine.Interp ~params:[| param |] (SR.is1 sc ~access:`Index)
+  in
+  let nodes_before = Core.node_count db in
+  (* crash with random eviction, then reopen *)
+  Core.crash ~evict_prob:0.5 db;
+  let db = Core.reopen db in
+  Alcotest.(check int) "nodes durable" nodes_before (Core.node_count db);
+  let actual, _ =
+    Core.query db ~mode:Engine.Interp ~params:[| param |] (SR.is1 sc ~access:`Index)
+  in
+  Alcotest.(check bool) "is1 stable across recovery" true
+    (norm expected = norm actual);
+  (* the JIT cache also survived: a compiled query hits *)
+  let _, r1 = Core.query db ~mode:Engine.Jit ~params:[| param |] (SR.is1 sc ~access:`Index) in
+  let _, r2 = Core.query db ~mode:Engine.Jit ~params:[| param |] (SR.is1 sc ~access:`Index) in
+  ignore r1;
+  Alcotest.(check bool) "jit cache hit after recovery" true r2.Engine.cache_hit
+
+let test_uncommitted_update_lost_on_crash () =
+  let db, ds = mk_indexed () in
+  let sc = ds.Snb.Gen.schema in
+  let nodes_before = Core.node_count db in
+  (* start an update transaction but crash before commit *)
+  let txn = Core.begin_txn db in
+  let g = Core.source db txn in
+  let rng = Random.State.make [| 15 |] in
+  let ctx = IU.make_ctx () in
+  let spec = List.hd IU.all in
+  let params = spec.IU.draw ds rng ctx in
+  ignore (Query.Interp.run g ~params (spec.IU.plan sc));
+  Core.crash ~evict_prob:1.0 db;
+  let db = Core.reopen db in
+  Alcotest.(check int) "uncommitted insert reclaimed" nodes_before
+    (Core.node_count db)
+
+(* --- Disk baseline --------------------------------------------------------------------- *)
+
+let test_disk_baseline_matches_pmem () =
+  (* generate the same dataset in a disk instance and in a pmem instance;
+     every SR query must return identical rows *)
+  let db, ds = mk_indexed () in
+  let disk = Diskdb.Disk_graph.create () in
+  let dds =
+    Snb.Gen.generate
+      ~params:{ Snb.Gen.default_params with sf = 0.05 }
+      (Diskdb.Disk_graph.store disk)
+  in
+  let didx = Snb.Gen.build_indexes ~placement:Gindex.Node_store.Volatile dds in
+  let rng = Random.State.make [| 16 |] in
+  List.iter
+    (fun spec ->
+      let param = SR.draw_param ds rng spec in
+      let expected = run_spec db ds spec ~access:`Index ~mode:Engine.Interp param in
+      let actual =
+        Mvto.with_txn (Diskdb.Disk_graph.mgr disk) (fun txn ->
+            let g =
+              Diskdb.Disk_graph.source
+                ~indexes:(Snb.Gen.index_lookup_fn dds didx)
+                disk txn
+            in
+            List.concat_map
+              (fun plan -> Query.Interp.run g ~params:[| param |] plan)
+              (spec.SR.plans ~access:`Index))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "SR%s disk==pmem" spec.SR.name)
+        true
+        (norm expected = norm actual))
+    (SR.all ds.Snb.Gen.schema)
+
+let test_disk_cold_slower_than_hot () =
+  let disk = Diskdb.Disk_graph.create () in
+  let ds =
+    Snb.Gen.generate
+      ~params:{ Snb.Gen.default_params with sf = 0.05 }
+      (Diskdb.Disk_graph.store disk)
+  in
+  let idx = Snb.Gen.build_indexes ~placement:Gindex.Node_store.Volatile ds in
+  let sc = ds.Snb.Gen.schema in
+  let media = Diskdb.Disk_graph.media disk in
+  let run_once param =
+    Mvto.with_txn (Diskdb.Disk_graph.mgr disk) (fun txn ->
+        let g =
+          Diskdb.Disk_graph.source ~indexes:(Snb.Gen.index_lookup_fn ds idx) disk txn
+        in
+        ignore (Query.Interp.run g ~params:[| param |] (SR.is1 sc ~access:`Index)))
+  in
+  let param = Value.Int ds.Snb.Gen.person_ids.(7) in
+  Diskdb.Disk_graph.drop_caches disk;
+  let c0 = Pmem.Media.clock media in
+  run_once param;
+  let cold = Pmem.Media.clock media - c0 in
+  let c1 = Pmem.Media.clock media in
+  run_once param;
+  let hot = Pmem.Media.clock media - c1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "cold %dns > hot %dns" cold hot)
+    true (cold > hot)
+
+let () =
+  Alcotest.run "system"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "shape" `Quick test_generator_shape;
+          Alcotest.test_case "deterministic" `Quick test_generator_deterministic;
+        ] );
+      ( "short-reads",
+        [
+          Alcotest.test_case "scan == index" `Slow test_sr_scan_equals_index;
+          Alcotest.test_case "jit == interp" `Slow test_sr_jit_equals_interp;
+          Alcotest.test_case "sanity" `Quick test_sr_sanity;
+          Alcotest.test_case "adaptive == interp" `Slow test_sr_adaptive_equals_interp;
+          Alcotest.test_case "complex reads cross-engine" `Slow
+            test_complex_reads_cross_engine;
+        ] );
+      ( "updates",
+        [
+          Alcotest.test_case "all execute and commit" `Quick
+            test_iu_all_execute_and_commit;
+          Alcotest.test_case "jit effects" `Quick test_iu_jit_equals_interp_effects;
+          Alcotest.test_case "visible after commit" `Quick test_iu_visible_after_commit;
+          Alcotest.test_case "index maintenance update/delete" `Quick
+            test_index_maintenance_on_update_and_delete;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "end to end" `Quick test_crash_recovery_end_to_end;
+          Alcotest.test_case "uncommitted lost" `Quick
+            test_uncommitted_update_lost_on_crash;
+        ] );
+      ( "disk-baseline",
+        [
+          Alcotest.test_case "matches pmem" `Slow test_disk_baseline_matches_pmem;
+          Alcotest.test_case "cold slower than hot" `Quick test_disk_cold_slower_than_hot;
+        ] );
+    ]

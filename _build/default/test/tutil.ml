@@ -1,0 +1,104 @@
+(* Shared helpers for query/JIT/engine tests: a small deterministic social
+   graph served through the MVCC source. *)
+
+module Media = Pmem.Media
+module Pool = Pmem.Pool
+module Value = Storage.Value
+module G = Storage.Graph_store
+module Mvto = Mvcc.Mvto
+module A = Query.Algebra
+module E = Query.Expr
+
+type env = {
+  mgr : Mvto.t;
+  media : Media.t;
+  person : int; (* label codes *)
+  post : int;
+  knows : int;
+  likes : int;
+  reply_of : int;
+  k_name : int; (* property key codes *)
+  k_age : int;
+  k_id : int;
+  persons : int array;
+  posts : int array;
+}
+
+(* [n] persons in a ring of KNOWS edges plus a few random extra edges;
+   [m] posts each liked by a few persons; a reply chain hanging off post 0. *)
+let mk_env ?(kind = `Pmem) ?(n = 40) ?(m = 12) ?(chunk_capacity = 16) () =
+  let media = Media.create () in
+  let pool = Pool.create ~kind ~media ~id:1 ~size:(1 lsl 24) () in
+  let g = G.format ~chunk_capacity pool in
+  let mgr = Mvto.create g in
+  let person = G.code g "Person" and post = G.code g "Post" in
+  let knows = G.code g "KNOWS" and likes = G.code g "LIKES" in
+  let reply_of = G.code g "REPLY_OF" in
+  let k_name = G.code g "name"
+  and k_age = G.code g "age"
+  and k_id = G.code g "id" in
+  let persons, posts =
+    Mvto.with_txn mgr (fun txn ->
+        let persons =
+          Array.init n (fun i ->
+              Mvto.insert_node mgr txn ~label:person
+                ~props:
+                  [
+                    (k_name, G.encode_value g (Value.Text (Printf.sprintf "p%03d" i)));
+                    (k_age, Value.Int (20 + (i mod 50)));
+                    (k_id, Value.Int (1000 + i));
+                  ])
+        in
+        let posts =
+          Array.init m (fun i ->
+              Mvto.insert_node mgr txn ~label:post
+                ~props:[ (k_id, Value.Int (5000 + i)) ])
+        in
+        Array.iteri
+          (fun i p ->
+            ignore
+              (Mvto.insert_rel mgr txn ~label:knows ~src:p
+                 ~dst:persons.((i + 1) mod n) ~props:[]))
+          persons;
+        for i = 0 to (n / 3) - 1 do
+          ignore
+            (Mvto.insert_rel mgr txn ~label:knows ~src:persons.(i * 2 mod n)
+               ~dst:persons.((i * 7) mod n) ~props:[])
+        done;
+        Array.iteri
+          (fun i po ->
+            for j = 0 to 2 do
+              ignore
+                (Mvto.insert_rel mgr txn ~label:likes
+                   ~src:persons.(((i * 3) + j) mod n) ~dst:po ~props:[])
+            done)
+          posts;
+        (* reply chain: posts.(m-1) -> ... -> posts.(1) -> posts.(0) *)
+        for i = 1 to m - 1 do
+          ignore
+            (Mvto.insert_rel mgr txn ~label:reply_of ~src:posts.(i)
+               ~dst:posts.(i - 1) ~props:[])
+        done;
+        (persons, posts))
+  in
+  { mgr; media; person; post; knows; likes; reply_of; k_name; k_age; k_id; persons; posts }
+
+let with_source env f =
+  Mvto.with_txn env.mgr (fun txn -> f (Query.Source.of_mvcc env.mgr txn))
+
+let with_source_idx env ~indexes f =
+  Mvto.with_txn env.mgr (fun txn -> f (Query.Source.of_mvcc ~indexes env.mgr txn))
+
+(* schema type hints for the JIT: requirement (3), compile-time types *)
+let prop_tag env key =
+  if key = env.k_name then Jit.Ir.TagStr else Jit.Ir.TagInt
+
+(* normalise result sets for comparison *)
+let norm rows = List.sort compare (List.map Array.to_list rows)
+
+let check_same_rows msg expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (%d vs %d rows)" msg (List.length expected)
+       (List.length actual))
+    true
+    (norm expected = norm actual)
