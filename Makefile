@@ -1,0 +1,16 @@
+.PHONY: all build test check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# fast type-check of every module (no linking, no tests)
+check:
+	dune build @check
+
+clean:
+	dune clean

@@ -223,11 +223,25 @@ let with_txn t f =
       if Txn.is_active txn then abort t txn;
       raise e
 
-let with_txn_retry ?(max_retries = 16) t f =
+(* Same retry policy as [Mvto.with_txn_retry], but over [Core.with_txn]
+   so retried attempts redo secondary-index maintenance too. *)
+let with_txn_retry ?(max_retries = 16) ?(backoff_ns = 500) ?rng t f =
+  let rng =
+    match rng with Some r -> r | None -> Random.State.make [| 0xB4C0FF |]
+  in
   let rec go n =
     match with_txn t f with
     | v -> v
-    | exception Abort _ when n < max_retries -> go (n + 1)
+    | exception Abort reason
+      when n < max_retries && Mvto.classify_abort reason = Mvto.Transient ->
+        (Mvto.stats t.mgr).Mvto.retries <- (Mvto.stats t.mgr).Mvto.retries + 1;
+        Media.note_retry t.media;
+        if backoff_ns > 0 then begin
+          let cap = backoff_ns * (1 lsl min n 10) in
+          Media.charge t.media
+            ((cap / 2) + Random.State.int rng (max 1 (cap / 2)))
+        end;
+        go (n + 1)
   in
   go 0
 

@@ -78,7 +78,13 @@ val commit : t -> Mvcc.Txn.t -> unit
 
 val abort : t -> Mvcc.Txn.t -> unit
 val with_txn : t -> (Mvcc.Txn.t -> 'a) -> 'a
-val with_txn_retry : ?max_retries:int -> t -> (Mvcc.Txn.t -> 'a) -> 'a
+
+val with_txn_retry :
+  ?max_retries:int -> ?backoff_ns:int -> ?rng:Random.State.t ->
+  t -> (Mvcc.Txn.t -> 'a) -> 'a
+(** Like {!with_txn}, retrying transient {!Abort}s (per
+    {!Mvcc.Mvto.classify_abort}) with capped exponential backoff charged
+    to the media clock; fatal aborts and exhaustion re-raise. *)
 
 (** {1 Data API (string labels/keys at the boundary)} *)
 

@@ -17,6 +17,7 @@
    contents themselves live in the underlying (volatile) pool. *)
 
 module Media = Pmem.Media
+module Faults = Pmem.Faults
 
 type t = {
   media : Media.t;
@@ -28,13 +29,18 @@ type t = {
   mutable misses : int;
   mutable evictions : int;
   mutable wal_pages : int;
+  mutable retries : int; (* transient SSD faults absorbed *)
   hit_ns : int; (* page-cache indirection cost per access *)
+  max_retries : int;
+  retry_base_ns : int;
+  rng : Random.State.t; (* backoff jitter *)
   mu : Mutex.t;
 }
 
 and frame = { mutable last_used : int; mutable dirty : bool }
 
-let create ?(page_size = 8192) ?(capacity = 4096) ?(hit_ns = 900) media =
+let create ?(page_size = 8192) ?(capacity = 4096) ?(hit_ns = 900)
+    ?(max_retries = 6) ?(retry_base_ns = 20_000) ?(seed = 0xD15C) media =
   {
     media;
     page_size;
@@ -45,11 +51,33 @@ let create ?(page_size = 8192) ?(capacity = 4096) ?(hit_ns = 900) media =
     misses = 0;
     evictions = 0;
     wal_pages = 0;
+    retries = 0;
     hit_ns;
+    max_retries;
+    retry_base_ns;
+    rng = Random.State.make [| 0x55D; seed |];
     mu = Mutex.create ();
   }
 
 let page_of t off = off / t.page_size
+
+(* Graceful degradation for transient SSD errors: retry the page access
+   with capped exponential backoff and jitter, charged to the media clock
+   like any other device latency.  Only when the budget is exhausted does
+   the fault surface to the caller (the device is then presumed dead). *)
+let with_ssd_retry t op =
+  let rec go attempt =
+    match op () with
+    | () -> ()
+    | exception Faults.Ssd_fault _ when attempt < t.max_retries ->
+        t.retries <- t.retries + 1;
+        Media.note_retry t.media;
+        let cap = t.retry_base_ns * (1 lsl min attempt 8) in
+        Media.charge t.media
+          ((cap / 2) + Random.State.int t.rng (max 1 (cap / 2)));
+        go (attempt + 1)
+  in
+  go 0
 
 let evict_one t =
   (* clock-free LRU: evict the least recently used frame *)
@@ -63,7 +91,8 @@ let evict_one t =
     t.frames;
   if !victim >= 0 then begin
     (match Hashtbl.find_opt t.frames !victim with
-    | Some f when f.dirty -> Media.ssd_write_page t.media
+    | Some f when f.dirty ->
+        with_ssd_retry t (fun () -> Media.ssd_write_page t.media)
     | _ -> ());
     Hashtbl.remove t.frames !victim;
     t.evictions <- t.evictions + 1
@@ -72,9 +101,10 @@ let evict_one t =
 (* Record an access to the page containing [off]. *)
 let touch t ~off ~(rw : [ `R | `W ]) =
   Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) @@ fun () ->
   let pid = page_of t off in
   t.tick <- t.tick + 1;
-  (match Hashtbl.find_opt t.frames pid with
+  match Hashtbl.find_opt t.frames pid with
   | Some f ->
       t.hits <- t.hits + 1;
       Media.charge t.media t.hit_ns;
@@ -82,21 +112,20 @@ let touch t ~off ~(rw : [ `R | `W ]) =
       if rw = `W then f.dirty <- true
   | None ->
       t.misses <- t.misses + 1;
-      Media.ssd_read_page t.media;
+      with_ssd_retry t (fun () -> Media.ssd_read_page t.media);
       Media.charge t.media t.hit_ns;
       if Hashtbl.length t.frames >= t.capacity then evict_one t;
-      Hashtbl.replace t.frames pid { last_used = t.tick; dirty = rw = `W });
-  Mutex.unlock t.mu
+      Hashtbl.replace t.frames pid { last_used = t.tick; dirty = rw = `W }
 
 (* Commit: append [bytes] of WAL and sync it (at least one page). *)
 let wal_commit t ~bytes =
   Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) @@ fun () ->
   let pages = max 1 ((bytes + t.page_size - 1) / t.page_size) in
   for _ = 1 to pages do
-    Media.ssd_write_page t.media;
+    with_ssd_retry t (fun () -> Media.ssd_write_page t.media);
     t.wal_pages <- t.wal_pages + 1
-  done;
-  Mutex.unlock t.mu
+  done
 
 (* Drop all frames: the first runs after this are cold. *)
 let clear t =
@@ -105,3 +134,4 @@ let clear t =
   Mutex.unlock t.mu
 
 let stats t = (t.hits, t.misses, t.evictions, t.wal_pages)
+let retries t = t.retries

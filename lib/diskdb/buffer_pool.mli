@@ -2,15 +2,30 @@
     simulated SSD.  A miss charges an SSD page read (plus a write-back
     when evicting a dirty frame); even a hit charges the page-cache
     indirection that distinguishes block-oriented engines from direct
-    byte-addressing.  Commits append and sync WAL pages. *)
+    byte-addressing.  Commits append and sync WAL pages.
+
+    Transient SSD faults injected by {!Pmem.Faults} are absorbed with
+    bounded exponential-backoff retries (jittered, charged to the media
+    clock); only an exhausted retry budget lets {!Pmem.Faults.Ssd_fault}
+    surface to the caller. *)
 
 type t
 
 val create :
-  ?page_size:int -> ?capacity:int -> ?hit_ns:int -> Pmem.Media.t -> t
+  ?page_size:int ->
+  ?capacity:int ->
+  ?hit_ns:int ->
+  ?max_retries:int ->
+  ?retry_base_ns:int ->
+  ?seed:int ->
+  Pmem.Media.t ->
+  t
 
 val touch : t -> off:int -> rw:[ `R | `W ] -> unit
 val wal_commit : t -> bytes:int -> unit
 val clear : t -> unit
 val stats : t -> int * int * int * int
 (** (hits, misses, evictions, wal pages written). *)
+
+val retries : t -> int
+(** Transient SSD faults absorbed so far. *)

@@ -26,6 +26,7 @@
    plain offsets in the records. *)
 
 module Pool = Pmem.Pool
+module Media = Pmem.Media
 module Pmdk_tx = Pmem.Pmdk_tx
 
 let log_src = Logs.Src.create "poseidon.mvto" ~doc:"MVTO transaction manager"
@@ -46,6 +47,7 @@ type stats = {
   mutable reads : int;
   mutable writes : int;
   mutable gc_pruned : int;
+  mutable retries : int; (* transient aborts absorbed by with_txn_retry *)
 }
 
 type t = {
@@ -78,7 +80,9 @@ let create store =
     active_mu = Mutex.create ();
     deferred = ref [];
     deferred_mu = Mutex.create ();
-    stats = { commits = 0; aborts = 0; reads = 0; writes = 0; gc_pruned = 0 };
+    stats =
+      { commits = 0; aborts = 0; reads = 0; writes = 0; gc_pruned = 0;
+        retries = 0 };
     stats_mu = Mutex.create ();
     write_through = false;
     durable_rts = false;
@@ -683,12 +687,52 @@ let with_txn t f =
       if Txn.is_active txn then abort t txn;
       raise e
 
-(* Retry a transactional computation on [Abort], with a bound. *)
-let with_txn_retry ?(max_retries = 16) t f =
+(* Abort classification for retry policies.  Timestamp-ordering conflicts
+   are transient - the same logic re-run under a fresh (higher) timestamp
+   can succeed - while aborts about objects that no longer exist, dead
+   transactions or unsupported operations will fail identically forever.
+   Unknown (caller-raised) reasons default to transient, preserving the
+   old retry-everything behaviour for user aborts. *)
+
+type abort_class = Transient | Fatal
+
+let fatal_markers =
+  [
+    "no such object"; "not active"; "after delete"; "already deleted";
+    "object deleted"; "not supported";
+  ]
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let classify_abort reason =
+  if List.exists (fun m -> contains ~sub:m reason) fatal_markers then Fatal
+  else Transient
+
+(* Retry a transactional computation on transient [Abort]s, with a bound
+   and capped exponential backoff.  The backoff is charged to the media
+   clock (with deterministic jitter) so contention shows up in simulated
+   time just like device latency does; fatal aborts re-raise
+   immediately. *)
+let with_txn_retry ?(max_retries = 16) ?(backoff_ns = 500) ?rng t f =
+  let rng =
+    match rng with Some r -> r | None -> Random.State.make [| 0xB4C0FF |]
+  in
+  let media = Pool.media (G.pool t.store) in
   let rec go n =
     match with_txn t f with
     | v -> v
-    | exception Abort _ when n < max_retries -> go (n + 1)
+    | exception Abort reason
+      when n < max_retries && classify_abort reason = Transient ->
+        bump_stat t (fun s -> s.retries <- s.retries + 1);
+        Media.note_retry media;
+        if backoff_ns > 0 then begin
+          let cap = backoff_ns * (1 lsl min n 10) in
+          Media.charge media ((cap / 2) + Random.State.int rng (max 1 (cap / 2)))
+        end;
+        go (n + 1)
   in
   go 0
 

@@ -20,6 +20,8 @@ type stats = {
   mutable reads : int;
   mutable writes : int;
   mutable gc_pruned : int;
+  mutable retries : int;
+      (** transient aborts absorbed by {!with_txn_retry} *)
 }
 
 type t
@@ -56,8 +58,22 @@ val abort : t -> Txn.t -> unit
 val with_txn : t -> (Txn.t -> 'a) -> 'a
 (** Commit on return, abort on exception (re-raised). *)
 
-val with_txn_retry : ?max_retries:int -> t -> (Txn.t -> 'a) -> 'a
-(** Like {!with_txn}, retrying on {!Abort}. *)
+(** Abort classification for retry policies: timestamp-ordering conflicts
+    are [Transient] (a re-run under a fresh timestamp can succeed); aborts
+    about vanished objects, dead transactions or unsupported operations
+    are [Fatal] and retried never.  Unknown reasons default to
+    [Transient]. *)
+type abort_class = Transient | Fatal
+
+val classify_abort : string -> abort_class
+
+val with_txn_retry :
+  ?max_retries:int -> ?backoff_ns:int -> ?rng:Random.State.t ->
+  t -> (Txn.t -> 'a) -> 'a
+(** Like {!with_txn}, retrying transient {!Abort}s up to [max_retries]
+    times with capped exponential backoff charged to the media clock
+    ([backoff_ns] base, deterministic jitter from [rng]).  Fatal aborts
+    and exhaustion re-raise. *)
 
 val gc : t -> unit
 (** Transaction-level garbage collection: prune superseded versions below

@@ -1,0 +1,60 @@
+(** Exhaustive crash-schedule exploration (pmreorder-style).
+
+    {!record} captures a workload's {e persist trace} - the ordered
+    stream of PMem stores, [clwb] write-backs and [sfence]s - and
+    {!explore} then replays the workload once per crash schedule: a
+    power cut at every fence boundary of the trace (optionally also at
+    flush boundaries and with randomized eviction/torn-line variants),
+    each followed by recovery and an invariant oracle.
+
+    The workload must be deterministic so that the n-th fence of a
+    replay coincides with the n-th fence of the trace. *)
+
+type event = Store of { off : int; len : int } | Flush of { off : int } | Fence
+
+type trace = event array
+
+val record : Media.t -> (unit -> unit) -> trace
+(** Run the thunk with a trace-collecting hook on the media (replacing
+    any installed hook, removed afterwards). *)
+
+val fences : trace -> int
+val flushes : trace -> int
+val stores : trace -> int
+val pp_event : Format.formatter -> event -> unit
+val pp_trace : Format.formatter -> trace -> unit
+
+(** A crash-exploration target: how to build, drive, recover and check
+    one workload instance.  ['db] is the engine handle (e.g. [Core.t]);
+    keeping it abstract lets the explorer live below every layer it
+    tests. *)
+type 'db target = {
+  fresh : unit -> 'db;
+  pool : 'db -> Pool.t;
+  run : 'db -> unit;
+  recover : 'db -> 'db;
+  check : 'db -> unit;
+}
+
+type report = {
+  trace_stores : int;
+  trace_flushes : int;
+  trace_fences : int;
+  fence_schedules : int;
+  flush_schedules : int;
+  variant_schedules : int;
+  schedules : int;
+  crashes_triggered : int;
+}
+
+val run_schedule : 'db target -> Faults.t -> bool
+(** Run one schedule end to end (fresh → armed plan → workload →
+    reboot → recovery → oracle); returns whether the plan fired. *)
+
+val explore :
+  ?evict_variants:int -> ?flush_stride:int -> ?seed:int -> 'db target -> report
+(** Enumerate crash schedules: one clean run (trace + oracle sanity), a
+    cut at each of the trace's fence boundaries, [evict_variants]
+    randomized eviction/torn-line variants per fence, and - when
+    [flush_stride > 0] - a cut at every [flush_stride]-th [clwb].
+    Raises whatever the oracle raises on the first violated schedule. *)

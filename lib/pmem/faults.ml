@@ -1,0 +1,164 @@
+(* Deterministic fault injection for the simulated device stack.
+
+   A fault plan is armed on a {!Media.t} (optionally tied to the
+   {!Pool.t} whose durability it attacks) and observes the media event
+   stream through the {!Media.set_hook} slot:
+
+   - [crash_at (ev, n)] raises {!Crash_point} at the n-th occurrence of
+     [ev], after freezing the pool so that nothing the unwinding code
+     does can retroactively reach the durable image - exactly a power
+     failure at that instant.  The freeze applies the plan's
+     eviction/torn-write model to the lines dirty at the cut.
+   - [ssd_read_fail]/[ssd_write_fail] make SSD page accesses raise
+     {!Ssd_fault} with the given probability (transient device errors);
+     callers are expected to absorb them with bounded retries
+     (Buffer_pool does).
+
+   Everything is driven by one seeded RNG, so a given (plan, workload)
+   pair replays identically - the property the crash-schedule explorer
+   builds on.  Every injection is counted both in the plan's own stats
+   and in the media's global fault counter. *)
+
+type crash_event = [ `Write | `Flush | `Fence | `Alloc ]
+
+let pp_crash_event ppf = function
+  | `Write -> Fmt.string ppf "write"
+  | `Flush -> Fmt.string ppf "flush"
+  | `Fence -> Fmt.string ppf "fence"
+  | `Alloc -> Fmt.string ppf "alloc"
+
+exception Crash_point of { event : crash_event; count : int }
+exception Ssd_fault of [ `Read | `Write ]
+
+let () =
+  Printexc.register_printer (function
+    | Crash_point { event; count } ->
+        Some
+          (Fmt.str "Faults.Crash_point(%a #%d)" pp_crash_event event count)
+    | Ssd_fault op ->
+        Some
+          (Fmt.str "Faults.Ssd_fault(%s)"
+             (match op with `Read -> "read" | `Write -> "write"))
+    | _ -> None)
+
+type stats = {
+  injected_crashes : int;
+  ssd_read_faults : int;
+  ssd_write_faults : int;
+  stores_seen : int;
+  flushes_seen : int;
+  fences_seen : int;
+  allocs_seen : int;
+}
+
+type t = {
+  crash_at : (crash_event * int) option;
+  evict_prob : float;
+  torn_prob : float;
+  ssd_read_fail : float;
+  ssd_write_fail : float;
+  rng : Random.State.t;
+  mutable triggered : bool;
+  mutable crashes : int;
+  mutable ssd_r : int;
+  mutable ssd_w : int;
+  mutable stores : int;
+  mutable flushes : int;
+  mutable fences : int;
+  mutable allocs : int;
+}
+
+let plan ?crash_at ?(evict_prob = 0.0) ?(torn_prob = 0.0)
+    ?(ssd_read_fail = 0.0) ?(ssd_write_fail = 0.0) ?(seed = 0x5EED) () =
+  (match crash_at with
+  | Some (_, n) when n < 1 -> invalid_arg "Faults.plan: crash_at count < 1"
+  | _ -> ());
+  {
+    crash_at;
+    evict_prob;
+    torn_prob;
+    ssd_read_fail;
+    ssd_write_fail;
+    rng = Random.State.make [| 0xFA17; seed |];
+    triggered = false;
+    crashes = 0;
+    ssd_r = 0;
+    ssd_w = 0;
+    stores = 0;
+    flushes = 0;
+    fences = 0;
+    allocs = 0;
+  }
+
+let stats p =
+  {
+    injected_crashes = p.crashes;
+    ssd_read_faults = p.ssd_r;
+    ssd_write_faults = p.ssd_w;
+    stores_seen = p.stores;
+    flushes_seen = p.flushes;
+    fences_seen = p.fences;
+    allocs_seen = p.allocs;
+  }
+
+let triggered p = p.triggered
+
+let trigger p media pool event count =
+  p.triggered <- true;
+  p.crashes <- p.crashes + 1;
+  Media.note_fault media;
+  (match pool with
+  | Some pool ->
+      Pool.freeze ~evict_prob:p.evict_prob ~torn_prob:p.torn_prob ~rng:p.rng
+        pool
+  | None -> ());
+  raise (Crash_point { event; count })
+
+let hook p media pool ev =
+  if not p.triggered then
+    match ev with
+    | Media.Ev_store _ -> (
+        p.stores <- p.stores + 1;
+        match p.crash_at with
+        | Some (`Write, n) when p.stores >= n ->
+            trigger p media pool `Write p.stores
+        | _ -> ())
+    | Media.Ev_flush _ -> (
+        p.flushes <- p.flushes + 1;
+        match p.crash_at with
+        | Some (`Flush, n) when p.flushes >= n ->
+            trigger p media pool `Flush p.flushes
+        | _ -> ())
+    | Media.Ev_fence -> (
+        p.fences <- p.fences + 1;
+        match p.crash_at with
+        | Some (`Fence, n) when p.fences >= n ->
+            trigger p media pool `Fence p.fences
+        | _ -> ())
+    | Media.Ev_alloc -> (
+        p.allocs <- p.allocs + 1;
+        match p.crash_at with
+        | Some (`Alloc, n) when p.allocs >= n ->
+            trigger p media pool `Alloc p.allocs
+        | _ -> ())
+    | Media.Ev_ssd_read ->
+        if
+          p.ssd_read_fail > 0.0
+          && Random.State.float p.rng 1.0 < p.ssd_read_fail
+        then begin
+          p.ssd_r <- p.ssd_r + 1;
+          Media.note_fault media;
+          raise (Ssd_fault `Read)
+        end
+    | Media.Ev_ssd_write ->
+        if
+          p.ssd_write_fail > 0.0
+          && Random.State.float p.rng 1.0 < p.ssd_write_fail
+        then begin
+          p.ssd_w <- p.ssd_w + 1;
+          Media.note_fault media;
+          raise (Ssd_fault `Write)
+        end
+
+let install ?pool media p = Media.set_hook media (Some (hook p media pool))
+let uninstall media = Media.set_hook media None

@@ -1,0 +1,66 @@
+(** Deterministic fault injection for the simulated device stack.
+
+    A fault plan observes the {!Media} event stream and turns chosen
+    events into failures:
+
+    - a programmed {e crash point} ([crash_at]) cuts power at the n-th
+      store / flush / fence / allocation, freezing the pool (with the
+      plan's eviction and torn-line model applied to still-dirty lines)
+      and raising {!Crash_point};
+    - {e transient SSD errors} make page reads/writes raise {!Ssd_fault}
+      with a configured probability, to be absorbed by retry loops
+      (see [Diskdb.Buffer_pool]).
+
+    All randomness comes from one seeded RNG: a (plan, workload) pair
+    replays identically, which is what lets {!Crash_explorer} enumerate
+    crash schedules exhaustively.  Injections are counted in the plan
+    stats and in {!Media.stats}. *)
+
+type crash_event = [ `Alloc | `Fence | `Flush | `Write ]
+
+val pp_crash_event : Format.formatter -> crash_event -> unit
+
+exception Crash_point of { event : crash_event; count : int }
+(** Power failed at the [count]-th occurrence of [event].  The pool (when
+    the plan was installed with one) is frozen: finish the reboot with
+    {!Pool.crash} and rerun recovery. *)
+
+exception Ssd_fault of [ `Read | `Write ]
+(** Transient SSD page-access error. *)
+
+type stats = {
+  injected_crashes : int;
+  ssd_read_faults : int;
+  ssd_write_faults : int;
+  stores_seen : int;
+  flushes_seen : int;
+  fences_seen : int;
+  allocs_seen : int;
+}
+
+type t
+
+val plan :
+  ?crash_at:crash_event * int ->
+  ?evict_prob:float ->
+  ?torn_prob:float ->
+  ?ssd_read_fail:float ->
+  ?ssd_write_fail:float ->
+  ?seed:int ->
+  unit ->
+  t
+(** [crash_at (ev, n)] fires at the [n]-th occurrence of [ev] (1-based).
+    [evict_prob]/[torn_prob] govern what happens to still-dirty lines at
+    the cut (see {!Pool.freeze}).  [ssd_read_fail]/[ssd_write_fail] are
+    per-access failure probabilities. *)
+
+val install : ?pool:Pool.t -> Media.t -> t -> unit
+(** Arm the plan on the media's hook slot (replacing any previous hook).
+    Pass [pool] so an injected crash freezes its durable image; without
+    it {!Crash_point} is raised without freezing. *)
+
+val uninstall : Media.t -> unit
+val stats : t -> stats
+val triggered : t -> bool
+(** The plan's crash point has fired (plans are one-shot: after firing
+    the hook is inert). *)

@@ -67,7 +67,21 @@ type stats = {
   mutable ssd_writes : int;
   mutable bytes_read : int;
   mutable bytes_written : int;
+  mutable faults : int; (* injected device faults (Faults) *)
+  mutable retries : int; (* degradation retries absorbing them *)
 }
+
+(* Durability-relevant device events, exposed to observers.  A single hook
+   slot serves both the persist-trace recorder (Crash_explorer) and the
+   fault injector (Faults): the hook fires *before* the access takes
+   effect, so raising from it models the device failing the access. *)
+type event =
+  | Ev_store of { off : int; len : int } (* PMem store *)
+  | Ev_flush of { off : int } (* clwb write-back, line-aligned *)
+  | Ev_fence (* sfence on PMem *)
+  | Ev_alloc (* PMem allocation *)
+  | Ev_ssd_read
+  | Ev_ssd_write
 
 (* internal lock-free counters; [stats] returns a snapshot *)
 type counters = {
@@ -82,6 +96,8 @@ type counters = {
   c_ssd_writes : int Atomic.t;
   c_bytes_read : int Atomic.t;
   c_bytes_written : int Atomic.t;
+  c_faults : int Atomic.t;
+  c_retries : int Atomic.t;
 }
 
 let empty_counters () =
@@ -97,6 +113,8 @@ let empty_counters () =
     c_ssd_writes = Atomic.make 0;
     c_bytes_read = Atomic.make 0;
     c_bytes_written = Atomic.make 0;
+    c_faults = Atomic.make 0;
+    c_retries = Atomic.make 0;
   }
 
 let add c n = ignore (Atomic.fetch_and_add c n)
@@ -113,6 +131,9 @@ type t = {
   meters : (int, int ref) Hashtbl.t;
   meters_mu : Mutex.t;
   mutable next_meter : int;
+  mutable hook : (event -> unit) option;
+      (* observer for durability-relevant events; may raise to inject a
+         fault in place of the access (see Faults / Crash_explorer) *)
 }
 
 let line_size = 64
@@ -129,9 +150,13 @@ let create ?(costs = default_costs) () =
     meters = Hashtbl.create 8;
     meters_mu = Mutex.create ();
     next_meter = 0;
+    hook = None;
   }
 
 let clock t = Atomic.get t.clock
+let set_hook t h = t.hook <- h
+let hook_installed t = t.hook <> None
+let emit t ev = match t.hook with None -> () | Some f -> f ev
 
 let stats t =
   let c = t.counters in
@@ -147,6 +172,8 @@ let stats t =
     ssd_writes = Atomic.get c.c_ssd_writes;
     bytes_read = Atomic.get c.c_bytes_read;
     bytes_written = Atomic.get c.c_bytes_written;
+    faults = Atomic.get c.c_faults;
+    retries = Atomic.get c.c_retries;
   }
 
 let costs t = t.costs
@@ -186,13 +213,16 @@ let busy_wait_ns ns =
 
 let reset t =
   Atomic.set t.clock 0;
+  (* forget the open DCPMM block: sequential-read modelling (C3) must not
+     leak across resets into the next benchmark run *)
+  Atomic.set t.last_block (-10);
   let c = t.counters in
   List.iter
     (fun a -> Atomic.set a 0)
     [
       c.c_reads; c.c_writes; c.c_flushes; c.c_fences; c.c_allocs; c.c_frees;
       c.c_derefs; c.c_ssd_reads; c.c_ssd_writes; c.c_bytes_read;
-      c.c_bytes_written;
+      c.c_bytes_written; c.c_faults; c.c_retries;
     ];
   Mutex.lock t.meters_mu;
   Hashtbl.reset t.meters;
@@ -262,6 +292,7 @@ let read t device ~off ~len =
   add t.counters.c_bytes_read len
 
 let write t device ~off ~len =
+  if device = Pmem then emit t (Ev_store { off; len });
   let first_line = off / line_size and last_line = (off + len - 1) / line_size in
   let nlines = last_line - first_line + 1 in
   let cost =
@@ -273,10 +304,11 @@ let write t device ~off ~len =
   add t.counters.c_writes nlines;
   add t.counters.c_bytes_written len
 
-let flush_line t device =
+let flush_line t device ~off =
   match device with
   | Dram | Ssd -> ()
   | Pmem ->
+      emit t (Ev_flush { off });
       charge t t.costs.pmem_flush_line;
       add t.counters.c_flushes 1
 
@@ -284,10 +316,12 @@ let fence t device =
   match device with
   | Dram | Ssd -> ()
   | Pmem ->
+      emit t Ev_fence;
       charge t t.costs.pmem_fence;
       add t.counters.c_fences 1
 
 let alloc t device =
+  if device = Pmem then emit t Ev_alloc;
   let cost =
     match device with
     | Dram | Ssd -> t.costs.dram_alloc
@@ -303,16 +337,21 @@ let pptr_deref t =
   add t.counters.c_derefs 1
 
 let ssd_read_page t =
+  emit t Ev_ssd_read;
   charge t t.costs.ssd_read_page;
   add t.counters.c_ssd_reads 1
 
 let ssd_write_page t =
+  emit t Ev_ssd_write;
   charge t t.costs.ssd_write_page;
   add t.counters.c_ssd_writes 1
+
+let note_fault t = add t.counters.c_faults 1
+let note_retry t = add t.counters.c_retries 1
 
 let pp_stats ppf s =
   Fmt.pf ppf
     "reads=%d writes=%d flushes=%d fences=%d allocs=%d frees=%d derefs=%d \
-     ssd_r=%d ssd_w=%d bytes_r=%d bytes_w=%d"
+     ssd_r=%d ssd_w=%d bytes_r=%d bytes_w=%d faults=%d retries=%d"
     s.reads s.writes s.flushes s.fences s.allocs s.frees s.derefs s.ssd_reads
-    s.ssd_writes s.bytes_read s.bytes_written
+    s.ssd_writes s.bytes_read s.bytes_written s.faults s.retries

@@ -45,7 +45,22 @@ type stats = {
   mutable ssd_writes : int;
   mutable bytes_read : int;
   mutable bytes_written : int;
+  mutable faults : int;  (** injected device faults (see {!Faults}) *)
+  mutable retries : int;  (** degradation retries that absorbed them *)
 }
+
+(** Durability-relevant device events.  A hook installed with {!set_hook}
+    observes the ordered stream of PMem stores, [clwb] write-backs and
+    [sfence]s (the persist trace) plus allocations and SSD page accesses.
+    The hook fires {e before} the access takes effect; raising from it
+    models the device failing the access (fault injection). *)
+type event =
+  | Ev_store of { off : int; len : int }
+  | Ev_flush of { off : int }  (** line-aligned write-back offset *)
+  | Ev_fence
+  | Ev_alloc
+  | Ev_ssd_read
+  | Ev_ssd_write
 
 type t
 
@@ -84,11 +99,26 @@ val meter_value : t -> int -> int
 
 val read : t -> device -> off:int -> len:int -> unit
 val write : t -> device -> off:int -> len:int -> unit
-val flush_line : t -> device -> unit
+val flush_line : t -> device -> off:int -> unit
 val fence : t -> device -> unit
 val alloc : t -> device -> unit
 val free : t -> device -> unit
 val pptr_deref : t -> unit
 val ssd_read_page : t -> unit
 val ssd_write_page : t -> unit
+
+val set_hook : t -> (event -> unit) option -> unit
+(** Install (or clear) the single event-observer slot.  Used by
+    {!Crash_explorer} to record persist traces and by {!Faults} to inject
+    crashes and transient SSD errors. *)
+
+val hook_installed : t -> bool
+
+val note_fault : t -> unit
+(** Count one injected fault in {!stats} (called by the injector). *)
+
+val note_retry : t -> unit
+(** Count one graceful-degradation retry in {!stats} (called by retry
+    loops in the buffer pool and transaction layer). *)
+
 val pp_stats : Format.formatter -> stats -> unit

@@ -37,16 +37,42 @@ let entries_off = base + 16
 let limit = base + Alloc.log_size
 
 let active_tx : (int, t) Hashtbl.t = Hashtbl.create 4
-(* one active transaction per pool, guarded by the pool's tx mutex *)
+let active_mu = Mutex.create ()
+(* one active transaction per pool; the pool's tx mutex serialises
+   transactions on one pool, [active_mu] guards the table itself against
+   concurrent domains transacting on *different* pools *)
+
+let register tx =
+  Mutex.lock active_mu;
+  Hashtbl.replace active_tx (Pool.id tx.pool) tx;
+  Mutex.unlock active_mu
+
+let unregister pool =
+  Mutex.lock active_mu;
+  Hashtbl.remove active_tx (Pool.id pool);
+  Mutex.unlock active_mu
+
+let take_active pool =
+  Mutex.lock active_mu;
+  let tx = Hashtbl.find_opt active_tx (Pool.id pool) in
+  Hashtbl.remove active_tx (Pool.id pool);
+  Mutex.unlock active_mu;
+  tx
 
 let begin_ pool =
   Mutex.lock (Pool.tx_mutex pool);
   let tx =
     { pool; entries = []; write_head = entries_off; n = 0; live = true }
   in
-  Pool.atomic_write_int pool state_off 1;
+  (* register before touching the log: an injected crash point in the
+     state stores below must leave a handle for [recover] to release *)
+  register tx;
+  (* order matters: clear the previous transaction's entry count BEFORE
+     raising [state] - with the opposite order, a power failure between
+     the two stores leaves state=1 paired with the stale count, and
+     recovery would roll back the *committed* predecessor's pre-images *)
   Pool.atomic_write_int pool nentries_off 0;
-  Hashtbl.replace active_tx (Pool.id pool) tx;
+  Pool.atomic_write_int pool state_off 1;
   tx
 
 let pad8 n = (n + 7) land lnot 7
@@ -71,7 +97,7 @@ let add_range tx ~off ~len =
 
 let finish tx =
   tx.live <- false;
-  Hashtbl.remove active_tx (Pool.id tx.pool);
+  unregister tx.pool;
   Mutex.unlock (Pool.tx_mutex tx.pool)
 
 let commit tx =
@@ -111,11 +137,10 @@ let abort tx =
 (* Crash recovery: if a transaction was active when the crash happened, its
    undo log is rolled back.  Returns [true] when a rollback was applied. *)
 let recover pool =
-  (match Hashtbl.find_opt active_tx (Pool.id pool) with
+  (match take_active pool with
   | Some tx ->
       (* the crashing "process" held the tx open; drop its handle *)
       tx.live <- false;
-      Hashtbl.remove active_tx (Pool.id pool);
       Mutex.unlock (Pool.tx_mutex pool)
   | None -> ());
   if Pool.read_int pool state_off = 1 then begin

@@ -32,6 +32,10 @@ type t = {
   durable : Bytes.t; (* == working for `Dram pools *)
   dirty : Bytes.t; (* one bit per cache line *)
   mutable crashes : int;
+  mutable frozen : bool;
+      (* power has been cut: nothing further reaches [durable] until
+         [crash] restores the working view and unfreezes *)
+  mutable torn_lines : int;
   alloc_mu : Mutex.t; (* used by Alloc *)
   tx_mu : Mutex.t; (* used by Pmdk_tx *)
 }
@@ -60,6 +64,8 @@ let create ?(kind = `Pmem) ~media ~id ~size () =
     durable;
     dirty = Bytes.make ((nlines + 7) / 8) '\000';
     crashes = 0;
+    frozen = false;
+    torn_lines = 0;
     alloc_mu = Mutex.create ();
     tx_mu = Mutex.create ();
   }
@@ -72,6 +78,8 @@ let device t = t.device
 let alloc_mutex t = t.alloc_mu
 let tx_mutex t = t.tx_mu
 let crashes t = t.crashes
+let frozen t = t.frozen
+let torn_lines t = t.torn_lines
 
 let mark_dirty t off len =
   if t.kind = `Pmem then begin
@@ -160,18 +168,20 @@ let fill t ~off ~len c =
 
 let clwb t off =
   check t off 1;
-  if t.kind = `Pmem then begin
+  if t.kind = `Pmem && not t.frozen then begin
     let l = off / line in
     if is_dirty_line t l then begin
       let loff = l * line in
       let len = min line (t.size - loff) in
+      (* the media hook fires first: an injected crash point freezes the
+         pool and raises before this write-back reaches the durable image *)
+      Media.flush_line t.media t.device ~off:loff;
       Bytes.blit t.working loff t.durable loff len;
-      clear_dirty t l;
-      Media.flush_line t.media t.device
+      clear_dirty t l
     end
   end
 
-let sfence t = Media.fence t.media t.device
+let sfence t = if not t.frozen then Media.fence t.media t.device
 
 let flush_range t ~off ~len =
   if len > 0 then begin
@@ -195,23 +205,56 @@ let atomic_write_i64 t off v =
 
 let atomic_write_int t off v = atomic_write_i64 t off (Int64.of_int v)
 
-(* Crash injection. *)
+(* Crash injection.
 
-let crash ?(evict_prob = 0.0) ?(rng = Random.State.make [| 0xC0FFEE |]) t =
-  if t.kind = `Dram then invalid_arg "Pool.crash: volatile pool";
+   [power_cut] models the instant the power fails: each still-dirty line is
+   spontaneously evicted whole with probability [evict_prob], or partially
+   - torn at the 8-byte store granularity the hardware guarantees atomic -
+   with probability [torn_prob].  [freeze] applies it and then blocks all
+   further write-backs, so code unwinding from an injected crash point
+   cannot retroactively persist anything; [crash] finishes the simulated
+   reboot by restoring the working view from the durable image. *)
+
+let power_cut t ~evict_prob ~torn_prob ~rng =
   let nlines = (t.size + line - 1) / line in
   for l = 0 to nlines - 1 do
     if is_dirty_line t l then begin
-      if evict_prob > 0.0 && Random.State.float rng 1.0 < evict_prob then begin
-        (* the cache evicted this line on its own before the crash *)
-        let loff = l * line in
-        let len = min line (t.size - loff) in
-        Bytes.blit t.working loff t.durable loff len
-      end;
+      let loff = l * line in
+      let len = min line (t.size - loff) in
+      (if evict_prob > 0.0 && Random.State.float rng 1.0 < evict_prob then
+         (* the cache evicted this line on its own before the crash *)
+         Bytes.blit t.working loff t.durable loff len
+       else if torn_prob > 0.0 && Random.State.float rng 1.0 < torn_prob then begin
+         (* torn write: a random subset of the line's aligned 8-byte words
+            reached the media (never a partial word) *)
+         t.torn_lines <- t.torn_lines + 1;
+         let w = ref 0 in
+         while !w < len do
+           if Random.State.bool rng then
+             Bytes.blit t.working (loff + !w) t.durable (loff + !w)
+               (min 8 (len - !w));
+           w := !w + 8
+         done
+       end);
       clear_dirty t l
     end
-  done;
+  done
+
+let freeze ?(evict_prob = 0.0) ?(torn_prob = 0.0)
+    ?(rng = Random.State.make [| 0xC0FFEE |]) t =
+  if t.kind = `Dram then invalid_arg "Pool.freeze: volatile pool";
+  if not t.frozen then begin
+    power_cut t ~evict_prob ~torn_prob ~rng;
+    t.frozen <- true
+  end
+
+let crash ?(evict_prob = 0.0) ?(rng = Random.State.make [| 0xC0FFEE |]) t =
+  if t.kind = `Dram then invalid_arg "Pool.crash: volatile pool";
+  if not t.frozen then power_cut t ~evict_prob ~torn_prob:0.0 ~rng;
+  (* lines dirtied after a freeze never reached the durable image *)
+  Bytes.fill t.dirty 0 (Bytes.length t.dirty) '\000';
   Bytes.blit t.durable 0 t.working 0 t.size;
+  t.frozen <- false;
   t.crashes <- t.crashes + 1
 
 let dirty_line_count t =

@@ -69,7 +69,20 @@ val crash : ?evict_prob:float -> ?rng:Random.State.t -> t -> unit
 (** Discard all unflushed stores and revert to the durable image.  With
     [evict_prob > 0] each dirty line is first persisted with that
     probability, modelling spontaneous cache eviction: correct recovery code
-    must tolerate both outcomes (C4). *)
+    must tolerate both outcomes (C4).  On a {!freeze}-frozen pool the
+    power-cut already happened: [crash] only restores and unfreezes. *)
+
+val freeze :
+  ?evict_prob:float -> ?torn_prob:float -> ?rng:Random.State.t -> t -> unit
+(** Cut power {e at this instant}: still-dirty lines are spontaneously
+    evicted whole with [evict_prob] or torn at 8-byte granularity with
+    [torn_prob], and every subsequent [clwb]/[sfence] is ignored, so code
+    unwinding from an injected crash point cannot persist anything more.
+    Finish the reboot with {!crash}.  Used by {!Faults}. *)
+
+val frozen : t -> bool
+val torn_lines : t -> int
+(** Lines partially persisted by torn-write injection so far. *)
 
 val dirty_line_count : t -> int
 val durable_i64 : t -> int -> int64

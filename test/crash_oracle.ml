@@ -1,0 +1,196 @@
+(* Reusable recovery-invariant oracle, factored out of test_crash.ml so the
+   random crash storms and the exhaustive crash-schedule sweeps check the
+   same properties.
+
+   Invariants after every recovery:
+   I1  every transaction reported committed before the crash is fully
+       visible (all its effects), and no uncommitted effect is;
+   I2  no record slot is leaked into visibility: every live node/rel is
+       one we committed (or the crash-pending transaction's, atomically);
+   I3  adjacency lists are structurally sound (every reachable rel id is
+       live and points back to live endpoints);
+   I4  all secondary indexes agree with a full table scan after recovery;
+   I5  the engine remains fully operational (insert/query/commit).
+
+   A crash can land *inside* a commit: after the undo log's invalidation
+   (the linearization point) the transaction is durable even though the
+   workload never saw the commit return.  The oracle therefore accepts an
+   optional [pending] delta - the one transaction in flight at the crash -
+   and checks that recovery applied it either completely or not at all. *)
+
+module Value = Storage.Value
+module G = Storage.Graph_store
+module Mvto = Mvcc.Mvto
+
+type model = {
+  mutable nodes : (int * int) list; (* node id, expected "v" prop *)
+  mutable rels : (int * int * int) list; (* rel id, src, dst *)
+}
+
+let empty_model () = { nodes = []; rels = [] }
+
+(* The transaction in flight when the power failed.  [Insert] is
+   identified by its "id" property because the crash may have prevented
+   the workload from learning the assigned slot. *)
+type delta =
+  | Insert of { ldbc : int; v : int; rel_dst : int option }
+  | Update of (int * int * int) list (* node id, old v, new v *)
+  | Delete of { node : int }
+
+(* Decide - from the recovered database alone - whether the pending
+   transaction committed, failing on any state compatible with neither
+   outcome.  [live] is the post-recovery visible node count. *)
+let pending_applied ~live ~base = function
+  | Insert _ ->
+      if live = base + 1 then true
+      else if live = base then false
+      else
+        Alcotest.failf "pending insert: %d live nodes, expected %d or %d" live
+          base (base + 1)
+  | Update _ ->
+      if live <> base then
+        Alcotest.failf "pending update: %d live nodes, expected %d" live base;
+      false (* refined below from the first updated node's value *)
+  | Delete _ ->
+      if live = base - 1 then true
+      else if live = base then false
+      else
+        Alcotest.failf "pending delete: %d live nodes, expected %d or %d" live
+          (base - 1) base
+
+let check ?pending db (m : model) =
+  let g = Core.store db in
+  Core.with_txn db (fun txn ->
+      let live = ref 0 in
+      Mvto.scan_nodes (Core.mgr db) txn (fun _ -> incr live);
+      let base = List.length m.nodes in
+      (* Determine the fate of the crash-pending transaction. *)
+      let applied =
+        match pending with
+        | None ->
+            if !live <> base then
+              Alcotest.failf "ghost nodes: %d live, %d committed" !live base;
+            false
+        | Some (Update ((id, old_v, new_v) :: _) as p) -> (
+            ignore (pending_applied ~live:!live ~base p);
+            match Core.node_prop db txn id ~key:"v" with
+            | Some (Value.Int x) when x = new_v -> true
+            | Some (Value.Int x) when x = old_v -> false
+            | other ->
+                Alcotest.failf "pending update: node %d has v=%s, not %d or %d"
+                  id
+                  (match other with
+                  | Some x -> Value.to_string x
+                  | None -> "missing")
+                  old_v new_v)
+        | Some p -> pending_applied ~live:!live ~base p
+      in
+      (* Expected post-recovery state given that fate. *)
+      let expected_nodes =
+        match (pending, applied) with
+        | Some (Update ups), true ->
+            List.map
+              (fun (id, v) ->
+                match List.find_opt (fun (i, _, _) -> i = id) ups with
+                | Some (_, _, nv) -> (id, nv)
+                | None -> (id, v))
+              m.nodes
+        | Some (Delete { node }), true ->
+            List.filter (fun (id, _) -> id <> node) m.nodes
+        | _ -> m.nodes
+      in
+      (* I1: every expected node visible with its exact value.  For a
+         pending update this also enforces atomicity: [applied] was
+         decided from the first updated node, and every other updated
+         node must agree with it. *)
+      List.iter
+        (fun (id, v) ->
+          match Core.node_prop db txn id ~key:"v" with
+          | Some (Value.Int v') when v' = v -> ()
+          | other ->
+              Alcotest.failf "node %d: expected v=%d got %s" id v
+                (match other with
+                | Some x -> Value.to_string x
+                | None -> "missing"))
+        expected_nodes;
+      (* An applied pending insert must be visible in full: the one extra
+         node carries exactly the pending properties and relationship. *)
+      let extra_rels =
+        match (pending, applied) with
+        | Some (Insert { ldbc; v; rel_dst }), true -> (
+            let extra = ref [] in
+            Mvto.scan_nodes (Core.mgr db) txn (fun id ->
+                if not (List.mem_assoc id m.nodes) then extra := id :: !extra);
+            match !extra with
+            | [ id ] ->
+                (match Core.node_prop db txn id ~key:"id" with
+                | Some (Value.Int l) when l = ldbc -> ()
+                | _ -> Alcotest.failf "pending insert: node %d lost id prop" id);
+                (match Core.node_prop db txn id ~key:"v" with
+                | Some (Value.Int v') when v' = v -> ()
+                | _ -> Alcotest.failf "pending insert: node %d lost v prop" id);
+                (match rel_dst with
+                | None -> 0
+                | Some dst ->
+                    let found = ref 0 in
+                    G.iter_out g id (fun rid ->
+                        let r = G.read_rel g rid in
+                        if r.Storage.Layout.dst = dst then incr found);
+                    if !found <> 1 then
+                      Alcotest.failf
+                        "pending insert: rel %d->%d not applied atomically" id
+                        dst;
+                    1)
+            | l -> Alcotest.failf "pending insert: %d extra nodes" (List.length l))
+        | _ -> 0
+      in
+      (* I2 for relationships: visible rels are exactly the committed ones
+         (plus the applied pending insert's). *)
+      let live_rels = ref 0 in
+      Mvto.scan_rels (Core.mgr db) txn (fun _ -> incr live_rels);
+      if !live_rels <> List.length m.rels + extra_rels then
+        Alcotest.failf "ghost rels: %d live, %d expected" !live_rels
+          (List.length m.rels + extra_rels);
+      (* I3: adjacency soundness *)
+      List.iter
+        (fun (id, _) ->
+          G.iter_out g id (fun rid ->
+              if not (G.rel_live g rid) then
+                Alcotest.failf "dangling rel %d in out-list of %d" rid id;
+              let r = G.read_rel g rid in
+              if not (G.node_live g r.Storage.Layout.src) then
+                Alcotest.failf "rel %d has dead src" rid;
+              if not (G.node_live g r.Storage.Layout.dst) then
+                Alcotest.failf "rel %d has dead dst" rid))
+        expected_nodes;
+      List.iter
+        (fun (rid, src, dst) ->
+          if not (G.rel_live g rid) then
+            Alcotest.failf "committed rel %d lost" rid;
+          let r = G.read_rel g rid in
+          if r.Storage.Layout.src <> src || r.Storage.Layout.dst <> dst then
+            Alcotest.failf "rel %d endpoints corrupted" rid)
+        m.rels);
+  (* I4: index agrees with scan *)
+  (match
+     Core.index_lookup_fn db ~label:(Core.code db "N") ~key:(Core.code db "id")
+   with
+  | None -> ()
+  | Some idx ->
+      List.iter
+        (fun (id, _) ->
+          Core.with_txn db (fun txn ->
+              match Core.node_prop db txn id ~key:"id" with
+              | Some (Value.Int ldbc) ->
+                  if not (List.mem id (Gindex.Index.lookup idx (Value.Int ldbc)))
+                  then Alcotest.failf "index lost node %d" id
+              | _ -> ()))
+        m.nodes);
+  (* I5: still fully operational *)
+  let probe =
+    Core.with_txn db (fun txn ->
+        Core.create_node db txn ~label:"Probe" ~props:[])
+  in
+  Core.with_txn db (fun txn -> Core.delete_node db txn probe);
+  (* let GC reclaim the probe so node counts stay exact *)
+  Core.with_txn db (fun _ -> ())

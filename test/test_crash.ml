@@ -2,81 +2,17 @@
    failures (with random cache-line eviction) at arbitrary points,
    followed by recovery and full invariant checking.
 
-   The invariants checked after every recovery:
-   I1  every transaction reported committed before the crash is fully
-       visible (all its effects), and no uncommitted effect is;
-   I2  no record slot is leaked into visibility: every live node/rel is
-       one we committed;
-   I3  adjacency lists are structurally sound (every reachable rel id is
-       live and points back to live endpoints);
-   I4  all secondary indexes agree with a full table scan after recovery;
-   I5  the engine remains fully operational (insert/query/commit). *)
+   The recovery invariants (I1-I5) live in Crash_oracle, shared with the
+   exhaustive crash-schedule sweeps in test_faults.ml. *)
 
 module Value = Storage.Value
-module G = Storage.Graph_store
-module Mvto = Mvcc.Mvto
 
-type model = {
+type model = Crash_oracle.model = {
   mutable nodes : (int * int) list; (* node id, expected "v" prop *)
   mutable rels : (int * int * int) list; (* rel id, src, dst *)
 }
 
-let check_invariants db (m : model) =
-  let g = Core.store db in
-  (* I1/I2 for nodes *)
-  Core.with_txn db (fun txn ->
-      List.iter
-        (fun (id, v) ->
-          match Core.node_prop db txn id ~key:"v" with
-          | Some (Value.Int v') when v' = v -> ()
-          | other ->
-              Alcotest.failf "node %d: expected v=%d got %s" id v
-                (match other with
-                | Some x -> Value.to_string x
-                | None -> "missing"))
-        m.nodes;
-      let live = ref 0 in
-      Mvto.scan_nodes (Core.mgr db) txn (fun _ -> incr live);
-      Alcotest.(check int) "no ghost nodes" (List.length m.nodes) !live;
-      (* I3: adjacency soundness *)
-      List.iter
-        (fun (id, _) ->
-          G.iter_out g id (fun rid ->
-              if not (G.rel_live g rid) then
-                Alcotest.failf "dangling rel %d in out-list of %d" rid id;
-              let r = G.read_rel g rid in
-              if not (G.node_live g r.Storage.Layout.src) then
-                Alcotest.failf "rel %d has dead src" rid;
-              if not (G.node_live g r.Storage.Layout.dst) then
-                Alcotest.failf "rel %d has dead dst" rid))
-        m.nodes;
-      List.iter
-        (fun (rid, src, dst) ->
-          if not (G.rel_live g rid) then Alcotest.failf "committed rel %d lost" rid;
-          let r = G.read_rel g rid in
-          if r.Storage.Layout.src <> src || r.Storage.Layout.dst <> dst then
-            Alcotest.failf "rel %d endpoints corrupted" rid)
-        m.rels);
-  (* I4: index agrees with scan *)
-  (match Core.index_lookup_fn db ~label:(Core.code db "N") ~key:(Core.code db "id") with
-  | None -> ()
-  | Some idx ->
-      List.iter
-        (fun (id, _) ->
-          Core.with_txn db (fun txn ->
-              match Core.node_prop db txn id ~key:"id" with
-              | Some (Value.Int ldbc) ->
-                  if not (List.mem id (Gindex.Index.lookup idx (Value.Int ldbc)))
-                  then Alcotest.failf "index lost node %d" id
-              | _ -> ()))
-        m.nodes);
-  (* I5: still fully operational *)
-  let probe =
-    Core.with_txn db (fun txn -> Core.create_node db txn ~label:"Probe" ~props:[])
-  in
-  Core.with_txn db (fun txn -> Core.delete_node db txn probe);
-  (* let GC reclaim the probe so node counts stay exact *)
-  Core.with_txn db (fun _ -> ())
+let check_invariants db m = Crash_oracle.check db m
 
 let run_storm ~seed ~steps ~evict () =
   let rng = Random.State.make [| seed |] in

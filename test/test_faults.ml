@@ -1,0 +1,353 @@
+(* Deterministic fault injection and exhaustive crash-schedule tests.
+
+   Three layers are exercised here:
+
+   - the fault-plan mechanics themselves (crash at the n-th
+     write/flush/fence/alloc, freeze semantics, torn-line writes,
+     one-shot triggering) on a raw pool;
+   - the persist-trace recorder;
+   - the end-to-end acceptance sweep: a fixed multi-op transactional
+     workload driven by Crash_explorer, with a power cut at EVERY fence
+     boundary of its persist trace (plus randomized eviction/torn
+     variants and flush-boundary cuts), each followed by recovery and
+     the shared I1-I5 oracle from Crash_oracle;
+   - graceful degradation: transient SSD faults absorbed by the buffer
+     pool's bounded-backoff retries without surfacing to callers. *)
+
+module Media = Pmem.Media
+module Pool = Pmem.Pool
+module Faults = Pmem.Faults
+module CE = Pmem.Crash_explorer
+module BP = Diskdb.Buffer_pool
+module Value = Storage.Value
+
+let mk_pool ?(size = 1 lsl 16) () =
+  let media = Media.create () in
+  let pool = Pool.create ~kind:`Pmem ~media ~id:0 ~size () in
+  (media, pool)
+
+(* --- fault-plan mechanics ------------------------------------------- *)
+
+let test_crash_at_fence () =
+  let media, pool = mk_pool () in
+  let plan = Faults.plan ~crash_at:(`Fence, 2) () in
+  Faults.install ~pool media plan;
+  (* fence #1: line 0 fully persistent *)
+  Pool.write_i64 pool 0 111L;
+  Pool.clwb pool 0;
+  Pool.sfence pool;
+  (* written back, awaiting fence #2 (durable at clwb in this model) *)
+  Pool.write_i64 pool 64 222L;
+  Pool.clwb pool 64;
+  (* dirty, never written back: must be lost *)
+  Pool.write_i64 pool 128 333L;
+  (match Pool.sfence pool with
+  | () -> Alcotest.fail "expected a crash point at fence #2"
+  | exception Faults.Crash_point { event = `Fence; count = 2 } -> ()
+  | exception Faults.Crash_point { event; count } ->
+      Alcotest.failf "crashed at %a #%d" Faults.pp_crash_event event count);
+  Alcotest.(check bool) "pool frozen" true (Pool.frozen pool);
+  Alcotest.(check bool) "plan triggered" true (Faults.triggered plan);
+  (* unwinding code after the cut cannot persist anything *)
+  Pool.write_i64 pool 128 444L;
+  Pool.clwb pool 128;
+  Pool.sfence pool;
+  Pool.crash pool;
+  Faults.uninstall media;
+  Alcotest.(check int64) "fenced line survives" 111L (Pool.durable_i64 pool 0);
+  Alcotest.(check int64) "flushed line survives" 222L (Pool.durable_i64 pool 64);
+  Alcotest.(check int64) "dirty line lost" 0L (Pool.durable_i64 pool 128);
+  let s = Faults.stats plan in
+  Alcotest.(check int) "one injected crash" 1 s.Faults.injected_crashes;
+  Alcotest.(check int) "fences counted" 2 s.Faults.fences_seen
+
+let test_crash_at_write () =
+  let media, pool = mk_pool () in
+  let plan = Faults.plan ~crash_at:(`Write, 3) () in
+  Faults.install ~pool media plan;
+  Pool.write_u8 pool 0 1;
+  Pool.write_u8 pool 1 2;
+  (match Pool.write_u8 pool 2 3 with
+  | () -> Alcotest.fail "expected a crash point at store #3"
+  | exception Faults.Crash_point { event = `Write; count = 3 } -> ());
+  Faults.uninstall media;
+  Alcotest.(check int) "stores counted" 3 (Faults.stats plan).Faults.stores_seen
+
+let test_crash_at_flush () =
+  let media, pool = mk_pool () in
+  let plan = Faults.plan ~crash_at:(`Flush, 2) () in
+  Faults.install ~pool media plan;
+  Pool.write_i64 pool 0 1L;
+  Pool.clwb pool 0;
+  Pool.write_i64 pool 64 2L;
+  (* the hook fires before the write-back: line 64 must NOT be durable *)
+  (match Pool.clwb pool 64 with
+  | () -> Alcotest.fail "expected a crash point at clwb #2"
+  | exception Faults.Crash_point { event = `Flush; count = 2 } -> ());
+  Pool.crash pool;
+  Faults.uninstall media;
+  Alcotest.(check int64) "first line durable" 1L (Pool.durable_i64 pool 0);
+  Alcotest.(check int64) "interrupted write-back lost" 0L
+    (Pool.durable_i64 pool 64)
+
+let test_crash_at_alloc () =
+  let media, pool = mk_pool () in
+  let plan = Faults.plan ~crash_at:(`Alloc, 2) () in
+  Faults.install ~pool media plan;
+  Media.alloc media Media.Pmem;
+  (match Media.alloc media Media.Pmem with
+  | () -> Alcotest.fail "expected a crash point at alloc #2"
+  | exception Faults.Crash_point { event = `Alloc; count = 2 } -> ());
+  Faults.uninstall media;
+  Alcotest.(check int) "allocs counted" 2 (Faults.stats plan).Faults.allocs_seen
+
+let test_torn_line () =
+  let media, pool = mk_pool () in
+  (* one full line of distinct words, never written back *)
+  for w = 0 to 7 do
+    Pool.write_i64 pool (w * 8) (Int64.of_int ((w + 1) * 0x0101))
+  done;
+  let plan = Faults.plan ~crash_at:(`Fence, 1) ~torn_prob:1.0 ~seed:7 () in
+  Faults.install ~pool media plan;
+  (match Pool.sfence pool with
+  | () -> Alcotest.fail "expected a crash point"
+  | exception Faults.Crash_point _ -> ());
+  Faults.uninstall media;
+  Pool.crash pool;
+  Alcotest.(check int) "line torn" 1 (Pool.torn_lines pool);
+  (* 8-byte store atomicity: every word is fully old or fully new *)
+  let persisted = ref 0 in
+  for w = 0 to 7 do
+    let v = Pool.durable_i64 pool (w * 8) in
+    if v = Int64.of_int ((w + 1) * 0x0101) then incr persisted
+    else if v <> 0L then
+      Alcotest.failf "word %d sheared: %Ld (words must tear atomically)" w v
+  done;
+  (* seed 7 gives a strict subset: the line really is torn, not all-or-none *)
+  Alcotest.(check bool)
+    (Printf.sprintf "strict subset persisted (%d/8)" !persisted)
+    true
+    (!persisted > 0 && !persisted < 8)
+
+let test_plan_one_shot () =
+  let media, pool = mk_pool () in
+  let plan = Faults.plan ~crash_at:(`Write, 1) () in
+  Faults.install ~pool media plan;
+  (match Pool.write_u8 pool 0 1 with
+  | () -> Alcotest.fail "expected a crash point"
+  | exception Faults.Crash_point _ -> ());
+  (* a fired plan is inert: unwind-path stores must not re-raise *)
+  Pool.write_u8 pool 1 2;
+  Pool.write_u8 pool 2 3;
+  Faults.uninstall media;
+  Alcotest.(check int) "single injection" 1
+    (Faults.stats plan).Faults.injected_crashes;
+  Alcotest.(check int) "media fault counter" 1 (Media.stats media).Media.faults
+
+(* --- persist-trace recorder ----------------------------------------- *)
+
+let test_trace_recorder () =
+  let media, pool = mk_pool () in
+  let trace =
+    CE.record media (fun () ->
+        Pool.write_i64 pool 0 1L;
+        Pool.write_i64 pool 64 2L;
+        Pool.clwb pool 0;
+        Pool.clwb pool 64;
+        Pool.sfence pool)
+  in
+  Alcotest.(check int) "stores" 2 (CE.stores trace);
+  Alcotest.(check int) "flushes" 2 (CE.flushes trace);
+  Alcotest.(check int) "fences" 1 (CE.fences trace);
+  (match trace with
+  | [|
+   CE.Store { off = 0; len = 8 };
+   CE.Store { off = 64; len = 8 };
+   CE.Flush { off = 0 };
+   CE.Flush { off = 64 };
+   CE.Fence;
+  |] ->
+      ()
+  | _ -> Alcotest.failf "unexpected trace:@ %a" CE.pp_trace trace);
+  Alcotest.(check bool) "hook removed" false (Media.hook_installed media)
+
+(* --- exhaustive crash-schedule sweep over the engine ------------------ *)
+
+(* A fixed, deterministic transactional workload.  [pending] always names
+   the delta of the transaction currently in flight, so the oracle can
+   check all-or-nothing atomicity when a schedule cuts power mid-commit. *)
+type st = {
+  mutable db : Core.t;
+  model : Crash_oracle.model;
+  mutable pending : Crash_oracle.delta option;
+  a : int;
+  b : int;
+  d : int;
+  mutable n1 : int;
+  mutable n2 : int;
+}
+
+let fresh () =
+  let db = Core.create ~mode:`Pmem ~pool_size:(1 lsl 24) ~chunk_capacity:64 () in
+  ignore (Core.create_index db ~label:"N" ~prop:"id" ());
+  let mk ldbc v =
+    Core.with_txn db (fun txn ->
+        Core.create_node db txn ~label:"N"
+          ~props:[ ("id", Value.Int ldbc); ("v", Value.Int v) ])
+  in
+  let a = mk 0 10 and b = mk 1 20 and d = mk 2 30 in
+  {
+    db;
+    model = { Crash_oracle.nodes = [ (a, 10); (b, 20); (d, 30) ]; rels = [] };
+    pending = None;
+    a;
+    b;
+    d;
+    n1 = -1;
+    n2 = -1;
+  }
+
+let step st pending f =
+  st.pending <- Some pending;
+  f ();
+  st.pending <- None
+
+let insert_step st ~ldbc ~v ~dst ~record =
+  step st (Crash_oracle.Insert { ldbc; v; rel_dst = Some dst }) (fun () ->
+      let id, rid =
+        Core.with_txn st.db (fun txn ->
+            let id =
+              Core.create_node st.db txn ~label:"N"
+                ~props:[ ("id", Value.Int ldbc); ("v", Value.Int v) ]
+            in
+            let rid =
+              Core.create_rel st.db txn ~label:"E" ~src:id ~dst ~props:[]
+            in
+            (id, rid))
+      in
+      record id;
+      st.model.Crash_oracle.nodes <- (id, v) :: st.model.Crash_oracle.nodes;
+      st.model.Crash_oracle.rels <-
+        (rid, id, dst) :: st.model.Crash_oracle.rels)
+
+let update_step st ups =
+  step st (Crash_oracle.Update ups) (fun () ->
+      Core.with_txn st.db (fun txn ->
+          List.iter
+            (fun (id, _, nv) ->
+              Core.set_node_prop st.db txn id ~key:"v" (Value.Int nv))
+            ups);
+      st.model.Crash_oracle.nodes <-
+        List.map
+          (fun (id, v) ->
+            match List.find_opt (fun (i, _, _) -> i = id) ups with
+            | Some (_, _, nv) -> (id, nv)
+            | None -> (id, v))
+          st.model.Crash_oracle.nodes)
+
+let run st =
+  insert_step st ~ldbc:100 ~v:1 ~dst:st.a ~record:(fun id -> st.n1 <- id);
+  update_step st [ (st.a, 10, 11); (st.b, 20, 21) ];
+  insert_step st ~ldbc:101 ~v:2 ~dst:st.n1 ~record:(fun id -> st.n2 <- id);
+  update_step st [ (st.n1, 1, 5); (st.n2, 2, 6) ];
+  step st (Crash_oracle.Delete { node = st.d }) (fun () ->
+      Core.with_txn st.db (fun txn -> Core.delete_node st.db txn st.d);
+      st.model.Crash_oracle.nodes <-
+        List.filter (fun (i, _) -> i <> st.d) st.model.Crash_oracle.nodes);
+  update_step st [ (st.a, 11, 12) ]
+
+let target : st CE.target =
+  {
+    CE.fresh;
+    pool = (fun st -> Core.pool st.db);
+    run;
+    recover =
+      (fun st ->
+        st.db <- Core.reopen st.db;
+        st);
+    check = (fun st -> Crash_oracle.check ?pending:st.pending st.db st.model);
+  }
+
+let test_exhaustive_fence_sweep () =
+  let r = CE.explore ~evict_variants:1 ~flush_stride:25 target in
+  Alcotest.(check bool) "trace has fences" true (r.CE.trace_fences > 0);
+  Alcotest.(check int) "a schedule per fence boundary" r.CE.trace_fences
+    r.CE.fence_schedules;
+  Alcotest.(check int) "eviction/torn variant per fence" r.CE.trace_fences
+    r.CE.variant_schedules;
+  Alcotest.(check bool) "flush-boundary schedules ran" true
+    (r.CE.flush_schedules > 0);
+  (* determinism: every armed schedule's crash point was reached on replay *)
+  Alcotest.(check int) "every schedule crashed"
+    (r.CE.fence_schedules + r.CE.variant_schedules + r.CE.flush_schedules)
+    r.CE.crashes_triggered;
+  Alcotest.(check int) "clean run counted" 1
+    (r.CE.schedules - r.CE.fence_schedules - r.CE.variant_schedules
+   - r.CE.flush_schedules)
+
+(* --- graceful degradation: transient SSD faults ---------------------- *)
+
+let test_ssd_faults_absorbed () =
+  let media = Media.create () in
+  let bp = BP.create ~capacity:64 ~max_retries:10 media in
+  let plan = Faults.plan ~ssd_read_fail:0.25 ~ssd_write_fail:0.25 ~seed:42 () in
+  Faults.install media plan;
+  Fun.protect
+    ~finally:(fun () -> Faults.uninstall media)
+    (fun () ->
+      (* distinct pages force misses; a third of them dirty their frame,
+         so evictions exercise the write-back path too *)
+      for i = 0 to 999 do
+        BP.touch bp ~off:(i * 8192) ~rw:(if i mod 3 = 0 then `W else `R)
+      done;
+      BP.wal_commit bp ~bytes:65536);
+  let fs = Faults.stats plan in
+  Alcotest.(check bool) "read faults injected" true (fs.Faults.ssd_read_faults > 0);
+  Alcotest.(check bool) "write faults injected" true
+    (fs.Faults.ssd_write_faults > 0);
+  (* every injected fault was absorbed by exactly one retry - none surfaced *)
+  Alcotest.(check int) "faults == retries"
+    (fs.Faults.ssd_read_faults + fs.Faults.ssd_write_faults)
+    (BP.retries bp);
+  let ms = Media.stats media in
+  Alcotest.(check int) "media fault counter" (BP.retries bp) ms.Media.faults;
+  Alcotest.(check int) "media retry counter" (BP.retries bp) ms.Media.retries
+
+let test_ssd_retry_exhaustion () =
+  let media = Media.create () in
+  let bp = BP.create ~capacity:8 ~max_retries:4 media in
+  let plan = Faults.plan ~ssd_read_fail:1.0 () in
+  Faults.install media plan;
+  (match BP.touch bp ~off:0 ~rw:`R with
+  | () -> Alcotest.fail "a permanently failing device must surface"
+  | exception Faults.Ssd_fault `Read -> ());
+  Faults.uninstall media;
+  Alcotest.(check int) "full retry budget consumed" 4 (BP.retries bp)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "crash at nth fence" `Quick test_crash_at_fence;
+          Alcotest.test_case "crash at nth write" `Quick test_crash_at_write;
+          Alcotest.test_case "crash at nth flush" `Quick test_crash_at_flush;
+          Alcotest.test_case "crash at nth alloc" `Quick test_crash_at_alloc;
+          Alcotest.test_case "torn line writes" `Quick test_torn_line;
+          Alcotest.test_case "plans are one-shot" `Quick test_plan_one_shot;
+        ] );
+      ( "trace",
+        [ Alcotest.test_case "persist trace" `Quick test_trace_recorder ] );
+      ( "explore",
+        [
+          Alcotest.test_case "exhaustive fence sweep" `Quick
+            test_exhaustive_fence_sweep;
+        ] );
+      ( "ssd",
+        [
+          Alcotest.test_case "transient faults absorbed" `Quick
+            test_ssd_faults_absorbed;
+          Alcotest.test_case "retry exhaustion surfaces" `Quick
+            test_ssd_retry_exhaustion;
+        ] );
+    ]

@@ -534,6 +534,99 @@ let test_stripe_guards () =
   Domain.join d2;
   Alcotest.(check int) "no lost increments" 2000 !counter
 
+(* --- Retry policy: graceful degradation under contention ----------------- *)
+
+let mk_node mgr label key v =
+  Mvto.with_txn mgr (fun txn ->
+      Mvto.insert_node mgr txn ~label ~props:[ (key, Value.Int v) ])
+
+let test_abort_classification () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) r true (Mvto.classify_abort r = Mvto.Transient))
+    [
+      "update: write-write conflict";
+      "update: newer version already committed";
+      "update: already read by newer transaction";
+      "read: object locked by active writer";
+      "some caller-raised reason";
+    ];
+  List.iter
+    (fun r -> Alcotest.(check bool) r true (Mvto.classify_abort r = Mvto.Fatal))
+    [
+      "update: no such object";
+      "txn not active";
+      "update after delete";
+      "delete: already deleted";
+      "update: object deleted";
+      "delete of same-txn insert not supported";
+    ]
+
+let test_retry_eventual_success () =
+  let mgr = mk_mgr () in
+  let label, key = setup mgr in
+  let id = mk_node mgr label key 0 in
+  let media = Pool.media (G.pool (Mvto.store mgr)) in
+  (* a blocker holds the write lock; it commits just before the third
+     attempt, so the first two attempts abort on the write-write conflict *)
+  let blocker = Mvto.begin_txn mgr in
+  Mvto.update mgr blocker (V.Node, id) (fun v ->
+      v.V.props <- [ (key, Value.Int 1) ]);
+  let attempts = ref 0 in
+  let c0 = Media.clock media in
+  Mvto.with_txn_retry ~max_retries:8 mgr (fun txn ->
+      incr attempts;
+      if !attempts = 3 then Mvto.commit mgr blocker;
+      Mvto.update mgr txn (V.Node, id) (fun v ->
+          v.V.props <- [ (key, Value.Int 2) ]));
+  Alcotest.(check int) "succeeded on third attempt" 3 !attempts;
+  Alcotest.(check int) "two retries recorded" 2 (Mvto.stats mgr).Mvto.retries;
+  Alcotest.(check int) "media retry counter" 2 (Media.stats media).Media.retries;
+  Alcotest.(check bool) "backoff charged to the clock" true
+    (Media.clock media > c0);
+  let t = Mvto.begin_txn mgr in
+  Alcotest.(check (option int)) "retried write committed" (Some 2)
+    (node_val mgr t id key);
+  Mvto.commit mgr t
+
+let test_retry_exhaustion () =
+  let mgr = mk_mgr () in
+  let label, key = setup mgr in
+  let id = mk_node mgr label key 0 in
+  let blocker = Mvto.begin_txn mgr in
+  Mvto.update mgr blocker (V.Node, id) (fun _ -> ());
+  let attempts = ref 0 in
+  (match
+     Mvto.with_txn_retry ~max_retries:4 mgr (fun txn ->
+         incr attempts;
+         Mvto.update mgr txn (V.Node, id) (fun _ -> ()))
+   with
+  | () -> Alcotest.fail "expected retry exhaustion to re-raise Abort"
+  | exception Mvto.Abort reason ->
+      Alcotest.(check bool) "transient reason surfaced" true
+        (Mvto.classify_abort reason = Mvto.Transient));
+  Alcotest.(check int) "initial attempt + full budget" 5 !attempts;
+  Alcotest.(check int) "retries recorded" 4 (Mvto.stats mgr).Mvto.retries;
+  Mvto.abort mgr blocker
+
+let test_retry_fatal_immediate () =
+  let mgr = mk_mgr () in
+  let label, key = setup mgr in
+  let id = mk_node mgr label key 0 in
+  let attempts = ref 0 in
+  (match
+     Mvto.with_txn_retry ~max_retries:8 mgr (fun txn ->
+         incr attempts;
+         Mvto.delete mgr txn (V.Node, id);
+         Mvto.update mgr txn (V.Node, id) (fun _ -> ()))
+   with
+  | () -> Alcotest.fail "expected fatal Abort"
+  | exception Mvto.Abort reason ->
+      Alcotest.(check bool) "classified fatal" true
+        (Mvto.classify_abort reason = Mvto.Fatal));
+  Alcotest.(check int) "not retried" 1 !attempts;
+  Alcotest.(check int) "no retries recorded" 0 (Mvto.stats mgr).Mvto.retries
+
 let () =
   Alcotest.run "mvcc"
     [
@@ -587,6 +680,16 @@ let () =
           Alcotest.test_case "transfers conserve balance" `Slow test_concurrent_transfers;
           Alcotest.test_case "concurrent inserts distinct" `Slow
             test_concurrent_inserts_distinct_ids;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "abort classification" `Quick
+            test_abort_classification;
+          Alcotest.test_case "eventual success under contention" `Quick
+            test_retry_eventual_success;
+          Alcotest.test_case "exhaustion re-raises" `Quick test_retry_exhaustion;
+          Alcotest.test_case "fatal aborts not retried" `Quick
+            test_retry_fatal_immediate;
         ] );
       ( "version-chains",
         [
