@@ -1,4 +1,4 @@
-.PHONY: all build test check clean
+.PHONY: all build test check clean bench-smoke
 
 all: build
 
@@ -11,6 +11,13 @@ test:
 # fast type-check of every module (no linking, no tests)
 check:
 	dune build @check
+
+# tiny HTAP run: exercises the concurrent driver end to end and fails
+# unless BENCH_htap.json parses, throughput is nonzero on both the update
+# and the analytics side, and no snapshot-isolation violation was seen
+bench-smoke: build
+	dune exec bin/poseidon_cli.exe -- htap --sf 0.01 --mode aot \
+	  --writers 2 --readers 2 --duration 15 --seed 7 --out BENCH_htap.json
 
 clean:
 	dune clean

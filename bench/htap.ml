@@ -1,0 +1,909 @@
+(* Concurrent HTAP workload driver - the paper's headline claim (Sections
+   5-8): MVTO transactional updates running concurrently with
+   morsel-parallel analytic reads on (simulated) persistent memory.
+
+   N writer domains issue LDBC-SNB interactive updates (IU1..IU8, plus a
+   read-modify-write counter transaction that provokes write-write
+   conflicts) through [Core.with_txn_retry]; M reader domains run the
+   interactive short reads, IC-style complex reads and morsel-parallel
+   aggregation probes over the database's shared [Exec.Task_pool].  The
+   run length is measured on the simulated media clock, so results are
+   reproducible across machines.
+
+   The driver doubles as the snapshot-isolation stress harness:
+   - lost updates: the counter's final value must equal the number of
+     committed increments;
+   - monotone reads: per-reader aggregate totals must never decrease
+     across snapshots;
+   - conservation: per-label node counts and the relationship count must
+     grow by exactly the committed update mix (each update plan's
+     CreateNode/CreateRel population is derived from the plan itself).
+
+   Results are emitted as machine-readable JSON (BENCH_htap.json); a
+   minimal JSON parser/validator lives here too so CI can smoke-test the
+   output without external dependencies. *)
+
+module Media = Pmem.Media
+module Value = Storage.Value
+module A = Query.Algebra
+module E = Query.Expr
+module Engine = Jit.Engine
+module SR = Snb.Short_reads
+module CR = Snb.Complex_reads
+module IU = Snb.Updates
+module Mvto = Mvcc.Mvto
+
+(* --- Minimal JSON ---------------------------------------------------------- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape b s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | '\r' -> Buffer.add_string b "\\r"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s
+
+  let to_string t =
+    let b = Buffer.create 1024 in
+    let pad n = Buffer.add_string b (String.make n ' ') in
+    let rec emit ind = function
+      | Null -> Buffer.add_string b "null"
+      | Bool v -> Buffer.add_string b (if v then "true" else "false")
+      | Int i -> Buffer.add_string b (string_of_int i)
+      | Float f ->
+          if Float.is_integer f && Float.abs f < 1e15 then
+            Buffer.add_string b (Printf.sprintf "%.1f" f)
+          else Buffer.add_string b (Printf.sprintf "%.6g" f)
+      | Str s ->
+          Buffer.add_char b '"';
+          escape b s;
+          Buffer.add_char b '"'
+      | List [] -> Buffer.add_string b "[]"
+      | List items ->
+          Buffer.add_string b "[";
+          List.iteri
+            (fun i item ->
+              if i > 0 then Buffer.add_string b ", ";
+              emit ind item)
+            items;
+          Buffer.add_string b "]"
+      | Obj [] -> Buffer.add_string b "{}"
+      | Obj kvs ->
+          Buffer.add_string b "{\n";
+          List.iteri
+            (fun i (k, v) ->
+              if i > 0 then Buffer.add_string b ",\n";
+              pad (ind + 2);
+              Buffer.add_char b '"';
+              escape b k;
+              Buffer.add_string b "\": ";
+              emit (ind + 2) v)
+            kvs;
+          Buffer.add_char b '\n';
+          pad ind;
+          Buffer.add_char b '}'
+    in
+    emit 0 t;
+    Buffer.add_char b '\n';
+    Buffer.contents b
+
+  exception Parse_error of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      if peek () = Some c then advance ()
+      else fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word v =
+      if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+      then begin
+        pos := !pos + String.length word;
+        v
+      end
+      else fail ("expected " ^ word)
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        let c = s.[!pos] in
+        advance ();
+        match c with
+        | '"' -> Buffer.contents b
+        | '\\' -> (
+            if !pos >= n then fail "unterminated escape";
+            let e = s.[!pos] in
+            advance ();
+            match e with
+            | '"' | '\\' | '/' ->
+                Buffer.add_char b e;
+                go ()
+            | 'n' ->
+                Buffer.add_char b '\n';
+                go ()
+            | 't' ->
+                Buffer.add_char b '\t';
+                go ()
+            | 'r' ->
+                Buffer.add_char b '\r';
+                go ()
+            | 'b' ->
+                Buffer.add_char b '\b';
+                go ()
+            | 'f' ->
+                Buffer.add_char b '\012';
+                go ()
+            | 'u' ->
+                if !pos + 4 > n then fail "bad \\u escape";
+                let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+                pos := !pos + 4;
+                (* BMP only; enough for our own output *)
+                if code < 0x80 then Buffer.add_char b (Char.chr code)
+                else Buffer.add_char b '?';
+                go ()
+            | _ -> fail "bad escape")
+        | c ->
+            Buffer.add_char b c;
+            go ()
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && is_num_char s.[!pos] do
+        advance ()
+      done;
+      let tok = String.sub s start (!pos - start) in
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt tok with
+          | Some f -> Float f
+          | None -> fail ("bad number " ^ tok))
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  members ((k, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  Obj (List.rev ((k, v) :: acc))
+              | _ -> fail "expected ',' or '}'"
+            in
+            members []
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            List []
+          end
+          else
+            let rec items acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  items (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  List (List.rev (v :: acc))
+              | _ -> fail "expected ',' or ']'"
+            in
+            items []
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> parse_number ()
+      | None -> fail "unexpected end of input"
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+  let path t keys =
+    List.fold_left (fun acc k -> Option.bind acc (member k)) (Some t) keys
+
+  let to_int = function
+    | Some (Int i) -> Some i
+    | Some (Float f) -> Some (int_of_float f)
+    | _ -> None
+end
+
+(* --- Configuration and result ---------------------------------------------- *)
+
+type config = {
+  sf : float;
+  writers : int;
+  readers : int;
+  duration_ms : float; (* simulated milliseconds on the media clock *)
+  seed : int;
+  mode : Engine.mode; (* execution mode for queries and update plans *)
+  storage : [ `Dram | `Pmem ];
+  pool_workers : int; (* shared morsel pool size; <= 1 disables *)
+}
+
+let default_config =
+  {
+    sf = 0.05;
+    writers = 2;
+    readers = 2;
+    duration_ms = 20.;
+    seed = 7;
+    mode = Engine.Jit;
+    storage = `Pmem;
+    pool_workers = 2;
+  }
+
+type class_stats = {
+  cls : string;
+  ops : int;
+  p50_ns : int;
+  p95_ns : int;
+  p99_ns : int;
+  max_ns : int;
+}
+
+type result = {
+  cfg : config;
+  sim_elapsed_ns : int;
+  committed_updates : int; (* IU commits + counter commits *)
+  failed_updates : int;
+  updates_by_query : (string * int) list;
+  counter_commits : int;
+  analytic_reads : int;
+  read_rows : int;
+  read_aborts : int;
+  classes : class_stats list;
+  commits : int;
+  aborts : int;
+  retries : int;
+  media_reads : int;
+  media_writes : int;
+  media_flushes : int;
+  media_fences : int;
+  media_bytes_read : int;
+  media_bytes_written : int;
+  jit_cache_hits : int;
+  jit_cached_plans : int;
+  monotone_violations : int;
+  counter_lost : int;
+  conservation_failures : int;
+}
+
+let si_violations r =
+  r.monotone_violations + r.counter_lost + r.conservation_failures
+
+let per_sim_second count ns =
+  if ns <= 0 then 0. else float_of_int count *. 1e9 /. float_of_int ns
+
+(* nearest-rank percentile over an unsorted latency list *)
+let mk_class_stats cls lats =
+  let a = Array.of_list lats in
+  Array.sort compare a;
+  let n = Array.length a in
+  let pct p =
+    if n = 0 then 0
+    else
+      let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+      a.(max 0 (min (n - 1) (rank - 1)))
+  in
+  {
+    cls;
+    ops = n;
+    p50_ns = pct 50.;
+    p95_ns = pct 95.;
+    p99_ns = pct 99.;
+    max_ns = (if n = 0 then 0 else a.(n - 1));
+  }
+
+(* CreateRel population of an update plan: how many relationships one
+   committed execution inserts (every IU pipeline produces exactly one
+   tuple per operator level: index lookups are on unique ids). *)
+let count_create_rels plan =
+  let rec go acc = function
+    | A.CreateRel { child; _ } -> go (acc + 1) child
+    | A.NodeScan _ | A.NodeById _ | A.RelScan _ | A.IndexScan _
+    | A.IndexRange _ | A.Unit ->
+        acc
+    | A.Expand { child; _ }
+    | A.EndPoint { child; _ }
+    | A.WalkToRoot { child; _ }
+    | A.AttachByIndex { child; _ }
+    | A.Filter { child; _ }
+    | A.Project { child; _ }
+    | A.Limit { child; _ }
+    | A.Sort { child; _ }
+    | A.Distinct { child }
+    | A.CountAgg { child }
+    | A.GroupCount { child }
+    | A.CreateNode { child; _ }
+    | A.SetNodeProp { child; _ }
+    | A.SetRelProp { child; _ }
+    | A.DeleteNode { child; _ }
+    | A.DeleteRel { child; _ } ->
+        go acc child
+    | A.NestedLoopJoin { left; right; _ } | A.HashJoin { left; right; _ } ->
+        go (go acc left) right
+  in
+  go 0 plan
+
+(* --- Per-domain outputs ----------------------------------------------------- *)
+
+type writer_out = {
+  w_lat : int list;
+  w_committed : int array; (* per IU spec *)
+  w_counter : int;
+  w_failed : int;
+  w_hits : int;
+}
+
+type reader_out = {
+  r_sr : int list;
+  r_cr : int list;
+  r_probe : int list;
+  r_reads : int;
+  r_rows : int;
+  r_hits : int;
+  r_mono : int;
+  r_aborts : int;
+}
+
+(* --- The driver -------------------------------------------------------------- *)
+
+let run (cfg : config) : result =
+  let db =
+    Core.create ~mode:cfg.storage ~pool_size:(1 lsl 27) ~chunk_capacity:256 ()
+  in
+  let ds =
+    Snb.Gen.generate
+      ~params:{ Snb.Gen.default_params with sf = cfg.sf; seed = cfg.seed }
+      (Core.store db)
+  in
+  List.iter
+    (fun l -> ignore (Core.create_index db ~label:l ~prop:"id" ()))
+    [ "Person"; "Post"; "Comment"; "Forum"; "Place"; "Tag" ];
+  if cfg.pool_workers > 1 then Core.set_workers db cfg.pool_workers;
+  let parallel = cfg.pool_workers > 1 in
+  let sc = ds.Snb.Gen.schema in
+  let ecfg = { Engine.default_config with prop_tag = Snb.Schema.prop_tag sc } in
+  let media = Core.media db in
+  let cache = Core.jit_cache db in
+  (* seed node for the classic lost-update probe *)
+  let counter =
+    Core.with_txn db (fun txn ->
+        Core.create_node db txn ~label:"Counter" ~props:[ ("v", Value.Int 0) ])
+  in
+  let specs = Array.of_list IU.all in
+  let nspecs = Array.length specs in
+  let created_labels =
+    Array.map (fun s -> Option.map (fun f -> f sc) s.IU.creates) specs
+  in
+  let rel_creates = Array.map (fun s -> count_create_rels (s.IU.plan sc)) specs in
+  let count_plan label = A.CountAgg { child = A.NodeScan { label = Some label } } in
+  let count_label label =
+    match Core.query db ~params:[||] (count_plan label) with
+    | [ [| Value.Int n |] ], _ -> n
+    | _ -> -1
+  in
+  let count_rels () =
+    match Core.query db ~params:[||] (A.CountAgg { child = A.RelScan { label = None } }) with
+    | [ [| Value.Int n |] ], _ -> n
+    | _ -> -1
+  in
+  let watched_labels =
+    List.sort_uniq compare
+      (List.filter_map Fun.id (Array.to_list created_labels))
+  in
+  let init_label_counts = List.map (fun l -> (l, count_label l)) watched_labels in
+  let init_rels = count_rels () in
+  (* baselines: the stats records are mutable and shared, snapshot fields *)
+  let t0 = Core.txn_stats db in
+  let base_commits = t0.Mvto.commits
+  and base_aborts = t0.Mvto.aborts
+  and base_retries = t0.Mvto.retries in
+  let m0 = Media.stats media in
+  let base_reads = m0.Media.reads
+  and base_writes = m0.Media.writes
+  and base_flushes = m0.Media.flushes
+  and base_fences = m0.Media.fences
+  and base_bytes_read = m0.Media.bytes_read
+  and base_bytes_written = m0.Media.bytes_written in
+  let duration_ns = int_of_float (cfg.duration_ms *. 1e6) in
+  let c0 = Media.clock media in
+  let stop () = Media.clock media - c0 >= duration_ns in
+  (* [draw]s share the id context so concurrent writers never mint the
+     same LDBC id; the drawing itself is cheap next to plan execution *)
+  let draw_mu = Mutex.create () in
+  let locked f =
+    Mutex.lock draw_mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock draw_mu) f
+  in
+  let ctx = IU.make_ctx () in
+  (* analytic probes exercising the parallel-aggregation breakers *)
+  let person_count_plan = count_plan sc.Snb.Schema.person in
+  let gender_groups_plan =
+    A.GroupCount
+      {
+        child =
+          A.Project
+            {
+              exprs =
+                [ E.Prop { col = 0; kind = E.KNode; key = sc.Snb.Schema.k_gender } ];
+              child = A.NodeScan { label = Some sc.Snb.Schema.person };
+            };
+      }
+  in
+  let writer k () =
+    let rng = Random.State.make [| cfg.seed; 101 * (k + 1) |] in
+    let lat = ref [] in
+    let committed = Array.make nspecs 0 in
+    let counter_commits = ref 0 in
+    let failed = ref 0 in
+    let hits = ref 0 in
+    let i = ref 0 in
+    while not (stop ()) do
+      incr i;
+      let op0 = Media.clock media in
+      (try
+         if !i mod 4 = 0 then begin
+           (* read-modify-write on the shared counter: the canonical
+              lost-update shape; conflicts are absorbed by the retry loop *)
+           Core.with_txn_retry ~rng db (fun txn ->
+               let v =
+                 match Core.node_prop db txn counter ~key:"v" with
+                 | Some (Value.Int v) -> v
+                 | _ -> 0
+               in
+               Core.set_node_prop db txn counter ~key:"v" (Value.Int (v + 1)));
+           incr counter_commits
+         end
+         else begin
+           let si, params =
+             locked (fun () ->
+                 let si = Random.State.int rng nspecs in
+                 (si, specs.(si).IU.draw ds rng ctx))
+           in
+           let report =
+             Core.with_txn_retry ~rng db (fun txn ->
+                 let _, report =
+                   Engine.run ~cache ~media ~config:ecfg ~mode:cfg.mode
+                     (Core.source db txn) ~params
+                     (specs.(si).IU.plan sc)
+                 in
+                 report)
+           in
+           if report.Engine.cache_hit then incr hits;
+           committed.(si) <- committed.(si) + 1
+         end
+       with Core.Abort _ -> incr failed);
+      lat := (Media.clock media - op0) :: !lat
+    done;
+    {
+      w_lat = !lat;
+      w_committed = committed;
+      w_counter = !counter_commits;
+      w_failed = !failed;
+      w_hits = !hits;
+    }
+  in
+  let reader k () =
+    let rng = Random.State.make [| cfg.seed; 211 * (k + 1) |] in
+    let sr_specs = Array.of_list (SR.all sc) in
+    let cr_specs = Array.of_list (CR.all sc) in
+    let sr_lat = ref [] and cr_lat = ref [] and probe_lat = ref [] in
+    let reads = ref 0 and rows_total = ref 0 and hits = ref 0 in
+    let mono = ref 0 and last_total = ref (-1) in
+    let aborted = ref 0 in
+    let i = ref 0 in
+    let note_report (report : Engine.report) =
+      if report.Engine.cache_hit then incr hits
+    in
+    while not (stop ()) do
+      incr i;
+      let op0 = Media.clock media in
+      let cls = ref probe_lat in
+      (try
+         if !i mod 4 = 0 then begin
+           (* aggregation probe: runs morsel-parallel through the merged
+              partial states; the total seen must be monotone across this
+              reader's snapshots *)
+           let plan =
+             if !i mod 8 = 0 then gender_groups_plan else person_count_plan
+           in
+           let rows, report =
+             Core.query db ~mode:cfg.mode ~config:ecfg ~parallel ~params:[||]
+               plan
+           in
+           note_report report;
+           let total =
+             List.fold_left
+               (fun acc row ->
+                 match row.(Array.length row - 1) with
+                 | Value.Int n -> acc + n
+                 | _ -> acc)
+               0 rows
+           in
+           if total < !last_total then incr mono;
+           if total > !last_total then last_total := total;
+           incr reads;
+           rows_total := !rows_total + List.length rows
+         end
+         else if !i mod 4 = 2 && Array.length cr_specs > 0 then begin
+           cls := cr_lat;
+           let spec = cr_specs.(Random.State.int rng (Array.length cr_specs)) in
+           let params = CR.draw_params ds rng spec in
+           let rows, report =
+             Core.query db ~mode:cfg.mode ~config:ecfg ~parallel ~params
+               (spec.CR.plan ~access:`Index)
+           in
+           note_report report;
+           incr reads;
+           rows_total := !rows_total + List.length rows
+         end
+         else begin
+           cls := sr_lat;
+           let spec = sr_specs.(Random.State.int rng (Array.length sr_specs)) in
+           let param = SR.draw_param ds rng spec in
+           List.iter
+             (fun plan ->
+               let rows, report =
+                 Core.query db ~mode:cfg.mode ~config:ecfg ~parallel
+                   ~params:[| param |] plan
+               in
+               note_report report;
+               rows_total := !rows_total + List.length rows)
+             (spec.SR.plans ~access:`Index);
+           incr reads
+         end
+       with Core.Abort _ ->
+         (* a scan can hit a record locked by a committing writer; the
+            transaction aborts and the reader simply moves on *)
+         incr aborted);
+      !cls := (Media.clock media - op0) :: !(!cls)
+    done;
+    {
+      r_sr = !sr_lat;
+      r_cr = !cr_lat;
+      r_probe = !probe_lat;
+      r_reads = !reads;
+      r_rows = !rows_total;
+      r_hits = !hits;
+      r_mono = !mono;
+      r_aborts = !aborted;
+    }
+  in
+  let writer_domains = List.init cfg.writers (fun k -> Domain.spawn (writer k)) in
+  let reader_domains = List.init cfg.readers (fun k -> Domain.spawn (reader k)) in
+  let ws = List.map Domain.join writer_domains in
+  let rs = List.map Domain.join reader_domains in
+  let sim_elapsed_ns = Media.clock media - c0 in
+  (* merge per-domain outputs *)
+  let committed_per_spec = Array.make nspecs 0 in
+  List.iter
+    (fun w ->
+      Array.iteri
+        (fun i n -> committed_per_spec.(i) <- committed_per_spec.(i) + n)
+        w.w_committed)
+    ws;
+  let sum f l = List.fold_left (fun acc x -> acc + f x) 0 l in
+  let counter_commits = sum (fun w -> w.w_counter) ws in
+  let failed_updates = sum (fun w -> w.w_failed) ws in
+  let iu_commits = Array.fold_left ( + ) 0 committed_per_spec in
+  let analytic_reads = sum (fun r -> r.r_reads) rs in
+  let read_rows = sum (fun r -> r.r_rows) rs in
+  let read_aborts = sum (fun r -> r.r_aborts) rs in
+  let monotone_violations = sum (fun r -> r.r_mono) rs in
+  let jit_cache_hits = sum (fun w -> w.w_hits) ws + sum (fun r -> r.r_hits) rs in
+  (* snapshot-isolation invariants on the quiesced database *)
+  let counter_final =
+    Core.with_txn db (fun txn ->
+        match Core.node_prop db txn counter ~key:"v" with
+        | Some (Value.Int v) -> v
+        | _ -> -1)
+  in
+  let counter_lost = abs (counter_commits - counter_final) in
+  let expected_label_delta l =
+    let acc = ref 0 in
+    Array.iteri
+      (fun i created ->
+        if created = Some l then acc := !acc + committed_per_spec.(i))
+      created_labels;
+    !acc
+  in
+  let conservation_failures =
+    List.fold_left
+      (fun acc (l, init) ->
+        if count_label l - init <> expected_label_delta l then acc + 1 else acc)
+      0 init_label_counts
+    +
+    let expected_rels = ref 0 in
+    Array.iteri
+      (fun i n -> expected_rels := !expected_rels + (n * committed_per_spec.(i)))
+      rel_creates;
+    if count_rels () - init_rels <> !expected_rels then 1 else 0
+  in
+  let classes =
+    [
+      mk_class_stats "update" (List.concat_map (fun w -> w.w_lat) ws);
+      mk_class_stats "short_read" (List.concat_map (fun r -> r.r_sr) rs);
+      mk_class_stats "complex_read" (List.concat_map (fun r -> r.r_cr) rs);
+      mk_class_stats "agg_probe" (List.concat_map (fun r -> r.r_probe) rs);
+    ]
+  in
+  let t1 = Core.txn_stats db in
+  let m1 = Media.stats media in
+  let result =
+    {
+      cfg;
+      sim_elapsed_ns;
+      committed_updates = iu_commits + counter_commits;
+      failed_updates;
+      updates_by_query =
+        Array.to_list
+          (Array.mapi (fun i s -> (s.IU.name, committed_per_spec.(i))) specs);
+      counter_commits;
+      analytic_reads;
+      read_rows;
+      read_aborts;
+      classes;
+      commits = t1.Mvto.commits - base_commits;
+      aborts = t1.Mvto.aborts - base_aborts;
+      retries = t1.Mvto.retries - base_retries;
+      media_reads = m1.Media.reads - base_reads;
+      media_writes = m1.Media.writes - base_writes;
+      media_flushes = m1.Media.flushes - base_flushes;
+      media_fences = m1.Media.fences - base_fences;
+      media_bytes_read = m1.Media.bytes_read - base_bytes_read;
+      media_bytes_written = m1.Media.bytes_written - base_bytes_written;
+      jit_cache_hits;
+      jit_cached_plans = Jit.Cache.count cache;
+      monotone_violations;
+      counter_lost;
+      conservation_failures;
+    }
+  in
+  Core.shutdown db;
+  result
+
+(* --- Reporting --------------------------------------------------------------- *)
+
+let mode_name m = Fmt.to_to_string Engine.pp_mode m
+
+let to_json (r : result) : string =
+  let open Json in
+  let class_json c =
+    ( c.cls,
+      Obj
+        [
+          ("ops", Int c.ops);
+          ("p50", Int c.p50_ns);
+          ("p95", Int c.p95_ns);
+          ("p99", Int c.p99_ns);
+          ("max", Int c.max_ns);
+        ] )
+  in
+  to_string
+    (Obj
+       [
+         ("bench", Str "htap");
+         ( "config",
+           Obj
+             [
+               ("sf", Float r.cfg.sf);
+               ("writers", Int r.cfg.writers);
+               ("readers", Int r.cfg.readers);
+               ("duration_ms", Float r.cfg.duration_ms);
+               ("seed", Int r.cfg.seed);
+               ("mode", Str (mode_name r.cfg.mode));
+               ( "storage",
+                 Str (match r.cfg.storage with `Pmem -> "pmem" | `Dram -> "dram") );
+               ("pool_workers", Int r.cfg.pool_workers);
+             ] );
+         ("sim_elapsed_ms", Float (float_of_int r.sim_elapsed_ns /. 1e6));
+         ( "updates",
+           Obj
+             [
+               ("committed", Int r.committed_updates);
+               ("failed", Int r.failed_updates);
+               ("counter_commits", Int r.counter_commits);
+               ( "per_sim_second",
+                 Float (per_sim_second r.committed_updates r.sim_elapsed_ns) );
+               ( "by_query",
+                 Obj (List.map (fun (k, v) -> (k, Int v)) r.updates_by_query) );
+             ] );
+         ( "reads",
+           Obj
+             [
+               ("analytic", Int r.analytic_reads);
+               ("rows", Int r.read_rows);
+               ("aborted", Int r.read_aborts);
+               ( "per_sim_second",
+                 Float (per_sim_second r.analytic_reads r.sim_elapsed_ns) );
+             ] );
+         ("latency_ns", Obj (List.map class_json r.classes));
+         ( "txn",
+           Obj
+             [
+               ("commits", Int r.commits);
+               ("aborts", Int r.aborts);
+               ("retries", Int r.retries);
+             ] );
+         ( "media",
+           Obj
+             [
+               ("reads", Int r.media_reads);
+               ("writes", Int r.media_writes);
+               ("flushes", Int r.media_flushes);
+               ("fences", Int r.media_fences);
+               ("bytes_read", Int r.media_bytes_read);
+               ("bytes_written", Int r.media_bytes_written);
+             ] );
+         ( "jit",
+           Obj
+             [
+               ("cache_hits", Int r.jit_cache_hits);
+               ("cached_plans", Int r.jit_cached_plans);
+             ] );
+         ( "invariants",
+           Obj
+             [
+               ("si_violations", Int (si_violations r));
+               ("monotone_violations", Int r.monotone_violations);
+               ("counter_lost_updates", Int r.counter_lost);
+               ("conservation_failures", Int r.conservation_failures);
+             ] );
+       ])
+
+let write_json path r =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json r))
+
+(* Schema validation of an emitted BENCH_htap.json; with
+   [require_nonzero], also insist the smoke run did real concurrent work. *)
+let validate ?(require_nonzero = true) (content : string) :
+    (unit, string) Stdlib.result =
+  match Json.parse content with
+  | exception Json.Parse_error msg -> Error ("JSON parse error: " ^ msg)
+  | j -> (
+      let get keys = Json.to_int (Json.path j keys) in
+      let check_class c =
+        match (get [ "latency_ns"; c; "p50" ], get [ "latency_ns"; c; "p99" ]) with
+        | Some p50, Some p99 when p50 <= p99 -> None
+        | Some _, Some _ -> Some (c ^ ": p50 > p99")
+        | _ -> Some (c ^ ": missing percentiles")
+      in
+      match Json.path j [ "bench" ] with
+      | Some (Json.Str "htap") -> (
+          let missing =
+            List.filter_map
+              (fun keys ->
+                if get keys = None then Some (String.concat "." keys) else None)
+              [
+                [ "updates"; "committed" ];
+                [ "reads"; "analytic" ];
+                [ "txn"; "aborts" ];
+                [ "txn"; "retries" ];
+                [ "media"; "reads" ];
+                [ "media"; "flushes" ];
+                [ "jit"; "cache_hits" ];
+                [ "invariants"; "si_violations" ];
+              ]
+          in
+          match missing with
+          | _ :: _ -> Error ("missing fields: " ^ String.concat ", " missing)
+          | [] -> (
+              match
+                List.filter_map check_class
+                  [ "update"; "short_read"; "complex_read"; "agg_probe" ]
+              with
+              | err :: _ -> Error err
+              | [] ->
+                  if not require_nonzero then Ok ()
+                  else if Option.value ~default:0 (get [ "updates"; "committed" ]) <= 0
+                  then Error "no committed updates"
+                  else if Option.value ~default:0 (get [ "reads"; "analytic" ]) <= 0
+                  then Error "no analytic reads"
+                  else if
+                    Option.value ~default:1
+                      (get [ "invariants"; "si_violations" ])
+                    <> 0
+                  then Error "snapshot-isolation violations reported"
+                  else Ok ()))
+      | _ -> Error "not a BENCH_htap document")
+
+let validate_file ?require_nonzero path =
+  let ic = open_in_bin path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  validate ?require_nonzero content
+
+let print_summary (r : result) =
+  Printf.printf
+    "htap: sf=%.2f %dw/%dr mode=%s storage=%s, %.1f sim-ms elapsed\n"
+    r.cfg.sf r.cfg.writers r.cfg.readers (mode_name r.cfg.mode)
+    (match r.cfg.storage with `Pmem -> "pmem" | `Dram -> "dram")
+    (float_of_int r.sim_elapsed_ns /. 1e6);
+  Printf.printf
+    "  updates   %6d committed (%d counter, %d failed), %.0f/sim-s\n"
+    r.committed_updates r.counter_commits r.failed_updates
+    (per_sim_second r.committed_updates r.sim_elapsed_ns);
+  Printf.printf "  reads     %6d analytic (%d rows, %d aborted), %.0f/sim-s\n"
+    r.analytic_reads r.read_rows r.read_aborts
+    (per_sim_second r.analytic_reads r.sim_elapsed_ns);
+  List.iter
+    (fun c ->
+      Printf.printf "  %-12s %6d ops  p50 %8d  p95 %8d  p99 %8d sim-ns\n" c.cls
+        c.ops c.p50_ns c.p95_ns c.p99_ns)
+    r.classes;
+  Printf.printf "  txn       %d commits, %d aborts, %d retries\n" r.commits
+    r.aborts r.retries;
+  Printf.printf "  media     %d reads, %d writes, %d flushes, %d fences\n"
+    r.media_reads r.media_writes r.media_flushes r.media_fences;
+  Printf.printf "  jit       %d cache hits, %d cached plans\n" r.jit_cache_hits
+    r.jit_cached_plans;
+  Printf.printf "  SI        %d violations (%d monotone, %d lost, %d conservation)\n"
+    (si_violations r) r.monotone_violations r.counter_lost
+    r.conservation_failures

@@ -1,0 +1,97 @@
+(** Concurrent HTAP workload driver (the paper's headline claim): writer
+    domains issuing LDBC-SNB interactive updates through MVTO with
+    retries, concurrently with reader domains running short/complex reads
+    and morsel-parallel aggregation probes over a shared task pool.  The
+    run length is measured on the simulated media clock; results are
+    emitted as machine-readable JSON and double as a snapshot-isolation
+    stress check. *)
+
+(** Minimal JSON (emit + parse), hand-rolled to stay dependency-free. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  exception Parse_error of string
+
+  val to_string : t -> string
+  val parse : string -> t
+  val member : string -> t -> t option
+  val path : t -> string list -> t option
+  val to_int : t option -> int option
+end
+
+type config = {
+  sf : float;
+  writers : int;
+  readers : int;
+  duration_ms : float;  (** simulated milliseconds on the media clock *)
+  seed : int;
+  mode : Jit.Engine.mode;
+  storage : [ `Dram | `Pmem ];
+  pool_workers : int;  (** shared morsel-pool size; <= 1 disables *)
+}
+
+val default_config : config
+
+type class_stats = {
+  cls : string;
+  ops : int;
+  p50_ns : int;
+  p95_ns : int;
+  p99_ns : int;
+  max_ns : int;
+}
+
+type result = {
+  cfg : config;
+  sim_elapsed_ns : int;
+  committed_updates : int;
+  failed_updates : int;
+  updates_by_query : (string * int) list;
+  counter_commits : int;
+  analytic_reads : int;
+  read_rows : int;
+  read_aborts : int;
+  classes : class_stats list;
+  commits : int;
+  aborts : int;
+  retries : int;
+  media_reads : int;
+  media_writes : int;
+  media_flushes : int;
+  media_fences : int;
+  media_bytes_read : int;
+  media_bytes_written : int;
+  jit_cache_hits : int;
+  jit_cached_plans : int;
+  monotone_violations : int;
+  counter_lost : int;
+  conservation_failures : int;
+}
+
+val si_violations : result -> int
+(** Sum of monotone-read, lost-update and conservation violations. *)
+
+val run : config -> result
+(** Seed a dataset, run the concurrent workload for the configured
+    simulated duration, quiesce, and check the snapshot-isolation
+    invariants. *)
+
+val to_json : result -> string
+val write_json : string -> result -> unit
+
+val validate : ?require_nonzero:bool -> string -> (unit, string) Stdlib.result
+(** Validate an emitted BENCH_htap.json document: parses, has the
+    expected fields and ordered percentiles; with [require_nonzero]
+    (default), also requires committed updates, analytic reads and zero
+    snapshot-isolation violations. *)
+
+val validate_file :
+  ?require_nonzero:bool -> string -> (unit, string) Stdlib.result
+val print_summary : result -> unit

@@ -721,6 +721,31 @@ let concurrency () =
       Core.shutdown db)
     [ 1; 2 ]
 
+(* --- HTAP: concurrent writers + analytic readers (the paper's headline claim) ----------- *)
+
+let htap () =
+  Printf.printf
+    "\n\
+     #### HTAP: concurrent SNB updates + analytic reads (sim clock) ####\n\
+     (%d writers, %d readers over a shared morsel pool; emits BENCH_htap.json)\n"
+    2 !nworkers;
+  let cfg =
+    {
+      Htap.default_config with
+      Htap.sf = !sf;
+      pool_workers = !nworkers;
+      mode = Engine.Jit;
+    }
+  in
+  let r = Htap.run cfg in
+  Htap.print_summary r;
+  Htap.write_json "BENCH_htap.json" r;
+  match Htap.validate_file "BENCH_htap.json" with
+  | Ok () -> print_endline "OK: BENCH_htap.json written and validated"
+  | Error msg ->
+      print_endline ("FAILED: BENCH_htap.json invalid: " ^ msg);
+      exit 1
+
 (* --- Bechamel micro-benchmarks: one Test per figure ------------------------------------ *)
 
 let bechamel () =
@@ -826,4 +851,5 @@ let () =
   run "ablations" ablations;
   run "complex" complex;
   run "concurrency" concurrency;
+  run "htap" htap;
   run "bechamel" bechamel

@@ -7,6 +7,7 @@
      crash      crash/recovery drill with invariant checks
      stats      media/cost-model statistics for a workload mix
      faults     exhaustive crash-schedule sweep + SSD fault drill
+     htap       concurrent writers + analytic readers, JSON metrics
 
    Examples:
      poseidon_cli generate --sf 0.5
@@ -344,6 +345,50 @@ let faults variants stride seed =
   end;
   print_endline "OK: all crash schedules recovered; all transient faults absorbed"
 
+(* --- htap ------------------------------------------------------------------------ *)
+
+let htap sf storage engine writers readers duration workers seed out =
+  let cfg =
+    {
+      Htap.sf;
+      writers;
+      readers;
+      duration_ms = duration;
+      seed;
+      mode = engine;
+      storage;
+      pool_workers = workers;
+    }
+  in
+  let r = Htap.run cfg in
+  Htap.print_summary r;
+  Htap.write_json out r;
+  match Htap.validate_file out with
+  | Ok () -> Printf.printf "OK: %s written and validated\n" out
+  | Error msg ->
+      Printf.printf "FAILED: %s invalid: %s\n" out msg;
+      exit 1
+
+let writers_t =
+  let doc = "Concurrent writer domains issuing SNB updates." in
+  Arg.(value & opt int 2 & info [ "writers" ] ~doc)
+
+let readers_t =
+  let doc = "Concurrent reader domains running analytic queries." in
+  Arg.(value & opt int 2 & info [ "readers" ] ~doc)
+
+let duration_t =
+  let doc = "Run duration in simulated milliseconds (media clock)." in
+  Arg.(value & opt float 20. & info [ "duration" ] ~doc)
+
+let workers_t =
+  let doc = "Shared morsel-pool workers for parallel reads (<=1 disables)." in
+  Arg.(value & opt int 2 & info [ "workers" ] ~doc)
+
+let out_t =
+  let doc = "Output path for the machine-readable results." in
+  Arg.(value & opt string "BENCH_htap.json" & info [ "out" ] ~doc)
+
 (* --- query (Cypher-like) -------------------------------------------------------- *)
 
 let query_run sf storage engine qstr params explain =
@@ -429,6 +474,17 @@ let faults_cmd =
           sweep plus transient-SSD-fault absorption")
     Term.(const faults $ variants_t $ stride_t $ seed_t)
 
+let htap_cmd =
+  Cmd.v
+    (Cmd.info "htap"
+       ~doc:
+         "Concurrent HTAP driver: writer domains issuing SNB updates \
+          against reader domains running analytic queries; emits \
+          BENCH_htap.json and checks snapshot-isolation invariants")
+    Term.(
+      const htap $ sf_t $ mode_t $ engine_t $ writers_t $ readers_t
+      $ duration_t $ workers_t $ seed_t $ out_t)
+
 let query_cmd =
   Cmd.v
     (Cmd.info "query"
@@ -450,4 +506,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ generate_cmd; sr_cmd; iu_cmd; crash_cmd; stats_cmd; faults_cmd; query_cmd ]))
+          [
+            generate_cmd; sr_cmd; iu_cmd; crash_cmd; stats_cmd; faults_cmd;
+            htap_cmd; query_cmd;
+          ]))

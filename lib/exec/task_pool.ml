@@ -94,10 +94,43 @@ let wait t =
   Mutex.unlock t.mu;
   match err with Some e -> raise e | None -> ()
 
-(* Run all tasks to completion; re-raises the first task exception. *)
-let run t tasks =
-  submit_all t tasks;
-  wait t
+(* A batch owns its error slot and completion count, so concurrent
+   clients sharing one pool never observe each other's failures: the
+   pool-level [first_error] is per-pool, and with several in-flight
+   batches a raising morsel would otherwise be re-raised in whichever
+   [wait] happens to run first - the batch that actually lost a morsel
+   would return silently incomplete. *)
+type batch = { mutable remaining : int; mutable error : exn option }
+
+let submit_batch t tasks =
+  let b = { remaining = List.length tasks; error = None } in
+  let wrap task () =
+    (try task ()
+     with e ->
+       Mutex.lock t.mu;
+       if b.error = None then b.error <- Some e;
+       Mutex.unlock t.mu);
+    Mutex.lock t.mu;
+    b.remaining <- b.remaining - 1;
+    if b.remaining = 0 then Condition.broadcast t.all_done;
+    Mutex.unlock t.mu
+  in
+  submit_all t (List.map wrap tasks);
+  b
+
+let wait_batch t b =
+  Mutex.lock t.mu;
+  while b.remaining > 0 do
+    Condition.wait t.all_done t.mu
+  done;
+  let err = b.error in
+  b.error <- None;
+  Mutex.unlock t.mu;
+  match err with Some e -> raise e | None -> ()
+
+(* Run all tasks to completion; re-raises the first exception raised by
+   THIS batch's tasks (exactly once), after every task has drained. *)
+let run t tasks = wait_batch t (submit_batch t tasks)
 
 let shutdown t =
   Mutex.lock t.mu;

@@ -11,10 +11,25 @@ val create : ?media:Pmem.Media.t -> nworkers:int -> unit -> t
 val size : t -> int
 val submit_all : t -> (unit -> unit) list -> unit
 val wait : t -> unit
-(** Wait for all outstanding tasks; re-raises the first task exception. *)
+(** Wait for all outstanding tasks (from every client); re-raises the
+    first pool-level task exception.  Prefer the batch API below when
+    several domains share one pool: [wait] cannot tell whose task
+    failed. *)
+
+type batch
+(** A group of tasks submitted together.  Errors are isolated per
+    batch: a raising morsel is re-raised exactly once, in the matching
+    {!wait_batch}, never in a concurrent client's wait. *)
+
+val submit_batch : t -> (unit -> unit) list -> batch
+val wait_batch : t -> batch -> unit
+(** Block until every task of the batch has finished (failed tasks
+    still count as finished, so remaining morsels drain), then re-raise
+    the batch's first exception, if any. *)
 
 val run : t -> (unit -> unit) list -> unit
-(** {!submit_all} + {!wait}. *)
+(** {!submit_batch} + {!wait_batch}: run tasks to completion with
+    per-batch error isolation. *)
 
 val shutdown : t -> unit
 (** Stop and join all workers. *)

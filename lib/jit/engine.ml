@@ -84,11 +84,10 @@ let param_tag_of params i =
   | Value.Float _ | Value.Text _ ->
       raise (Codegen.Unsupported "float/text parameter")
 
-(* Split a plan into its pipelined core and the serial breaker suffix. *)
-let split g ~params plan =
-  match I.split_plan g ~params plan with
-  | I.Par p -> (p, fun (s : I.stream) -> s)
-  | I.Ser (p, tr) -> (p, tr)
+(* Split a plan into its pipelined core and the serial breaker suffix;
+   parallel-aggregation splits fold their aggregation back into the
+   suffix, since the JIT compiles only the pipelined core. *)
+let split g ~params plan = I.split_serial (I.split_plan g ~params plan)
 
 let cache_key cfg plan =
   Printf.sprintf "%s@%s" (A.fingerprint plan)

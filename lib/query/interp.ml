@@ -296,14 +296,37 @@ let rec produce (g : Source.t) ~params ?chunk plan : stream =
 
 (* Split a plan into a chunk-parallel part (rooted at a chunkable scan,
    containing only pipelined operators) and a serial stream transformer
-   applied to the merged morsel output. *)
-type split = Par of plan | Ser of plan * (stream -> stream)
+   applied to the merged morsel output.
+
+   Aggregation breakers (CountAgg, GroupCount) get a third shape: when
+   the breaker sits directly on a chunk-parallel pipeline, each worker
+   folds its morsels into a private partial state and the partials are
+   merged at the barrier (in chunk-index order, so the result is
+   deterministic and identical to the serial interpretation).  Operators
+   above the aggregation still run as a serial tail over the merged
+   aggregate output. *)
+type agg = ACount | AGroup
+type split =
+  | Par of plan
+  | Ser of plan * (stream -> stream)
+  | ParAgg of plan * agg * (stream -> stream)
+
+let agg_serial = function ACount -> count_stream | AGroup -> group_count_stream
+
+(* Collapse any split back to the (parallel core, serial tail) contract:
+   the JIT engine compiles only the pipelined core and keeps breakers -
+   including aggregations - in the AOT tail. *)
+let split_serial = function
+  | Par p -> (p, fun (s : stream) -> s)
+  | Ser (p, tr) -> (p, tr)
+  | ParAgg (p, agg, tail) -> (p, fun s -> tail (agg_serial agg s))
 
 let rec split_plan (g : Source.t) ~params plan : split =
   let unary child ~rebuild ~serial_tr =
     match split_plan g ~params child with
     | Par _ -> rebuild ()
     | Ser (p, tr) -> Ser (p, fun s -> serial_tr (tr s))
+    | ParAgg (p, agg, tail) -> ParAgg (p, agg, fun s -> serial_tr (tail s))
   in
   match plan with
   | NodeScan _ | NodeById _ | RelScan _ | IndexScan _ | IndexRange _ | Unit ->
@@ -349,8 +372,8 @@ let rec split_plan (g : Source.t) ~params plan : split =
   | Limit { n; child } -> breaker g ~params child (limit_stream n)
   | Sort { keys; child } -> breaker g ~params child (sort_stream g ~params keys)
   | Distinct { child } -> breaker g ~params child distinct_stream
-  | CountAgg { child } -> breaker g ~params child count_stream
-  | GroupCount { child } -> breaker g ~params child group_count_stream
+  | CountAgg { child } -> agg_breaker g ~params child ACount
+  | GroupCount { child } -> agg_breaker g ~params child AGroup
   | NestedLoopJoin { pred; left; right } ->
       let right_rows = lazy (materialize (produce g ~params right)) in
       breaker g ~params left (fun s ->
@@ -364,6 +387,16 @@ and breaker g ~params child tr =
   match split_plan g ~params child with
   | Par p -> Ser (p, tr)
   | Ser (p, tr') -> Ser (p, fun s -> tr (tr' s))
+  | ParAgg (p, agg, tail) -> ParAgg (p, agg, fun s -> tr (tail s))
+
+and agg_breaker g ~params child agg =
+  match split_plan g ~params child with
+  | Par p -> ParAgg (p, agg, fun s -> s)
+  | Ser (p, tr) -> Ser (p, fun s -> agg_serial agg (tr s))
+  (* aggregation above an aggregation: the inner one already forces the
+     barrier, so the outer one runs serially over the merged output *)
+  | ParAgg (p, inner, tail) ->
+      ParAgg (p, inner, fun s -> agg_serial agg (tail s))
 
 (* Run the chunk-parallel part over all morsels, collecting rows. *)
 let run_parallel_part (g : Source.t) ~params pool plan =
@@ -380,6 +413,64 @@ let run_parallel_part (g : Source.t) ~params pool plan =
   in
   Exec.Task_pool.run pool tasks;
   !acc
+
+(* Run the chunk-parallel core of a [ParAgg] split: each task folds its
+   morsel into a per-chunk partial aggregation state (no row list is ever
+   materialised); the partials are merged in chunk-index order at the
+   barrier, which makes the output - including group first-appearance
+   order - identical to the serial interpretation regardless of task
+   scheduling. *)
+let run_parallel_agg (g : Source.t) ~params pool plan agg : stream =
+  let nchunks = g.node_chunks () in
+  match agg with
+  | ACount ->
+      let partials = Array.make (max 1 nchunks) 0 in
+      let tasks =
+        List.init nchunks (fun ci () ->
+            let n = ref 0 in
+            produce g ~params ~chunk:ci plan (fun _ -> incr n);
+            partials.(ci) <- !n)
+      in
+      Exec.Task_pool.run pool tasks;
+      let total = Array.fold_left ( + ) 0 partials in
+      fun yield -> yield [| Value.Int total |]
+  | AGroup ->
+      let empty () = ([], Hashtbl.create 0) in
+      let partials = Array.init (max 1 nchunks) (fun _ -> empty ()) in
+      let tasks =
+        List.init nchunks (fun ci () ->
+            let groups = Hashtbl.create 64 in
+            let order = ref [] in
+            produce g ~params ~chunk:ci plan (fun tuple ->
+                let key = Array.to_list tuple in
+                match Hashtbl.find_opt groups key with
+                | Some n -> Hashtbl.replace groups key (n + 1)
+                | None ->
+                    Hashtbl.add groups key 1;
+                    order := tuple :: !order);
+            partials.(ci) <- (List.rev !order, groups))
+      in
+      Exec.Task_pool.run pool tasks;
+      let merged = Hashtbl.create 64 in
+      let order = ref [] in
+      Array.iter
+        (fun (ord, tbl) ->
+          List.iter
+            (fun tuple ->
+              let key = Array.to_list tuple in
+              let n = Hashtbl.find tbl key in
+              match Hashtbl.find_opt merged key with
+              | Some m -> Hashtbl.replace merged key (m + n)
+              | None ->
+                  Hashtbl.add merged key n;
+                  order := tuple :: !order)
+            ord)
+        partials;
+      fun yield ->
+        List.iter
+          (fun tuple ->
+            yield (append tuple (Value.Int (Hashtbl.find merged (Array.to_list tuple)))))
+          (List.rev !order)
 
 let rec leftmost_leaf = function
   | NodeScan _ | NodeById _ | RelScan _ | IndexScan _ | IndexRange _ | Unit as p
@@ -418,7 +509,9 @@ let run ?pool (g : Source.t) ~params plan =
           List.iter yield collected
       | Ser (p, tr) ->
           let collected = run_parallel_part g ~params pool p in
-          tr (fun k -> List.iter k collected) yield)
+          tr (fun k -> List.iter k collected) yield
+      | ParAgg (p, agg, tail) ->
+          tail (run_parallel_agg g ~params pool p agg) yield)
   | Some _ -> produce g ~params plan yield);
   List.rev !rows
 

@@ -20,10 +20,27 @@ val produce :
 (** Serial stream of a plan's rows; with [chunk], the leaf scan is
     restricted to that morsel. *)
 
-(** Result of {!split_plan}: either fully chunk-parallelisable, or a
-    parallel core plus the serial transformer for everything above the
-    first breaker. *)
-type split = Par of Algebra.plan | Ser of Algebra.plan * (stream -> stream)
+(** Aggregation kind whose partial states can be computed per worker and
+    merged at the morsel barrier. *)
+type agg = ACount | AGroup
+
+(** Result of {!split_plan}: fully chunk-parallelisable; a parallel core
+    plus the serial transformer for everything above the first breaker;
+    or a parallel core whose first breaker is an aggregation executed as
+    per-worker partial states merged at the barrier, with the serial
+    tail applied to the merged aggregate output. *)
+type split =
+  | Par of Algebra.plan
+  | Ser of Algebra.plan * (stream -> stream)
+  | ParAgg of Algebra.plan * agg * (stream -> stream)
+
+val agg_serial : agg -> stream -> stream
+(** The serial stream transformer equivalent to an [agg] breaker. *)
+
+val split_serial : split -> Algebra.plan * (stream -> stream)
+(** Collapse any split to (parallel core, serial tail) - [ParAgg] folds
+    its aggregation back into the tail.  Used by engines (e.g. the JIT)
+    that compile only the pipelined core. *)
 
 val split_plan : Source.t -> params:Value.t array -> Algebra.plan -> split
 

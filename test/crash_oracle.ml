@@ -16,14 +16,21 @@
    (the linearization point) the transaction is durable even though the
    workload never saw the commit return.  The oracle therefore accepts an
    optional [pending] delta - the one transaction in flight at the crash -
-   and checks that recovery applied it either completely or not at all. *)
+   and checks that recovery applied it either completely or not at all.
+
+   The oracle is workload-parametric: [vkey] names the integer property
+   tracked per node (default "v"), and [index_label]/[index_key] name the
+   secondary index to audit (default "N"/"id"; nodes of other labels are
+   skipped).  This lets the same invariants cover both the synthetic
+   counter workload and SNB-shaped update mixes, where "id" is the only
+   property every entity carries. *)
 
 module Value = Storage.Value
 module G = Storage.Graph_store
 module Mvto = Mvcc.Mvto
 
 type model = {
-  mutable nodes : (int * int) list; (* node id, expected "v" prop *)
+  mutable nodes : (int * int) list; (* node id, expected [vkey] prop *)
   mutable rels : (int * int * int) list; (* rel id, src, dst *)
 }
 
@@ -31,16 +38,21 @@ let empty_model () = { nodes = []; rels = [] }
 
 (* The transaction in flight when the power failed.  [Insert] is
    identified by its "id" property because the crash may have prevented
-   the workload from learning the assigned slot. *)
+   the workload from learning the assigned slot; it may carry any number
+   of outgoing relationships created in the same transaction (e.g. an
+   SNB post insert also links the creator).  [AddRels] is a
+   relationship-only transaction between pre-existing nodes (e.g. an SNB
+   add-friendship). *)
 type delta =
-  | Insert of { ldbc : int; v : int; rel_dst : int option }
+  | Insert of { ldbc : int; v : int; rel_dsts : int list }
   | Update of (int * int * int) list (* node id, old v, new v *)
   | Delete of { node : int }
+  | AddRels of (int * int) list (* src, dst *)
 
 (* Decide - from the recovered database alone - whether the pending
    transaction committed, failing on any state compatible with neither
-   outcome.  [live] is the post-recovery visible node count. *)
-let pending_applied ~live ~base = function
+   outcome.  [live]/[live_rels] are the post-recovery visible counts. *)
+let pending_applied ~live ~base ~live_rels ~base_rels = function
   | Insert _ ->
       if live = base + 1 then true
       else if live = base then false
@@ -57,13 +69,26 @@ let pending_applied ~live ~base = function
       else
         Alcotest.failf "pending delete: %d live nodes, expected %d or %d" live
           (base - 1) base
+  | AddRels pairs ->
+      if live <> base then
+        Alcotest.failf "pending add-rels: %d live nodes, expected %d" live base;
+      if live_rels = base_rels + List.length pairs then true
+      else if live_rels = base_rels then false
+      else
+        Alcotest.failf "pending add-rels: %d live rels, expected %d or %d"
+          live_rels base_rels
+          (base_rels + List.length pairs)
 
-let check ?pending db (m : model) =
+let check ?(vkey = "v") ?(index_label = "N") ?(index_key = "id") ?pending db
+    (m : model) =
   let g = Core.store db in
   Core.with_txn db (fun txn ->
       let live = ref 0 in
       Mvto.scan_nodes (Core.mgr db) txn (fun _ -> incr live);
+      let live_rels = ref 0 in
+      Mvto.scan_rels (Core.mgr db) txn (fun _ -> incr live_rels);
       let base = List.length m.nodes in
+      let base_rels = List.length m.rels in
       (* Determine the fate of the crash-pending transaction. *)
       let applied =
         match pending with
@@ -72,18 +97,21 @@ let check ?pending db (m : model) =
               Alcotest.failf "ghost nodes: %d live, %d committed" !live base;
             false
         | Some (Update ((id, old_v, new_v) :: _) as p) -> (
-            ignore (pending_applied ~live:!live ~base p);
-            match Core.node_prop db txn id ~key:"v" with
+            ignore
+              (pending_applied ~live:!live ~base ~live_rels:!live_rels
+                 ~base_rels p);
+            match Core.node_prop db txn id ~key:vkey with
             | Some (Value.Int x) when x = new_v -> true
             | Some (Value.Int x) when x = old_v -> false
             | other ->
-                Alcotest.failf "pending update: node %d has v=%s, not %d or %d"
-                  id
+                Alcotest.failf "pending update: node %d has %s=%s, not %d or %d"
+                  id vkey
                   (match other with
                   | Some x -> Value.to_string x
                   | None -> "missing")
                   old_v new_v)
-        | Some p -> pending_applied ~live:!live ~base p
+        | Some p ->
+            pending_applied ~live:!live ~base ~live_rels:!live_rels ~base_rels p
       in
       (* Expected post-recovery state given that fate. *)
       let expected_nodes =
@@ -105,19 +133,19 @@ let check ?pending db (m : model) =
          node must agree with it. *)
       List.iter
         (fun (id, v) ->
-          match Core.node_prop db txn id ~key:"v" with
+          match Core.node_prop db txn id ~key:vkey with
           | Some (Value.Int v') when v' = v -> ()
           | other ->
-              Alcotest.failf "node %d: expected v=%d got %s" id v
+              Alcotest.failf "node %d: expected %s=%d got %s" id vkey v
                 (match other with
                 | Some x -> Value.to_string x
                 | None -> "missing"))
         expected_nodes;
       (* An applied pending insert must be visible in full: the one extra
-         node carries exactly the pending properties and relationship. *)
+         node carries exactly the pending properties and relationships. *)
       let extra_rels =
         match (pending, applied) with
-        | Some (Insert { ldbc; v; rel_dst }), true -> (
+        | Some (Insert { ldbc; v; rel_dsts }), true -> (
             let extra = ref [] in
             Mvto.scan_nodes (Core.mgr db) txn (fun id ->
                 if not (List.mem_assoc id m.nodes) then extra := id :: !extra);
@@ -126,12 +154,13 @@ let check ?pending db (m : model) =
                 (match Core.node_prop db txn id ~key:"id" with
                 | Some (Value.Int l) when l = ldbc -> ()
                 | _ -> Alcotest.failf "pending insert: node %d lost id prop" id);
-                (match Core.node_prop db txn id ~key:"v" with
+                (match Core.node_prop db txn id ~key:vkey with
                 | Some (Value.Int v') when v' = v -> ()
-                | _ -> Alcotest.failf "pending insert: node %d lost v prop" id);
-                (match rel_dst with
-                | None -> 0
-                | Some dst ->
+                | _ ->
+                    Alcotest.failf "pending insert: node %d lost %s prop" id
+                      vkey);
+                List.iter
+                  (fun dst ->
                     let found = ref 0 in
                     G.iter_out g id (fun rid ->
                         let r = G.read_rel g rid in
@@ -139,18 +168,34 @@ let check ?pending db (m : model) =
                     if !found <> 1 then
                       Alcotest.failf
                         "pending insert: rel %d->%d not applied atomically" id
-                        dst;
-                    1)
+                        dst)
+                  rel_dsts;
+                List.length rel_dsts
             | l -> Alcotest.failf "pending insert: %d extra nodes" (List.length l))
+        | Some (AddRels pairs), true ->
+            List.iter
+              (fun (src, dst) ->
+                let committed =
+                  List.length
+                    (List.filter (fun (_, s, d) -> s = src && d = dst) m.rels)
+                in
+                let found = ref 0 in
+                G.iter_out g src (fun rid ->
+                    let r = G.read_rel g rid in
+                    if r.Storage.Layout.dst = dst then incr found);
+                if !found <> committed + 1 then
+                  Alcotest.failf
+                    "pending add-rel %d->%d not applied atomically (%d found)"
+                    src dst !found)
+              pairs;
+            List.length pairs
         | _ -> 0
       in
       (* I2 for relationships: visible rels are exactly the committed ones
-         (plus the applied pending insert's). *)
-      let live_rels = ref 0 in
-      Mvto.scan_rels (Core.mgr db) txn (fun _ -> incr live_rels);
-      if !live_rels <> List.length m.rels + extra_rels then
+         (plus the applied pending transaction's). *)
+      if !live_rels <> base_rels + extra_rels then
         Alcotest.failf "ghost rels: %d live, %d expected" !live_rels
-          (List.length m.rels + extra_rels);
+          (base_rels + extra_rels);
       (* I3: adjacency soundness *)
       List.iter
         (fun (id, _) ->
@@ -171,20 +216,24 @@ let check ?pending db (m : model) =
           if r.Storage.Layout.src <> src || r.Storage.Layout.dst <> dst then
             Alcotest.failf "rel %d endpoints corrupted" rid)
         m.rels);
-  (* I4: index agrees with scan *)
+  (* I4: index agrees with scan (only nodes of the indexed label) *)
   (match
-     Core.index_lookup_fn db ~label:(Core.code db "N") ~key:(Core.code db "id")
+     Core.index_lookup_fn db ~label:(Core.code db index_label)
+       ~key:(Core.code db index_key)
    with
   | None -> ()
   | Some idx ->
+      let lbl = Core.code db index_label in
       List.iter
         (fun (id, _) ->
-          Core.with_txn db (fun txn ->
-              match Core.node_prop db txn id ~key:"id" with
-              | Some (Value.Int ldbc) ->
-                  if not (List.mem id (Gindex.Index.lookup idx (Value.Int ldbc)))
-                  then Alcotest.failf "index lost node %d" id
-              | _ -> ()))
+          if G.node_label (Core.store db) id = lbl then
+            Core.with_txn db (fun txn ->
+                match Core.node_prop db txn id ~key:index_key with
+                | Some (Value.Int ldbc) ->
+                    if
+                      not (List.mem id (Gindex.Index.lookup idx (Value.Int ldbc)))
+                    then Alcotest.failf "index lost node %d" id
+                | _ -> ()))
         m.nodes);
   (* I5: still fully operational *)
   let probe =

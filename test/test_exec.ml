@@ -53,6 +53,80 @@ let test_exception_propagates () =
   Alcotest.(check int) "other tasks still ran" 3 (Atomic.get ran);
   TP.shutdown pool
 
+(* A raising morsel must not deadlock [wait]: the exception is
+   re-raised exactly once and the remaining tasks of the batch still
+   drain before [run] returns. *)
+let test_failed_batch_drains () =
+  let pool = TP.create ~nworkers:2 () in
+  let ran = Atomic.make 0 in
+  let raised = ref 0 in
+  (try
+     TP.run pool
+       (List.init 20 (fun i () ->
+            if i = 3 then failwith "morsel boom" else Atomic.incr ran))
+   with Failure m ->
+     incr raised;
+     Alcotest.(check string) "message" "morsel boom" m);
+  Alcotest.(check int) "raised exactly once" 1 !raised;
+  Alcotest.(check int) "remaining morsels drained" 19 (Atomic.get ran);
+  (* a later batch starts from a clean slate: no stale error *)
+  TP.run pool [ (fun () -> Atomic.incr ran) ];
+  Alcotest.(check int) "clean batch after failure" 20 (Atomic.get ran);
+  TP.shutdown pool
+
+(* Two clients sharing one pool: an exception in batch A must surface
+   in A's wait, never in B's (regression for the HTAP reader bug where
+   one reader's abort was re-raised into another reader's wait). *)
+let test_batch_error_isolation () =
+  let pool = TP.create ~nworkers:4 () in
+  let b_ok = Atomic.make 0 in
+  let a_failed = Atomic.make false and b_failed = Atomic.make false in
+  let client_a () =
+    for _ = 1 to 50 do
+      try TP.run pool [ (fun () -> failwith "A's error") ]
+      with Failure _ -> Atomic.set a_failed true
+    done
+  in
+  let client_b () =
+    for _ = 1 to 50 do
+      try TP.run pool (List.init 4 (fun _ () -> Atomic.incr b_ok))
+      with _ -> Atomic.set b_failed true
+    done
+  in
+  let da = Domain.spawn client_a and db = Domain.spawn client_b in
+  Domain.join da;
+  Domain.join db;
+  Alcotest.(check bool) "A saw its own error" true (Atomic.get a_failed);
+  Alcotest.(check bool) "B never saw A's error" false (Atomic.get b_failed);
+  Alcotest.(check int) "all of B's tasks ran" 200 (Atomic.get b_ok);
+  TP.shutdown pool
+
+(* Explicit batch API: waiting on each batch returns its own error. *)
+let test_submit_batch_wait_batch () =
+  let pool = TP.create ~nworkers:2 () in
+  let hits = Atomic.make 0 in
+  let good = TP.submit_batch pool (List.init 10 (fun _ () -> Atomic.incr hits)) in
+  let bad = TP.submit_batch pool [ (fun () -> failwith "bad batch") ] in
+  TP.wait_batch pool good;
+  Alcotest.(check int) "good batch complete" 10 (Atomic.get hits);
+  (match TP.wait_batch pool bad with
+  | () -> Alcotest.fail "expected exception"
+  | exception Failure m -> Alcotest.(check string) "message" "bad batch" m);
+  TP.shutdown pool
+
+(* [shutdown] is idempotent, and safe right after a failed batch. *)
+let test_shutdown_idempotent () =
+  let pool = TP.create ~nworkers:2 () in
+  (try TP.run pool [ (fun () -> failwith "pre-shutdown boom") ]
+   with Failure _ -> ());
+  TP.shutdown pool;
+  TP.shutdown pool;
+  (* empty batches on a fresh pool are a no-op, not a hang *)
+  let pool2 = TP.create ~nworkers:1 () in
+  TP.run pool2 [];
+  TP.shutdown pool2;
+  TP.shutdown pool2
+
 let test_parallel_ranges () =
   let pool = TP.create ~nworkers:4 () in
   let n = 1000 in
@@ -103,6 +177,11 @@ let () =
           Alcotest.test_case "runs all tasks" `Quick test_runs_all_tasks;
           Alcotest.test_case "parallelism is real" `Quick test_parallelism_is_real;
           Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+          Alcotest.test_case "failed batch drains" `Quick test_failed_batch_drains;
+          Alcotest.test_case "batch error isolation" `Quick
+            test_batch_error_isolation;
+          Alcotest.test_case "submit/wait batch" `Quick test_submit_batch_wait_batch;
+          Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
           Alcotest.test_case "parallel ranges" `Quick test_parallel_ranges;
           Alcotest.test_case "meters attribute work" `Quick test_meters_attribute_work;
         ] );

@@ -213,7 +213,7 @@ let step st pending f =
   st.pending <- None
 
 let insert_step st ~ldbc ~v ~dst ~record =
-  step st (Crash_oracle.Insert { ldbc; v; rel_dst = Some dst }) (fun () ->
+  step st (Crash_oracle.Insert { ldbc; v; rel_dsts = [ dst ] }) (fun () ->
       let id, rid =
         Core.with_txn st.db (fun txn ->
             let id =
@@ -285,6 +285,124 @@ let test_exhaustive_fence_sweep () =
     (r.CE.schedules - r.CE.fence_schedules - r.CE.variant_schedules
    - r.CE.flush_schedules)
 
+(* --- SNB update-mix crash sweep ----------------------------------------
+
+   The same exhaustive fence/flush-boundary exploration, but over an
+   LDBC-SNB interactive-update mix: IU1 insert-person, IU8
+   add-friendship (a relationship-only transaction between existing
+   persons), and IU6 add-post (a node insert that links its creator in
+   the same transaction).  SNB entities carry "id" as their universal
+   integer property, so the oracle tracks it as the value key and audits
+   the Person.id index. *)
+
+type snb_st = {
+  mutable sdb : Core.t;
+  smodel : Crash_oracle.model;
+  mutable spending : Crash_oracle.delta option;
+  p1 : int;
+  p2 : int;
+  mutable p3 : int;
+}
+
+let snb_fresh () =
+  let db = Core.create ~mode:`Pmem ~pool_size:(1 lsl 24) ~chunk_capacity:64 () in
+  ignore (Core.create_index db ~label:"Person" ~prop:"id" ());
+  let person ldbc =
+    Core.with_txn db (fun txn ->
+        Core.create_node db txn ~label:"Person"
+          ~props:[ ("id", Value.Int ldbc) ])
+  in
+  let p1 = person 933 and p2 = person 1129 in
+  {
+    sdb = db;
+    smodel = { Crash_oracle.nodes = [ (p1, 933); (p2, 1129) ]; rels = [] };
+    spending = None;
+    p1;
+    p2;
+    p3 = -1;
+  }
+
+let snb_step st pending f =
+  st.spending <- Some pending;
+  f ();
+  st.spending <- None
+
+(* IU1: a new person node. *)
+let snb_insert_person st ~ldbc ~record =
+  snb_step st (Crash_oracle.Insert { ldbc; v = ldbc; rel_dsts = [] }) (fun () ->
+      let id =
+        Core.with_txn st.sdb (fun txn ->
+            Core.create_node st.sdb txn ~label:"Person"
+              ~props:[ ("id", Value.Int ldbc) ])
+      in
+      record id;
+      st.smodel.Crash_oracle.nodes <-
+        (id, ldbc) :: st.smodel.Crash_oracle.nodes)
+
+(* IU8: a knows edge between two existing persons. *)
+let snb_add_friendship st ~src ~dst =
+  snb_step st (Crash_oracle.AddRels [ (src, dst) ]) (fun () ->
+      let rid =
+        Core.with_txn st.sdb (fun txn ->
+            Core.create_rel st.sdb txn ~label:"knows" ~src ~dst ~props:[])
+      in
+      st.smodel.Crash_oracle.rels <-
+        (rid, src, dst) :: st.smodel.Crash_oracle.rels)
+
+(* IU6: a post plus its hasCreator edge, in one transaction. *)
+let snb_add_post st ~ldbc ~creator =
+  snb_step st (Crash_oracle.Insert { ldbc; v = ldbc; rel_dsts = [ creator ] })
+    (fun () ->
+      let id, rid =
+        Core.with_txn st.sdb (fun txn ->
+            let id =
+              Core.create_node st.sdb txn ~label:"Post"
+                ~props:[ ("id", Value.Int ldbc) ]
+            in
+            let rid =
+              Core.create_rel st.sdb txn ~label:"hasCreator" ~src:id
+                ~dst:creator ~props:[]
+            in
+            (id, rid))
+      in
+      st.smodel.Crash_oracle.nodes <-
+        (id, ldbc) :: st.smodel.Crash_oracle.nodes;
+      st.smodel.Crash_oracle.rels <-
+        (rid, id, creator) :: st.smodel.Crash_oracle.rels)
+
+let snb_run st =
+  snb_insert_person st ~ldbc:4194 ~record:(fun id -> st.p3 <- id);
+  snb_add_friendship st ~src:st.p1 ~dst:st.p2;
+  snb_add_post st ~ldbc:7696 ~creator:st.p1;
+  snb_add_friendship st ~src:st.p3 ~dst:st.p2;
+  snb_add_post st ~ldbc:7697 ~creator:st.p3
+
+let snb_target : snb_st CE.target =
+  {
+    CE.fresh = snb_fresh;
+    pool = (fun st -> Core.pool st.sdb);
+    run = snb_run;
+    recover =
+      (fun st ->
+        st.sdb <- Core.reopen st.sdb;
+        st);
+    check =
+      (fun st ->
+        Crash_oracle.check ~vkey:"id" ~index_label:"Person" ~index_key:"id"
+          ?pending:st.spending st.sdb st.smodel);
+  }
+
+let test_snb_update_mix_sweep () =
+  let r = CE.explore ~evict_variants:1 ~flush_stride:30 snb_target in
+  Alcotest.(check bool) "trace has fences" true (r.CE.trace_fences > 0);
+  Alcotest.(check int) "a schedule per fence boundary" r.CE.trace_fences
+    r.CE.fence_schedules;
+  Alcotest.(check bool) "flush-boundary schedules ran" true
+    (r.CE.flush_schedules > 0);
+  Alcotest.(check int) "every schedule crashed"
+    (r.CE.fence_schedules + r.CE.variant_schedules + r.CE.flush_schedules)
+    r.CE.crashes_triggered
+
 (* --- graceful degradation: transient SSD faults ---------------------- *)
 
 let test_ssd_faults_absorbed () =
@@ -342,6 +460,8 @@ let () =
         [
           Alcotest.test_case "exhaustive fence sweep" `Quick
             test_exhaustive_fence_sweep;
+          Alcotest.test_case "snb update-mix sweep" `Quick
+            test_snb_update_mix_sweep;
         ] );
       ( "ssd",
         [

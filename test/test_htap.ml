@@ -1,0 +1,143 @@
+(* HTAP stress battery: run the concurrent SNB update + analytics driver
+   at a tiny scale factor with a fixed seed and assert the
+   snapshot-isolation invariants it checks (no lost updates on the
+   counter probe, monotone aggregate reads, count conservation), in the
+   spirit of test_mvcc.ml but across real domains.  Also round-trips the
+   BENCH_htap.json emitter through the hand-rolled parser. *)
+
+module Htap = Htap
+module Json = Htap.Json
+
+(* AOT mode: JIT compile charges (~15 sim-ms per fresh plan) would eat a
+   short simulated duration before any throughput accrues. *)
+let cfg =
+  {
+    Htap.default_config with
+    Htap.sf = 0.01;
+    writers = 2;
+    readers = 2;
+    duration_ms = 40.;
+    seed = 42;
+    mode = Jit.Engine.Interp;
+    pool_workers = 2;
+  }
+
+(* one run shared by the assertion tests below *)
+let result = lazy (Htap.run cfg)
+
+let test_si_invariants () =
+  let r = Lazy.force result in
+  Alcotest.(check int) "no monotone-read violations" 0 r.Htap.monotone_violations;
+  Alcotest.(check int) "no lost updates" 0 r.Htap.counter_lost;
+  Alcotest.(check int) "no conservation failures" 0 r.Htap.conservation_failures;
+  Alcotest.(check int) "si_violations sums to zero" 0 (Htap.si_violations r)
+
+let test_progress_on_both_sides () =
+  let r = Lazy.force result in
+  Alcotest.(check bool) "committed updates" true (r.Htap.committed_updates > 0);
+  Alcotest.(check bool) "analytic reads" true (r.Htap.analytic_reads > 0);
+  Alcotest.(check bool) "counter probe committed" true (r.Htap.counter_commits > 0);
+  Alcotest.(check bool) "txn commits cover updates" true
+    (r.Htap.commits >= r.Htap.committed_updates);
+  Alcotest.(check bool) "sim clock advanced past the duration" true
+    (r.Htap.sim_elapsed_ns >= int_of_float (cfg.Htap.duration_ms *. 1e6))
+
+let test_latency_classes_ordered () =
+  let r = Lazy.force result in
+  List.iter
+    (fun c ->
+      if c.Htap.ops > 0 then begin
+        Alcotest.(check bool) (c.Htap.cls ^ ": p50 <= p95") true
+          (c.Htap.p50_ns <= c.Htap.p95_ns);
+        Alcotest.(check bool) (c.Htap.cls ^ ": p95 <= p99") true
+          (c.Htap.p95_ns <= c.Htap.p99_ns);
+        Alcotest.(check bool) (c.Htap.cls ^ ": p99 <= max") true
+          (c.Htap.p99_ns <= c.Htap.max_ns)
+      end)
+    r.Htap.classes
+
+let test_json_roundtrip_and_validate () =
+  let r = Lazy.force result in
+  let doc = Htap.to_json r in
+  (match Htap.validate doc with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("validate: " ^ e));
+  let j = Json.parse doc in
+  let geti p = Json.to_int (Json.path j p) in
+  Alcotest.(check (option int)) "committed matches"
+    (Some r.Htap.committed_updates)
+    (geti [ "updates"; "committed" ]);
+  Alcotest.(check (option int)) "analytic matches" (Some r.Htap.analytic_reads)
+    (geti [ "reads"; "analytic" ]);
+  Alcotest.(check (option int)) "violations zero" (Some 0)
+    (geti [ "invariants"; "si_violations" ])
+
+let test_json_parser_basics () =
+  let j =
+    Json.parse
+      {| { "a": 1, "b": [true, false, null], "c": {"d": "x\ny", "e": -2.5} } |}
+  in
+  Alcotest.(check (option int)) "int member" (Some 1)
+    (Json.to_int (Json.member "a" j));
+  (match Json.path j [ "c"; "d" ] with
+  | Some (Json.Str s) -> Alcotest.(check string) "escaped string" "x\ny" s
+  | _ -> Alcotest.fail "missing c.d");
+  (match Json.member "b" j with
+  | Some (Json.List [ Json.Bool true; Json.Bool false; Json.Null ]) -> ()
+  | _ -> Alcotest.fail "list shape");
+  (* emit/parse fixpoint *)
+  let doc = Json.to_string j in
+  Alcotest.(check string) "stable" doc (Json.to_string (Json.parse doc));
+  (match Json.parse "[1, 2" with
+  | exception Json.Parse_error _ -> ()
+  | _ -> Alcotest.fail "expected parse error")
+
+let test_validate_rejects_bad_doc () =
+  (match Htap.validate {| {"bench": "other"} |} with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "accepted wrong bench tag");
+  match Htap.validate "not json at all" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "accepted garbage"
+
+(* A second, differently-shaped run: more writers than readers, single
+   morsel worker (serial probes), different seed.  The invariants are
+   seed-independent. *)
+let test_si_invariants_writer_heavy () =
+  let r =
+    Htap.run
+      {
+        cfg with
+        Htap.writers = 3;
+        readers = 1;
+        pool_workers = 1;
+        seed = 1234;
+        duration_ms = 25.;
+      }
+  in
+  Alcotest.(check int) "zero si violations" 0 (Htap.si_violations r);
+  Alcotest.(check bool) "made progress" true
+    (r.Htap.committed_updates > 0 && r.Htap.analytic_reads > 0)
+
+let () =
+  Alcotest.run "htap"
+    [
+      ( "driver",
+        [
+          Alcotest.test_case "si invariants hold" `Slow test_si_invariants;
+          Alcotest.test_case "progress on both sides" `Slow
+            test_progress_on_both_sides;
+          Alcotest.test_case "latency classes ordered" `Slow
+            test_latency_classes_ordered;
+          Alcotest.test_case "writer-heavy variant" `Slow
+            test_si_invariants_writer_heavy;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip + validate" `Slow
+            test_json_roundtrip_and_validate;
+          Alcotest.test_case "parser basics" `Quick test_json_parser_basics;
+          Alcotest.test_case "validate rejects bad docs" `Quick
+            test_validate_rejects_bad_doc;
+        ] );
+    ]

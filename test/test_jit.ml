@@ -138,6 +138,44 @@ let plans env =
                 E.Const (Value.Int 0) );
           child = A.NodeScan { label = None };
         } );
+    ( "count-scan",
+      A.CountAgg { child = A.NodeScan { label = Some env.person } } );
+    ( "count-expand",
+      A.CountAgg
+        {
+          child =
+            A.Expand
+              {
+                col = 0;
+                dir = A.Out;
+                label = Some env.knows;
+                child = A.NodeScan { label = Some env.person };
+              };
+        } );
+    ( "group-count-age",
+      A.GroupCount
+        {
+          child =
+            A.Project
+              {
+                exprs = [ E.Prop { col = 0; kind = E.KNode; key = env.k_age } ];
+                child = A.NodeScan { label = Some env.person };
+              };
+        } );
+    ( "count-of-groups",
+      A.CountAgg
+        {
+          child =
+            A.GroupCount
+              {
+                child =
+                  A.Project
+                    {
+                      exprs = [ E.Prop { col = 0; kind = E.KNode; key = env.k_name } ];
+                      child = A.NodeScan { label = Some env.person };
+                    };
+              };
+        } );
     ( "arith-project",
       A.Project
         {
@@ -614,6 +652,65 @@ let plan_gen env : A.plan QCheck.Gen.t =
   int_range 1 4 >>= fun depth ->
   leaf >>= fun l -> grow depth (l, 1, E.KNode)
 
+(* --- aggregation breakers: serial == parallel == jit -----------------------
+
+   Aggregations have three execution strategies that must agree on the
+   exact multiset of rows: a serial fold (Interp, no pool), per-morsel
+   partial states merged at the barrier in chunk order (Interp + pool),
+   and an AOT tail over the compiled pipeline (Jit). *)
+
+let agg_plan_gen env : A.plan QCheck.Gen.t =
+  let open QCheck.Gen in
+  let group_by key core =
+    A.GroupCount
+      {
+        child =
+          A.Project
+            { exprs = [ E.Prop { col = 0; kind = E.KNode; key } ]; child = core };
+      }
+  in
+  plan_gen env >>= fun core ->
+  oneofl
+    [
+      A.CountAgg { child = core };
+      group_by env.k_age core;
+      group_by env.k_name core;
+      A.CountAgg { child = group_by env.k_age core };
+      core;
+    ]
+
+let test_agg_parallel_equivalence () =
+  let env = mk_env ~n:80 ~m:25 () in
+  let mk n = Exec.Task_pool.create ~media:env.media ~nworkers:n () in
+  let pools = [ mk 2; mk 4 ] in
+  Fun.protect ~finally:(fun () -> List.iter Exec.Task_pool.shutdown pools)
+  @@ fun () ->
+  let rand = Random.State.make [| 0xA66; 0x5eed |] in
+  let plans = QCheck.Gen.generate ~n:50 ~rand (agg_plan_gen env) in
+  let config = { Engine.default_config with prop_tag = prop_tag env } in
+  with_source env (fun g ->
+      List.iter
+        (fun plan ->
+          let name = A.fingerprint plan in
+          let serial, _ = Engine.run ~mode:Engine.Interp g ~params:no_params plan in
+          List.iter
+            (fun pool ->
+              let par, _ =
+                Engine.run ~pool ~mode:Engine.Interp g ~params:no_params plan
+              in
+              check_same_rows
+                (Printf.sprintf "parallel(%d) %s" (Exec.Task_pool.size pool) name)
+                serial par)
+            pools;
+          let jit, report =
+            Engine.run ~config ~pool:(List.nth pools 1) ~mode:Engine.Jit g
+              ~params:no_params plan
+          in
+          Alcotest.(check bool) (name ^ ": no fallback") false
+            report.Engine.fell_back;
+          check_same_rows ("jit " ^ name) serial jit)
+        plans)
+
 let test_random_plan_equivalence =
   let env = mk_env ~n:60 ~m:20 () in
   QCheck.Test.make ~name:"random plans: jit == interp at O0/O1/O3" ~count:60
@@ -647,6 +744,8 @@ let () =
           Alcotest.test_case "index scan" `Quick test_jit_index_scan;
           Alcotest.test_case "update plan" `Quick test_jit_update_plan;
           Alcotest.test_case "parallel" `Slow test_jit_parallel_matches;
+          Alcotest.test_case "agg: serial == parallel == jit" `Slow
+            test_agg_parallel_equivalence;
           Alcotest.test_case "unsupported falls back" `Quick
             test_unsupported_falls_back;
         ] );
