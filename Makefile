@@ -14,10 +14,14 @@ check:
 
 # tiny HTAP run: exercises the concurrent driver end to end and fails
 # unless BENCH_htap.json parses, throughput is nonzero on both the update
-# and the analytics side, and no snapshot-isolation violation was seen
+# and the analytics side, no snapshot-isolation violation was seen, the
+# per-operator profile agrees between interp and jit, and the metrics
+# snapshot is valid Prometheus exposition
 bench-smoke: build
 	dune exec bin/poseidon_cli.exe -- htap --sf 0.01 --mode aot \
-	  --writers 2 --readers 2 --duration 15 --seed 7 --out BENCH_htap.json
+	  --writers 2 --readers 2 --duration 15 --seed 7 --out BENCH_htap.json \
+	  --profile --metrics-out BENCH_htap.prom
+	dune exec bin/poseidon_cli.exe -- stats --validate BENCH_htap.prom
 
 clean:
 	dune clean

@@ -278,6 +278,7 @@ type config = {
   mode : Engine.mode; (* execution mode for queries and update plans *)
   storage : [ `Dram | `Pmem ];
   pool_workers : int; (* shared morsel pool size; <= 1 disables *)
+  profile : bool; (* post-run per-operator interp-vs-jit profile *)
 }
 
 let default_config =
@@ -290,6 +291,7 @@ let default_config =
     mode = Engine.Jit;
     storage = `Pmem;
     pool_workers = 2;
+    profile = false;
   }
 
 type class_stats = {
@@ -299,6 +301,15 @@ type class_stats = {
   p95_ns : int;
   p99_ns : int;
   max_ns : int;
+}
+
+(* Per-operator interp-vs-jit comparison of one analytic plan, recorded
+   on the quiesced database after the concurrent phase; rows are in
+   preorder-id order and tuple counts must agree between the engines. *)
+type plan_profile = {
+  p_name : string;
+  p_interp : Obs.Profile.row list;
+  p_jit : Obs.Profile.row list;
 }
 
 type result = {
@@ -326,6 +337,17 @@ type result = {
   monotone_violations : int;
   counter_lost : int;
   conservation_failures : int;
+  (* registry-sourced deltas (metrics subsystem, not the raw media
+     counters): media flush/fence traffic, the MVTO abort taxonomy and
+     the compiled-query cache counters over the concurrent phase *)
+  reg_flushes : int;
+  reg_fences : int;
+  abort_taxonomy : (string * int) list;
+  reg_jit_hits : int;
+  reg_jit_misses : int;
+  reg_jit_stores : int;
+  profiles : plan_profile list; (* nonempty iff [cfg.profile] *)
+  metrics_prom : string; (* Prometheus exposition of the final registry *)
 }
 
 let si_violations r =
@@ -334,24 +356,19 @@ let si_violations r =
 let per_sim_second count ns =
   if ns <= 0 then 0. else float_of_int count *. 1e9 /. float_of_int ns
 
-(* nearest-rank percentile over an unsorted latency list *)
-let mk_class_stats cls lats =
-  let a = Array.of_list lats in
-  Array.sort compare a;
-  let n = Array.length a in
-  let pct p =
-    if n = 0 then 0
-    else
-      let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
-      a.(max 0 (min (n - 1) (rank - 1)))
-  in
+(* Latency percentiles from a registry histogram's merged snapshot:
+   nearest-rank over log buckets (<= 25% relative error, monotone),
+   replacing the full-retention per-domain latency lists this driver
+   used to sort after the run. *)
+let mk_class_stats cls hist =
+  let s = Obs.Histogram.snapshot hist in
   {
     cls;
-    ops = n;
-    p50_ns = pct 50.;
-    p95_ns = pct 95.;
-    p99_ns = pct 99.;
-    max_ns = (if n = 0 then 0 else a.(n - 1));
+    ops = s.Obs.Histogram.count;
+    p50_ns = Obs.Histogram.quantile s 0.5;
+    p95_ns = Obs.Histogram.quantile s 0.95;
+    p99_ns = Obs.Histogram.quantile s 0.99;
+    max_ns = s.Obs.Histogram.max_;
   }
 
 (* CreateRel population of an update plan: how many relationships one
@@ -388,7 +405,6 @@ let count_create_rels plan =
 (* --- Per-domain outputs ----------------------------------------------------- *)
 
 type writer_out = {
-  w_lat : int list;
   w_committed : int array; (* per IU spec *)
   w_counter : int;
   w_failed : int;
@@ -396,9 +412,6 @@ type writer_out = {
 }
 
 type reader_out = {
-  r_sr : int list;
-  r_cr : int list;
-  r_probe : int list;
   r_reads : int;
   r_rows : int;
   r_hits : int;
@@ -466,6 +479,31 @@ let run (cfg : config) : result =
   and base_fences = m0.Media.fences
   and base_bytes_read = m0.Media.bytes_read
   and base_bytes_written = m0.Media.bytes_written in
+  (* registry-side baselines: same instants, read through the metrics
+     subsystem so the emitted deltas exercise it end to end *)
+  let reg = Media.registry media in
+  let mval ?labels name =
+    Option.value ~default:0 (Obs.Metrics.value reg ?labels name)
+  in
+  let taxonomy = [ "validation"; "transient"; "fatal"; "user" ] in
+  let tax_val c = mval ~labels:[ ("class", c) ] "mvto_txn_aborts_total" in
+  let base_tax = List.map (fun c -> (c, tax_val c)) taxonomy in
+  let base_reg_flushes = mval "pmem_media_flushes_total"
+  and base_reg_fences = mval "pmem_media_fences_total"
+  and base_jit_hits = mval "jit_cache_hits_total"
+  and base_jit_misses = mval "jit_cache_misses_total"
+  and base_jit_stores = mval "jit_cache_store_total" in
+  (* shared latency histograms: one family, labelled by workload class;
+     each domain records into its own shard, merged on snapshot *)
+  let lat_hist cls =
+    Obs.Metrics.histogram reg
+      ~labels:[ ("class", cls) ]
+      ~help:"operation latency by workload class (sim ns)" "htap_latency_ns"
+  in
+  let h_update = lat_hist "update"
+  and h_sr = lat_hist "short_read"
+  and h_cr = lat_hist "complex_read"
+  and h_probe = lat_hist "agg_probe" in
   let duration_ns = int_of_float (cfg.duration_ms *. 1e6) in
   let c0 = Media.clock media in
   let stop () = Media.clock media - c0 >= duration_ns in
@@ -493,7 +531,6 @@ let run (cfg : config) : result =
   in
   let writer k () =
     let rng = Random.State.make [| cfg.seed; 101 * (k + 1) |] in
-    let lat = ref [] in
     let committed = Array.make nspecs 0 in
     let counter_commits = ref 0 in
     let failed = ref 0 in
@@ -534,10 +571,9 @@ let run (cfg : config) : result =
            committed.(si) <- committed.(si) + 1
          end
        with Core.Abort _ -> incr failed);
-      lat := (Media.clock media - op0) :: !lat
+      Obs.Histogram.observe h_update (Media.clock media - op0)
     done;
     {
-      w_lat = !lat;
       w_committed = committed;
       w_counter = !counter_commits;
       w_failed = !failed;
@@ -548,7 +584,6 @@ let run (cfg : config) : result =
     let rng = Random.State.make [| cfg.seed; 211 * (k + 1) |] in
     let sr_specs = Array.of_list (SR.all sc) in
     let cr_specs = Array.of_list (CR.all sc) in
-    let sr_lat = ref [] and cr_lat = ref [] and probe_lat = ref [] in
     let reads = ref 0 and rows_total = ref 0 and hits = ref 0 in
     let mono = ref 0 and last_total = ref (-1) in
     let aborted = ref 0 in
@@ -559,7 +594,7 @@ let run (cfg : config) : result =
     while not (stop ()) do
       incr i;
       let op0 = Media.clock media in
-      let cls = ref probe_lat in
+      let cls = ref h_probe in
       (try
          if !i mod 4 = 0 then begin
            (* aggregation probe: runs morsel-parallel through the merged
@@ -587,7 +622,7 @@ let run (cfg : config) : result =
            rows_total := !rows_total + List.length rows
          end
          else if !i mod 4 = 2 && Array.length cr_specs > 0 then begin
-           cls := cr_lat;
+           cls := h_cr;
            let spec = cr_specs.(Random.State.int rng (Array.length cr_specs)) in
            let params = CR.draw_params ds rng spec in
            let rows, report =
@@ -599,7 +634,7 @@ let run (cfg : config) : result =
            rows_total := !rows_total + List.length rows
          end
          else begin
-           cls := sr_lat;
+           cls := h_sr;
            let spec = sr_specs.(Random.State.int rng (Array.length sr_specs)) in
            let param = SR.draw_param ds rng spec in
            List.iter
@@ -617,12 +652,9 @@ let run (cfg : config) : result =
          (* a scan can hit a record locked by a committing writer; the
             transaction aborts and the reader simply moves on *)
          incr aborted);
-      !cls := (Media.clock media - op0) :: !(!cls)
+      Obs.Histogram.observe !cls (Media.clock media - op0)
     done;
     {
-      r_sr = !sr_lat;
-      r_cr = !cr_lat;
-      r_probe = !probe_lat;
       r_reads = !reads;
       r_rows = !rows_total;
       r_hits = !hits;
@@ -682,14 +714,49 @@ let run (cfg : config) : result =
   in
   let classes =
     [
-      mk_class_stats "update" (List.concat_map (fun w -> w.w_lat) ws);
-      mk_class_stats "short_read" (List.concat_map (fun r -> r.r_sr) rs);
-      mk_class_stats "complex_read" (List.concat_map (fun r -> r.r_cr) rs);
-      mk_class_stats "agg_probe" (List.concat_map (fun r -> r.r_probe) rs);
+      mk_class_stats "update" h_update;
+      mk_class_stats "short_read" h_sr;
+      mk_class_stats "complex_read" h_cr;
+      mk_class_stats "agg_probe" h_probe;
     ]
   in
   let t1 = Core.txn_stats db in
   let m1 = Media.stats media in
+  (* registry deltas for the concurrent phase, taken at the same point
+     as the raw baselines above *)
+  let abort_taxonomy =
+    List.map (fun (c, b) -> (c, tax_val c - b)) base_tax
+  in
+  let reg_flushes = mval "pmem_media_flushes_total" - base_reg_flushes
+  and reg_fences = mval "pmem_media_fences_total" - base_reg_fences
+  and reg_jit_hits = mval "jit_cache_hits_total" - base_jit_hits
+  and reg_jit_misses = mval "jit_cache_misses_total" - base_jit_misses
+  and reg_jit_stores = mval "jit_cache_store_total" - base_jit_stores in
+  (* per-operator interp-vs-jit profile of the analytic probes, on the
+     quiesced database so both engines see the same snapshot *)
+  let profile_plan name plan =
+    let run_prof mode =
+      let p =
+        Obs.Profile.create ~tick:(fun () -> Media.clock media) (A.op_names plan)
+      in
+      ignore (Core.query db ~mode ~config:ecfg ~prof:p ~params:[||] plan);
+      Obs.Profile.rows p
+    in
+    {
+      p_name = name;
+      p_interp = run_prof Engine.Interp;
+      p_jit = run_prof Engine.Jit;
+    }
+  in
+  let profiles =
+    if not cfg.profile then []
+    else
+      [
+        profile_plan "person_count" person_count_plan;
+        profile_plan "gender_groups" gender_groups_plan;
+      ]
+  in
+  let metrics_prom = Obs.Expo.to_prometheus (Obs.Metrics.snapshot reg) in
   let result =
     {
       cfg;
@@ -718,6 +785,14 @@ let run (cfg : config) : result =
       monotone_violations;
       counter_lost;
       conservation_failures;
+      reg_flushes;
+      reg_fences;
+      abort_taxonomy;
+      reg_jit_hits;
+      reg_jit_misses;
+      reg_jit_stores;
+      profiles;
+      metrics_prom;
     }
   in
   Core.shutdown db;
@@ -742,8 +817,8 @@ let to_json (r : result) : string =
   in
   to_string
     (Obj
-       [
-         ("bench", Str "htap");
+       ([
+          ("bench", Str "htap");
          ( "config",
            Obj
              [
@@ -802,6 +877,17 @@ let to_json (r : result) : string =
                ("cache_hits", Int r.jit_cache_hits);
                ("cached_plans", Int r.jit_cached_plans);
              ] );
+         ( "metrics",
+           Obj
+             [
+               ("flushes_total", Int r.reg_flushes);
+               ("fences_total", Int r.reg_fences);
+               ( "aborts_by_class",
+                 Obj (List.map (fun (c, n) -> (c, Int n)) r.abort_taxonomy) );
+               ("jit_cache_hits_total", Int r.reg_jit_hits);
+               ("jit_cache_misses_total", Int r.reg_jit_misses);
+               ("jit_cache_store_total", Int r.reg_jit_stores);
+             ] );
          ( "invariants",
            Obj
              [
@@ -810,7 +896,32 @@ let to_json (r : result) : string =
                ("counter_lost_updates", Int r.counter_lost);
                ("conservation_failures", Int r.conservation_failures);
              ] );
-       ])
+        ]
+       @
+       if r.profiles = [] then []
+       else
+         [
+           ( "profiles",
+             List
+               (List.map
+                  (fun p ->
+                    let row (x : Obs.Profile.row) =
+                      Obj
+                        [
+                          ("id", Int x.Obs.Profile.id);
+                          ("op", Str x.Obs.Profile.op);
+                          ("tuples", Int x.Obs.Profile.tuples);
+                          ("ticks_ns", Int x.Obs.Profile.ticks);
+                        ]
+                    in
+                    Obj
+                      [
+                        ("plan", Str p.p_name);
+                        ("interp", List (List.map row p.p_interp));
+                        ("jit", List (List.map row p.p_jit));
+                      ])
+                  r.profiles) );
+         ]))
 
 let write_json path r =
   let oc = open_out path in
@@ -846,6 +957,12 @@ let validate ?(require_nonzero = true) (content : string) :
                 [ "media"; "reads" ];
                 [ "media"; "flushes" ];
                 [ "jit"; "cache_hits" ];
+                [ "metrics"; "flushes_total" ];
+                [ "metrics"; "fences_total" ];
+                [ "metrics"; "aborts_by_class"; "transient" ];
+                [ "metrics"; "aborts_by_class"; "validation" ];
+                [ "metrics"; "jit_cache_hits_total" ];
+                [ "metrics"; "jit_cache_misses_total" ];
                 [ "invariants"; "si_violations" ];
               ]
           in
@@ -904,6 +1021,25 @@ let print_summary (r : result) =
     r.media_reads r.media_writes r.media_flushes r.media_fences;
   Printf.printf "  jit       %d cache hits, %d cached plans\n" r.jit_cache_hits
     r.jit_cached_plans;
+  Printf.printf "  metrics   %d flushes, %d fences; aborts by class: %s\n"
+    r.reg_flushes r.reg_fences
+    (String.concat ", "
+       (List.map (fun (c, n) -> Printf.sprintf "%s=%d" c n) r.abort_taxonomy));
   Printf.printf "  SI        %d violations (%d monotone, %d lost, %d conservation)\n"
     (si_violations r) r.monotone_violations r.counter_lost
-    r.conservation_failures
+    r.conservation_failures;
+  List.iter
+    (fun p ->
+      Printf.printf "  profile %s (per-operator, aot vs jit):\n" p.p_name;
+      Printf.printf "    %3s %-14s %12s %12s %14s %14s\n" "id" "operator"
+        "tuples(aot)" "tuples(jit)" "ticks(aot)ns" "ticks(jit)ns";
+      List.iter2
+        (fun (a : Obs.Profile.row) (j : Obs.Profile.row) ->
+          Printf.printf "    %3d %-14s %12d %12d %14d %14d%s\n" a.Obs.Profile.id
+            a.Obs.Profile.op a.Obs.Profile.tuples j.Obs.Profile.tuples
+            a.Obs.Profile.ticks j.Obs.Profile.ticks
+            (if a.Obs.Profile.tuples <> j.Obs.Profile.tuples then
+               "  <- MISMATCH"
+             else ""))
+        p.p_interp p.p_jit)
+    r.profiles

@@ -35,6 +35,9 @@ type config = {
   mode : Jit.Engine.mode;
   storage : [ `Dram | `Pmem ];
   pool_workers : int;  (** shared morsel-pool size; <= 1 disables *)
+  profile : bool;
+      (** after the concurrent phase, profile the analytic probe plans
+          per operator in both engines (interp vs jit) *)
 }
 
 val default_config : config
@@ -46,6 +49,14 @@ type class_stats = {
   p95_ns : int;
   p99_ns : int;
   max_ns : int;
+}
+
+(** Per-operator interp-vs-jit comparison of one analytic plan; rows in
+    preorder-id order, tuple counts must agree between engines. *)
+type plan_profile = {
+  p_name : string;
+  p_interp : Obs.Profile.row list;
+  p_jit : Obs.Profile.row list;
 }
 
 type result = {
@@ -73,6 +84,16 @@ type result = {
   monotone_violations : int;
   counter_lost : int;
   conservation_failures : int;
+  reg_flushes : int;  (** metrics-registry deltas over the run *)
+  reg_fences : int;
+  abort_taxonomy : (string * int) list;
+      (** aborts by class: validation / transient / fatal / user *)
+  reg_jit_hits : int;
+  reg_jit_misses : int;
+  reg_jit_stores : int;
+  profiles : plan_profile list;  (** nonempty iff [cfg.profile] *)
+  metrics_prom : string;
+      (** Prometheus exposition of the final registry snapshot *)
 }
 
 val si_violations : result -> int

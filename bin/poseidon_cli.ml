@@ -195,40 +195,74 @@ let evict_t =
 
 (* --- stats ------------------------------------------------------------------- *)
 
-let stats sf =
-  let db, ds = mk_db ~mode:`Pmem ~sf ~indexed:true in
-  let sc = ds.Snb.Gen.schema in
-  let media = Core.media db in
-  Pmem.Media.reset media;
-  let rng = Random.State.make [| 3 |] in
-  let ctx = IU.make_ctx () in
-  (* a mixed workload: reads and updates *)
-  for _ = 1 to 50 do
-    let spec = List.nth (SR.all sc) (Random.State.int rng 12) in
-    let param = SR.draw_param ds rng spec in
-    List.iter
-      (fun plan -> ignore (Core.query db ~params:[| param |] plan))
-      (spec.SR.plans ~access:`Index)
-  done;
-  for _ = 1 to 20 do
-    let spec = List.nth IU.all (Random.State.int rng 8) in
-    let params = spec.IU.draw ds rng ctx in
-    ignore (Core.execute_update db ~params (spec.IU.plan sc))
-  done;
-  let s = Pmem.Media.stats media in
-  Printf.printf "mixed workload (50 SR + 20 IU) media profile:\n";
-  Printf.printf "  line reads      %10d\n" s.Pmem.Media.reads;
-  Printf.printf "  line writes     %10d\n" s.Pmem.Media.writes;
-  Printf.printf "  clwb flushes    %10d\n" s.Pmem.Media.flushes;
-  Printf.printf "  sfences         %10d\n" s.Pmem.Media.fences;
-  Printf.printf "  allocations     %10d\n" s.Pmem.Media.allocs;
-  Printf.printf "  pptr derefs     %10d\n" s.Pmem.Media.derefs;
-  Printf.printf "  bytes read      %10d\n" s.Pmem.Media.bytes_read;
-  Printf.printf "  bytes written   %10d\n" s.Pmem.Media.bytes_written;
-  Printf.printf "  injected faults %10d\n" s.Pmem.Media.faults;
-  Printf.printf "  retries         %10d\n" s.Pmem.Media.retries;
-  Printf.printf "  sim time        %10.2f ms\n"
-    (float_of_int (Pmem.Media.clock media) /. 1e6)
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_or_print out content =
+  match out with
+  | None -> print_string content
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc content);
+      Printf.printf "wrote %s (%d bytes)\n" path (String.length content)
+
+let stats sf format out validate =
+  match validate with
+  | Some path -> (
+      (* standalone: check an existing Prometheus exposition file *)
+      match Obs.Expo.validate_prometheus (read_file path) with
+      | Ok () -> Printf.printf "OK: %s is valid Prometheus exposition\n" path
+      | Error msg ->
+          Printf.printf "FAILED: %s: %s\n" path msg;
+          exit 1)
+  | None ->
+      let db, ds = mk_db ~mode:`Pmem ~sf ~indexed:true in
+      let sc = ds.Snb.Gen.schema in
+      let media = Core.media db in
+      (* resets the media counters AND the metrics registry/trace ring,
+         so everything below is a delta over the mixed workload *)
+      Pmem.Media.reset media;
+      let rng = Random.State.make [| 3 |] in
+      let ctx = IU.make_ctx () in
+      (* a mixed workload: reads and updates *)
+      for _ = 1 to 50 do
+        let spec = List.nth (SR.all sc) (Random.State.int rng 12) in
+        let param = SR.draw_param ds rng spec in
+        List.iter
+          (fun plan -> ignore (Core.query db ~params:[| param |] plan))
+          (spec.SR.plans ~access:`Index)
+      done;
+      for _ = 1 to 20 do
+        let spec = List.nth IU.all (Random.State.int rng 8) in
+        let params = spec.IU.draw ds rng ctx in
+        ignore (Core.execute_update db ~params (spec.IU.plan sc))
+      done;
+      let samples = Obs.Metrics.snapshot (Pmem.Media.registry media) in
+      (match format with
+      | `Prom -> write_or_print out (Obs.Expo.to_prometheus samples)
+      | `Json -> write_or_print out (Obs.Expo.to_json samples)
+      | `Text ->
+          let s = Pmem.Media.stats media in
+          Printf.printf "mixed workload (50 SR + 20 IU) media profile:\n";
+          Printf.printf "  line reads      %10d\n" s.Pmem.Media.reads;
+          Printf.printf "  line writes     %10d\n" s.Pmem.Media.writes;
+          Printf.printf "  clwb flushes    %10d\n" s.Pmem.Media.flushes;
+          Printf.printf "  sfences         %10d\n" s.Pmem.Media.fences;
+          Printf.printf "  allocations     %10d\n" s.Pmem.Media.allocs;
+          Printf.printf "  pptr derefs     %10d\n" s.Pmem.Media.derefs;
+          Printf.printf "  bytes read      %10d\n" s.Pmem.Media.bytes_read;
+          Printf.printf "  bytes written   %10d\n" s.Pmem.Media.bytes_written;
+          Printf.printf "  injected faults %10d\n" s.Pmem.Media.faults;
+          Printf.printf "  retries         %10d\n" s.Pmem.Media.retries;
+          Printf.printf "  sim time        %10.2f ms\n"
+            (float_of_int (Pmem.Media.clock media) /. 1e6);
+          Printf.printf "  registry        %10d metric families\n"
+            (List.length samples))
 
 (* --- faults ------------------------------------------------------------------- *)
 
@@ -347,7 +381,8 @@ let faults variants stride seed =
 
 (* --- htap ------------------------------------------------------------------------ *)
 
-let htap sf storage engine writers readers duration workers seed out =
+let htap sf storage engine writers readers duration workers seed out profile
+    metrics_out =
   let cfg =
     {
       Htap.sf;
@@ -358,11 +393,26 @@ let htap sf storage engine writers readers duration workers seed out =
       mode = engine;
       storage;
       pool_workers = workers;
+      profile;
     }
   in
   let r = Htap.run cfg in
   Htap.print_summary r;
   Htap.write_json out r;
+  (match metrics_out with
+  | None -> ()
+  | Some path -> (
+      match Obs.Expo.validate_prometheus r.Htap.metrics_prom with
+      | Error msg ->
+          Printf.printf "FAILED: metrics exposition invalid: %s\n" msg;
+          exit 1
+      | Ok () ->
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> output_string oc r.Htap.metrics_prom);
+          Printf.printf "wrote %s (%d bytes, validated)\n" path
+            (String.length r.Htap.metrics_prom)));
   match Htap.validate_file out with
   | Ok () -> Printf.printf "OK: %s written and validated\n" out
   | Error msg ->
@@ -389,13 +439,29 @@ let out_t =
   let doc = "Output path for the machine-readable results." in
   Arg.(value & opt string "BENCH_htap.json" & info [ "out" ] ~doc)
 
+let profile_t =
+  let doc =
+    "Per-operator profiling: report tuple counts and elapsed simulated \
+     ticks for each operator of the executed plan(s), in both the \
+     interpreted and JIT-compiled engines where applicable."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+let metrics_out_t =
+  let doc =
+    "Also write the final metrics-registry snapshot as Prometheus text \
+     exposition to $(docv) (validated before writing)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
 (* --- query (Cypher-like) -------------------------------------------------------- *)
 
-let query_run sf storage engine qstr params explain =
+let query_run sf storage engine qstr params explain profile =
   let db, ds = mk_db ~mode:storage ~sf ~indexed:true in
   let sc = ds.Snb.Gen.schema in
   let config = { Engine.default_config with prop_tag = Snb.Schema.prop_tag sc } in
   let params = Array.of_list (List.map (fun i -> Value.Int i) params) in
+  let media = Core.media db in
   Core.with_txn db (fun txn ->
       let g = Core.source db txn in
       let indexed ~label ~key =
@@ -406,7 +472,18 @@ let query_run sf storage engine qstr params explain =
         print_endline "plan:";
         Fmt.pr "%a" (Query.Algebra.pp_plan ~dict:(Core.decode db)) plan
       end;
-      let rows, report = Engine.run ~cache:(Core.jit_cache db) ~mode:engine ~config g ~params plan in
+      let prof =
+        if profile then
+          Some
+            (Obs.Profile.create
+               ~tick:(fun () -> Pmem.Media.clock media)
+               (Query.Algebra.op_names plan))
+        else None
+      in
+      let rows, report =
+        Engine.run ~cache:(Core.jit_cache db) ~media ?prof ~mode:engine ~config
+          g ~params plan
+      in
       List.iter
         (fun row ->
           let cell = function
@@ -417,7 +494,16 @@ let query_run sf storage engine qstr params explain =
         rows;
       Printf.printf "-- %d row(s), engine=%s%s\n" (List.length rows)
         (Fmt.to_to_string Engine.pp_mode engine)
-        (if report.Engine.fell_back then " (fell back to aot)" else ""))
+        (if report.Engine.fell_back then " (fell back to aot)" else "");
+      match prof with
+      | None -> ()
+      | Some p ->
+          print_string
+            (Obs.Profile.render
+               ~header:
+                 (Printf.sprintf "operator profile (engine=%s, ticks=sim ns)"
+                    (Fmt.to_to_string Engine.pp_mode engine))
+               p))
 
 let qstr_t =
   let doc = "Cypher-like query string." in
@@ -453,10 +539,34 @@ let crash_cmd =
     (Cmd.info "crash" ~doc:"Crash/recovery drill with invariant checks")
     Term.(const crash $ sf_t $ evict_t $ seed_t)
 
+let format_t =
+  let doc =
+    "Output format: $(b,text) (human-readable media profile), $(b,prom) \
+     (Prometheus text exposition of the metrics registry) or $(b,json)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("prom", `Prom); ("json", `Json) ]) `Text
+    & info [ "format" ] ~docv:"FMT" ~doc)
+
+let stats_out_t =
+  let doc = "Write the exposition to $(docv) instead of stdout." in
+  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+
+let validate_t =
+  let doc =
+    "Validate an existing Prometheus exposition file and exit (no \
+     workload is run); non-zero exit status on malformed input."
+  in
+  Arg.(value & opt (some string) None & info [ "validate" ] ~docv:"FILE" ~doc)
+
 let stats_cmd =
   Cmd.v
-    (Cmd.info "stats" ~doc:"Media/cost-model statistics for a mixed workload")
-    Term.(const stats $ sf_t)
+    (Cmd.info "stats"
+       ~doc:
+         "Media/cost-model statistics and metrics-registry exposition for \
+          a mixed workload")
+    Term.(const stats $ sf_t $ format_t $ stats_out_t $ validate_t)
 
 let variants_t =
   let doc = "Randomized eviction/torn-line variants per fence cut." in
@@ -483,7 +593,7 @@ let htap_cmd =
           BENCH_htap.json and checks snapshot-isolation invariants")
     Term.(
       const htap $ sf_t $ mode_t $ engine_t $ writers_t $ readers_t
-      $ duration_t $ workers_t $ seed_t $ out_t)
+      $ duration_t $ workers_t $ seed_t $ out_t $ profile_t $ metrics_out_t)
 
 let query_cmd =
   Cmd.v
@@ -496,7 +606,9 @@ let query_cmd =
              "poseidon_cli query \"MATCH (p:Person {id: \\$0})-[:KNOWS]->(f) \
               RETURN f.id\" -p 1000042";
          ])
-    Term.(const query_run $ sf_t $ mode_t $ engine_t $ qstr_t $ qparams_t $ explain_t)
+    Term.(
+      const query_run $ sf_t $ mode_t $ engine_t $ qstr_t $ qparams_t
+      $ explain_t $ profile_t)
 
 let () =
   let info =

@@ -214,6 +214,7 @@ let commit t txn =
 let abort t txn = Mvto.abort t.mgr txn
 
 let with_txn t f =
+  Obs.Trace.with_span (Media.tracer t.media) "txn" @@ fun () ->
   let txn = begin_txn t in
   match f txn with
   | v ->
@@ -221,6 +222,7 @@ let with_txn t f =
       v
   | exception e ->
       if Txn.is_active txn then abort t txn;
+      Mvto.note_abort_class t.mgr e;
       raise e
 
 (* Same retry policy as [Mvto.with_txn_retry], but over [Core.with_txn]
@@ -330,11 +332,11 @@ let source t txn =
     t.mgr txn
 
 (* Run a read-only query in its own transaction. *)
-let query ?(mode = Engine.Interp) ?config ?parallel t ~params plan =
+let query ?(mode = Engine.Interp) ?config ?parallel ?prof t ~params plan =
   let pool_ = match parallel with Some true -> t.workers | _ -> None in
   with_txn t (fun txn ->
-      Engine.run ?pool:pool_ ~cache:t.jit_cache ~media:t.media ?config ~mode
-        (source t txn) ~params plan)
+      Engine.run ?pool:pool_ ~cache:t.jit_cache ~media:t.media ?config ?prof
+        ~mode (source t txn) ~params plan)
 
 (* Run an update plan transactionally; returns rows, the engine report
    and the commit's simulated duration (Fig. 6 separates execution from

@@ -134,11 +134,14 @@ val query :
   ?mode:Engine.mode ->
   ?config:Engine.config ->
   ?parallel:bool ->
+  ?prof:Obs.Profile.t ->
   t ->
   params:Value.t array ->
   Query.Algebra.plan ->
   Value.t array list * Engine.report
-(** Run a read-only plan in its own transaction. *)
+(** Run a read-only plan in its own transaction.  With [prof], the run
+    is serial and records per-operator tuple counts and ticks under the
+    plan's preorder ids (see {!Jit.Engine.run}). *)
 
 val execute_update :
   ?mode:Engine.mode ->

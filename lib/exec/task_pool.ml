@@ -7,23 +7,41 @@
    reference between morsels, so a background compile can redirect
    execution mid-query (Section 6.2, "Adaptive Execution").
 
+   Every submission goes through a batch, which owns its completion count
+   and error slot: concurrent clients sharing one pool never observe each
+   other's failures, and a raising morsel is re-raised exactly once, in
+   the matching [wait_batch].
+
    Workers install a per-domain media meter so that the simulated clock can
    attribute work to individual workers (the harness reports parallel
-   elapsed time as the max per-worker busy time). *)
+   elapsed time as the max per-worker busy time).  When created with a
+   [media], the pool also publishes queue depth, batch latency and
+   batch/morsel counts to the media's metrics registry, and emits
+   batch -> morsel trace spans (the batch span id is captured at submit
+   time and passed to workers as the explicit parent). *)
 
 type task = unit -> unit
+
+(* registry handles, present iff the pool was created with a media *)
+type handles = {
+  depth : int Atomic.t; (* exec_queue_depth gauge *)
+  batch_latency : Obs.Histogram.t;
+  batches : int Atomic.t;
+  morsels : int Atomic.t;
+  clock : unit -> int;
+  tracer : Obs.Trace.t;
+}
 
 type t = {
   mu : Mutex.t;
   nonempty : Condition.t;
   all_done : Condition.t;
   queue : task Queue.t;
-  mutable outstanding : int;
   mutable stop : bool;
-  mutable first_error : exn option;
   mutable workers : unit Domain.t list;
   nworkers : int;
   media : Pmem.Media.t option;
+  obs : handles option;
 }
 
 let worker_loop t =
@@ -38,16 +56,12 @@ let worker_loop t =
     if t.stop && Queue.is_empty t.queue then Mutex.unlock t.mu
     else begin
       let task = Queue.pop t.queue in
+      (match t.obs with
+      | Some h -> Atomic.set h.depth (Queue.length t.queue)
+      | None -> ());
       Mutex.unlock t.mu;
-      (try task ()
-       with e ->
-         Mutex.lock t.mu;
-         if t.first_error = None then t.first_error <- Some e;
-         Mutex.unlock t.mu);
-      Mutex.lock t.mu;
-      t.outstanding <- t.outstanding - 1;
-      if t.outstanding = 0 then Condition.broadcast t.all_done;
-      Mutex.unlock t.mu;
+      (* tasks are batch-wrapped and never raise *)
+      task ();
       loop ()
     end
   in
@@ -55,18 +69,40 @@ let worker_loop t =
 
 let create ?media ~nworkers () =
   if nworkers < 1 then invalid_arg "Task_pool.create";
+  let obs =
+    match media with
+    | None -> None
+    | Some m ->
+        let reg = Pmem.Media.registry m in
+        Some
+          {
+            depth =
+              Obs.Metrics.gauge reg "exec_queue_depth"
+                ~help:"tasks waiting in the morsel queue";
+            batch_latency =
+              Obs.Metrics.histogram reg "exec_batch_latency_ns"
+                ~help:"simulated ns from batch submit to completion";
+            batches =
+              Obs.Metrics.counter reg "exec_batches_total"
+                ~help:"task batches run";
+            morsels =
+              Obs.Metrics.counter reg "exec_morsels_total"
+                ~help:"morsel tasks run";
+            clock = (fun () -> Pmem.Media.clock m);
+            tracer = Pmem.Media.tracer m;
+          }
+  in
   let t =
     {
       mu = Mutex.create ();
       nonempty = Condition.create ();
       all_done = Condition.create ();
       queue = Queue.create ();
-      outstanding = 0;
       stop = false;
-      first_error = None;
       workers = [];
       nworkers;
       media;
+      obs;
     }
   in
   t.workers <- List.init nworkers (fun _ -> Domain.spawn (fun () -> worker_loop t));
@@ -74,48 +110,43 @@ let create ?media ~nworkers () =
 
 let size t = t.nworkers
 
-let submit_all t tasks =
-  Mutex.lock t.mu;
-  List.iter
-    (fun task ->
-      t.outstanding <- t.outstanding + 1;
-      Queue.push task t.queue)
-    tasks;
-  Condition.broadcast t.nonempty;
-  Mutex.unlock t.mu
-
-let wait t =
-  Mutex.lock t.mu;
-  while t.outstanding > 0 do
-    Condition.wait t.all_done t.mu
-  done;
-  let err = t.first_error in
-  t.first_error <- None;
-  Mutex.unlock t.mu;
-  match err with Some e -> raise e | None -> ()
-
-(* A batch owns its error slot and completion count, so concurrent
-   clients sharing one pool never observe each other's failures: the
-   pool-level [first_error] is per-pool, and with several in-flight
-   batches a raising morsel would otherwise be re-raised in whichever
-   [wait] happens to run first - the batch that actually lost a morsel
-   would return silently incomplete. *)
+(* A batch owns its error slot and completion count; completion is
+   signalled on the pool-wide [all_done] condition, which every waiter
+   rechecks against its own batch. *)
 type batch = { mutable remaining : int; mutable error : exn option }
 
 let submit_batch t tasks =
   let b = { remaining = List.length tasks; error = None } in
+  let parent =
+    match t.obs with Some h -> Obs.Trace.current h.tracer | None -> None
+  in
   let wrap task () =
-    (try task ()
-     with e ->
-       Mutex.lock t.mu;
-       if b.error = None then b.error <- Some e;
-       Mutex.unlock t.mu);
+    let guarded () =
+      try task ()
+      with e ->
+        Mutex.lock t.mu;
+        if b.error = None then b.error <- Some e;
+        Mutex.unlock t.mu
+    in
+    (match t.obs with
+    | Some h -> Obs.Trace.with_span h.tracer ?parent "morsel" guarded
+    | None -> guarded ());
     Mutex.lock t.mu;
     b.remaining <- b.remaining - 1;
     if b.remaining = 0 then Condition.broadcast t.all_done;
     Mutex.unlock t.mu
   in
-  submit_all t (List.map wrap tasks);
+  let wrapped = List.map wrap tasks in
+  Mutex.lock t.mu;
+  List.iter (fun task -> Queue.push task t.queue) wrapped;
+  (match t.obs with
+  | Some h ->
+      Atomic.set h.depth (Queue.length t.queue);
+      Obs.Metrics.incr h.batches;
+      Obs.Metrics.add h.morsels (List.length wrapped)
+  | None -> ());
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mu;
   b
 
 let wait_batch t b =
@@ -130,7 +161,21 @@ let wait_batch t b =
 
 (* Run all tasks to completion; re-raises the first exception raised by
    THIS batch's tasks (exactly once), after every task has drained. *)
-let run t tasks = wait_batch t (submit_batch t tasks)
+let run t tasks =
+  match t.obs with
+  | None -> wait_batch t (submit_batch t tasks)
+  | Some h ->
+      Obs.Trace.with_span h.tracer "batch" @@ fun () ->
+      let t0 = h.clock () in
+      let b = submit_batch t tasks in
+      let observe () =
+        Obs.Histogram.observe h.batch_latency (h.clock () - t0)
+      in
+      (match wait_batch t b with
+      | () -> observe ()
+      | exception e ->
+          observe ();
+          raise e)
 
 let shutdown t =
   Mutex.lock t.mu;

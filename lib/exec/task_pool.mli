@@ -1,20 +1,20 @@
 (** Morsel-driven task pool (Section 6.1).
 
     Worker domains pull tasks from a shared queue; scans are split into
-    chunk morsels and submitted here.  When created with a [media], each
-    worker installs a per-domain meter so simulated work can be
-    attributed per worker. *)
+    chunk morsels and submitted here.  All submission is batched: a
+    batch owns its completion count and error slot, so concurrent
+    clients sharing one pool never observe each other's failures.
+
+    When created with a [media], each worker installs a per-domain meter
+    so simulated work can be attributed per worker, and the pool
+    publishes queue depth, batch latency and batch/morsel counts to the
+    media's metrics registry (plus batch -> morsel trace spans when the
+    media's tracer is enabled). *)
 
 type t
 
 val create : ?media:Pmem.Media.t -> nworkers:int -> unit -> t
 val size : t -> int
-val submit_all : t -> (unit -> unit) list -> unit
-val wait : t -> unit
-(** Wait for all outstanding tasks (from every client); re-raises the
-    first pool-level task exception.  Prefer the batch API below when
-    several domains share one pool: [wait] cannot tell whose task
-    failed. *)
 
 type batch
 (** A group of tasks submitted together.  Errors are isolated per

@@ -84,6 +84,11 @@ let find t key =
 exception Full
 
 let store t key value =
+  Obs.Metrics.incr
+    (Obs.Metrics.counter
+       (Pmem.Media.registry (Pool.media t.pool))
+       ~help:"entries persisted into the compiled-query cache"
+       "jit_cache_store_total");
   Mutex.lock t.mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) @@ fun () ->
   let blob_len = 8 + String.length key + String.length value in

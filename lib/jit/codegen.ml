@@ -236,8 +236,19 @@ let gen_props b regs props =
 
 (* The continuation generates the consuming code for one tuple; when it
    returns, the current block and the pending frame blocks are patched to
-   the producing loop's advance point. *)
-let rec gen b (plan : A.plan) (k : regs -> unit) : unit =
+   the producing loop's advance point.
+
+   With [hook], a [ProfHook] carrying this operator's preorder id is
+   emitted at every tuple-production point (just before the consumer's
+   code), so compiled pipelines report the same per-operator tuple
+   counts as the interpreter's stream wrappers; children get [succ]
+   because every compilable operator is a unary chain. *)
+let rec gen b ?hook (plan : A.plan) (k : regs -> unit) : unit =
+  let k regs =
+    (match hook with Some i -> emit b (ProfHook i) | None -> ());
+    k regs
+  in
+  let gen_child b child k = gen b ?hook:(Option.map succ hook) child k in
   match plan with
   | A.NodeScan { label } ->
       (* chunk loop (slots) around a slot loop (slots), per (1) *)
@@ -332,7 +343,7 @@ let rec gen b (plan : A.plan) (k : regs -> unit) : unit =
       gen_index_loop b ~label ~key ~lo:vlo ~hi:vhi k
   | A.RelScan _ -> raise (Unsupported "RelScan in generated code")
   | A.Expand { col; dir; label; child } ->
-      gen b child (fun regs ->
+      gen_child b child (fun regs ->
           let rnode, _ = List.nth regs col in
           let s_rel = slot b in
           let r0 = reg b in
@@ -384,7 +395,7 @@ let rec gen b (plan : A.plan) (k : regs -> unit) : unit =
             :: b.loops;
           switch b exit)
   | A.EndPoint { col; which; child } ->
-      gen b child (fun regs ->
+      gen_child b child (fun regs ->
           let re, _ = List.nth regs col in
           let d = reg b in
           emit b
@@ -393,7 +404,7 @@ let rec gen b (plan : A.plan) (k : regs -> unit) : unit =
             | `Dst -> RelDst (d, Reg re));
           k (regs @ [ (d, SNode) ]))
   | A.WalkToRoot { col; rel_label; child } ->
-      gen b child (fun regs ->
+      gen_child b child (fun regs ->
           let rnode, _ = List.nth regs col in
           let s_cur = slot b and s_e = slot b in
           emit b (Store (s_cur, Reg rnode));
@@ -439,7 +450,7 @@ let rec gen b (plan : A.plan) (k : regs -> unit) : unit =
           emit b (Load (rout, s_cur));
           k (regs @ [ (rout, SNode) ]))
   | A.AttachByIndex { label; key; value; child } ->
-      gen b child (fun regs ->
+      gen_child b child (fun regs ->
           let v, _ = gen_expr b regs value in
           let p = fresh_probe b in
           let s_i = slot b in
@@ -464,7 +475,7 @@ let rec gen b (plan : A.plan) (k : regs -> unit) : unit =
           List.iter (fun l -> set_term b l (Br header)) (b.cur :: pend);
           switch b exit)
   | A.Filter { pred; child } ->
-      gen b child (fun regs ->
+      gen_child b child (fun regs ->
           let v, _ = gen_expr b regs pred in
           let cont = new_block b and skip = new_block b in
           terminate b (CondBr (v, cont, skip));
@@ -472,7 +483,7 @@ let rec gen b (plan : A.plan) (k : regs -> unit) : unit =
           switch b cont;
           k regs)
   | A.Project { exprs; child } ->
-      gen b child (fun regs ->
+      gen_child b child (fun regs ->
           let cols =
             List.map
               (fun e ->
@@ -484,37 +495,37 @@ let rec gen b (plan : A.plan) (k : regs -> unit) : unit =
           in
           k cols)
   | A.CreateNode { label; props; child } ->
-      gen b child (fun regs ->
+      gen_child b child (fun regs ->
           let ps = gen_props b regs props in
           let d = reg b in
           emit b (CreateNode (d, label, ps));
           k (regs @ [ (d, SNode) ]))
   | A.CreateRel { label; src; dst; props; child } ->
-      gen b child (fun regs ->
+      gen_child b child (fun regs ->
           let rs, _ = List.nth regs src and rd, _ = List.nth regs dst in
           let ps = gen_props b regs props in
           let d = reg b in
           emit b (CreateRel (d, label, Reg rs, Reg rd, ps));
           k (regs @ [ (d, SRel) ]))
   | A.SetNodeProp { col; key; value; child } ->
-      gen b child (fun regs ->
+      gen_child b child (fun regs ->
           let rn, _ = List.nth regs col in
           let v, tag = gen_expr b regs value in
           emit b (SetNodeProp (Reg rn, key, tag, v));
           k regs)
   | A.SetRelProp { col; key; value; child } ->
-      gen b child (fun regs ->
+      gen_child b child (fun regs ->
           let rn, _ = List.nth regs col in
           let v, tag = gen_expr b regs value in
           emit b (SetRelProp (Reg rn, key, tag, v));
           k regs)
   | A.DeleteNode { col; child } ->
-      gen b child (fun regs ->
+      gen_child b child (fun regs ->
           let rn, _ = List.nth regs col in
           emit b (DeleteNode (Reg rn));
           k regs)
   | A.DeleteRel { col; child } ->
-      gen b child (fun regs ->
+      gen_child b child (fun regs ->
           let rn, _ = List.nth regs col in
           emit b (DeleteRel (Reg rn));
           k regs)
@@ -548,13 +559,16 @@ and gen_index_loop b ~label ~key ~lo ~hi k =
   switch b exit
 
 (* Compile a pipelined plan into an IR function whose sink is EmitRow of
-   the plan's output tuple. *)
-let codegen ?(prop_tag = fun _ -> TagInt) ?(param_tag = fun _ -> TagInt) plan :
-    func =
+   the plan's output tuple.  [prof_base] is the preorder id of the
+   pipeline's root within the enclosing full plan: when given, ProfHooks
+   are threaded through every operator (profiled compilations bypass the
+   persistent cache, so cached code never carries hooks). *)
+let codegen ?(prop_tag = fun _ -> TagInt) ?(param_tag = fun _ -> TagInt)
+    ?prof_base plan : func =
   let b = builder ~prop_tag ~param_tag in
   let entry = new_block b in
   switch b entry;
-  gen b plan (fun regs ->
+  gen b ?hook:prof_base plan (fun regs ->
       emit b (EmitRow (List.map (fun (r, ty) -> (tag_of_slot ty, Reg r)) regs)));
   terminate b Ret;
   finish b ~entry

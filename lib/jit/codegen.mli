@@ -13,10 +13,15 @@ exception Unsupported of string
 val codegen :
   ?prop_tag:(int -> Ir.vtag) ->
   ?param_tag:(int -> Ir.vtag) ->
+  ?prof_base:int ->
   Query.Algebra.plan ->
   Ir.func
 (** Compile a pipelined plan (leaf access path + streaming operators)
     into an IR function whose sink is [EmitRow] of the output tuple.
     [prop_tag] supplies the schema's compile-time property types
     (requirement (3)); generated comparisons across incompatible type
-    classes fold to Null. *)
+    classes fold to Null.  With [prof_base] - the pipeline root's
+    preorder id within the enclosing plan - every operator's
+    tuple-production point gets a [Ir.ProfHook] so compiled runs report
+    the same per-operator tuple counts as interpreted ones; such
+    functions must not enter the persistent cache. *)

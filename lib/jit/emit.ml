@@ -23,6 +23,7 @@ type runtime = {
   chunk_lo : int; (* morsel bounds; chunk_hi = -1 means "all chunks" *)
   chunk_hi : int;
   nchunks : int;
+  prof : Obs.Profile.t option; (* ProfHook target; None outside profiling *)
 }
 
 type state = {
@@ -225,6 +226,9 @@ let instr_c (ins : instr) : state -> unit =
           row.(i) <- value_of_payload t (v st)
         done;
         st.rt.sink row
+  | ProfHook i ->
+      fun st ->
+        (match st.rt.prof with Some p -> Obs.Profile.hit p i | None -> ())
 
 type compiled = { run : runtime -> unit; nblocks : int; ninstrs : int }
 

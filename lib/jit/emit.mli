@@ -16,6 +16,8 @@ type runtime = {
   chunk_lo : int;  (** morsel bounds; [chunk_hi = -1] means all chunks *)
   chunk_hi : int;
   nchunks : int;
+  prof : Obs.Profile.t option;
+      (** [ProfHook] target; [None] outside profiled runs *)
 }
 
 type compiled = { run : runtime -> unit; nblocks : int; ninstrs : int }

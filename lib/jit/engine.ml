@@ -87,15 +87,49 @@ let param_tag_of params i =
 (* Split a plan into its pipelined core and the serial breaker suffix;
    parallel-aggregation splits fold their aggregation back into the
    suffix, since the JIT compiles only the pipelined core. *)
-let split g ~params plan = I.split_serial (I.split_plan g ~params plan)
+let split ?prof g ~params plan = I.split_serial (I.split_plan ?prof g ~params plan)
 
 let cache_key cfg plan =
   Printf.sprintf "%s@%s" (A.fingerprint plan)
     (match cfg.opt_level with Passes.O0 -> "O0" | Passes.O1 -> "O1" | Passes.O3 -> "O3")
 
+(* Cache hit/miss counters and a compile-time histogram on the media's
+   metrics registry; no-ops without a media. *)
+let note_cache media hit =
+  match media with
+  | None -> ()
+  | Some m ->
+      let reg = Pmem.Media.registry m in
+      Obs.Metrics.incr
+        (if hit then
+           Obs.Metrics.counter reg
+             ~help:"compiled-query cache hits (memo or persistent)"
+             "jit_cache_hits_total"
+         else
+           Obs.Metrics.counter reg
+             ~help:"compiled-query cache misses (full compilations)"
+             "jit_cache_misses_total")
+
+let note_compile_ns media ns =
+  match media with
+  | None -> ()
+  | Some m ->
+      Obs.Histogram.observe
+        (Obs.Metrics.histogram
+           (Pmem.Media.registry m)
+           ~help:"modeled backend latency charged per compilation (sim ns)"
+           "jit_compile_ns")
+        ns
+
 (* Compile the pipelined plan: returns the emitted code, consulting and
-   filling [cache]. *)
-let compile ?cache ?media ~config ~params report plan =
+   filling [cache].  With [prof_base], ProfHooks are threaded through the
+   generated code and the persistent cache is bypassed entirely (hooked
+   code must never be cached, and a profiled run wants a fresh, fully
+   measured compilation anyway); cache hit/miss counters are then left
+   untouched. *)
+let compile ?cache ?media ?prof_base ~config ~params report plan =
+  let cache = if prof_base = None then cache else None in
+  let note_cache media hit = if prof_base = None then note_cache media hit in
   let t0 = now_ns () in
   let key = cache_key config plan in
   match Option.bind cache (fun c -> Cache.memo_find c key) with
@@ -103,39 +137,49 @@ let compile ?cache ?media ~config ~params report plan =
       (* already linked into this process: free, like any resident code *)
       report.cache_hit <- true;
       report.ir_instrs <- compiled.Emit.ninstrs;
+      note_cache media true;
       compiled
   | None ->
-      let func =
-        match Option.bind cache (fun c -> Cache.find c key) with
-        | Some blob ->
-            report.cache_hit <- true;
-            report.compile_modeled_ns <- config.link_latency_ns;
-            Ir.of_string blob
-        | None ->
-            let f =
-              Codegen.codegen ~prop_tag:config.prop_tag
-                ~param_tag:(param_tag_of params) plan
-            in
-            let f = Passes.optimize ~level:config.opt_level f in
-            report.compile_modeled_ns <-
-              config.backend_latency_ns
-              + (config.backend_latency_per_op_ns * A.operator_count plan);
-            (match cache with
-            | Some c -> (
-                try Cache.store c key (Ir.to_string f) with Cache.Full -> ())
-            | None -> ());
-            f
+      let span_body () =
+        let func =
+          match Option.bind cache (fun c -> Cache.find c key) with
+          | Some blob ->
+              report.cache_hit <- true;
+              report.compile_modeled_ns <- config.link_latency_ns;
+              note_cache media true;
+              Ir.of_string blob
+          | None ->
+              let f =
+                Codegen.codegen ~prop_tag:config.prop_tag
+                  ~param_tag:(param_tag_of params) ?prof_base plan
+              in
+              let f = Passes.optimize ~level:config.opt_level f in
+              report.compile_modeled_ns <-
+                config.backend_latency_ns
+                + (config.backend_latency_per_op_ns * A.operator_count plan);
+              note_cache media false;
+              (match cache with
+              | Some c -> (
+                  try Cache.store c key (Ir.to_string f) with Cache.Full -> ())
+              | None -> ());
+              f
+        in
+        let compiled = Emit.emit func in
+        report.ir_instrs <- compiled.Emit.ninstrs;
+        (* the modeled backend latency elapses in wall-clock, as LLVM's would *)
+        Pmem.Media.busy_wait_ns report.compile_modeled_ns;
+        report.compile_wall_ns <- report.compile_wall_ns + (now_ns () - t0);
+        (match media with
+        | Some m -> Pmem.Media.charge m report.compile_modeled_ns
+        | None -> ());
+        note_compile_ns media report.compile_modeled_ns;
+        (match cache with Some c -> Cache.memo_add c key compiled | None -> ());
+        compiled
       in
-      let compiled = Emit.emit func in
-      report.ir_instrs <- compiled.Emit.ninstrs;
-      (* the modeled backend latency elapses in wall-clock, as LLVM's would *)
-      Pmem.Media.busy_wait_ns report.compile_modeled_ns;
-      report.compile_wall_ns <- report.compile_wall_ns + (now_ns () - t0);
       (match media with
-      | Some m -> Pmem.Media.charge m report.compile_modeled_ns
-      | None -> ());
-      (match cache with Some c -> Cache.memo_add c key compiled | None -> ());
-      compiled
+      | Some m ->
+          Obs.Trace.with_span (Pmem.Media.tracer m) "jit_compile" span_body
+      | None -> span_body ())
 
 let run_compiled (compiled : Emit.compiled) ?pool (g : Query.Source.t) ~params
     report =
@@ -152,6 +196,7 @@ let run_compiled (compiled : Emit.compiled) ?pool (g : Query.Source.t) ~params
           chunk_lo = 0;
           chunk_hi = -1;
           nchunks;
+          prof = None;
         };
       acc := !local;
       report.morsels_jit <- report.morsels_jit + max 1 nchunks
@@ -168,6 +213,7 @@ let run_compiled (compiled : Emit.compiled) ?pool (g : Query.Source.t) ~params
                 chunk_lo = ci;
                 chunk_hi = ci + 1;
                 nchunks;
+                prof = None;
               };
             Mutex.lock mu;
             acc := List.rev_append !local !acc;
@@ -184,15 +230,52 @@ let finish tr rows_rev =
 
 (* --- Public entry point ------------------------------------------------------ *)
 
-let run ?pool ?cache ?media ?(config = default_config) ~mode
+let run ?pool ?cache ?media ?(config = default_config) ?prof ~mode
     (g : Query.Source.t) ~params plan =
   let report = fresh_report mode in
   let rows =
     match mode with
     | Interp ->
-        let rows = I.run ?pool g ~params plan in
+        let rows = I.run ?pool ?prof g ~params plan in
         report.morsels_interp <- max 1 (g.Query.Source.node_chunks ());
         rows
+    | Jit when prof <> None -> (
+        (* profiled compilation: serial, cache-bypassing, with ProfHooks
+           anchored at the core root's preorder id in the full plan *)
+        let p = Option.get prof in
+        let pipelined, tr = split ~prof:p g ~params plan in
+        let base =
+          Option.value ~default:0 (A.preorder_id_of plan pipelined)
+        in
+        match
+          compile ?media ~prof_base:base ~config ~params report pipelined
+        with
+        | compiled ->
+            let nchunks = g.Query.Source.node_chunks () in
+            let out = ref [] in
+            let t0 = Obs.Profile.now p in
+            let producer yield =
+              compiled.Emit.run
+                {
+                  Emit.g;
+                  params;
+                  sink = yield;
+                  chunk_lo = 0;
+                  chunk_hi = -1;
+                  nchunks;
+                  prof;
+                }
+            in
+            (try tr producer (fun row -> out := row :: !out)
+             with I.Limit_stop -> ());
+            (* generated code has no per-operator timers: the whole
+               pipeline's elapsed ticks are charged to the core root *)
+            Obs.Profile.add_ticks p base (Obs.Profile.now p - t0);
+            report.morsels_jit <- max 1 nchunks;
+            List.rev !out
+        | exception Codegen.Unsupported _ ->
+            report.fell_back <- true;
+            I.run ~prof:p g ~params plan)
     | Jit -> (
         let pipelined, tr = split g ~params plan in
         match compile ?cache ?media ~config ~params report pipelined with
@@ -212,6 +295,7 @@ let run ?pool ?cache ?media ?(config = default_config) ~mode
                       chunk_lo = 0;
                       chunk_hi = -1;
                       nchunks;
+                      prof = None;
                     }
                 in
                 (try tr producer (fun row -> out := row :: !out)
@@ -290,6 +374,7 @@ let run ?pool ?cache ?media ?(config = default_config) ~mode
                     chunk_lo = ci;
                     chunk_hi = ci + 1;
                     nchunks;
+                    prof = None;
                   }
             | None ->
                 Atomic.incr interp_morsels;

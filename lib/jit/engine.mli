@@ -38,6 +38,7 @@ val run :
   ?cache:Cache.t ->
   ?media:Pmem.Media.t ->
   ?config:config ->
+  ?prof:Obs.Profile.t ->
   mode:mode ->
   Query.Source.t ->
   params:Storage.Value.t array ->
@@ -46,4 +47,12 @@ val run :
 (** Execute a plan.  With [pool], the scan is morsel-parallelised.  With
     [cache], compiled queries are memoised in-process and persisted
     across restarts.  [media] receives the modeled compilation-latency
-    charge in [Jit] mode. *)
+    charge in [Jit] mode and hosts the registry for cache hit/miss
+    counters, the [jit_compile_ns] histogram and the compile span.
+
+    With [prof], per-operator tuple counts and ticks are recorded under
+    the plan's preorder ids (see {!Query.Algebra.op_names}).  Profiled
+    runs are serial and, in [Jit] mode, compile with [ProfHook]s while
+    bypassing the persistent cache - so interpreted and compiled runs of
+    the same plan report identical per-operator tuple counts.
+    [Adaptive] mode ignores [prof]. *)

@@ -63,6 +63,10 @@ type instr =
   | DeleteNode of rv
   | DeleteRel of rv
   | EmitRow of (vtag * rv) list (* push one result row *)
+  | ProfHook of int
+    (* bump the runtime profile's tuple counter for the operator with
+       this preorder id; emitted only for profiled compilations, which
+       bypass the persistent cache *)
 
 type term =
   | Br of int
@@ -163,6 +167,7 @@ let instr_fp = function
       Printf.sprintf "emit(%s)"
         (String.concat ","
            (List.map (fun (t, v) -> tag_fp t ^ rv_fp v) cols))
+  | ProfHook i -> Printf.sprintf "prof(%d)" i
 
 let term_fp = function
   | Br l -> Printf.sprintf "br %d" l

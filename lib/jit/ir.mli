@@ -50,6 +50,9 @@ type instr =
   | DeleteNode of rv
   | DeleteRel of rv
   | EmitRow of (vtag * rv) list
+  | ProfHook of int
+      (** bump the runtime profile slot for the operator with this
+          preorder id; only present in profiled compilations *)
 
 type term = Br of int | CondBr of rv * int * int | Ret
 

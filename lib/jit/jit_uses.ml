@@ -6,7 +6,9 @@ open Ir
 let uses acc ins =
   let rv acc = function Reg r -> r :: acc | Imm _ -> acc in
   match ins with
-  | Load _ | ChunkStart _ | ChunkCount _ | ChunkSize _ | LoadParam _ -> acc
+  | Load _ | ChunkStart _ | ChunkCount _ | ChunkSize _ | LoadParam _
+  | ProfHook _ ->
+      acc
   | Store (_, v) | Move (_, v) | Not (_, v) | IsNull (_, v) -> rv acc v
   | Bin (_, _, a, b) | Cmp (_, _, a, b) | FetchNode (_, a, b) -> rv (rv acc a) b
   | NodeExists (_, n)

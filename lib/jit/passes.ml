@@ -68,7 +68,7 @@ let defines = function
   | CreateRel (r, _, _, _, _) ->
       Some r
   | Store _ | SetNodeProp _ | SetRelProp _ | DeleteNode _ | DeleteRel _
-  | EmitRow _ ->
+  | EmitRow _ | ProfHook _ ->
       None
 
 let fold_cmp op a b =
@@ -163,7 +163,7 @@ let combine (f : func) =
             | DeleteRel n -> DeleteRel (subst n)
             | EmitRow cols -> EmitRow (List.map (fun (t, v) -> (t, subst v)) cols)
             | Load _ | ChunkStart _ | ChunkCount _ | ChunkSize _ | LoadParam _
-            | IndexCursorNext _ ->
+            | IndexCursorNext _ | ProfHook _ ->
                 ins
           in
           (match defines rewritten with
@@ -196,7 +196,9 @@ let combine (f : func) =
 let uses_of_instr acc ins =
   let rv acc = function Reg r -> r :: acc | Imm _ -> acc in
   match ins with
-  | Load _ | ChunkStart _ | ChunkCount _ | ChunkSize _ | LoadParam _ -> acc
+  | Load _ | ChunkStart _ | ChunkCount _ | ChunkSize _ | LoadParam _
+  | ProfHook _ ->
+      acc
   | Store (_, v) | Move (_, v) | Not (_, v) | IsNull (_, v) -> rv acc v
   | Bin (_, _, a, b) | Cmp (_, _, a, b) | FetchNode (_, a, b) -> rv (rv acc a) b
   | NodeExists (_, n)
@@ -224,7 +226,8 @@ let droppable = function
       true
   | RelVisible _ (* keep: bumps rts / may abort, protocol-relevant *)
   | Store _ | IndexProbe _ | CreateNode _ | CreateRel _ | SetNodeProp _
-  | SetRelProp _ | DeleteNode _ | DeleteRel _ | EmitRow _ ->
+  | SetRelProp _ | DeleteNode _ | DeleteRel _ | EmitRow _
+  | ProfHook _ (* side effect: bumps the runtime profile *) ->
       false
 
 let dce (f : func) =

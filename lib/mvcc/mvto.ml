@@ -72,21 +72,38 @@ type t = {
 }
 
 let create store =
-  {
-    store;
-    chains = Version.create_chains ();
-    next_ts = Atomic.make 1;
-    active = Hashtbl.create 64;
-    active_mu = Mutex.create ();
-    deferred = ref [];
-    deferred_mu = Mutex.create ();
-    stats =
-      { commits = 0; aborts = 0; reads = 0; writes = 0; gc_pruned = 0;
-        retries = 0 };
-    stats_mu = Mutex.create ();
-    write_through = false;
-    durable_rts = false;
-  }
+  let t =
+    {
+      store;
+      chains = Version.create_chains ();
+      next_ts = Atomic.make 1;
+      active = Hashtbl.create 64;
+      active_mu = Mutex.create ();
+      deferred = ref [];
+      deferred_mu = Mutex.create ();
+      stats =
+        { commits = 0; aborts = 0; reads = 0; writes = 0; gc_pruned = 0;
+          retries = 0 };
+      stats_mu = Mutex.create ();
+      write_through = false;
+      durable_rts = false;
+    }
+  in
+  (* Lifetime stats double as callback metrics; [recover] re-creates the
+     manager and re-points the callbacks at the fresh stats record. *)
+  let registry = Media.registry (Pool.media (G.pool store)) in
+  let cb name help read =
+    Obs.Metrics.callback registry name ~help ~kind:`Counter read
+  in
+  cb "mvto_commits_total" "committed transactions" (fun () -> t.stats.commits);
+  cb "mvto_aborts_total" "aborted transactions" (fun () -> t.stats.aborts);
+  cb "mvto_reads_total" "version reads" (fun () -> t.stats.reads);
+  cb "mvto_writes_total" "version writes" (fun () -> t.stats.writes);
+  cb "mvto_gc_pruned_total" "versions pruned by GC" (fun () ->
+      t.stats.gc_pruned);
+  cb "mvto_retries_total" "transient aborts absorbed by retry loops"
+    (fun () -> t.stats.retries);
+  t
 
 let store t = t.store
 let stats t = t.stats
@@ -675,18 +692,6 @@ let abort t txn =
   bump_stat t (fun s -> s.aborts <- s.aborts + 1);
   gc t
 
-(* Run [f] in a transaction; abort on exception.  [Abort] is re-raised so
-   callers can implement retry policies. *)
-let with_txn t f =
-  let txn = begin_txn t in
-  match f txn with
-  | v ->
-      commit t txn;
-      v
-  | exception e ->
-      if Txn.is_active txn then abort t txn;
-      raise e
-
 (* Abort classification for retry policies.  Timestamp-ordering conflicts
    are transient - the same logic re-run under a fresh (higher) timestamp
    can succeed - while aborts about objects that no longer exist, dead
@@ -710,6 +715,40 @@ let contains ~sub s =
 let classify_abort reason =
   if List.exists (fun m -> contains ~sub:m reason) fatal_markers then Fatal
   else Transient
+
+(* Abort taxonomy for the metrics registry: reader-vs-active-writer lock
+   conflicts are [transient] (blocked, not invalidated), timestamp /
+   write-write validation failures are [validation], vanished-object and
+   unsupported-operation aborts are [fatal], and any non-[Abort]
+   exception unwinding a transaction is [user]. *)
+let abort_taxonomy = function
+  | Abort reason ->
+      if contains ~sub:"locked by active writer" reason then "transient"
+      else if classify_abort reason = Fatal then "fatal"
+      else "validation"
+  | _ -> "user"
+
+let note_abort_class t e =
+  let registry = Media.registry (Pool.media (G.pool t.store)) in
+  Obs.Metrics.incr
+    (Obs.Metrics.counter registry "mvto_txn_aborts_total"
+       ~labels:[ ("class", abort_taxonomy e) ]
+       ~help:"aborts by taxonomy: validation|transient|fatal|user")
+
+(* Run [f] in a transaction; abort on exception.  [Abort] is re-raised so
+   callers can implement retry policies. *)
+let with_txn t f =
+  let tracer = Media.tracer (Pool.media (G.pool t.store)) in
+  Obs.Trace.with_span tracer "txn" @@ fun () ->
+  let txn = begin_txn t in
+  match f txn with
+  | v ->
+      commit t txn;
+      v
+  | exception e ->
+      if Txn.is_active txn then abort t txn;
+      note_abort_class t e;
+      raise e
 
 (* Retry a transactional computation on transient [Abort]s, with a bound
    and capped exponential backoff.  The backoff is charged to the media

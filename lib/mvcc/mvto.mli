@@ -67,6 +67,19 @@ type abort_class = Transient | Fatal
 
 val classify_abort : string -> abort_class
 
+val abort_taxonomy : exn -> string
+(** Metrics label for an exception that unwound a transaction:
+    ["validation"] (timestamp/write-write conflicts), ["transient"]
+    (reader blocked by an active writer's lock), ["fatal"]
+    (vanished objects, unsupported operations) or ["user"] (any
+    non-{!Abort} exception). *)
+
+val note_abort_class : t -> exn -> unit
+(** Count one abort under its {!abort_taxonomy} class in the media's
+    metrics registry ([mvto_txn_aborts_total{class=...}]).  Called by
+    {!with_txn} and by outer transaction wrappers that manage their own
+    begin/commit/abort sequence (e.g. [Core.with_txn]). *)
+
 val with_txn_retry :
   ?max_retries:int -> ?backoff_ns:int -> ?rng:Random.State.t ->
   t -> (Txn.t -> 'a) -> 'a

@@ -1,0 +1,328 @@
+(* Exposition: registry snapshot -> Prometheus text / JSON, plus a
+   strict validator for the text format used by CI to keep the
+   exposition well-formed (metric/label name charset, TYPE declared
+   before samples, quoted escaped label values, numeric sample
+   values). *)
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+
+let is_label_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_label_char c = is_label_start c || (c >= '0' && c <= '9')
+
+let sanitize name =
+  String.mapi
+    (fun i c -> if (if i = 0 then is_name_start c else is_name_char c) then c else '_')
+    name
+
+let escape_label_value s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let fmt_labels = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "%s=\"%s\"" (sanitize k) (escape_label_value v))
+             labels)
+      ^ "}"
+
+let type_of = function
+  | Metrics.SCounter _ -> "counter"
+  | Metrics.SGauge _ -> "gauge"
+  | Metrics.SHist _ -> "histogram"
+
+(* Group samples into metric families (same name), preserving first
+   occurrence order, so HELP/TYPE are emitted once per family. *)
+let families samples =
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (s : Metrics.sample) ->
+      let name = sanitize s.name in
+      match Hashtbl.find_opt seen name with
+      | Some l -> l := s :: !l
+      | None ->
+          Hashtbl.add seen name (ref [ s ]);
+          order := name :: !order)
+    samples;
+  List.rev_map
+    (fun name -> (name, List.rev !(Hashtbl.find seen name)))
+    !order
+  |> List.rev
+
+let to_prometheus samples =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, ss) ->
+      let first = List.hd ss in
+      if first.Metrics.help <> "" then
+        Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name first.help);
+      Buffer.add_string b
+        (Printf.sprintf "# TYPE %s %s\n" name (type_of first.value));
+      List.iter
+        (fun (s : Metrics.sample) ->
+          match s.value with
+          | Metrics.SCounter v | Metrics.SGauge v ->
+              Buffer.add_string b
+                (Printf.sprintf "%s%s %d\n" name (fmt_labels s.labels) v)
+          | Metrics.SHist h ->
+              let cum = ref 0 in
+              Array.iter
+                (fun (ub, c) ->
+                  cum := !cum + c;
+                  Buffer.add_string b
+                    (Printf.sprintf "%s_bucket%s %d\n" name
+                       (fmt_labels (s.labels @ [ ("le", string_of_int ub) ]))
+                       !cum))
+                h.Histogram.buckets;
+              Buffer.add_string b
+                (Printf.sprintf "%s_bucket%s %d\n" name
+                   (fmt_labels (s.labels @ [ ("le", "+Inf") ]))
+                   h.Histogram.count);
+              Buffer.add_string b
+                (Printf.sprintf "%s_sum%s %d\n" name (fmt_labels s.labels)
+                   h.Histogram.sum);
+              Buffer.add_string b
+                (Printf.sprintf "%s_count%s %d\n" name (fmt_labels s.labels)
+                   h.Histogram.count))
+        ss)
+    (families samples);
+  Buffer.contents b
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json samples =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "[";
+  List.iteri
+    (fun i (s : Metrics.sample) ->
+      if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b
+        (Printf.sprintf "\n  {\"name\": \"%s\", \"type\": \"%s\", \"labels\": {"
+           (json_escape (sanitize s.name))
+           (type_of s.value));
+      List.iteri
+        (fun j (k, v) ->
+          if j > 0 then Buffer.add_string b ", ";
+          Buffer.add_string b
+            (Printf.sprintf "\"%s\": \"%s\"" (json_escape k) (json_escape v)))
+        s.labels;
+      Buffer.add_string b "}, ";
+      (match s.value with
+      | Metrics.SCounter v | Metrics.SGauge v ->
+          Buffer.add_string b (Printf.sprintf "\"value\": %d" v)
+      | Metrics.SHist h ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "\"count\": %d, \"sum\": %d, \"min\": %d, \"max\": %d, \
+                \"p50\": %d, \"p95\": %d, \"p99\": %d"
+               h.Histogram.count h.Histogram.sum h.Histogram.min_
+               h.Histogram.max_
+               (Histogram.quantile h 0.50)
+               (Histogram.quantile h 0.95)
+               (Histogram.quantile h 0.99)));
+      Buffer.add_string b "}")
+    samples;
+  Buffer.add_string b "\n]\n";
+  Buffer.contents b
+
+(* ---- validation ---------------------------------------------------- *)
+
+let valid_name s =
+  String.length s > 0
+  && is_name_start s.[0]
+  && String.for_all is_name_char s
+
+let valid_label_name s =
+  String.length s > 0
+  && is_label_start s.[0]
+  && String.for_all is_label_char s
+
+let valid_value s =
+  match s with
+  | "+Inf" | "-Inf" | "NaN" -> true
+  | _ -> ( match float_of_string_opt s with Some _ -> true | None -> false)
+
+(* Parse `name{k="v",...} value` - returns (name, labels) or an error. *)
+let parse_sample line =
+  let n = String.length line in
+  let i = ref 0 in
+  while !i < n && is_name_char line.[!i] do incr i done;
+  let name = String.sub line 0 !i in
+  if not (valid_name name) then Error ("bad metric name: " ^ line)
+  else begin
+    let labels = ref [] in
+    let err = ref None in
+    (if !i < n && line.[!i] = '{' then begin
+       incr i;
+       let stop = ref false in
+       while (not !stop) && !err = None do
+         if !i >= n then err := Some "unterminated label set"
+         else if line.[!i] = '}' then begin
+           incr i;
+           stop := true
+         end
+         else begin
+           let j = ref !i in
+           while !j < n && is_label_char line.[!j] do incr j done;
+           let lname = String.sub line !i (!j - !i) in
+           if not (valid_label_name lname) then
+             err := Some ("bad label name in: " ^ line)
+           else if !j + 1 >= n || line.[!j] <> '=' || line.[!j + 1] <> '"' then
+             err := Some ("expected =\"...\" in: " ^ line)
+           else begin
+             let k = ref (!j + 2) in
+             let closed = ref false in
+             let buf = Buffer.create 8 in
+             while (not !closed) && !err = None do
+               if !k >= n then err := Some ("unterminated label value in: " ^ line)
+               else
+                 match line.[!k] with
+                 | '"' ->
+                     closed := true;
+                     incr k
+                 | '\\' ->
+                     if !k + 1 >= n then err := Some "dangling escape"
+                     else begin
+                       (match line.[!k + 1] with
+                       | '\\' | '"' | 'n' -> Buffer.add_char buf line.[!k + 1]
+                       | _ -> err := Some ("bad escape in: " ^ line));
+                       k := !k + 2
+                     end
+                 | c ->
+                     Buffer.add_char buf c;
+                     incr k
+             done;
+             if !err = None then begin
+               labels := (lname, Buffer.contents buf) :: !labels;
+               i := !k;
+               if !i < n && line.[!i] = ',' then incr i
+               else if !i < n && line.[!i] = '}' then ()
+               else if !i >= n then err := Some "unterminated label set"
+               else err := Some ("expected , or } in: " ^ line)
+             end
+           end
+         end
+       done
+     end);
+    match !err with
+    | Some e -> Error e
+    | None ->
+        if !i >= n || line.[!i] <> ' ' then
+          Error ("expected space before value: " ^ line)
+        else begin
+          let rest = String.sub line (!i + 1) (n - !i - 1) in
+          let parts =
+            String.split_on_char ' ' rest |> List.filter (fun s -> s <> "")
+          in
+          match parts with
+          | [ v ] | [ v; _ ] ->
+              if valid_value v then Ok (name, List.rev !labels)
+              else Error ("bad sample value: " ^ line)
+          | _ -> Error ("malformed sample line: " ^ line)
+        end
+  end
+
+let validate_prometheus text =
+  let types = Hashtbl.create 16 in
+  let lines = String.split_on_char '\n' text in
+  let rec go n = function
+    | [] -> Ok ()
+    | line :: rest ->
+        let line = String.trim line in
+        let fail msg = Error (Printf.sprintf "line %d: %s" n msg) in
+        if line = "" then go (n + 1) rest
+        else if String.length line > 0 && line.[0] = '#' then begin
+          match String.split_on_char ' ' line with
+          | "#" :: "TYPE" :: name :: [ ty ] ->
+              if not (valid_name name) then fail ("bad TYPE metric name: " ^ name)
+              else if
+                not
+                  (List.mem ty
+                     [ "counter"; "gauge"; "histogram"; "summary"; "untyped" ])
+              then fail ("bad TYPE: " ^ ty)
+              else if Hashtbl.mem types name then
+                fail ("duplicate TYPE for " ^ name)
+              else begin
+                Hashtbl.add types name ty;
+                go (n + 1) rest
+              end
+          | "#" :: "HELP" :: name :: _ ->
+              if not (valid_name name) then fail ("bad HELP metric name: " ^ name)
+              else go (n + 1) rest
+          | _ -> go (n + 1) rest (* free-form comment *)
+        end
+        else begin
+          match parse_sample line with
+          | Error e -> fail e
+          | Ok (name, labels) ->
+              let strip suffix =
+                if
+                  String.length name > String.length suffix
+                  && String.sub name
+                       (String.length name - String.length suffix)
+                       (String.length suffix)
+                     = suffix
+                then
+                  Some
+                    (String.sub name 0 (String.length name - String.length suffix))
+                else None
+              in
+              let family, is_bucket =
+                match Hashtbl.find_opt types name with
+                | Some _ -> (Some name, false)
+                | None -> (
+                    match strip "_bucket" with
+                    | Some base when Hashtbl.find_opt types base = Some "histogram"
+                      ->
+                        (Some base, true)
+                    | _ -> (
+                        let base =
+                          match strip "_sum" with
+                          | Some b -> Some b
+                          | None -> strip "_count"
+                        in
+                        match base with
+                        | Some b when Hashtbl.find_opt types b = Some "histogram"
+                          ->
+                            (Some b, false)
+                        | _ -> (None, false)))
+              in
+              if family = None then
+                fail ("sample without preceding TYPE: " ^ name)
+              else if is_bucket && not (List.mem_assoc "le" labels) then
+                fail ("histogram bucket without le label: " ^ line)
+              else go (n + 1) rest
+        end
+  in
+  go 1 lines

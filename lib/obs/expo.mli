@@ -1,0 +1,18 @@
+(** Metric exposition: Prometheus text format and JSON, plus a strict
+    text-format validator (used by CI on the bench metrics artifact). *)
+
+val to_prometheus : Metrics.sample list -> string
+(** One HELP/TYPE per metric family; histograms expose cumulative
+    [_bucket{le=...}] samples plus [_sum]/[_count]. *)
+
+val to_json : Metrics.sample list -> string
+(** JSON array of samples; histograms carry count/sum/min/max and
+    p50/p95/p99 estimates. *)
+
+val validate_prometheus : string -> (unit, string) result
+(** Check metric/label name charsets, quoting and escapes, numeric
+    sample values, TYPE declared before (and at most once for) every
+    sample's family, and [le] labels on histogram buckets. *)
+
+val sanitize : string -> string
+(** Replace characters outside the Prometheus name charset with '_'. *)

@@ -1,0 +1,168 @@
+(* Mergeable log-bucketed histogram.
+
+   Values 0..15 get exact unit buckets; larger values fall into
+   log2-spaced octaves subdivided into 4 linear sub-buckets, so the
+   bucket containing v spans at most v/4 and a quantile read off the
+   bucket boundary is within 25% relative error of the exact
+   nearest-rank answer (exact below 16).
+
+   Concurrency: every recording domain owns a private shard (installed
+   through a per-histogram [Domain.DLS] key, the same pattern as the
+   media's per-domain meters), so [observe] is single-writer and
+   lock-free.  [snapshot] merges all shards; since shard cells are
+   immediate ints, a racing snapshot sees a slightly stale but
+   consistent-enough view - exact once writers are quiesced, which is
+   how the benchmarks use it. *)
+
+let octaves = 59 (* msb 4..62: every positive tagged int *)
+let nbuckets = 16 + (octaves * 4)
+
+let bucket_of v =
+  if v < 16 then max v 0
+  else begin
+    (* index of the highest set bit; v >= 16 so msb >= 4 *)
+    let msb = ref 4 and x = ref (v lsr 4) in
+    while !x > 1 do
+      incr msb;
+      x := !x lsr 1
+    done;
+    let sub = (v lsr (!msb - 2)) land 3 in
+    16 + ((!msb - 4) * 4) + sub
+  end
+
+(* Inclusive upper bound of bucket [i]: the largest value mapping to it. *)
+let bucket_upper i =
+  if i < 16 then i
+  else
+    let oct = (i - 16) / 4 and sub = (i - 16) mod 4 in
+    let msb = oct + 4 in
+    ((4 + sub + 1) lsl (msb - 2)) - 1
+
+type shard = {
+  counts : int array;
+  mutable n : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+}
+
+let new_shard () =
+  { counts = Array.make nbuckets 0; n = 0; sum = 0; min_v = max_int; max_v = min_int }
+
+type t = {
+  key : shard option ref Domain.DLS.key;
+  mu : Mutex.t;
+  mutable shards : shard list;
+}
+
+let create () =
+  {
+    key = Domain.DLS.new_key (fun () -> ref None);
+    mu = Mutex.create ();
+    shards = [];
+  }
+
+let shard_of t =
+  let cell = Domain.DLS.get t.key in
+  match !cell with
+  | Some s -> s
+  | None ->
+      let s = new_shard () in
+      cell := Some s;
+      Mutex.lock t.mu;
+      t.shards <- s :: t.shards;
+      Mutex.unlock t.mu;
+      s
+
+let observe t v =
+  let v = if v < 0 then 0 else v in
+  let s = shard_of t in
+  let b = bucket_of v in
+  s.counts.(b) <- s.counts.(b) + 1;
+  s.n <- s.n + 1;
+  s.sum <- s.sum + v;
+  if v < s.min_v then s.min_v <- v;
+  if v > s.max_v then s.max_v <- v
+
+type snapshot = {
+  count : int;
+  sum : int;
+  min_ : int;  (** meaningless when [count = 0] *)
+  max_ : int;
+  buckets : (int * int) array;
+      (** (inclusive upper bound, count) for every nonempty bucket,
+          ascending *)
+}
+
+let empty_snapshot =
+  { count = 0; sum = 0; min_ = 0; max_ = 0; buckets = [||] }
+
+let snapshot t =
+  Mutex.lock t.mu;
+  let shards = t.shards in
+  Mutex.unlock t.mu;
+  if shards = [] then empty_snapshot
+  else begin
+    let counts = Array.make nbuckets 0 in
+    let n = ref 0 and sum = ref 0 in
+    let min_v = ref max_int and max_v = ref min_int in
+    List.iter
+      (fun s ->
+        Array.iteri (fun i c -> counts.(i) <- counts.(i) + c) s.counts;
+        n := !n + s.n;
+        sum := !sum + s.sum;
+        if s.min_v < !min_v then min_v := s.min_v;
+        if s.max_v > !max_v then max_v := s.max_v)
+      shards;
+    let buckets = ref [] in
+    for i = nbuckets - 1 downto 0 do
+      if counts.(i) > 0 then buckets := (bucket_upper i, counts.(i)) :: !buckets
+    done;
+    {
+      count = !n;
+      sum = !sum;
+      min_ = (if !n = 0 then 0 else !min_v);
+      max_ = (if !n = 0 then 0 else !max_v);
+      buckets = Array.of_list !buckets;
+    }
+  end
+
+(* Nearest-rank quantile estimate: the upper bound of the bucket holding
+   the rank, clamped to the observed extremes so e.g. p99 never exceeds
+   max.  Monotone in [q] by construction. *)
+let quantile s q =
+  if s.count = 0 then 0
+  else begin
+    let rank =
+      let r = int_of_float (ceil (q *. float_of_int s.count)) in
+      if r < 1 then 1 else if r > s.count then s.count else r
+    in
+    let acc = ref 0 and res = ref s.max_ in
+    (try
+       Array.iter
+         (fun (ub, c) ->
+           acc := !acc + c;
+           if !acc >= rank then begin
+             res := ub;
+             raise Exit
+           end)
+         s.buckets
+     with Exit -> ());
+    let v = !res in
+    if v > s.max_ then s.max_ else if v < s.min_ then s.min_ else v
+  end
+
+let mean s = if s.count = 0 then 0. else float_of_int s.sum /. float_of_int s.count
+
+(* Only meaningful once recording domains are quiesced (or joined). *)
+let reset t =
+  Mutex.lock t.mu;
+  List.iter
+    (fun s ->
+      Array.fill s.counts 0 nbuckets 0;
+      s.n <- 0;
+      s.sum <- 0;
+      s.min_v <- max_int;
+      s.max_v <- min_int)
+    t.shards;
+  Mutex.unlock t.mu

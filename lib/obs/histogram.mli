@@ -1,0 +1,41 @@
+(** Mergeable log-bucketed histogram with per-domain shards.
+
+    [observe] is lock-free for the recording domain (each domain owns a
+    private shard, installed on first use); [snapshot] merges all shards.
+    Values below 16 are exact; above, buckets are log2 octaves split
+    into 4 linear sub-buckets, bounding the relative error of
+    {!quantile} by 25%.  Replaces the full-retention sorted-array
+    percentile computation previously hand-rolled in [bench/htap.ml]. *)
+
+type t
+
+val create : unit -> t
+val observe : t -> int -> unit
+(** Record a (non-negative) value; negative values clamp to 0. *)
+
+type snapshot = {
+  count : int;
+  sum : int;
+  min_ : int;
+  max_ : int;
+  buckets : (int * int) array;
+      (** (inclusive upper bound, count) per nonempty bucket, ascending *)
+}
+
+val empty_snapshot : snapshot
+val snapshot : t -> snapshot
+(** Merge every domain's shard.  Exact once writers are quiesced. *)
+
+val quantile : snapshot -> float -> int
+(** Nearest-rank estimate: upper bound of the rank's bucket, clamped to
+    the observed min/max.  Monotone in the quantile argument. *)
+
+val mean : snapshot -> float
+val reset : t -> unit
+(** Zero all shards; callers must quiesce recording domains first. *)
+
+(**/**)
+
+val bucket_of : int -> int
+val bucket_upper : int -> int
+val nbuckets : int

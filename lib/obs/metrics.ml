@@ -1,0 +1,128 @@
+(* Domain-safe metrics registry.
+
+   Metrics are identified by (name, sorted labels).  Registration is
+   find-or-create under a mutex; the returned handles ([int Atomic.t],
+   [Histogram.t]) are then used lock-free on hot paths.  [Callback]
+   metrics sample external state (e.g. the media's existing atomic
+   counters or the MVTO stats record) at snapshot time and are never
+   reset by the registry - their state belongs to their owner. *)
+
+type sampled =
+  | SCounter of int
+  | SGauge of int
+  | SHist of Histogram.snapshot
+
+type value =
+  | VCounter of int Atomic.t
+  | VGauge of int Atomic.t
+  | VHist of Histogram.t
+  | VCallback of [ `Counter | `Gauge ] * (unit -> int)
+
+type sample = {
+  name : string;
+  labels : (string * string) list;
+  help : string;
+  value : sampled;
+}
+
+type key = string * (string * string) list
+
+type t = {
+  mu : Mutex.t;
+  tbl : (key, string * value) Hashtbl.t;  (* key -> (help, value) *)
+  mutable order : key list;  (* reverse registration order *)
+}
+
+let create () = { mu = Mutex.create (); tbl = Hashtbl.create 64; order = [] }
+
+let norm_labels labels =
+  List.sort (fun (a, _) (b, _) -> compare a b) labels
+
+let register t name labels help mk =
+  let key = (name, norm_labels labels) in
+  Mutex.lock t.mu;
+  let v =
+    match Hashtbl.find_opt t.tbl key with
+    | Some (_, v) -> v
+    | None ->
+        let v = mk () in
+        Hashtbl.replace t.tbl key (help, v);
+        t.order <- key :: t.order;
+        v
+  in
+  Mutex.unlock t.mu;
+  v
+
+let counter t ?(labels = []) ?(help = "") name =
+  match register t name labels help (fun () -> VCounter (Atomic.make 0)) with
+  | VCounter a -> a
+  | _ -> invalid_arg ("Metrics.counter: " ^ name ^ " registered with another kind")
+
+let gauge t ?(labels = []) ?(help = "") name =
+  match register t name labels help (fun () -> VGauge (Atomic.make 0)) with
+  | VGauge a -> a
+  | _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " registered with another kind")
+
+let histogram t ?(labels = []) ?(help = "") name =
+  match register t name labels help (fun () -> VHist (Histogram.create ())) with
+  | VHist h -> h
+  | _ ->
+      invalid_arg ("Metrics.histogram: " ^ name ^ " registered with another kind")
+
+(* Re-registering a callback replaces the reader: a recovered subsystem
+   (e.g. [Mvto.recover]) re-points the metric at its fresh state. *)
+let callback t ?(labels = []) ?(help = "") ~kind name read =
+  let key = (name, norm_labels labels) in
+  Mutex.lock t.mu;
+  if not (Hashtbl.mem t.tbl key) then t.order <- key :: t.order;
+  Hashtbl.replace t.tbl key (help, VCallback (kind, read));
+  Mutex.unlock t.mu
+
+let incr a = Atomic.incr a
+let add a n = ignore (Atomic.fetch_and_add a n)
+let set a n = Atomic.set a n
+
+let snapshot t =
+  Mutex.lock t.mu;
+  let keys = List.rev t.order in
+  let entries =
+    List.filter_map
+      (fun key ->
+        match Hashtbl.find_opt t.tbl key with
+        | Some (help, v) -> Some (key, help, v)
+        | None -> None)
+      keys
+  in
+  Mutex.unlock t.mu;
+  List.map
+    (fun ((name, labels), help, v) ->
+      let value =
+        match v with
+        | VCounter a -> SCounter (Atomic.get a)
+        | VGauge a -> SGauge (Atomic.get a)
+        | VHist h -> SHist (Histogram.snapshot h)
+        | VCallback (`Counter, read) -> SCounter (read ())
+        | VCallback (`Gauge, read) -> SGauge (read ())
+      in
+      { name; labels; help; value })
+    entries
+
+let value t ?(labels = []) name =
+  Mutex.lock t.mu;
+  let v = Hashtbl.find_opt t.tbl (name, norm_labels labels) in
+  Mutex.unlock t.mu;
+  match v with
+  | Some (_, VCounter a) | Some (_, VGauge a) -> Some (Atomic.get a)
+  | Some (_, VCallback (_, read)) -> Some (read ())
+  | Some (_, VHist _) | None -> None
+
+let reset t =
+  Mutex.lock t.mu;
+  let vs = Hashtbl.fold (fun _ (_, v) acc -> v :: acc) t.tbl [] in
+  Mutex.unlock t.mu;
+  List.iter
+    (function
+      | VCounter a | VGauge a -> Atomic.set a 0
+      | VHist h -> Histogram.reset h
+      | VCallback _ -> ())
+    vs

@@ -1,0 +1,52 @@
+(** Domain-safe metrics registry: counters, gauges, mergeable
+    histograms and callback metrics, identified by (name, labels).
+
+    Registration is find-or-create; the returned handles are plain
+    [int Atomic.t] / {!Histogram.t} so hot paths pay one atomic op.
+    [callback] metrics sample external state at snapshot time (the
+    media's counters, the MVTO stats record) and are exempt from
+    {!reset} - their state belongs to the subsystem that owns it. *)
+
+type t
+
+val create : unit -> t
+
+val counter : t -> ?labels:(string * string) list -> ?help:string -> string -> int Atomic.t
+val gauge : t -> ?labels:(string * string) list -> ?help:string -> string -> int Atomic.t
+val histogram : t -> ?labels:(string * string) list -> ?help:string -> string -> Histogram.t
+
+val callback :
+  t ->
+  ?labels:(string * string) list ->
+  ?help:string ->
+  kind:[ `Counter | `Gauge ] ->
+  string ->
+  (unit -> int) ->
+  unit
+(** Register (or re-point) a metric computed by [read] at snapshot
+    time. *)
+
+val incr : int Atomic.t -> unit
+val add : int Atomic.t -> int -> unit
+val set : int Atomic.t -> int -> unit
+
+type sampled =
+  | SCounter of int
+  | SGauge of int
+  | SHist of Histogram.snapshot
+
+type sample = {
+  name : string;
+  labels : (string * string) list;
+  help : string;
+  value : sampled;
+}
+
+val snapshot : t -> sample list
+(** All metrics in registration order. *)
+
+val value : t -> ?labels:(string * string) list -> string -> int option
+(** Scalar metric lookup ([None] for histograms / unknown names). *)
+
+val reset : t -> unit
+(** Zero counters and gauges, reset histograms; callbacks untouched. *)

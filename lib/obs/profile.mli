@@ -1,0 +1,27 @@
+(** Operator-level query profile: per-operator tuple counts and elapsed
+    simulated ticks, one slot per plan operator addressed by preorder id
+    (root 0; unary child id+1; binary right child id+1+count(left)).
+
+    The interpreter fills slots by wrapping operator output streams; the
+    JIT fills the same slots through [ProfHook] IR instructions, making
+    the two execution modes directly comparable. *)
+
+type t
+
+val create : ?tick:(unit -> int) -> string array -> t
+(** [names.(i)] labels operator id [i]; [tick] supplies the clock used
+    for {!now} (typically the media's simulated clock). *)
+
+val nops : t -> int
+val now : t -> int
+val hit : t -> int -> unit
+(** One output tuple for operator [i]; out-of-range ids are ignored. *)
+
+val hit_n : t -> int -> int -> unit
+val add_ticks : t -> int -> int -> unit
+val tuples : t -> int -> int
+
+type row = { id : int; op : string; tuples : int; ticks : int }
+
+val rows : t -> row list
+val render : ?header:string -> t -> string

@@ -1,0 +1,117 @@
+(* Trace spans with parent/child context.
+
+   Each domain keeps an implicit span stack in DLS, so nested
+   [with_span] calls parent automatically; crossing a domain boundary
+   (pipeline -> morsel) is explicit: the submitting side reads
+   [current] and passes it as [?parent] inside the task closure.
+
+   Finished spans land in a bounded ring (newest wins).  Tracing is off
+   by default; a disabled tracer's [with_span] runs the thunk with no
+   allocation beyond the closure, so spans can stay compiled into hot
+   paths. *)
+
+type span = {
+  id : int;
+  parent : int option;
+  name : string;
+  start_ns : int;
+  end_ns : int;
+}
+
+type t = {
+  clock : unit -> int;
+  mutable enabled : bool;
+  next_id : int Atomic.t;
+  mu : Mutex.t;
+  ring : span option array;
+  mutable pos : int;
+  mutable total : int;
+  stack : span list ref Domain.DLS.key;
+}
+
+let create ?(capacity = 1024) ~clock () =
+  {
+    clock;
+    enabled = false;
+    next_id = Atomic.make 1;
+    mu = Mutex.create ();
+    ring = Array.make (max 1 capacity) None;
+    pos = 0;
+    total = 0;
+    stack = Domain.DLS.new_key (fun () -> ref []);
+  }
+
+let set_enabled t b = t.enabled <- b
+let enabled t = t.enabled
+
+let current t =
+  if not t.enabled then None
+  else match !(Domain.DLS.get t.stack) with [] -> None | s :: _ -> Some s.id
+
+let record t s =
+  Mutex.lock t.mu;
+  t.ring.(t.pos) <- Some s;
+  t.pos <- (t.pos + 1) mod Array.length t.ring;
+  t.total <- t.total + 1;
+  Mutex.unlock t.mu
+
+let with_span t ?parent name f =
+  if not t.enabled then f ()
+  else begin
+    let stack = Domain.DLS.get t.stack in
+    let parent =
+      match parent with
+      | Some _ -> parent
+      | None -> ( match !stack with [] -> None | s :: _ -> Some s.id)
+    in
+    let s =
+      {
+        id = Atomic.fetch_and_add t.next_id 1;
+        parent;
+        name;
+        start_ns = t.clock ();
+        end_ns = 0;
+      }
+    in
+    stack := s :: !stack;
+    let finish () =
+      (match !stack with _ :: rest -> stack := rest | [] -> ());
+      record t { s with end_ns = t.clock () }
+    in
+    match f () with
+    | r ->
+        finish ();
+        r
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+(* Newest first. *)
+let spans t =
+  Mutex.lock t.mu;
+  let cap = Array.length t.ring in
+  let n = min t.total cap in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    (* oldest retained .. newest *)
+    let idx = (t.pos - n + i + cap * 2) mod cap in
+    match t.ring.(idx) with Some s -> out := s :: !out | None -> ()
+  done;
+  Mutex.unlock t.mu;
+  !out
+
+let total t = t.total
+
+let reset t =
+  Mutex.lock t.mu;
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.pos <- 0;
+  t.total <- 0;
+  Mutex.unlock t.mu
+
+let pp_span ppf s =
+  Fmt.pf ppf "#%d%a %s [%d..%d] %dns" s.id
+    (fun ppf -> function None -> () | Some p -> Fmt.pf ppf "<-#%d" p)
+    s.parent s.name s.start_ns s.end_ns
+    (s.end_ns - s.start_ns)

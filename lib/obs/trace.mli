@@ -1,0 +1,38 @@
+(** Trace spans with parent/child context.
+
+    Spans nest implicitly within a domain (a DLS span stack supplies
+    the parent); crossing a domain boundary is explicit - read
+    {!current} before submitting and pass it as [?parent] inside the
+    task.  Disabled (the default), {!with_span} just runs the thunk, so
+    call sites stay in hot paths.  Finished spans are kept in a bounded
+    ring, newest wins. *)
+
+type span = {
+  id : int;
+  parent : int option;
+  name : string;
+  start_ns : int;
+  end_ns : int;
+}
+
+type t
+
+val create : ?capacity:int -> clock:(unit -> int) -> unit -> t
+val set_enabled : t -> bool -> unit
+val enabled : t -> bool
+
+val with_span : t -> ?parent:int -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span (recorded even when it raises). *)
+
+val current : t -> int option
+(** Innermost live span of the calling domain - pass to a worker as the
+    explicit parent. *)
+
+val spans : t -> span list
+(** Retained finished spans, newest first. *)
+
+val total : t -> int
+(** Spans finished since creation/reset (including evicted ones). *)
+
+val reset : t -> unit
+val pp_span : Format.formatter -> span -> unit

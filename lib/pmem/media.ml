@@ -134,26 +134,64 @@ type t = {
   mutable hook : (event -> unit) option;
       (* observer for durability-relevant events; may raise to inject a
          fault in place of the access (see Faults / Crash_explorer) *)
+  registry : Obs.Metrics.t;
+      (* per-media metrics registry: the media's own counters are exposed
+         as callbacks, and higher layers (MVTO, JIT cache, task pool)
+         register their metrics here so [reset] gives delta-correct stats
+         for every layer at once *)
+  tracer : Obs.Trace.t; (* spans on the simulated clock; off by default *)
 }
 
 let line_size = 64
 let block_size = 256
 
 let create ?(costs = default_costs) () =
-  {
-    costs;
-    spin = false;
-    clock = Atomic.make 0;
-    counters = empty_counters ();
-    last_block = Atomic.make (-10);
-    meter_key = Domain.DLS.new_key (fun () -> ref None);
-    meters = Hashtbl.create 8;
-    meters_mu = Mutex.create ();
-    next_meter = 0;
-    hook = None;
-  }
+  let clock = Atomic.make 0 in
+  let registry = Obs.Metrics.create () in
+  let t =
+    {
+      costs;
+      spin = false;
+      clock;
+      counters = empty_counters ();
+      last_block = Atomic.make (-10);
+      meter_key = Domain.DLS.new_key (fun () -> ref None);
+      meters = Hashtbl.create 8;
+      meters_mu = Mutex.create ();
+      next_meter = 0;
+      hook = None;
+      registry;
+      tracer =
+        Obs.Trace.create ~clock:(fun () -> Atomic.get clock) ();
+    }
+  in
+  let cb name help a =
+    Obs.Metrics.callback registry name ~help ~kind:`Counter (fun () ->
+        Atomic.get a)
+  in
+  let c = t.counters in
+  cb "pmem_media_reads_total" "line-granular media reads" c.c_reads;
+  cb "pmem_media_writes_total" "line-granular media writes" c.c_writes;
+  cb "pmem_media_flushes_total" "clwb line write-backs" c.c_flushes;
+  cb "pmem_media_fences_total" "sfence drains" c.c_fences;
+  cb "pmem_media_allocs_total" "media allocations" c.c_allocs;
+  cb "pmem_media_frees_total" "media frees" c.c_frees;
+  cb "pmem_media_pptr_derefs_total" "persistent-pointer dereferences" c.c_derefs;
+  cb "pmem_media_ssd_reads_total" "SSD page reads" c.c_ssd_reads;
+  cb "pmem_media_ssd_writes_total" "SSD page writes" c.c_ssd_writes;
+  cb "pmem_media_bytes_read_total" "bytes read" c.c_bytes_read;
+  cb "pmem_media_bytes_written_total" "bytes written" c.c_bytes_written;
+  cb "pmem_media_faults_total" "injected device faults" c.c_faults;
+  cb "pmem_media_retries_total" "degradation retries absorbing faults"
+    c.c_retries;
+  Obs.Metrics.callback registry "pmem_media_clock_ns"
+    ~help:"simulated clock (total charged ns)" ~kind:`Gauge (fun () ->
+      Atomic.get clock);
+  t
 
 let clock t = Atomic.get t.clock
+let registry t = t.registry
+let tracer t = t.tracer
 let set_hook t h = t.hook <- h
 let hook_installed t = t.hook <> None
 let emit t ev = match t.hook with None -> () | Some f -> f ev
@@ -226,7 +264,13 @@ let reset t =
     ];
   Mutex.lock t.meters_mu;
   Hashtbl.reset t.meters;
-  Mutex.unlock t.meters_mu
+  Mutex.unlock t.meters_mu;
+  (* every layer's registry-resident metrics (JIT cache hits, abort
+     taxonomy, exec latencies) reset together with the media, so pool
+     reuse reports deltas instead of lifetime totals; callback metrics
+     over the media counters zeroed above follow automatically *)
+  Obs.Metrics.reset t.registry;
+  Obs.Trace.reset t.tracer
 
 let set_spin t on =
   if on then calibrate_spin ();

@@ -74,6 +74,14 @@ val create : ?costs:costs -> unit -> t
 val clock : t -> int
 (** Total simulated nanoseconds charged so far. *)
 
+val registry : t -> Obs.Metrics.t
+(** Per-media metrics registry.  The media's own counters are exposed as
+    callback metrics ([pmem_media_*]); higher layers register theirs
+    here so that {!reset} yields delta-correct stats for every layer. *)
+
+val tracer : t -> Obs.Trace.t
+(** Span tracer on the simulated clock; disabled by default. *)
+
 val stats : t -> stats
 val costs : t -> costs
 val reset : t -> unit

@@ -188,6 +188,110 @@ let rec operator_count = function
   | NestedLoopJoin { left; right; _ } | HashJoin { left; right; _ } ->
       1 + operator_count left + operator_count right
 
+let op_name = function
+  | NodeScan _ -> "NodeScan"
+  | NodeById _ -> "NodeById"
+  | RelScan _ -> "RelScan"
+  | IndexScan _ -> "IndexScan"
+  | IndexRange _ -> "IndexRange"
+  | Expand _ -> "Expand"
+  | EndPoint _ -> "EndPoint"
+  | WalkToRoot _ -> "WalkToRoot"
+  | AttachByIndex _ -> "AttachByIndex"
+  | Filter _ -> "Filter"
+  | Project _ -> "Project"
+  | Limit _ -> "Limit"
+  | Sort _ -> "Sort"
+  | Distinct _ -> "Distinct"
+  | CountAgg _ -> "CountAgg"
+  | GroupCount _ -> "GroupCount"
+  | NestedLoopJoin _ -> "NestedLoopJoin"
+  | HashJoin _ -> "HashJoin"
+  | CreateNode _ -> "CreateNode"
+  | CreateRel _ -> "CreateRel"
+  | SetNodeProp _ -> "SetNodeProp"
+  | SetRelProp _ -> "SetRelProp"
+  | DeleteNode _ -> "DeleteNode"
+  | DeleteRel _ -> "DeleteRel"
+  | Unit -> "Unit"
+
+(* Preorder operator names: slot [i] labels the operator with preorder
+   id [i] (root 0; a unary operator's child is id+1; a binary
+   operator's right child is id + 1 + operator_count(left)).  This is
+   the id scheme shared by the interpreter's profiling wrappers and the
+   JIT's [ProfHook] instructions. *)
+let op_names plan =
+  let a = Array.make (operator_count plan) "" in
+  let rec go i p =
+    a.(i) <- op_name p;
+    match p with
+    | NodeScan _ | NodeById _ | RelScan _ | IndexScan _ | IndexRange _ | Unit ->
+        ()
+    | Expand { child; _ }
+    | EndPoint { child; _ }
+    | WalkToRoot { child; _ }
+    | AttachByIndex { child; _ }
+    | Filter { child; _ }
+    | Project { child; _ }
+    | Limit { child; _ }
+    | Sort { child; _ }
+    | Distinct { child }
+    | CountAgg { child }
+    | GroupCount { child }
+    | CreateNode { child; _ }
+    | CreateRel { child; _ }
+    | SetNodeProp { child; _ }
+    | SetRelProp { child; _ }
+    | DeleteNode { child; _ }
+    | DeleteRel { child; _ } ->
+        go (i + 1) child
+    | NestedLoopJoin { left; right; _ } | HashJoin { left; right; _ } ->
+        go (i + 1) left;
+        go (i + 1 + operator_count left) right
+  in
+  go 0 plan;
+  a
+
+exception Found of int
+
+(* Preorder id of [target] within [plan], located by physical identity:
+   the split machinery returns the pipelined core as a shared subterm of
+   the full plan, so [==] is the right notion of "same operator". *)
+let preorder_id_of plan target =
+  let rec go i p =
+    if p == target then raise_notrace (Found i)
+    else
+      match p with
+      | NodeScan _ | NodeById _ | RelScan _ | IndexScan _ | IndexRange _ | Unit
+        ->
+          ()
+      | Expand { child; _ }
+      | EndPoint { child; _ }
+      | WalkToRoot { child; _ }
+      | AttachByIndex { child; _ }
+      | Filter { child; _ }
+      | Project { child; _ }
+      | Limit { child; _ }
+      | Sort { child; _ }
+      | Distinct { child }
+      | CountAgg { child }
+      | GroupCount { child }
+      | CreateNode { child; _ }
+      | CreateRel { child; _ }
+      | SetNodeProp { child; _ }
+      | SetRelProp { child; _ }
+      | DeleteNode { child; _ }
+      | DeleteRel { child; _ } ->
+          go (i + 1) child
+      | NestedLoopJoin { left; right; _ } | HashJoin { left; right; _ } ->
+          go (i + 1) left;
+          go (i + 1 + operator_count left) right
+  in
+  try
+    go 0 plan;
+    None
+  with Found i -> Some i
+
 (* Pretty-printed operator tree (EXPLAIN output). *)
 let pp_plan ?dict ppf plan =
   let str c = match dict with Some f -> f c | None -> Printf.sprintf "#%d" c in

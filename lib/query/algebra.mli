@@ -57,6 +57,22 @@ val fingerprint : plan -> string
 
 val operator_count : plan -> int
 
+val op_name : plan -> string
+(** Constructor name of the root operator. *)
+
+val op_names : plan -> string array
+(** Preorder operator names: slot [i] labels the operator with preorder
+    id [i] (root 0; unary child id+1; binary right child
+    id+1+[operator_count left]) - the id scheme shared by the
+    interpreter's profiling wrappers and the JIT's [ProfHook]
+    instructions. *)
+
+val preorder_id_of : plan -> plan -> int option
+(** [preorder_id_of plan target] is the preorder id of [target] within
+    [plan], located by physical identity ([==]); [None] when [target] is
+    not a subterm.  Used by the JIT engine to anchor the compiled core's
+    [ProfHook] ids inside the full plan's id space. *)
+
 val pp_plan : ?dict:(int -> string) -> Format.formatter -> plan -> unit
 (** Pretty-print the operator tree (EXPLAIN output); [dict] renders
     label/key codes as names. *)

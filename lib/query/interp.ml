@@ -247,50 +247,83 @@ let hash_join_stream g ~params ~lkey ~rkey right_rows : stream -> stream =
 
 (* --- Serial execution ------------------------------------------------------ *)
 
-let rec produce (g : Source.t) ~params ?chunk plan : stream =
-  match plan with
-  | NodeScan _ | NodeById _ | RelScan _ | IndexScan _ | IndexRange _ | Unit ->
-      produce_leaf g ~params ?chunk plan
-  | Expand { col; dir; label; child } ->
-      expand_stream g ~col ~dir ~label (produce g ~params ?chunk child)
-  | EndPoint { col; which; child } ->
-      endpoint_stream g ~col ~which (produce g ~params ?chunk child)
-  | WalkToRoot { col; rel_label; child } ->
-      walk_to_root_stream g ~col ~rel_label (produce g ~params ?chunk child)
-  | AttachByIndex { label; key; value; child } ->
-      attach_by_index_stream g ~params ~label ~key ~value
-        (produce g ~params ?chunk child)
-  | Filter { pred; child } ->
-      filter_stream g ~params pred (produce g ~params ?chunk child)
-  | Project { exprs; child } ->
-      project_stream g ~params exprs (produce g ~params ?chunk child)
-  | Limit { n; child } -> limit_stream n (produce g ~params ?chunk child)
-  | Sort { keys; child } -> sort_stream g ~params keys (produce g ~params ?chunk child)
-  | Distinct { child } -> distinct_stream (produce g ~params ?chunk child)
-  | CountAgg { child } -> count_stream (produce g ~params ?chunk child)
-  | GroupCount { child } -> group_count_stream (produce g ~params ?chunk child)
-  | NestedLoopJoin { pred; left; right } ->
-      let right_rows = materialize (produce g ~params right) in
-      nl_join_stream g ~params ~pred right_rows (produce g ~params ?chunk left)
-  | HashJoin { lkey; rkey; left; right } ->
-      let right_rows = materialize (produce g ~params right) in
-      hash_join_stream g ~params ~lkey ~rkey right_rows
-        (produce g ~params ?chunk left)
-  | CreateNode { label; props; child } ->
-      create_node_stream g ~params ~label ~props (produce g ~params ?chunk child)
-  | CreateRel { label; src; dst; props; child } ->
-      create_rel_stream g ~params ~label ~src ~dst ~props
-        (produce g ~params ?chunk child)
-  | SetNodeProp { col; key; value; child } ->
-      set_prop_stream g ~params ~kind:Expr.KNode ~col ~key ~value
-        (produce g ~params ?chunk child)
-  | SetRelProp { col; key; value; child } ->
-      set_prop_stream g ~params ~kind:Expr.KRel ~col ~key ~value
-        (produce g ~params ?chunk child)
-  | DeleteNode { col; child } ->
-      delete_stream g ~kind:Expr.KNode ~col (produce g ~params ?chunk child)
-  | DeleteRel { col; child } ->
-      delete_stream g ~kind:Expr.KRel ~col (produce g ~params ?chunk child)
+(* Operator profiling: wrap a stream at the operator's output, counting
+   yielded tuples (the same point where generated code places its
+   [ProfHook]) and charging the inclusive simulated ticks spent while
+   the operator's stream was live.  Operator ids are preorder over the
+   plan (root 0; unary child id+1; binary right child
+   id+1+operator_count(left)), matching [Algebra.op_names]. *)
+let prof_wrap prof id (s : stream) : stream =
+  match prof with
+  | None -> s
+  | Some p ->
+      fun yield ->
+        let t0 = Obs.Profile.now p in
+        s (fun row ->
+            Obs.Profile.hit p id;
+            yield row);
+        Obs.Profile.add_ticks p id (Obs.Profile.now p - t0)
+
+let rec produce_at ?prof ~id (g : Source.t) ~params ?chunk plan : stream =
+  let sub ~id c = produce_at ?prof ~id g ~params ?chunk c in
+  let s =
+    match plan with
+    | NodeScan _ | NodeById _ | RelScan _ | IndexScan _ | IndexRange _ | Unit ->
+        produce_leaf g ~params ?chunk plan
+    | Expand { col; dir; label; child } ->
+        expand_stream g ~col ~dir ~label (sub ~id:(id + 1) child)
+    | EndPoint { col; which; child } ->
+        endpoint_stream g ~col ~which (sub ~id:(id + 1) child)
+    | WalkToRoot { col; rel_label; child } ->
+        walk_to_root_stream g ~col ~rel_label (sub ~id:(id + 1) child)
+    | AttachByIndex { label; key; value; child } ->
+        attach_by_index_stream g ~params ~label ~key ~value
+          (sub ~id:(id + 1) child)
+    | Filter { pred; child } ->
+        filter_stream g ~params pred (sub ~id:(id + 1) child)
+    | Project { exprs; child } ->
+        project_stream g ~params exprs (sub ~id:(id + 1) child)
+    | Limit { n; child } -> limit_stream n (sub ~id:(id + 1) child)
+    | Sort { keys; child } -> sort_stream g ~params keys (sub ~id:(id + 1) child)
+    | Distinct { child } -> distinct_stream (sub ~id:(id + 1) child)
+    | CountAgg { child } -> count_stream (sub ~id:(id + 1) child)
+    | GroupCount { child } -> group_count_stream (sub ~id:(id + 1) child)
+    | NestedLoopJoin { pred; left; right } ->
+        let right_rows =
+          materialize
+            (produce_at ?prof
+               ~id:(id + 1 + operator_count left)
+               g ~params right)
+        in
+        nl_join_stream g ~params ~pred right_rows (sub ~id:(id + 1) left)
+    | HashJoin { lkey; rkey; left; right } ->
+        let right_rows =
+          materialize
+            (produce_at ?prof
+               ~id:(id + 1 + operator_count left)
+               g ~params right)
+        in
+        hash_join_stream g ~params ~lkey ~rkey right_rows (sub ~id:(id + 1) left)
+    | CreateNode { label; props; child } ->
+        create_node_stream g ~params ~label ~props (sub ~id:(id + 1) child)
+    | CreateRel { label; src; dst; props; child } ->
+        create_rel_stream g ~params ~label ~src ~dst ~props
+          (sub ~id:(id + 1) child)
+    | SetNodeProp { col; key; value; child } ->
+        set_prop_stream g ~params ~kind:Expr.KNode ~col ~key ~value
+          (sub ~id:(id + 1) child)
+    | SetRelProp { col; key; value; child } ->
+        set_prop_stream g ~params ~kind:Expr.KRel ~col ~key ~value
+          (sub ~id:(id + 1) child)
+    | DeleteNode { col; child } ->
+        delete_stream g ~kind:Expr.KNode ~col (sub ~id:(id + 1) child)
+    | DeleteRel { col; child } ->
+        delete_stream g ~kind:Expr.KRel ~col (sub ~id:(id + 1) child)
+  in
+  prof_wrap prof id s
+
+let produce ?prof (g : Source.t) ~params ?chunk plan : stream =
+  produce_at ?prof ~id:0 g ~params ?chunk plan
 
 (* --- Morsel-parallel execution --------------------------------------------- *)
 
@@ -321,12 +354,17 @@ let split_serial = function
   | Ser (p, tr) -> (p, tr)
   | ParAgg (p, agg, tail) -> (p, fun s -> tail (agg_serial agg s))
 
-let rec split_plan (g : Source.t) ~params plan : split =
+(* With [?prof], the serial-tail transformers are wrapped at each
+   operator's preorder id; the parallel core stays untouched (when the
+   JIT compiles it, [ProfHook]s cover the core's operators; the
+   interpreter profiles through [produce] instead). *)
+let rec split_plan_at ?prof ~id (g : Source.t) ~params plan : split =
   let unary child ~rebuild ~serial_tr =
-    match split_plan g ~params child with
+    let wrap = prof_wrap prof id in
+    match split_plan_at ?prof ~id:(id + 1) g ~params child with
     | Par _ -> rebuild ()
-    | Ser (p, tr) -> Ser (p, fun s -> serial_tr (tr s))
-    | ParAgg (p, agg, tail) -> ParAgg (p, agg, fun s -> serial_tr (tail s))
+    | Ser (p, tr) -> Ser (p, fun s -> wrap (serial_tr (tr s)))
+    | ParAgg (p, agg, tail) -> ParAgg (p, agg, fun s -> wrap (serial_tr (tail s)))
   in
   match plan with
   | NodeScan _ | NodeById _ | RelScan _ | IndexScan _ | IndexRange _ | Unit ->
@@ -369,34 +407,52 @@ let rec split_plan (g : Source.t) ~params plan : split =
       unary child ~rebuild:(fun () -> Par plan)
         ~serial_tr:(delete_stream g ~kind:Expr.KRel ~col)
   (* pipeline breakers: everything from here up runs serially *)
-  | Limit { n; child } -> breaker g ~params child (limit_stream n)
-  | Sort { keys; child } -> breaker g ~params child (sort_stream g ~params keys)
-  | Distinct { child } -> breaker g ~params child distinct_stream
-  | CountAgg { child } -> agg_breaker g ~params child ACount
-  | GroupCount { child } -> agg_breaker g ~params child AGroup
+  | Limit { n; child } -> breaker ?prof ~id g ~params child (limit_stream n)
+  | Sort { keys; child } ->
+      breaker ?prof ~id g ~params child (sort_stream g ~params keys)
+  | Distinct { child } -> breaker ?prof ~id g ~params child distinct_stream
+  | CountAgg { child } -> agg_breaker ?prof ~id g ~params child ACount
+  | GroupCount { child } -> agg_breaker ?prof ~id g ~params child AGroup
   | NestedLoopJoin { pred; left; right } ->
-      let right_rows = lazy (materialize (produce g ~params right)) in
-      breaker g ~params left (fun s ->
+      let right_rows =
+        lazy
+          (materialize
+             (produce_at ?prof
+                ~id:(id + 1 + operator_count left)
+                g ~params right))
+      in
+      breaker ?prof ~id g ~params left (fun s ->
           nl_join_stream g ~params ~pred (Lazy.force right_rows) s)
   | HashJoin { lkey; rkey; left; right } ->
-      let right_rows = lazy (materialize (produce g ~params right)) in
-      breaker g ~params left (fun s ->
+      let right_rows =
+        lazy
+          (materialize
+             (produce_at ?prof
+                ~id:(id + 1 + operator_count left)
+                g ~params right))
+      in
+      breaker ?prof ~id g ~params left (fun s ->
           hash_join_stream g ~params ~lkey ~rkey (Lazy.force right_rows) s)
 
-and breaker g ~params child tr =
-  match split_plan g ~params child with
-  | Par p -> Ser (p, tr)
-  | Ser (p, tr') -> Ser (p, fun s -> tr (tr' s))
-  | ParAgg (p, agg, tail) -> ParAgg (p, agg, fun s -> tr (tail s))
+and breaker ?prof ~id g ~params child tr =
+  let wrap = prof_wrap prof id in
+  match split_plan_at ?prof ~id:(id + 1) g ~params child with
+  | Par p -> Ser (p, fun s -> wrap (tr s))
+  | Ser (p, tr') -> Ser (p, fun s -> wrap (tr (tr' s)))
+  | ParAgg (p, agg, tail) -> ParAgg (p, agg, fun s -> wrap (tr (tail s)))
 
-and agg_breaker g ~params child agg =
-  match split_plan g ~params child with
-  | Par p -> ParAgg (p, agg, fun s -> s)
-  | Ser (p, tr) -> Ser (p, fun s -> agg_serial agg (tr s))
+and agg_breaker ?prof ~id g ~params child agg =
+  let wrap = prof_wrap prof id in
+  match split_plan_at ?prof ~id:(id + 1) g ~params child with
+  | Par p -> ParAgg (p, agg, fun s -> wrap s)
+  | Ser (p, tr) -> Ser (p, fun s -> wrap (agg_serial agg (tr s)))
   (* aggregation above an aggregation: the inner one already forces the
      barrier, so the outer one runs serially over the merged output *)
   | ParAgg (p, inner, tail) ->
-      ParAgg (p, inner, fun s -> agg_serial agg (tail s))
+      ParAgg (p, inner, fun s -> wrap (agg_serial agg (tail s)))
+
+let split_plan ?prof (g : Source.t) ~params plan : split =
+  split_plan_at ?prof ~id:0 g ~params plan
 
 (* Run the chunk-parallel part over all morsels, collecting rows. *)
 let run_parallel_part (g : Source.t) ~params pool plan =
@@ -496,12 +552,14 @@ let rec leftmost_leaf = function
       leftmost_leaf child
   | NestedLoopJoin { left; _ } | HashJoin { left; _ } -> leftmost_leaf left
 
-(* Execute a plan; with [pool], the scan is morsel-parallelised. *)
-let run ?pool (g : Source.t) ~params plan =
+(* Execute a plan; with [pool], the scan is morsel-parallelised.  A
+   profiled run ([?prof]) always interprets serially so that per-operator
+   tick attribution stays meaningful. *)
+let run ?pool ?prof (g : Source.t) ~params plan =
   let rows = ref [] in
   let yield t = rows := t :: !rows in
-  (match pool with
-  | None -> produce g ~params plan yield
+  (match (if Option.is_none prof then pool else None) with
+  | None -> produce ?prof g ~params plan yield
   | Some pool when chunkable (leftmost_leaf plan) -> (
       match split_plan g ~params plan with
       | Par p ->

@@ -16,9 +16,18 @@ val chunkable : Algebra.plan -> bool
 val leftmost_leaf : Algebra.plan -> Algebra.plan
 
 val produce :
-  Source.t -> params:Value.t array -> ?chunk:int -> Algebra.plan -> stream
+  ?prof:Obs.Profile.t ->
+  Source.t ->
+  params:Value.t array ->
+  ?chunk:int ->
+  Algebra.plan ->
+  stream
 (** Serial stream of a plan's rows; with [chunk], the leaf scan is
-    restricted to that morsel. *)
+    restricted to that morsel.  With [prof], every operator's output
+    stream is wrapped to count yielded tuples and charge inclusive
+    simulated ticks into the operator's preorder-id slot (root 0; unary
+    child id+1; binary right child id+1+operator_count(left)) - the
+    same ids generated code reaches through [ProfHook]. *)
 
 (** Aggregation kind whose partial states can be computed per worker and
     merged at the morsel barrier. *)
@@ -42,13 +51,21 @@ val split_serial : split -> Algebra.plan * (stream -> stream)
     its aggregation back into the tail.  Used by engines (e.g. the JIT)
     that compile only the pipelined core. *)
 
-val split_plan : Source.t -> params:Value.t array -> Algebra.plan -> split
+val split_plan :
+  ?prof:Obs.Profile.t -> Source.t -> params:Value.t array -> Algebra.plan -> split
+(** With [prof], the serial-tail transformers are wrapped at their
+    operators' preorder ids; the parallel core is left untouched (its
+    operators are profiled by the engine running it: [produce ?prof]
+    when interpreted, [ProfHook]s when compiled). *)
 
 val run :
   ?pool:Exec.Task_pool.t ->
+  ?prof:Obs.Profile.t ->
   Source.t ->
   params:Value.t array ->
   Algebra.plan ->
   row list
+(** Profiled runs interpret serially even when [pool] is given, so tick
+    attribution stays meaningful. *)
 
 val count : ?pool:Exec.Task_pool.t -> Source.t -> params:Value.t array -> Algebra.plan -> int

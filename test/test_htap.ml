@@ -20,6 +20,7 @@ let cfg =
     seed = 42;
     mode = Jit.Engine.Interp;
     pool_workers = 2;
+    profile = true;
   }
 
 (* one run shared by the assertion tests below *)
@@ -55,6 +56,59 @@ let test_latency_classes_ordered () =
           (c.Htap.p99_ns <= c.Htap.max_ns)
       end)
     r.Htap.classes
+
+let test_registry_metrics () =
+  let r = Lazy.force result in
+  (* registry deltas must agree with the media counters they sample *)
+  Alcotest.(check int) "flushes via registry" r.Htap.media_flushes
+    r.Htap.reg_flushes;
+  Alcotest.(check int) "fences via registry" r.Htap.media_fences
+    r.Htap.reg_fences;
+  Alcotest.(check bool) "flush traffic recorded" true (r.Htap.reg_flushes > 0);
+  Alcotest.(check bool) "fence traffic recorded" true (r.Htap.reg_fences > 0);
+  (* abort taxonomy: all four classes present, totals cover the aborts *)
+  let cls c = List.assoc_opt c r.Htap.abort_taxonomy in
+  List.iter
+    (fun c ->
+      match cls c with
+      | Some n -> Alcotest.(check bool) (c ^ " nonneg") true (n >= 0)
+      | None -> Alcotest.fail ("missing abort class " ^ c))
+    [ "validation"; "transient"; "fatal"; "user" ];
+  let tax_total = List.fold_left (fun a (_, n) -> a + n) 0 r.Htap.abort_taxonomy in
+  Alcotest.(check bool) "taxonomy covers observed aborts" true
+    (tax_total >= r.Htap.aborts);
+  (* the exposition snapshot must parse *)
+  match Obs.Expo.validate_prometheus r.Htap.metrics_prom with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("prometheus exposition: " ^ e)
+
+let test_operator_profiles_agree () =
+  let r = Lazy.force result in
+  Alcotest.(check bool) "profiles collected" true (r.Htap.profiles <> []);
+  List.iter
+    (fun p ->
+      let name = p.Htap.p_name in
+      Alcotest.(check int)
+        (name ^ ": same operator count")
+        (List.length p.Htap.p_interp)
+        (List.length p.Htap.p_jit);
+      List.iter2
+        (fun (a : Obs.Profile.row) (j : Obs.Profile.row) ->
+          Alcotest.(check string) (name ^ ": operator names align") a.op j.op;
+          Alcotest.(check int)
+            (Printf.sprintf "%s: op %d (%s) tuples agree interp vs jit" name
+               a.id a.op)
+            a.tuples j.tuples)
+        p.Htap.p_interp p.Htap.p_jit;
+      (* the root operator produced something and was charged time *)
+      match p.Htap.p_interp with
+      | root :: _ ->
+          Alcotest.(check bool) (name ^ ": root produced tuples") true
+            (root.tuples > 0);
+          Alcotest.(check bool) (name ^ ": root charged ticks") true
+            (root.ticks > 0)
+      | [] -> Alcotest.fail (name ^ ": empty profile"))
+    r.Htap.profiles
 
 let test_json_roundtrip_and_validate () =
   let r = Lazy.force result in
@@ -129,6 +183,10 @@ let () =
             test_progress_on_both_sides;
           Alcotest.test_case "latency classes ordered" `Slow
             test_latency_classes_ordered;
+          Alcotest.test_case "registry metrics agree with media" `Slow
+            test_registry_metrics;
+          Alcotest.test_case "operator profiles agree interp vs jit" `Slow
+            test_operator_profiles_agree;
           Alcotest.test_case "writer-heavy variant" `Slow
             test_si_invariants_writer_heavy;
         ] );

@@ -32,6 +32,7 @@ let exec env (f : Ir.func) =
           chunk_lo = 0;
           chunk_hi = -1;
           nchunks = g.Query.Source.node_chunks ();
+          prof = None;
         };
       List.rev !rows)
 

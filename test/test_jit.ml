@@ -521,6 +521,7 @@ let test_ir_serialization_roundtrip () =
           chunk_lo = 0;
           chunk_hi = -1;
           nchunks = g.Query.Source.node_chunks ();
+          prof = None;
         };
       check_same_rows "reloaded ir" expected !acc)
 

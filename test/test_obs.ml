@@ -1,0 +1,322 @@
+(* Observability subsystem battery: histogram correctness (shard-merge
+   property, quantile error bound vs exact nearest-rank percentiles,
+   cross-domain increment safety), registry reset semantics, Prometheus
+   exposition round-trip through the strict validator, and trace-span
+   parentage. *)
+
+module H = Obs.Histogram
+module M = Obs.Metrics
+module T = Obs.Trace
+
+(* --- histogram --------------------------------------------------------- *)
+
+let exact_nearest_rank sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0
+  else
+    let rank = int_of_float (ceil (q *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let mk_values rng n =
+  (* span the exact region, the octave region and a heavy tail *)
+  Array.init n (fun _ ->
+      match Random.State.int rng 4 with
+      | 0 -> Random.State.int rng 16
+      | 1 -> 16 + Random.State.int rng 1000
+      | 2 -> Random.State.int rng 1_000_000
+      | _ -> Random.State.int rng 1_000_000_000)
+
+let test_histogram_exact_small () =
+  let h = H.create () in
+  List.iter (H.observe h) [ 0; 1; 1; 2; 15; 15; 15 ];
+  let s = H.snapshot h in
+  Alcotest.(check int) "count" 7 s.H.count;
+  Alcotest.(check int) "sum" 49 s.H.sum;
+  Alcotest.(check int) "min" 0 s.H.min_;
+  Alcotest.(check int) "max" 15 s.H.max_;
+  (* values < 16 are exact, so quantiles are exact too *)
+  Alcotest.(check int) "p50 exact" 2 (H.quantile s 0.5);
+  Alcotest.(check int) "p99 exact" 15 (H.quantile s 0.99)
+
+let test_histogram_empty () =
+  let h = H.create () in
+  let s = H.snapshot h in
+  Alcotest.(check int) "count" 0 s.H.count;
+  Alcotest.(check int) "quantile of empty" 0 (H.quantile s 0.5);
+  H.observe h (-5);
+  let s = H.snapshot h in
+  Alcotest.(check int) "negative clamps to 0" 0 s.H.max_
+
+let test_histogram_quantile_error_bound () =
+  let rng = Random.State.make [| 7 |] in
+  for _round = 1 to 5 do
+    let values = mk_values rng 2000 in
+    let h = H.create () in
+    Array.iter (H.observe h) values;
+    let s = H.snapshot h in
+    let sorted = Array.copy values in
+    Array.sort compare sorted;
+    List.iter
+      (fun q ->
+        let est = H.quantile s q and exact = exact_nearest_rank sorted q in
+        (* log-bucketing with 4 linear sub-buckets bounds relative error
+           by 25%; the estimate is a bucket upper bound, so it can only
+           overshoot *)
+        let slack = 1 + (exact / 4) in
+        Alcotest.(check bool)
+          (Printf.sprintf "q=%.2f est=%d exact=%d" q est exact)
+          true
+          (est >= exact && est <= exact + slack))
+      [ 0.5; 0.9; 0.95; 0.99; 1.0 ]
+  done
+
+let test_histogram_quantile_monotone () =
+  let rng = Random.State.make [| 11 |] in
+  let h = H.create () in
+  Array.iter (H.observe h) (mk_values rng 500);
+  let s = H.snapshot h in
+  let p50 = H.quantile s 0.5
+  and p95 = H.quantile s 0.95
+  and p99 = H.quantile s 0.99 in
+  Alcotest.(check bool) "p50 <= p95" true (p50 <= p95);
+  Alcotest.(check bool) "p95 <= p99" true (p95 <= p99);
+  Alcotest.(check bool) "p99 <= max" true (p99 <= s.H.max_);
+  Alcotest.(check bool) "min <= p50" true (s.H.min_ <= p50)
+
+let test_histogram_merge_matches_serial () =
+  (* the same multiset observed from 4 domains must snapshot identically
+     to a single-domain observation: snapshot merges per-domain shards *)
+  let rng = Random.State.make [| 13 |] in
+  let values = mk_values rng 4000 in
+  let serial = H.create () in
+  Array.iter (H.observe serial) values;
+  let sharded = H.create () in
+  let ndom = 4 in
+  let slice d =
+    Array.init
+      (Array.length values / ndom)
+      (fun i -> values.((d * (Array.length values / ndom)) + i))
+  in
+  let doms =
+    List.init ndom (fun d ->
+        Domain.spawn (fun () -> Array.iter (H.observe sharded) (slice d)))
+  in
+  List.iter Domain.join doms;
+  let a = H.snapshot serial and b = H.snapshot sharded in
+  Alcotest.(check int) "count" a.H.count b.H.count;
+  Alcotest.(check int) "sum" a.H.sum b.H.sum;
+  Alcotest.(check int) "min" a.H.min_ b.H.min_;
+  Alcotest.(check int) "max" a.H.max_ b.H.max_;
+  Alcotest.(check bool) "bucket arrays equal" true (a.H.buckets = b.H.buckets)
+
+let test_histogram_bucket_scheme () =
+  (* exact region, then octaves of 4 linear sub-buckets *)
+  for v = 0 to 15 do
+    Alcotest.(check int)
+      (Printf.sprintf "value %d is its own bucket upper" v)
+      v
+      (H.bucket_upper (H.bucket_of v))
+  done;
+  let rng = Random.State.make [| 17 |] in
+  for _ = 1 to 1000 do
+    let v = 16 + Random.State.int rng 0x3FFFFFFF in
+    let ub = H.bucket_upper (H.bucket_of v) in
+    Alcotest.(check bool)
+      (Printf.sprintf "%d <= ub %d <= 1.25*%d" v ub v)
+      true
+      (ub >= v && float_of_int ub <= 1.25 *. float_of_int v)
+  done
+
+(* --- registry ---------------------------------------------------------- *)
+
+let test_counter_cross_domain () =
+  let reg = M.create () in
+  let per_domain = 25_000 and ndom = 4 in
+  let doms =
+    List.init ndom (fun _ ->
+        Domain.spawn (fun () ->
+            (* find-or-create from every domain: same handle *)
+            let c = M.counter reg ~help:"x" "obs_test_total" in
+            for _ = 1 to per_domain do
+              M.incr c
+            done))
+  in
+  List.iter Domain.join doms;
+  Alcotest.(check (option int)) "no lost increments"
+    (Some (ndom * per_domain))
+    (M.value reg "obs_test_total")
+
+let test_labels_distinguish () =
+  let reg = M.create () in
+  let a = M.counter reg ~labels:[ ("class", "a") ] "ops_total" in
+  let b = M.counter reg ~labels:[ ("class", "b") ] "ops_total" in
+  M.add a 3;
+  M.incr b;
+  Alcotest.(check (option int)) "a" (Some 3)
+    (M.value reg ~labels:[ ("class", "a") ] "ops_total");
+  Alcotest.(check (option int)) "b" (Some 1)
+    (M.value reg ~labels:[ ("class", "b") ] "ops_total");
+  (* same (name, labels) returns the same handle *)
+  let a' = M.counter reg ~labels:[ ("class", "a") ] "ops_total" in
+  M.incr a';
+  Alcotest.(check int) "shared handle" 4 (Atomic.get a)
+
+let test_reset_semantics () =
+  let reg = M.create () in
+  let c = M.counter reg "c_total" in
+  let g = M.gauge reg "g" in
+  let h = M.histogram reg "h_ns" in
+  let external_state = ref 42 in
+  M.callback reg ~kind:`Counter "cb_total" (fun () -> !external_state);
+  M.add c 7;
+  M.set g 9;
+  H.observe h 100;
+  M.reset reg;
+  Alcotest.(check (option int)) "counter zeroed" (Some 0) (M.value reg "c_total");
+  Alcotest.(check (option int)) "gauge zeroed" (Some 0) (M.value reg "g");
+  Alcotest.(check int) "histogram reset" 0 (H.snapshot h).H.count;
+  (* callbacks sample external state and are exempt from reset *)
+  Alcotest.(check (option int)) "callback untouched" (Some 42)
+    (M.value reg "cb_total");
+  external_state := 43;
+  Alcotest.(check (option int)) "callback live" (Some 43)
+    (M.value reg "cb_total")
+
+(* --- exposition -------------------------------------------------------- *)
+
+let test_prometheus_roundtrip () =
+  let reg = M.create () in
+  M.add (M.counter reg ~help:"a counter" "reqs_total") 5;
+  M.set (M.gauge reg ~labels:[ ("shard", "0") ] "depth") 2;
+  let h = M.histogram reg ~help:"latency" "lat_ns" in
+  List.iter (H.observe h) [ 1; 20; 300; 4000 ];
+  M.callback reg ~kind:`Gauge "clock_ns" (fun () -> 12345);
+  let text = Obs.Expo.to_prometheus (M.snapshot reg) in
+  (match Obs.Expo.validate_prometheus text with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("own exposition rejected: " ^ e));
+  (* histograms expose cumulative buckets + sum/count *)
+  let has needle =
+    let n = String.length needle and m = String.length text in
+    let rec go i = i + n <= m && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "bucket samples" true (has "lat_ns_bucket{le=");
+  Alcotest.(check bool) "+Inf bucket" true (has "le=\"+Inf\"");
+  Alcotest.(check bool) "count sample" true (has "lat_ns_count 4");
+  Alcotest.(check bool) "labeled gauge" true (has "depth{shard=\"0\"} 2")
+
+let test_validator_rejects_malformed () =
+  let bad =
+    [
+      ("no TYPE", "foo_total 1\n");
+      ("bad name", "# TYPE 2foo counter\n2foo 1\n");
+      ( "bad label quoting",
+        "# TYPE foo counter\nfoo{l=unquoted} 1\n" );
+      ("non-numeric value", "# TYPE foo counter\nfoo one\n");
+      ( "duplicate TYPE",
+        "# TYPE foo counter\n# TYPE foo counter\nfoo 1\n" );
+      ( "bucket without le",
+        "# TYPE foo histogram\nfoo_bucket 1\nfoo_sum 1\nfoo_count 1\n" );
+    ]
+  in
+  List.iter
+    (fun (what, doc) ->
+      match Obs.Expo.validate_prometheus doc with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail ("accepted " ^ what))
+    bad
+
+let test_json_exposition_parses () =
+  let reg = M.create () in
+  M.add (M.counter reg "n_total") 3;
+  let h = M.histogram reg "lat" in
+  H.observe h 10;
+  let doc = Htap.Json.parse (Obs.Expo.to_json (M.snapshot reg)) in
+  match doc with
+  | Htap.Json.List (_ :: _) -> ()
+  | _ -> Alcotest.fail "expected a nonempty JSON array"
+
+(* --- trace spans ------------------------------------------------------- *)
+
+let test_trace_parentage () =
+  let clock = ref 0 in
+  let t = T.create ~clock:(fun () -> incr clock; !clock) () in
+  Alcotest.(check bool) "disabled by default" false (T.enabled t);
+  T.with_span t "ignored" (fun () -> ());
+  Alcotest.(check int) "disabled records nothing" 0 (T.total t);
+  T.set_enabled t true;
+  T.with_span t "outer" (fun () ->
+      T.with_span t "inner" (fun () ->
+          Alcotest.(check bool) "current set" true (T.current t <> None)));
+  Alcotest.(check int) "two spans" 2 (T.total t);
+  (match T.spans t with
+  | [ outer; inner ] ->
+      (* newest first: outer finishes after inner *)
+      Alcotest.(check string) "outer first" "outer" outer.T.name;
+      Alcotest.(check string) "inner second" "inner" inner.T.name;
+      Alcotest.(check (option int)) "inner's parent is outer"
+        (Some outer.T.id) inner.T.parent;
+      Alcotest.(check (option int)) "outer is a root" None outer.T.parent;
+      Alcotest.(check bool) "time flows" true (inner.T.end_ns > inner.T.start_ns)
+  | l -> Alcotest.fail (Printf.sprintf "expected 2 spans, got %d" (List.length l)));
+  T.reset t;
+  Alcotest.(check int) "reset clears" 0 (T.total t)
+
+let test_trace_span_on_raise () =
+  let t = T.create ~clock:(fun () -> 0) () in
+  T.set_enabled t true;
+  (try T.with_span t "boom" (fun () -> failwith "x") with Failure _ -> ());
+  Alcotest.(check int) "span recorded despite raise" 1 (T.total t)
+
+let test_trace_ring_bounded () =
+  let t = T.create ~capacity:8 ~clock:(fun () -> 0) () in
+  T.set_enabled t true;
+  for i = 1 to 100 do
+    T.with_span t (string_of_int i) (fun () -> ())
+  done;
+  Alcotest.(check int) "total counts evictions" 100 (T.total t);
+  let kept = T.spans t in
+  Alcotest.(check int) "ring keeps capacity" 8 (List.length kept);
+  Alcotest.(check string) "newest wins" "100" (List.hd kept).T.name;
+  Alcotest.(check string) "oldest retained" "93" (List.nth kept 7).T.name
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "exact small values" `Quick
+            test_histogram_exact_small;
+          Alcotest.test_case "empty + clamping" `Quick test_histogram_empty;
+          Alcotest.test_case "quantile error bound" `Quick
+            test_histogram_quantile_error_bound;
+          Alcotest.test_case "quantile monotone" `Quick
+            test_histogram_quantile_monotone;
+          Alcotest.test_case "shard merge == serial" `Quick
+            test_histogram_merge_matches_serial;
+          Alcotest.test_case "bucket scheme bounds" `Quick
+            test_histogram_bucket_scheme;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "cross-domain increments" `Quick
+            test_counter_cross_domain;
+          Alcotest.test_case "labels distinguish" `Quick test_labels_distinguish;
+          Alcotest.test_case "reset semantics" `Quick test_reset_semantics;
+        ] );
+      ( "exposition",
+        [
+          Alcotest.test_case "prometheus round-trip" `Quick
+            test_prometheus_roundtrip;
+          Alcotest.test_case "validator rejects malformed" `Quick
+            test_validator_rejects_malformed;
+          Alcotest.test_case "json parses" `Quick test_json_exposition_parses;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "parentage" `Quick test_trace_parentage;
+          Alcotest.test_case "span on raise" `Quick test_trace_span_on_raise;
+          Alcotest.test_case "ring bounded" `Quick test_trace_ring_bounded;
+        ] );
+    ]
