@@ -1,4 +1,4 @@
-.PHONY: all build test check clean bench-smoke
+.PHONY: all build test check clean bench-smoke recover-smoke
 
 all: build
 
@@ -22,6 +22,16 @@ bench-smoke: build
 	  --writers 2 --readers 2 --duration 15 --seed 7 --out BENCH_htap.json \
 	  --profile --metrics-out BENCH_htap.prom
 	dune exec bin/poseidon_cli.exe -- stats --validate BENCH_htap.prom
+
+# crash-to-ready recovery benchmark: serial vs 2/4-domain parallel
+# rebuild latency plus a 200-point randomized crash battery; fails
+# unless BENCH_recovery.json validates, every phase is timed, the
+# 4-domain rebuild beats serial by >= 2x, and every sampled crash
+# point recovers to the same state at every domain count
+recover-smoke: build
+	dune exec bin/poseidon_cli.exe -- recover-bench --sf 0.05 --seed 42 \
+	  --threads 4 --battery-points 200 --min-speedup 2.0 \
+	  --out BENCH_recovery.json
 
 clean:
 	dune clean

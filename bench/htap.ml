@@ -421,6 +421,12 @@ type reader_out = {
 
 (* --- The driver -------------------------------------------------------------- *)
 
+(* Every worker's RNG stream is a pure function of (seed, role, worker
+   ordinal): a run is replayable from its config alone, and any failure
+   report can name the seed that reproduces it. *)
+let writer_rng ~seed k = Random.State.make [| seed; 101 * (k + 1) |]
+let reader_rng ~seed k = Random.State.make [| seed; 211 * (k + 1) |]
+
 let run (cfg : config) : result =
   let db =
     Core.create ~mode:cfg.storage ~pool_size:(1 lsl 27) ~chunk_capacity:256 ()
@@ -530,7 +536,7 @@ let run (cfg : config) : result =
       }
   in
   let writer k () =
-    let rng = Random.State.make [| cfg.seed; 101 * (k + 1) |] in
+    let rng = writer_rng ~seed:cfg.seed k in
     let committed = Array.make nspecs 0 in
     let counter_commits = ref 0 in
     let failed = ref 0 in
@@ -581,7 +587,7 @@ let run (cfg : config) : result =
     }
   in
   let reader k () =
-    let rng = Random.State.make [| cfg.seed; 211 * (k + 1) |] in
+    let rng = reader_rng ~seed:cfg.seed k in
     let sr_specs = Array.of_list (SR.all sc) in
     let cr_specs = Array.of_list (CR.all sc) in
     let reads = ref 0 and rows_total = ref 0 and hits = ref 0 in

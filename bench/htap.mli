@@ -99,6 +99,12 @@ type result = {
 val si_violations : result -> int
 (** Sum of monotone-read, lost-update and conservation violations. *)
 
+val writer_rng : seed:int -> int -> Random.State.t
+val reader_rng : seed:int -> int -> Random.State.t
+(** The RNG stream of writer/reader domain [k]: a pure function of
+    [(seed, role, k)], so any run - and any reported SI violation - is
+    replayable from its config's seed alone. *)
+
 val run : config -> result
 (** Seed a dataset, run the concurrent workload for the configured
     simulated duration, quiesce, and check the snapshot-isolation

@@ -1,0 +1,521 @@
+(* Crash-to-ready recovery benchmark (recover-bench).
+
+   Two parts:
+
+   1. Latency table: seed an SNB dataset, dirty it with a seeded update
+      mix, then for each domain count crash the engine and measure the
+      simulated crash-to-ready latency of [Core.reopen] (per-phase
+      breakdown from [Recovery.report]).  A serial repair pass runs
+      before the first measurement so every measured recovery starts
+      from the same durable image.
+
+   2. Randomized battery: record the persist trace of a deterministic
+      SNB update mix, sample crash points uniformly over its
+      store/clwb/sfence events, and for each point cut power there
+      (via [Pmem.Faults]), recover once per domain count, check a
+      structural oracle and assert that every domain count rebuilds
+      bit-identical volatile state (dictionary codes, free-slot lists,
+      index contents, MVTO watermark).
+
+   Results are emitted as BENCH_recovery.json. *)
+
+module Json = Htap.Json
+module Pool = Pmem.Pool
+module Faults = Pmem.Faults
+module CE = Pmem.Crash_explorer
+module G = Storage.Graph_store
+module Table = Storage.Table
+module Dict = Storage.Dict
+module Props = Storage.Props
+module Value = Storage.Value
+module Mvto = Mvcc.Mvto
+module Index = Gindex.Index
+module Btree = Gindex.Btree
+module IU = Snb.Updates
+
+type config = {
+  sf : float;  (** scale factor of the latency-table dataset *)
+  seed : int;
+  threads : int list;  (** domain counts to measure; must include 1 *)
+  battery_points : int;  (** sampled crash points; 0 disables the battery *)
+  battery_sf : float;  (** scale factor of the battery drill dataset *)
+  min_speedup : float;  (** required serial/parallel ratio; 0 disables *)
+}
+
+let default_config =
+  {
+    sf = 0.05;
+    seed = 42;
+    threads = [ 1; 2; 4 ];
+    battery_points = 0;
+    battery_sf = 0.01;
+    min_speedup = 0.;
+  }
+
+type battery_result = {
+  points : int;
+  fired : int;  (** plans whose crash point actually cut power *)
+  domain_counts : int list;
+  trace_stores : int;
+  trace_flushes : int;
+  trace_fences : int;
+}
+
+type result = {
+  cfg : config;
+  runs : Recovery.report list;  (** one per [cfg.threads] entry, in order *)
+  speedup : float;
+      (** serial crash-to-ready latency over the best parallel one *)
+  battery : battery_result option;
+}
+
+exception Battery_failure of string
+
+let failf fmt = Printf.ksprintf (fun s -> raise (Battery_failure s)) fmt
+
+(* --- shared workload pieces --------------------------------------------- *)
+
+let indexed_labels = [ "Person"; "Post"; "Comment"; "Forum"; "Place"; "Tag" ]
+
+let update_mix db ds ~seed ~ops =
+  let sc = ds.Snb.Gen.schema in
+  let rng = Random.State.make [| seed; 0xD411 |] in
+  let ctx = IU.make_ctx () in
+  let nspec = List.length IU.all in
+  for _ = 1 to ops do
+    let spec = List.nth IU.all (Random.State.int rng nspec) in
+    let params = spec.IU.draw ds rng ctx in
+    ignore (Core.execute_update db ~params (spec.IU.plan sc))
+  done
+
+(* --- 1. latency table ---------------------------------------------------- *)
+
+let measure cfg =
+  let db = Core.create ~mode:`Pmem ~pool_size:(1 lsl 27) () in
+  let ds =
+    Snb.Gen.generate
+      ~params:{ Snb.Gen.default_params with sf = cfg.sf }
+      (Core.store db)
+  in
+  List.iter
+    (fun l -> ignore (Core.create_index db ~label:l ~prop:"id" ()))
+    indexed_labels;
+  update_mix db ds ~seed:cfg.seed ~ops:30;
+  (* repair pass: reclaim/scrub once so each measured run below starts
+     from the same durable image and does the same amount of work *)
+  Core.crash db;
+  let db = ref (Core.reopen db) in
+  let reports =
+    List.map
+      (fun n ->
+        (* leave one transaction in flight so the mvcc phase has a lock
+           to scrub and an insert to reclaim *)
+        let txn = Core.begin_txn !db in
+        ignore
+          (Core.create_node !db txn ~label:"Person"
+             ~props:[ ("id", Value.Int (-1)) ]);
+        Core.crash !db;
+        db := Core.reopen ~recovery_threads:n !db;
+        match Core.last_recovery !db with
+        | Some r -> r
+        | None -> assert false)
+      cfg.threads
+  in
+  let serial =
+    try List.find (fun r -> r.Recovery.r_threads = 1) reports
+    with Not_found -> invalid_arg "recover-bench: threads must include 1"
+  in
+  let best_parallel =
+    List.fold_left
+      (fun acc r ->
+        if r.Recovery.r_threads > 1 then min acc r.Recovery.r_total_ns else acc)
+      max_int reports
+  in
+  let speedup =
+    if best_parallel = max_int then 1.
+    else float_of_int serial.Recovery.r_total_ns /. float_of_int best_parallel
+  in
+  (reports, speedup)
+
+(* --- 2. randomized crash-point battery ----------------------------------- *)
+
+type drill = { db : Core.t; ds : Snb.Gen.dataset }
+
+(* Deterministic drill instance covering all three index placements. *)
+let drill_fresh cfg () =
+  let db = Core.create ~mode:`Pmem ~pool_size:(1 lsl 25) ~chunk_capacity:256 () in
+  let ds =
+    Snb.Gen.generate
+      ~params:{ Snb.Gen.default_params with sf = cfg.battery_sf }
+      (Core.store db)
+  in
+  (* all three index placements recover through different paths *)
+  ignore
+    (Core.create_index ~placement:Gindex.Node_store.Persistent db ~label:"Post"
+       ~prop:"id" ());
+  ignore
+    (Core.create_index ~placement:Gindex.Node_store.Volatile db
+       ~label:"Comment" ~prop:"id" ());
+  List.iter
+    (fun l -> ignore (Core.create_index db ~label:l ~prop:"id" ()))
+    [ "Person"; "Forum"; "Place"; "Tag" ];
+  { db; ds }
+
+let drill_mix cfg st = update_mix st.db st.ds ~seed:cfg.seed ~ops:10
+
+let drill_indexes = [ "Person"; "Post"; "Comment" ]
+
+(* Volatile-state fingerprint of a recovered engine: equal fingerprints
+   mean recovery rebuilt identical dictionary codes, free-slot lists,
+   index contents and MVTO watermark. *)
+let signature db =
+  let buf = Buffer.create 4096 in
+  let store = Core.store db in
+  let dict = G.dict store in
+  Buffer.add_string buf (Printf.sprintf "dict/count=%d\n" (Dict.count dict));
+  for c = 1 to (2 * Dict.count dict) + 16 do
+    match Dict.decode dict c with
+    | s -> Buffer.add_string buf (Printf.sprintf "dict/%d=%s\n" c s)
+    | exception _ -> ()
+  done;
+  List.iter
+    (fun (name, tbl) ->
+      Buffer.add_string buf
+        (Printf.sprintf "free/%s=%s\n" name
+           (String.concat ","
+              (List.map string_of_int (Table.free_slots tbl)))))
+    [
+      ("nodes", G.node_table store);
+      ("rels", G.rel_table store);
+      ("props", Props.table (G.prop_store store));
+    ];
+  Buffer.add_string buf
+    (Printf.sprintf "mvto/next_ts=%d\n" (Mvto.next_ts (Core.mgr db)));
+  List.iter
+    (fun label ->
+      match (Dict.lookup dict label, Dict.lookup dict "id") with
+      | Some lc, Some kc -> (
+          match Core.index_lookup_fn db ~label:lc ~key:kc with
+          | None -> Buffer.add_string buf (Printf.sprintf "idx/%s=absent\n" label)
+          | Some idx ->
+              Buffer.add_string buf
+                (Printf.sprintf "idx/%s/count=%d\n" label (Index.count idx));
+              Btree.iter_all (Index.tree idx) (fun k v ->
+                  Buffer.add_string buf
+                    (Printf.sprintf "idx/%s/%Ld=%Ld\n" label k v)))
+      | _ -> Buffer.add_string buf (Printf.sprintf "idx/%s=nocode\n" label))
+    drill_indexes;
+  Buffer.contents buf
+
+(* Structural oracle over a recovered drill: the engine serves
+   transactions, every index satisfies the B+-tree invariants and agrees
+   exactly with a storage scan of its (label, "id") population. *)
+let drill_oracle db =
+  let store = Core.store db in
+  let dict = G.dict store in
+  List.iter
+    (fun label ->
+      match (Dict.lookup dict label, Dict.lookup dict "id") with
+      | Some lc, Some kc -> (
+          match Core.index_lookup_fn db ~label:lc ~key:kc with
+          | None -> failf "index on (%s, id) missing after recovery" label
+          | Some idx ->
+              Btree.check_invariants (Index.tree idx);
+              let expect = ref [] in
+              G.iter_nodes store (fun id ->
+                  if G.node_label store id = lc then
+                    match G.node_prop store id kc with
+                    | Some v -> expect := (v, id) :: !expect
+                    | None -> ());
+              let n = List.length !expect in
+              if Index.count idx <> n then
+                failf "(%s, id): index has %d entries, storage has %d" label
+                  (Index.count idx) n;
+              List.iter
+                (fun (v, id) ->
+                  if not (List.mem id (Index.lookup idx v)) then
+                    failf "(%s, id): node %d missing under %s" label id
+                      (Value.to_string v))
+                !expect)
+      | _ -> failf "dictionary lost the codes for (%s, id)" label)
+    drill_indexes;
+  let probe =
+    Core.with_txn db (fun txn -> Core.create_node db txn ~label:"Probe" ~props:[])
+  in
+  Core.with_txn db (fun txn -> Core.delete_node db txn probe);
+  Core.with_txn db (fun _ -> ())
+
+(* Cut power at [plan]'s crash point during the drill mix, recover with
+   [threads] domains; returns whether the plan fired plus the
+   fingerprint (computed before the oracle's probe transactions). *)
+let battery_run cfg ~threads ~plan =
+  let st = drill_fresh cfg () in
+  let pool = Core.pool st.db in
+  let media = Core.media st.db in
+  Faults.install ~pool media plan;
+  let fired =
+    Fun.protect ~finally:(fun () -> Faults.uninstall media) @@ fun () ->
+    match drill_mix cfg st with
+    | () -> false
+    | exception Faults.Crash_point _ -> true
+  in
+  Pool.crash pool;
+  let db = Core.reopen ~recovery_threads:threads st.db in
+  let s = signature db in
+  drill_oracle db;
+  (fired, s)
+
+let battery cfg =
+  let domain_counts = cfg.threads in
+  (* one clean run to capture the persist trace of the update mix *)
+  let st0 = drill_fresh cfg () in
+  let trace =
+    CE.record (Core.media st0.db) (fun () -> drill_mix cfg st0)
+  in
+  drill_oracle (Core.reopen st0.db);
+  let ns = CE.stores trace
+  and nf = CE.flushes trace
+  and nfe = CE.fences trace in
+  let total = ns + nf + nfe in
+  if total = 0 then failf "empty persist trace";
+  let rng = Random.State.make [| cfg.seed; 0xBA77 |] in
+  let fired_total = ref 0 in
+  for point = 1 to cfg.battery_points do
+    (* uniform over all trace events, mapped to (kind, 1-based ordinal) *)
+    let j = Random.State.int rng total in
+    let kind, ordinal =
+      if j < ns then (`Write, j + 1)
+      else if j < ns + nf then (`Flush, j - ns + 1)
+      else (`Fence, j - ns - nf + 1)
+    in
+    (* every 4th point also evicts/tears still-dirty lines at the cut;
+       the plan seed is shared across domain counts so the frozen image
+       is identical for each of them *)
+    let mk_plan () =
+      if point mod 4 = 0 then
+        Faults.plan ~crash_at:(kind, ordinal) ~evict_prob:0.5 ~torn_prob:0.25
+          ~seed:(cfg.seed + (7919 * point))
+          ()
+      else Faults.plan ~crash_at:(kind, ordinal) ()
+    in
+    let outcomes =
+      List.map
+        (fun n -> (n, battery_run cfg ~threads:n ~plan:(mk_plan ())))
+        domain_counts
+    in
+    (match outcomes with
+    | [] -> ()
+    | (n0, (fired0, sig0)) :: rest ->
+        if fired0 then incr fired_total;
+        List.iter
+          (fun (n, (fired, s)) ->
+            if fired <> fired0 then
+              failf "point %d: plan fired with %d domains but not with %d"
+                point
+                (if fired then n else n0)
+                (if fired then n0 else n);
+            if s <> sig0 then
+              failf
+                "point %d (%s #%d): %d-domain recovery diverged from \
+                 %d-domain recovery"
+                point
+                (match kind with
+                | `Write -> "store"
+                | `Flush -> "clwb"
+                | `Fence -> "sfence")
+                ordinal n n0)
+          rest)
+  done;
+  {
+    points = cfg.battery_points;
+    fired = !fired_total;
+    domain_counts;
+    trace_stores = ns;
+    trace_flushes = nf;
+    trace_fences = nfe;
+  }
+
+(* --- driver and JSON ------------------------------------------------------ *)
+
+let run cfg =
+  let runs, speedup = measure cfg in
+  let battery =
+    if cfg.battery_points > 0 then Some (battery cfg) else None
+  in
+  { cfg; runs; speedup; battery }
+
+let json_of_report (r : Recovery.report) =
+  Json.Obj
+    [
+      ("threads", Json.Int r.Recovery.r_threads);
+      ("total_ns", Json.Int r.Recovery.r_total_ns);
+      ("records_scanned", Json.Int r.Recovery.r_scanned);
+      ( "phases",
+        Json.List
+          (List.map
+             (fun p ->
+               Json.Obj
+                 [
+                   ("name", Json.Str p.Recovery.ph_name);
+                   ("ns", Json.Int p.Recovery.ph_ns);
+                   ("records", Json.Int p.Recovery.ph_records);
+                 ])
+             r.Recovery.r_phases) );
+    ]
+
+let to_json r =
+  let battery =
+    match r.battery with
+    | None -> Json.Null
+    | Some b ->
+        Json.Obj
+          [
+            ("points", Json.Int b.points);
+            ("fired", Json.Int b.fired);
+            ("domain_counts", Json.List (List.map (fun n -> Json.Int n) b.domain_counts));
+            ("trace_stores", Json.Int b.trace_stores);
+            ("trace_flushes", Json.Int b.trace_flushes);
+            ("trace_fences", Json.Int b.trace_fences);
+          ]
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("schema", Json.Str "poseidon/recovery-bench/v1");
+         ( "config",
+           Json.Obj
+             [
+               ("sf", Json.Float r.cfg.sf);
+               ("seed", Json.Int r.cfg.seed);
+               ( "threads",
+                 Json.List (List.map (fun n -> Json.Int n) r.cfg.threads) );
+               ("battery_points", Json.Int r.cfg.battery_points);
+               ("battery_sf", Json.Float r.cfg.battery_sf);
+               ("min_speedup", Json.Float r.cfg.min_speedup);
+             ] );
+         ("runs", Json.List (List.map json_of_report r.runs));
+         ("speedup", Json.Float r.speedup);
+         ("battery", battery);
+       ])
+
+let write_json path r =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_json r);
+      output_char oc '\n')
+
+let phase_names = [ "pmdk_log"; "tables"; "dict"; "mvcc"; "indexes" ]
+
+let validate ?(min_speedup = 0.) s =
+  let ( let* ) = Result.bind in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  match Json.parse s with
+  | exception Json.Parse_error m -> err "parse error: %s" m
+  | doc ->
+      let* () =
+        match Json.member "schema" doc with
+        | Some (Json.Str "poseidon/recovery-bench/v1") -> Ok ()
+        | _ -> err "missing or unexpected schema tag"
+      in
+      let* runs =
+        match Json.member "runs" doc with
+        | Some (Json.List (_ :: _ as l)) -> Ok l
+        | _ -> err "runs missing or empty"
+      in
+      let* () =
+        List.fold_left
+          (fun acc run ->
+            let* () = acc in
+            let* total =
+              match Json.to_int (Json.member "total_ns" run) with
+              | Some t when t > 0 -> Ok t
+              | _ -> err "run without positive total_ns"
+            in
+            let* phases =
+              match Json.member "phases" run with
+              | Some (Json.List l) -> Ok l
+              | _ -> err "run without phases"
+            in
+            let names =
+              List.filter_map
+                (fun p ->
+                  match Json.member "name" p with
+                  | Some (Json.Str n) -> Some n
+                  | _ -> None)
+                phases
+            in
+            let* () =
+              if List.for_all (fun n -> List.mem n names) phase_names then
+                Ok ()
+              else err "run is missing a recovery phase"
+            in
+            let sum =
+              List.fold_left
+                (fun a p ->
+                  match Json.to_int (Json.member "ns" p) with
+                  | Some ns -> a + ns
+                  | None -> a)
+                0 phases
+            in
+            if sum = total then Ok ()
+            else err "phase timings do not sum to total_ns")
+          (Ok ()) runs
+      in
+      let* () =
+        let has_serial =
+          List.exists
+            (fun run -> Json.to_int (Json.member "threads" run) = Some 1)
+            runs
+        in
+        if has_serial then Ok () else err "no serial (threads=1) run"
+      in
+      let* sp =
+        match Json.member "speedup" doc with
+        | Some (Json.Float f) -> Ok f
+        | Some (Json.Int i) -> Ok (float_of_int i)
+        | _ -> err "speedup missing"
+      in
+      if sp +. 1e-9 < min_speedup then
+        err "speedup %.2fx below required %.2fx" sp min_speedup
+      else Ok ()
+
+let validate_file ?min_speedup path =
+  let ic = open_in_bin path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  validate ?min_speedup s
+
+let print_summary r =
+  Printf.printf "crash-to-ready recovery (sf=%.2f, seed=%d):\n" r.cfg.sf
+    r.cfg.seed;
+  Printf.printf "  %-8s%14s%12s%12s%12s%12s%12s\n" "domains" "total sim-us"
+    "pmdk_log" "tables" "dict" "mvcc" "indexes";
+  List.iter
+    (fun (rep : Recovery.report) ->
+      let phase_us name =
+        match
+          List.find_opt (fun p -> p.Recovery.ph_name = name) rep.Recovery.r_phases
+        with
+        | Some p -> float_of_int p.Recovery.ph_ns /. 1e3
+        | None -> 0.
+      in
+      Printf.printf "  %-8d%14.1f%12.1f%12.1f%12.1f%12.1f%12.1f\n"
+        rep.Recovery.r_threads
+        (float_of_int rep.Recovery.r_total_ns /. 1e3)
+        (phase_us "pmdk_log") (phase_us "tables") (phase_us "dict")
+        (phase_us "mvcc") (phase_us "indexes"))
+    r.runs;
+  Printf.printf "  speedup (serial / best parallel): %.2fx\n" r.speedup;
+  match r.battery with
+  | None -> ()
+  | Some b ->
+      Printf.printf
+        "  battery: %d crash points (%d fired) over a %d-store / %d-clwb / \
+         %d-sfence trace, domain counts %s: all recoveries equivalent\n"
+        b.points b.fired b.trace_stores b.trace_flushes b.trace_fences
+        (String.concat "," (List.map string_of_int b.domain_counts))

@@ -1,0 +1,54 @@
+(** Crash-to-ready recovery benchmark: a serial-vs-parallel latency
+    table for {!Core.reopen} (per-phase breakdown from
+    {!Recovery.report}) plus a randomized crash-point battery asserting
+    that recovery at every domain count rebuilds identical volatile
+    state.  Results are emitted as BENCH_recovery.json. *)
+
+type config = {
+  sf : float;  (** scale factor of the latency-table dataset *)
+  seed : int;
+  threads : int list;  (** domain counts to measure; must include 1 *)
+  battery_points : int;  (** sampled crash points; 0 disables the battery *)
+  battery_sf : float;  (** scale factor of the battery drill dataset *)
+  min_speedup : float;  (** required serial/parallel ratio; 0 disables *)
+}
+
+val default_config : config
+
+type battery_result = {
+  points : int;
+  fired : int;  (** plans whose crash point actually cut power *)
+  domain_counts : int list;
+  trace_stores : int;
+  trace_flushes : int;
+  trace_fences : int;
+}
+
+type result = {
+  cfg : config;
+  runs : Recovery.report list;  (** one per [cfg.threads] entry, in order *)
+  speedup : float;
+      (** serial crash-to-ready latency over the best parallel one *)
+  battery : battery_result option;
+}
+
+exception Battery_failure of string
+(** A sampled crash point violated the oracle, or two domain counts
+    rebuilt different state. *)
+
+val run : config -> result
+(** Raises {!Battery_failure} on the first violated crash point; the
+    speedup itself is reported, not enforced (see {!validate}). *)
+
+val to_json : result -> string
+val write_json : string -> result -> unit
+
+val validate : ?min_speedup:float -> string -> (unit, string) Stdlib.result
+(** Validate an emitted BENCH_recovery.json document: parses, has a
+    serial run, every run carries all five recovery phases with timings
+    summing to its total, and the speedup reaches [min_speedup]. *)
+
+val validate_file :
+  ?min_speedup:float -> string -> (unit, string) Stdlib.result
+
+val print_summary : result -> unit

@@ -8,6 +8,7 @@
      stats      media/cost-model statistics for a workload mix
      faults     exhaustive crash-schedule sweep + SSD fault drill
      htap       concurrent writers + analytic readers, JSON metrics
+     recover-bench  serial-vs-parallel crash-to-ready latency + battery
 
    Examples:
      poseidon_cli generate --sf 0.5
@@ -454,6 +455,55 @@ let metrics_out_t =
   in
   Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
 
+(* --- recover-bench ------------------------------------------------------------- *)
+
+let recover_bench sf seed threads battery_points min_speedup out =
+  let rec doubling n = if n >= threads then [ threads ] else n :: doubling (n * 2) in
+  let threads_list = if threads <= 1 then [ 1 ] else 1 :: doubling 2 in
+  let cfg =
+    {
+      Recovery_bench.default_config with
+      sf;
+      seed;
+      threads = threads_list;
+      battery_points;
+      min_speedup;
+    }
+  in
+  (match Recovery_bench.run cfg with
+  | r ->
+      Recovery_bench.print_summary r;
+      Recovery_bench.write_json out r;
+      (match Recovery_bench.validate_file ~min_speedup out with
+      | Ok () -> Printf.printf "OK: %s written and validated\n" out
+      | Error msg ->
+          Printf.printf "FAILED: %s invalid: %s\n" out msg;
+          exit 1)
+  | exception Recovery_bench.Battery_failure msg ->
+      Printf.printf "FAILED: recovery battery: %s\n" msg;
+      exit 1)
+
+let rb_threads_t =
+  let doc =
+    "Maximum recovery domains; the bench measures 1,2,4,...,$(docv)."
+  in
+  Arg.(value & opt int 4 & info [ "threads" ] ~docv:"N" ~doc)
+
+let rb_points_t =
+  let doc = "Randomized crash points to sample (0 disables the battery)." in
+  Arg.(value & opt int 0 & info [ "battery-points" ] ~doc)
+
+let rb_min_speedup_t =
+  let doc =
+    "Fail unless parallel recovery is at least $(docv) times faster than \
+     serial (0 disables the check)."
+  in
+  Arg.(value & opt float 0. & info [ "min-speedup" ] ~docv:"X" ~doc)
+
+let rb_out_t =
+  let doc = "Output path for the machine-readable results." in
+  Arg.(value & opt string "BENCH_recovery.json" & info [ "out" ] ~doc)
+
 (* --- query (Cypher-like) -------------------------------------------------------- *)
 
 let query_run sf storage engine qstr params explain profile =
@@ -595,6 +645,17 @@ let htap_cmd =
       const htap $ sf_t $ mode_t $ engine_t $ writers_t $ readers_t
       $ duration_t $ workers_t $ seed_t $ out_t $ profile_t $ metrics_out_t)
 
+let recover_bench_cmd =
+  Cmd.v
+    (Cmd.info "recover-bench"
+       ~doc:
+         "Crash-to-ready recovery benchmark: serial-vs-parallel latency \
+          table with per-phase breakdown, optional randomized crash-point \
+          battery; emits BENCH_recovery.json")
+    Term.(
+      const recover_bench $ sf_t $ seed_t $ rb_threads_t $ rb_points_t
+      $ rb_min_speedup_t $ rb_out_t)
+
 let query_cmd =
   Cmd.v
     (Cmd.info "query"
@@ -620,5 +681,5 @@ let () =
        (Cmd.group info
           [
             generate_cmd; sr_cmd; iu_cmd; crash_cmd; stats_cmd; faults_cmd;
-            htap_cmd; query_cmd;
+            htap_cmd; recover_bench_cmd; query_cmd;
           ]))

@@ -51,6 +51,8 @@ type t = {
   jit_cache : Jit.Cache.t;
   mutable workers : Exec.Task_pool.t option;
   index_placement : Gindex.Node_store.placement;
+  mutable last_recovery : Recovery.report option;
+      (* per-phase crash-to-ready timings of the most recent reopen *)
 }
 
 let default_pool_size = 1 lsl 26
@@ -75,6 +77,7 @@ let create ?(mode = `Pmem) ?(pool_size = default_pool_size) ?chunk_capacity
     jit_cache;
     workers = None;
     index_placement;
+    last_recovery = None;
   }
 
 let media t = t.media
@@ -115,21 +118,20 @@ let rebuild_index store idx =
         | None -> ())
 
 (* Reattach after a crash: PMDK-log rollback, table/dict recovery, MVTO
-   lock scrubbing, index recovery per placement, JIT cache reattach. *)
-let reopen (old : t) =
+   lock scrubbing, index recovery per placement, JIT cache reattach.
+   All the volatile-structure rebuilds are delegated to the [Recovery]
+   orchestrator; [recovery_threads] > 1 runs them over that many task
+   pool domains (the rebuilt state is identical to serial recovery). *)
+let reopen ?(recovery_threads = 1) (old : t) =
   let pool = old.pool in
-  let store = G.open_ pool in
-  let mgr = Mvto.recover store in
-  let catalog = Gindex.Index.Catalog.attach pool ~root_slot:G.root_index in
+  let r = Recovery.run ~threads:recovery_threads pool in
+  let store = Recovery.store r in
+  let mgr = Recovery.mgr r in
   let indexes =
     List.map
-      (fun desc ->
-        let idx =
-          Gindex.Index.open_ pool ~desc ~rebuild:(fun fresh ->
-              rebuild_index store fresh)
-        in
+      (fun idx ->
         ((Gindex.Index.label_code idx, Gindex.Index.key_code idx), idx))
-      (Gindex.Index.Catalog.list pool ~catalog)
+      (Recovery.indexes r)
   in
   let jit_cache = Jit.Cache.open_or_create pool ~root_slot:G.root_jit in
   Log.info (fun m ->
@@ -143,11 +145,14 @@ let reopen (old : t) =
     store;
     mgr;
     indexes;
-    catalog;
+    catalog = Recovery.catalog r;
     jit_cache;
     workers = None;
     index_placement = old.index_placement;
+    last_recovery = Some (Recovery.report r);
   }
+
+let last_recovery t = t.last_recovery
 
 (* --- Transactions ------------------------------------------------------------------ *)
 
@@ -220,6 +225,9 @@ let with_txn t f =
   | v ->
       commit t txn;
       v
+  (* an injected power cut may fire while an engine mutex is held; there
+     is no process left to clean up after, so no abort processing *)
+  | exception (Pmem.Faults.Crash_point _ as e) -> raise e
   | exception e ->
       if Txn.is_active txn then abort t txn;
       Mvto.note_abort_class t.mgr e;
@@ -354,6 +362,7 @@ let execute_update ?(mode = Engine.Interp) ?config t ~params plan =
       let commit_ns = Media.clock t.media - c0 in
       apply_index_ops t ops;
       (rows, report, commit_ns)
+  | exception (Pmem.Faults.Crash_point _ as e) -> raise e
   | exception e ->
       if Txn.is_active txn then abort t txn;
       raise e

@@ -44,10 +44,16 @@ val crash : ?evict_prob:float -> t -> unit
 (** Simulate a power failure: all unflushed stores are lost (each dirty
     line survives with probability [evict_prob]). *)
 
-val reopen : t -> t
+val reopen : ?recovery_threads:int -> t -> t
 (** Recover after {!crash}: PMDK-log rollback, table/dictionary
     reattachment, MVTO lock scrubbing and timestamp restart, per-placement
-    index recovery, JIT-cache reattachment. *)
+    index recovery, JIT-cache reattachment.  [recovery_threads] > 1 runs
+    the rebuild phases on that many task-pool domains via {!Recovery};
+    the rebuilt state is identical to the serial default. *)
+
+val last_recovery : t -> Recovery.report option
+(** Per-phase crash-to-ready report of the {!reopen} that produced this
+    handle; [None] on a freshly created database. *)
 
 val set_workers : t -> int -> unit
 (** Size the morsel-execution pool (0/1 disables parallel execution). *)

@@ -39,6 +39,7 @@ type t = {
   queue : task Queue.t;
   mutable stop : bool;
   mutable workers : unit Domain.t list;
+  mutable meter_ids : int list; (* per-worker media meters, spawn order *)
   nworkers : int;
   media : Pmem.Media.t option;
   obs : handles option;
@@ -46,7 +47,12 @@ type t = {
 
 let worker_loop t =
   (match t.media with
-  | Some m -> ignore (Pmem.Media.install_meter m)
+  | Some m ->
+      let id = Pmem.Media.install_meter m in
+      Mutex.lock t.mu;
+      t.meter_ids <- t.meter_ids @ [ id ];
+      Condition.broadcast t.all_done;
+      Mutex.unlock t.mu
   | None -> ());
   let rec loop () =
     Mutex.lock t.mu;
@@ -100,6 +106,7 @@ let create ?media ~nworkers () =
       queue = Queue.create ();
       stop = false;
       workers = [];
+      meter_ids = [];
       nworkers;
       media;
       obs;
@@ -109,6 +116,22 @@ let create ?media ~nworkers () =
   t
 
 let size t = t.nworkers
+
+(* Meter ids of the worker domains.  Blocks until every worker has
+   installed its meter (workers register right after spawn), so callers
+   can read per-worker busy time without racing the spawn.  Empty when
+   the pool has no media. *)
+let worker_meters t =
+  match t.media with
+  | None -> []
+  | Some _ ->
+      Mutex.lock t.mu;
+      while List.length t.meter_ids < t.nworkers do
+        Condition.wait t.all_done t.mu
+      done;
+      let ids = List.sort compare t.meter_ids in
+      Mutex.unlock t.mu;
+      ids
 
 (* A batch owns its error slot and completion count; completion is
    signalled on the pool-wide [all_done] condition, which every waiter

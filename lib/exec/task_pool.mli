@@ -16,6 +16,12 @@ type t
 val create : ?media:Pmem.Media.t -> nworkers:int -> unit -> t
 val size : t -> int
 
+val worker_meters : t -> int list
+(** Per-worker media meter ids, in ascending order.  Blocks until every
+    worker domain has installed its meter, so it is safe to call right
+    after {!create} without racing worker spawn.  Returns [[]] when the
+    pool was created without a media. *)
+
 type batch
 (** A group of tasks submitted together.  Errors are isolated per
     batch: a raising morsel is re-raised exactly once, in the matching

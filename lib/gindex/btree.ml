@@ -266,21 +266,52 @@ let height t =
 
 (* Rebuild the inner levels from the persistent leaf chain - the hybrid
    index recovery path (paper Section 7.4: ~8 ms vs a 671 ms full
-   rebuild). *)
-let rebuild_from_leaves s ~first_leaf =
-  let leaves = ref [] and n = ref 0 and entries = ref 0 in
-  let h = ref first_leaf in
+   rebuild).  Split into primitives so recovery can parallelise the
+   leaf reads across task-pool domains:
+
+   - [leaf_handles]: walk the chain via uncharged next-pointer reads
+     (pointer chasing only, no payload);
+   - [read_leaf_info]: charge one node touch and read min key + entry
+     count — independent per leaf, safe to run concurrently over
+     disjoint slices of the handle array;
+   - [build_from_leaf_infos]: serial DRAM inner-node construction (the
+     node store's heap allocator is not thread-safe). *)
+
+type leaf_info = {
+  li_handle : int;
+  li_min : int64;
+  li_entries : int;
+  li_pairs : (int64 * int64) array; (* key/value pairs, in leaf order *)
+}
+
+let leaf_handles s ~first_leaf =
+  (* [get_next] is an uncharged pointer read in every backend; the
+     payload charge happens in [read_leaf_info]'s touch *)
+  let acc = ref [] and h = ref first_leaf in
   while !h <> 0 do
-    s.S.touch !h;
-    let min_key = if s.S.nkeys !h > 0 then s.S.get_key !h 0 else Int64.min_int in
-    leaves := (min_key, !h) :: !leaves;
-    entries := !entries + s.S.nkeys !h;
-    incr n;
+    acc := !h :: !acc;
     h := s.S.get_next !h
   done;
+  Array.of_list (List.rev !acc)
+
+let read_leaf_info s h =
+  s.S.touch h;
+  let n = s.S.nkeys h in
+  {
+    li_handle = h;
+    li_min = (if n > 0 then s.S.get_key h 0 else Int64.min_int);
+    li_entries = n;
+    li_pairs = Array.init n (fun i -> (s.S.get_key h i, s.S.get_val h i));
+  }
+
+let build_from_leaf_infos s ~first_leaf infos =
+  let leaves =
+    Array.to_list (Array.map (fun li -> (li.li_min, li.li_handle)) infos)
+  in
+  let entries = Array.fold_left (fun a li -> a + li.li_entries) 0 infos in
   let rec build level =
     match level with
-    | [] -> invalid_arg "Btree.rebuild_from_leaves: empty chain"
+    | [] -> invalid_arg "Btree.build_from_leaf_infos: empty chain"
     | [ (_, h) ] -> h
     | _ ->
         let group = S.fanout + 1 in
@@ -312,8 +343,13 @@ let rebuild_from_leaves s ~first_leaf =
         in
         build (parents [] level)
   in
-  let root = build (List.rev !leaves) in
-  (attach s ~root ~first_leaf ~count:!entries, !n)
+  let root = build leaves in
+  attach s ~root ~first_leaf ~count:entries
+
+let rebuild_from_leaves s ~first_leaf =
+  let handles = leaf_handles s ~first_leaf in
+  let infos = Array.map (fun h -> read_leaf_info s h) handles in
+  (build_from_leaf_infos s ~first_leaf infos, Array.length handles)
 
 (* Structural invariant checks, used by property tests. *)
 let rec check_node t h ~lo ~hi depth =

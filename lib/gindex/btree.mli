@@ -34,6 +34,32 @@ val rebuild_from_leaves : Node_store.t -> first_leaf:int -> t * int
     index recovery fast path (Fig. 8).  Returns the tree and the number
     of leaves walked. *)
 
+(** {1 Staged leaf-chain rebuild}
+
+    {!rebuild_from_leaves} decomposed so recovery can parallelise the
+    charged leaf reads: {!leaf_handles} (uncharged pointer walk), then
+    {!read_leaf_info} per handle — independent, safe concurrently over
+    disjoint slices — then the serial {!build_from_leaf_infos} (the node
+    store's heap allocator is not thread-safe). *)
+
+type leaf_info = {
+  li_handle : int;
+  li_min : int64;
+  li_entries : int;
+  li_pairs : (int64 * int64) array;  (** key/value pairs, in leaf order *)
+}
+
+val leaf_handles : Node_store.t -> first_leaf:int -> int array
+val read_leaf_info : Node_store.t -> int -> leaf_info
+(** Charges one node touch; reads the leaf's min key, entry count and
+    contents (so recovery can reconcile against the node table without
+    a second charged pass over the leaves). *)
+
+val build_from_leaf_infos :
+  Node_store.t -> first_leaf:int -> leaf_info array -> t
+(** Serial inner-level construction from per-leaf summaries, in chain
+    order.  Identical result to {!rebuild_from_leaves}. *)
+
 val check_invariants : t -> unit
 (** Structural validation (sorted keys, separator bounds, uniform leaf
     depth, complete chain); raises [Failure] on violation.  Test use. *)

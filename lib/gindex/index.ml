@@ -73,6 +73,17 @@ let insert t key v =
 let remove t key v =
   Btree.remove t.tree (Storage.Value.index_key key) (Int64.of_int v)
 
+(* Removal by already-encoded key, for recovery reconciliation (which
+   reads raw keys out of the persistent leaves and has no [Value.t] to
+   hand).  Unlike [remove], re-syncs the descriptor when the structural
+   change moved the root or the first leaf. *)
+let remove_entry t key v =
+  let root = Btree.root t.tree and first = Btree.first_leaf t.tree in
+  let r = Btree.remove t.tree key (Int64.of_int v) in
+  if Btree.root t.tree <> root || Btree.first_leaf t.tree <> first then
+    sync_meta t;
+  r
+
 let lookup t key =
   List.map Int64.to_int (Btree.lookup t.tree (Storage.Value.index_key key))
 
@@ -113,6 +124,23 @@ let open_ pool ~desc ~rebuild =
       in
       rebuild t;
       t
+
+(* Descriptor accessors for recovery orchestration: let the recovery
+   subsystem read placement and chain anchors up front, run the charged
+   leaf reads on a task pool, and wrap the externally built tree. *)
+let desc_placement pool ~desc = placement_of_tag (Pool.read_int pool desc)
+let desc_root pool ~desc = Pool.read_int pool (desc + 8)
+let desc_first_leaf pool ~desc = Pool.read_int pool (desc + 16)
+
+(* Wrap an externally built tree with the descriptor's identity fields.
+   The caller guarantees the tree matches the descriptor's placement and
+   leaf chain (Recovery builds it via Btree.build_from_leaf_infos or
+   re-insertion). *)
+let attach_tree pool ~desc tree =
+  let placement = desc_placement pool ~desc in
+  let label = Pool.read_int pool (desc + 24) in
+  let key = Pool.read_int pool (desc + 32) in
+  { tree; desc; pool; placement; label; key }
 
 (* --- Catalog ------------------------------------------------------------ *)
 

@@ -22,11 +22,38 @@ val key_code : t -> int
 val tree : t -> Btree.t
 val insert : t -> Storage.Value.t -> int -> unit
 val remove : t -> Storage.Value.t -> int -> bool
+
+val remove_entry : t -> int64 -> int -> bool
+(** Removal by already-encoded key ({!Storage.Value.index_key}), for
+    recovery reconciliation; re-syncs the descriptor when the removal
+    moved the tree's root or first leaf. *)
+
 val lookup : t -> Storage.Value.t -> int list
 val iter_range :
   t -> lo:Storage.Value.t -> hi:Storage.Value.t -> (int -> unit) -> unit
 
 val count : t -> int
+
+(** {1 Recovery orchestration}
+
+    Descriptor accessors so a recovery subsystem can stage the rebuild
+    itself: read the anchors, perform the charged leaf reads on a task
+    pool, then wrap the finished tree with {!attach_tree}. *)
+
+val desc_placement : Pmem.Pool.t -> desc:int -> Node_store.placement
+val desc_root : Pmem.Pool.t -> desc:int -> int
+val desc_first_leaf : Pmem.Pool.t -> desc:int -> int
+
+val attach_tree : Pmem.Pool.t -> desc:int -> Btree.t -> t
+(** Wrap an externally built tree with the descriptor's identity fields;
+    the caller guarantees it matches the descriptor's placement and leaf
+    chain. *)
+
+val sync_meta : t -> unit
+(** Persist the descriptor's root / first-leaf anchors from the current
+    tree.  Recovery calls this after swapping in a rebuilt tree whose
+    root (or, on a corrupt-leaf fallback rebuild, whole leaf chain) is
+    freshly allocated. *)
 
 (** Persistent list of index descriptors, anchored in a pool root slot,
     so all indexes can be found and recovered after a restart. *)

@@ -790,39 +790,119 @@ let with_txn_retry ?(max_retries = 16) ?(backoff_ns = 500) ?rng t f =
      from the adjacency lists first);
    - the timestamp oracle restarts above every timestamp in the store. *)
 
-let recover store =
-  let t = create store in
-  let max_ts = ref 0 in
-  let dead_nodes = ref [] and dead_rels = ref [] in
-  let consider ~txn_id ~bts ~ets ~rts kind id =
-    max_ts := max !max_ts bts;
-    max_ts := max !max_ts rts;
-    if ets <> inf then max_ts := max !max_ts ets;
-    if txn_id <> 0 then begin
-      max_ts := max !max_ts txn_id;
-      if bts = txn_id then
-        match kind with
-        | Version.Node -> dead_nodes := id :: !dead_nodes
-        | Version.Rel -> dead_rels := id :: !dead_rels
-      else set_lock t (kind, id) 0
-    end
+(* The scan half is decomposed per chunk so a recovery orchestrator can
+   fan the header reads out over task-pool domains: each chunk scan is a
+   pure read (one line-granular header touch per record) producing
+   ascending id lists, scans of distinct chunks commute under
+   [merge_scans] as long as they are merged in chunk order, and
+   [apply_scan] performs all mutations serially afterwards. *)
+
+type recovery_scan = {
+  sc_max_ts : int;
+  sc_stale_nodes : int list; (* stale write locks to clear, ascending *)
+  sc_stale_rels : int list;
+  sc_dead_nodes : int list; (* uncommitted inserts to reclaim, ascending *)
+  sc_dead_rels : int list;
+  sc_scanned : int;
+}
+
+let empty_scan =
+  {
+    sc_max_ts = 0;
+    sc_stale_nodes = [];
+    sc_stale_rels = [];
+    sc_dead_nodes = [];
+    sc_dead_rels = [];
+    sc_scanned = 0;
+  }
+
+let scan_chunk ~kind ~iter ~off_of store ci =
+  let p = G.pool store in
+  let f_txn, f_bts, f_ets, f_rts = fields kind in
+  let max_ts = ref 0 and stale = ref [] and dead = ref [] and n = ref 0 in
+  iter store ci (fun id ->
+      incr n;
+      let off = off_of store id in
+      (* the four header words share one cache line (see [hdr]) *)
+      Pool.touch_read p ~off:(off + f_txn) ~len:(f_rts - f_txn + 8);
+      let txn_id = Pool.raw_read_int p (off + f_txn) in
+      let bts = Pool.raw_read_int p (off + f_bts) in
+      let ets = Pool.raw_read_int p (off + f_ets) in
+      let rts = Pool.raw_read_int p (off + f_rts) in
+      max_ts := max !max_ts bts;
+      max_ts := max !max_ts rts;
+      if ets <> inf then max_ts := max !max_ts ets;
+      if txn_id <> 0 then begin
+        max_ts := max !max_ts txn_id;
+        if bts = txn_id then dead := id :: !dead else stale := id :: !stale
+      end);
+  (!max_ts, List.rev !stale, List.rev !dead, !n)
+
+let scan_node_chunk store ci =
+  let max_ts, stale, dead, n =
+    scan_chunk ~kind:Version.Node ~iter:G.iter_nodes_chunk ~off_of:G.node_off
+      store ci
   in
-  G.iter_nodes store (fun id ->
-      let n = G.read_node store id in
-      consider ~txn_id:n.Layout.txn_id ~bts:n.Layout.bts ~ets:n.Layout.ets
-        ~rts:n.Layout.rts Version.Node id);
-  G.iter_rels store (fun id ->
-      let r = G.read_rel store id in
-      consider ~txn_id:r.Layout.rtxn_id ~bts:r.Layout.rbts ~ets:r.Layout.rets
-        ~rts:r.Layout.rrts Version.Rel id);
-  List.iter (fun id -> G.remove_rel store id) !dead_rels;
-  List.iter (fun id -> G.remove_node store id) !dead_nodes;
-  Atomic.set t.next_ts (!max_ts + 1);
+  {
+    empty_scan with
+    sc_max_ts = max_ts;
+    sc_stale_nodes = stale;
+    sc_dead_nodes = dead;
+    sc_scanned = n;
+  }
+
+let scan_rel_chunk store ci =
+  let max_ts, stale, dead, n =
+    scan_chunk ~kind:Version.Rel ~iter:G.iter_rels_chunk ~off_of:G.rel_off
+      store ci
+  in
+  {
+    empty_scan with
+    sc_max_ts = max_ts;
+    sc_stale_rels = stale;
+    sc_dead_rels = dead;
+    sc_scanned = n;
+  }
+
+let merge_scans a b =
+  {
+    sc_max_ts = max a.sc_max_ts b.sc_max_ts;
+    sc_stale_nodes = a.sc_stale_nodes @ b.sc_stale_nodes;
+    sc_stale_rels = a.sc_stale_rels @ b.sc_stale_rels;
+    sc_dead_nodes = a.sc_dead_nodes @ b.sc_dead_nodes;
+    sc_dead_rels = a.sc_dead_rels @ b.sc_dead_rels;
+    sc_scanned = a.sc_scanned + b.sc_scanned;
+  }
+
+(* Serial mutation half: clear stale locks, reclaim uncommitted inserts
+   (relationships before nodes, so adjacency unlinking sees live
+   endpoints), restart the timestamp oracle above everything seen. *)
+let apply_scan store sc =
+  let t = create store in
+  List.iter (fun id -> set_lock t (Version.Node, id) 0) sc.sc_stale_nodes;
+  List.iter (fun id -> set_lock t (Version.Rel, id) 0) sc.sc_stale_rels;
+  List.iter (fun id -> G.remove_rel store id) sc.sc_dead_rels;
+  List.iter (fun id -> G.remove_node store id) sc.sc_dead_nodes;
+  Atomic.set t.next_ts (sc.sc_max_ts + 1);
   Log.info (fun m ->
       m "recovery: %d uncommitted inserts reclaimed (%d nodes, %d rels), next ts %d"
-        (List.length !dead_nodes + List.length !dead_rels)
-        (List.length !dead_nodes) (List.length !dead_rels) (!max_ts + 1));
+        (List.length sc.sc_dead_nodes + List.length sc.sc_dead_rels)
+        (List.length sc.sc_dead_nodes)
+        (List.length sc.sc_dead_rels)
+        (sc.sc_max_ts + 1));
   t
+
+let recover store =
+  let sc = ref empty_scan in
+  for ci = 0 to G.node_chunks store - 1 do
+    sc := merge_scans !sc (scan_node_chunk store ci)
+  done;
+  for ci = 0 to G.rel_chunks store - 1 do
+    sc := merge_scans !sc (scan_rel_chunk store ci)
+  done;
+  apply_scan store !sc
+
+let next_ts t = Atomic.get t.next_ts
 
 (* --- Scans ---------------------------------------------------------------- *)
 

@@ -33,6 +33,35 @@ val recover : Storage.Graph_store.t -> t
     above every timestamp in the store.  (The PMDK undo log has already
     been rolled back by [Graph_store.open_].) *)
 
+(** {1 Staged recovery}
+
+    {!recover} decomposed so a recovery orchestrator can fan the header
+    scans out over task-pool domains: chunk scans are pure reads
+    producing ascending id lists; merge them in chunk order and hand the
+    result to the serial {!apply_scan}. *)
+
+type recovery_scan = {
+  sc_max_ts : int;
+  sc_stale_nodes : int list;  (** stale write locks to clear, ascending *)
+  sc_stale_rels : int list;
+  sc_dead_nodes : int list;  (** uncommitted inserts to reclaim, ascending *)
+  sc_dead_rels : int list;
+  sc_scanned : int;  (** records examined *)
+}
+
+val empty_scan : recovery_scan
+val scan_node_chunk : Storage.Graph_store.t -> int -> recovery_scan
+val scan_rel_chunk : Storage.Graph_store.t -> int -> recovery_scan
+(** One charged line-granular header read per live record; no writes. *)
+
+val merge_scans : recovery_scan -> recovery_scan -> recovery_scan
+val apply_scan : Storage.Graph_store.t -> recovery_scan -> t
+(** Serial mutation half of {!recover}: clear stale locks, reclaim dead
+    inserts (rels before nodes), restart the timestamp oracle. *)
+
+val next_ts : t -> int
+(** Current timestamp-oracle value (recovery equivalence checks). *)
+
 val store : t -> Storage.Graph_store.t
 val stats : t -> stats
 val chains : t -> Version.chains

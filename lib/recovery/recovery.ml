@@ -1,0 +1,419 @@
+(* Parallel crash-to-ready recovery orchestrator.
+
+   The paper's selective-persistence design (hybrid B+-trees with DRAM
+   inner nodes, DRAM dirty-version lists, volatile chunk mirrors, DRAM
+   dictionary mirror) trades restart work for runtime speed: every
+   reattach must rebuild those volatile structures before serving a
+   query.  This module discovers all of them from the pool's persistent
+   anchors and rebuilds them phase by phase, fanning the read-heavy work
+   out over [Exec.Task_pool] domains:
+
+     pmdk_log   PMDK undo-log rollback + DRAM directory mirrors (serial)
+     tables     free-slot lists of the node/rel/prop tables, one chunk
+                bitmap scan per task
+     dict       dictionary hash rebuild from the code array: parallel
+                string reads, serial DRAM probe layout, parallel writes
+                over disjoint 512 B-aligned hash regions
+     mvcc       MVTO header scans per chunk, merged in chunk order,
+                then the serial lock-scrub / reclaim / oracle restart
+                (before indexes, so reclaimed uncommitted inserts never
+                enter the index rebuild scans)
+     indexes    per the catalog: hybrid/persistent leaf reads by leaf
+                ranges plus node-table population scans by chunk;
+                inner-node construction, leaf-vs-population
+                reconciliation and corrupt-chain fallback rebuilds stay
+                serial (the node store's heap allocator is not
+                thread-safe)
+
+   Every parallel stage is either pure charged reads or writes over
+   regions partitioned on absolute 512-byte boundaries (one dirty-bitmap
+   byte covers one 512 B block), so tasks never race on simulated media
+   state.  Serial stages consume per-task results in deterministic chunk
+   order, so recovery with N domains yields state identical to serial
+   recovery — the property test battery asserts exactly that.
+
+   Phase timing uses per-domain media meters: a phase's simulated cost is
+   the coordinator's own charge delta plus the maximum per-worker delta
+   (workers run disjoint task subsets concurrently, so the slowest worker
+   bounds the phase). *)
+
+module Media = Pmem.Media
+module Pool = Pmem.Pool
+module G = Storage.Graph_store
+module Table = Storage.Table
+module Dict = Storage.Dict
+module Props = Storage.Props
+module Value = Storage.Value
+module Mvto = Mvcc.Mvto
+module Index = Gindex.Index
+module Btree = Gindex.Btree
+module Node_store = Gindex.Node_store
+module Task_pool = Exec.Task_pool
+
+let log_src =
+  Logs.Src.create "poseidon.recovery" ~doc:"parallel crash-to-ready recovery"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type phase_report = { ph_name : string; ph_ns : int; ph_records : int }
+
+type report = {
+  r_threads : int;
+  r_total_ns : int;
+  r_phases : phase_report list; (* in execution order *)
+  r_scanned : int;
+}
+
+type t = {
+  store : G.t;
+  mgr : Mvto.t;
+  indexes : Index.t list; (* catalog order *)
+  catalog : int;
+  report : report;
+}
+
+let store t = t.store
+let mgr t = t.mgr
+let indexes t = t.indexes
+let catalog t = t.catalog
+let report t = t.report
+
+(* --- Phase harness ------------------------------------------------------ *)
+
+type ctx = {
+  media : Media.t;
+  coord : int; (* coordinator's meter id *)
+  workers : Task_pool.t option;
+  scanned : int Atomic.t; (* recovery_records_scanned_total *)
+  mutable phases : phase_report list; (* reversed *)
+}
+
+(* Run the tasks over the worker domains, one round-robin group per
+   worker.  Tasks cost simulated time but almost no real time, so letting
+   workers race on the shared queue would leave the whole batch on
+   whichever domain wakes first and the per-worker meters would report no
+   overlap; the rendezvous barrier pins exactly one group to each domain
+   (a worker holding a group cannot pop a second one while blocked), so
+   max-per-worker busy time reflects a genuine parallel schedule. *)
+let par_run ctx tasks =
+  match ctx.workers with
+  | None -> List.iter (fun f -> f ()) tasks
+  | Some p ->
+      let nw = Task_pool.size p in
+      let groups = Array.make nw [] in
+      List.iteri (fun i f -> groups.(i mod nw) <- f :: groups.(i mod nw)) tasks;
+      let mu = Mutex.create () in
+      let cv = Condition.create () in
+      let arrived = ref 0 in
+      let composite group () =
+        Mutex.lock mu;
+        incr arrived;
+        if !arrived = nw then Condition.broadcast cv
+        else while !arrived < nw do Condition.wait cv mu done;
+        Mutex.unlock mu;
+        List.iter (fun f -> f ()) (List.rev group)
+      in
+      Task_pool.run p (List.map composite (Array.to_list groups))
+
+(* Task count heuristic: a few tasks per worker so stragglers even out. *)
+let fanout ctx = match ctx.workers with None -> 4 | Some p -> Task_pool.size p * 4
+
+(* Run [f] as a named phase: trace span, simulated-ns timing via the
+   domain meters, metrics, report entry.  [f] returns (records, result). *)
+let phase ctx name f =
+  let worker_ids =
+    match ctx.workers with Some p -> Task_pool.worker_meters p | None -> []
+  in
+  Obs.Trace.with_span (Media.tracer ctx.media) ("recovery:" ^ name)
+  @@ fun () ->
+  let c0 = Media.meter_value ctx.media ctx.coord in
+  let w0 = List.map (fun id -> Media.meter_value ctx.media id) worker_ids in
+  let records, result = f () in
+  let dc = Media.meter_value ctx.media ctx.coord - c0 in
+  let dw =
+    List.fold_left2
+      (fun acc id v0 -> max acc (Media.meter_value ctx.media id - v0))
+      0 worker_ids w0
+  in
+  let ns = dc + dw in
+  let reg = Media.registry ctx.media in
+  Obs.Metrics.set
+    (Obs.Metrics.gauge reg "recovery_phase_ns"
+       ~labels:[ ("phase", name) ]
+       ~help:"simulated ns spent in the recovery phase")
+    ns;
+  Obs.Metrics.add ctx.scanned records;
+  ctx.phases <- { ph_name = name; ph_ns = ns; ph_records = records } :: ctx.phases;
+  result
+
+(* --- Phases ------------------------------------------------------------- *)
+
+(* Free-slot lists of all three tables: one bitmap scan task per chunk,
+   results installed serially in chunk order (queue order must match the
+   serial rebuild exactly). *)
+let tables_phase ctx store =
+  let tables =
+    [ G.node_table store; G.rel_table store; Props.table (G.prop_store store) ]
+  in
+  let work =
+    List.map
+      (fun tbl ->
+        let n = Table.nchunks tbl in
+        let results = Array.make n [] in
+        let tasks =
+          List.init n (fun ci () -> results.(ci) <- Table.chunk_free_slots tbl ci)
+        in
+        (tbl, results, tasks))
+      tables
+  in
+  par_run ctx (List.concat_map (fun (_, _, ts) -> ts) work);
+  List.iter
+    (fun (tbl, results, _) ->
+      Array.iter (fun ids -> Table.add_free_slots tbl ids) results)
+    work;
+  let slots =
+    List.fold_left
+      (fun acc tbl -> acc + (Table.nchunks tbl * Table.chunk_capacity tbl))
+      0 tables
+  in
+  (slots, ())
+
+let dict_phase ctx store =
+  let dict = G.dict store in
+  let n = Dict.count dict in
+  let grain = max 64 ((n / fanout ctx) + 1) in
+  let plan, reads = Dict.rebuild_read_tasks dict ~grain in
+  par_run ctx reads;
+  let writes = Dict.rebuild_write_tasks dict plan ~grain:(max 256 grain) in
+  par_run ctx writes;
+  Dict.rebuild_finish dict plan;
+  (n, ())
+
+(* Per-index staged work: charged reads first (parallel), construction
+   and reconciliation second (serial). *)
+type idx_work =
+  | Leafy of {
+      desc : int;
+      nstore : Node_store.t;
+      first_leaf : int;
+      infos : Btree.leaf_info array;
+      per_chunk : (Value.t * int) list array; (* expected population *)
+    }
+  | Vol of {
+      desc : int;
+      nstore : Node_store.t;
+      per_chunk : (Value.t * int) list array;
+    }
+
+(* One task per node chunk collecting the index's expected population,
+   ((value, id) in ascending id order) from the node table. *)
+let population_tasks store pool ~desc per_chunk =
+  let label = Pool.read_int pool (desc + 24) in
+  let key = Pool.read_int pool (desc + 32) in
+  List.init
+    (Array.length per_chunk)
+    (fun ci () ->
+      let acc = ref [] in
+      G.iter_nodes_chunk store ci (fun id ->
+          if G.node_label store id = label then
+            match G.node_prop store id key with
+            | Some v -> acc := (v, id) :: !acc
+            | None -> ());
+      per_chunk.(ci) <- List.rev !acc)
+
+(* Commit and secondary-index maintenance are not crash-atomic: a cut
+   between a durable commit and its index update leaves the persistent
+   leaves missing a committed entry, or holding a stale one for a since
+   reclaimed or re-keyed record.  Diff the rebuilt tree against the node
+   table (both sides were read by the parallel stage; [li_pairs] avoids
+   a second charged pass over the leaves) and apply the rare fixes
+   serially, in deterministic order: stale removals in leaf order, then
+   missing inserts in chunk order. *)
+(* A power cut tears unflushed leaf lines at the 8-byte store granularity
+   the hardware keeps atomic: every word reads back old-or-new, so next
+   pointers and entry counts stay in range, but an interrupted in-place
+   shift can leave a leaf's visible key prefix unsorted (or a mid-split
+   tear can splice duplicated runs into the chain out of order).  Such a
+   chain cannot seed a rebuild; the tree falls back to re-insertion from
+   the node-table population, abandoning the old nodes (a crash-time
+   allocation leak, the classic PMem trade). *)
+let leaves_sorted infos =
+  let prev = ref Int64.min_int in
+  Array.for_all
+    (fun li ->
+      Array.for_all
+        (fun (k, _) ->
+          let ok = Int64.compare k !prev >= 0 in
+          prev := k;
+          ok)
+        li.Btree.li_pairs)
+    infos
+
+let reconcile idx infos per_chunk =
+  let expected = Hashtbl.create 256 in
+  Array.iter
+    (List.iter (fun (v, id) -> Hashtbl.replace expected id (Value.index_key v)))
+    per_chunk;
+  let stale = ref [] in
+  Array.iter
+    (fun li ->
+      Array.iter
+        (fun (k, idv) ->
+          let id = Int64.to_int idv in
+          match Hashtbl.find_opt expected id with
+          | Some k' when k' = k -> Hashtbl.remove expected id
+          | _ -> stale := (k, id) :: !stale)
+        li.Btree.li_pairs)
+    infos;
+  List.iter (fun (k, id) -> ignore (Index.remove_entry idx k id)) (List.rev !stale);
+  Array.iter
+    (List.iter (fun (v, id) ->
+         if Hashtbl.mem expected id then Index.insert idx v id))
+    per_chunk
+
+let indexes_phase ctx store pool =
+  let catalog = Index.Catalog.attach pool ~root_slot:G.root_index in
+  let descs = Index.Catalog.list pool ~catalog in
+  let media = Pool.media pool in
+  let dummy =
+    { Btree.li_handle = 0; li_min = 0L; li_entries = 0; li_pairs = [||] }
+  in
+  let nchunks = G.node_chunks store in
+  let work_of desc =
+    let per_chunk = Array.make nchunks [] in
+    let pop_tasks = population_tasks store pool ~desc per_chunk in
+    match Index.desc_placement pool ~desc with
+    | (Node_store.Hybrid | Node_store.Persistent) as placement ->
+        let nstore = Node_store.make placement ~pool ~media in
+        let first_leaf = Index.desc_first_leaf pool ~desc in
+        let handles = Btree.leaf_handles nstore ~first_leaf in
+        let infos = Array.make (Array.length handles) dummy in
+        let nleaves = Array.length handles in
+        let grain = max 1 ((nleaves / fanout ctx) + 1) in
+        let tasks = ref [] and lo = ref 0 in
+        while !lo < nleaves do
+          let l = !lo and h = min nleaves (!lo + grain) in
+          tasks :=
+            (fun () ->
+              for i = l to h - 1 do
+                infos.(i) <- Btree.read_leaf_info nstore handles.(i)
+              done)
+            :: !tasks;
+          lo := h
+        done;
+        (Leafy { desc; nstore; first_leaf; infos; per_chunk },
+          List.rev !tasks @ pop_tasks )
+    | Node_store.Volatile ->
+        let nstore = Node_store.make Node_store.Volatile ~pool ~media in
+        (Vol { desc; nstore; per_chunk }, pop_tasks)
+  in
+  let work = List.map work_of descs in
+  par_run ctx (List.concat_map snd work);
+  let records = ref 0 in
+  let indexes =
+    List.map
+      (fun (w, _) ->
+        match w with
+        | Leafy { desc; nstore; first_leaf; infos; per_chunk } ->
+            let entries =
+              Array.fold_left (fun a li -> a + li.Btree.li_entries) 0 infos
+            in
+            records := !records + entries;
+            if leaves_sorted infos then begin
+              (* The inner levels are rebuilt from the chain for both
+                 placements: a cut between a leaf split's persist and its
+                 parent's update leaves durable inner nodes that miss the
+                 new leaf, so even a persistent root cannot be attached
+                 unverified.  The old persistent inner nodes leak. *)
+              let tree = Btree.build_from_leaf_infos nstore ~first_leaf infos in
+              let idx = Index.attach_tree pool ~desc tree in
+              Index.sync_meta idx;
+              reconcile idx infos per_chunk;
+              idx
+            end
+            else begin
+              (* torn leaf: abandon the chain, re-insert everything *)
+              let idx = Index.attach_tree pool ~desc (Btree.create nstore) in
+              Index.sync_meta idx;
+              Array.iter
+                (List.iter (fun (v, id) -> Index.insert idx v id))
+                per_chunk;
+              Index.sync_meta idx;
+              idx
+            end
+        | Vol { desc; nstore; per_chunk } ->
+            let idx = Index.attach_tree pool ~desc (Btree.create nstore) in
+            Array.iter
+              (fun pairs ->
+                List.iter
+                  (fun (v, id) ->
+                    records := !records + 1;
+                    Index.insert idx v id)
+                  pairs)
+              per_chunk;
+            idx)
+      work
+  in
+  (!records, (indexes, catalog))
+
+let mvcc_phase ctx store =
+  let nn = G.node_chunks store and nr = G.rel_chunks store in
+  let nres = Array.make (max nn 1) Mvto.empty_scan in
+  let rres = Array.make (max nr 1) Mvto.empty_scan in
+  let tasks =
+    List.init nn (fun ci () -> nres.(ci) <- Mvto.scan_node_chunk store ci)
+    @ List.init nr (fun ci () -> rres.(ci) <- Mvto.scan_rel_chunk store ci)
+  in
+  par_run ctx tasks;
+  let sc = Array.fold_left Mvto.merge_scans Mvto.empty_scan nres in
+  let sc = Array.fold_left Mvto.merge_scans sc rres in
+  (sc.Mvto.sc_scanned, Mvto.apply_scan store sc)
+
+(* --- Orchestrator ------------------------------------------------------- *)
+
+let run ?(threads = 1) pool =
+  let media = Pool.media pool in
+  let coord = Media.install_meter media in
+  let workers =
+    if threads <= 1 then None
+    else Some (Task_pool.create ~media ~nworkers:threads ())
+  in
+  let scanned =
+    Obs.Metrics.counter (Media.registry media) "recovery_records_scanned_total"
+      ~help:"records scanned during recovery"
+  in
+  let ctx = { media; coord; workers; scanned; phases = [] } in
+  Fun.protect
+    ~finally:(fun () ->
+      match workers with Some p -> Task_pool.shutdown p | None -> ())
+  @@ fun () ->
+  let store = phase ctx "pmdk_log" (fun () -> (0, G.open_deferred pool)) in
+  phase ctx "tables" (fun () -> tables_phase ctx store);
+  phase ctx "dict" (fun () -> dict_phase ctx store);
+  (* mvcc must precede indexes: reclaiming uncommitted inserts first
+     keeps them out of the volatile-index rebuild scans *)
+  let mgr = phase ctx "mvcc" (fun () -> mvcc_phase ctx store) in
+  let indexes, catalog =
+    phase ctx "indexes" (fun () -> indexes_phase ctx store pool)
+  in
+  let phases = List.rev ctx.phases in
+  let total = List.fold_left (fun a p -> a + p.ph_ns) 0 phases in
+  let scanned_total =
+    List.fold_left (fun a p -> a + p.ph_records) 0 phases
+  in
+  let report =
+    {
+      r_threads = max threads 1;
+      r_total_ns = total;
+      r_phases = phases;
+      r_scanned = scanned_total;
+    }
+  in
+  Log.info (fun m ->
+      m "crash-to-ready in %d simulated us over %d domain(s): %s" (total / 1000)
+        (max threads 1)
+        (String.concat ", "
+           (List.map
+              (fun p -> Printf.sprintf "%s %dus" p.ph_name (p.ph_ns / 1000))
+              phases)));
+  { store; mgr; indexes; catalog; report }

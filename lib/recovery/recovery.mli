@@ -1,0 +1,44 @@
+(** Parallel crash-to-ready recovery.
+
+    Discovers every rebuildable volatile structure from the pool's
+    persistent anchors — table directory mirrors and free-slot lists,
+    the dictionary hash, B+-tree inner levels per catalogued index, the
+    MVTO watermark and lock state — and rebuilds them phase by phase,
+    fanning the read-heavy work out over [Exec.Task_pool] domains.
+
+    Phases (in order): [pmdk_log], [tables], [dict], [mvcc], [indexes].
+    Each phase publishes [recovery_phase_ns{phase=...}] and adds to
+    [recovery_records_scanned_total] in the media's metrics registry and
+    runs inside a [recovery:<phase>] trace span.
+
+    Recovery with N domains produces state identical to serial recovery:
+    parallel stages are pure reads or writes over disjoint 512 B-aligned
+    regions, and their results are consumed serially in deterministic
+    chunk order. *)
+
+type phase_report = { ph_name : string; ph_ns : int; ph_records : int }
+
+type report = {
+  r_threads : int;
+  r_total_ns : int;  (** simulated crash-to-ready latency *)
+  r_phases : phase_report list;  (** in execution order *)
+  r_scanned : int;
+}
+
+type t
+
+val run : ?threads:int -> Pmem.Pool.t -> t
+(** Recover a formatted pool.  [threads <= 1] (the default) runs every
+    stage serially on the calling domain without spawning a pool;
+    [threads = n] spawns an n-domain task pool for the parallel stages
+    and shuts it down before returning. *)
+
+val store : t -> Storage.Graph_store.t
+val mgr : t -> Mvcc.Mvto.t
+val indexes : t -> Gindex.Index.t list
+(** Recovered secondary indexes, in catalog order. *)
+
+val catalog : t -> int
+(** Persistent index-catalog offset (attached during the index phase). *)
+
+val report : t -> report

@@ -125,6 +125,24 @@ let used_count t =
   done;
   !n
 
+(* Free slots in ascending order, one charged bitmap-word read per 64
+   slots — the recovery-time replacement for per-slot [is_used] probing. *)
+let free_slots t =
+  let words = (t.capacity + 63) / 64 in
+  let acc = ref [] in
+  for w = words - 1 downto 0 do
+    let v = Pool.read_i64 t.pool (t.bitmap_off + (8 * w)) in
+    if not (Int64.equal v (-1L)) then
+      for i = 63 downto 0 do
+        let slot = (w * 64) + i in
+        if
+          slot < t.capacity
+          && Int64.logand (Int64.shift_right_logical v i) 1L = 0L
+        then acc := slot :: !acc
+      done
+  done;
+  !acc
+
 (* Scan occupied slots reading each 64-slot bitmap word once (the whole
    word is one cache line access, not one per slot). *)
 let iter_used t f =

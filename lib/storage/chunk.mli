@@ -30,5 +30,10 @@ val set_used : t -> int -> bool -> unit
 
 val find_free : t -> int option
 val used_count : t -> int
+
+val free_slots : t -> int list
+(** Free slots in ascending order; reads each 64-slot bitmap word once.
+    Used by recovery to rebuild the table free list word-wise. *)
+
 val iter_used : t -> (int -> int -> unit) -> unit
 (** [iter_used t f] calls [f slot offset]; reads each bitmap word once. *)

@@ -160,10 +160,13 @@ and grow_hash t =
     end
   done;
   Pool.persist t.pool ~off ~len:(16 * cap);
-  (* publish the new table: cap first would break probing, so swing the
-     offset last; recovery rebuilds the hash anyway *)
-  set_atomic t f_hash_cap cap;
+  (* Publish the new table offset before the new capacity: the durable
+     invariant is that the region at [hash_off] is always at least
+     [16 * hash_cap] bytes, so a crash between the two stores must leave
+     (new off, old cap) — in bounds — never (old off, new cap), which
+     would let the recovery rebuild stomp past the old region. *)
   set_atomic t f_hash_off off;
+  set_atomic t f_hash_cap cap;
   Alloc.free t.pool ~off:old_off ~size:(16 * old_cap)
 
 let hash_find t s =
@@ -246,33 +249,171 @@ let decode t code =
 
 let count t = get t f_next_code - 1
 
-(* Reattach after restart: rebuild the persistent hash from the code array
-   (scrubbing entries from interrupted inserts) and warm the DRAM mirror. *)
-let open_ ?(hybrid = true) pool ~hdr () =
-  let t =
+(* --- staged recovery rebuild -------------------------------------------
+
+   The hash rebuild is split into three stages so a recovery orchestrator
+   can run the read- and write-heavy parts on a task pool:
+
+   1. [rebuild_read_tasks]  — charged reads of the code array and heap
+      strings into a preallocated plan; each task owns a disjoint code
+      range, so tasks may run concurrently.
+   2. [rebuild_write_tasks] — a cheap serial DRAM pass first computes the
+      final probe layout in code order (byte-identical to inserting the
+      codes one by one), then returns write tasks over disjoint regions
+      of the hash table.  Region boundaries fall on absolute 512-byte
+      offsets so concurrent tasks never share a dirty-bitmap byte.
+   3. [rebuild_finish]      — publish the entry count, fence, and warm
+      the DRAM mirror.
+
+   The serial [open_] below runs the same stages in order, so serial and
+   parallel recovery produce identical persistent and volatile state. *)
+
+(* attach without rebuilding; only recovery should use this, and it must
+   run the rebuild stages before the dictionary serves lookups *)
+let open_raw ?(hybrid = true) pool ~hdr () =
+  {
+    pool;
+    hdr;
+    hybrid;
+    to_code = Hashtbl.create 1024;
+    of_code = Hashtbl.create 1024;
+    mu = Mutex.create ();
+  }
+
+type rebuild_plan = {
+  rp_count : int; (* next_code - 1 at scan start *)
+  rp_heap_offs : int array; (* index e holds code e+1's heap offset *)
+  rp_strings : string array;
+  mutable rp_slots : int array; (* probe slot per entry, -1 when absent *)
+}
+
+let rebuild_read_tasks t ~grain =
+  let count = get t f_next_code - 1 in
+  let code_off = get t f_code_off in
+  let plan =
     {
-      pool;
-      hdr;
-      hybrid;
-      to_code = Hashtbl.create 1024;
-      of_code = Hashtbl.create 1024;
-      mu = Mutex.create ();
+      rp_count = count;
+      rp_heap_offs = Array.make (max count 1) 0;
+      rp_strings = Array.make (max count 1) "";
+      rp_slots = [||];
     }
   in
-  let next = get t f_next_code in
-  let hash_off = get t f_hash_off and cap = get t f_hash_cap in
-  Pool.fill pool ~off:hash_off ~len:(16 * cap) '\000';
-  set_atomic t f_hash_count 0;
-  for code = 1 to next - 1 do
-    let heap_off = Pool.read_int pool (get t f_code_off + (8 * code)) in
-    if heap_off <> 0 then begin
-      let s = read_heap_string t heap_off in
-      hash_insert t ~heap_off ~code s;
-      if hybrid then begin
-        Hashtbl.replace t.to_code s code;
-        Hashtbl.replace t.of_code code s
-      end
+  let tasks = ref [] in
+  let lo = ref 0 in
+  while !lo < count do
+    let l = !lo and h = min count (!lo + max grain 1) in
+    tasks :=
+      (fun () ->
+        for e = l to h - 1 do
+          let heap_off = Pool.read_int t.pool (code_off + (8 * (e + 1))) in
+          plan.rp_heap_offs.(e) <- heap_off;
+          if heap_off <> 0 then plan.rp_strings.(e) <- read_heap_string t heap_off
+        done)
+      :: !tasks;
+    lo := h
+  done;
+  (plan, List.rev !tasks)
+
+let rebuild_write_tasks t plan ~grain =
+  let live = ref 0 in
+  Array.iter (fun h -> if h <> 0 then incr live) plan.rp_heap_offs;
+  (* Pre-grow so no insertion can trip the load-factor threshold: the
+     serial insert loop would grow at the same total occupancy. *)
+  while !live * 10 > get t f_hash_cap * 7 do
+    let old_off = get t f_hash_off and old_cap = get t f_hash_cap in
+    let cap = old_cap * 2 in
+    let off = Alloc.alloc t.pool (16 * cap) in
+    set_atomic t f_hash_off off;
+    set_atomic t f_hash_cap cap;
+    Alloc.free t.pool ~off:old_off ~size:(16 * old_cap)
+  done;
+  let cap = get t f_hash_cap and hash_off = get t f_hash_off in
+  (* DRAM replay of the probe sequence, in code order: identical final
+     layout to inserting serially, computed without touching PMem *)
+  let occ = Array.make cap false in
+  plan.rp_slots <- Array.make (max plan.rp_count 1) (-1);
+  for e = 0 to plan.rp_count - 1 do
+    if plan.rp_heap_offs.(e) <> 0 then begin
+      let rec probe i = if occ.(i) then probe ((i + 1) mod cap) else i in
+      let slot = probe (fnv1a plan.rp_strings.(e) mod cap) in
+      occ.(slot) <- true;
+      plan.rp_slots.(e) <- slot
     end
   done;
-  Pool.persist pool ~off:(get t f_hash_off) ~len:(16 * get t f_hash_cap);
+  (* Partition [hash_off, hash_off + 16*cap) at absolute 512-byte
+     boundaries: each dirty-bitmap byte covers one 512 B block, so
+     distinct tasks never read-modify-write the same bitmap byte. *)
+  let region_end = hash_off + (16 * cap) in
+  let width = ((16 * max grain 1) + 511) / 512 * 512 in
+  let bounds = ref [ hash_off; region_end ] in
+  let b = ref ((hash_off + 511) / 512 * 512) in
+  while !b < region_end do
+    bounds := !b :: !bounds;
+    b := !b + width
+  done;
+  let ranges =
+    let rec pair = function
+      | a :: (b :: _ as rest) -> (a, b) :: pair rest
+      | _ -> []
+    in
+    pair (List.sort_uniq compare !bounds)
+  in
+  (* bucket entries by owning range *)
+  let nr = List.length ranges in
+  let arr = Array.of_list ranges in
+  let buckets = Array.make nr [] in
+  let find_range base =
+    (* ranges are sorted and contiguous; binary search by start offset *)
+    let rec bs lo hi =
+      if lo >= hi then lo - 1
+      else
+        let mid = (lo + hi) / 2 in
+        if fst arr.(mid) <= base then bs (mid + 1) hi else bs lo mid
+    in
+    bs 0 nr
+  in
+  for e = plan.rp_count - 1 downto 0 do
+    let slot = plan.rp_slots.(e) in
+    if slot >= 0 then begin
+      let base = hash_off + (16 * slot) in
+      let r = find_range base in
+      buckets.(r) <- e :: buckets.(r)
+    end
+  done;
+  List.mapi
+    (fun r (lo, hi) ->
+      fun () ->
+        Pool.fill t.pool ~off:lo ~len:(hi - lo) '\000';
+        List.iter
+          (fun e ->
+            let base = hash_off + (16 * plan.rp_slots.(e)) in
+            Pool.write_int t.pool base plan.rp_heap_offs.(e);
+            Pool.write_int t.pool (base + 8) (e + 1))
+          buckets.(r);
+        Pool.flush_range t.pool ~off:lo ~len:(hi - lo))
+    ranges
+
+let rebuild_finish t plan =
+  let live = ref 0 in
+  Array.iter (fun s -> if s >= 0 then incr live) plan.rp_slots;
+  (* atomic store + fence also orders the write tasks' flushes *)
+  set_atomic t f_hash_count !live;
+  if t.hybrid then
+    for e = 0 to plan.rp_count - 1 do
+      if plan.rp_slots.(e) >= 0 then begin
+        Hashtbl.replace t.to_code plan.rp_strings.(e) (e + 1);
+        Hashtbl.replace t.of_code (e + 1) plan.rp_strings.(e)
+      end
+    done
+
+(* Reattach after restart: rebuild the persistent hash from the code array
+   (scrubbing entries from interrupted inserts) and warm the DRAM mirror.
+   Runs the staged rebuild serially. *)
+let open_ ?(hybrid = true) pool ~hdr () =
+  let t = open_raw ~hybrid pool ~hdr () in
+  let plan, reads = rebuild_read_tasks t ~grain:256 in
+  List.iter (fun f -> f ()) reads;
+  let writes = rebuild_write_tasks t plan ~grain:256 in
+  List.iter (fun f -> f ()) writes;
+  rebuild_finish t plan;
   t

@@ -14,6 +14,33 @@ val open_ : ?hybrid:bool -> Pmem.Pool.t -> hdr:int -> unit -> t
 (** Reattach after a restart: rebuilds the persistent hash from the code
     array (scrubbing torn inserts) and warms the DRAM mirror. *)
 
+(** {1 Staged recovery rebuild}
+
+    {!open_} run as separable stages so a recovery orchestrator can
+    execute the read- and write-heavy parts on a task pool.  Stage order
+    is mandatory: read tasks (concurrency-safe, disjoint code ranges),
+    then write tasks (concurrency-safe, disjoint 512 B-aligned hash
+    regions), then {!rebuild_finish}.  Serial execution of the same
+    stages yields identical persistent and volatile state. *)
+
+val open_raw : ?hybrid:bool -> Pmem.Pool.t -> hdr:int -> unit -> t
+(** Attach without rebuilding.  The dictionary must not serve lookups
+    until the rebuild stages have completed. *)
+
+type rebuild_plan
+
+val rebuild_read_tasks : t -> grain:int -> rebuild_plan * (unit -> unit) list
+(** Tasks that read the code array and heap strings into the plan,
+    [grain] codes per task. *)
+
+val rebuild_write_tasks : t -> rebuild_plan -> grain:int -> (unit -> unit) list
+(** Computes the final probe layout serially in DRAM (identical to
+    inserting codes one by one), then returns tasks that zero-fill and
+    write disjoint hash-table regions.  Call after all read tasks. *)
+
+val rebuild_finish : t -> rebuild_plan -> unit
+(** Publish the entry count (with fence) and warm the DRAM mirror. *)
+
 val header_off : t -> int
 val encode : t -> string -> int
 (** Return the code for a string, assigning a fresh one if absent. *)

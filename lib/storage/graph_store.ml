@@ -70,6 +70,35 @@ let open_ ?(hybrid_dict = true) ?chunk_capacity pool =
   Pptr.register registry pool;
   { pool; registry; dict; nodes; rels; props }
 
+(* Recovery entry point: roll back interrupted PMDK transactions and
+   attach the DRAM directory mirrors, but defer every rebuild the
+   recovery orchestrator parallelises — the dictionary hash is not
+   rebuilt (Dict.open_raw) and the table free-slot caches stay empty
+   (Table.attach_mirror).  The store must not serve requests until the
+   orchestrator has run the rebuild stages. *)
+let open_deferred ?(hybrid_dict = true) ?chunk_capacity pool =
+  if not (Alloc.is_formatted pool) then
+    failwith "Graph_store.open_deferred: unformatted pool";
+  ignore (Pmdk_tx.recover pool);
+  let dict =
+    Dict.open_raw ~hybrid:hybrid_dict pool ~hdr:(Alloc.get_root pool root_dict) ()
+  in
+  let nodes =
+    Table.attach_mirror pool ?capacity:chunk_capacity ~record_size:node_size
+      ~dir_off:(Alloc.get_root pool root_nodes) ()
+  in
+  let rels =
+    Table.attach_mirror pool ?capacity:chunk_capacity ~record_size:rel_size
+      ~dir_off:(Alloc.get_root pool root_rels) ()
+  in
+  let props =
+    Props.attach_mirror pool ?capacity:chunk_capacity
+      ~dir_off:(Alloc.get_root pool root_props) ()
+  in
+  let registry = Pptr.registry_create () in
+  Pptr.register registry pool;
+  { pool; registry; dict; nodes; rels; props }
+
 let pool t = t.pool
 let dict t = t.dict
 let node_table t = t.nodes
@@ -286,7 +315,9 @@ let rel_props t id = Props.all t.props ~first:(rel_field t id Rel.first_prop)
 let iter_nodes t f = Table.iter t.nodes (fun id _off -> f id)
 let iter_rels t f = Table.iter t.rels (fun id _off -> f id)
 let iter_nodes_chunk t ci f = Table.iter_chunk t.nodes ci (fun id _off -> f id)
+let iter_rels_chunk t ci f = Table.iter_chunk t.rels ci (fun id _off -> f id)
 let node_chunks t = Table.nchunks t.nodes
+let rel_chunks t = Table.nchunks t.rels
 let node_count t = Table.count t.nodes
 let rel_count t = Table.count t.rels
 let node_live t id = Table.is_live t.nodes id

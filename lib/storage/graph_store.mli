@@ -26,6 +26,12 @@ val open_ : ?hybrid_dict:bool -> ?chunk_capacity:int -> Pmem.Pool.t -> t
 (** Reattach after a restart: rolls back any interrupted PMDK transaction
     and rebuilds the volatile mirrors. *)
 
+val open_deferred : ?hybrid_dict:bool -> ?chunk_capacity:int -> Pmem.Pool.t -> t
+(** Like {!open_} but defers every rebuild a recovery orchestrator
+    parallelises: the dictionary hash is not rebuilt and the table
+    free-slot caches are empty.  The store must not serve requests until
+    the orchestrator completes the rebuild stages. *)
+
 val pool : t -> Pmem.Pool.t
 val dict : t -> Dict.t
 val node_table : t -> Table.t
@@ -93,7 +99,9 @@ val rel_props : t -> int -> (int * Value.t) list
 val iter_nodes : t -> (int -> unit) -> unit
 val iter_rels : t -> (int -> unit) -> unit
 val iter_nodes_chunk : t -> int -> (int -> unit) -> unit
+val iter_rels_chunk : t -> int -> (int -> unit) -> unit
 val node_chunks : t -> int
+val rel_chunks : t -> int
 val node_count : t -> int
 val rel_count : t -> int
 val node_live : t -> int -> bool

@@ -25,6 +25,15 @@ let create pool ?capacity ?max_chunks () =
 let open_ pool ?capacity ?max_chunks ~dir_off () =
   { table = Table.open_ pool ?capacity ?max_chunks ~record_size:prop_size ~dir_off () }
 
+(* Recovery entry point: directory mirror only, free-slot cache rebuilt
+   later through [table] (see Table.attach_mirror). *)
+let attach_mirror pool ?capacity ?max_chunks ~dir_off () =
+  {
+    table =
+      Table.attach_mirror pool ?capacity ?max_chunks ~record_size:prop_size
+        ~dir_off ();
+  }
+
 let table t = t.table
 let dir_off t = Table.dir_off t.table
 

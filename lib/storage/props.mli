@@ -9,6 +9,11 @@ val create : Pmem.Pool.t -> ?capacity:int -> ?max_chunks:int -> unit -> t
 val open_ :
   Pmem.Pool.t -> ?capacity:int -> ?max_chunks:int -> dir_off:int -> unit -> t
 
+val attach_mirror :
+  Pmem.Pool.t -> ?capacity:int -> ?max_chunks:int -> dir_off:int -> unit -> t
+(** Like {!open_} but with an empty free-slot cache; recovery rebuilds it
+    through {!table} (see {!Table.attach_mirror}). *)
+
 val table : t -> Table.t
 val dir_off : t -> int
 

@@ -61,9 +61,13 @@ let create pool ?(capacity = default_capacity) ?(max_chunks = 65_536)
     mu = Mutex.create ();
   }
 
-(* Reattach after restart: rebuild the DRAM mirror and the free-slot cache
-   by scanning the persistent directory and the chunk bitmaps. *)
-let open_ pool ?capacity ?(max_chunks = 65_536) ~record_size ~dir_off () =
+(* Reattach the DRAM directory mirror only, leaving the free-slot cache
+   empty.  Recovery rebuilds the free list afterwards (possibly in
+   parallel, one chunk per task) via [chunk_free_slots] / [add_free_slots];
+   until then [reserve] would allocate past reclaimable holes, so callers
+   must complete the rebuild before serving writes. *)
+let attach_mirror pool ?capacity ?(max_chunks = 65_536) ~record_size ~dir_off
+    () =
   ignore capacity;
   (* the authoritative capacity is the persisted one *)
   let capacity = Pool.read_int pool (dir_off + 8) in
@@ -72,27 +76,44 @@ let open_ pool ?capacity ?(max_chunks = 65_536) ~record_size ~dir_off () =
     Array.init nchunks (fun i ->
         Chunk.attach pool (Pool.read_int pool (dir_off + 16 + (8 * i))))
   in
-  let t =
-    {
-      pool;
-      record_size;
-      capacity;
-      dir_off;
-      max_chunks;
-      chunks;
-      nchunks;
-      free = Queue.create ();
-      high = nchunks * capacity;
-      mu = Mutex.create ();
-    }
-  in
-  Array.iteri
-    (fun ci c ->
-      for slot = 0 to Chunk.capacity c - 1 do
-        if not (Chunk.is_used c slot) then
-          Queue.add ((ci * capacity) + slot) t.free
-      done)
+  {
+    pool;
+    record_size;
+    capacity;
+    dir_off;
+    max_chunks;
     chunks;
+    nchunks;
+    free = Queue.create ();
+    high = nchunks * capacity;
+    mu = Mutex.create ();
+  }
+
+(* Free slots of chunk [ci] as ascending record ids; reads one charged
+   bitmap word per 64 slots.  Safe to run concurrently across distinct
+   chunks (pure reads). *)
+let chunk_free_slots t ci =
+  let c = t.chunks.(ci) in
+  List.map (fun slot -> (ci * t.capacity) + slot) (Chunk.free_slots c)
+
+let add_free_slots t ids =
+  Mutex.lock t.mu;
+  List.iter (fun id -> Queue.add id t.free) ids;
+  Mutex.unlock t.mu
+
+let free_slots t =
+  Mutex.lock t.mu;
+  let ids = List.of_seq (Queue.to_seq t.free) in
+  Mutex.unlock t.mu;
+  ids
+
+(* Reattach after restart: rebuild the DRAM mirror and the free-slot cache
+   by scanning the persistent directory and the chunk bitmaps. *)
+let open_ pool ?capacity ?max_chunks ~record_size ~dir_off () =
+  let t = attach_mirror pool ?capacity ?max_chunks ~record_size ~dir_off () in
+  for ci = 0 to t.nchunks - 1 do
+    add_free_slots t (chunk_free_slots t ci)
+  done;
   t
 
 let pool t = t.pool

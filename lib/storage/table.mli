@@ -28,6 +28,30 @@ val open_ :
     cache from the persistent directory and chunk bitmaps.  The
     authoritative chunk capacity is the persisted one. *)
 
+val attach_mirror :
+  Pmem.Pool.t ->
+  ?capacity:int ->
+  ?max_chunks:int ->
+  record_size:int ->
+  dir_off:int ->
+  unit ->
+  t
+(** Like {!open_} but leaves the free-slot cache empty; recovery rebuilds
+    it (possibly in parallel, one chunk per task) via {!chunk_free_slots}
+    and {!add_free_slots}.  Do not serve writes before the rebuild. *)
+
+val chunk_free_slots : t -> int -> int list
+(** Free slots of one chunk as ascending record ids; one charged bitmap
+    word read per 64 slots.  Pure reads — safe concurrently across
+    distinct chunks. *)
+
+val add_free_slots : t -> int list -> unit
+(** Append ids to the free-slot cache, preserving list order. *)
+
+val free_slots : t -> int list
+(** Snapshot of the free-slot cache in queue order (state-equivalence
+    checks in recovery tests). *)
+
 val pool : t -> Pmem.Pool.t
 val record_size : t -> int
 val chunk_capacity : t -> int

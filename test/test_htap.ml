@@ -26,17 +26,25 @@ let cfg =
 (* one run shared by the assertion tests below *)
 let result = lazy (Htap.run cfg)
 
+(* every worker RNG is derived from cfg.seed (Htap.writer_rng /
+   Htap.reader_rng), so a failure here is replayed by rerunning with the
+   seed the label names *)
+let lbl what = Printf.sprintf "[seed=%d] %s" cfg.Htap.seed what
+
 let test_si_invariants () =
   let r = Lazy.force result in
-  Alcotest.(check int) "no monotone-read violations" 0 r.Htap.monotone_violations;
-  Alcotest.(check int) "no lost updates" 0 r.Htap.counter_lost;
-  Alcotest.(check int) "no conservation failures" 0 r.Htap.conservation_failures;
-  Alcotest.(check int) "si_violations sums to zero" 0 (Htap.si_violations r)
+  Alcotest.(check int) (lbl "no monotone-read violations") 0
+    r.Htap.monotone_violations;
+  Alcotest.(check int) (lbl "no lost updates") 0 r.Htap.counter_lost;
+  Alcotest.(check int) (lbl "no conservation failures") 0
+    r.Htap.conservation_failures;
+  Alcotest.(check int) (lbl "si_violations sums to zero") 0 (Htap.si_violations r)
 
 let test_progress_on_both_sides () =
   let r = Lazy.force result in
-  Alcotest.(check bool) "committed updates" true (r.Htap.committed_updates > 0);
-  Alcotest.(check bool) "analytic reads" true (r.Htap.analytic_reads > 0);
+  Alcotest.(check bool) (lbl "committed updates") true
+    (r.Htap.committed_updates > 0);
+  Alcotest.(check bool) (lbl "analytic reads") true (r.Htap.analytic_reads > 0);
   Alcotest.(check bool) "counter probe committed" true (r.Htap.counter_commits > 0);
   Alcotest.(check bool) "txn commits cover updates" true
     (r.Htap.commits >= r.Htap.committed_updates);

@@ -1,0 +1,432 @@
+(* Parallel crash-to-ready recovery tests.
+
+   Three layers:
+
+   - a randomized recovery battery: a seeded SNB-shaped update mix is
+     cut by a fault plan at crash points sampled uniformly from its
+     persist trace (every 4th point with eviction/torn-line variants),
+     then recovered with 1, 2 and 4 domains; every recovery must satisfy
+     the shared I1-I5 oracle from Crash_oracle AND rebuild exactly the
+     state serial recovery rebuilds (fingerprint equality).  The sample
+     size comes from RECOVERY_POINTS (default 24; the nightly sweep
+     raises it);
+
+   - golden B+-tree equivalence: a cleanly persisted tree, reattached
+     from its leaf chain (both the one-shot rebuild and recovery's
+     staged leaf_handles / read_leaf_info / build_from_leaf_infos
+     pipeline), answers every point and range query exactly as the
+     original - including the empty tree, a single leaf, and a leaf at
+     exactly its fanout;
+
+   - a differential engine check: a recovered store is indistinguishable
+     from a never-crashed twin under the SNB short reads, in both
+     interpreted and JIT execution. *)
+
+module Media = Pmem.Media
+module Pool = Pmem.Pool
+module Faults = Pmem.Faults
+module CE = Pmem.Crash_explorer
+module Value = Storage.Value
+module G = Storage.Graph_store
+module Dict = Storage.Dict
+module Mvto = Mvcc.Mvto
+module Node_store = Gindex.Node_store
+module Btree = Gindex.Btree
+module Index = Gindex.Index
+module Engine = Jit.Engine
+module SR = Snb.Short_reads
+module IU = Snb.Updates
+
+let battery_points =
+  match Sys.getenv_opt "RECOVERY_POINTS" with
+  | Some s -> ( try max 1 (int_of_string s) with _ -> 24)
+  | None -> 24
+
+(* --- randomized recovery battery ------------------------------------- *)
+
+(* SNB-shaped workload with full model tracking, so Crash_oracle can
+   audit recovery after a cut at any point.  Ops: IU1 insert-person,
+   IU8 add-friendship, IU6 add-post (+hasCreator in the same txn), and
+   person deletion (restricted to "loners" - persons that never gained a
+   relationship - to keep the adjacency part of the model trivial). *)
+type st = {
+  mutable db : Core.t;
+  model : Crash_oracle.model;
+  mutable pending : Crash_oracle.delta option;
+  mutable persons : int list; (* node ids, committed *)
+  mutable loners : int list; (* persons with no incident rels *)
+  mutable next_ldbc : int;
+}
+
+let fresh () =
+  let db = Core.create ~mode:`Pmem ~pool_size:(1 lsl 24) ~chunk_capacity:64 () in
+  (* hybrid and persistent placements recover through different paths *)
+  ignore (Core.create_index db ~label:"Person" ~prop:"id" ());
+  ignore
+    (Core.create_index ~placement:Node_store.Persistent db ~label:"Post"
+       ~prop:"id" ());
+  let person ldbc =
+    Core.with_txn db (fun txn ->
+        Core.create_node db txn ~label:"Person" ~props:[ ("id", Value.Int ldbc) ])
+  in
+  let p1 = person 933 and p2 = person 1129 and p3 = person 4194 in
+  {
+    db;
+    model =
+      { Crash_oracle.nodes = [ (p1, 933); (p2, 1129); (p3, 4194) ]; rels = [] };
+    pending = None;
+    persons = [ p1; p2; p3 ];
+    loners = [];
+    next_ldbc = 10000;
+  }
+
+let step st pending f =
+  st.pending <- Some pending;
+  f ();
+  st.pending <- None
+
+let pick rng xs = List.nth xs (Random.State.int rng (List.length xs))
+let used st p = st.loners <- List.filter (fun q -> q <> p) st.loners
+
+let insert_person st =
+  let ldbc = st.next_ldbc in
+  st.next_ldbc <- st.next_ldbc + 1;
+  step st (Crash_oracle.Insert { ldbc; v = ldbc; rel_dsts = [] }) (fun () ->
+      let id =
+        Core.with_txn st.db (fun txn ->
+            Core.create_node st.db txn ~label:"Person"
+              ~props:[ ("id", Value.Int ldbc) ])
+      in
+      st.model.Crash_oracle.nodes <- (id, ldbc) :: st.model.Crash_oracle.nodes;
+      st.persons <- id :: st.persons;
+      st.loners <- id :: st.loners)
+
+let add_friendship st rng =
+  let src = pick rng st.persons in
+  let dst = pick rng (List.filter (fun p -> p <> src) st.persons) in
+  step st (Crash_oracle.AddRels [ (src, dst) ]) (fun () ->
+      let rid =
+        Core.with_txn st.db (fun txn ->
+            Core.create_rel st.db txn ~label:"knows" ~src ~dst ~props:[])
+      in
+      st.model.Crash_oracle.rels <- (rid, src, dst) :: st.model.Crash_oracle.rels;
+      used st src;
+      used st dst)
+
+let add_post st rng =
+  let creator = pick rng st.persons in
+  let ldbc = st.next_ldbc in
+  st.next_ldbc <- st.next_ldbc + 1;
+  step st (Crash_oracle.Insert { ldbc; v = ldbc; rel_dsts = [ creator ] })
+    (fun () ->
+      let id, rid =
+        Core.with_txn st.db (fun txn ->
+            let id =
+              Core.create_node st.db txn ~label:"Post"
+                ~props:[ ("id", Value.Int ldbc) ]
+            in
+            let rid =
+              Core.create_rel st.db txn ~label:"hasCreator" ~src:id ~dst:creator
+                ~props:[]
+            in
+            (id, rid))
+      in
+      st.model.Crash_oracle.nodes <- (id, ldbc) :: st.model.Crash_oracle.nodes;
+      st.model.Crash_oracle.rels <- (rid, id, creator) :: st.model.Crash_oracle.rels;
+      used st creator)
+
+let delete_loner st rng =
+  match st.loners with
+  | [] -> insert_person st
+  | ls ->
+      let node = pick rng ls in
+      step st (Crash_oracle.Delete { node }) (fun () ->
+          Core.with_txn st.db (fun txn -> Core.delete_node st.db txn node);
+          st.model.Crash_oracle.nodes <-
+            List.filter (fun (i, _) -> i <> node) st.model.Crash_oracle.nodes;
+          st.persons <- List.filter (fun p -> p <> node) st.persons;
+          used st node)
+
+let run_mix st ~seed ~ops =
+  let rng = Random.State.make [| seed; 0x5EC0 |] in
+  for _ = 1 to ops do
+    match Random.State.int rng 4 with
+    | 0 -> insert_person st
+    | 1 -> add_friendship st rng
+    | 2 -> add_post st rng
+    | _ -> delete_loner st rng
+  done
+
+(* Volatile-state fingerprint: equal fingerprints mean recovery rebuilt
+   the same MVTO watermark, live records and index contents.  Computed
+   before the oracle runs (its probe transactions mutate the store). *)
+let state_signature db =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "ts=%d\n" (Mvto.next_ts (Core.mgr db)));
+  Core.with_txn db (fun txn ->
+      Mvto.scan_nodes (Core.mgr db) txn (fun id ->
+          let v =
+            match Core.node_prop db txn id ~key:"id" with
+            | Some (Value.Int x) -> x
+            | _ -> -1
+          in
+          Buffer.add_string buf (Printf.sprintf "n%d=%d\n" id v));
+      Mvto.scan_rels (Core.mgr db) txn (fun rid ->
+          Buffer.add_string buf (Printf.sprintf "r%d\n" rid)));
+  let dict = G.dict (Core.store db) in
+  List.iter
+    (fun label ->
+      match (Dict.lookup dict label, Dict.lookup dict "id") with
+      | Some lc, Some kc -> (
+          match Core.index_lookup_fn db ~label:lc ~key:kc with
+          | None -> Buffer.add_string buf (Printf.sprintf "idx/%s=absent\n" label)
+          | Some idx ->
+              Btree.iter_all (Index.tree idx) (fun k v ->
+                  Buffer.add_string buf
+                    (Printf.sprintf "idx/%s/%Ld=%Ld\n" label k v)))
+      | _ -> Buffer.add_string buf (Printf.sprintf "idx/%s=nocode\n" label))
+    [ "Person"; "Post" ];
+  Buffer.contents buf
+
+let kind_name = function
+  | `Write -> "store"
+  | `Flush -> "clwb"
+  | `Fence -> "sfence"
+
+let test_random_battery () =
+  let seed = 42 and ops = 12 in
+  (* one clean run records the persist trace the sampler draws from *)
+  let st0 = fresh () in
+  let trace = CE.record (Core.media st0.db) (fun () -> run_mix st0 ~seed ~ops) in
+  let ns = CE.stores trace
+  and nf = CE.flushes trace
+  and nfe = CE.fences trace in
+  let total = ns + nf + nfe in
+  Alcotest.(check bool) "persist trace nonempty" true (total > 0);
+  let rng = Random.State.make [| seed; 0xBA77 |] in
+  for point = 1 to battery_points do
+    let j = Random.State.int rng total in
+    let kind, ordinal =
+      if j < ns then (`Write, j + 1)
+      else if j < ns + nf then (`Flush, j - ns + 1)
+      else (`Fence, j - ns - nf + 1)
+    in
+    (* the plan seed is shared across domain counts, so each recovers
+       the exact same frozen (possibly evicted/torn) image *)
+    let mk_plan () =
+      if point mod 4 = 0 then
+        Faults.plan ~crash_at:(kind, ordinal) ~evict_prob:0.5 ~torn_prob:0.25
+          ~seed:(seed + (7919 * point))
+          ()
+      else Faults.plan ~crash_at:(kind, ordinal) ()
+    in
+    let outcomes =
+      List.map
+        (fun threads ->
+          let st = fresh () in
+          let pool = Core.pool st.db and media = Core.media st.db in
+          Faults.install ~pool media (mk_plan ());
+          let fired =
+            Fun.protect ~finally:(fun () -> Faults.uninstall media) @@ fun () ->
+            match run_mix st ~seed ~ops with
+            | () -> false
+            | exception Faults.Crash_point _ -> true
+          in
+          Pool.crash pool;
+          st.db <- Core.reopen ~recovery_threads:threads st.db;
+          let s = state_signature st.db in
+          (* I1-I5 *)
+          Crash_oracle.check ~vkey:"id" ~index_label:"Person" ~index_key:"id"
+            ?pending:st.pending st.db st.model;
+          (threads, fired, s))
+        [ 1; 2; 4 ]
+    in
+    match outcomes with
+    | [] -> ()
+    | (n0, fired0, sig0) :: rest ->
+        List.iter
+          (fun (n, fired, s) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "[seed=%d] point %d (%s #%d): fired agrees (%d vs %d domains)"
+                 seed point (kind_name kind) ordinal n n0)
+              fired0 fired;
+            Alcotest.(check bool)
+              (Printf.sprintf "[seed=%d] point %d (%s #%d): %d-domain recovery == serial"
+                 seed point (kind_name kind) ordinal n)
+              true (s = sig0))
+          rest
+  done
+
+(* --- golden B+-tree reattach equivalence ------------------------------ *)
+
+let mk_tree_store placement =
+  let media = Media.create () in
+  let pool = Pool.create ~kind:`Pmem ~media ~id:0 ~size:(1 lsl 22) () in
+  Pmem.Alloc.format pool;
+  (pool, Node_store.make placement ~pool ~media)
+
+let tree_dump t =
+  let acc = ref [] in
+  Btree.iter_all t (fun k v -> acc := (k, v) :: !acc);
+  List.rev !acc
+
+let range_dump t ~lo ~hi =
+  let acc = ref [] in
+  Btree.iter_range t ~lo ~hi (fun k v -> acc := (k, v) :: !acc);
+  List.rev !acc
+
+(* Build a tree from [pairs], persist it, power-cut the pool (a clean
+   close: every leaf was persisted by the insert path), then reattach it
+   both ways - the one-shot rebuild and recovery's staged pipeline - and
+   require identical answers to every query the original answered. *)
+let golden_case name pairs =
+  let pool, store = mk_tree_store Node_store.Hybrid in
+  let t = Btree.create store in
+  List.iter (fun (k, v) -> Btree.insert t k v) pairs;
+  let all = tree_dump t in
+  let keys = List.sort_uniq compare (List.map fst pairs) in
+  let point_answers = List.map (fun k -> (k, Btree.lookup t k)) keys in
+  let windows =
+    (Int64.min_int, Int64.max_int)
+    :: (match keys with
+       | [] -> []
+       | ks ->
+           let lo = List.hd ks and hi = List.nth ks (List.length ks - 1) in
+           [ (lo, hi); (Int64.add lo 1L, Int64.sub hi 1L) ])
+  in
+  let range_answers =
+    List.map (fun (lo, hi) -> ((lo, hi), range_dump t ~lo ~hi)) windows
+  in
+  let first_leaf = Btree.first_leaf t in
+  Pool.crash pool;
+  let check_rebuilt how t' =
+    Btree.check_invariants t';
+    Alcotest.(check int)
+      (Printf.sprintf "%s/%s: count" name how)
+      (List.length all) (Btree.count t');
+    Alcotest.(check bool)
+      (Printf.sprintf "%s/%s: full scan" name how)
+      true
+      (tree_dump t' = all);
+    List.iter
+      (fun (k, expect) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s/%s: point %Ld" name how k)
+          true
+          (Btree.lookup t' k = expect))
+      point_answers;
+    List.iter
+      (fun ((lo, hi), expect) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s/%s: range [%Ld,%Ld]" name how lo hi)
+          true
+          (range_dump t' ~lo ~hi = expect))
+      range_answers
+  in
+  let rebuilt, nleaves = Btree.rebuild_from_leaves store ~first_leaf in
+  check_rebuilt "oneshot" rebuilt;
+  let handles = Btree.leaf_handles store ~first_leaf in
+  Alcotest.(check int)
+    (Printf.sprintf "%s: staged walk sees every leaf" name)
+    nleaves (Array.length handles);
+  let infos = Array.map (Btree.read_leaf_info store) handles in
+  check_rebuilt "staged" (Btree.build_from_leaf_infos store ~first_leaf infos)
+
+let test_golden_empty () = golden_case "empty" []
+
+let test_golden_single_leaf () =
+  golden_case "single-leaf" (List.init 5 (fun i -> (Int64.of_int (i * 3), Int64.of_int i)))
+
+let test_golden_leaf_exactly_full () =
+  (* exactly [fanout] entries: one leaf on the brink of splitting *)
+  golden_case "full-leaf"
+    (List.init Node_store.fanout (fun i -> (Int64.of_int (i * 7), Int64.of_int i)))
+
+let test_golden_multilevel_dups () =
+  (* several inner levels, every key duplicated ~10x across leaves *)
+  golden_case "multilevel-dups"
+    (List.init 500 (fun i -> (Int64.of_int (i mod 50), Int64.of_int i)))
+
+(* --- differential: recovered vs never-crashed ------------------------- *)
+
+let snb_labels = [ "Person"; "Post"; "Comment"; "Forum"; "Place"; "Tag" ]
+
+let mk_snb_db ~seed =
+  let db = Core.create ~mode:`Pmem ~pool_size:(1 lsl 25) ~chunk_capacity:256 () in
+  let ds =
+    Snb.Gen.generate
+      ~params:{ Snb.Gen.default_params with sf = 0.01 }
+      (Core.store db)
+  in
+  List.iter
+    (fun l -> ignore (Core.create_index db ~label:l ~prop:"id" ()))
+    snb_labels;
+  let sc = ds.Snb.Gen.schema in
+  let rng = Random.State.make [| seed; 0xD411 |] in
+  let ctx = IU.make_ctx () in
+  let nspec = List.length IU.all in
+  for _ = 1 to 10 do
+    let spec = List.nth IU.all (Random.State.int rng nspec) in
+    let params = spec.IU.draw ds rng ctx in
+    ignore (Core.execute_update db ~params (spec.IU.plan sc))
+  done;
+  (db, ds)
+
+let norm rows = List.sort compare (List.map Array.to_list rows)
+
+let test_differential_short_reads () =
+  let seed = 42 in
+  let live, ds = mk_snb_db ~seed in
+  let crashed, _ = mk_snb_db ~seed in
+  Core.crash crashed;
+  let recovered = Core.reopen ~recovery_threads:2 crashed in
+  let sc = ds.Snb.Gen.schema in
+  let config =
+    { Engine.default_config with prop_tag = Snb.Schema.prop_tag sc }
+  in
+  let rng = Random.State.make [| seed; 0xD1FF |] in
+  List.iter
+    (fun spec ->
+      for _ = 1 to 3 do
+        let param = SR.draw_param ds rng spec in
+        List.iter
+          (fun (mode_name, mode) ->
+            let run db =
+              List.concat_map
+                (fun plan ->
+                  fst (Core.query db ~mode ~config ~params:[| param |] plan))
+                (spec.SR.plans ~access:`Index)
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "[seed=%d] SR%s %s: recovered == live" seed
+                 spec.SR.name mode_name)
+              true
+              (norm (run recovered) = norm (run live)))
+          [ ("interp", Engine.Interp); ("jit", Engine.Jit) ]
+      done)
+    (SR.all sc)
+
+let () =
+  Alcotest.run "recovery"
+    [
+      ( "battery",
+        [
+          Alcotest.test_case
+            (Printf.sprintf "randomized crash battery (%d points)" battery_points)
+            `Slow test_random_battery;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "empty tree" `Quick test_golden_empty;
+          Alcotest.test_case "single leaf" `Quick test_golden_single_leaf;
+          Alcotest.test_case "leaf exactly full" `Quick
+            test_golden_leaf_exactly_full;
+          Alcotest.test_case "multi-level with duplicates" `Quick
+            test_golden_multilevel_dups;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "short reads, interp and jit" `Slow
+            test_differential_short_reads;
+        ] );
+    ]
