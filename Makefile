@@ -1,4 +1,4 @@
-.PHONY: all build test check clean bench-smoke recover-smoke
+.PHONY: all build test check clean bench-smoke recover-smoke checkpoint-smoke
 
 all: build
 
@@ -24,14 +24,28 @@ bench-smoke: build
 	dune exec bin/poseidon_cli.exe -- stats --validate BENCH_htap.prom
 
 # crash-to-ready recovery benchmark: serial vs 2/4-domain parallel
-# rebuild latency plus a 200-point randomized crash battery; fails
-# unless BENCH_recovery.json validates, every phase is timed, the
-# 4-domain rebuild beats serial by >= 2x, and every sampled crash
-# point recovers to the same state at every domain count
+# rebuild latency, checkpointed + lazy instant restart, plus a 200-point
+# randomized crash battery (checkpoint mid-mix); fails unless
+# BENCH_recovery.json validates, every phase is timed, the 4-domain
+# rebuild beats serial by >= 2x, lazy time-to-first-query beats serial
+# full rebuild by >= 5x, and every sampled crash point recovers to the
+# same state at every domain count and in lazy mode
 recover-smoke: build
 	dune exec bin/poseidon_cli.exe -- recover-bench --sf 0.05 --seed 42 \
 	  --threads 4 --battery-points 200 --min-speedup 2.0 \
+	  --lazy --min-ttfq-speedup 5.0 \
 	  --out BENCH_recovery.json
+
+# fast checkpoint gate for the PR loop: a 20-point bench battery with a
+# mid-mix checkpoint plus the TTFQ gate, the checkpoint-targeted crash
+# tests (mid-checkpoint cuts, generation flipping, tamper rejection),
+# and the checkpoint CLI drill
+checkpoint-smoke: build
+	dune exec bin/poseidon_cli.exe -- recover-bench --sf 0.05 --seed 42 \
+	  --threads 2 --battery-points 20 --lazy --min-ttfq-speedup 5.0 \
+	  --out BENCH_recovery.json
+	dune exec test/test_checkpoint.exe
+	dune exec bin/poseidon_cli.exe -- checkpoint --sf 0.02 --cycles 2
 
 clean:
 	dune clean

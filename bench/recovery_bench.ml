@@ -1,23 +1,31 @@
 (* Crash-to-ready recovery benchmark (recover-bench).
 
-   Two parts:
+   Three parts:
 
    1. Latency table: seed an SNB dataset, dirty it with a seeded update
       mix, then for each domain count crash the engine and measure the
       simulated crash-to-ready latency of [Core.reopen] (per-phase
       breakdown from [Recovery.report]).  A serial repair pass runs
       before the first measurement so every measured recovery starts
-      from the same durable image.
+      from the same durable image.  No checkpoint exists yet, so these
+      rows are pure full rebuilds.
 
-   2. Randomized battery: record the persist trace of a deterministic
-      SNB update mix, sample crash points uniformly over its
+   2. Instant restart (with [measure_lazy]): take a checkpoint, dirty a
+      small delta, crash, and measure (a) eager recovery accelerated by
+      the checkpoint and (b) lazy recovery's time-to-first-query and
+      time-to-fully-warm.  [min_ttfq_speedup] gates the ratio of the
+      serial full rebuild over TTFQ.
+
+   3. Randomized battery: record the persist trace of a deterministic
+      SNB update mix with a checkpoint in the middle (so sampled points
+      also cut mid-checkpoint), sample crash points uniformly over its
       store/clwb/sfence events, and for each point cut power there
-      (via [Pmem.Faults]), recover once per domain count, check a
-      structural oracle and assert that every domain count rebuilds
-      bit-identical volatile state (dictionary codes, free-slot lists,
-      index contents, MVTO watermark).
+      (via [Pmem.Faults]), recover once per domain count plus once
+      lazily, check a structural oracle and assert that every recovery
+      rebuilds bit-identical volatile state (dictionary codes,
+      free-slot lists, index contents, MVTO watermark).
 
-   Results are emitted as BENCH_recovery.json. *)
+   Results are emitted as BENCH_recovery.json (schema v2). *)
 
 module Json = Htap.Json
 module Pool = Pmem.Pool
@@ -40,6 +48,11 @@ type config = {
   battery_points : int;  (** sampled crash points; 0 disables the battery *)
   battery_sf : float;  (** scale factor of the battery drill dataset *)
   min_speedup : float;  (** required serial/parallel ratio; 0 disables *)
+  measure_lazy : bool;
+      (** also measure checkpointed eager recovery and lazy instant
+          restart (TTFQ / TTFW) *)
+  min_ttfq_speedup : float;
+      (** required (serial full rebuild / TTFQ) ratio; 0 disables *)
 }
 
 let default_config =
@@ -50,15 +63,26 @@ let default_config =
     battery_points = 0;
     battery_sf = 0.01;
     min_speedup = 0.;
+    measure_lazy = false;
+    min_ttfq_speedup = 0.;
   }
 
 type battery_result = {
   points : int;
   fired : int;  (** plans whose crash point actually cut power *)
   domain_counts : int list;
+  modes : string list;  (** recovery modes exercised per point *)
   trace_stores : int;
   trace_flushes : int;
   trace_fences : int;
+}
+
+type instant_result = {
+  ckpt_run : Recovery.report;
+      (** serial eager recovery accelerated by a fresh checkpoint *)
+  ttfq_ns : int;  (** lazy restart: simulated time to first query *)
+  ttfw_ns : int;  (** lazy restart: simulated time to fully warm *)
+  ttfq_speedup : float;  (** serial full rebuild / TTFQ *)
 }
 
 type result = {
@@ -66,6 +90,7 @@ type result = {
   runs : Recovery.report list;  (** one per [cfg.threads] entry, in order *)
   speedup : float;
       (** serial crash-to-ready latency over the best parallel one *)
+  instant : instant_result option;
   battery : battery_result option;
 }
 
@@ -135,7 +160,58 @@ let measure cfg =
     if best_parallel = max_int then 1.
     else float_of_int serial.Recovery.r_total_ns /. float_of_int best_parallel
   in
-  (reports, speedup)
+  (reports, speedup, db, ds)
+
+(* --- 1b. instant restart: checkpoint + lazy TTFQ/TTFW -------------------- *)
+
+(* Continue on [measure]'s dataset: checkpoint at quiescence, dirty a
+   small delta, crash, and measure first the checkpoint-accelerated
+   eager recovery, then a lazy reopen's time-to-first-query and (after
+   [Core.warm_all]) time-to-fully-warm. *)
+let measure_instant cfg db ds ~serial_full_ns =
+  ignore (Core.checkpoint !db);
+  update_mix !db ds ~seed:(cfg.seed + 1) ~ops:10;
+  let dirty_and_crash () =
+    (* same in-flight transaction shape as the latency table *)
+    let txn = Core.begin_txn !db in
+    ignore
+      (Core.create_node !db txn ~label:"Person" ~props:[ ("id", Value.Int (-1)) ]);
+    Core.crash !db
+  in
+  dirty_and_crash ();
+  db := Core.reopen ~recovery_threads:1 !db;
+  let ckpt_run =
+    match Core.last_recovery !db with Some r -> r | None -> assert false
+  in
+  (* fresh snapshot for the lazy pass, so both measure the same
+     checkpoint-plus-small-delta shape *)
+  ignore (Core.checkpoint !db);
+  update_mix !db ds ~seed:(cfg.seed + 2) ~ops:10;
+  dirty_and_crash ();
+  db := Core.reopen ~recovery_mode:Recovery.Lazy !db;
+  let ttfq_ns =
+    match Core.last_recovery !db with
+    | Some r -> r.Recovery.r_ttfq_ns
+    | None -> assert false
+  in
+  Core.warm_all !db;
+  let ttfw_ns =
+    match
+      Obs.Metrics.value
+        (Pmem.Media.registry (Core.media !db))
+        "time_to_fully_warm_ns"
+    with
+    | Some v -> v
+    | None -> 0
+  in
+  {
+    ckpt_run;
+    ttfq_ns;
+    ttfw_ns;
+    ttfq_speedup =
+      (if ttfq_ns <= 0 then 0.
+       else float_of_int serial_full_ns /. float_of_int ttfq_ns);
+  }
 
 (* --- 2. randomized crash-point battery ----------------------------------- *)
 
@@ -161,7 +237,13 @@ let drill_fresh cfg () =
     [ "Person"; "Forum"; "Place"; "Tag" ];
   { db; ds }
 
-let drill_mix cfg st = update_mix st.db st.ds ~seed:cfg.seed ~ops:10
+(* Checkpoint in the middle: uniformly sampled crash points then also
+   land inside the checkpoint's own write window, so the battery
+   exercises torn-generation recovery too. *)
+let drill_mix cfg st =
+  update_mix st.db st.ds ~seed:cfg.seed ~ops:5;
+  ignore (Core.checkpoint st.db);
+  update_mix st.db st.ds ~seed:(cfg.seed + 1) ~ops:5
 
 let drill_indexes = [ "Person"; "Post"; "Comment" ]
 
@@ -246,9 +328,10 @@ let drill_oracle db =
   Core.with_txn db (fun _ -> ())
 
 (* Cut power at [plan]'s crash point during the drill mix, recover with
-   [threads] domains; returns whether the plan fired plus the
-   fingerprint (computed before the oracle's probe transactions). *)
-let battery_run cfg ~threads ~plan =
+   [threads] domains (or lazily, forced fully warm); returns whether the
+   plan fired plus the fingerprint (computed before the oracle's probe
+   transactions). *)
+let battery_run cfg ~threads ~mode ~plan =
   let st = drill_fresh cfg () in
   let pool = Core.pool st.db in
   let media = Core.media st.db in
@@ -260,7 +343,10 @@ let battery_run cfg ~threads ~plan =
     | exception Faults.Crash_point _ -> true
   in
   Pool.crash pool;
-  let db = Core.reopen ~recovery_threads:threads st.db in
+  let db =
+    Core.reopen ~recovery_threads:threads ~recovery_mode:mode st.db
+  in
+  if mode = Recovery.Lazy then Core.warm_all db;
   let s = signature db in
   drill_oracle db;
   (fired, s)
@@ -298,38 +384,44 @@ let battery cfg =
           ()
       else Faults.plan ~crash_at:(kind, ordinal) ()
     in
+    let variants =
+      List.map (fun n -> (n, Recovery.Eager)) domain_counts
+      @ [ (1, Recovery.Lazy) ]
+    in
+    let vname (n, mode) =
+      Printf.sprintf "%d-domain %s" n (Recovery.mode_name mode)
+    in
     let outcomes =
       List.map
-        (fun n -> (n, battery_run cfg ~threads:n ~plan:(mk_plan ())))
-        domain_counts
+        (fun (n, mode) ->
+          ((n, mode), battery_run cfg ~threads:n ~mode ~plan:(mk_plan ())))
+        variants
     in
     (match outcomes with
     | [] -> ()
-    | (n0, (fired0, sig0)) :: rest ->
+    | (v0, (fired0, sig0)) :: rest ->
         if fired0 then incr fired_total;
         List.iter
-          (fun (n, (fired, s)) ->
+          (fun (v, (fired, s)) ->
             if fired <> fired0 then
-              failf "point %d: plan fired with %d domains but not with %d"
-                point
-                (if fired then n else n0)
-                (if fired then n0 else n);
+              failf "point %d: plan fired with %s but not with %s" point
+                (vname (if fired then v else v0))
+                (vname (if fired then v0 else v));
             if s <> sig0 then
-              failf
-                "point %d (%s #%d): %d-domain recovery diverged from \
-                 %d-domain recovery"
+              failf "point %d (%s #%d): %s recovery diverged from %s recovery"
                 point
                 (match kind with
                 | `Write -> "store"
                 | `Flush -> "clwb"
                 | `Fence -> "sfence")
-                ordinal n n0)
+                ordinal (vname v) (vname v0))
           rest)
   done;
   {
     points = cfg.battery_points;
     fired = !fired_total;
     domain_counts;
+    modes = [ "eager"; "lazy" ];
     trace_stores = ns;
     trace_flushes = nf;
     trace_fences = nfe;
@@ -338,11 +430,19 @@ let battery cfg =
 (* --- driver and JSON ------------------------------------------------------ *)
 
 let run cfg =
-  let runs, speedup = measure cfg in
+  let runs, speedup, db, ds = measure cfg in
+  let instant =
+    if cfg.measure_lazy || cfg.min_ttfq_speedup > 0. then
+      let serial_full_ns =
+        (List.find (fun r -> r.Recovery.r_threads = 1) runs).Recovery.r_total_ns
+      in
+      Some (measure_instant cfg db ds ~serial_full_ns)
+    else None
+  in
   let battery =
     if cfg.battery_points > 0 then Some (battery cfg) else None
   in
-  { cfg; runs; speedup; battery }
+  { cfg; runs; speedup; instant; battery }
 
 let json_of_report (r : Recovery.report) =
   Json.Obj
@@ -373,15 +473,28 @@ let to_json r =
             ("points", Json.Int b.points);
             ("fired", Json.Int b.fired);
             ("domain_counts", Json.List (List.map (fun n -> Json.Int n) b.domain_counts));
+            ("modes", Json.List (List.map (fun m -> Json.Str m) b.modes));
             ("trace_stores", Json.Int b.trace_stores);
             ("trace_flushes", Json.Int b.trace_flushes);
             ("trace_fences", Json.Int b.trace_fences);
           ]
   in
+  let instant =
+    match r.instant with
+    | None -> Json.Null
+    | Some l ->
+        Json.Obj
+          [
+            ("checkpoint_run", json_of_report l.ckpt_run);
+            ("ttfq_ns", Json.Int l.ttfq_ns);
+            ("ttfw_ns", Json.Int l.ttfw_ns);
+            ("ttfq_speedup", Json.Float l.ttfq_speedup);
+          ]
+  in
   Json.to_string
     (Json.Obj
        [
-         ("schema", Json.Str "poseidon/recovery-bench/v1");
+         ("schema", Json.Str "poseidon/recovery-bench/v2");
          ( "config",
            Json.Obj
              [
@@ -392,9 +505,12 @@ let to_json r =
                ("battery_points", Json.Int r.cfg.battery_points);
                ("battery_sf", Json.Float r.cfg.battery_sf);
                ("min_speedup", Json.Float r.cfg.min_speedup);
+               ("measure_lazy", Json.Bool r.cfg.measure_lazy);
+               ("min_ttfq_speedup", Json.Float r.cfg.min_ttfq_speedup);
              ] );
          ("runs", Json.List (List.map json_of_report r.runs));
          ("speedup", Json.Float r.speedup);
+         ("instant", instant);
          ("battery", battery);
        ])
 
@@ -407,8 +523,9 @@ let write_json path r =
       output_char oc '\n')
 
 let phase_names = [ "pmdk_log"; "tables"; "dict"; "mvcc"; "indexes" ]
+let ckpt_phase = "checkpoint"
 
-let validate ?(min_speedup = 0.) s =
+let validate ?(min_speedup = 0.) ?(min_ttfq_speedup = 0.) s =
   let ( let* ) = Result.bind in
   let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
   match Json.parse s with
@@ -416,8 +533,45 @@ let validate ?(min_speedup = 0.) s =
   | doc ->
       let* () =
         match Json.member "schema" doc with
-        | Some (Json.Str "poseidon/recovery-bench/v1") -> Ok ()
+        | Some (Json.Str "poseidon/recovery-bench/v2") -> Ok ()
         | _ -> err "missing or unexpected schema tag"
+      in
+      (* a run must be fully phase-timed: every expected phase present
+         and the per-phase timings summing exactly to total_ns *)
+      let check_run ~extra run =
+        let* total =
+          match Json.to_int (Json.member "total_ns" run) with
+          | Some t when t > 0 -> Ok t
+          | _ -> err "run without positive total_ns"
+        in
+        let* phases =
+          match Json.member "phases" run with
+          | Some (Json.List l) -> Ok l
+          | _ -> err "run without phases"
+        in
+        let names =
+          List.filter_map
+            (fun p ->
+              match Json.member "name" p with
+              | Some (Json.Str n) -> Some n
+              | _ -> None)
+            phases
+        in
+        let* () =
+          if List.for_all (fun n -> List.mem n names) (phase_names @ extra)
+          then Ok ()
+          else err "run is missing a recovery phase"
+        in
+        let sum =
+          List.fold_left
+            (fun a p ->
+              match Json.to_int (Json.member "ns" p) with
+              | Some ns -> a + ns
+              | None -> a)
+            0 phases
+        in
+        if sum = total then Ok ()
+        else err "phase timings do not sum to total_ns"
       in
       let* runs =
         match Json.member "runs" doc with
@@ -428,39 +582,7 @@ let validate ?(min_speedup = 0.) s =
         List.fold_left
           (fun acc run ->
             let* () = acc in
-            let* total =
-              match Json.to_int (Json.member "total_ns" run) with
-              | Some t when t > 0 -> Ok t
-              | _ -> err "run without positive total_ns"
-            in
-            let* phases =
-              match Json.member "phases" run with
-              | Some (Json.List l) -> Ok l
-              | _ -> err "run without phases"
-            in
-            let names =
-              List.filter_map
-                (fun p ->
-                  match Json.member "name" p with
-                  | Some (Json.Str n) -> Some n
-                  | _ -> None)
-                phases
-            in
-            let* () =
-              if List.for_all (fun n -> List.mem n names) phase_names then
-                Ok ()
-              else err "run is missing a recovery phase"
-            in
-            let sum =
-              List.fold_left
-                (fun a p ->
-                  match Json.to_int (Json.member "ns" p) with
-                  | Some ns -> a + ns
-                  | None -> a)
-                0 phases
-            in
-            if sum = total then Ok ()
-            else err "phase timings do not sum to total_ns")
+            check_run ~extra:[] run)
           (Ok ()) runs
       in
       let* () =
@@ -477,18 +599,53 @@ let validate ?(min_speedup = 0.) s =
         | Some (Json.Int i) -> Ok (float_of_int i)
         | _ -> err "speedup missing"
       in
-      if sp +. 1e-9 < min_speedup then
-        err "speedup %.2fx below required %.2fx" sp min_speedup
-      else Ok ()
+      let* () =
+        if sp +. 1e-9 < min_speedup then
+          err "speedup %.2fx below required %.2fx" sp min_speedup
+        else Ok ()
+      in
+      (* instant-restart block: checkpoint-accelerated eager run (with
+         the extra checkpoint phase) plus lazy TTFQ / TTFW *)
+      match Json.member "instant" doc with
+      | None | Some Json.Null ->
+          if min_ttfq_speedup > 0. then
+            err "min-ttfq-speedup set but no instant-restart measurement"
+          else Ok ()
+      | Some inst ->
+          let* () =
+            match Json.member "checkpoint_run" inst with
+            | Some run -> check_run ~extra:[ ckpt_phase ] run
+            | None -> err "instant without checkpoint_run"
+          in
+          let* ttfq =
+            match Json.to_int (Json.member "ttfq_ns" inst) with
+            | Some t when t > 0 -> Ok t
+            | _ -> err "instant without positive ttfq_ns"
+          in
+          let* () =
+            match Json.to_int (Json.member "ttfw_ns" inst) with
+            | Some t when t >= ttfq -> Ok ()
+            | Some _ -> err "ttfw_ns below ttfq_ns"
+            | None -> err "instant without ttfw_ns"
+          in
+          let* tsp =
+            match Json.member "ttfq_speedup" inst with
+            | Some (Json.Float f) -> Ok f
+            | Some (Json.Int i) -> Ok (float_of_int i)
+            | _ -> err "ttfq_speedup missing"
+          in
+          if tsp +. 1e-9 < min_ttfq_speedup then
+            err "TTFQ speedup %.2fx below required %.2fx" tsp min_ttfq_speedup
+          else Ok ()
 
-let validate_file ?min_speedup path =
+let validate_file ?min_speedup ?min_ttfq_speedup path =
   let ic = open_in_bin path in
   let s =
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  validate ?min_speedup s
+  validate ?min_speedup ?min_ttfq_speedup s
 
 let print_summary r =
   Printf.printf "crash-to-ready recovery (sf=%.2f, seed=%d):\n" r.cfg.sf
@@ -511,11 +668,37 @@ let print_summary r =
         (phase_us "mvcc") (phase_us "indexes"))
     r.runs;
   Printf.printf "  speedup (serial / best parallel): %.2fx\n" r.speedup;
+  (match r.instant with
+  | None -> ()
+  | Some l ->
+      let phase_us (rep : Recovery.report) name =
+        match
+          List.find_opt (fun p -> p.Recovery.ph_name = name) rep.Recovery.r_phases
+        with
+        | Some p -> float_of_int p.Recovery.ph_ns /. 1e3
+        | None -> 0.
+      in
+      Printf.printf
+        "  with checkpoint (serial eager): %.1f sim-us total (checkpoint \
+         load %.1f, tables %.1f, dict %.1f, indexes %.1f)\n"
+        (float_of_int l.ckpt_run.Recovery.r_total_ns /. 1e3)
+        (phase_us l.ckpt_run "checkpoint")
+        (phase_us l.ckpt_run "tables")
+        (phase_us l.ckpt_run "dict")
+        (phase_us l.ckpt_run "indexes");
+      Printf.printf
+        "  lazy instant restart: time-to-first-query %.1f sim-us, \
+         time-to-fully-warm %.1f sim-us (TTFQ %.1fx under serial full \
+         rebuild)\n"
+        (float_of_int l.ttfq_ns /. 1e3)
+        (float_of_int l.ttfw_ns /. 1e3)
+        l.ttfq_speedup);
   match r.battery with
   | None -> ()
   | Some b ->
       Printf.printf
         "  battery: %d crash points (%d fired) over a %d-store / %d-clwb / \
-         %d-sfence trace, domain counts %s: all recoveries equivalent\n"
+         %d-sfence trace (checkpoint mid-mix), domain counts %s + lazy: \
+         all recoveries equivalent\n"
         b.points b.fired b.trace_stores b.trace_flushes b.trace_fences
         (String.concat "," (List.map string_of_int b.domain_counts))

@@ -1,8 +1,12 @@
 (** Crash-to-ready recovery benchmark: a serial-vs-parallel latency
     table for {!Core.reopen} (per-phase breakdown from
-    {!Recovery.report}) plus a randomized crash-point battery asserting
-    that recovery at every domain count rebuilds identical volatile
-    state.  Results are emitted as BENCH_recovery.json. *)
+    {!Recovery.report}), an optional instant-restart measurement
+    (checkpoint-accelerated eager recovery plus lazy time-to-first-query
+    and time-to-fully-warm) and a randomized crash-point battery — with
+    a checkpoint taken mid-mix, so sampled cuts also land inside the
+    checkpoint write — asserting that recovery at every domain count and
+    in lazy mode rebuilds identical volatile state.  Results are emitted
+    as BENCH_recovery.json (schema v2). *)
 
 type config = {
   sf : float;  (** scale factor of the latency-table dataset *)
@@ -11,6 +15,11 @@ type config = {
   battery_points : int;  (** sampled crash points; 0 disables the battery *)
   battery_sf : float;  (** scale factor of the battery drill dataset *)
   min_speedup : float;  (** required serial/parallel ratio; 0 disables *)
+  measure_lazy : bool;
+      (** also measure checkpointed eager recovery and lazy instant
+          restart (TTFQ / TTFW) *)
+  min_ttfq_speedup : float;
+      (** required (serial full rebuild / TTFQ) ratio; 0 disables *)
 }
 
 val default_config : config
@@ -19,9 +28,18 @@ type battery_result = {
   points : int;
   fired : int;  (** plans whose crash point actually cut power *)
   domain_counts : int list;
+  modes : string list;  (** recovery modes exercised per point *)
   trace_stores : int;
   trace_flushes : int;
   trace_fences : int;
+}
+
+type instant_result = {
+  ckpt_run : Recovery.report;
+      (** serial eager recovery accelerated by a fresh checkpoint *)
+  ttfq_ns : int;  (** lazy restart: simulated time to first query *)
+  ttfw_ns : int;  (** lazy restart: simulated time to fully warm *)
+  ttfq_speedup : float;  (** serial full rebuild / TTFQ *)
 }
 
 type result = {
@@ -29,26 +47,37 @@ type result = {
   runs : Recovery.report list;  (** one per [cfg.threads] entry, in order *)
   speedup : float;
       (** serial crash-to-ready latency over the best parallel one *)
+  instant : instant_result option;
   battery : battery_result option;
 }
 
 exception Battery_failure of string
-(** A sampled crash point violated the oracle, or two domain counts
-    rebuilt different state. *)
+(** A sampled crash point violated the oracle, or two recovery
+    strategies rebuilt different state. *)
 
 val run : config -> result
 (** Raises {!Battery_failure} on the first violated crash point; the
-    speedup itself is reported, not enforced (see {!validate}). *)
+    speedups themselves are reported, not enforced (see {!validate}). *)
 
 val to_json : result -> string
 val write_json : string -> result -> unit
 
-val validate : ?min_speedup:float -> string -> (unit, string) Stdlib.result
+val validate :
+  ?min_speedup:float ->
+  ?min_ttfq_speedup:float ->
+  string ->
+  (unit, string) Stdlib.result
 (** Validate an emitted BENCH_recovery.json document: parses, has a
-    serial run, every run carries all five recovery phases with timings
-    summing to its total, and the speedup reaches [min_speedup]. *)
+    serial run, every run carries all five base recovery phases (the
+    checkpointed run additionally the [checkpoint] phase) with timings
+    summing to its total, the parallel speedup reaches [min_speedup],
+    and — when the instant block is present — TTFQ is positive,
+    TTFW >= TTFQ and the TTFQ speedup reaches [min_ttfq_speedup]. *)
 
 val validate_file :
-  ?min_speedup:float -> string -> (unit, string) Stdlib.result
+  ?min_speedup:float ->
+  ?min_ttfq_speedup:float ->
+  string ->
+  (unit, string) Stdlib.result
 
 val print_summary : result -> unit

@@ -9,6 +9,8 @@
      faults     exhaustive crash-schedule sweep + SSD fault drill
      htap       concurrent writers + analytic readers, JSON metrics
      recover-bench  serial-vs-parallel crash-to-ready latency + battery
+                    (--lazy adds checkpointed recovery and TTFQ/TTFW)
+     checkpoint force incremental checkpoints, show shadow-slot state
 
    Examples:
      poseidon_cli generate --sf 0.5
@@ -457,7 +459,7 @@ let metrics_out_t =
 
 (* --- recover-bench ------------------------------------------------------------- *)
 
-let recover_bench sf seed threads battery_points min_speedup out =
+let recover_bench sf seed threads battery_points min_speedup lazy_ min_ttfq out =
   let rec doubling n = if n >= threads then [ threads ] else n :: doubling (n * 2) in
   let threads_list = if threads <= 1 then [ 1 ] else 1 :: doubling 2 in
   let cfg =
@@ -468,13 +470,18 @@ let recover_bench sf seed threads battery_points min_speedup out =
       threads = threads_list;
       battery_points;
       min_speedup;
+      measure_lazy = lazy_ || min_ttfq > 0.;
+      min_ttfq_speedup = min_ttfq;
     }
   in
   (match Recovery_bench.run cfg with
   | r ->
       Recovery_bench.print_summary r;
       Recovery_bench.write_json out r;
-      (match Recovery_bench.validate_file ~min_speedup out with
+      (match
+         Recovery_bench.validate_file ~min_speedup ~min_ttfq_speedup:min_ttfq
+           out
+       with
       | Ok () -> Printf.printf "OK: %s written and validated\n" out
       | Error msg ->
           Printf.printf "FAILED: %s invalid: %s\n" out msg;
@@ -500,9 +507,74 @@ let rb_min_speedup_t =
   in
   Arg.(value & opt float 0. & info [ "min-speedup" ] ~docv:"X" ~doc)
 
+let rb_lazy_t =
+  let doc =
+    "Also measure instant restart: checkpoint-accelerated eager recovery \
+     plus a lazy reopen's time-to-first-query and time-to-fully-warm."
+  in
+  Arg.(value & flag & info [ "lazy" ] ~doc)
+
+let rb_min_ttfq_t =
+  let doc =
+    "Fail unless lazy time-to-first-query beats serial full rebuild by \
+     $(docv)x (implies --lazy; 0 disables)."
+  in
+  Arg.(value & opt float 0. & info [ "min-ttfq-speedup" ] ~docv:"X" ~doc)
+
 let rb_out_t =
   let doc = "Output path for the machine-readable results." in
   Arg.(value & opt string "BENCH_recovery.json" & info [ "out" ] ~doc)
+
+(* --- checkpoint ---------------------------------------------------------------- *)
+
+let checkpoint_run sf seed cycles ops =
+  let db, ds = mk_db ~mode:`Pmem ~sf ~indexed:true in
+  let sc = ds.Snb.Gen.schema in
+  let rng = Random.State.make [| seed; 0xCE |] in
+  let ctx = IU.make_ctx () in
+  let media = Core.media db in
+  let nspec = List.length IU.all in
+  for cycle = 1 to max 1 cycles do
+    for _ = 1 to ops do
+      let spec = List.nth IU.all (Random.State.int rng nspec) in
+      let params = spec.IU.draw ds rng ctx in
+      ignore (Core.execute_update db ~params (spec.IU.plan sc))
+    done;
+    let c0 = Pmem.Media.clock media in
+    let seq = Core.checkpoint db in
+    Printf.printf
+      "checkpoint %d/%d: generation %d committed in %.1f sim-us (epoch now %d)\n"
+      cycle (max 1 cycles) seq
+      (float_of_int (Pmem.Media.clock media - c0) /. 1e3)
+      (Core.checkpoint_epoch db)
+  done;
+  match Core.checkpoint_info db with
+  | None ->
+      print_endline "FAILED: no checkpoint region";
+      exit 1
+  | Some i ->
+      Printf.printf "region epoch %d, shadow slots:\n" i.Checkpoint.i_epoch;
+      Array.iteri
+        (fun k (s : Checkpoint.slot_info) ->
+          if s.Checkpoint.si_seq = 0 && not s.Checkpoint.si_valid then
+            Printf.printf "  slot %d: empty\n" k
+          else
+            Printf.printf
+              "  slot %d: %s gen=%d snap_epoch=%d age=%d epoch(s) blob=%d B\n"
+              k
+              (if s.Checkpoint.si_valid then "valid  " else "INVALID")
+              s.Checkpoint.si_seq s.Checkpoint.si_snap_epoch
+              (i.Checkpoint.i_epoch - s.Checkpoint.si_snap_epoch)
+              s.Checkpoint.si_blob_len)
+        i.Checkpoint.i_slots
+
+let cycles_t =
+  let doc = "Checkpoints to take (updates run between each)." in
+  Arg.(value & opt int 2 & info [ "cycles" ] ~doc)
+
+let ckpt_ops_t =
+  let doc = "SNB update transactions before each checkpoint." in
+  Arg.(value & opt int 20 & info [ "ops" ] ~doc)
 
 (* --- query (Cypher-like) -------------------------------------------------------- *)
 
@@ -654,7 +726,16 @@ let recover_bench_cmd =
           battery; emits BENCH_recovery.json")
     Term.(
       const recover_bench $ sf_t $ seed_t $ rb_threads_t $ rb_points_t
-      $ rb_min_speedup_t $ rb_out_t)
+      $ rb_min_speedup_t $ rb_lazy_t $ rb_min_ttfq_t $ rb_out_t)
+
+let checkpoint_cmd =
+  Cmd.v
+    (Cmd.info "checkpoint"
+       ~doc:
+         "Force incremental checkpoints of the volatile accelerators and \
+          show the shadow-slot generations (sequence, epoch, age, blob \
+          size)")
+    Term.(const checkpoint_run $ sf_t $ seed_t $ cycles_t $ ckpt_ops_t)
 
 let query_cmd =
   Cmd.v
@@ -681,5 +762,5 @@ let () =
        (Cmd.group info
           [
             generate_cmd; sr_cmd; iu_cmd; crash_cmd; stats_cmd; faults_cmd;
-            htap_cmd; recover_bench_cmd; query_cmd;
+            htap_cmd; recover_bench_cmd; checkpoint_cmd; query_cmd;
           ]))

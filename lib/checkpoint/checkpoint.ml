@@ -1,0 +1,490 @@
+(* Incremental checkpoints of the volatile accelerators (dict hash
+   region, B+-tree inner levels / volatile trees, table free-slot maps,
+   MVTO watermark) into a dedicated pmem region.
+
+   Shadow-slot write protocol: the region header carries the global
+   checkpoint epoch plus TWO generation slots.  A checkpoint serializes
+   everything into one blob extent, then publishes it through the LOSER
+   slot (the invalid one, or the one with the lower sequence number):
+   zero the slot's commit word, persist the slot fields, persist the
+   blob, and only then store the commit word (an FNV-1a digest of the
+   other slot fields) with a failure-atomic 8-byte write.  A crash at
+   any point leaves the other slot - the previous generation - intact
+   and valid, so recovery always finds at most one torn generation and
+   at least the older complete one.
+
+   Epoch protocol (mark-before-mutate): mutators stamp each structure
+   with the cached global epoch BEFORE touching it.  A checkpoint, taken
+   at transaction quiescence, first bumps the persistent global epoch
+   from E to E+1 and refreshes every cache, then snapshots; the
+   generation records snap_epoch = E.  At recovery a structure is
+   unchanged since the checkpoint iff its stamp is <= snap_epoch: any
+   post-checkpoint mutation stamped it E+1 or later.  A crash between
+   the bump and the commit-word flip only over-approximates dirtiness
+   against the previous generation. *)
+
+module Pool = Pmem.Pool
+module Alloc = Pmem.Alloc
+module G = Storage.Graph_store
+module Dict = Storage.Dict
+module Table = Storage.Table
+module Props = Storage.Props
+module Index = Gindex.Index
+module Btree = Gindex.Btree
+module Node_store = Gindex.Node_store
+
+let src = Logs.Src.create "poseidon.checkpoint" ~doc:"Incremental checkpoints"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* ------------------------------------------------------------------ *)
+(* Region layout                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let magic = 0x504F534B50543031 (* "POSKPT01" *)
+
+(* Header extent: magic u64, global epoch u64, then two 64-byte
+   generation slots at 64 and 128. *)
+let hdr_bytes = 192
+let f_magic = 0
+let f_epoch = 8
+let slot_off = [| 64; 128 |]
+
+(* Slot fields (offsets within a slot). *)
+let s_seq = 0
+let s_snap_epoch = 8
+let s_watermark = 16
+let s_next_ts = 24
+let s_blob_off = 32
+let s_blob_len = 40
+let s_blob_sum = 48
+let s_commit = 56
+
+(* ------------------------------------------------------------------ *)
+(* FNV-1a                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv1a_bytes b =
+  let h = ref fnv_offset in
+  for i = 0 to Bytes.length b - 1 do
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (Bytes.get_uint8 b i))) fnv_prime
+  done;
+  !h
+
+let fnv1a_ints ints =
+  let b = Bytes.create (8 * List.length ints) in
+  List.iteri (fun i v -> Bytes.set_int64_le b (8 * i) (Int64.of_int v)) ints;
+  fnv1a_bytes b
+
+(* ------------------------------------------------------------------ *)
+(* Region bootstrap / epoch                                           *)
+(* ------------------------------------------------------------------ *)
+
+let region pool = Alloc.get_root pool G.root_ckpt
+
+let ensure_region pool =
+  let r = region pool in
+  if r <> 0 then r
+  else begin
+    let off = Alloc.alloc pool hdr_bytes in
+    Pool.fill pool ~off ~len:hdr_bytes '\000';
+    Pool.write_int pool (off + f_magic) magic;
+    Pool.write_int pool (off + f_epoch) 1;
+    Pool.persist pool ~off ~len:hdr_bytes;
+    Alloc.set_root pool G.root_ckpt off;
+    Log.info (fun m -> m "checkpoint region created at %#x" off);
+    off
+  end
+
+let current_epoch pool =
+  let r = region pool in
+  if r = 0 then 0 else Pool.raw_read_int pool (r + f_epoch)
+
+let bump_epoch pool =
+  let r = ensure_region pool in
+  let e = Pool.raw_read_int pool (r + f_epoch) in
+  Pool.atomic_write_int pool (r + f_epoch) (e + 1);
+  e + 1
+
+(* ------------------------------------------------------------------ *)
+(* Generation payload                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type idx_snap =
+  | Leaves of { first_leaf : int; infos : Btree.leaf_info array }
+  | Pairs of (int64 * int) array
+
+type gen = {
+  g_seq : int;
+  g_snap_epoch : int;
+  g_watermark : int;
+  g_next_ts : int;
+  g_dict : Dict.image;
+  g_tables : int list array array;
+  g_indexes : (int * idx_snap) list;
+}
+
+(* --- serialization (8-byte little-endian words via Buffer) -------- *)
+
+let buf_int b v = Buffer.add_int64_le b (Int64.of_int v)
+let buf_i64 b v = Buffer.add_int64_le b v
+
+let serialize g =
+  let b = Buffer.create 4096 in
+  (* dict *)
+  let im = g.g_dict in
+  buf_int b im.Dict.im_hash_off;
+  buf_int b im.Dict.im_hash_cap;
+  buf_int b im.Dict.im_next_code;
+  buf_int b im.Dict.im_epoch;
+  buf_int b (Bytes.length im.Dict.im_bytes);
+  Buffer.add_bytes b im.Dict.im_bytes;
+  (* tables: nodes, rels, props - in the recovery tables_phase order *)
+  buf_int b (Array.length g.g_tables);
+  Array.iter
+    (fun chunks ->
+      buf_int b (Array.length chunks);
+      Array.iter
+        (fun ids ->
+          buf_int b (List.length ids);
+          List.iter (fun id -> buf_int b id) ids)
+        chunks)
+    g.g_tables;
+  (* indexes, keyed by descriptor offset *)
+  buf_int b (List.length g.g_indexes);
+  List.iter
+    (fun (desc, snap) ->
+      buf_int b desc;
+      match snap with
+      | Leaves { first_leaf; infos } ->
+        buf_int b 1;
+        buf_int b first_leaf;
+        buf_int b (Array.length infos);
+        Array.iter
+          (fun (li : Btree.leaf_info) ->
+            buf_int b li.Btree.li_handle;
+            buf_i64 b li.Btree.li_min;
+            buf_int b li.Btree.li_entries;
+            buf_int b (Array.length li.Btree.li_pairs);
+            Array.iter
+              (fun (k, v) ->
+                buf_i64 b k;
+                buf_i64 b v)
+              li.Btree.li_pairs)
+          infos
+      | Pairs pairs ->
+        buf_int b 0;
+        buf_int b (Array.length pairs);
+        Array.iter
+          (fun (k, id) ->
+            buf_i64 b k;
+            buf_int b id)
+          pairs)
+    g.g_indexes;
+  Buffer.to_bytes b
+
+type cursor = { cb : Bytes.t; mutable cp : int }
+
+let cur_i64 c =
+  let v = Bytes.get_int64_le c.cb c.cp in
+  c.cp <- c.cp + 8;
+  v
+
+let cur_int c = Int64.to_int (cur_i64 c)
+
+let deserialize ~seq ~snap_epoch ~watermark ~next_ts bytes =
+  let c = { cb = bytes; cp = 0 } in
+  let im_hash_off = cur_int c in
+  let im_hash_cap = cur_int c in
+  let im_next_code = cur_int c in
+  let im_epoch = cur_int c in
+  let dlen = cur_int c in
+  let im_bytes = Bytes.sub c.cb c.cp dlen in
+  c.cp <- c.cp + dlen;
+  let ntables = cur_int c in
+  let tables =
+    Array.init ntables (fun _ ->
+        let nchunks = cur_int c in
+        Array.init nchunks (fun _ ->
+            let n = cur_int c in
+            List.init n (fun _ -> cur_int c)))
+  in
+  let nidx = cur_int c in
+  let indexes =
+    List.init nidx (fun _ ->
+        let desc = cur_int c in
+        let tag = cur_int c in
+        if tag = 1 then begin
+          let first_leaf = cur_int c in
+          let nleaves = cur_int c in
+          let infos =
+            Array.init nleaves (fun _ ->
+                let li_handle = cur_int c in
+                let li_min = cur_i64 c in
+                let li_entries = cur_int c in
+                let npairs = cur_int c in
+                let li_pairs =
+                  Array.init npairs (fun _ ->
+                      let k = cur_i64 c in
+                      let v = cur_i64 c in
+                      (k, v))
+                in
+                { Btree.li_handle; li_min; li_entries; li_pairs })
+          in
+          (desc, Leaves { first_leaf; infos })
+        end
+        else begin
+          let n = cur_int c in
+          let pairs =
+            Array.init n (fun _ ->
+                let k = cur_i64 c in
+                let id = cur_int c in
+                (k, id))
+          in
+          (desc, Pairs pairs)
+        end)
+  in
+  {
+    g_seq = seq;
+    g_snap_epoch = snap_epoch;
+    g_watermark = watermark;
+    g_next_ts = next_ts;
+    g_dict = { Dict.im_hash_off; im_hash_cap; im_next_code; im_epoch; im_bytes };
+    g_tables = tables;
+    g_indexes = indexes;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Slot I/O                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type slot = {
+  sl_seq : int;
+  sl_snap_epoch : int;
+  sl_watermark : int;
+  sl_next_ts : int;
+  sl_blob_off : int;
+  sl_blob_len : int;
+  sl_blob_sum : int64;
+  sl_valid : bool;
+}
+
+let slot_digest ~seq ~snap_epoch ~watermark ~next_ts ~blob_off ~blob_len
+    ~blob_sum =
+  (* Never 0, so an all-zero slot cannot masquerade as committed. *)
+  let d =
+    fnv1a_ints
+      [
+        seq;
+        snap_epoch;
+        watermark;
+        next_ts;
+        blob_off;
+        blob_len;
+        Int64.to_int blob_sum;
+      ]
+  in
+  if Int64.equal d 0L then 1L else d
+
+let read_slot pool region i =
+  let s = region + slot_off.(i) in
+  let seq = Pool.raw_read_int pool (s + s_seq) in
+  let snap_epoch = Pool.raw_read_int pool (s + s_snap_epoch) in
+  let watermark = Pool.raw_read_int pool (s + s_watermark) in
+  let next_ts = Pool.raw_read_int pool (s + s_next_ts) in
+  let blob_off = Pool.raw_read_int pool (s + s_blob_off) in
+  let blob_len = Pool.raw_read_int pool (s + s_blob_len) in
+  let blob_sum = Pool.raw_read_i64 pool (s + s_blob_sum) in
+  let commit = Pool.raw_read_i64 pool (s + s_commit) in
+  let digest =
+    slot_digest ~seq ~snap_epoch ~watermark ~next_ts ~blob_off ~blob_len
+      ~blob_sum
+  in
+  {
+    sl_seq = seq;
+    sl_snap_epoch = snap_epoch;
+    sl_watermark = watermark;
+    sl_next_ts = next_ts;
+    sl_blob_off = blob_off;
+    sl_blob_len = blob_len;
+    sl_blob_sum = blob_sum;
+    sl_valid = (not (Int64.equal commit 0L)) && Int64.equal commit digest;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Write (shadow-slot publish)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let write pool g =
+  let r = ensure_region pool in
+  let a = read_slot pool r 0 and b = read_slot pool r 1 in
+  (* Loser slot: prefer an invalid one, else the lower sequence. *)
+  let target =
+    if not a.sl_valid then 0
+    else if not b.sl_valid then 1
+    else if a.sl_seq <= b.sl_seq then 0
+    else 1
+  in
+  let loser = if target = 0 then a else b in
+  let seq =
+    1 + max (if a.sl_valid then a.sl_seq else 0) (if b.sl_valid then b.sl_seq else 0)
+  in
+  let bytes = serialize g in
+  let blob_len = Bytes.length bytes in
+  let blob_sum = fnv1a_bytes bytes in
+  let blob_off = Alloc.alloc pool blob_len in
+  Pool.write_bytes pool blob_off bytes;
+  Pool.persist pool ~off:blob_off ~len:blob_len;
+  let s = r + slot_off.(target) in
+  (* Invalidate the target slot first: a crash while its fields are torn
+     must not leave a committed-looking slot. *)
+  Pool.atomic_write_i64 pool (s + s_commit) 0L;
+  Pool.write_int pool (s + s_seq) seq;
+  Pool.write_int pool (s + s_snap_epoch) g.g_snap_epoch;
+  Pool.write_int pool (s + s_watermark) g.g_watermark;
+  Pool.write_int pool (s + s_next_ts) g.g_next_ts;
+  Pool.write_int pool (s + s_blob_off) blob_off;
+  Pool.write_int pool (s + s_blob_len) blob_len;
+  Pool.write_i64 pool (s + s_blob_sum) blob_sum;
+  Pool.persist pool ~off:s ~len:64;
+  let digest =
+    slot_digest ~seq ~snap_epoch:g.g_snap_epoch ~watermark:g.g_watermark
+      ~next_ts:g.g_next_ts ~blob_off ~blob_len ~blob_sum
+  in
+  (* Commit point: one failure-atomic 8-byte store. *)
+  Pool.atomic_write_i64 pool (s + s_commit) digest;
+  (* The displaced generation's blob is unreachable now; reclaim it.  A
+     crash before this point leaks the extent, which is acceptable. *)
+  if loser.sl_valid && loser.sl_blob_off <> 0 then
+    Alloc.free pool ~off:loser.sl_blob_off ~size:loser.sl_blob_len;
+  Log.info (fun m ->
+      m "checkpoint generation %d committed (epoch %d, blob %d B)" seq
+        g.g_snap_epoch blob_len);
+  seq
+
+(* ------------------------------------------------------------------ *)
+(* Load                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let load_slot pool sl =
+  let bytes = Pool.read_bytes pool sl.sl_blob_off sl.sl_blob_len in
+  if not (Int64.equal (fnv1a_bytes bytes) sl.sl_blob_sum) then None
+  else
+    Some
+      (deserialize ~seq:sl.sl_seq ~snap_epoch:sl.sl_snap_epoch
+         ~watermark:sl.sl_watermark ~next_ts:sl.sl_next_ts bytes)
+
+let load pool =
+  let r = region pool in
+  if r = 0 || Pool.raw_read_int pool (r + f_magic) <> magic then None
+  else begin
+    let a = read_slot pool r 0 and b = read_slot pool r 1 in
+    let ranked =
+      List.filter (fun s -> s.sl_valid) [ a; b ]
+      |> List.sort (fun x y -> compare y.sl_seq x.sl_seq)
+    in
+    (* Newest valid slot first; a torn/corrupt blob (checksummed) falls
+       back to the older generation rather than being trusted. *)
+    List.fold_left
+      (fun acc sl ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          let g = load_slot pool sl in
+          if g = None then
+            Log.warn (fun m ->
+                m "checkpoint generation %d blob checksum mismatch; skipped"
+                  sl.sl_seq);
+          g)
+      None ranked
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Introspection (CLI)                                                *)
+(* ------------------------------------------------------------------ *)
+
+type slot_info = {
+  si_seq : int;
+  si_snap_epoch : int;
+  si_blob_len : int;
+  si_valid : bool;
+}
+
+type info = { i_epoch : int; i_slots : slot_info array }
+
+let info pool =
+  let r = region pool in
+  if r = 0 then None
+  else
+    Some
+      {
+        i_epoch = Pool.raw_read_int pool (r + f_epoch);
+        i_slots =
+          Array.init 2 (fun i ->
+              let s = read_slot pool r i in
+              {
+                si_seq = s.sl_seq;
+                si_snap_epoch = s.sl_snap_epoch;
+                si_blob_len = s.sl_blob_len;
+                si_valid = s.sl_valid;
+              });
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Capture                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let table_snapshot t =
+  Array.init (Table.nchunks t) (fun ci -> Table.chunk_free_slots t ci)
+
+let index_snapshot pool idx =
+  let desc = Index.descriptor idx in
+  match Index.placement idx with
+  | Node_store.Volatile ->
+    let acc = ref [] in
+    Btree.iter_all (Index.tree idx) (fun k v -> acc := (k, Int64.to_int v) :: !acc);
+    let pairs = Array.of_list !acc in
+    (* Ascending record id = the order the serial fallback rebuild
+       inserts them, so a restore replays the identical sequence. *)
+    Array.sort (fun (_, a) (_, b) -> compare a b) pairs;
+    (desc, Pairs pairs)
+  | (Node_store.Persistent | Node_store.Hybrid) as placement ->
+    let media = Pool.media pool in
+    let nstore = Node_store.make placement ~pool ~media in
+    let first_leaf = Btree.first_leaf (Index.tree idx) in
+    let handles = Btree.leaf_handles nstore ~first_leaf in
+    let infos = Array.map (Btree.read_leaf_info nstore) handles in
+    (desc, Leaves { first_leaf; infos })
+
+let take pool ~store ~mgr ~indexes =
+  if Mvcc.Mvto.active_count mgr > 0 then
+    invalid_arg "Checkpoint.take: active transactions";
+  ignore (ensure_region pool);
+  (* Bump E -> E+1 and refresh every cache BEFORE snapshotting: any
+     mutation racing or following the snapshot stamps E+1, which exceeds
+     this generation's snap_epoch = E. *)
+  let snap_epoch = current_epoch pool in
+  let e' = bump_epoch pool in
+  G.set_epoch_cache store e';
+  Table.set_epoch_cache (Props.table (G.prop_store store)) e';
+  List.iter (fun idx -> Index.set_epoch_cache idx e') indexes;
+  let g =
+    {
+      g_seq = 0;
+      g_snap_epoch = snap_epoch;
+      g_watermark = Mvcc.Mvto.watermark mgr;
+      g_next_ts = Mvcc.Mvto.next_ts mgr;
+      g_dict = Dict.snapshot (G.dict store);
+      g_tables =
+        [|
+          table_snapshot (G.node_table store);
+          table_snapshot (G.rel_table store);
+          table_snapshot (Props.table (G.prop_store store));
+        |];
+      g_indexes = List.map (index_snapshot pool) indexes;
+    }
+  in
+  write pool g

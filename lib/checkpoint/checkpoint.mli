@@ -1,0 +1,84 @@
+(** Incremental checkpoints of the volatile accelerators into a
+    dedicated pmem region (anchored at {!Storage.Graph_store.root_ckpt}).
+
+    A generation snapshots the dict hash region, the three tables'
+    free-slot maps, every index (persistent/hybrid leaf summaries, or
+    the full pair set for volatile trees) and the MVTO watermark, all
+    stamped with the global checkpoint epoch.  Publication uses a
+    two-slot shadow protocol whose commit point is a single
+    failure-atomic 8-byte store: a crash mid-checkpoint always leaves
+    the previous generation intact and valid.
+
+    Epoch protocol: mutators stamp structures with the cached global
+    epoch {e before} mutating.  {!take} bumps the persistent epoch from
+    E to E+1, refreshes all caches, then snapshots and records
+    snap_epoch = E - so at recovery a structure is unchanged since the
+    checkpoint iff its stamp is <= snap_epoch. *)
+
+(** {1 Region / epoch} *)
+
+val region : Pmem.Pool.t -> int
+(** Region header offset; 0 when no checkpoint region exists yet. *)
+
+val ensure_region : Pmem.Pool.t -> int
+val current_epoch : Pmem.Pool.t -> int
+(** 0 when no region exists (stamping disabled); >= 1 otherwise. *)
+
+val bump_epoch : Pmem.Pool.t -> int
+(** Failure-atomically advance the global epoch; returns the new value. *)
+
+(** {1 Generations} *)
+
+type idx_snap =
+  | Leaves of { first_leaf : int; infos : Gindex.Btree.leaf_info array }
+      (** Persistent / hybrid placement: per-leaf summaries of the PMem
+          leaf chain, as {!Gindex.Btree.build_from_leaf_infos} input. *)
+  | Pairs of (int64 * int) array
+      (** Volatile placement: every (index key, record id) pair, sorted
+          by ascending record id (the serial rebuild insertion order). *)
+
+type gen = {
+  g_seq : int;  (** generation sequence number (assigned by {!write}) *)
+  g_snap_epoch : int;
+  g_watermark : int;
+  g_next_ts : int;
+  g_dict : Storage.Dict.image;
+  g_tables : int list array array;
+      (** per-chunk canonical free-slot lists for nodes, rels, props -
+          in that order (the recovery tables phase order) *)
+  g_indexes : (int * idx_snap) list;  (** keyed by descriptor offset *)
+}
+
+val write : Pmem.Pool.t -> gen -> int
+(** Serialize, persist and publish a generation through the shadow
+    slot; returns the assigned sequence number.  The displaced
+    generation's blob is freed after the commit flip. *)
+
+val load : Pmem.Pool.t -> gen option
+(** Newest valid generation: both the slot commit word and the blob
+    checksum must verify; a torn blob falls back to the older
+    generation, never trusted. *)
+
+val take :
+  Pmem.Pool.t ->
+  store:Storage.Graph_store.t ->
+  mgr:Mvcc.Mvto.t ->
+  indexes:Gindex.Index.t list ->
+  int
+(** Full checkpoint at transaction quiescence: bump the epoch, refresh
+    all epoch caches, snapshot every structure and {!write}.  Returns
+    the generation sequence number.
+    @raise Invalid_argument when transactions are active. *)
+
+(** {1 Introspection} *)
+
+type slot_info = {
+  si_seq : int;
+  si_snap_epoch : int;
+  si_blob_len : int;
+  si_valid : bool;
+}
+
+type info = { i_epoch : int; i_slots : slot_info array }
+
+val info : Pmem.Pool.t -> info option

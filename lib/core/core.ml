@@ -53,6 +53,8 @@ type t = {
   index_placement : Gindex.Node_store.placement;
   mutable last_recovery : Recovery.report option;
       (* per-phase crash-to-ready timings of the most recent reopen *)
+  mutable recovery_handle : Recovery.t option;
+      (* warm control of a lazy reopen (None for created engines) *)
 }
 
 let default_pool_size = 1 lsl 26
@@ -78,6 +80,7 @@ let create ?(mode = `Pmem) ?(pool_size = default_pool_size) ?chunk_capacity
     workers = None;
     index_placement;
     last_recovery = None;
+    recovery_handle = None;
   }
 
 let media t = t.media
@@ -122,9 +125,13 @@ let rebuild_index store idx =
    All the volatile-structure rebuilds are delegated to the [Recovery]
    orchestrator; [recovery_threads] > 1 runs them over that many task
    pool domains (the rebuilt state is identical to serial recovery). *)
-let reopen ?(recovery_threads = 1) (old : t) =
+let reopen ?(recovery_threads = 1) ?(recovery_mode = Recovery.Eager)
+    ?(use_checkpoint = true) (old : t) =
   let pool = old.pool in
-  let r = Recovery.run ~threads:recovery_threads pool in
+  let r =
+    Recovery.run ~threads:recovery_threads ~mode:recovery_mode ~use_checkpoint
+      pool
+  in
   let store = Recovery.store r in
   let mgr = Recovery.mgr r in
   let indexes =
@@ -149,10 +156,33 @@ let reopen ?(recovery_threads = 1) (old : t) =
     jit_cache;
     workers = None;
     index_placement = old.index_placement;
+    (* every reopen resets this to its own run; Recovery.run also zeroes
+       the recovery metrics, so gauges never describe a previous restart *)
     last_recovery = Some (Recovery.report r);
+    recovery_handle = Some r;
   }
 
 let last_recovery t = t.last_recovery
+
+(* --- Checkpoints / lazy warm ------------------------------------------------------ *)
+
+let checkpoint t =
+  Checkpoint.take t.pool ~store:t.store ~mgr:t.mgr
+    ~indexes:(List.map snd t.indexes)
+
+let checkpoint_info t = Checkpoint.info t.pool
+let checkpoint_epoch t = Checkpoint.current_epoch t.pool
+
+let warm_all ?threads t =
+  match t.recovery_handle with
+  | Some r -> Recovery.warm_all ?threads r
+  | None -> ()
+
+let warm_pending t =
+  match t.recovery_handle with Some r -> Recovery.warm_pending r | None -> 0
+
+let warm_items t =
+  match t.recovery_handle with Some r -> Recovery.warm_items r | None -> []
 
 (* --- Transactions ------------------------------------------------------------------ *)
 
@@ -325,6 +355,7 @@ let create_index ?placement t ~label ~prop () =
   | Some idx -> idx
   | None ->
       let idx = Gindex.Index.create t.pool ~placement ~label:label_code ~key in
+      Gindex.Index.set_epoch_cache idx (Checkpoint.current_epoch t.pool);
       rebuild_index t.store idx;
       Gindex.Index.Catalog.add t.pool ~catalog:t.catalog
         (Gindex.Index.descriptor idx);

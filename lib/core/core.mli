@@ -44,16 +44,48 @@ val crash : ?evict_prob:float -> t -> unit
 (** Simulate a power failure: all unflushed stores are lost (each dirty
     line survives with probability [evict_prob]). *)
 
-val reopen : ?recovery_threads:int -> t -> t
+val reopen :
+  ?recovery_threads:int ->
+  ?recovery_mode:Recovery.mode ->
+  ?use_checkpoint:bool ->
+  t ->
+  t
 (** Recover after {!crash}: PMDK-log rollback, table/dictionary
     reattachment, MVTO lock scrubbing and timestamp restart, per-placement
     index recovery, JIT-cache reattachment.  [recovery_threads] > 1 runs
     the rebuild phases on that many task-pool domains via {!Recovery};
-    the rebuilt state is identical to the serial default. *)
+    the rebuilt state is identical to the serial default.
+    [recovery_mode:Lazy] returns as soon as the engine is query-ready
+    and warms the remaining structures on first touch (or {!warm_all});
+    [use_checkpoint:false] ignores any checkpoint generation.  Every
+    reopen resets {!last_recovery} and the recovery metrics to this
+    run. *)
 
 val last_recovery : t -> Recovery.report option
 (** Per-phase crash-to-ready report of the {!reopen} that produced this
     handle; [None] on a freshly created database. *)
+
+(** {1 Checkpoints & lazy warm} *)
+
+val checkpoint : t -> int
+(** Take an incremental checkpoint of all volatile accelerators at
+    transaction quiescence (see {!Checkpoint.take}); returns the new
+    generation's sequence number.
+    @raise Invalid_argument while transactions are active. *)
+
+val checkpoint_info : t -> Checkpoint.info option
+(** Region epoch and per-slot generation metadata; [None] before the
+    first {!checkpoint}. *)
+
+val checkpoint_epoch : t -> int
+(** Current global checkpoint epoch (0 before the first checkpoint). *)
+
+val warm_all : ?threads:int -> t -> unit
+(** Finish every deferred rebuild of a lazy {!reopen} now; no-op
+    otherwise. *)
+
+val warm_pending : t -> int
+val warm_items : t -> Recovery.warm_item list
 
 val set_workers : t -> int -> unit
 (** Size the morsel-execution pool (0/1 disables parallel execution). *)

@@ -9,6 +9,7 @@
      16  first leaf (valid for persistent and hybrid: recovery walks it)
      24  label code
      32  key code
+     40  checkpoint epoch stamp (persisted before any tree mutation)
 
    Recovery:
    - hybrid: rebuild the DRAM inner levels from the persistent leaf chain
@@ -19,14 +20,22 @@
 
 module Pool = Pmem.Pool
 module Alloc = Pmem.Alloc
+module Media = Pmem.Media
 
 type t = {
-  tree : Btree.t;
+  mutable tree : Btree.t;
   desc : int;
   pool : Pool.t;
   placement : Node_store.placement;
   label : int; (* label dictionary code *)
   key : int; (* property-key dictionary code *)
+  (* checkpoint epoch cache (0 = stamping disabled) and lazy-warm state:
+     while not [warmed], [tree] is a placeholder and the first access
+     runs [warm_fn] (checkpoint restore or full rebuild). *)
+  mutable cur_epoch : int;
+  mutable warmed : bool;
+  mutable warm_fn : unit -> Btree.t;
+  warm_mu : Mutex.t;
 }
 
 let desc_bytes = 64
@@ -42,10 +51,59 @@ let placement_of_tag = function
   | 2 -> Node_store.Hybrid
   | n -> invalid_arg (Printf.sprintf "Index: bad placement tag %d" n)
 
+let mk ~tree ~desc ~pool ~placement ~label ~key =
+  {
+    tree;
+    desc;
+    pool;
+    placement;
+    label;
+    key;
+    cur_epoch = 0;
+    warmed = true;
+    warm_fn = (fun () -> tree);
+    warm_mu = Mutex.create ();
+  }
+
 let sync_meta t =
   if t.placement = Node_store.Persistent then
     Pool.atomic_write_int t.pool (t.desc + 8) (Btree.root t.tree);
   Pool.atomic_write_int t.pool (t.desc + 16) (Btree.first_leaf t.tree)
+
+(* ---- checkpoint epoch + lazy warm ---------------------------------- *)
+
+let set_epoch_cache t e = t.cur_epoch <- e
+let desc_epoch pool ~desc = Pool.raw_read_int pool (desc + 40)
+let mark_desc pool ~desc e = Pool.atomic_write_int pool (desc + 40) e
+let epoch_stamp t = desc_epoch t.pool ~desc:t.desc
+
+(* Stamp the descriptor before mutating the tree (mark-before-mutate). *)
+let mark t =
+  if t.cur_epoch > 0 && epoch_stamp t < t.cur_epoch then
+    Pool.atomic_write_int t.pool (t.desc + 40) t.cur_epoch
+
+let warmed t = t.warmed
+
+let ensure_warm t =
+  if not t.warmed then begin
+    (if not (Mutex.try_lock t.warm_mu) then
+       let media = Pool.media t.pool in
+       let rng = Random.State.make [| 0x1D8A; t.desc |] in
+       let rec spin cap =
+         if not (Mutex.try_lock t.warm_mu) then begin
+           Media.charge media ((cap / 2) + Random.State.int rng (max 1 (cap / 2)));
+           Domain.cpu_relax ();
+           spin (min (cap * 2) 4096)
+         end
+       in
+       spin 64);
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.warm_mu) @@ fun () ->
+    if not t.warmed then begin
+      t.tree <- t.warm_fn ();
+      sync_meta t;
+      t.warmed <- true
+    end
+  end
 
 let create pool ~placement ~label ~key =
   let store = Node_store.make placement ~pool ~media:(Pool.media pool) in
@@ -54,8 +112,11 @@ let create pool ~placement ~label ~key =
   Pool.write_int pool desc (placement_tag placement);
   Pool.write_int pool (desc + 24) label;
   Pool.write_int pool (desc + 32) key;
+  (* the extent may be recycled: a garbage epoch stamp could read as
+     "unchanged since the checkpoint" *)
+  Pool.write_int pool (desc + 40) 0;
   Pool.persist pool ~off:desc ~len:desc_bytes;
-  let t = { tree; desc; pool; placement; label; key } in
+  let t = mk ~tree ~desc ~pool ~placement ~label ~key in
   sync_meta t;
   t
 
@@ -63,14 +124,21 @@ let descriptor t = t.desc
 let placement t = t.placement
 let label_code t = t.label
 let key_code t = t.key
-let tree t = t.tree
+
+let tree t =
+  ensure_warm t;
+  t.tree
 
 let insert t key v =
+  ensure_warm t;
+  mark t;
   let root = Btree.root t.tree in
   Btree.insert t.tree (Storage.Value.index_key key) (Int64.of_int v);
   if Btree.root t.tree <> root then sync_meta t
 
 let remove t key v =
+  ensure_warm t;
+  mark t;
   Btree.remove t.tree (Storage.Value.index_key key) (Int64.of_int v)
 
 (* Removal by already-encoded key, for recovery reconciliation (which
@@ -78,6 +146,8 @@ let remove t key v =
    hand).  Unlike [remove], re-syncs the descriptor when the structural
    change moved the root or the first leaf. *)
 let remove_entry t key v =
+  ensure_warm t;
+  mark t;
   let root = Btree.root t.tree and first = Btree.first_leaf t.tree in
   let r = Btree.remove t.tree key (Int64.of_int v) in
   if Btree.root t.tree <> root || Btree.first_leaf t.tree <> first then
@@ -85,13 +155,17 @@ let remove_entry t key v =
   r
 
 let lookup t key =
+  ensure_warm t;
   List.map Int64.to_int (Btree.lookup t.tree (Storage.Value.index_key key))
 
 let iter_range t ~lo ~hi f =
+  ensure_warm t;
   Btree.iter_range t.tree ~lo:(Storage.Value.index_key lo)
     ~hi:(Storage.Value.index_key hi) (fun _k v -> f (Int64.to_int v))
 
-let count t = Btree.count t.tree
+let count t =
+  ensure_warm t;
+  Btree.count t.tree
 
 (* Reattach an index after a crash.  [rebuild] is invoked for volatile
    placement (and as a fallback) to re-insert all entries from the primary
@@ -110,17 +184,17 @@ let open_ pool ~desc ~rebuild =
       let t0 = Btree.attach store ~root ~first_leaf ~count:0 in
       Btree.iter_all t0 (fun _ _ -> incr count);
       let tree = Btree.attach store ~root ~first_leaf ~count:!count in
-      { tree; desc; pool; placement; label; key }
+      mk ~tree ~desc ~pool ~placement ~label ~key
   | Node_store.Hybrid ->
       let store = Node_store.make placement ~pool ~media:(Pool.media pool) in
       let first_leaf = Pool.read_int pool (desc + 16) in
       let tree, _ = Btree.rebuild_from_leaves store ~first_leaf in
-      { tree; desc; pool; placement; label; key }
+      mk ~tree ~desc ~pool ~placement ~label ~key
   | Node_store.Volatile ->
       let t =
         let store = Node_store.make placement ~pool ~media:(Pool.media pool) in
         let tree = Btree.create store in
-        { tree; desc; pool; placement; label; key }
+        mk ~tree ~desc ~pool ~placement ~label ~key
       in
       rebuild t;
       t
@@ -140,7 +214,23 @@ let attach_tree pool ~desc tree =
   let placement = desc_placement pool ~desc in
   let label = Pool.read_int pool (desc + 24) in
   let key = Pool.read_int pool (desc + 32) in
-  { tree; desc; pool; placement; label; key }
+  mk ~tree ~desc ~pool ~placement ~label ~key
+
+(* Attach without building the tree: the first access (or an explicit
+   {!ensure_warm}) runs [warm], which must return the fully built tree.
+   The placeholder is a throwaway volatile leaf that no operation can
+   observe. *)
+let lazy_attach pool ~desc ~warm =
+  let placement = desc_placement pool ~desc in
+  let label = Pool.read_int pool (desc + 24) in
+  let key = Pool.read_int pool (desc + 32) in
+  let placeholder =
+    Btree.create (Node_store.make Node_store.Volatile ~pool ~media:(Pool.media pool))
+  in
+  let t = mk ~tree:placeholder ~desc ~pool ~placement ~label ~key in
+  t.warm_fn <- warm;
+  t.warmed <- false;
+  t
 
 (* --- Catalog ------------------------------------------------------------ *)
 

@@ -49,6 +49,29 @@ val attach_tree : Pmem.Pool.t -> desc:int -> Btree.t -> t
     the caller guarantees it matches the descriptor's placement and leaf
     chain. *)
 
+val lazy_attach : Pmem.Pool.t -> desc:int -> warm:(unit -> Btree.t) -> t
+(** Attach without building the tree; the first access runs [warm]
+    (checkpoint restore or full rebuild) and re-syncs the descriptor.
+    Concurrent touchers block with charged capped backoff. *)
+
+val warmed : t -> bool
+val ensure_warm : t -> unit
+
+(** {1 Checkpoint epoch stamps} *)
+
+val set_epoch_cache : t -> int -> unit
+(** Cache the global checkpoint epoch; 0 (the default) disables
+    stamping. *)
+
+val epoch_stamp : t -> int
+val desc_epoch : Pmem.Pool.t -> desc:int -> int
+(** Persistent epoch stamp at descriptor offset 40; <= a checkpoint's
+    snapshot epoch means the index is unchanged since that checkpoint. *)
+
+val mark_desc : Pmem.Pool.t -> desc:int -> int -> unit
+(** Failure-atomically stamp a descriptor's epoch directly (recovery
+    reconciliation mutates the tree without an index handle). *)
+
 val sync_meta : t -> unit
 (** Persist the descriptor's root / first-leaf anchors from the current
     tree.  Recovery calls this after swapping in a rebuilt tree whose

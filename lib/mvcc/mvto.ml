@@ -638,6 +638,11 @@ let commit t txn =
         List.iter
           (fun (key, wop) ->
             Version.with_stripe t.chains key @@ fun () ->
+            (* stamp the chunk's checkpoint epoch before any commit-time
+               record mutation (mark-before-mutate) *)
+            (match key with
+            | Version.Node, nid -> G.mark_node t.store nid
+            | Version.Rel, rid -> G.mark_rel t.store rid);
             let off = record_off t key in
             match wop with
             | Txn.Insert ->

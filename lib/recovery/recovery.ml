@@ -9,28 +9,50 @@
    out over [Exec.Task_pool] domains:
 
      pmdk_log   PMDK undo-log rollback + DRAM directory mirrors (serial)
+     checkpoint load the newest valid checkpoint generation (when one
+                exists): slot commit word and blob checksum verified,
+                torn blobs fall back to the older generation
      tables     free-slot lists of the node/rel/prop tables, one chunk
-                bitmap scan per task
-     dict       dictionary hash rebuild from the code array: parallel
-                string reads, serial DRAM probe layout, parallel writes
-                over disjoint 512 B-aligned hash regions
+                bitmap scan per task; chunks whose epoch stamp proves
+                them unchanged since the checkpoint take their list
+                from the blob with zero media reads
+     dict       dictionary hash restore from the checkpoint image plus
+                a delta replay of the codes assigned since, or the full
+                rebuild from the code array: parallel string reads,
+                serial DRAM probe layout, parallel writes over disjoint
+                512 B-aligned hash regions
      mvcc       MVTO header scans per chunk, merged in chunk order,
                 then the serial lock-scrub / reclaim / oracle restart
                 (before indexes, so reclaimed uncommitted inserts never
                 enter the index rebuild scans)
-     indexes    per the catalog: hybrid/persistent leaf reads by leaf
-                ranges plus node-table population scans by chunk;
+     indexes    per the catalog: an index whose epoch stamp is within
+                the checkpoint rebuilds its inner levels from the
+                blob's leaf summaries (volatile trees replay the blob's
+                pair list) and reconciles only epoch-dirty node chunks;
+                otherwise hybrid/persistent leaf reads by leaf ranges
+                plus node-table population scans by chunk, with
                 inner-node construction, leaf-vs-population
-                reconciliation and corrupt-chain fallback rebuilds stay
+                reconciliation and corrupt-chain fallback rebuilds
                 serial (the node store's heap allocator is not
                 thread-safe)
+
+   Lazy mode (instant restart) runs only pmdk_log and mvcc before
+   declaring the engine query-ready: every table free-list, the dict
+   hash and every index is parked behind a warm closure that runs the
+   same checkpoint-restore-or-full-rebuild logic on first touch (or via
+   {!warm_all}).  Touching a structure mid-warm blocks on charged
+   capped backoff inside the structure itself - it never errors.  The
+   [recovery_mode] gauge stays 1 until the last structure warms, when
+   [time_to_fully_warm_ns] is published next to
+   [time_to_first_query_ns].
 
    Every parallel stage is either pure charged reads or writes over
    regions partitioned on absolute 512-byte boundaries (one dirty-bitmap
    byte covers one 512 B block), so tasks never race on simulated media
    state.  Serial stages consume per-task results in deterministic chunk
    order, so recovery with N domains yields state identical to serial
-   recovery — the property test battery asserts exactly that.
+   recovery — the property test battery asserts exactly that, and the
+   checkpoint battery extends it to lazy == eager == serial.
 
    Phase timing uses per-domain media meters: a phase's simulated cost is
    the coordinator's own charge delta plus the maximum per-worker delta
@@ -44,24 +66,38 @@ module Table = Storage.Table
 module Dict = Storage.Dict
 module Props = Storage.Props
 module Value = Storage.Value
+module Layout = Storage.Layout
 module Mvto = Mvcc.Mvto
 module Index = Gindex.Index
 module Btree = Gindex.Btree
 module Node_store = Gindex.Node_store
 module Task_pool = Exec.Task_pool
+module Ckpt = Checkpoint
 
 let log_src =
   Logs.Src.create "poseidon.recovery" ~doc:"parallel crash-to-ready recovery"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+type mode = Eager | Lazy
+
+let mode_name = function Eager -> "eager" | Lazy -> "lazy"
+
 type phase_report = { ph_name : string; ph_ns : int; ph_records : int }
 
 type report = {
   r_threads : int;
+  r_mode : mode;
   r_total_ns : int;
+  r_ttfq_ns : int; (* = r_total_ns; first-queryable point of this run *)
   r_phases : phase_report list; (* in execution order *)
   r_scanned : int;
+}
+
+type warm_item = {
+  wi_name : string;
+  wi_warmed : unit -> bool;
+  wi_ensure : unit -> unit;
 }
 
 type t = {
@@ -70,6 +106,9 @@ type t = {
   indexes : Index.t list; (* catalog order *)
   catalog : int;
   report : report;
+  t_mode : mode;
+  warm_items : warm_item list; (* empty in eager mode *)
+  warm_left : int Atomic.t;
 }
 
 let store t = t.store
@@ -77,6 +116,44 @@ let mgr t = t.mgr
 let indexes t = t.indexes
 let catalog t = t.catalog
 let report t = t.report
+let mode t = t.t_mode
+let warm_items t = t.warm_items
+let warm_pending t = Atomic.get t.warm_left
+
+(* --- Metrics ------------------------------------------------------------ *)
+
+let phase_names = [ "pmdk_log"; "checkpoint"; "tables"; "dict"; "mvcc"; "indexes" ]
+
+let phase_gauge reg name =
+  Obs.Metrics.gauge reg "recovery_phase_ns"
+    ~labels:[ ("phase", name) ]
+    ~help:"simulated ns spent in the recovery phase"
+
+let scanned_counter reg =
+  Obs.Metrics.counter reg "recovery_records_scanned_total"
+    ~help:"records scanned during recovery"
+
+let mode_gauge reg =
+  Obs.Metrics.gauge reg "recovery_mode"
+    ~help:"1 while lazily warming after a restart, 0 once fully warm"
+
+let ttfq_gauge reg =
+  Obs.Metrics.gauge reg "time_to_first_query_ns"
+    ~help:"simulated ns from reopen until the engine can serve queries"
+
+let ttfw_gauge reg =
+  Obs.Metrics.gauge reg "time_to_fully_warm_ns"
+    ~help:"simulated ns from reopen until every volatile structure is warm"
+
+(* Every reopen starts from a clean slate: phase gauges, the scanned
+   counter and the warm gauges all describe the CURRENT recovery, never
+   a stale previous one. *)
+let reset_metrics reg =
+  List.iter (fun name -> Obs.Metrics.set (phase_gauge reg name) 0) phase_names;
+  Obs.Metrics.set (scanned_counter reg) 0;
+  Obs.Metrics.set (mode_gauge reg) 0;
+  Obs.Metrics.set (ttfq_gauge reg) 0;
+  Obs.Metrics.set (ttfw_gauge reg) 0
 
 (* --- Phase harness ------------------------------------------------------ *)
 
@@ -136,32 +213,64 @@ let phase ctx name f =
       0 worker_ids w0
   in
   let ns = dc + dw in
-  let reg = Media.registry ctx.media in
-  Obs.Metrics.set
-    (Obs.Metrics.gauge reg "recovery_phase_ns"
-       ~labels:[ ("phase", name) ]
-       ~help:"simulated ns spent in the recovery phase")
-    ns;
+  Obs.Metrics.set (phase_gauge (Media.registry ctx.media) name) ns;
   Obs.Metrics.add ctx.scanned records;
   ctx.phases <- { ph_name = name; ph_ns = ns; ph_records = records } :: ctx.phases;
   result
 
+(* --- Checkpoint validity helpers ---------------------------------------- *)
+
+(* A node chunk may differ from the generation's snapshot when it did
+   not exist at checkpoint time or its epoch stamp exceeds the
+   generation's snapshot epoch (mark-before-mutate guarantees every
+   post-checkpoint mutation bumped the stamp first). *)
+let dirty_node_flags store gen =
+  let tbl = G.node_table store in
+  let snap = gen.Ckpt.g_snap_epoch in
+  let ck = Array.length gen.Ckpt.g_tables.(0) in
+  Array.init (Table.nchunks tbl) (fun ci ->
+      ci >= ck || Table.chunk_epoch tbl ci > snap)
+
+(* Free-slot list of one chunk: from the blob when the chunk provably
+   did not change since the checkpoint, else a charged bitmap rescan.
+   Both yield the canonical ascending order the serial rebuild uses. *)
+let table_chunk_ids gen_opt ti tbl ci =
+  match gen_opt with
+  | Some gen
+    when ci < Array.length gen.Ckpt.g_tables.(ti)
+         && Table.chunk_epoch tbl ci <= gen.Ckpt.g_snap_epoch ->
+      gen.Ckpt.g_tables.(ti).(ci)
+  | _ -> Table.chunk_free_slots tbl ci
+
 (* --- Phases ------------------------------------------------------------- *)
 
-(* Free-slot lists of all three tables: one bitmap scan task per chunk,
-   results installed serially in chunk order (queue order must match the
-   serial rebuild exactly). *)
-let tables_phase ctx store =
-  let tables =
-    [ G.node_table store; G.rel_table store; Props.table (G.prop_store store) ]
-  in
+let store_tables store =
+  [ G.node_table store; G.rel_table store; Props.table (G.prop_store store) ]
+
+(* Free-slot lists of all three tables: one bitmap scan task per dirty
+   chunk (checkpoint-clean chunks come straight from the blob), results
+   installed serially in chunk order (queue order must match the serial
+   rebuild exactly). *)
+let tables_phase ctx store gen_opt =
+  let tables = store_tables store in
   let work =
-    List.map
-      (fun tbl ->
+    List.mapi
+      (fun ti tbl ->
         let n = Table.nchunks tbl in
         let results = Array.make n [] in
         let tasks =
-          List.init n (fun ci () -> results.(ci) <- Table.chunk_free_slots tbl ci)
+          List.filter_map Fun.id
+            (List.init n (fun ci ->
+                 match gen_opt with
+                 | Some gen
+                   when ci < Array.length gen.Ckpt.g_tables.(ti)
+                        && Table.chunk_epoch tbl ci <= gen.Ckpt.g_snap_epoch ->
+                     results.(ci) <- gen.Ckpt.g_tables.(ti).(ci);
+                     None
+                 | _ ->
+                     Some
+                       (fun () ->
+                         results.(ci) <- Table.chunk_free_slots tbl ci)))
         in
         (tbl, results, tasks))
       tables
@@ -178,7 +287,7 @@ let tables_phase ctx store =
   in
   (slots, ())
 
-let dict_phase ctx store =
+let dict_full_rebuild ctx store =
   let dict = G.dict store in
   let n = Dict.count dict in
   let grain = max 64 ((n / fanout ctx) + 1) in
@@ -186,49 +295,100 @@ let dict_phase ctx store =
   par_run ctx reads;
   let writes = Dict.rebuild_write_tasks dict plan ~grain:(max 256 grain) in
   par_run ctx writes;
-  Dict.rebuild_finish dict plan;
-  (n, ())
+  Dict.rebuild_finish dict plan
 
-(* Per-index staged work: charged reads first (parallel), construction
-   and reconciliation second (serial). *)
-type idx_work =
-  | Leafy of {
-      desc : int;
-      nstore : Node_store.t;
-      first_leaf : int;
-      infos : Btree.leaf_info array;
-      per_chunk : (Value.t * int) list array; (* expected population *)
-    }
-  | Vol of {
-      desc : int;
-      nstore : Node_store.t;
-      per_chunk : (Value.t * int) list array;
-    }
+let dict_phase ctx store gen_opt =
+  let dict = G.dict store in
+  let restored =
+    match gen_opt with
+    | Some gen -> Dict.restore dict gen.Ckpt.g_dict ~snap_epoch:gen.Ckpt.g_snap_epoch
+    | None -> false
+  in
+  if not restored then dict_full_rebuild ctx store;
+  (Dict.count dict, ())
 
-(* One task per node chunk collecting the index's expected population,
-   ((value, id) in ascending id order) from the node table. *)
-let population_tasks store pool ~desc per_chunk =
-  let label = Pool.read_int pool (desc + 24) in
-  let key = Pool.read_int pool (desc + 32) in
-  List.init
-    (Array.length per_chunk)
-    (fun ci () ->
-      let acc = ref [] in
-      G.iter_nodes_chunk store ci (fun id ->
-          if G.node_label store id = label then
-            match G.node_prop store id key with
-            | Some v -> acc := (v, id) :: !acc
-            | None -> ());
-      per_chunk.(ci) <- List.rev !acc)
+(* Records whose versions must not enter an index rebuild: an
+   uncommitted insert (write lock still equals its begin stamp - the
+   mvcc phase reclaims it) and a committed delete awaiting GC (the live
+   engine removed its index entries at delete-commit, so resurrecting
+   them would diverge from both the pre-crash index and any checkpoint
+   of it).  One touch charges the header line; field reads are raw. *)
+let node_indexable store id =
+  let pool = G.pool store in
+  let off = G.node_off store id in
+  Pool.touch_read pool ~off:(off + Layout.Node.txn_id) ~len:24;
+  let txn = Pool.raw_read_int pool (off + Layout.Node.txn_id) in
+  let bts = Pool.raw_read_int pool (off + Layout.Node.bts) in
+  let ets = Pool.raw_read_int pool (off + Layout.Node.ets) in
+  (not (txn <> 0 && bts = txn)) && ets = Layout.inf_ts
+
+(* The index's expected population from one node chunk, (value, id) in
+   ascending id order. *)
+let chunk_population store ~label ~key ci =
+  let acc = ref [] in
+  G.iter_nodes_chunk store ci (fun id ->
+      if node_indexable store id && G.node_label store id = label then
+        match G.node_prop store id key with
+        | Some v -> acc := (v, id) :: !acc
+        | None -> ());
+  List.rev !acc
+
+let desc_label pool desc = Pool.read_int pool (desc + 24)
+let desc_key pool desc = Pool.read_int pool (desc + 32)
 
 (* Commit and secondary-index maintenance are not crash-atomic: a cut
    between a durable commit and its index update leaves the persistent
    leaves missing a committed entry, or holding a stale one for a since
-   reclaimed or re-keyed record.  Diff the rebuilt tree against the node
-   table (both sides were read by the parallel stage; [li_pairs] avoids
-   a second charged pass over the leaves) and apply the rare fixes
-   serially, in deterministic order: stale removals in leaf order, then
-   missing inserts in chunk order. *)
+   reclaimed or re-keyed record.  Diff the tree's leaves against the
+   node table and apply the rare fixes serially, in deterministic order:
+   stale removals in leaf order, then missing inserts in chunk order.
+
+   [dirty] restricts the diff to epoch-dirty node chunks: entries of
+   clean chunks provably match (the checkpoint was taken at quiescence,
+   when index and population agreed, and neither side changed since), so
+   skipping them yields the identical operation sequence to the full
+   diff.  Returns the number of fixes applied. *)
+let reconcile_tree tree infos per_chunk ~cap ~dirty =
+  let is_dirty ci = ci >= Array.length dirty || dirty.(ci) in
+  let expected = Hashtbl.create 256 in
+  Array.iteri
+    (fun ci entries ->
+      if is_dirty ci then
+        List.iter
+          (fun (v, id) -> Hashtbl.replace expected id (Value.index_key v))
+          entries)
+    per_chunk;
+  let stale = ref [] in
+  Array.iter
+    (fun li ->
+      Array.iter
+        (fun (k, idv) ->
+          let id = Int64.to_int idv in
+          if is_dirty (id / cap) then
+            match Hashtbl.find_opt expected id with
+            | Some k' when k' = k -> Hashtbl.remove expected id
+            | _ -> stale := (k, id) :: !stale)
+        li.Btree.li_pairs)
+    infos;
+  let fixes = ref 0 in
+  List.iter
+    (fun (k, id) ->
+      incr fixes;
+      ignore (Btree.remove tree k (Int64.of_int id)))
+    (List.rev !stale);
+  Array.iteri
+    (fun ci entries ->
+      if is_dirty ci then
+        List.iter
+          (fun (v, id) ->
+            if Hashtbl.mem expected id then begin
+              incr fixes;
+              Btree.insert tree (Value.index_key v) (Int64.of_int id)
+            end)
+          entries)
+    per_chunk;
+  !fixes
+
 (* A power cut tears unflushed leaf lines at the 8-byte store granularity
    the hardware keeps atomic: every word reads back old-or-new, so next
    pointers and entry counts stay in range, but an interrupted in-place
@@ -249,29 +409,79 @@ let leaves_sorted infos =
         li.Btree.li_pairs)
     infos
 
-let reconcile idx infos per_chunk =
-  let expected = Hashtbl.create 256 in
-  Array.iter
-    (List.iter (fun (v, id) -> Hashtbl.replace expected id (Value.index_key v)))
-    per_chunk;
-  let stale = ref [] in
-  Array.iter
-    (fun li ->
-      Array.iter
-        (fun (k, idv) ->
-          let id = Int64.to_int idv in
-          match Hashtbl.find_opt expected id with
-          | Some k' when k' = k -> Hashtbl.remove expected id
-          | _ -> stale := (k, id) :: !stale)
-        li.Btree.li_pairs)
-    infos;
-  List.iter (fun (k, id) -> ignore (Index.remove_entry idx k id)) (List.rev !stale);
-  Array.iter
-    (List.iter (fun (v, id) ->
-         if Hashtbl.mem expected id then Index.insert idx v id))
-    per_chunk
+let all_dirty = [||] (* out-of-range chunks count as dirty *)
 
-let indexes_phase ctx store pool =
+(* The volatile-tree replay order: checkpoint pairs for clean chunks
+   merged with the current population of dirty chunks, ascending record
+   id overall - exactly the sequence the from-scratch rebuild inserts,
+   so duplicate-key scan order matches it bit for bit. *)
+let merge_vol_pairs pairs per_chunk ~cap ~dirty =
+  let kept =
+    Array.to_list pairs
+    |> List.filter (fun (_, id) ->
+           let ci = id / cap in
+           ci < Array.length dirty && not dirty.(ci))
+  in
+  let extra = ref [] in
+  Array.iteri
+    (fun ci entries ->
+      if ci >= Array.length dirty || dirty.(ci) then
+        List.iter
+          (fun (v, id) -> extra := (Value.index_key v, id) :: !extra)
+          entries)
+    per_chunk;
+  List.sort (fun (_, a) (_, b) -> compare a b) (kept @ List.rev !extra)
+
+(* Per-index staged work: charged reads first (parallel), construction
+   and reconciliation second (serial). *)
+type idx_work =
+  | Leafy of {
+      desc : int;
+      nstore : Node_store.t;
+      first_leaf : int;
+      infos : Btree.leaf_info array;
+      per_chunk : (Value.t * int) list array; (* expected population *)
+    }
+  | Vol of {
+      desc : int;
+      nstore : Node_store.t;
+      per_chunk : (Value.t * int) list array;
+    }
+  | Ck_leafy of {
+      desc : int;
+      nstore : Node_store.t;
+      first_leaf : int; (* from the blob *)
+      infos : Btree.leaf_info array; (* from the blob *)
+      per_chunk : (Value.t * int) list array; (* dirty chunks only *)
+      dirty : bool array;
+    }
+  | Ck_vol of {
+      desc : int;
+      nstore : Node_store.t;
+      pairs : (int64 * int) array; (* from the blob *)
+      per_chunk : (Value.t * int) list array; (* dirty chunks only *)
+      dirty : bool array;
+    }
+
+(* One population task per node chunk (restricted to [dirty] when the
+   index restores from a checkpoint). *)
+let population_tasks store pool ~desc ?dirty per_chunk =
+  let label = desc_label pool desc in
+  let key = desc_key pool desc in
+  let wanted ci =
+    match dirty with
+    | None -> true
+    | Some d -> ci >= Array.length d || d.(ci)
+  in
+  List.filter_map Fun.id
+    (List.init
+       (Array.length per_chunk)
+       (fun ci ->
+         if wanted ci then
+           Some (fun () -> per_chunk.(ci) <- chunk_population store ~label ~key ci)
+         else None))
+
+let indexes_phase ctx store pool gen_opt epoch =
   let catalog = Index.Catalog.attach pool ~root_slot:G.root_index in
   let descs = Index.Catalog.list pool ~catalog in
   let media = Pool.media pool in
@@ -279,11 +489,35 @@ let indexes_phase ctx store pool =
     { Btree.li_handle = 0; li_min = 0L; li_entries = 0; li_pairs = [||] }
   in
   let nchunks = G.node_chunks store in
+  let cap = Table.chunk_capacity (G.node_table store) in
+  let node_dirty =
+    match gen_opt with Some gen -> Some (dirty_node_flags store gen) | None -> None
+  in
+  (* An index restores from the generation when the blob carries it and
+     its epoch stamp proves no mutation happened since the snapshot. *)
+  let snap_of desc =
+    match (gen_opt, node_dirty) with
+    | Some gen, Some dirty when Index.desc_epoch pool ~desc <= gen.Ckpt.g_snap_epoch
+      -> (
+        match List.assoc_opt desc gen.Ckpt.g_indexes with
+        | Some snap -> Some (snap, dirty)
+        | None -> None)
+    | _ -> None
+  in
   let work_of desc =
     let per_chunk = Array.make nchunks [] in
-    let pop_tasks = population_tasks store pool ~desc per_chunk in
-    match Index.desc_placement pool ~desc with
-    | (Node_store.Hybrid | Node_store.Persistent) as placement ->
+    match (Index.desc_placement pool ~desc, snap_of desc) with
+    | ( (Node_store.Hybrid | Node_store.Persistent),
+        Some (Ckpt.Leaves { first_leaf; infos }, dirty) ) ->
+        let nstore = Node_store.make (Index.desc_placement pool ~desc) ~pool ~media in
+        let pop_tasks = population_tasks store pool ~desc ~dirty per_chunk in
+        (Ck_leafy { desc; nstore; first_leaf; infos; per_chunk; dirty }, pop_tasks)
+    | Node_store.Volatile, Some (Ckpt.Pairs pairs, dirty) ->
+        let nstore = Node_store.make Node_store.Volatile ~pool ~media in
+        let pop_tasks = population_tasks store pool ~desc ~dirty per_chunk in
+        (Ck_vol { desc; nstore; pairs; per_chunk; dirty }, pop_tasks)
+    | (Node_store.Hybrid | Node_store.Persistent) as placement, _ ->
+        let pop_tasks = population_tasks store pool ~desc per_chunk in
         let nstore = Node_store.make placement ~pool ~media in
         let first_leaf = Index.desc_first_leaf pool ~desc in
         let handles = Btree.leaf_handles nstore ~first_leaf in
@@ -303,44 +537,56 @@ let indexes_phase ctx store pool =
         done;
         (Leafy { desc; nstore; first_leaf; infos; per_chunk },
           List.rev !tasks @ pop_tasks )
-    | Node_store.Volatile ->
+    | Node_store.Volatile, _ ->
+        let pop_tasks = population_tasks store pool ~desc per_chunk in
         let nstore = Node_store.make Node_store.Volatile ~pool ~media in
         (Vol { desc; nstore; per_chunk }, pop_tasks)
   in
   let work = List.map work_of descs in
   par_run ctx (List.concat_map snd work);
   let records = ref 0 in
-  let indexes =
+  let finish_leafy ~desc ~nstore ~first_leaf ~infos ~per_chunk ~dirty =
+    let entries = Array.fold_left (fun a li -> a + li.Btree.li_entries) 0 infos in
+    records := !records + entries;
+    if leaves_sorted infos then begin
+      (* The inner levels are rebuilt from the chain for both
+         placements: a cut between a leaf split's persist and its
+         parent's update leaves durable inner nodes that miss the
+         new leaf, so even a persistent root cannot be attached
+         unverified.  The old persistent inner nodes leak. *)
+      let tree = Btree.build_from_leaf_infos nstore ~first_leaf infos in
+      let idx = Index.attach_tree pool ~desc tree in
+      Index.sync_meta idx;
+      let fixes = reconcile_tree tree infos per_chunk ~cap ~dirty in
+      if fixes > 0 then begin
+        (* the leaves changed under a possibly-clean stamp: re-anchor
+           and invalidate the stamp against the loaded generation *)
+        Index.sync_meta idx;
+        if epoch > 0 then Index.mark_desc pool ~desc epoch
+      end;
+      idx
+    end
+    else begin
+      (* torn leaf: abandon the chain, re-insert everything *)
+      let idx = Index.attach_tree pool ~desc (Btree.create nstore) in
+      Index.sync_meta idx;
+      Array.iter
+        (List.iter (fun (v, id) -> Index.insert idx v id))
+        per_chunk;
+      Index.sync_meta idx;
+      if epoch > 0 then Index.mark_desc pool ~desc epoch;
+      idx
+    end
+  in
+  let built =
     List.map
       (fun (w, _) ->
         match w with
         | Leafy { desc; nstore; first_leaf; infos; per_chunk } ->
-            let entries =
-              Array.fold_left (fun a li -> a + li.Btree.li_entries) 0 infos
-            in
-            records := !records + entries;
-            if leaves_sorted infos then begin
-              (* The inner levels are rebuilt from the chain for both
-                 placements: a cut between a leaf split's persist and its
-                 parent's update leaves durable inner nodes that miss the
-                 new leaf, so even a persistent root cannot be attached
-                 unverified.  The old persistent inner nodes leak. *)
-              let tree = Btree.build_from_leaf_infos nstore ~first_leaf infos in
-              let idx = Index.attach_tree pool ~desc tree in
-              Index.sync_meta idx;
-              reconcile idx infos per_chunk;
-              idx
-            end
-            else begin
-              (* torn leaf: abandon the chain, re-insert everything *)
-              let idx = Index.attach_tree pool ~desc (Btree.create nstore) in
-              Index.sync_meta idx;
-              Array.iter
-                (List.iter (fun (v, id) -> Index.insert idx v id))
-                per_chunk;
-              Index.sync_meta idx;
-              idx
-            end
+            finish_leafy ~desc ~nstore ~first_leaf ~infos ~per_chunk
+              ~dirty:all_dirty
+        | Ck_leafy { desc; nstore; first_leaf; infos; per_chunk; dirty } ->
+            finish_leafy ~desc ~nstore ~first_leaf ~infos ~per_chunk ~dirty
         | Vol { desc; nstore; per_chunk } ->
             let idx = Index.attach_tree pool ~desc (Btree.create nstore) in
             Array.iter
@@ -351,10 +597,20 @@ let indexes_phase ctx store pool =
                     Index.insert idx v id)
                   pairs)
               per_chunk;
+            idx
+        | Ck_vol { desc; nstore; pairs; per_chunk; dirty } ->
+            let idx = Index.attach_tree pool ~desc (Btree.create nstore) in
+            let all = merge_vol_pairs pairs per_chunk ~cap ~dirty in
+            List.iter
+              (fun (k, id) ->
+                records := !records + 1;
+                Btree.insert (Index.tree idx) k (Int64.of_int id))
+              all;
             idx)
       work
   in
-  (!records, (indexes, catalog))
+  List.iter (fun idx -> Index.set_epoch_cache idx epoch) built;
+  (!records, (built, catalog))
 
 let mvcc_phase ctx store =
   let nn = G.node_chunks store and nr = G.rel_chunks store in
@@ -369,51 +625,274 @@ let mvcc_phase ctx store =
   let sc = Array.fold_left Mvto.merge_scans sc rres in
   (sc.Mvto.sc_scanned, Mvto.apply_scan store sc)
 
+(* --- Lazy warm closures ------------------------------------------------- *)
+
+(* The generation blob is loaded (and checksum-verified) at most once,
+   by whichever structure warms first; the others block on the mutex for
+   the load's duration.  Keeping the load out of the critical restart
+   path is the point: time-to-first-query excludes it. *)
+let lazy_gen pool use_checkpoint =
+  let mu = Mutex.create () in
+  let cell = ref None in
+  fun () ->
+    match !cell with
+    | Some g -> g
+    | None ->
+        Mutex.lock mu;
+        let g =
+          match !cell with
+          | Some g -> g
+          | None ->
+              let g = if use_checkpoint then Ckpt.load pool else None in
+              cell := Some g;
+              g
+        in
+        Mutex.unlock mu;
+        g
+
+(* Serial (single-toucher) variants of the phase bodies, run on first
+   touch.  Identical decision logic and operation order to the eager
+   phases, so lazy == eager == serial state holds by construction. *)
+
+let warm_dict_fn store gen =
+  let dict = G.dict store in
+  let restored =
+    match gen () with
+    | Some g -> Dict.restore dict g.Ckpt.g_dict ~snap_epoch:g.Ckpt.g_snap_epoch
+    | None -> false
+  in
+  if not restored then begin
+    let n = Dict.count dict in
+    let grain = max 64 ((n / 4) + 1) in
+    let plan, reads = Dict.rebuild_read_tasks dict ~grain in
+    List.iter (fun f -> f ()) reads;
+    List.iter (fun f -> f ()) (Dict.rebuild_write_tasks dict plan ~grain:(max 256 grain));
+    Dict.rebuild_finish dict plan
+  end
+
+let warm_table_fn ti tbl gen () =
+  let g = gen () in
+  List.concat (List.init (Table.nchunks tbl) (fun ci -> table_chunk_ids g ti tbl ci))
+
+let warm_index_fn store pool ~desc gen epoch () =
+  let media = Pool.media pool in
+  let nchunks = G.node_chunks store in
+  let cap = Table.chunk_capacity (G.node_table store) in
+  let label = desc_label pool desc in
+  let key = desc_key pool desc in
+  let populate dirty =
+    Array.init nchunks (fun ci ->
+        if ci >= Array.length dirty || dirty.(ci) then
+          chunk_population store ~label ~key ci
+        else [])
+  in
+  let snap =
+    match gen () with
+    | Some g when Index.desc_epoch pool ~desc <= g.Ckpt.g_snap_epoch -> (
+        match List.assoc_opt desc g.Ckpt.g_indexes with
+        | Some s -> Some (s, dirty_node_flags store g)
+        | None -> None)
+    | _ -> None
+  in
+  match (Index.desc_placement pool ~desc, snap) with
+  | ( ((Node_store.Hybrid | Node_store.Persistent) as placement),
+      Some (Ckpt.Leaves { first_leaf; infos }, dirty) ) ->
+      let nstore = Node_store.make placement ~pool ~media in
+      let tree = Btree.build_from_leaf_infos nstore ~first_leaf infos in
+      let per_chunk = populate dirty in
+      let fixes = reconcile_tree tree infos per_chunk ~cap ~dirty in
+      if fixes > 0 && epoch > 0 then Index.mark_desc pool ~desc epoch;
+      tree
+  | Node_store.Volatile, Some (Ckpt.Pairs pairs, dirty) ->
+      let nstore = Node_store.make Node_store.Volatile ~pool ~media in
+      let tree = Btree.create nstore in
+      let per_chunk = populate dirty in
+      List.iter
+        (fun (k, id) -> Btree.insert tree k (Int64.of_int id))
+        (merge_vol_pairs pairs per_chunk ~cap ~dirty);
+      tree
+  | (Node_store.Hybrid | Node_store.Persistent) as placement, _ ->
+      let nstore = Node_store.make placement ~pool ~media in
+      let first_leaf = Index.desc_first_leaf pool ~desc in
+      let handles = Btree.leaf_handles nstore ~first_leaf in
+      let infos = Array.map (Btree.read_leaf_info nstore) handles in
+      let per_chunk = populate all_dirty in
+      if leaves_sorted infos then begin
+        let tree = Btree.build_from_leaf_infos nstore ~first_leaf infos in
+        let fixes = reconcile_tree tree infos per_chunk ~cap ~dirty:all_dirty in
+        if fixes > 0 && epoch > 0 then Index.mark_desc pool ~desc epoch;
+        tree
+      end
+      else begin
+        let tree = Btree.create nstore in
+        Array.iter
+          (List.iter (fun (v, id) ->
+               Btree.insert tree (Value.index_key v) (Int64.of_int id)))
+          per_chunk;
+        if epoch > 0 then Index.mark_desc pool ~desc epoch;
+        tree
+      end
+  | Node_store.Volatile, _ ->
+      let nstore = Node_store.make Node_store.Volatile ~pool ~media in
+      let tree = Btree.create nstore in
+      Array.iter
+        (List.iter (fun (v, id) ->
+             Btree.insert tree (Value.index_key v) (Int64.of_int id)))
+        (populate all_dirty);
+      tree
+
 (* --- Orchestrator ------------------------------------------------------- *)
 
-let run ?(threads = 1) pool =
+let run ?(threads = 1) ?(mode = Eager) ?(use_checkpoint = true) pool =
   let media = Pool.media pool in
+  let reg = Media.registry media in
+  reset_metrics reg;
   let coord = Media.install_meter media in
   let workers =
     if threads <= 1 then None
     else Some (Task_pool.create ~media ~nworkers:threads ())
   in
-  let scanned =
-    Obs.Metrics.counter (Media.registry media) "recovery_records_scanned_total"
-      ~help:"records scanned during recovery"
-  in
+  let scanned = scanned_counter reg in
   let ctx = { media; coord; workers; scanned; phases = [] } in
   Fun.protect
     ~finally:(fun () ->
       match workers with Some p -> Task_pool.shutdown p | None -> ())
   @@ fun () ->
   let store = phase ctx "pmdk_log" (fun () -> (0, G.open_deferred pool)) in
-  phase ctx "tables" (fun () -> tables_phase ctx store);
-  phase ctx "dict" (fun () -> dict_phase ctx store);
-  (* mvcc must precede indexes: reclaiming uncommitted inserts first
-     keeps them out of the volatile-index rebuild scans *)
-  let mgr = phase ctx "mvcc" (fun () -> mvcc_phase ctx store) in
-  let indexes, catalog =
-    phase ctx "indexes" (fun () -> indexes_phase ctx store pool)
+  let epoch = Ckpt.current_epoch pool in
+  G.set_epoch_cache store epoch;
+  let mgr, built, catalog, warm_items, warm_left =
+    match mode with
+    | Eager ->
+        let gen =
+          if use_checkpoint && Ckpt.region pool <> 0 then
+            phase ctx "checkpoint" (fun () -> (0, Ckpt.load pool))
+          else None
+        in
+        phase ctx "tables" (fun () -> tables_phase ctx store gen);
+        phase ctx "dict" (fun () -> dict_phase ctx store gen);
+        (* mvcc must precede indexes: reclaiming uncommitted inserts first
+           keeps them out of the index rebuild scans *)
+        let mgr = phase ctx "mvcc" (fun () -> mvcc_phase ctx store) in
+        let built, catalog =
+          phase ctx "indexes" (fun () -> indexes_phase ctx store pool gen epoch)
+        in
+        (mgr, built, catalog, [], Atomic.make 0)
+    | Lazy ->
+        let gen = lazy_gen pool use_checkpoint in
+        let ttfq_cell = ref 0 in
+        let warm_ns = Atomic.make 0 in
+        let items = ref [] in
+        let left = Atomic.make 0 in
+        (* Wrap a warm body with simulated-cost accounting: the last
+           structure to warm flips recovery_mode back to 0 and publishes
+           the cumulative time_to_fully_warm_ns. *)
+        let wrap fn () =
+          let id = Media.install_meter media in
+          let v0 = Media.meter_value media id in
+          Fun.protect
+            ~finally:(fun () ->
+              ignore
+                (Atomic.fetch_and_add warm_ns (Media.meter_value media id - v0));
+              if Atomic.fetch_and_add left (-1) = 1 then begin
+                Obs.Metrics.set (mode_gauge reg) 0;
+                Obs.Metrics.set (ttfw_gauge reg)
+                  (!ttfq_cell + Atomic.get warm_ns)
+              end)
+            fn
+        in
+        let add_item name warmed ensure =
+          Atomic.incr left;
+          items := { wi_name = name; wi_warmed = warmed; wi_ensure = ensure } :: !items
+        in
+        (* Defer every rebuild BEFORE the mvcc phase: its reclaim frees
+           slots through Table.delete, which must land in the pending
+           queues so the eventual warm reproduces the serial free-queue
+           order (pre-reclaim canonical scan, then reclaim order). *)
+        List.iteri
+          (fun ti tbl ->
+            let name = [| "table:nodes"; "table:rels"; "table:props" |].(ti) in
+            Table.defer_warm tbl (wrap (warm_table_fn ti tbl gen));
+            add_item name
+              (fun () -> Table.warmed tbl)
+              (fun () -> Table.ensure_warm tbl))
+          (store_tables store);
+        let dict = G.dict store in
+        Dict.defer_warm dict (wrap (fun () -> warm_dict_fn store gen));
+        add_item "dict"
+          (fun () -> Dict.warmed dict)
+          (fun () -> Dict.ensure_warm dict);
+        let catalog = Index.Catalog.attach pool ~root_slot:G.root_index in
+        let built =
+          List.map
+            (fun desc ->
+              let idx =
+                Index.lazy_attach pool ~desc
+                  ~warm:(wrap (warm_index_fn store pool ~desc gen epoch))
+              in
+              Index.set_epoch_cache idx epoch;
+              add_item (Printf.sprintf "index:%#x" desc)
+                (fun () -> Index.warmed idx)
+                (fun () -> Index.ensure_warm idx);
+              idx)
+            (Index.Catalog.list pool ~catalog)
+        in
+        let mgr = phase ctx "mvcc" (fun () -> mvcc_phase ctx store) in
+        let items = List.rev !items in
+        (* publish ttfq into the wrappers once the phases are costed *)
+        let total =
+          List.fold_left (fun a p -> a + p.ph_ns) 0 (List.rev ctx.phases)
+        in
+        ttfq_cell := total;
+        (mgr, built, catalog, items, left)
   in
   let phases = List.rev ctx.phases in
   let total = List.fold_left (fun a p -> a + p.ph_ns) 0 phases in
-  let scanned_total =
-    List.fold_left (fun a p -> a + p.ph_records) 0 phases
-  in
+  let scanned_total = List.fold_left (fun a p -> a + p.ph_records) 0 phases in
+  Obs.Metrics.set (ttfq_gauge reg) total;
+  (match mode with
+  | Eager ->
+      Obs.Metrics.set (mode_gauge reg) 0;
+      Obs.Metrics.set (ttfw_gauge reg) total
+  | Lazy -> Obs.Metrics.set (mode_gauge reg) 1);
   let report =
     {
       r_threads = max threads 1;
+      r_mode = mode;
       r_total_ns = total;
+      r_ttfq_ns = total;
       r_phases = phases;
       r_scanned = scanned_total;
     }
   in
   Log.info (fun m ->
-      m "crash-to-ready in %d simulated us over %d domain(s): %s" (total / 1000)
-        (max threads 1)
+      m "%s crash-to-ready in %d simulated us over %d domain(s): %s"
+        (mode_name mode) (total / 1000) (max threads 1)
         (String.concat ", "
            (List.map
               (fun p -> Printf.sprintf "%s %dus" p.ph_name (p.ph_ns / 1000))
               phases)));
-  { store; mgr; indexes; catalog; report }
+  {
+    store;
+    mgr;
+    indexes = built;
+    catalog;
+    report;
+    t_mode = mode;
+    warm_items;
+    warm_left;
+  }
+
+(* Force every deferred structure warm; with [threads] > 1 the
+   independent warms (each serialized by its own structure mutex) run on
+   a task pool.  Structures are disjoint, so completion order cannot
+   change the final state. *)
+let warm_all ?(threads = 1) t =
+  let ensures = List.map (fun wi -> wi.wi_ensure) t.warm_items in
+  if threads <= 1 then List.iter (fun f -> f ()) ensures
+  else begin
+    let media = G.media t.store in
+    let p = Task_pool.create ~media ~nworkers:threads () in
+    Fun.protect ~finally:(fun () -> Task_pool.shutdown p) @@ fun () ->
+    Task_pool.run p ensures
+  end

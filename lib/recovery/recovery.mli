@@ -5,40 +5,86 @@
     the dictionary hash, B+-tree inner levels per catalogued index, the
     MVTO watermark and lock state — and rebuilds them phase by phase,
     fanning the read-heavy work out over [Exec.Task_pool] domains.
+    When the pool carries a valid checkpoint generation, structures
+    whose epoch stamps prove them unchanged since the snapshot restore
+    from the blob instead of rescanning primary data, and the
+    reconciliation diffs are restricted to epoch-dirty chunks.
 
-    Phases (in order): [pmdk_log], [tables], [dict], [mvcc], [indexes].
-    Each phase publishes [recovery_phase_ns{phase=...}] and adds to
+    Phases (in order): [pmdk_log], [checkpoint] (only when a checkpoint
+    region exists), [tables], [dict], [mvcc], [indexes].  Each phase
+    publishes [recovery_phase_ns{phase=...}] and adds to
     [recovery_records_scanned_total] in the media's metrics registry and
-    runs inside a [recovery:<phase>] trace span.
+    runs inside a [recovery:<phase>] trace span.  All recovery metrics
+    (including the warm gauges below) are reset at the start of every
+    {!run}, so they always describe the current recovery.
+
+    {!Lazy} mode runs only [pmdk_log] and [mvcc] before returning: the
+    engine is query-ready (the [time_to_first_query_ns] gauge) and each
+    table free-list, the dict hash and every index warms on first touch
+    — or all at once via {!warm_all} — using the same
+    checkpoint-or-full-rebuild logic.  The [recovery_mode] gauge stays 1
+    until the last structure warms, when [time_to_fully_warm_ns] is
+    published.  Touching a structure mid-warm blocks on charged capped
+    backoff; it never errors.
 
     Recovery with N domains produces state identical to serial recovery:
     parallel stages are pure reads or writes over disjoint 512 B-aligned
     regions, and their results are consumed serially in deterministic
-    chunk order. *)
+    chunk order.  Lazy warms replay the identical operation sequences
+    serially, so lazy == eager == serial state holds by construction
+    (and the checkpoint crash battery asserts it). *)
+
+type mode = Eager | Lazy
+
+val mode_name : mode -> string
 
 type phase_report = { ph_name : string; ph_ns : int; ph_records : int }
 
 type report = {
   r_threads : int;
-  r_total_ns : int;  (** simulated crash-to-ready latency *)
+  r_mode : mode;
+  r_total_ns : int;  (** simulated latency of the phases that ran *)
+  r_ttfq_ns : int;  (** simulated time to first query (= [r_total_ns]) *)
   r_phases : phase_report list;  (** in execution order *)
   r_scanned : int;
 }
 
+type warm_item = {
+  wi_name : string;  (** e.g. ["table:nodes"], ["dict"], ["index:0x..."] *)
+  wi_warmed : unit -> bool;
+  wi_ensure : unit -> unit;
+}
+
 type t
 
-val run : ?threads:int -> Pmem.Pool.t -> t
+val run : ?threads:int -> ?mode:mode -> ?use_checkpoint:bool -> Pmem.Pool.t -> t
 (** Recover a formatted pool.  [threads <= 1] (the default) runs every
     stage serially on the calling domain without spawning a pool;
     [threads = n] spawns an n-domain task pool for the parallel stages
-    and shuts it down before returning. *)
+    and shuts it down before returning.  [mode] defaults to {!Eager};
+    [use_checkpoint] (default [true]) set to [false] forces full
+    rebuilds even when a valid generation exists. *)
 
 val store : t -> Storage.Graph_store.t
 val mgr : t -> Mvcc.Mvto.t
 val indexes : t -> Gindex.Index.t list
-(** Recovered secondary indexes, in catalog order. *)
+(** Recovered secondary indexes, in catalog order.  In lazy mode these
+    are cold handles that warm on first use. *)
 
 val catalog : t -> int
 (** Persistent index-catalog offset (attached during the index phase). *)
 
 val report : t -> report
+val mode : t -> mode
+
+val warm_items : t -> warm_item list
+(** The deferred structures of a lazy recovery (empty for eager), in
+    deterministic order: tables, dict, then indexes in catalog order. *)
+
+val warm_pending : t -> int
+(** Number of structures still cold. *)
+
+val warm_all : ?threads:int -> t -> unit
+(** Force every deferred structure warm now; with [threads] > 1 the
+    per-structure warms run on a task pool (structures are disjoint, so
+    completion order cannot change the final state). *)

@@ -8,8 +8,16 @@
      16  first_id     u64   id of the record in slot 0
      24  capacity     u32
      28  record_size  u32
-     32  occupancy bitmap, (capacity+63)/64 x u64
+     32  epoch        u64   checkpoint epoch stamp (see lib/checkpoint)
+     40  occupancy bitmap, (capacity+63)/64 x u64
      ..  records, starting at the next 64-byte boundary
+
+   The epoch stamp marks the chunk dirty with respect to the last
+   checkpoint: every mutation first persists the current global epoch
+   here (mark-before-mutate), so recovery can trust any chunk whose
+   stamp is <= the checkpoint's snapshot epoch to be unchanged since
+   that checkpoint was taken.  A crash between stamp and mutation only
+   over-approximates dirtiness, never the reverse.
 
    The bitmap enables reclamation of deleted record slots without
    deallocating (DG5); each bitmap word is updated with a failure-atomic
@@ -34,7 +42,7 @@ let align_up n a = (n + a - 1) / a * a
 
 let header_bytes ~capacity =
   let bitmap_words = (capacity + 63) / 64 in
-  align_up (32 + (8 * bitmap_words)) 64
+  align_up (40 + (8 * bitmap_words)) 64
 
 let bytes_needed ~capacity ~record_size =
   align_up (header_bytes ~capacity + (capacity * record_size)) Media.block_size
@@ -47,7 +55,7 @@ let attach pool off =
     off;
     capacity;
     record_size;
-    bitmap_off = off + 32;
+    bitmap_off = off + 40;
     data_off = off + header_bytes ~capacity;
   }
 
@@ -67,6 +75,11 @@ let off t = t.off
 let capacity t = t.capacity
 let record_size t = t.record_size
 let first_id t = Pool.read_int t.pool (t.off + 16)
+
+(* Epoch stamp: uncharged read (recovery scans it once per chunk; the
+   header line is hot anyway), failure-atomic persistent store. *)
+let epoch t = Pool.raw_read_int t.pool (t.off + 32)
+let set_epoch t e = Pool.atomic_write_int t.pool (t.off + 32) e
 let next t = Pptr.load t.pool ~at:t.off
 
 let set_next t p =

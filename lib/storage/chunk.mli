@@ -17,6 +17,15 @@ val off : t -> int
 val capacity : t -> int
 val record_size : t -> int
 val first_id : t -> int
+
+val epoch : t -> int
+(** Checkpoint epoch stamp of the chunk (uncharged read). *)
+
+val set_epoch : t -> int -> unit
+(** Persist the epoch stamp with a failure-atomic 8-byte store.  Callers
+    stamp {e before} mutating the chunk (mark-before-mutate), so a crash
+    in between only over-approximates dirtiness. *)
+
 val next : t -> Pmem.Pptr.t
 val set_next : t -> Pmem.Pptr.t -> unit
 val slot_off : t -> int -> int

@@ -33,6 +33,14 @@ type t = {
   mutable to_code : (string, int) Hashtbl.t; (* DRAM mirror *)
   mutable of_code : (int, string) Hashtbl.t;
   mu : Mutex.t;
+  (* checkpoint epoch cache (0 = stamping disabled) and lazy-warm state:
+     while not [warmed] the persistent hash is stale; [decode] still
+     serves instantly through the code array, but [encode]/[lookup]
+     first run [warm_fn] (checkpoint restore or full rebuild). *)
+  mutable cur_epoch : int;
+  mutable warmed : bool;
+  mutable warm_fn : unit -> unit;
+  warm_mu : Mutex.t;
 }
 
 (* header field offsets *)
@@ -44,7 +52,8 @@ let f_code_cap = 32
 let f_next_code = 40
 let f_seg_end = 48
 let f_heap_bump = 56
-let hdr_bytes = 64
+let f_epoch = 64 (* checkpoint epoch stamp (mark-before-mutate) *)
+let hdr_bytes = 72
 
 let initial_hash_cap = 1024
 let initial_code_cap = 1024
@@ -62,6 +71,42 @@ let fnv1a s =
 
 let get t f = Pool.read_int t.pool (t.hdr + f)
 let set_atomic t f v = Pool.atomic_write_int t.pool (t.hdr + f) v
+
+(* ---- checkpoint epoch + lazy warm ---------------------------------- *)
+
+let set_epoch_cache t e = t.cur_epoch <- e
+let epoch_stamp t = Pool.raw_read_int t.pool (t.hdr + f_epoch)
+
+(* Stamp before the fresh-code mutation (mark-before-mutate). *)
+let mark t =
+  if t.cur_epoch > 0 && epoch_stamp t < t.cur_epoch then
+    set_atomic t f_epoch t.cur_epoch
+
+let warmed t = t.warmed
+
+let defer_warm t fn =
+  t.warm_fn <- fn;
+  t.warmed <- false
+
+let ensure_warm t =
+  if not t.warmed then begin
+    (if not (Mutex.try_lock t.warm_mu) then
+       let media = Pool.media t.pool in
+       let rng = Random.State.make [| 0xD1C7; t.hdr |] in
+       let rec spin cap =
+         if not (Mutex.try_lock t.warm_mu) then begin
+           Media.charge media ((cap / 2) + Random.State.int rng (max 1 (cap / 2)));
+           Domain.cpu_relax ();
+           spin (min (cap * 2) 4096)
+         end
+       in
+       spin 64);
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.warm_mu) @@ fun () ->
+    if not t.warmed then begin
+      t.warm_fn ();
+      t.warmed <- true
+    end
+  end
 
 let alloc_segment t =
   let seg = Alloc.alloc t.pool seg_bytes in
@@ -84,6 +129,10 @@ let create ?(hybrid = true) pool =
       to_code = Hashtbl.create 1024;
       of_code = Hashtbl.create 1024;
       mu = Mutex.create ();
+      cur_epoch = 0;
+      warmed = true;
+      warm_fn = (fun () -> ());
+      warm_mu = Mutex.create ();
     }
   in
   Pool.write_int pool (hdr + f_hash_off) hash_off;
@@ -92,6 +141,7 @@ let create ?(hybrid = true) pool =
   Pool.write_int pool (hdr + f_code_off) code_off;
   Pool.write_int pool (hdr + f_code_cap) initial_code_cap;
   Pool.write_int pool (hdr + f_next_code) 1; (* code 0 = none *)
+  Pool.write_int pool (hdr + f_epoch) 0;
   Pool.persist pool ~off:hdr ~len:hdr_bytes;
   alloc_segment t;
   t
@@ -203,6 +253,7 @@ let encode t s =
   match if t.hybrid then Hashtbl.find_opt t.to_code s else None with
   | Some c -> c
   | None -> (
+      ensure_warm t;
       match hash_find t s with
       | Some c ->
           if t.hybrid then begin
@@ -211,6 +262,7 @@ let encode t s =
           end;
           c
       | None ->
+          mark t;
           let code = get t f_next_code in
           let heap_off = push_heap t s in
           grow_code_array t code;
@@ -228,8 +280,13 @@ let lookup t s =
   if t.hybrid then
     match Hashtbl.find_opt t.to_code s with
     | Some c -> Some c
-    | None -> hash_find t s
-  else hash_find t s
+    | None ->
+        ensure_warm t;
+        hash_find t s
+  else begin
+    ensure_warm t;
+    hash_find t s
+  end
 
 exception Unknown_code of int
 
@@ -248,6 +305,66 @@ let decode t code =
       s
 
 let count t = get t f_next_code - 1
+
+(* ---- incremental checkpoint support ---------------------------------
+
+   A dict checkpoint is a byte image of the string->code hash region
+   plus the header stamps needed to validate and delta-replay it.
+   Restore fast paths:
+   - epoch stamp <= snapshot epoch: nothing touched the dict since the
+     checkpoint, so the live hash region is already exact — zero work;
+   - stamps match but codes advanced: blit the image back (wiping any
+     torn partial insert) and replay only codes assigned since the
+     checkpoint, in code order — byte-identical to what the live run
+     did, reading only the delta strings;
+   - hash region moved or grew since the checkpoint: return [false] and
+     let the caller fall back to the full staged rebuild. *)
+
+type image = {
+  im_hash_off : int;
+  im_hash_cap : int;
+  im_next_code : int;
+  im_epoch : int;
+  im_bytes : Bytes.t;
+}
+
+let snapshot t =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) @@ fun () ->
+  let off = get t f_hash_off and cap = get t f_hash_cap in
+  {
+    im_hash_off = off;
+    im_hash_cap = cap;
+    im_next_code = get t f_next_code;
+    im_epoch = epoch_stamp t;
+    im_bytes = Pool.read_bytes t.pool off (16 * cap);
+  }
+
+let restore t (im : image) ~snap_epoch =
+  let cur_next = get t f_next_code in
+  if
+    get t f_hash_off <> im.im_hash_off
+    || get t f_hash_cap <> im.im_hash_cap
+    || cur_next < im.im_next_code
+  then false
+  else if epoch_stamp t <= snap_epoch then true (* untouched since ckpt *)
+  else begin
+    Pool.write_bytes t.pool im.im_hash_off im.im_bytes;
+    Pool.flush_range t.pool ~off:im.im_hash_off
+      ~len:(Bytes.length im.im_bytes);
+    let cnt = ref 0 in
+    for i = 0 to im.im_hash_cap - 1 do
+      if not (Int64.equal (Bytes.get_int64_le im.im_bytes (16 * i)) 0L) then
+        incr cnt
+    done;
+    set_atomic t f_hash_count !cnt;
+    for code = im.im_next_code to cur_next - 1 do
+      let heap_off = Pool.read_int t.pool (get t f_code_off + (8 * code)) in
+      if heap_off <> 0 then
+        hash_insert t ~heap_off ~code (read_heap_string t heap_off)
+    done;
+    true
+  end
 
 (* --- staged recovery rebuild -------------------------------------------
 
@@ -278,6 +395,10 @@ let open_raw ?(hybrid = true) pool ~hdr () =
     to_code = Hashtbl.create 1024;
     of_code = Hashtbl.create 1024;
     mu = Mutex.create ();
+    cur_epoch = 0;
+    warmed = true;
+    warm_fn = (fun () -> ());
+    warm_mu = Mutex.create ();
   }
 
 type rebuild_plan = {

@@ -50,3 +50,46 @@ val decode : t -> int -> string
 (** @raise Unknown_code for unassigned codes. *)
 
 val count : t -> int
+
+(** {1 Checkpoint epoch + lazy warm} *)
+
+val set_epoch_cache : t -> int -> unit
+(** Cache the global checkpoint epoch; 0 (the default) disables
+    stamping. *)
+
+val epoch_stamp : t -> int
+(** Persistent epoch stamp; <= a checkpoint's snapshot epoch means the
+    dictionary is unchanged since that checkpoint. *)
+
+val warmed : t -> bool
+
+val defer_warm : t -> (unit -> unit) -> unit
+(** Switch to lazy mode: the persistent hash is stale until [fn] runs
+    (checkpoint restore or full rebuild).  {!decode} still serves
+    instantly through the code array; the first {!encode} or {!lookup}
+    triggers the warm, blocking concurrent touchers with charged capped
+    backoff. *)
+
+val ensure_warm : t -> unit
+(** Complete a deferred warm now; no-op when already warm. *)
+
+(** {1 Incremental checkpoint} *)
+
+type image = {
+  im_hash_off : int;
+  im_hash_cap : int;
+  im_next_code : int;
+  im_epoch : int;
+  im_bytes : Bytes.t;
+}
+(** Byte image of the hash region plus the header stamps needed to
+    validate and delta-replay it. *)
+
+val snapshot : t -> image
+(** Capture the current hash region (caller ensures quiescence). *)
+
+val restore : t -> image -> snap_epoch:int -> bool
+(** Reinstate a checkpointed hash image and replay codes assigned since
+    the checkpoint in code order (reading only the delta strings).
+    Returns [false] — caller must fall back to the full staged rebuild —
+    when the hash region moved or grew since the checkpoint. *)

@@ -24,6 +24,7 @@ let root_rels = 2
 let root_props = 3
 let root_index = 4
 let root_jit = 5
+let root_ckpt = 6 (* checkpoint region header (lib/checkpoint) *)
 
 type t = {
   pool : Pool.t;
@@ -107,6 +108,18 @@ let prop_store t = t.props
 let registry t = t.registry
 let media t = Pool.media t.pool
 
+(* Checkpoint epoch plumbing: propagate the cached global epoch to every
+   stamped structure (dict header, node/rel chunks; index descriptors
+   are handled by Core, which owns the index handles). *)
+let set_epoch_cache t e =
+  Dict.set_epoch_cache t.dict e;
+  Table.set_epoch_cache t.nodes e;
+  Table.set_epoch_cache t.rels e;
+  Table.set_epoch_cache (Props.table t.props) e
+
+let mark_node t id = Table.mark t.nodes id
+let mark_rel t id = Table.mark t.rels id
+
 (* Dictionary helpers. *)
 
 let code t s = Dict.encode t.dict s
@@ -141,6 +154,7 @@ let read_node t id : node =
   }
 
 let write_node ?(persist = true) t id (n : node) =
+  Table.mark t.nodes id;
   let off = Table.record_off t.nodes id in
   let p = t.pool in
   Pool.write_u32 p (off + Node.label) n.label;
@@ -171,6 +185,7 @@ let read_rel t id : rel =
   }
 
 let write_rel ?(persist = true) t id (r : rel) =
+  Table.mark t.rels id;
   let off = Table.record_off t.rels id in
   let p = t.pool in
   Pool.write_u32 p (off + Rel.label) r.rlabel;
@@ -296,12 +311,14 @@ let rel_prop t id key =
   Props.get t.props ~first:(rel_field t id Rel.first_prop) ~key
 
 let set_node_prop t id ~key value =
+  Table.mark t.nodes id;
   let first = node_field t id Node.first_prop in
   let value = encode_value t value in
   let first' = Props.set t.props ~owner:(id + 1) ~first ~key value in
   if first' <> first then set_node_field t id Node.first_prop first'
 
 let set_rel_prop t id ~key value =
+  Table.mark t.rels id;
   let first = rel_field t id Rel.first_prop in
   let value = encode_value t value in
   let first' = Props.set t.props ~owner:(id + 1) ~first ~key value in

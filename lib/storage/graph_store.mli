@@ -16,6 +16,7 @@ val root_rels : int
 val root_props : int
 val root_index : int
 val root_jit : int
+val root_ckpt : int
 
 type t
 
@@ -39,6 +40,16 @@ val rel_table : t -> Table.t
 val prop_store : t -> Props.t
 val registry : t -> Pmem.Pptr.registry
 val media : t -> Pmem.Media.t
+
+val set_epoch_cache : t -> int -> unit
+(** Propagate the cached global checkpoint epoch to the dict and the
+    node / rel / prop tables (index descriptors are handled by their
+    owner). *)
+
+val mark_node : t -> int -> unit
+val mark_rel : t -> int -> unit
+(** Stamp the chunk holding the record with the current epoch before a
+    mutation that bypasses {!write_node} / {!write_rel}. *)
 
 (** {1 Dictionary} *)
 

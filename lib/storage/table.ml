@@ -36,6 +36,20 @@ type t = {
   free : int Queue.t; (* DRAM cache of reusable record ids *)
   mutable high : int; (* next never-reserved id (high-water mark) *)
   mu : Mutex.t;
+  (* Checkpoint epoch plumbing: [cur_epoch] caches the global checkpoint
+     epoch; mutations stamp their chunk with it before touching the
+     bitmap or records (mark-before-mutate).  0 means no checkpoint
+     subsystem is attached and stamping is disabled. *)
+  mutable cur_epoch : int;
+  (* Lazy-recovery state: while not [warmed], the free-slot cache is
+     incomplete; deletes clear bitmap bits eagerly but park their ids in
+     [pending] so the eventual warm can reproduce the eager queue order
+     (canonical bitmap order minus pending, then pending in delete
+     order).  [warm_fn] returns the canonical chunk-order free ids. *)
+  mutable warmed : bool;
+  pending : int Queue.t;
+  mutable warm_fn : unit -> int list;
+  warm_mu : Mutex.t;
 }
 
 let default_capacity = 512
@@ -59,6 +73,11 @@ let create pool ?(capacity = default_capacity) ?(max_chunks = 65_536)
     free = Queue.create ();
     high = 0;
     mu = Mutex.create ();
+    cur_epoch = 0;
+    warmed = true;
+    pending = Queue.create ();
+    warm_fn = (fun () -> []);
+    warm_mu = Mutex.create ();
   }
 
 (* Reattach the DRAM directory mirror only, leaving the free-slot cache
@@ -87,7 +106,69 @@ let attach_mirror pool ?capacity ?(max_chunks = 65_536) ~record_size ~dir_off
     free = Queue.create ();
     high = nchunks * capacity;
     mu = Mutex.create ();
+    cur_epoch = 0;
+    warmed = true;
+    pending = Queue.create ();
+    warm_fn = (fun () -> []);
+    warm_mu = Mutex.create ();
   }
+
+(* ---- checkpoint epoch plumbing ------------------------------------- *)
+
+let set_epoch_cache t e = t.cur_epoch <- e
+let epoch_cache t = t.cur_epoch
+let chunk_epoch t ci = Chunk.epoch t.chunks.(ci)
+
+(* Stamp the chunk containing [id] with the current epoch, before the
+   caller mutates it.  The stamp is a dedicated 8-byte word, so racing
+   markers write the same value; no lock needed. *)
+let mark t id =
+  if t.cur_epoch > 0 then begin
+    let c = t.chunks.(id / t.capacity) in
+    if Chunk.epoch c < t.cur_epoch then Chunk.set_epoch c t.cur_epoch
+  end
+
+(* ---- lazy warm machinery ------------------------------------------- *)
+
+let warmed t = t.warmed
+
+let defer_warm t fn =
+  t.warm_fn <- fn;
+  t.warmed <- false
+
+(* Bounded wait: a toucher racing a warmer blocks on [warm_mu] with a
+   charged capped exponential backoff rather than erroring. *)
+let lock_backoff t =
+  if not (Mutex.try_lock t.warm_mu) then begin
+    let media = Pool.media t.pool in
+    let rng = Random.State.make [| 0x7A81E; Hashtbl.hash t.dir_off |] in
+    let rec spin cap =
+      if not (Mutex.try_lock t.warm_mu) then begin
+        Media.charge media ((cap / 2) + Random.State.int rng (max 1 (cap / 2)));
+        Domain.cpu_relax ();
+        spin (min (cap * 2) 4096)
+      end
+    in
+    spin 64
+  end
+
+let ensure_warm t =
+  if not t.warmed then begin
+    lock_backoff t;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.warm_mu) @@ fun () ->
+    if not t.warmed then begin
+      let ids = t.warm_fn () in
+      Mutex.lock t.mu;
+      let pend = Hashtbl.create 16 in
+      Queue.iter (fun id -> Hashtbl.replace pend id ()) t.pending;
+      List.iter
+        (fun id -> if not (Hashtbl.mem pend id) then Queue.add id t.free)
+        ids;
+      Queue.transfer t.pending t.free;
+      t.warmed <- true;
+      Mutex.unlock t.mu
+    end
+  end
 
 (* Free slots of chunk [ci] as ascending record ids; reads one charged
    bitmap word per 64 slots.  Safe to run concurrently across distinct
@@ -102,6 +183,7 @@ let add_free_slots t ids =
   Mutex.unlock t.mu
 
 let free_slots t =
+  ensure_warm t;
   Mutex.lock t.mu;
   let ids = List.of_seq (Queue.to_seq t.free) in
   Mutex.unlock t.mu;
@@ -130,6 +212,8 @@ let append_chunk t =
     Chunk.create t.pool ~first_id ~capacity:t.capacity
       ~record_size:t.record_size
   in
+  (* A chunk born after a checkpoint is dirty w.r.t. that checkpoint. *)
+  if t.cur_epoch > 0 then Chunk.set_epoch c t.cur_epoch;
   if t.nchunks > 0 then
     Chunk.set_next t.chunks.(t.nchunks - 1)
       (Pptr.v ~pool:(Pool.id t.pool) ~off:(Chunk.off c));
@@ -168,6 +252,7 @@ let is_live_raw t id =
    record at the returned offset, then calls [publish] to set the bitmap
    bit that makes it reachable. *)
 let reserve t =
+  ensure_warm t;
   Mutex.lock t.mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) @@ fun () ->
   let id =
@@ -186,15 +271,17 @@ let reserve t =
    single failure-atomic 8-byte write). *)
 let publish t id =
   let c, slot = locate t id in
+  mark t id;
   Mutex.lock t.mu;
   Chunk.set_used c slot true;
   Mutex.unlock t.mu
 
 let delete t id =
   let c, slot = locate t id in
+  mark t id;
   Mutex.lock t.mu;
   Chunk.set_used c slot false;
-  Queue.add id t.free;
+  Queue.add id (if t.warmed then t.free else t.pending);
   Mutex.unlock t.mu
 
 let count t =

@@ -50,7 +50,35 @@ val add_free_slots : t -> int list -> unit
 
 val free_slots : t -> int list
 (** Snapshot of the free-slot cache in queue order (state-equivalence
-    checks in recovery tests). *)
+    checks in recovery tests).  Forces a lazy warm first. *)
+
+val set_epoch_cache : t -> int -> unit
+(** Cache the global checkpoint epoch; 0 (the default) disables epoch
+    stamping entirely. *)
+
+val epoch_cache : t -> int
+
+val chunk_epoch : t -> int -> int
+(** Persistent epoch stamp of chunk [ci]; a chunk whose stamp is <= a
+    checkpoint's snapshot epoch is unchanged since that checkpoint. *)
+
+val mark : t -> int -> unit
+(** Stamp the chunk containing [id] with the current epoch.  Callers
+    mark {e before} mutating record bytes (mark-before-mutate). *)
+
+val warmed : t -> bool
+(** Whether the free-slot cache is complete. *)
+
+val defer_warm : t -> (unit -> int list) -> unit
+(** Switch the table to lazy mode: [fn] must return the canonical
+    chunk-order free ids when invoked; the first {!reserve} or
+    {!free_slots} (or an explicit {!ensure_warm}) runs it.  Deletes
+    observed before the warm are spliced in afterwards in delete order,
+    reproducing the eager queue order exactly. *)
+
+val ensure_warm : t -> unit
+(** Complete a deferred warm now; concurrent touchers block with charged
+    capped backoff rather than erroring.  No-op when already warm. *)
 
 val pool : t -> Pmem.Pool.t
 val record_size : t -> int

@@ -1,0 +1,634 @@
+(* Checkpoint-targeted crash tests.
+
+   Four layers:
+
+   - a checkpoint crash battery: a seeded SNB-shaped update mix with a
+     checkpoint in the middle is cut by a fault plan at crash points
+     sampled from its persist trace — every third point forced INSIDE
+     the checkpoint's own write window (epoch bump, blob persist, slot
+     publication), so mid-checkpoint and between-stamp-and-commit tears
+     are hit on every run.  Each point recovers four ways (serial eager,
+     2-domain eager, lazy + warm, and eager with the checkpoint ignored)
+     and every recovery must satisfy the I1-I5 oracle AND produce the
+     same volatile-state fingerprint: checkpoint-accelerated, lazy and
+     full-rebuild recovery are indistinguishable at every cut.  The
+     sample size comes from CHECKPOINT_POINTS (default 24; the nightly
+     sweep raises it);
+
+   - an epoch/generation property test: N interleaved
+     checkpoint / crash / reopen cycles; sequence numbers and the global
+     epoch increase strictly monotonically, the two newest generations
+     stay resident in the two shadow slots, and recovery never loads a
+     generation older than the last committed one;
+
+   - deterministic mid-checkpoint crashes: cut at the first store, the
+     last store and mid-window of a checkpoint's own persist trace; the
+     loader must still yield a valid generation (the previous one, or
+     the new one when the cut landed after the commit flip) and the
+     recovered state must equal a full rebuild;
+
+   - a tampering drill: a corrupted blob makes the loader fall back to
+     the older generation; corrupting both commit words makes it load
+     nothing — and the engine still recovers by full rebuild. *)
+
+module Media = Pmem.Media
+module Pool = Pmem.Pool
+module Faults = Pmem.Faults
+module CE = Pmem.Crash_explorer
+module Value = Storage.Value
+module G = Storage.Graph_store
+module Dict = Storage.Dict
+module Table = Storage.Table
+module Props = Storage.Props
+module Mvto = Mvcc.Mvto
+module Node_store = Gindex.Node_store
+module Btree = Gindex.Btree
+module Index = Gindex.Index
+module Ckpt = Checkpoint
+
+let battery_points =
+  match Sys.getenv_opt "CHECKPOINT_POINTS" with
+  | Some s -> ( try max 1 (int_of_string s) with _ -> 24)
+  | None -> 24
+
+(* --- workload (SNB-shaped, model-tracked for Crash_oracle) ------------ *)
+
+(* Same shape as the recovery battery's mix, plus a volatile-placement
+   Comment index so all three snapshot encodings (hybrid leaf summaries,
+   persistent leaf summaries, volatile pair sets) are exercised. *)
+type st = {
+  mutable db : Core.t;
+  model : Crash_oracle.model;
+  mutable pending : Crash_oracle.delta option;
+  mutable persons : int list;
+  mutable loners : int list;
+  mutable next_ldbc : int;
+}
+
+let fresh () =
+  let db = Core.create ~mode:`Pmem ~pool_size:(1 lsl 24) ~chunk_capacity:64 () in
+  ignore (Core.create_index db ~label:"Person" ~prop:"id" ());
+  ignore
+    (Core.create_index ~placement:Node_store.Persistent db ~label:"Post"
+       ~prop:"id" ());
+  ignore
+    (Core.create_index ~placement:Node_store.Volatile db ~label:"Comment"
+       ~prop:"id" ());
+  let person ldbc =
+    Core.with_txn db (fun txn ->
+        Core.create_node db txn ~label:"Person" ~props:[ ("id", Value.Int ldbc) ])
+  in
+  let p1 = person 933 and p2 = person 1129 and p3 = person 4194 in
+  {
+    db;
+    model =
+      { Crash_oracle.nodes = [ (p1, 933); (p2, 1129); (p3, 4194) ]; rels = [] };
+    pending = None;
+    persons = [ p1; p2; p3 ];
+    loners = [];
+    next_ldbc = 10000;
+  }
+
+let step st pending f =
+  st.pending <- Some pending;
+  f ();
+  st.pending <- None
+
+let pick rng xs = List.nth xs (Random.State.int rng (List.length xs))
+let used st p = st.loners <- List.filter (fun q -> q <> p) st.loners
+
+let insert_person st =
+  let ldbc = st.next_ldbc in
+  st.next_ldbc <- st.next_ldbc + 1;
+  step st (Crash_oracle.Insert { ldbc; v = ldbc; rel_dsts = [] }) (fun () ->
+      let id =
+        Core.with_txn st.db (fun txn ->
+            Core.create_node st.db txn ~label:"Person"
+              ~props:[ ("id", Value.Int ldbc) ])
+      in
+      st.model.Crash_oracle.nodes <- (id, ldbc) :: st.model.Crash_oracle.nodes;
+      st.persons <- id :: st.persons;
+      st.loners <- id :: st.loners)
+
+let add_friendship st rng =
+  let src = pick rng st.persons in
+  let dst = pick rng (List.filter (fun p -> p <> src) st.persons) in
+  step st (Crash_oracle.AddRels [ (src, dst) ]) (fun () ->
+      let rid =
+        Core.with_txn st.db (fun txn ->
+            Core.create_rel st.db txn ~label:"knows" ~src ~dst ~props:[])
+      in
+      st.model.Crash_oracle.rels <- (rid, src, dst) :: st.model.Crash_oracle.rels;
+      used st src;
+      used st dst)
+
+let add_content st rng ~label =
+  let creator = pick rng st.persons in
+  let ldbc = st.next_ldbc in
+  st.next_ldbc <- st.next_ldbc + 1;
+  step st (Crash_oracle.Insert { ldbc; v = ldbc; rel_dsts = [ creator ] })
+    (fun () ->
+      let id, rid =
+        Core.with_txn st.db (fun txn ->
+            let id =
+              Core.create_node st.db txn ~label
+                ~props:[ ("id", Value.Int ldbc) ]
+            in
+            let rid =
+              Core.create_rel st.db txn ~label:"hasCreator" ~src:id ~dst:creator
+                ~props:[]
+            in
+            (id, rid))
+      in
+      st.model.Crash_oracle.nodes <- (id, ldbc) :: st.model.Crash_oracle.nodes;
+      st.model.Crash_oracle.rels <- (rid, id, creator) :: st.model.Crash_oracle.rels;
+      used st creator)
+
+let delete_loner st rng =
+  match st.loners with
+  | [] -> insert_person st
+  | ls ->
+      let node = pick rng ls in
+      step st (Crash_oracle.Delete { node }) (fun () ->
+          Core.with_txn st.db (fun txn -> Core.delete_node st.db txn node);
+          st.model.Crash_oracle.nodes <-
+            List.filter (fun (i, _) -> i <> node) st.model.Crash_oracle.nodes;
+          st.persons <- List.filter (fun p -> p <> node) st.persons;
+          used st node)
+
+let run_mix st ~seed ~ops =
+  let rng = Random.State.make [| seed; 0xC4E7 |] in
+  for _ = 1 to ops do
+    match Random.State.int rng 5 with
+    | 0 -> insert_person st
+    | 1 -> add_friendship st rng
+    | 2 -> add_content st rng ~label:"Post"
+    | 3 -> add_content st rng ~label:"Comment"
+    | _ -> delete_loner st rng
+  done
+
+(* Volatile-state fingerprint, covering everything the checkpoint
+   snapshots: MVTO timestamps, live records, per-table free-slot lists,
+   the dictionary and every index's full contents.  Reading it warms any
+   still-cold lazy structure, so it is also the lazy==eager probe. *)
+let state_signature db =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (Printf.sprintf "ts=%d\n" (Mvto.next_ts (Core.mgr db)));
+  Core.with_txn db (fun txn ->
+      Mvto.scan_nodes (Core.mgr db) txn (fun id ->
+          let v =
+            match Core.node_prop db txn id ~key:"id" with
+            | Some (Value.Int x) -> x
+            | _ -> -1
+          in
+          Buffer.add_string buf (Printf.sprintf "n%d=%d\n" id v));
+      Mvto.scan_rels (Core.mgr db) txn (fun rid ->
+          Buffer.add_string buf (Printf.sprintf "r%d\n" rid)));
+  let store = Core.store db in
+  List.iter
+    (fun (name, tbl) ->
+      Buffer.add_string buf
+        (Printf.sprintf "free/%s=%s\n" name
+           (String.concat ","
+              (List.map string_of_int (Table.free_slots tbl)))))
+    [
+      ("nodes", G.node_table store);
+      ("rels", G.rel_table store);
+      ("props", Props.table (G.prop_store store));
+    ];
+  let dict = G.dict store in
+  Buffer.add_string buf (Printf.sprintf "dict/count=%d\n" (Dict.count dict));
+  List.iter
+    (fun label ->
+      match (Dict.lookup dict label, Dict.lookup dict "id") with
+      | Some lc, Some kc -> (
+          match Core.index_lookup_fn db ~label:lc ~key:kc with
+          | None -> Buffer.add_string buf (Printf.sprintf "idx/%s=absent\n" label)
+          | Some idx ->
+              Btree.iter_all (Index.tree idx) (fun k v ->
+                  Buffer.add_string buf
+                    (Printf.sprintf "idx/%s/%Ld=%Ld\n" label k v)))
+      | _ -> Buffer.add_string buf (Printf.sprintf "idx/%s=nocode\n" label))
+    [ "Person"; "Post"; "Comment" ];
+  Buffer.contents buf
+
+let kind_name = function
+  | `Write -> "store"
+  | `Flush -> "clwb"
+  | `Fence -> "sfence"
+  | _ -> "event"
+
+(* --- checkpoint crash battery ----------------------------------------- *)
+
+let ops1 = 8 and ops2 = 8
+
+let run_ckpt_mix st ~seed =
+  run_mix st ~seed ~ops:ops1;
+  ignore (Core.checkpoint st.db);
+  run_mix st ~seed:(seed + 1) ~ops:ops2
+
+type variant = Eager of int | Lazy | No_ckpt
+
+let variant_name = function
+  | Eager n -> Printf.sprintf "eager/%d-domain" n
+  | Lazy -> "lazy"
+  | No_ckpt -> "eager/no-checkpoint"
+
+let battery_variants = [ Eager 1; Eager 2; Lazy; No_ckpt ]
+
+(* One crash/recover cycle: replay the deterministic mix under [plan],
+   cut power, recover per [variant]; returns whether the plan fired plus
+   the fingerprint (computed after warming, before the oracle's probe
+   transactions mutate the store). *)
+let battery_run ~seed ~plan variant =
+  let st = fresh () in
+  let pool = Core.pool st.db and media = Core.media st.db in
+  Faults.install ~pool media plan;
+  let fired =
+    Fun.protect ~finally:(fun () -> Faults.uninstall media) @@ fun () ->
+    match run_ckpt_mix st ~seed with
+    | () -> false
+    | exception Faults.Crash_point _ -> true
+  in
+  Pool.crash pool;
+  (st.db <-
+     (match variant with
+     | Eager n -> Core.reopen ~recovery_threads:n st.db
+     | No_ckpt -> Core.reopen ~use_checkpoint:false st.db
+     | Lazy ->
+         let db = Core.reopen ~recovery_mode:Recovery.Lazy st.db in
+         (* organic first touches while structures are still cold *)
+         (match
+            ( Dict.lookup (G.dict (Core.store db)) "Person",
+              Dict.lookup (G.dict (Core.store db)) "id" )
+          with
+         | Some lc, Some kc -> (
+             match Core.index_lookup_fn db ~label:lc ~key:kc with
+             | Some idx -> ignore (Index.lookup idx (Value.Int 933))
+             | None -> ())
+         | _ -> ());
+         Core.warm_all db;
+         db));
+  let s = state_signature st.db in
+  Crash_oracle.check ~vkey:"id" ~index_label:"Person" ~index_key:"id"
+    ?pending:st.pending st.db st.model;
+  (fired, s)
+
+let test_checkpoint_battery () =
+  let seed = 42 in
+  (* record the persist trace in three segments — pre-checkpoint mix,
+     the checkpoint itself, post-checkpoint mix — so the sampler can aim
+     points specifically at the checkpoint's own write window *)
+  let st0 = fresh () in
+  let media0 = Core.media st0.db in
+  let t1 = CE.record media0 (fun () -> run_mix st0 ~seed ~ops:ops1) in
+  let t2 = CE.record media0 (fun () -> ignore (Core.checkpoint st0.db)) in
+  let t3 = CE.record media0 (fun () -> run_mix st0 ~seed:(seed + 1) ~ops:ops2) in
+  let s1 = CE.stores t1 and f1 = CE.flushes t1 and e1 = CE.fences t1 in
+  let s2 = CE.stores t2 and f2 = CE.flushes t2 and e2 = CE.fences t2 in
+  let s3 = CE.stores t3 and f3 = CE.flushes t3 and e3 = CE.fences t3 in
+  Alcotest.(check bool) "checkpoint produced persist traffic" true (s2 > 0);
+  let all = s1 + s2 + s3 + f1 + f2 + f3 + e1 + e2 + e3 in
+  let ck = s2 + f2 + e2 in
+  let rng = Random.State.make [| seed; 0xCB47 |] in
+  (* map a flat draw over (stores, flushes, fences) with the given
+     per-kind offsets into a global (kind, 1-based ordinal) crash point *)
+  let to_point ~offs:(os, off, oe) ~counts:(cs, cf, _) j =
+    if j < cs then (`Write, os + j + 1)
+    else if j < cs + cf then (`Flush, off + j - cs + 1)
+    else (`Fence, oe + j - cs - cf + 1)
+  in
+  for point = 1 to battery_points do
+    let kind, ordinal =
+      if point = 1 then
+        (* first store of the checkpoint window: the epoch bump itself *)
+        (`Write, s1 + 1)
+      else if point = 2 then
+        (* last store of the window: the slot commit flip *)
+        (`Write, s1 + s2)
+      else if point mod 3 = 0 then
+        (* forced mid-checkpoint: epoch stamped, data partially persisted *)
+        to_point
+          ~offs:(s1, f1, e1)
+          ~counts:(s2, f2, e2)
+          (Random.State.int rng ck)
+      else
+        to_point ~offs:(0, 0, 0)
+          ~counts:(s1 + s2 + s3, f1 + f2 + f3, e1 + e2 + e3)
+          (Random.State.int rng all)
+    in
+    (* the plan seed is shared across variants, so each recovers the
+       exact same frozen (possibly evicted/torn) image *)
+    let mk_plan () =
+      if point mod 4 = 0 then
+        Faults.plan ~crash_at:(kind, ordinal) ~evict_prob:0.5 ~torn_prob:0.25
+          ~seed:(seed + (6553 * point))
+          ()
+      else Faults.plan ~crash_at:(kind, ordinal) ()
+    in
+    let outcomes =
+      List.map
+        (fun v -> (v, battery_run ~seed ~plan:(mk_plan ()) v))
+        battery_variants
+    in
+    match outcomes with
+    | [] -> ()
+    | (v0, (fired0, sig0)) :: rest ->
+        List.iter
+          (fun (v, (fired, s)) ->
+            Alcotest.(check bool)
+              (Printf.sprintf
+                 "[seed=%d] point %d (%s #%d): fired agrees (%s vs %s)" seed
+                 point (kind_name kind) ordinal (variant_name v)
+                 (variant_name v0))
+              fired0 fired;
+            Alcotest.(check bool)
+              (Printf.sprintf "[seed=%d] point %d (%s #%d): %s recovery == %s"
+                 seed point (kind_name kind) ordinal (variant_name v)
+                 (variant_name v0))
+              true (s = sig0))
+          rest
+  done
+
+(* --- epoch monotonicity + generation flipping -------------------------- *)
+
+let cycles = 8
+
+let test_generations () =
+  let st = fresh () in
+  let last_seq = ref 0 and last_epoch = ref 0 in
+  for cycle = 1 to cycles do
+    run_mix st ~seed:(100 + cycle) ~ops:5;
+    let seq = Core.checkpoint st.db in
+    let ep = Core.checkpoint_epoch st.db in
+    Alcotest.(check bool)
+      (Printf.sprintf "cycle %d: sequence strictly increases" cycle)
+      true (seq > !last_seq);
+    Alcotest.(check bool)
+      (Printf.sprintf "cycle %d: epoch strictly increases" cycle)
+      true (ep > !last_epoch);
+    (match Core.checkpoint_info st.db with
+    | None -> Alcotest.fail "no checkpoint region after take"
+    | Some i ->
+        Alcotest.(check int)
+          (Printf.sprintf "cycle %d: info epoch" cycle)
+          ep i.Ckpt.i_epoch;
+        let valid =
+          List.filter
+            (fun s -> s.Ckpt.si_valid)
+            (Array.to_list i.Ckpt.i_slots)
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "cycle %d: newest valid slot is this generation"
+             cycle)
+          true
+          (List.exists (fun s -> s.Ckpt.si_seq = seq) valid);
+        if cycle >= 2 then
+          Alcotest.(check int)
+            (Printf.sprintf
+               "cycle %d: both shadow slots hold valid generations" cycle)
+            2 (List.length valid));
+    last_seq := seq;
+    last_epoch := ep;
+    (* crash / reopen with a rotating strategy; a reopen must never load
+       a generation older than the one just committed *)
+    Core.crash st.db;
+    st.db <-
+      (match cycle mod 3 with
+      | 0 -> Core.reopen ~recovery_threads:2 st.db
+      | 1 -> Core.reopen st.db
+      | _ ->
+          let db = Core.reopen ~recovery_mode:Recovery.Lazy st.db in
+          Core.warm_all db;
+          db);
+    (match Ckpt.load (Core.pool st.db) with
+    | None -> Alcotest.fail "generation lost across crash/reopen"
+    | Some g ->
+        Alcotest.(check int)
+          (Printf.sprintf "cycle %d: loads exactly the last generation" cycle)
+          !last_seq g.Ckpt.g_seq);
+    Crash_oracle.check ~vkey:"id" ~index_label:"Person" ~index_key:"id"
+      ?pending:st.pending st.db st.model
+  done
+
+(* --- deterministic mid-checkpoint crashes ------------------------------ *)
+
+(* Replay the deterministic prefix (mix, checkpoint, mix), install [plan]
+   just before a SECOND checkpoint and let it cut power inside it; the
+   recovered pool must still present a valid generation — the first one,
+   or the second when the cut landed after the commit flip — and recover
+   to full-rebuild state. *)
+let midckpt_run ~plan variant =
+  let st = fresh () in
+  run_mix st ~seed:5 ~ops:6;
+  let seq1 = Core.checkpoint st.db in
+  run_mix st ~seed:6 ~ops:4;
+  let pool = Core.pool st.db and media = Core.media st.db in
+  Faults.install ~pool media plan;
+  let fired =
+    Fun.protect ~finally:(fun () -> Faults.uninstall media) @@ fun () ->
+    match ignore (Core.checkpoint st.db) with
+    | () -> false
+    | exception Faults.Crash_point _ -> true
+  in
+  Pool.crash pool;
+  (st.db <-
+     (match variant with
+     | Eager n -> Core.reopen ~recovery_threads:n st.db
+     | No_ckpt -> Core.reopen ~use_checkpoint:false st.db
+     | Lazy ->
+         let db = Core.reopen ~recovery_mode:Recovery.Lazy st.db in
+         Core.warm_all db;
+         db));
+  let loaded =
+    match Ckpt.load (Core.pool st.db) with
+    | None -> Alcotest.fail "mid-checkpoint crash left no valid generation"
+    | Some g -> g.Ckpt.g_seq
+  in
+  Alcotest.(check bool)
+    "mid-checkpoint crash: loaded generation is gen1 or gen2, never older"
+    true
+    (loaded = seq1 || loaded = seq1 + 1);
+  let s = state_signature st.db in
+  Crash_oracle.check ~vkey:"id" ~index_label:"Person" ~index_key:"id"
+    ?pending:st.pending st.db st.model;
+  (fired, s)
+
+let test_midckpt_crashes () =
+  (* trace just the second checkpoint, on an identical deterministic
+     prefix, to learn its event counts *)
+  let st0 = fresh () in
+  run_mix st0 ~seed:5 ~ops:6;
+  ignore (Core.checkpoint st0.db);
+  run_mix st0 ~seed:6 ~ops:4;
+  let t = CE.record (Core.media st0.db) (fun () -> ignore (Core.checkpoint st0.db)) in
+  let ns = CE.stores t and nf = CE.flushes t and nfe = CE.fences t in
+  Alcotest.(check bool) "second checkpoint persists something" true (ns > 0);
+  let cuts =
+    List.filter
+      (fun (_, o) -> o > 0)
+      [
+        (`Write, 1);            (* the epoch bump store *)
+        (`Write, (ns / 2) + 1); (* mid blob write *)
+        (`Write, ns);           (* the commit-word flip *)
+        (`Flush, nf);
+        (`Fence, nfe);
+      ]
+  in
+  List.iter
+    (fun (kind, ordinal) ->
+      let mk_plan () = Faults.plan ~crash_at:(kind, ordinal) () in
+      let outcomes =
+        List.map
+          (fun v -> (v, midckpt_run ~plan:(mk_plan ()) v))
+          [ Eager 1; Lazy; No_ckpt ]
+      in
+      match outcomes with
+      | [] -> ()
+      | (v0, (fired0, sig0)) :: rest ->
+          Alcotest.(check bool)
+            (Printf.sprintf "cut %s #%d fired inside the checkpoint"
+               (kind_name kind) ordinal)
+            true fired0;
+          List.iter
+            (fun (v, (fired, s)) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "cut %s #%d: fired agrees (%s)"
+                   (kind_name kind) ordinal (variant_name v))
+                fired0 fired;
+              Alcotest.(check bool)
+                (Printf.sprintf "cut %s #%d: %s recovery == %s"
+                   (kind_name kind) ordinal (variant_name v)
+                   (variant_name v0))
+                true (s = sig0))
+            rest)
+    cuts
+
+(* --- stale / tampered generations are rejected ------------------------- *)
+
+(* Shadow-slot layout mirrored from lib/checkpoint (region header 192 B:
+   two 64-byte slots at +64/+128; blob_off at slot+32, blob_len at
+   slot+40, commit word at slot+56). *)
+let slot_offs = [ 64; 128 ]
+let f_seq = 0 and f_blob_off = 32 and f_blob_len = 40 and f_commit = 56
+
+let test_tampering () =
+  let st = fresh () in
+  run_mix st ~seed:9 ~ops:8;
+  let seq1 = Core.checkpoint st.db in
+  run_mix st ~seed:10 ~ops:3;
+  let seq2 = Core.checkpoint st.db in
+  let pool = Core.pool st.db in
+  let region = Ckpt.region pool in
+  Alcotest.(check bool) "checkpoint region exists" true (region <> 0);
+  (* find the slot holding the newest generation and flip one byte in
+     the middle of its blob: the loader must reject it on checksum and
+     fall back to the older generation *)
+  let newest =
+    List.find
+      (fun off -> Pool.raw_read_int pool (region + off + f_seq) = seq2)
+      slot_offs
+  in
+  let blob_off = Pool.raw_read_int pool (region + newest + f_blob_off) in
+  let blob_len = Pool.raw_read_int pool (region + newest + f_blob_len) in
+  Alcotest.(check bool) "newest blob nonempty" true (blob_len > 0);
+  let target = blob_off + (blob_len / 2) in
+  let b = Bytes.get (Pool.read_bytes pool target 1) 0 in
+  Pool.write_u8 pool target (Char.code b lxor 0xFF);
+  Pool.persist pool ~off:target ~len:1;
+  (match Ckpt.load pool with
+  | None -> Alcotest.fail "corrupt blob: loader must fall back, not fail"
+  | Some g ->
+      Alcotest.(check int) "corrupt blob falls back to the older generation"
+        seq1 g.Ckpt.g_seq);
+  (* now kill both commit words: no generation may load at all *)
+  List.iter
+    (fun off ->
+      Pool.write_i64 pool (region + off + f_commit) 0L;
+      Pool.persist pool ~off:(region + off + f_commit) ~len:8)
+    slot_offs;
+  Alcotest.(check bool) "no valid generation after commit-word wipe" true
+    (Ckpt.load pool = None);
+  (match Ckpt.info pool with
+  | None -> Alcotest.fail "region header still present"
+  | Some i ->
+      Alcotest.(check int) "info shows zero valid slots" 0
+        (Array.fold_left
+           (fun n s -> if s.Ckpt.si_valid then n + 1 else n)
+           0 i.Ckpt.i_slots));
+  (* the engine still recovers — by full rebuild — and matches a twin
+     whose (uncorrupted) checkpoint was simply ignored *)
+  Core.crash st.db;
+  st.db <- Core.reopen st.db;
+  let s = state_signature st.db in
+  Crash_oracle.check ~vkey:"id" ~index_label:"Person" ~index_key:"id"
+    ?pending:st.pending st.db st.model;
+  let twin = fresh () in
+  run_mix twin ~seed:9 ~ops:8;
+  ignore (Core.checkpoint twin.db);
+  run_mix twin ~seed:10 ~ops:3;
+  ignore (Core.checkpoint twin.db);
+  Core.crash twin.db;
+  twin.db <- Core.reopen ~use_checkpoint:false twin.db;
+  Alcotest.(check bool) "full rebuild after tamper == checkpoint-ignored twin"
+    true
+    (state_signature twin.db = s)
+
+(* --- stale checkpoint differential ------------------------------------- *)
+
+(* Mutations after the last checkpoint dirty chunks, the dict and index
+   stamps; recovery must re-derive those parts rather than trust the
+   stale snapshot.  Differential: recover the same frozen image with the
+   checkpoint enabled and disabled — identical fingerprints. *)
+let test_stale_checkpoint () =
+  let run variant =
+    let st = fresh () in
+    run_mix st ~seed:21 ~ops:8;
+    ignore (Core.checkpoint st.db);
+    (* everything below postdates the snapshot *)
+    run_mix st ~seed:22 ~ops:10;
+    Core.crash st.db;
+    (st.db <-
+       (match variant with
+       | Eager n -> Core.reopen ~recovery_threads:n st.db
+       | No_ckpt -> Core.reopen ~use_checkpoint:false st.db
+       | Lazy ->
+           let db = Core.reopen ~recovery_mode:Recovery.Lazy st.db in
+           Core.warm_all db;
+           db));
+    let s = state_signature st.db in
+    Crash_oracle.check ~vkey:"id" ~index_label:"Person" ~index_key:"id"
+      ?pending:st.pending st.db st.model;
+    s
+  in
+  let base = run No_ckpt in
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "stale checkpoint not trusted (%s)" (variant_name v))
+        true
+        (run v = base))
+    [ Eager 1; Eager 2; Lazy ]
+
+let () =
+  Alcotest.run "checkpoint"
+    [
+      ( "battery",
+        [
+          Alcotest.test_case
+            (Printf.sprintf "checkpoint crash battery (%d points)"
+               battery_points)
+            `Slow test_checkpoint_battery;
+        ] );
+      ( "generations",
+        [
+          Alcotest.test_case "epoch monotonicity + generation flipping" `Slow
+            test_generations;
+          Alcotest.test_case "deterministic mid-checkpoint crashes" `Slow
+            test_midckpt_crashes;
+          Alcotest.test_case "tampered generations are rejected" `Quick
+            test_tampering;
+          Alcotest.test_case "stale checkpoint is re-derived, not trusted"
+            `Quick test_stale_checkpoint;
+        ] );
+    ]

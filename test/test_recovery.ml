@@ -5,11 +5,12 @@
    - a randomized recovery battery: a seeded SNB-shaped update mix is
      cut by a fault plan at crash points sampled uniformly from its
      persist trace (every 4th point with eviction/torn-line variants),
-     then recovered with 1, 2 and 4 domains; every recovery must satisfy
-     the shared I1-I5 oracle from Crash_oracle AND rebuild exactly the
-     state serial recovery rebuilds (fingerprint equality).  The sample
-     size comes from RECOVERY_POINTS (default 24; the nightly sweep
-     raises it);
+     then recovered with 1, 2 and 4 domains plus a lazy (instant-restart)
+     pass that is forced fully warm; every recovery must satisfy the
+     shared I1-I5 oracle from Crash_oracle AND rebuild exactly the state
+     serial recovery rebuilds (fingerprint equality).  The sample size
+     comes from RECOVERY_POINTS (default 24; the nightly sweep raises
+     it);
 
    - golden B+-tree equivalence: a cleanly persisted tree, reattached
      from its leaf chain (both the one-shot rebuild and recovery's
@@ -222,7 +223,7 @@ let test_random_battery () =
     in
     let outcomes =
       List.map
-        (fun threads ->
+        (fun (threads, mode) ->
           let st = fresh () in
           let pool = Core.pool st.db and media = Core.media st.db in
           Faults.install ~pool media (mk_plan ());
@@ -233,13 +234,16 @@ let test_random_battery () =
             | exception Faults.Crash_point _ -> true
           in
           Pool.crash pool;
-          st.db <- Core.reopen ~recovery_threads:threads st.db;
+          st.db <- Core.reopen ~recovery_threads:threads ~recovery_mode:mode st.db;
+          if mode = Recovery.Lazy then Core.warm_all st.db;
           let s = state_signature st.db in
           (* I1-I5 *)
           Crash_oracle.check ~vkey:"id" ~index_label:"Person" ~index_key:"id"
             ?pending:st.pending st.db st.model;
-          (threads, fired, s))
-        [ 1; 2; 4 ]
+          let label = Printf.sprintf "%d-domain %s" threads (Recovery.mode_name mode) in
+          (label, fired, s))
+        [ (1, Recovery.Eager); (2, Recovery.Eager); (4, Recovery.Eager);
+          (1, Recovery.Lazy) ]
     in
     match outcomes with
     | [] -> ()
@@ -247,11 +251,11 @@ let test_random_battery () =
         List.iter
           (fun (n, fired, s) ->
             Alcotest.(check bool)
-              (Printf.sprintf "[seed=%d] point %d (%s #%d): fired agrees (%d vs %d domains)"
+              (Printf.sprintf "[seed=%d] point %d (%s #%d): fired agrees (%s vs %s)"
                  seed point (kind_name kind) ordinal n n0)
               fired0 fired;
             Alcotest.(check bool)
-              (Printf.sprintf "[seed=%d] point %d (%s #%d): %d-domain recovery == serial"
+              (Printf.sprintf "[seed=%d] point %d (%s #%d): %s recovery == serial"
                  seed point (kind_name kind) ordinal n)
               true (s = sig0))
           rest
