@@ -1,4 +1,4 @@
-.PHONY: all build test check clean bench-smoke recover-smoke checkpoint-smoke
+.PHONY: all build test check clean bench-smoke recover-smoke checkpoint-smoke jit-smoke
 
 all: build
 
@@ -46,6 +46,18 @@ checkpoint-smoke: build
 	  --out BENCH_recovery.json
 	dune exec test/test_checkpoint.exe
 	dune exec bin/poseidon_cli.exe -- checkpoint --sf 0.02 --cycles 2
+
+# compiled morsel-parallel gate for the PR loop: the seed-pure five-way
+# differential battery (serial interp == parallel interp 2/4 == jit
+# serial == jit parallel 2/4 == adaptive) at the default point count,
+# plus a Fig. 10 bench run gated on per-worker adaptive throughput >=
+# serial AOT and compiled-parallel >= interpreter-parallel, with
+# replay-tier hits required in steady state
+jit-smoke: build
+	dune exec test/test_jit.exe
+	dune exec bin/poseidon_cli.exe -- htap --sf 0.02 --mode aot \
+	  --writers 2 --readers 2 --duration 20 --seed 42 \
+	  --out BENCH_htap.json --min-adaptive-ratio 1.0
 
 clean:
 	dune clean

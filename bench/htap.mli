@@ -59,6 +59,21 @@ type plan_profile = {
   p_jit : Obs.Profile.row list;
 }
 
+(** One row of the Fig. 10 reproduction, measured on the quiesced
+    database after the concurrent phase: simulated ns per analytic-probe
+    execution per tier at a fixed worker-domain count.  The jit column
+    is capture/replay steady state (compilation happens in a warm-up
+    outside the measurement window); parallel tiers are normalised per
+    worker at comparison time. *)
+type fig10_row = {
+  f_domains : int;
+  f_aot_serial_ns : int;  (** serial interpreter *)
+  f_interp_par_ns : int;  (** interpreter over the morsel pool *)
+  f_jit_par_ns : int;  (** compiled-parallel, replay steady state *)
+  f_adaptive_ns : int;  (** adaptive (replay-served once compiled) *)
+  f_replay_hits : int;  (** replay hits during the jit/adaptive runs *)
+}
+
 type result = {
   cfg : config;
   sim_elapsed_ns : int;
@@ -91,6 +106,14 @@ type result = {
   reg_jit_hits : int;
   reg_jit_misses : int;
   reg_jit_stores : int;
+  reg_replay_hits : int;
+      (** capture/replay-tier hits over the concurrent phase *)
+  reg_parallel_morsels : int;
+      (** compiled morsels executed over the pool, concurrent phase *)
+  reg_compile_ns : int;
+      (** modeled compile ns over the whole run (incl. Fig. 10 warm-ups) *)
+  fig10 : fig10_row list;
+      (** per-tier comparison at 1/2/4 domains, see {!fig10_row} *)
   profiles : plan_profile list;  (** nonempty iff [cfg.profile] *)
   metrics_prom : string;
       (** Prometheus exposition of the final registry snapshot *)
@@ -113,12 +136,24 @@ val run : config -> result
 val to_json : result -> string
 val write_json : string -> result -> unit
 
-val validate : ?require_nonzero:bool -> string -> (unit, string) Stdlib.result
-(** Validate an emitted BENCH_htap.json document: parses, has the
-    expected fields and ordered percentiles; with [require_nonzero]
-    (default), also requires committed updates, analytic reads and zero
-    snapshot-isolation violations. *)
+val validate :
+  ?require_nonzero:bool ->
+  ?min_adaptive_ratio:float ->
+  string ->
+  (unit, string) Stdlib.result
+(** Validate an emitted BENCH_htap.json document (schema htap/v2):
+    parses, has the expected fields (including the per-tier JIT metrics
+    and the Fig. 10 block) and ordered percentiles; with
+    [require_nonzero] (default), also requires committed updates,
+    analytic reads, zero snapshot-isolation violations and replay-tier
+    hits in the Fig. 10 steady state.  [min_adaptive_ratio] gates the
+    highest-domain Fig. 10 row: per-worker adaptive throughput must be
+    >= ratio x serial-AOT throughput, and compiled-parallel must not be
+    slower than interpreter-parallel. *)
 
 val validate_file :
-  ?require_nonzero:bool -> string -> (unit, string) Stdlib.result
+  ?require_nonzero:bool ->
+  ?min_adaptive_ratio:float ->
+  string ->
+  (unit, string) Stdlib.result
 val print_summary : result -> unit

@@ -385,7 +385,7 @@ let faults variants stride seed =
 (* --- htap ------------------------------------------------------------------------ *)
 
 let htap sf storage engine writers readers duration workers seed out profile
-    metrics_out =
+    metrics_out min_adaptive_ratio =
   let cfg =
     {
       Htap.sf;
@@ -416,7 +416,7 @@ let htap sf storage engine writers readers duration workers seed out profile
             (fun () -> output_string oc r.Htap.metrics_prom);
           Printf.printf "wrote %s (%d bytes, validated)\n" path
             (String.length r.Htap.metrics_prom)));
-  match Htap.validate_file out with
+  match Htap.validate_file ?min_adaptive_ratio out with
   | Ok () -> Printf.printf "OK: %s written and validated\n" out
   | Error msg ->
       Printf.printf "FAILED: %s invalid: %s\n" out msg;
@@ -456,6 +456,18 @@ let metrics_out_t =
      exposition to $(docv) (validated before writing)."
   in
   Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let min_adaptive_ratio_t =
+  let doc =
+    "Gate the Fig. 10 block: at the highest domain count, per-worker \
+     adaptive throughput must be at least $(docv) x the serial-AOT \
+     throughput (and compiled-parallel must not be slower than \
+     interpreter-parallel); the run fails otherwise."
+  in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "min-adaptive-ratio" ] ~docv:"RATIO" ~doc)
 
 (* --- recover-bench ------------------------------------------------------------- *)
 
@@ -715,7 +727,8 @@ let htap_cmd =
           BENCH_htap.json and checks snapshot-isolation invariants")
     Term.(
       const htap $ sf_t $ mode_t $ engine_t $ writers_t $ readers_t
-      $ duration_t $ workers_t $ seed_t $ out_t $ profile_t $ metrics_out_t)
+      $ duration_t $ workers_t $ seed_t $ out_t $ profile_t $ metrics_out_t
+      $ min_adaptive_ratio_t)
 
 let recover_bench_cmd =
   Cmd.v

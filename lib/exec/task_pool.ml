@@ -200,6 +200,12 @@ let run t tasks =
           observe ();
           raise e)
 
+(* Indexed morsel fan-out: one task per index, as one batch.  The
+   caller typically owns an array indexed the same way (per-chunk
+   partial states, per-chunk row buffers), so each task writes its own
+   slot and the barrier needs no further synchronisation. *)
+let run_indexed t ~n f = run t (List.init n (fun i () -> f i))
+
 let shutdown t =
   Mutex.lock t.mu;
   t.stop <- true;

@@ -37,6 +37,12 @@ val run : t -> (unit -> unit) list -> unit
 (** {!submit_batch} + {!wait_batch}: run tasks to completion with
     per-batch error isolation. *)
 
+val run_indexed : t -> n:int -> (int -> unit) -> unit
+(** [run_indexed t ~n f] runs [f 0 .. f (n-1)] as one batch and waits
+    for the barrier.  Each task conventionally owns slot [i] of any
+    caller-side array (per-chunk partials, row buffers), so the barrier
+    needs no extra synchronisation. *)
+
 val shutdown : t -> unit
 (** Stop and join all workers. *)
 

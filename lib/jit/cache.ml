@@ -28,6 +28,9 @@ type t = {
   memo : (string, Emit.compiled) Hashtbl.t;
       (* volatile, per-process: already-linked code; lost on restart like
          any mapped code segment, rebuilt from the persistent entries *)
+  replay : Replay.t;
+      (* volatile capture/replay tier: post-compile closure batches keyed
+         by fingerprint + degree; rebuilt by re-capture after restart *)
 }
 
 let default_cap = 512
@@ -41,14 +44,29 @@ let create pool ?(cap = default_cap) ~root_slot () =
   Pool.fill pool ~off:(hdr + 16) ~len:(8 * cap) '\000';
   Pool.persist pool ~off:hdr ~len:(16 + (8 * cap));
   Alloc.set_root pool root_slot hdr;
-  { pool; hdr; cap; mu = Mutex.create (); memo = Hashtbl.create 64 }
+  {
+    pool;
+    hdr;
+    cap;
+    mu = Mutex.create ();
+    memo = Hashtbl.create 64;
+    replay = Replay.create ();
+  }
 
 let attach pool ~root_slot =
   let hdr = Alloc.get_root pool root_slot in
   if hdr = 0 then None
   else
     let cap = Pool.read_int pool hdr in
-    Some { pool; hdr; cap; mu = Mutex.create (); memo = Hashtbl.create 64 }
+    Some
+      {
+        pool;
+        hdr;
+        cap;
+        mu = Mutex.create ();
+        memo = Hashtbl.create 64;
+        replay = Replay.create ();
+      }
 
 let open_or_create pool ~root_slot =
   match attach pool ~root_slot with
@@ -132,3 +150,5 @@ let memo_add t key compiled =
   Mutex.lock t.mu;
   Hashtbl.replace t.memo key compiled;
   Mutex.unlock t.mu
+
+let replay t = t.replay

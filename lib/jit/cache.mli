@@ -21,3 +21,7 @@ val store : t -> string -> string -> unit
 
 val memo_find : t -> string -> Emit.compiled option
 val memo_add : t -> string -> Emit.compiled -> unit
+
+val replay : t -> Replay.t
+(** The cache's volatile capture/replay table (tinygrad-style closure
+    batches, keyed by fingerprint + parallelism degree). *)

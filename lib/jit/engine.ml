@@ -9,10 +9,22 @@
      redirected and the remaining morsels run the compiled code - hiding
      both the compilation time and (on PMem) part of the access latency.
 
-   Pipeline breakers (Sort/Limit/Distinct/Count/joins) always execute in
-   the AOT engine, consuming the pipeline's output; the JIT compiles the
-   per-tuple hot path, as in the paper where the generated function covers
-   the scan-to-materialisation pipeline.
+   Non-aggregating pipeline breakers (Sort/Limit/Distinct/joins) always
+   execute in the AOT engine, consuming the pipeline's output.
+   Aggregation breakers directly above a chunkable pipeline run
+   morsel-parallel in every mode: each morsel feeds a per-chunk partial
+   state ([Interp.agg_partial]) - a counting/grouping sink over the
+   compiled pipeline when JIT-ed - and the partials merge at the barrier
+   in chunk-index order ([Interp.agg_merge]), the same contract as the
+   interpreter's [agg_serial], so compiled-parallel output is
+   bit-identical to serial interpretation.
+
+   On top of compilation sits a capture/replay tier (tinygrad-style):
+   the first compiled execution of a plan captures the batch of fused
+   closures plus its staged serial tail into [Replay]; steady-state
+   executions of the same plan at the same parallelism degree rebind
+   only (snapshot, params) and skip the plan walk and the cache probe
+   entirely.
 
    The modeled backend latency stands in for LLVM's milliseconds-scale
    code generation: it is charged to the simulated clock (and, when the
@@ -53,6 +65,7 @@ type report = {
   mutable compile_wall_ns : int; (* measured codegen+passes+emit *)
   mutable compile_modeled_ns : int; (* charged backend latency *)
   mutable cache_hit : bool;
+  mutable replay_hit : bool; (* served from the capture/replay tier *)
   mutable fell_back : bool; (* unsupported plan: ran interpreted *)
   mutable morsels_interp : int;
   mutable morsels_jit : int;
@@ -66,6 +79,7 @@ let fresh_report mode =
     compile_wall_ns = 0;
     compile_modeled_ns = 0;
     cache_hit = false;
+    replay_hit = false;
     fell_back = false;
     morsels_interp = 0;
     morsels_jit = 0;
@@ -84,16 +98,24 @@ let param_tag_of params i =
   | Value.Float _ | Value.Text _ ->
       raise (Codegen.Unsupported "float/text parameter")
 
-(* Split a plan into its pipelined core and the serial breaker suffix;
-   parallel-aggregation splits fold their aggregation back into the
-   suffix, since the JIT compiles only the pipelined core. *)
-let split ?prof g ~params plan = I.split_serial (I.split_plan ?prof g ~params plan)
-
-let cache_key cfg plan =
-  Printf.sprintf "%s@%s" (A.fingerprint plan)
+(* The compiled-query cache key names everything that shaped the stored
+   artifact: the operator tree, the pass cascade level, the parallelism
+   degree the closure batch was scheduled for, and whether ProfHooks
+   were threaded through the code.  Degree matters because the captured
+   schedule (one partial state per chunk, merged at a degree-wide
+   barrier) is part of what the key retrieves: code compiled for N
+   workers is never replayed at M. *)
+let cache_key ?(profiled = false) ?(degree = 1) cfg plan =
+  Printf.sprintf "%s@%s#w%d%s" (A.fingerprint plan)
     (match cfg.opt_level with Passes.O0 -> "O0" | Passes.O1 -> "O1" | Passes.O3 -> "O3")
+    degree
+    (if profiled then "!prof" else "")
 
-(* Cache hit/miss counters and a compile-time histogram on the media's
+let degree_of pool =
+  match pool with Some p -> Exec.Task_pool.size p | None -> 1
+
+(* Cache hit/miss, replay-tier and parallel-morsel counters plus the
+   compile-time and per-tier latency histograms, all on the media's
    metrics registry; no-ops without a media. *)
 let note_cache media hit =
   match media with
@@ -121,17 +143,50 @@ let note_compile_ns media ns =
            "jit_compile_ns")
         ns
 
+let note_replay_hit media =
+  match media with
+  | None -> ()
+  | Some m ->
+      Obs.Metrics.incr
+        (Obs.Metrics.counter
+           (Pmem.Media.registry m)
+           ~help:"queries served by the capture/replay tier (no plan walk)"
+           "jit_replay_hits_total")
+
+let note_parallel_morsels media n =
+  match media with
+  | None -> ()
+  | Some m ->
+      Obs.Metrics.add
+        (Obs.Metrics.counter
+           (Pmem.Media.registry m)
+           ~help:"compiled morsels executed on task-pool workers"
+           "jit_parallel_morsels_total")
+        n
+
+let note_tier_latency media ~tier ns =
+  match media with
+  | None -> ()
+  | Some m ->
+      Obs.Histogram.observe
+        (Obs.Metrics.histogram
+           (Pmem.Media.registry m)
+           ~labels:[ ("tier", tier) ]
+           ~help:"simulated ns per query execution, by execution tier"
+           "query_exec_ns")
+        ns
+
 (* Compile the pipelined plan: returns the emitted code, consulting and
    filling [cache].  With [prof_base], ProfHooks are threaded through the
    generated code and the persistent cache is bypassed entirely (hooked
    code must never be cached, and a profiled run wants a fresh, fully
    measured compilation anyway); cache hit/miss counters are then left
    untouched. *)
-let compile ?cache ?media ?prof_base ~config ~params report plan =
+let compile ?cache ?media ?prof_base ~config ~degree ~params report plan =
   let cache = if prof_base = None then cache else None in
   let note_cache media hit = if prof_base = None then note_cache media hit in
   let t0 = now_ns () in
-  let key = cache_key config plan in
+  let key = cache_key ~profiled:(prof_base <> None) ~degree config plan in
   match Option.bind cache (fun c -> Cache.memo_find c key) with
   | Some compiled ->
       (* already linked into this process: free, like any resident code *)
@@ -181,58 +236,95 @@ let compile ?cache ?media ?prof_base ~config ~params report plan =
           Obs.Trace.with_span (Pmem.Media.tracer m) "jit_compile" span_body
       | None -> span_body ())
 
-let run_compiled (compiled : Emit.compiled) ?pool (g : Query.Source.t) ~params
-    report =
-  let nchunks = g.Query.Source.node_chunks () in
-  let acc = ref [] in
-  (match pool with
-  | None ->
-      let local = ref [] in
-      compiled.Emit.run
-        {
-          Emit.g;
-          params;
-          sink = (fun row -> local := row :: !local);
-          chunk_lo = 0;
-          chunk_hi = -1;
-          nchunks;
-          prof = None;
-        };
-      acc := !local;
-      report.morsels_jit <- report.morsels_jit + max 1 nchunks
-  | Some pool ->
-      let mu = Mutex.create () in
-      let tasks =
-        List.init (max 1 nchunks) (fun ci () ->
-            let local = ref [] in
-            compiled.Emit.run
-              {
-                Emit.g;
-                params;
-                sink = (fun row -> local := row :: !local);
-                chunk_lo = ci;
-                chunk_hi = ci + 1;
-                nchunks;
-                prof = None;
-              };
-            Mutex.lock mu;
-            acc := List.rev_append !local !acc;
-            Mutex.unlock mu)
-      in
-      Exec.Task_pool.run pool tasks;
-      report.morsels_jit <- report.morsels_jit + max 1 nchunks);
-  !acc
+(* The captured execution shape of a compiled plan: a row pipeline
+   streaming into the staged tail, or a parallel aggregation whose
+   morsels feed per-chunk partials.  [entry_of_split] derives it from a
+   split; the same entry is what the replay tier snapshots. *)
+let entry_of_split ~degree compiled = function
+  | I.Par _ ->
+      { Replay.compiled; shape = Replay.Rows; tail = (fun _ ~params:_ s -> s); degree }
+  | I.Ser (_, tail) -> { Replay.compiled; shape = Replay.Rows; tail; degree }
+  | I.ParAgg (_, agg, tail) ->
+      { Replay.compiled; shape = Replay.Agg agg; tail; degree }
 
 let finish tr rows_rev =
   let out = ref [] in
   tr (fun k -> List.iter k (List.rev rows_rev)) (fun row -> out := row :: !out);
   List.rev !out
 
+(* Execute a captured entry against a snapshot.  Serially, the compiled
+   pipeline streams straight into the AOT suffix (aggregations fold
+   through [agg_serial]); with a pool, row pipelines collect morsel
+   output and aggregations run as per-chunk partial-state closures - the
+   compiled core with a counting/grouping sink - merged at the barrier
+   in chunk order.  [prof] is threaded into the runtime so [ProfHook]s
+   fire (tuple counts are atomic, hence exact even morsel-parallel). *)
+let exec_entry ?pool ?media ?prof (e : Replay.entry) (g : Query.Source.t)
+    ~params report =
+  let compiled = e.Replay.compiled in
+  let nchunks = max 1 (g.Query.Source.node_chunks ()) in
+  let runtime ~sink ~lo ~hi =
+    { Emit.g; params; sink; chunk_lo = lo; chunk_hi = hi; nchunks; prof }
+  in
+  match (e.Replay.shape, pool) with
+  | Replay.Rows, None ->
+      let out = ref [] in
+      let producer yield = compiled.Emit.run (runtime ~sink:yield ~lo:0 ~hi:(-1)) in
+      (try e.Replay.tail g ~params producer (fun row -> out := row :: !out)
+       with I.Limit_stop -> ());
+      report.morsels_jit <- report.morsels_jit + nchunks;
+      List.rev !out
+  | Replay.Agg agg, None ->
+      let out = ref [] in
+      let producer yield = compiled.Emit.run (runtime ~sink:yield ~lo:0 ~hi:(-1)) in
+      (try
+         e.Replay.tail g ~params
+           (I.agg_serial agg producer)
+           (fun row -> out := row :: !out)
+       with I.Limit_stop -> ());
+      report.morsels_jit <- report.morsels_jit + nchunks;
+      List.rev !out
+  | Replay.Rows, Some pool ->
+      let mu = Mutex.create () in
+      let acc = ref [] in
+      Exec.Task_pool.run_indexed pool ~n:nchunks (fun ci ->
+          let local = ref [] in
+          compiled.Emit.run
+            (runtime ~sink:(fun row -> local := row :: !local) ~lo:ci ~hi:(ci + 1));
+          Mutex.lock mu;
+          acc := List.rev_append !local !acc;
+          Mutex.unlock mu);
+      report.morsels_jit <- report.morsels_jit + nchunks;
+      note_parallel_morsels media nchunks;
+      finish (e.Replay.tail g ~params) !acc
+  | Replay.Agg agg, Some pool ->
+      (* per-worker partial-state closures over the compiled core; the
+         barrier merges in chunk-index order under the same contract as
+         the interpreter's agg_serial *)
+      let partials = Array.init nchunks (fun _ -> I.agg_partial agg) in
+      Exec.Task_pool.run_indexed pool ~n:nchunks (fun ci ->
+          compiled.Emit.run
+            (runtime ~sink:(I.agg_feed partials.(ci)) ~lo:ci ~hi:(ci + 1)));
+      report.morsels_jit <- report.morsels_jit + nchunks;
+      note_parallel_morsels media nchunks;
+      let out = ref [] in
+      (try
+         e.Replay.tail g ~params
+           (I.agg_merge agg partials)
+           (fun row -> out := row :: !out)
+       with I.Limit_stop -> ());
+      List.rev !out
+
 (* --- Public entry point ------------------------------------------------------ *)
 
 let run ?pool ?cache ?media ?(config = default_config) ?prof ~mode
     (g : Query.Source.t) ~params plan =
   let report = fresh_report mode in
+  let degree = degree_of pool in
+  let replay_tbl = Option.map Cache.replay cache in
+  let replay_key = lazy (cache_key ~degree config plan) in
+  let clock () = match media with Some m -> Pmem.Media.clock m | None -> 0 in
+  let t0 = clock () in
   let rows =
     match mode with
     | Interp ->
@@ -240,162 +332,223 @@ let run ?pool ?cache ?media ?(config = default_config) ?prof ~mode
         report.morsels_interp <- max 1 (g.Query.Source.node_chunks ());
         rows
     | Jit when prof <> None -> (
-        (* profiled compilation: serial, cache-bypassing, with ProfHooks
-           anchored at the core root's preorder id in the full plan *)
+        (* profiled compilation: cache-bypassing, with ProfHooks anchored
+           at the core root's preorder id in the full plan.  Tuple
+           counters are atomic, so a pooled profiled run still reports
+           exact per-operator counts; ticks for the compiled core are
+           charged inclusively to the core root either way. *)
         let p = Option.get prof in
-        let pipelined, tr = split ~prof:p g ~params plan in
+        let sp = I.split_plan ~prof:p plan in
+        let pipelined, _ = I.split_serial sp in
         let base =
           Option.value ~default:0 (A.preorder_id_of plan pipelined)
         in
         match
-          compile ?media ~prof_base:base ~config ~params report pipelined
+          compile ?media ~prof_base:base ~config ~degree ~params report
+            pipelined
         with
         | compiled ->
-            let nchunks = g.Query.Source.node_chunks () in
-            let out = ref [] in
+            let entry = entry_of_split ~degree compiled sp in
             let t0 = Obs.Profile.now p in
-            let producer yield =
-              compiled.Emit.run
-                {
-                  Emit.g;
-                  params;
-                  sink = yield;
-                  chunk_lo = 0;
-                  chunk_hi = -1;
-                  nchunks;
-                  prof;
-                }
-            in
-            (try tr producer (fun row -> out := row :: !out)
-             with I.Limit_stop -> ());
+            let rows = exec_entry ?pool ?media ~prof:p entry g ~params report in
             (* generated code has no per-operator timers: the whole
                pipeline's elapsed ticks are charged to the core root *)
             Obs.Profile.add_ticks p base (Obs.Profile.now p - t0);
-            report.morsels_jit <- max 1 nchunks;
-            List.rev !out
+            rows
         | exception Codegen.Unsupported _ ->
             report.fell_back <- true;
             I.run ~prof:p g ~params plan)
     | Jit -> (
-        let pipelined, tr = split g ~params plan in
-        match compile ?cache ?media ~config ~params report pipelined with
-        | compiled -> (
-            match pool with
-            | None ->
-                (* serial: the compiled pipeline streams straight into the
-                   AOT breaker suffix, no intermediate materialisation *)
-                let nchunks = g.Query.Source.node_chunks () in
-                let out = ref [] in
-                let producer yield =
-                  compiled.Emit.run
-                    {
-                      Emit.g;
-                      params;
-                      sink = yield;
-                      chunk_lo = 0;
-                      chunk_hi = -1;
-                      nchunks;
-                      prof = None;
-                    }
-                in
-                (try tr producer (fun row -> out := row :: !out)
-                 with I.Limit_stop -> ());
-                report.morsels_jit <- max 1 nchunks;
-                List.rev !out
-            | Some _ ->
-                let collected = run_compiled compiled ?pool g ~params report in
-                finish tr collected)
-        | exception Codegen.Unsupported _ ->
-            report.fell_back <- true;
-            I.run ?pool g ~params plan)
+        match
+          Option.bind replay_tbl (fun r -> Replay.find r (Lazy.force replay_key))
+        with
+        | Some entry ->
+            (* steady state: rebind (snapshot, params) into the captured
+               closure batch - no plan walk, no split, no cache probe *)
+            report.replay_hit <- true;
+            report.cache_hit <- true;
+            report.ir_instrs <- entry.Replay.compiled.Emit.ninstrs;
+            note_replay_hit media;
+            exec_entry ?pool ?media entry g ~params report
+        | None -> (
+            let sp = I.split_plan plan in
+            let pipelined, _ = I.split_serial sp in
+            match
+              compile ?cache ?media ~config ~degree ~params report pipelined
+            with
+            | compiled ->
+                let entry = entry_of_split ~degree compiled sp in
+                let rows = exec_entry ?pool ?media entry g ~params report in
+                (match replay_tbl with
+                | Some r -> Replay.add r (Lazy.force replay_key) entry
+                | None -> ());
+                rows
+            | exception Codegen.Unsupported _ ->
+                report.fell_back <- true;
+                I.run ?pool g ~params plan))
     | Adaptive -> (
-        let pipelined, tr = split g ~params plan in
-        if not (I.chunkable (I.leftmost_leaf pipelined)) then begin
-          (* too short to adapt: the whole query is one morsel; per the
-             paper this degenerates to pure AOT execution *)
-          report.fell_back <- true;
-          report.morsels_interp <- 1;
-          I.run g ~params plan
-        end
-        else begin
-          let key = cache_key config pipelined in
-          let current : Emit.compiled option Atomic.t =
-            (* a previous execution may have left compiled code in the
-               cache: then every morsel runs compiled from the start *)
-            match Option.bind cache (fun c -> Cache.memo_find c key) with
-            | Some compiled ->
-                report.cache_hit <- true;
-                Atomic.make (Some compiled)
-            | None -> Atomic.make None
-          in
-          if Atomic.get current = None then
-            (* hand the plan to the background compiler service; the query
-               does NOT wait for it - morsels just watch the cell *)
-            Compiler_service.submit (fun () ->
-                match
-                  let f =
-                    Codegen.codegen ~prop_tag:config.prop_tag
-                      ~param_tag:(param_tag_of params) pipelined
-                  in
-                  let f = Passes.optimize ~level:config.opt_level f in
-                  let modeled =
-                    config.backend_latency_ns
-                    + (config.backend_latency_per_op_ns * A.operator_count pipelined)
-                  in
-                  (* the backend runs on its own domain: wall time elapses
-                     but no worker CPU is stolen *)
-                  Unix.sleepf (float_of_int modeled /. 1e9);
-                  report.compile_modeled_ns <- modeled;
-                  (f, Emit.emit f)
-                with
-                | f, compiled ->
-                    (match cache with
-                    | Some c ->
-                        (try Cache.store c key (Ir.to_string f)
-                         with Cache.Full -> ());
-                        Cache.memo_add c key compiled
-                    | None -> ());
-                    Atomic.set current (Some compiled)
-                | exception Codegen.Unsupported _ -> ());
-          let nchunks = max 1 (g.Query.Source.node_chunks ()) in
-          let mu = Mutex.create () in
-          let acc = ref [] in
-          let interp_morsels = Atomic.make 0 and jit_morsels = Atomic.make 0 in
-          let run_morsel ci =
-            let local = ref [] in
-            (match Atomic.get current with
-            | Some compiled ->
+        match
+          Option.bind replay_tbl (fun r -> Replay.find r (Lazy.force replay_key))
+        with
+        | Some entry ->
+            (* a prior execution captured the compiled batch: every morsel
+               runs compiled from the start, plan walk skipped *)
+            report.replay_hit <- true;
+            report.cache_hit <- true;
+            report.ir_instrs <- entry.Replay.compiled.Emit.ninstrs;
+            note_replay_hit media;
+            exec_entry ?pool ?media entry g ~params report
+        | None ->
+            let sp = I.split_plan plan in
+            let pipelined, _ = I.split_serial sp in
+            if not (I.chunkable (I.leftmost_leaf pipelined)) then begin
+              (* too short to adapt: the whole query is one morsel; per the
+                 paper this degenerates to pure AOT execution *)
+              report.fell_back <- true;
+              report.morsels_interp <- 1;
+              I.run g ~params plan
+            end
+            else begin
+              let key = cache_key ~degree config pipelined in
+              let current : Emit.compiled option Atomic.t =
+                (* a previous execution may have left compiled code in the
+                   cache: then every morsel runs compiled from the start *)
+                match Option.bind cache (fun c -> Cache.memo_find c key) with
+                | Some compiled ->
+                    report.cache_hit <- true;
+                    Atomic.make (Some compiled)
+                | None -> Atomic.make None
+              in
+              if Atomic.get current = None then
+                (* hand the plan to the background compiler service; the query
+                   does NOT wait for it - morsels just watch the cell *)
+                Compiler_service.submit (fun () ->
+                    match
+                      let f =
+                        Codegen.codegen ~prop_tag:config.prop_tag
+                          ~param_tag:(param_tag_of params) pipelined
+                      in
+                      let f = Passes.optimize ~level:config.opt_level f in
+                      let modeled =
+                        config.backend_latency_ns
+                        + (config.backend_latency_per_op_ns
+                          * A.operator_count pipelined)
+                      in
+                      (* the backend runs on its own domain: wall time elapses
+                         but no worker CPU is stolen *)
+                      Unix.sleepf (float_of_int modeled /. 1e9);
+                      report.compile_modeled_ns <- modeled;
+                      (f, Emit.emit f)
+                    with
+                    | f, compiled ->
+                        (match cache with
+                        | Some c ->
+                            (try Cache.store c key (Ir.to_string f)
+                             with Cache.Full -> ());
+                            Cache.memo_add c key compiled
+                        | None -> ());
+                        Atomic.set current (Some compiled)
+                    | exception Codegen.Unsupported _ -> ());
+              let nchunks = max 1 (g.Query.Source.node_chunks ()) in
+              let interp_morsels = Atomic.make 0
+              and jit_morsels = Atomic.make 0 in
+              (* each morsel reads the cell once and finishes on the tier
+                 it started on; the swap lands between morsels mid-query *)
+              let jit_runtime ci sink compiled =
                 Atomic.incr jit_morsels;
                 compiled.Emit.run
                   {
                     Emit.g;
                     params;
-                    sink = (fun row -> local := row :: !local);
+                    sink;
                     chunk_lo = ci;
                     chunk_hi = ci + 1;
                     nchunks;
                     prof = None;
                   }
-            | None ->
-                Atomic.incr interp_morsels;
-                I.produce g ~params ~chunk:ci pipelined (fun row ->
-                    local := row :: !local));
-            Mutex.lock mu;
-            acc := List.rev_append !local !acc;
-            Mutex.unlock mu
-          in
-          (match pool with
-          | Some pool ->
-              Exec.Task_pool.run pool
-                (List.init nchunks (fun ci () -> run_morsel ci))
-          | None ->
-              for ci = 0 to nchunks - 1 do
-                run_morsel ci
-              done);
-          report.morsels_interp <- Atomic.get interp_morsels;
-          report.morsels_jit <- Atomic.get jit_morsels;
-          finish tr !acc
-        end)
+              in
+              let rows =
+                match sp with
+                | I.Par _ | I.Ser _ ->
+                    let _, tail = I.split_serial sp in
+                    let mu = Mutex.create () in
+                    let acc = ref [] in
+                    let run_morsel ci =
+                      let local = ref [] in
+                      (match Atomic.get current with
+                      | Some compiled ->
+                          jit_runtime ci (fun row -> local := row :: !local)
+                            compiled
+                      | None ->
+                          Atomic.incr interp_morsels;
+                          I.produce g ~params ~chunk:ci pipelined (fun row ->
+                              local := row :: !local));
+                      Mutex.lock mu;
+                      acc := List.rev_append !local !acc;
+                      Mutex.unlock mu
+                    in
+                    (match pool with
+                    | Some pool ->
+                        Exec.Task_pool.run_indexed pool ~n:nchunks run_morsel
+                    | None ->
+                        for ci = 0 to nchunks - 1 do
+                          run_morsel ci
+                        done);
+                    finish (tail g ~params) !acc
+                | I.ParAgg (core, agg, tail) ->
+                    (* the hot-swap covers aggregations too: whichever tier
+                       runs the morsel, it feeds the same per-chunk partial,
+                       and the barrier merge is tier-blind *)
+                    let partials =
+                      Array.init nchunks (fun _ -> I.agg_partial agg)
+                    in
+                    let run_morsel ci =
+                      match Atomic.get current with
+                      | Some compiled ->
+                          jit_runtime ci (I.agg_feed partials.(ci)) compiled
+                      | None ->
+                          Atomic.incr interp_morsels;
+                          I.produce g ~params ~chunk:ci core
+                            (I.agg_feed partials.(ci))
+                    in
+                    (match pool with
+                    | Some pool ->
+                        Exec.Task_pool.run_indexed pool ~n:nchunks run_morsel
+                    | None ->
+                        for ci = 0 to nchunks - 1 do
+                          run_morsel ci
+                        done);
+                    let out = ref [] in
+                    (try
+                       tail g ~params
+                         (I.agg_merge agg partials)
+                         (fun row -> out := row :: !out)
+                     with I.Limit_stop -> ());
+                    List.rev !out
+              in
+              report.morsels_interp <- Atomic.get interp_morsels;
+              report.morsels_jit <- Atomic.get jit_morsels;
+              if pool <> None then
+                note_parallel_morsels media (Atomic.get jit_morsels);
+              (* once compilation has landed, capture the batch so the next
+                 execution replays it without walking the plan *)
+              (match (Atomic.get current, replay_tbl) with
+              | Some compiled, Some r ->
+                  Replay.add r (Lazy.force replay_key)
+                    (entry_of_split ~degree compiled sp)
+              | _ -> ());
+              rows
+            end)
   in
   report.rows <- List.length rows;
+  (match media with
+  | None -> ()
+  | Some _ ->
+      let tier =
+        match mode with
+        | Interp -> "aot"
+        | Jit -> if report.replay_hit then "jit_replay" else "jit"
+        | Adaptive -> "adaptive"
+      in
+      note_tier_latency media ~tier (clock () - t0));
   (rows, report)

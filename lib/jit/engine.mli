@@ -1,10 +1,21 @@
 (** Query execution engine with the paper's three modes (Section 6.2):
     AOT interpretation, JIT compilation with a persistent compiled-query
     cache, and adaptive execution that interprets morsels while a
-    background domain compiles, then hot-swaps.
+    background domain compiles, then hot-swaps per-morsel (in-flight
+    morsels finish on the tier they started on).
 
-    Pipeline breakers (sorts, limits, aggregates, joins) always run in
-    the AOT engine over the compiled pipeline's output stream. *)
+    Non-aggregating pipeline breakers (sorts, limits, joins) always run
+    in the AOT engine over the compiled pipeline's output stream.
+    Aggregations directly above a chunkable pipeline run morsel-parallel
+    in every mode: compiled morsels feed per-chunk partial states merged
+    at the barrier in chunk order, under the same contract as the
+    interpreter's [agg_serial] - so compiled-parallel output is
+    identical to serial interpretation.
+
+    A capture/replay tier (tinygrad-style) snapshots the post-compile
+    closure batch keyed by plan fingerprint + parallelism degree;
+    steady-state executions rebind only (snapshot, params) and skip the
+    plan walk and cache probe entirely. *)
 
 type mode = Interp | Jit | Adaptive
 
@@ -26,12 +37,21 @@ type report = {
   mutable compile_wall_ns : int;
   mutable compile_modeled_ns : int;
   mutable cache_hit : bool;
+  mutable replay_hit : bool;
+      (** served by the capture/replay tier: no plan walk, no cache probe *)
   mutable fell_back : bool;  (** unsupported plan shape: ran interpreted *)
   mutable morsels_interp : int;
   mutable morsels_jit : int;
   mutable ir_instrs : int;
   mutable rows : int;
 }
+
+val cache_key :
+  ?profiled:bool -> ?degree:int -> config -> Query.Algebra.plan -> string
+(** The compiled-query cache key: plan fingerprint + optimisation level
+    + parallelism degree + profiling flag.  Code compiled for N workers
+    is never replayed at M; hooked (profiled) code never collides with
+    unhooked. *)
 
 val run :
   ?pool:Exec.Task_pool.t ->
@@ -51,8 +71,9 @@ val run :
     counters, the [jit_compile_ns] histogram and the compile span.
 
     With [prof], per-operator tuple counts and ticks are recorded under
-    the plan's preorder ids (see {!Query.Algebra.op_names}).  Profiled
-    runs are serial and, in [Jit] mode, compile with [ProfHook]s while
-    bypassing the persistent cache - so interpreted and compiled runs of
-    the same plan report identical per-operator tuple counts.
-    [Adaptive] mode ignores [prof]. *)
+    the plan's preorder ids (see {!Query.Algebra.op_names}).  In [Jit]
+    mode a profiled run compiles with [ProfHook]s while bypassing the
+    caches; tuple counters are atomic, so even a morsel-parallel
+    profiled run reports exact per-operator counts identical to the
+    interpreter's ([Interp] profiled runs stay serial so tick
+    attribution is meaningful).  [Adaptive] mode ignores [prof]. *)

@@ -1,0 +1,52 @@
+(* Capture/replay tier (after tinygrad's JIT: first execution captures
+   the batch of fused closures, later executions replay it with only the
+   inputs rebound).
+
+   A replay entry snapshots everything the engine derived from the plan
+   on the first compiled execution: the emitted code, the execution
+   shape (row pipeline vs parallel aggregation), and the staged serial
+   tail.  All three are pure functions of the plan - the emitted code is
+   re-entrant over a per-invocation runtime and the tail is staged over
+   (source, params) - so a replay only rebinds the transaction snapshot
+   and the parameters: no plan walk, no split, no cache probe, no
+   codegen.
+
+   Entries are keyed by plan fingerprint + optimisation level +
+   parallelism degree (see [Engine.cache_key]): a batch captured for N
+   workers is never replayed at M, because the captured schedule - one
+   partial state per chunk merged at a degree-wide barrier - is part of
+   what the key names.  The table is volatile and per-database (it hangs
+   off the compiled-query cache), like any mapped code segment. *)
+
+(* How the captured closures are driven: a row-producing pipeline whose
+   output feeds the staged tail, or a parallel aggregation whose morsels
+   feed per-chunk partials merged (in chunk order) before the tail. *)
+type shape = Rows | Agg of Query.Interp.agg
+
+type entry = {
+  compiled : Emit.compiled;
+  shape : shape;
+  tail : Query.Interp.tail;
+  degree : int;  (* parallelism degree the batch was captured at *)
+}
+
+type t = { mu : Mutex.t; tbl : (string, entry) Hashtbl.t }
+
+let create () = { mu = Mutex.create (); tbl = Hashtbl.create 32 }
+
+let find t key =
+  Mutex.lock t.mu;
+  let r = Hashtbl.find_opt t.tbl key in
+  Mutex.unlock t.mu;
+  r
+
+let add t key entry =
+  Mutex.lock t.mu;
+  Hashtbl.replace t.tbl key entry;
+  Mutex.unlock t.mu
+
+let size t =
+  Mutex.lock t.mu;
+  let n = Hashtbl.length t.tbl in
+  Mutex.unlock t.mu;
+  n

@@ -1,0 +1,25 @@
+(** Capture/replay tier: snapshots of the post-compile closure batch,
+    keyed by plan fingerprint + optimisation level + parallelism degree.
+    A replay rebinds only the transaction snapshot and the parameters -
+    no plan walk, no split, no cache probe (tinygrad-style JIT capture).
+    The table is volatile and per-database. *)
+
+(** Execution shape of a captured batch. *)
+type shape = Rows  (** pipeline rows feed the staged tail *)
+  | Agg of Query.Interp.agg
+      (** morsels feed per-chunk partials, merged in chunk order at the
+          barrier, then the staged tail *)
+
+type entry = {
+  compiled : Emit.compiled;
+  shape : shape;
+  tail : Query.Interp.tail;
+  degree : int;  (** parallelism degree the batch was captured at *)
+}
+
+type t
+
+val create : unit -> t
+val find : t -> string -> entry option
+val add : t -> string -> entry -> unit
+val size : t -> int

@@ -337,34 +337,106 @@ let produce ?prof (g : Source.t) ~params ?chunk plan : stream =
    merged at the barrier (in chunk-index order, so the result is
    deterministic and identical to the serial interpretation).  Operators
    above the aggregation still run as a serial tail over the merged
-   aggregate output. *)
+   aggregate output.
+
+   Tails are *staged*: the split is a pure function of the plan and the
+   returned transformers take the source and parameters at application
+   time.  A split can therefore be computed once and re-applied against
+   any transaction snapshot - the property the JIT's capture/replay tier
+   relies on to skip the plan walk entirely on steady-state queries. *)
 type agg = ACount | AGroup
+type tail = Source.t -> params:row -> stream -> stream
 type split =
   | Par of plan
-  | Ser of plan * (stream -> stream)
-  | ParAgg of plan * agg * (stream -> stream)
+  | Ser of plan * tail
+  | ParAgg of plan * agg * tail
 
 let agg_serial = function ACount -> count_stream | AGroup -> group_count_stream
 
+(* Per-chunk partial aggregation state and its barrier merge: the
+   ACount partial is a running count; the AGroup partial keeps the
+   chunk-local group table plus first-appearance order.  [agg_merge]
+   folds the partials in array (= chunk-index) order, so the merged
+   output - including group first-appearance order - is identical to
+   the serial interpretation regardless of task scheduling.  Both the
+   interpreter's morsel path and the JIT's compiled-parallel path feed
+   these, which keeps the two engines under one merge contract. *)
+type agg_partial =
+  | PCount of int ref
+  | PGroup of row list ref * (Value.t list, int) Hashtbl.t
+
+let agg_partial = function
+  | ACount -> PCount (ref 0)
+  | AGroup -> PGroup (ref [], Hashtbl.create 64)
+
+let agg_feed partial tuple =
+  match partial with
+  | PCount n -> incr n
+  | PGroup (order, groups) -> (
+      let key = Array.to_list tuple in
+      match Hashtbl.find_opt groups key with
+      | Some n -> Hashtbl.replace groups key (n + 1)
+      | None ->
+          Hashtbl.add groups key 1;
+          order := tuple :: !order)
+
+let agg_merge agg partials : stream =
+  match agg with
+  | ACount ->
+      let total =
+        Array.fold_left
+          (fun acc -> function PCount n -> acc + !n | PGroup _ -> acc)
+          0 partials
+      in
+      fun yield -> yield [| Value.Int total |]
+  | AGroup ->
+      let merged = Hashtbl.create 64 in
+      let order = ref [] in
+      Array.iter
+        (function
+          | PCount _ -> ()
+          | PGroup (ord, tbl) ->
+              List.iter
+                (fun tuple ->
+                  let key = Array.to_list tuple in
+                  let n = Hashtbl.find tbl key in
+                  match Hashtbl.find_opt merged key with
+                  | Some m -> Hashtbl.replace merged key (m + n)
+                  | None ->
+                      Hashtbl.add merged key n;
+                      order := tuple :: !order)
+                (List.rev !ord))
+        partials;
+      fun yield ->
+        List.iter
+          (fun tuple ->
+            yield
+              (append tuple (Value.Int (Hashtbl.find merged (Array.to_list tuple)))))
+          (List.rev !order)
+
 (* Collapse any split back to the (parallel core, serial tail) contract:
-   the JIT engine compiles only the pipelined core and keeps breakers -
-   including aggregations - in the AOT tail. *)
+   engines without a parallel aggregation path keep breakers - including
+   aggregations - in the AOT tail. *)
 let split_serial = function
-  | Par p -> (p, fun (s : stream) -> s)
+  | Par p -> (p, fun _ ~params:_ (s : stream) -> s)
   | Ser (p, tr) -> (p, tr)
-  | ParAgg (p, agg, tail) -> (p, fun s -> tail (agg_serial agg s))
+  | ParAgg (p, agg, tail) ->
+      (p, fun g ~params s -> tail g ~params (agg_serial agg s))
 
 (* With [?prof], the serial-tail transformers are wrapped at each
    operator's preorder id; the parallel core stays untouched (when the
    JIT compiles it, [ProfHook]s cover the core's operators; the
    interpreter profiles through [produce] instead). *)
-let rec split_plan_at ?prof ~id (g : Source.t) ~params plan : split =
-  let unary child ~rebuild ~serial_tr =
+let rec split_plan_at ?prof ~id plan : split =
+  let unary child ~rebuild ~(serial_tr : tail) =
     let wrap = prof_wrap prof id in
-    match split_plan_at ?prof ~id:(id + 1) g ~params child with
+    match split_plan_at ?prof ~id:(id + 1) child with
     | Par _ -> rebuild ()
-    | Ser (p, tr) -> Ser (p, fun s -> wrap (serial_tr (tr s)))
-    | ParAgg (p, agg, tail) -> ParAgg (p, agg, fun s -> wrap (serial_tr (tail s)))
+    | Ser (p, tr) ->
+        Ser (p, fun g ~params s -> wrap (serial_tr g ~params (tr g ~params s)))
+    | ParAgg (p, agg, tail) ->
+        ParAgg
+          (p, agg, fun g ~params s -> wrap (serial_tr g ~params (tail g ~params s)))
   in
   match plan with
   | NodeScan _ | NodeById _ | RelScan _ | IndexScan _ | IndexRange _ | Unit ->
@@ -372,87 +444,92 @@ let rec split_plan_at ?prof ~id (g : Source.t) ~params plan : split =
   | Expand { col; dir; label; child } ->
       unary child
         ~rebuild:(fun () -> Par plan)
-        ~serial_tr:(expand_stream g ~col ~dir ~label)
+        ~serial_tr:(fun g ~params:_ -> expand_stream g ~col ~dir ~label)
   | EndPoint { col; which; child } ->
       unary child ~rebuild:(fun () -> Par plan)
-        ~serial_tr:(endpoint_stream g ~col ~which)
+        ~serial_tr:(fun g ~params:_ -> endpoint_stream g ~col ~which)
   | WalkToRoot { col; rel_label; child } ->
       unary child ~rebuild:(fun () -> Par plan)
-        ~serial_tr:(walk_to_root_stream g ~col ~rel_label)
+        ~serial_tr:(fun g ~params:_ -> walk_to_root_stream g ~col ~rel_label)
   | AttachByIndex { label; key; value; child } ->
       unary child ~rebuild:(fun () -> Par plan)
-        ~serial_tr:(attach_by_index_stream g ~params ~label ~key ~value)
+        ~serial_tr:(fun g ~params ->
+          attach_by_index_stream g ~params ~label ~key ~value)
   | Filter { pred; child } ->
       unary child ~rebuild:(fun () -> Par plan)
-        ~serial_tr:(filter_stream g ~params pred)
+        ~serial_tr:(fun g ~params -> filter_stream g ~params pred)
   | Project { exprs; child } ->
       unary child ~rebuild:(fun () -> Par plan)
-        ~serial_tr:(project_stream g ~params exprs)
+        ~serial_tr:(fun g ~params -> project_stream g ~params exprs)
   | CreateNode { label; props; child } ->
       unary child ~rebuild:(fun () -> Par plan)
-        ~serial_tr:(create_node_stream g ~params ~label ~props)
+        ~serial_tr:(fun g ~params -> create_node_stream g ~params ~label ~props)
   | CreateRel { label; src; dst; props; child } ->
       unary child ~rebuild:(fun () -> Par plan)
-        ~serial_tr:(create_rel_stream g ~params ~label ~src ~dst ~props)
+        ~serial_tr:(fun g ~params ->
+          create_rel_stream g ~params ~label ~src ~dst ~props)
   | SetNodeProp { col; key; value; child } ->
       unary child ~rebuild:(fun () -> Par plan)
-        ~serial_tr:(set_prop_stream g ~params ~kind:Expr.KNode ~col ~key ~value)
+        ~serial_tr:(fun g ~params ->
+          set_prop_stream g ~params ~kind:Expr.KNode ~col ~key ~value)
   | SetRelProp { col; key; value; child } ->
       unary child ~rebuild:(fun () -> Par plan)
-        ~serial_tr:(set_prop_stream g ~params ~kind:Expr.KRel ~col ~key ~value)
+        ~serial_tr:(fun g ~params ->
+          set_prop_stream g ~params ~kind:Expr.KRel ~col ~key ~value)
   | DeleteNode { col; child } ->
       unary child ~rebuild:(fun () -> Par plan)
-        ~serial_tr:(delete_stream g ~kind:Expr.KNode ~col)
+        ~serial_tr:(fun g ~params:_ -> delete_stream g ~kind:Expr.KNode ~col)
   | DeleteRel { col; child } ->
       unary child ~rebuild:(fun () -> Par plan)
-        ~serial_tr:(delete_stream g ~kind:Expr.KRel ~col)
+        ~serial_tr:(fun g ~params:_ -> delete_stream g ~kind:Expr.KRel ~col)
   (* pipeline breakers: everything from here up runs serially *)
-  | Limit { n; child } -> breaker ?prof ~id g ~params child (limit_stream n)
+  | Limit { n; child } ->
+      breaker ?prof ~id child (fun _ ~params:_ -> limit_stream n)
   | Sort { keys; child } ->
-      breaker ?prof ~id g ~params child (sort_stream g ~params keys)
-  | Distinct { child } -> breaker ?prof ~id g ~params child distinct_stream
-  | CountAgg { child } -> agg_breaker ?prof ~id g ~params child ACount
-  | GroupCount { child } -> agg_breaker ?prof ~id g ~params child AGroup
+      breaker ?prof ~id child (fun g ~params -> sort_stream g ~params keys)
+  | Distinct { child } ->
+      breaker ?prof ~id child (fun _ ~params:_ -> distinct_stream)
+  | CountAgg { child } -> agg_breaker ?prof ~id child ACount
+  | GroupCount { child } -> agg_breaker ?prof ~id child AGroup
   | NestedLoopJoin { pred; left; right } ->
-      let right_rows =
-        lazy
-          (materialize
-             (produce_at ?prof
-                ~id:(id + 1 + operator_count left)
-                g ~params right))
-      in
-      breaker ?prof ~id g ~params left (fun s ->
-          nl_join_stream g ~params ~pred (Lazy.force right_rows) s)
+      let rid = id + 1 + operator_count left in
+      (* the right side materialises when the joined stream runs - once
+         per application, against that application's snapshot *)
+      breaker ?prof ~id left (fun g ~params s yield ->
+          let right_rows =
+            materialize (produce_at ?prof ~id:rid g ~params right)
+          in
+          nl_join_stream g ~params ~pred right_rows s yield)
   | HashJoin { lkey; rkey; left; right } ->
-      let right_rows =
-        lazy
-          (materialize
-             (produce_at ?prof
-                ~id:(id + 1 + operator_count left)
-                g ~params right))
-      in
-      breaker ?prof ~id g ~params left (fun s ->
-          hash_join_stream g ~params ~lkey ~rkey (Lazy.force right_rows) s)
+      let rid = id + 1 + operator_count left in
+      breaker ?prof ~id left (fun g ~params s yield ->
+          let right_rows =
+            materialize (produce_at ?prof ~id:rid g ~params right)
+          in
+          hash_join_stream g ~params ~lkey ~rkey right_rows s yield)
 
-and breaker ?prof ~id g ~params child tr =
+and breaker ?prof ~id child (tr : tail) =
   let wrap = prof_wrap prof id in
-  match split_plan_at ?prof ~id:(id + 1) g ~params child with
-  | Par p -> Ser (p, fun s -> wrap (tr s))
-  | Ser (p, tr') -> Ser (p, fun s -> wrap (tr (tr' s)))
-  | ParAgg (p, agg, tail) -> ParAgg (p, agg, fun s -> wrap (tr (tail s)))
+  match split_plan_at ?prof ~id:(id + 1) child with
+  | Par p -> Ser (p, fun g ~params s -> wrap (tr g ~params s))
+  | Ser (p, tr') ->
+      Ser (p, fun g ~params s -> wrap (tr g ~params (tr' g ~params s)))
+  | ParAgg (p, agg, tail) ->
+      ParAgg (p, agg, fun g ~params s -> wrap (tr g ~params (tail g ~params s)))
 
-and agg_breaker ?prof ~id g ~params child agg =
+and agg_breaker ?prof ~id child agg =
   let wrap = prof_wrap prof id in
-  match split_plan_at ?prof ~id:(id + 1) g ~params child with
-  | Par p -> ParAgg (p, agg, fun s -> wrap s)
-  | Ser (p, tr) -> Ser (p, fun s -> wrap (agg_serial agg (tr s)))
+  match split_plan_at ?prof ~id:(id + 1) child with
+  | Par p -> ParAgg (p, agg, fun _ ~params:_ s -> wrap s)
+  | Ser (p, tr) ->
+      Ser (p, fun g ~params s -> wrap (agg_serial agg (tr g ~params s)))
   (* aggregation above an aggregation: the inner one already forces the
      barrier, so the outer one runs serially over the merged output *)
   | ParAgg (p, inner, tail) ->
-      ParAgg (p, inner, fun s -> wrap (agg_serial agg (tail s)))
+      ParAgg
+        (p, inner, fun g ~params s -> wrap (agg_serial agg (tail g ~params s)))
 
-let split_plan ?prof (g : Source.t) ~params plan : split =
-  split_plan_at ?prof ~id:0 g ~params plan
+let split_plan ?prof plan : split = split_plan_at ?prof ~id:0 plan
 
 (* Run the chunk-parallel part over all morsels, collecting rows. *)
 let run_parallel_part (g : Source.t) ~params pool plan =
@@ -478,55 +555,13 @@ let run_parallel_part (g : Source.t) ~params pool plan =
    scheduling. *)
 let run_parallel_agg (g : Source.t) ~params pool plan agg : stream =
   let nchunks = g.node_chunks () in
-  match agg with
-  | ACount ->
-      let partials = Array.make (max 1 nchunks) 0 in
-      let tasks =
-        List.init nchunks (fun ci () ->
-            let n = ref 0 in
-            produce g ~params ~chunk:ci plan (fun _ -> incr n);
-            partials.(ci) <- !n)
-      in
-      Exec.Task_pool.run pool tasks;
-      let total = Array.fold_left ( + ) 0 partials in
-      fun yield -> yield [| Value.Int total |]
-  | AGroup ->
-      let empty () = ([], Hashtbl.create 0) in
-      let partials = Array.init (max 1 nchunks) (fun _ -> empty ()) in
-      let tasks =
-        List.init nchunks (fun ci () ->
-            let groups = Hashtbl.create 64 in
-            let order = ref [] in
-            produce g ~params ~chunk:ci plan (fun tuple ->
-                let key = Array.to_list tuple in
-                match Hashtbl.find_opt groups key with
-                | Some n -> Hashtbl.replace groups key (n + 1)
-                | None ->
-                    Hashtbl.add groups key 1;
-                    order := tuple :: !order);
-            partials.(ci) <- (List.rev !order, groups))
-      in
-      Exec.Task_pool.run pool tasks;
-      let merged = Hashtbl.create 64 in
-      let order = ref [] in
-      Array.iter
-        (fun (ord, tbl) ->
-          List.iter
-            (fun tuple ->
-              let key = Array.to_list tuple in
-              let n = Hashtbl.find tbl key in
-              match Hashtbl.find_opt merged key with
-              | Some m -> Hashtbl.replace merged key (m + n)
-              | None ->
-                  Hashtbl.add merged key n;
-                  order := tuple :: !order)
-            ord)
-        partials;
-      fun yield ->
-        List.iter
-          (fun tuple ->
-            yield (append tuple (Value.Int (Hashtbl.find merged (Array.to_list tuple)))))
-          (List.rev !order)
+  let partials = Array.init (max 1 nchunks) (fun _ -> agg_partial agg) in
+  let tasks =
+    List.init nchunks (fun ci () ->
+        produce g ~params ~chunk:ci plan (agg_feed partials.(ci)))
+  in
+  Exec.Task_pool.run pool tasks;
+  agg_merge agg partials
 
 let rec leftmost_leaf = function
   | NodeScan _ | NodeById _ | RelScan _ | IndexScan _ | IndexRange _ | Unit as p
@@ -561,15 +596,15 @@ let run ?pool ?prof (g : Source.t) ~params plan =
   (match (if Option.is_none prof then pool else None) with
   | None -> produce ?prof g ~params plan yield
   | Some pool when chunkable (leftmost_leaf plan) -> (
-      match split_plan g ~params plan with
+      match split_plan plan with
       | Par p ->
           let collected = run_parallel_part g ~params pool p in
           List.iter yield collected
       | Ser (p, tr) ->
           let collected = run_parallel_part g ~params pool p in
-          tr (fun k -> List.iter k collected) yield
+          tr g ~params (fun k -> List.iter k collected) yield
       | ParAgg (p, agg, tail) ->
-          tail (run_parallel_agg g ~params pool p agg) yield)
+          tail g ~params (run_parallel_agg g ~params pool p agg) yield)
   | Some _ -> produce g ~params plan yield);
   List.rev !rows
 

@@ -33,6 +33,12 @@ val produce :
     merged at the morsel barrier. *)
 type agg = ACount | AGroup
 
+type tail = Source.t -> params:row -> stream -> stream
+(** A staged serial suffix: the split captures only the plan structure,
+    and the source/parameters are bound at application time.  One split
+    can therefore be applied against any transaction snapshot - the
+    property the JIT's capture/replay tier relies on. *)
+
 (** Result of {!split_plan}: fully chunk-parallelisable; a parallel core
     plus the serial transformer for everything above the first breaker;
     or a parallel core whose first breaker is an aggregation executed as
@@ -40,23 +46,42 @@ type agg = ACount | AGroup
     tail applied to the merged aggregate output. *)
 type split =
   | Par of Algebra.plan
-  | Ser of Algebra.plan * (stream -> stream)
-  | ParAgg of Algebra.plan * agg * (stream -> stream)
+  | Ser of Algebra.plan * tail
+  | ParAgg of Algebra.plan * agg * tail
 
 val agg_serial : agg -> stream -> stream
 (** The serial stream transformer equivalent to an [agg] breaker. *)
 
-val split_serial : split -> Algebra.plan * (stream -> stream)
-(** Collapse any split to (parallel core, serial tail) - [ParAgg] folds
-    its aggregation back into the tail.  Used by engines (e.g. the JIT)
-    that compile only the pipelined core. *)
+(** Per-chunk partial aggregation state.  Any engine executing a
+    [ParAgg] core - interpreted or compiled - creates one partial per
+    chunk, feeds it that chunk's tuples, and merges the partials with
+    {!agg_merge} in chunk-index order; the merged stream (including
+    group first-appearance order) is then identical to the serial
+    interpretation regardless of task scheduling. *)
+type agg_partial
 
-val split_plan :
-  ?prof:Obs.Profile.t -> Source.t -> params:Value.t array -> Algebra.plan -> split
-(** With [prof], the serial-tail transformers are wrapped at their
-    operators' preorder ids; the parallel core is left untouched (its
-    operators are profiled by the engine running it: [produce ?prof]
-    when interpreted, [ProfHook]s when compiled). *)
+val agg_partial : agg -> agg_partial
+(** A fresh (empty) per-chunk partial state. *)
+
+val agg_feed : agg_partial -> row -> unit
+(** Fold one tuple into a partial.  Each partial is owned by exactly one
+    morsel task; feeding is not synchronised. *)
+
+val agg_merge : agg -> agg_partial array -> stream
+(** Merge partials in array (= chunk-index) order into the aggregate
+    output stream - the barrier step of the parallel-agg contract. *)
+
+val split_serial : split -> Algebra.plan * tail
+(** Collapse any split to (parallel core, serial tail) - [ParAgg] folds
+    its aggregation back into the tail.  Used by engines running the
+    core serially. *)
+
+val split_plan : ?prof:Obs.Profile.t -> Algebra.plan -> split
+(** Pure function of the plan (tails are staged).  With [prof], the
+    serial-tail transformers are wrapped at their operators' preorder
+    ids; the parallel core is left untouched (its operators are profiled
+    by the engine running it: [produce ?prof] when interpreted,
+    [ProfHook]s when compiled). *)
 
 val run :
   ?pool:Exec.Task_pool.t ->

@@ -124,6 +124,11 @@ let test_json_roundtrip_and_validate () =
   (match Htap.validate doc with
   | Ok () -> ()
   | Error e -> Alcotest.fail ("validate: " ^ e));
+  (* the Fig. 10 throughput gates hold on a real run: per-worker
+     adaptive >= serial AOT, compiled-parallel >= interpreter-parallel *)
+  (match Htap.validate ~min_adaptive_ratio:1.0 doc with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("validate --min-adaptive-ratio 1.0: " ^ e));
   let j = Json.parse doc in
   let geti p = Json.to_int (Json.path j p) in
   Alcotest.(check (option int)) "committed matches"
@@ -162,6 +167,49 @@ let test_validate_rejects_bad_doc () =
   | Error _ -> ()
   | Ok () -> Alcotest.fail "accepted garbage"
 
+(* Snapshot isolation must be tier-blind: the same invariants hold when
+   every reader query runs compiled morsel-parallel (steady state served
+   by the capture/replay tier) and when the engine hot-swaps
+   interpreter -> compiled mid-query. *)
+let test_si_invariants_compiled_parallel () =
+  let r =
+    Htap.run
+      {
+        cfg with
+        Htap.mode = Jit.Engine.Jit;
+        pool_workers = 2;
+        seed = 77;
+        duration_ms = 60.;
+        profile = false;
+      }
+  in
+  Alcotest.(check int) "[seed=77] zero si violations (jit parallel)" 0
+    (Htap.si_violations r);
+  Alcotest.(check bool) "[seed=77] made progress" true
+    (r.Htap.committed_updates > 0 && r.Htap.analytic_reads > 0);
+  Alcotest.(check bool) "[seed=77] compiled morsels ran on the pool" true
+    (r.Htap.reg_parallel_morsels > 0);
+  Alcotest.(check bool) "[seed=77] replay tier served steady state" true
+    (r.Htap.reg_replay_hits > 0);
+  Alcotest.(check bool) "[seed=77] fig10 emitted" true (r.Htap.fig10 <> [])
+
+let test_si_invariants_adaptive () =
+  let r =
+    Htap.run
+      {
+        cfg with
+        Htap.mode = Jit.Engine.Adaptive;
+        pool_workers = 2;
+        seed = 9;
+        duration_ms = 40.;
+        profile = false;
+      }
+  in
+  Alcotest.(check int) "[seed=9] zero si violations (adaptive)" 0
+    (Htap.si_violations r);
+  Alcotest.(check bool) "[seed=9] made progress" true
+    (r.Htap.committed_updates > 0 && r.Htap.analytic_reads > 0)
+
 (* A second, differently-shaped run: more writers than readers, single
    morsel worker (serial probes), different seed.  The invariants are
    seed-independent. *)
@@ -197,6 +245,10 @@ let () =
             test_operator_profiles_agree;
           Alcotest.test_case "writer-heavy variant" `Slow
             test_si_invariants_writer_heavy;
+          Alcotest.test_case "compiled-parallel variant" `Slow
+            test_si_invariants_compiled_parallel;
+          Alcotest.test_case "adaptive variant" `Slow
+            test_si_invariants_adaptive;
         ] );
       ( "json",
         [

@@ -731,6 +731,460 @@ let test_random_plan_equivalence =
               && norm expected = norm actual)
             [ Passes.O0; Passes.O1; Passes.O3 ]))
 
+(* --- five-way differential battery ------------------------------------------
+
+   Randomized aggregation-shaped plans, each point asserting the five
+   execution strategies agree on the exact multiset of rows:
+
+     serial interp == parallel interp(2,4) == jit serial
+                   == jit parallel(2,4)    == adaptive (pooled + serial)
+
+   Points rotate over three environments - standard, empty tail label
+   (zero-row pipelines), and a skewed chunk distribution (small chunks,
+   a band of deleted nodes, so some morsels are empty) - and draw the
+   modeled backend latency per point so the adaptive hot-swap lands at
+   different morsels (zero: compiled early; large: pure-interp tail).
+   Each environment carries a persistent cache, so repeated fingerprints
+   also exercise the capture/replay tier mid-battery.  The point count
+   scales with JIT_POINTS (default 40; the nightly sweep raises it). *)
+
+let jit_points =
+  match Sys.getenv_opt "JIT_POINTS" with
+  | Some s -> ( try max 1 (int_of_string s) with _ -> 40)
+  | None -> 40
+
+let env_cache env ~root_slot =
+  Jit.Cache.create (Storage.Graph_store.pool (Mvto.store env.mgr)) ~root_slot ()
+
+let test_five_way_battery () =
+  let seed = 0xA117 in
+  let skew = mk_env ~n:90 ~m:5 ~chunk_capacity:8 () in
+  (* skew: kill two of every three persons so many chunks scan empty *)
+  Mvto.with_txn skew.mgr (fun txn ->
+      Array.iteri
+        (fun i p ->
+          if i mod 3 <> 0 then Mvto.delete skew.mgr txn (Mvcc.Version.Node, p))
+        skew.persons);
+  let envs =
+    [
+      ("std", mk_env ~n:60 ~m:20 ());
+      ("empty", mk_env ~n:10 ~m:0 ());
+      ("skew", skew);
+    ]
+  in
+  let arms =
+    List.map
+      (fun (name, env) ->
+        ( name,
+          env,
+          env_cache env ~root_slot:5,
+          Exec.Task_pool.create ~media:env.media ~nworkers:2 (),
+          Exec.Task_pool.create ~media:env.media ~nworkers:4 () ))
+      envs
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun (_, _, _, p2, p4) ->
+          Exec.Task_pool.shutdown p2;
+          Exec.Task_pool.shutdown p4)
+        arms)
+  @@ fun () ->
+  let rand = Random.State.make [| seed |] in
+  for point = 1 to jit_points do
+    let name, env, cache, p2, p4 =
+      List.nth arms (point mod List.length arms)
+    in
+    let plan = QCheck.Gen.generate1 ~rand (agg_plan_gen env) in
+    (* draw the modeled compile latency: moves the adaptive swap point *)
+    let backend_latency_ns =
+      match point mod 3 with 0 -> 0 | 1 -> 400_000 | _ -> 4_000_000
+    in
+    let config =
+      {
+        Engine.default_config with
+        prop_tag = prop_tag env;
+        backend_latency_ns;
+        backend_latency_per_op_ns = 50_000;
+      }
+    in
+    let label tier =
+      Printf.sprintf "[seed=%d] point %d/%s %s: %s" seed point name
+        (A.fingerprint plan) tier
+    in
+    with_source env (fun g ->
+        let expected, _ =
+          Engine.run ~mode:Engine.Interp g ~params:no_params plan
+        in
+        List.iter
+          (fun (tier, pool) ->
+            let rows, _ =
+              Engine.run ?pool ~mode:Engine.Interp g ~params:no_params plan
+            in
+            check_same_rows (label tier) expected rows)
+          [ ("interp(2)", Some p2); ("interp(4)", Some p4) ];
+        List.iter
+          (fun (tier, pool) ->
+            let rows, report =
+              Engine.run ?pool ~cache ~media:env.media ~config
+                ~mode:Engine.Jit g ~params:no_params plan
+            in
+            Alcotest.(check bool) (label (tier ^ " no fallback")) false
+              report.Engine.fell_back;
+            check_same_rows (label tier) expected rows)
+          [ ("jit serial", None); ("jit(2)", Some p2); ("jit(4)", Some p4) ];
+        List.iter
+          (fun (tier, pool) ->
+            let rows, report =
+              Engine.run ?pool ~cache ~media:env.media ~config
+                ~mode:Engine.Adaptive g ~params:no_params plan
+            in
+            check_same_rows (label tier) expected rows;
+            Alcotest.(check int)
+              (label (tier ^ " morsel accounting"))
+              (max 1 (g.Query.Source.node_chunks ()))
+              (report.Engine.morsels_interp + report.Engine.morsels_jit))
+          [ ("adaptive(4)", Some p4); ("adaptive serial", None) ])
+  done
+
+(* --- cache key: parallelism degree and profiling flag ------------------------ *)
+
+let test_cache_key_degree_and_prof () =
+  let env = mk_env () in
+  let plan = A.NodeScan { label = Some env.person } in
+  let dc = Engine.default_config in
+  Alcotest.(check bool) "degree is part of the key" false
+    (Engine.cache_key dc plan = Engine.cache_key ~degree:4 dc plan);
+  Alcotest.(check bool) "profiling flag is part of the key" false
+    (Engine.cache_key dc plan = Engine.cache_key ~profiled:true dc plan);
+  let cache = env_cache env ~root_slot:5 in
+  let pool = Exec.Task_pool.create ~media:env.media ~nworkers:4 () in
+  Fun.protect ~finally:(fun () -> Exec.Task_pool.shutdown pool)
+  @@ fun () ->
+  with_source env (fun g ->
+      let rows1, r1 = Engine.run ~cache ~mode:Engine.Jit g ~params:no_params plan in
+      Alcotest.(check bool) "degree 1 compiles" false r1.Engine.cache_hit;
+      (* flipping the degree must compile a distinct entry, not reuse w1 *)
+      let rows4, r4 =
+        Engine.run ~cache ~pool ~mode:Engine.Jit g ~params:no_params plan
+      in
+      Alcotest.(check bool) "degree 4 is a distinct entry" false
+        r4.Engine.cache_hit;
+      check_same_rows "identical results across degrees" rows1 rows4;
+      Alcotest.(check int) "two persistent entries" 2 (Jit.Cache.count cache);
+      (* steady state: each degree replays its own captured batch *)
+      let _, r1' = Engine.run ~cache ~mode:Engine.Jit g ~params:no_params plan in
+      Alcotest.(check bool) "degree 1 replays" true r1'.Engine.replay_hit;
+      let _, r4' =
+        Engine.run ~cache ~pool ~mode:Engine.Jit g ~params:no_params plan
+      in
+      Alcotest.(check bool) "degree 4 replays" true r4'.Engine.replay_hit)
+
+(* --- capture/replay tier ------------------------------------------------------ *)
+
+let test_replay_steady_state () =
+  let env = mk_env ~n:50 () in
+  let cache = env_cache env ~root_slot:5 in
+  let pool = Exec.Task_pool.create ~media:env.media ~nworkers:2 () in
+  Fun.protect ~finally:(fun () -> Exec.Task_pool.shutdown pool)
+  @@ fun () ->
+  let config = { Engine.default_config with prop_tag = prop_tag env } in
+  let plan =
+    A.CountAgg
+      {
+        child =
+          A.Filter
+            {
+              pred =
+                E.Cmp
+                  ( E.Gt,
+                    E.Prop { col = 0; kind = E.KNode; key = env.k_age },
+                    E.Param 0 );
+              child = A.NodeScan { label = Some env.person };
+            };
+      }
+  in
+  with_source env (fun g ->
+      let run ?pool params =
+        Engine.run ?pool ~cache ~media:env.media ~config ~mode:Engine.Jit g
+          ~params plan
+      in
+      let rows1, r1 = run ~pool [| Value.Int 30 |] in
+      Alcotest.(check bool) "first run captures" false r1.Engine.replay_hit;
+      let rows2, r2 = run ~pool [| Value.Int 30 |] in
+      Alcotest.(check bool) "second run replays" true r2.Engine.replay_hit;
+      check_same_rows "replayed rows identical" rows1 rows2;
+      (* replay rebinds params: same captured batch, different answer *)
+      let rows3, r3 = run ~pool [| Value.Int 60 |] in
+      Alcotest.(check bool) "param change still replays" true
+        r3.Engine.replay_hit;
+      let expected3, _ =
+        Engine.run ~mode:Engine.Interp g ~params:[| Value.Int 60 |] plan
+      in
+      check_same_rows "rebound params produce interp answer" expected3 rows3;
+      (* adaptive shares the replay table: it serves compiled immediately *)
+      let rows4, r4 =
+        Engine.run ~pool ~cache ~media:env.media ~config ~mode:Engine.Adaptive
+          g ~params:[| Value.Int 30 |] plan
+      in
+      Alcotest.(check bool) "adaptive replays the jit capture" true
+        r4.Engine.replay_hit;
+      check_same_rows "adaptive replay rows" rows1 rows4)
+
+let test_replay_volatile_across_restart () =
+  let env = mk_env () in
+  let pool_ = Storage.Graph_store.pool (Mvto.store env.mgr) in
+  let cache = Jit.Cache.create pool_ ~root_slot:5 () in
+  let plan = A.NodeScan { label = Some env.person } in
+  with_source env (fun g ->
+      ignore (Engine.run ~cache ~mode:Engine.Jit g ~params:no_params plan);
+      let _, r2 = Engine.run ~cache ~mode:Engine.Jit g ~params:no_params plan in
+      Alcotest.(check bool) "replay before crash" true r2.Engine.replay_hit);
+  Pmem.Pool.crash pool_;
+  match Jit.Cache.attach pool_ ~root_slot:5 with
+  | None -> Alcotest.fail "cache lost"
+  | Some cache' ->
+      let g' = Storage.Graph_store.open_ pool_ in
+      let mgr' = Mvto.recover g' in
+      Mvto.with_txn mgr' (fun txn ->
+          let g = Query.Source.of_mvcc mgr' txn in
+          let rows1, r1 =
+            Engine.run ~cache:cache' ~mode:Engine.Jit g ~params:no_params plan
+          in
+          (* the blob survived, the captured closures did not: replay is
+             a volatile tier over the persistent cache *)
+          Alcotest.(check bool) "persistent cache hit" true r1.Engine.cache_hit;
+          Alcotest.(check bool) "replay table is volatile" false
+            r1.Engine.replay_hit;
+          let rows2, r2 =
+            Engine.run ~cache:cache' ~mode:Engine.Jit g ~params:no_params plan
+          in
+          Alcotest.(check bool) "recaptured after restart" true
+            r2.Engine.replay_hit;
+          check_same_rows "post-restart replay rows" rows1 rows2)
+
+(* --- ProfHook parity: exact counts even morsel-parallel ---------------------- *)
+
+let test_profhook_parallel_parity () =
+  let env = mk_env ~n:80 ~m:25 () in
+  let pool = Exec.Task_pool.create ~media:env.media ~nworkers:4 () in
+  Fun.protect ~finally:(fun () -> Exec.Task_pool.shutdown pool)
+  @@ fun () ->
+  let config = { Engine.default_config with prop_tag = prop_tag env } in
+  let plans =
+    [
+      ("count", A.CountAgg { child = A.NodeScan { label = Some env.person } });
+      ( "group",
+        A.GroupCount
+          {
+            child =
+              A.Project
+                {
+                  exprs = [ E.Prop { col = 0; kind = E.KNode; key = env.k_age } ];
+                  child = A.NodeScan { label = Some env.person };
+                };
+          } );
+      ( "filter-expand",
+        A.Expand
+          {
+            col = 0;
+            dir = A.Out;
+            label = Some env.knows;
+            child =
+              A.Filter
+                {
+                  pred =
+                    E.Cmp
+                      ( E.Gt,
+                        E.Prop { col = 0; kind = E.KNode; key = env.k_age },
+                        E.Const (Value.Int 30) );
+                  child = A.NodeScan { label = Some env.person };
+                };
+          } );
+    ]
+  in
+  List.iter
+    (fun (name, plan) ->
+      with_source env (fun g ->
+          let prof_rows mode pool =
+            let p = Obs.Profile.create (A.op_names plan) in
+            let _, report =
+              Engine.run ?pool ~config ~prof:p ~mode g ~params:no_params plan
+            in
+            Alcotest.(check bool) (name ^ ": no fallback") false
+              report.Engine.fell_back;
+            Obs.Profile.rows p
+          in
+          let aot = prof_rows Engine.Interp None in
+          let jit = prof_rows Engine.Jit (Some pool) in
+          Alcotest.(check int) (name ^ ": same operator rows")
+            (List.length aot) (List.length jit);
+          List.iter2
+            (fun (a : Obs.Profile.row) (j : Obs.Profile.row) ->
+              Alcotest.(check string)
+                (Printf.sprintf "%s: op %d name" name a.Obs.Profile.id)
+                a.Obs.Profile.op j.Obs.Profile.op;
+              Alcotest.(check int)
+                (Printf.sprintf
+                   "%s: op %d (%s) tuples, interp serial vs compiled-parallel"
+                   name a.Obs.Profile.id a.Obs.Profile.op)
+                a.Obs.Profile.tuples j.Obs.Profile.tuples)
+            aot jit))
+    plans
+
+(* --- crash interaction: compiled-parallel readers under power failure --------
+
+   Writers mutate through MVTO while a reader domain hammers compiled
+   morsel-parallel aggregations (first execution compiles and captures,
+   the rest replay) - then a fault plan cuts the persist stream at a
+   randomized store/flush/fence ordinal, possibly mid-barrier or
+   mid-replay.  After recovery the I1-I5 oracle must hold (the JIT tier
+   must never affect durability), the replay tier must repopulate, and
+   compiled-parallel answers must equal serial interpretation. *)
+
+let test_crash_with_compiled_parallel_readers () =
+  let module CE = Pmem.Crash_explorer in
+  let module Faults = Pmem.Faults in
+  let seed = 0xC4A5 in
+  let points = max 2 (jit_points / 10) in
+  let ops = 14 in
+  let fresh () =
+    let db =
+      Core.create ~mode:`Pmem ~pool_size:(1 lsl 24) ~chunk_capacity:16 ()
+    in
+    ignore (Core.create_index db ~label:"N" ~prop:"id" ());
+    let model = Crash_oracle.empty_model () in
+    (db, model)
+  in
+  let pending = ref None in
+  let step p f =
+    pending := Some p;
+    f ();
+    pending := None
+  in
+  let next_ldbc = ref 10_000 in
+  let run_mix db model rng =
+    next_ldbc := 10_000;
+    for _ = 1 to ops do
+      if Random.State.int rng 3 = 0 && model.Crash_oracle.nodes <> [] then begin
+        (* read-modify-write on a committed node's "v" *)
+        let id, v =
+          List.nth model.Crash_oracle.nodes
+            (Random.State.int rng (List.length model.Crash_oracle.nodes))
+        in
+        step (Crash_oracle.Update [ (id, v, v + 1) ]) (fun () ->
+            Core.with_txn db (fun txn ->
+                Core.set_node_prop db txn id ~key:"v" (Value.Int (v + 1)));
+            model.Crash_oracle.nodes <-
+              List.map
+                (fun (i, x) -> if i = id then (i, v + 1) else (i, x))
+                model.Crash_oracle.nodes)
+      end
+      else begin
+        let ldbc = !next_ldbc in
+        incr next_ldbc;
+        step (Crash_oracle.Insert { ldbc; v = ldbc; rel_dsts = [] }) (fun () ->
+            let id =
+              Core.with_txn db (fun txn ->
+                  Core.create_node db txn ~label:"N"
+                    ~props:[ ("id", Value.Int ldbc); ("v", Value.Int ldbc) ])
+            in
+            model.Crash_oracle.nodes <-
+              (id, ldbc) :: model.Crash_oracle.nodes)
+      end
+    done
+  in
+  (* one clean run records the persist trace the cut points sample *)
+  let db0, model0 = fresh () in
+  let trace =
+    CE.record (Core.media db0) (fun () ->
+        run_mix db0 model0 (Random.State.make [| seed |]))
+  in
+  let total = CE.stores trace + CE.flushes trace + CE.fences trace in
+  Alcotest.(check bool) "persist trace nonempty" true (total > 0);
+  let rng = Random.State.make [| seed; 0xBA77 |] in
+  for point = 1 to points do
+    let j = Random.State.int rng total in
+    let kind, ordinal =
+      let ns = CE.stores trace and nf = CE.flushes trace in
+      if j < ns then (`Write, j + 1)
+      else if j < ns + nf then (`Flush, j - ns + 1)
+      else (`Fence, j - ns - nf + 1)
+    in
+    let db, model = fresh () in
+    Core.set_workers db 4;
+    let count_plan =
+      A.CountAgg { child = A.NodeScan { label = Some (Core.code db "N") } }
+    in
+    let stop = Atomic.make false in
+    (* the reader races the crash: compiled-parallel probes, replays
+       after the first, any abort or fault mid-barrier is survivable *)
+    let reader =
+      Domain.spawn (fun () ->
+          let n = ref 0 in
+          while not (Atomic.get stop) do
+            (try
+               ignore
+                 (Core.query db ~mode:Engine.Jit ~parallel:true
+                    ~params:no_params count_plan)
+             with _ -> ());
+            incr n
+          done;
+          !n)
+    in
+    let media = Core.media db and pool_ = Core.pool db in
+    Faults.install ~pool:pool_ media
+      (Faults.plan ~crash_at:(kind, ordinal) ());
+    let fired =
+      Fun.protect
+        ~finally:(fun () ->
+          Atomic.set stop true;
+          ignore (Domain.join reader);
+          Faults.uninstall media)
+      @@ fun () ->
+      match run_mix db model (Random.State.make [| seed |]) with
+      | () -> false
+      | exception Faults.Crash_point _ -> true
+    in
+    let lbl what =
+      Printf.sprintf "[seed=%d] point %d (%s #%d, fired=%b): %s" seed point
+        (match kind with `Write -> "store" | `Flush -> "clwb" | _ -> "sfence")
+        ordinal fired what
+    in
+    Core.shutdown db;
+    Core.crash db;
+    let db = Core.reopen ~recovery_threads:2 db in
+    (* the pending delta only matters if the crash actually cut the mix *)
+    let pending = if fired then !pending else None in
+    Crash_oracle.check ~vkey:"v" ~index_label:"N" ~index_key:"id" ?pending db
+      model;
+    (* JIT tier after recovery: compiled-parallel == interp, and the
+       (volatile) replay tier recaptures from scratch *)
+    Core.set_workers db 4;
+    let count_plan =
+      A.CountAgg { child = A.NodeScan { label = Some (Core.code db "N") } }
+    in
+    let expected, _ =
+      Core.query db ~mode:Engine.Interp ~params:no_params count_plan
+    in
+    let rows1, r1 =
+      Core.query db ~mode:Engine.Jit ~parallel:true ~params:no_params
+        count_plan
+    in
+    Alcotest.(check bool) (lbl "replay table empty after recovery") false
+      r1.Engine.replay_hit;
+    check_same_rows (lbl "compiled-parallel == interp after recovery")
+      expected rows1;
+    let rows2, r2 =
+      Core.query db ~mode:Engine.Jit ~parallel:true ~params:no_params
+        count_plan
+    in
+    Alcotest.(check bool) (lbl "replay recaptures after recovery") true
+      r2.Engine.replay_hit;
+    check_same_rows (lbl "replayed rows stable") expected rows2;
+    Core.shutdown db
+  done
+
 let () =
   Alcotest.run "jit"
     [
@@ -747,8 +1201,20 @@ let () =
           Alcotest.test_case "parallel" `Slow test_jit_parallel_matches;
           Alcotest.test_case "agg: serial == parallel == jit" `Slow
             test_agg_parallel_equivalence;
+          Alcotest.test_case "five-way battery" `Slow test_five_way_battery;
           Alcotest.test_case "unsupported falls back" `Quick
             test_unsupported_falls_back;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "steady state + param rebind" `Quick
+            test_replay_steady_state;
+          Alcotest.test_case "volatile across restart" `Quick
+            test_replay_volatile_across_restart;
+          Alcotest.test_case "profhook parity (parallel)" `Slow
+            test_profhook_parallel_parity;
+          Alcotest.test_case "crash with compiled-parallel readers" `Slow
+            test_crash_with_compiled_parallel_readers;
         ] );
       ( "adaptive",
         [
@@ -770,6 +1236,8 @@ let () =
           Alcotest.test_case "store/find" `Quick test_cache_store_find_basic;
           Alcotest.test_case "engine roundtrip" `Quick test_cache_roundtrip;
           Alcotest.test_case "survives crash" `Quick test_cache_survives_crash;
+          Alcotest.test_case "key: degree + prof flag" `Quick
+            test_cache_key_degree_and_prof;
         ] );
       ( "property",
         [ QCheck_alcotest.to_alcotest ~long:false test_random_plan_equivalence ] );
