@@ -1,4 +1,4 @@
-.PHONY: all build test check clean bench-smoke recover-smoke checkpoint-smoke jit-smoke
+.PHONY: all build test check clean bench-smoke recover-smoke checkpoint-smoke jit-smoke analytics-smoke
 
 all: build
 
@@ -58,6 +58,18 @@ jit-smoke: build
 	dune exec bin/poseidon_cli.exe -- htap --sf 0.02 --mode aot \
 	  --writers 2 --readers 2 --duration 20 --seed 42 \
 	  --out BENCH_htap.json --min-adaptive-ratio 1.0
+
+# analytics gate for the PR loop: the full differential battery
+# (serial == 2/4-domain for BFS levels, bitwise PageRank ranks, WCC
+# labels, CSR fingerprints) plus the example smoke (exits non-zero on
+# any reference mismatch) and a small analytics bench run whose
+# BENCH_analytics.json must validate: snapshot-under-storm equality,
+# per-domain export/kernel rows, convergence
+analytics-smoke: build
+	dune exec test/test_analytics.exe
+	dune exec examples/analytics_demo.exe
+	dune exec bin/poseidon_cli.exe -- analytics-bench --sf 0.05 --seed 42 \
+	  --threads 2 --out BENCH_analytics.json
 
 clean:
 	dune clean

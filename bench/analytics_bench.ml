@@ -1,0 +1,581 @@
+(* Snapshot-consistent analytics benchmark (analytics-bench).
+
+   Stages:
+
+   1. Seed an SNB dataset (sf >= 0.5 by default so chunk-directory and
+      allocator behaviour at size is visible) and quiesce.
+
+   2. For each domain count: export the CSR and run BFS / PageRank /
+      WCC, timing each stage as coordinator-meter delta + max
+      worker-meter delta.  Exports must be fingerprint-identical and
+      kernel outputs bitwise-identical across domain counts (the
+      fixed-morsel determinism contract); kernels must match their
+      serial references (BFS levels and WCC labels exactly, PageRank
+      within 1e-9).
+
+   3. Snapshot drill: begin a transaction, let IU1-IU8 writer domains
+      commit concurrently, export under the storm, stop the writers and
+      re-export under the *same* transaction from the quiesced store.
+      Both exports — and the pre-storm snapshot — must be structurally
+      equal: analytics runs on a frozen snapshot while SNB writers keep
+      committing.
+
+   Results are emitted as BENCH_analytics.json (poseidon/analytics/v1). *)
+
+module Json = Htap.Json
+module Media = Pmem.Media
+module Task_pool = Exec.Task_pool
+module Value = Storage.Value
+module Csr = Analytics.Csr
+module Kernels = Analytics.Kernels
+module Par = Analytics.Par
+module IU = Snb.Updates
+
+type config = {
+  sf : float;
+  seed : int;
+  threads : int list;
+  pr_eps : float;
+  pr_max_iters : int;
+  storm_writers : int;
+}
+
+let default_config =
+  {
+    sf = 0.5;
+    seed = 42;
+    threads = [ 1; 2; 4 ];
+    pr_eps = 1e-8;
+    pr_max_iters = 50;
+    storm_writers = 2;
+  }
+
+type export_row = { e_domains : int; e_ns : int }
+
+type kernel_row = {
+  k_kernel : string;
+  k_domains : int;
+  k_ns : int;
+  k_edges : int;
+  k_edges_per_s : float;
+  k_iterations : int;
+}
+
+type storm_result = {
+  st_commits : int;
+  st_aborts : int;
+  st_equal : bool;
+  st_fingerprint : int;
+}
+
+type result = {
+  cfg : config;
+  nodes : int;
+  rels : int;
+  csr_n : int;
+  csr_m : int;
+  fingerprint : int;
+  fingerprints_equal : bool;
+  exports : export_row list;
+  kernels : kernel_row list;
+  pr_iterations : int;
+  pr_residual : float;
+  bfs_rounds : int;
+  wcc_rounds : int;
+  components : int;
+  diff_ok : bool;
+  max_rank_delta : float;
+  export_speedup : float;
+  bfs_speedup : float;
+  pagerank_speedup : float;
+  wcc_speedup : float;
+  storm : storm_result;
+}
+
+exception Battery_failure of string
+
+let failf fmt = Printf.ksprintf (fun s -> raise (Battery_failure s)) fmt
+
+let indexed_labels = [ "Person"; "Post"; "Comment"; "Forum"; "Place"; "Tag" ]
+
+let edges_per_s edges ns =
+  if ns <= 0 then 0. else float_of_int edges *. 1e9 /. float_of_int ns
+
+(* --- measurement -------------------------------------------------------- *)
+
+type run_outputs = {
+  o_fp : int;
+  o_levels : int array;
+  o_ranks : float array;
+  o_labels : int array;
+}
+
+let run cfg =
+  if not (List.mem 1 cfg.threads) then failf "threads must include 1";
+  let db = Core.create ~mode:`Pmem ~pool_size:(1 lsl 27) ~chunk_capacity:256 () in
+  let ds =
+    Snb.Gen.generate
+      ~params:{ Snb.Gen.default_params with sf = cfg.sf; seed = cfg.seed }
+      (Core.store db)
+  in
+  List.iter
+    (fun l -> ignore (Core.create_index db ~label:l ~prop:"id" ()))
+    indexed_labels;
+  let media = Core.media db in
+  let mgr = Core.mgr db in
+  ignore (Media.install_meter media);
+  let exports = ref [] and kernels = ref [] in
+  let serial : run_outputs option ref = ref None in
+  let stats = ref (0, 0., 0, 0, 0) in
+  let max_rank_delta = ref 0. in
+  let measure t =
+    let pool =
+      if t <= 1 then None else Some (Task_pool.create ~media ~nworkers:t ())
+    in
+    Fun.protect ~finally:(fun () -> Option.iter Task_pool.shutdown pool)
+    @@ fun () ->
+    let txn = Core.begin_txn db in
+    let sw = Par.stopwatch media pool in
+    let csr = Csr.export ?pool mgr txn in
+    let e_ns = sw () in
+    let source =
+      match Csr.index_of_node csr ds.Snb.Gen.persons.(0) with
+      | Some v -> v
+      | None -> failf "first person missing from the CSR"
+    in
+    let time f =
+      let sw = Par.stopwatch media pool in
+      let r = f () in
+      (r, sw ())
+    in
+    let bfs, bfs_ns = time (fun () -> Kernels.bfs ?pool media csr ~source) in
+    let pr, pr_ns =
+      time (fun () ->
+          Kernels.pagerank ?pool ~eps:cfg.pr_eps ~max_iters:cfg.pr_max_iters
+            media csr)
+    in
+    let wcc, wcc_ns = time (fun () -> Kernels.wcc ?pool media csr) in
+    Core.commit db txn;
+    exports := { e_domains = t; e_ns } :: !exports;
+    let row name ns edges iters =
+      kernels :=
+        {
+          k_kernel = name;
+          k_domains = t;
+          k_ns = ns;
+          k_edges = edges;
+          k_edges_per_s = edges_per_s edges ns;
+          k_iterations = iters;
+        }
+        :: !kernels
+    in
+    row "bfs" bfs_ns bfs.Kernels.bfs_edges bfs.Kernels.bfs_rounds;
+    row "pagerank" pr_ns pr.Kernels.pr_edges pr.Kernels.pr_iterations;
+    row "wcc" wcc_ns wcc.Kernels.wcc_edges wcc.Kernels.wcc_rounds;
+    let fp = Csr.fingerprint csr in
+    (match !serial with
+    | None ->
+        (* serial run: check against the textbook references *)
+        let ref_levels = Kernels.bfs_reference csr ~source in
+        if ref_levels <> bfs.Kernels.levels then
+          failf "serial BFS diverged from its reference";
+        let ref_ranks, _ =
+          Kernels.pagerank_reference ~eps:cfg.pr_eps
+            ~max_iters:cfg.pr_max_iters csr
+        in
+        Array.iteri
+          (fun v r ->
+            max_rank_delta :=
+              Float.max !max_rank_delta (abs_float (r -. pr.Kernels.ranks.(v))))
+          ref_ranks;
+        if !max_rank_delta > 1e-9 then
+          failf "PageRank diverged from its reference by %g" !max_rank_delta;
+        if Kernels.wcc_reference csr <> wcc.Kernels.labels then
+          failf "WCC labels diverged from their reference";
+        stats :=
+          ( pr.Kernels.pr_iterations,
+            pr.Kernels.pr_residual,
+            bfs.Kernels.bfs_rounds,
+            wcc.Kernels.wcc_rounds,
+            wcc.Kernels.components );
+        serial :=
+          Some
+            {
+              o_fp = fp;
+              o_levels = bfs.Kernels.levels;
+              o_ranks = pr.Kernels.ranks;
+              o_labels = wcc.Kernels.labels;
+            }
+    | Some s ->
+        (* parallel runs must be bitwise-identical to the serial one *)
+        if fp <> s.o_fp then failf "export fingerprint diverged at %d domains" t;
+        if bfs.Kernels.levels <> s.o_levels then
+          failf "BFS levels diverged at %d domains" t;
+        if pr.Kernels.ranks <> s.o_ranks then
+          failf "PageRank ranks diverged at %d domains" t;
+        if wcc.Kernels.labels <> s.o_labels then
+          failf "WCC labels diverged at %d domains" t);
+    (csr, e_ns)
+  in
+  let first = ref None in
+  List.iter
+    (fun t ->
+      let csr, _ = measure t in
+      if !first = None then first := Some csr)
+    cfg.threads;
+  let csr = Option.get !first in
+  let exports = List.rev !exports and kernels = List.rev !kernels in
+  (* dataset stats before the storm mutates it, matching the exports *)
+  let nodes = Core.node_count db and rels = Core.rel_count db in
+  (* --- snapshot drill: export races an IU1-IU8 writer storm ------------- *)
+  let storm =
+    let sc = ds.Snb.Gen.schema in
+    let specs = Array.of_list IU.all in
+    let nspecs = Array.length specs in
+    let ctx = IU.make_ctx () in
+    let draw_mu = Mutex.create () in
+    let stop = Atomic.make false in
+    let writer k () =
+      let rng = Random.State.make [| cfg.seed; 977 * (k + 1) |] in
+      let committed = ref 0 and failed = ref 0 in
+      while not (Atomic.get stop) do
+        let si = Random.State.int rng nspecs in
+        let params =
+          Mutex.lock draw_mu;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock draw_mu)
+            (fun () -> specs.(si).IU.draw ds rng ctx)
+        in
+        try
+          ignore (Core.execute_update db ~params (specs.(si).IU.plan sc));
+          incr committed
+        with Core.Abort _ -> incr failed
+      done;
+      (!committed, !failed)
+    in
+    let txn = Core.begin_txn db in
+    let doms =
+      List.init (max 1 cfg.storm_writers) (fun k -> Domain.spawn (writer k))
+    in
+    let under_storm =
+      Fun.protect
+        ~finally:(fun () -> Atomic.set stop true)
+        (fun () -> Csr.export mgr txn)
+    in
+    let counts = List.map Domain.join doms in
+    let commits = List.fold_left (fun a (c, _) -> a + c) 0 counts in
+    let aborts = List.fold_left (fun a (_, f) -> a + f) 0 counts in
+    let quiesced = Csr.export mgr txn in
+    Core.commit db txn;
+    let fp = Csr.fingerprint under_storm in
+    let equal =
+      Csr.equal under_storm quiesced && fp = Csr.fingerprint quiesced
+    in
+    if not equal then failf "storm export diverged from the quiesced copy";
+    if fp <> Csr.fingerprint csr then
+      failf "storm snapshot diverged from the pre-storm exports";
+    { st_commits = commits; st_aborts = aborts; st_equal = equal;
+      st_fingerprint = fp }
+  in
+  let ns_at t rows f =
+    match List.find_opt (fun r -> f r = t) rows with
+    | Some r -> r
+    | None -> failf "missing row for %d domains" t
+  in
+  let tmax = List.fold_left max 1 cfg.threads in
+  let speedup serial best = float_of_int serial /. float_of_int (max 1 best) in
+  let export_speedup =
+    speedup
+      (ns_at 1 exports (fun r -> r.e_domains)).e_ns
+      (ns_at tmax exports (fun r -> r.e_domains)).e_ns
+  in
+  let kspeed name =
+    let rows = List.filter (fun r -> r.k_kernel = name) kernels in
+    speedup
+      (ns_at 1 rows (fun r -> r.k_domains)).k_ns
+      (ns_at tmax rows (fun r -> r.k_domains)).k_ns
+  in
+  let pr_iterations, pr_residual, bfs_rounds, wcc_rounds, components = !stats in
+  Core.shutdown db;
+  {
+    cfg;
+    nodes;
+    rels;
+    csr_n = csr.Csr.n;
+    csr_m = csr.Csr.m;
+    fingerprint = Csr.fingerprint csr;
+    fingerprints_equal = true;
+    exports;
+    kernels;
+    pr_iterations;
+    pr_residual;
+    bfs_rounds;
+    wcc_rounds;
+    components;
+    diff_ok = true;
+    max_rank_delta = !max_rank_delta;
+    export_speedup;
+    bfs_speedup = kspeed "bfs";
+    pagerank_speedup = kspeed "pagerank";
+    wcc_speedup = kspeed "wcc";
+    storm;
+  }
+
+(* --- JSON --------------------------------------------------------------- *)
+
+let to_json r =
+  let open Json in
+  let cfg = r.cfg in
+  to_string
+    (Obj
+       [
+         ("schema", Str "poseidon/analytics/v1");
+         ( "config",
+           Obj
+             [
+               ("sf", Float cfg.sf);
+               ("seed", Int cfg.seed);
+               ("threads", List (List.map (fun t -> Int t) cfg.threads));
+               ("pr_eps", Float cfg.pr_eps);
+               ("pr_max_iters", Int cfg.pr_max_iters);
+               ("storm_writers", Int cfg.storm_writers);
+             ] );
+         ( "graph",
+           Obj
+             [
+               ("nodes", Int r.nodes);
+               ("rels", Int r.rels);
+               ("csr_n", Int r.csr_n);
+               ("csr_m", Int r.csr_m);
+               ("fingerprint", Int r.fingerprint);
+             ] );
+         ( "exports",
+           List
+             (List.map
+                (fun e ->
+                  Obj [ ("domains", Int e.e_domains); ("ns", Int e.e_ns) ])
+                r.exports) );
+         ( "kernels",
+           List
+             (List.map
+                (fun k ->
+                  Obj
+                    [
+                      ("kernel", Str k.k_kernel);
+                      ("domains", Int k.k_domains);
+                      ("ns", Int k.k_ns);
+                      ("edges", Int k.k_edges);
+                      ("edges_per_s", Float k.k_edges_per_s);
+                      ("iterations", Int k.k_iterations);
+                    ])
+                r.kernels) );
+         ( "convergence",
+           Obj
+             [
+               ("pagerank_iterations", Int r.pr_iterations);
+               ("pagerank_residual", Float r.pr_residual);
+               ("bfs_rounds", Int r.bfs_rounds);
+               ("wcc_rounds", Int r.wcc_rounds);
+               ("components", Int r.components);
+             ] );
+         ( "differentials",
+           Obj
+             [
+               ("fingerprints_equal", Bool r.fingerprints_equal);
+               ("reference_ok", Bool r.diff_ok);
+               ("max_rank_delta", Float r.max_rank_delta);
+             ] );
+         ( "speedups",
+           Obj
+             [
+               ("export", Float r.export_speedup);
+               ("bfs", Float r.bfs_speedup);
+               ("pagerank", Float r.pagerank_speedup);
+               ("wcc", Float r.wcc_speedup);
+             ] );
+         ( "storm",
+           Obj
+             [
+               ("commits", Int r.storm.st_commits);
+               ("aborts", Int r.storm.st_aborts);
+               ("equal", Bool r.storm.st_equal);
+               ("fingerprint", Int r.storm.st_fingerprint);
+             ] );
+       ])
+
+let write_json path r =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json r))
+
+(* --- validation --------------------------------------------------------- *)
+
+let kernel_names = [ "bfs"; "pagerank"; "wcc" ]
+
+let validate ?(min_kernel_speedup = 0.) s =
+  let ( let* ) = Result.bind in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let to_float = function
+    | Some (Json.Float f) -> Some f
+    | Some (Json.Int i) -> Some (float_of_int i)
+    | _ -> None
+  in
+  match Json.parse s with
+  | exception Json.Parse_error m -> err "parse error: %s" m
+  | doc ->
+      let* () =
+        match Json.member "schema" doc with
+        | Some (Json.Str "poseidon/analytics/v1") -> Ok ()
+        | _ -> err "missing or unexpected schema tag"
+      in
+      let* threads =
+        match Json.path doc [ "config"; "threads" ] with
+        | Some (Json.List l) ->
+            let ts =
+              List.filter_map (function Json.Int t -> Some t | _ -> None) l
+            in
+            if ts = [] || not (List.mem 1 ts) then
+              err "config.threads must be nonempty and include 1"
+            else Ok ts
+        | _ -> err "missing config.threads"
+      in
+      let* csr_m =
+        match Json.to_int (Json.path doc [ "graph"; "csr_m" ]) with
+        | Some m when m > 0 -> Ok m
+        | _ -> err "graph.csr_m must be positive"
+      in
+      let* exports =
+        match Json.member "exports" doc with
+        | Some (Json.List l) -> Ok l
+        | _ -> err "missing exports"
+      in
+      let find_row rows t =
+        List.find_opt
+          (fun rw -> Json.to_int (Json.member "domains" rw) = Some t)
+          rows
+      in
+      let* () =
+        List.fold_left
+          (fun acc t ->
+            let* () = acc in
+            match find_row exports t with
+            | Some rw -> (
+                match Json.to_int (Json.member "ns" rw) with
+                | Some ns when ns > 0 -> Ok ()
+                | _ -> err "export row for %d domains lacks positive ns" t)
+            | None -> err "missing export row for %d domains" t)
+          (Ok ()) threads
+      in
+      let* kernels =
+        match Json.member "kernels" doc with
+        | Some (Json.List l) -> Ok l
+        | _ -> err "missing kernels"
+      in
+      let kernel_rows name =
+        List.filter
+          (fun rw -> Json.member "kernel" rw = Some (Json.Str name))
+          kernels
+      in
+      let* () =
+        List.fold_left
+          (fun acc name ->
+            let* () = acc in
+            let rows = kernel_rows name in
+            List.fold_left
+              (fun acc t ->
+                let* () = acc in
+                match find_row rows t with
+                | Some rw -> (
+                    match
+                      ( Json.to_int (Json.member "ns" rw),
+                        Json.to_int (Json.member "edges" rw),
+                        to_float (Json.member "edges_per_s" rw),
+                        Json.to_int (Json.member "iterations" rw) )
+                    with
+                    | Some ns, Some edges, Some eps, Some iters
+                      when ns > 0 && edges > 0
+                           && (name = "bfs" || edges >= csr_m)
+                           && eps > 0. && iters >= 1 ->
+                        Ok ()
+                    | _ -> err "%s row for %d domains is malformed" name t)
+                | None -> err "missing %s row for %d domains" name t)
+              (Ok ()) threads)
+          (Ok ()) kernel_names
+      in
+      let* () =
+        match
+          ( Json.path doc [ "differentials"; "fingerprints_equal" ],
+            Json.path doc [ "differentials"; "reference_ok" ] )
+        with
+        | Some (Json.Bool true), Some (Json.Bool true) -> Ok ()
+        | _ -> err "differential flags are not green"
+      in
+      let* () =
+        match to_float (Json.path doc [ "differentials"; "max_rank_delta" ]) with
+        | Some d when d <= 1e-9 -> Ok ()
+        | _ -> err "max_rank_delta exceeds 1e-9"
+      in
+      let* () =
+        match
+          ( Json.path doc [ "storm"; "equal" ],
+            Json.to_int (Json.path doc [ "storm"; "commits" ]) )
+        with
+        | Some (Json.Bool true), Some c when c > 0 -> Ok ()
+        | _ -> err "storm drill not green (equal snapshot + nonzero commits)"
+      in
+      let* () =
+        match
+          Json.to_int (Json.path doc [ "convergence"; "pagerank_iterations" ])
+        with
+        | Some i when i >= 1 -> Ok ()
+        | _ -> err "pagerank never iterated"
+      in
+      if min_kernel_speedup <= 0. then Ok ()
+      else
+        let sp name =
+          match to_float (Json.path doc [ "speedups"; name ]) with
+          | Some s -> Ok s
+          | None -> err "missing speedups.%s" name
+        in
+        List.fold_left
+          (fun acc name ->
+            let* () = acc in
+            let* s = sp name in
+            if s >= min_kernel_speedup then Ok ()
+            else
+              err "%s speedup %.2f below required %.2f" name s
+                min_kernel_speedup)
+          (Ok ()) [ "pagerank"; "bfs" ]
+
+let validate_file ?min_kernel_speedup path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  validate ?min_kernel_speedup s
+
+let print_summary r =
+  Printf.printf "analytics bench: sf=%.2f seed=%d\n" r.cfg.sf r.cfg.seed;
+  Printf.printf "  graph: %d nodes, %d rels -> csr n=%d m=%d fp=%x\n" r.nodes
+    r.rels r.csr_n r.csr_m r.fingerprint;
+  List.iter
+    (fun e -> Printf.printf "  export @%d domains: %d sim-ns\n" e.e_domains e.e_ns)
+    r.exports;
+  List.iter
+    (fun k ->
+      Printf.printf "  %-8s @%d domains: %9d sim-ns  %8.0f edges/s  (%d iters)\n"
+        k.k_kernel k.k_domains k.k_ns k.k_edges_per_s k.k_iterations)
+    r.kernels;
+  Printf.printf
+    "  convergence: pagerank %d iters (residual %.2e), bfs %d rounds, wcc %d \
+     rounds, %d components\n"
+    r.pr_iterations r.pr_residual r.bfs_rounds r.wcc_rounds r.components;
+  Printf.printf "  speedups: export %.2fx bfs %.2fx pagerank %.2fx wcc %.2fx\n"
+    r.export_speedup r.bfs_speedup r.pagerank_speedup r.wcc_speedup;
+  Printf.printf "  storm: %d commits, %d aborts, snapshot %s\n"
+    r.storm.st_commits r.storm.st_aborts
+    (if r.storm.st_equal then "stable" else "DIVERGED");
+  Printf.printf "  differentials: %s (max rank delta %.2e)\n"
+    (if r.diff_ok then "green" else "RED")
+    r.max_rank_delta

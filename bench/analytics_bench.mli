@@ -1,0 +1,88 @@
+(** Snapshot-consistent analytics benchmark (BENCH_analytics.json).
+
+    Seeds an SNB dataset at the configured scale factor, then for each
+    domain count exports a CSR snapshot and runs the three kernels,
+    timing each stage on the per-domain media meters (coordinator delta
+    + max worker delta — parallel-schedule elapsed, not busy-time sum).
+    Asserts the determinism and correctness contracts along the way:
+    export fingerprints and kernel outputs must be identical across
+    domain counts, kernels must match their serial references, and a
+    CSR export racing an IU1-IU8 writer storm must equal a quiesced
+    re-export under the same transaction (the snapshot claim).  Emits
+    schema [poseidon/analytics/v1]. *)
+
+type config = {
+  sf : float;
+  seed : int;
+  threads : int list;  (** domain counts to measure; must include 1 *)
+  pr_eps : float;  (** PageRank L1-residual convergence threshold *)
+  pr_max_iters : int;
+  storm_writers : int;  (** writer domains in the snapshot drill *)
+}
+
+val default_config : config
+
+type export_row = { e_domains : int; e_ns : int }
+
+type kernel_row = {
+  k_kernel : string;  (** bfs / pagerank / wcc *)
+  k_domains : int;
+  k_ns : int;
+  k_edges : int;  (** edges processed across all rounds *)
+  k_edges_per_s : float;  (** on the simulated clock *)
+  k_iterations : int;  (** rounds (BFS/WCC) or iterations (PageRank) *)
+}
+
+type storm_result = {
+  st_commits : int;  (** IU commits overlapping the export *)
+  st_aborts : int;
+  st_equal : bool;  (** storm export == quiesced re-export, same txn *)
+  st_fingerprint : int;
+}
+
+type result = {
+  cfg : config;
+  nodes : int;
+  rels : int;
+  csr_n : int;
+  csr_m : int;
+  fingerprint : int;
+  fingerprints_equal : bool;  (** across all domain counts *)
+  exports : export_row list;
+  kernels : kernel_row list;
+  pr_iterations : int;
+  pr_residual : float;
+  bfs_rounds : int;
+  wcc_rounds : int;
+  components : int;
+  diff_ok : bool;  (** parallel == serial reference differentials *)
+  max_rank_delta : float;  (** parallel PageRank vs serial reference *)
+  export_speedup : float;  (** serial ns / highest-domain ns *)
+  bfs_speedup : float;
+  pagerank_speedup : float;
+  wcc_speedup : float;
+  storm : storm_result;
+}
+
+exception Battery_failure of string
+
+val run : config -> result
+(** @raise Battery_failure when a determinism or snapshot assertion
+    fails (fingerprint divergence, kernel mismatch, storm export
+    diverging from the quiesced copy). *)
+
+val to_json : result -> string
+val write_json : string -> result -> unit
+
+val validate :
+  ?min_kernel_speedup:float -> string -> (unit, string) Stdlib.result
+(** Validate a BENCH_analytics.json document: schema tag, an export row
+    and all three kernel rows per configured domain count with positive
+    timings, green differential/fingerprint/storm flags, nonzero storm
+    commits and convergence counts.  [min_kernel_speedup] additionally
+    gates the highest-domain PageRank {e and} BFS speedups. *)
+
+val validate_file :
+  ?min_kernel_speedup:float -> string -> (unit, string) Stdlib.result
+
+val print_summary : result -> unit

@@ -11,6 +11,9 @@
      recover-bench  serial-vs-parallel crash-to-ready latency + battery
                     (--lazy adds checkpointed recovery and TTFQ/TTFW)
      checkpoint force incremental checkpoints, show shadow-slot state
+     analytics  snapshot CSR export + BFS/PageRank/WCC kernels
+     analytics-bench  1/2/4-domain analytics table + writer-storm drill,
+                    JSON metrics
 
    Examples:
      poseidon_cli generate --sf 0.5
@@ -588,6 +591,175 @@ let ckpt_ops_t =
   let doc = "SNB update transactions before each checkpoint." in
   Arg.(value & opt int 20 & info [ "ops" ] ~doc)
 
+(* --- analytics ----------------------------------------------------------------- *)
+
+let analytics_run sf mode algo source iterations threads validate =
+  let db, ds = mk_db ~mode ~sf ~indexed:false in
+  let media = Core.media db and mgr = Core.mgr db in
+  ignore (Pmem.Media.install_meter media);
+  let pool =
+    if threads <= 1 then None
+    else Some (Exec.Task_pool.create ~media ~nworkers:threads ())
+  in
+  Fun.protect ~finally:(fun () -> Option.iter Exec.Task_pool.shutdown pool)
+  @@ fun () ->
+  let txn = Core.begin_txn db in
+  let sw = Analytics.Par.stopwatch media pool in
+  let csr = Analytics.Csr.export ?pool mgr txn in
+  let export_ns = sw () in
+  Printf.printf "export: %s  (%d sim-ns @ %d domain%s)\n"
+    (Format.asprintf "%a" Analytics.Csr.pp_stats csr)
+    export_ns threads
+    (if threads = 1 then "" else "s");
+  let src_vertex =
+    let phys =
+      if source < 0 then ds.Snb.Gen.persons.(0)
+      else
+        let n = Array.length ds.Snb.Gen.person_ids in
+        let rec find j =
+          if j >= n then failwith (Printf.sprintf "no person with id %d" source)
+          else if ds.Snb.Gen.person_ids.(j) = source then ds.Snb.Gen.persons.(j)
+          else find (j + 1)
+        in
+        find 0
+    in
+    match Analytics.Csr.index_of_node csr phys with
+    | Some v -> v
+    | None -> failwith "source person is not in the exported vertex set"
+  in
+  let mismatches = ref 0 in
+  let check name ok = if not ok then begin incr mismatches;
+      Printf.printf "MISMATCH: %s diverged from its serial reference\n" name end
+    else if validate then Printf.printf "validated: %s == reference\n" name
+  in
+  let want k = algo = "all" || algo = k in
+  let timed f =
+    let sw = Analytics.Par.stopwatch media pool in
+    let r = f () in
+    (r, sw ())
+  in
+  if want "bfs" then begin
+    let b, ns = timed (fun () -> Analytics.Kernels.bfs ?pool media csr ~source:src_vertex) in
+    let reached =
+      Array.fold_left (fun a l -> if l >= 0 then a + 1 else a) 0 b.Analytics.Kernels.levels
+    in
+    Printf.printf "bfs: reached %d/%d vertices in %d rounds (%d edges, %d sim-ns)\n"
+      reached csr.Analytics.Csr.n b.Analytics.Kernels.bfs_rounds
+      b.Analytics.Kernels.bfs_edges ns;
+    if validate then
+      check "bfs"
+        (Analytics.Kernels.bfs_reference csr ~source:src_vertex
+        = b.Analytics.Kernels.levels)
+  end;
+  if want "pagerank" then begin
+    let pr, ns =
+      timed (fun () ->
+          Analytics.Kernels.pagerank ?pool ~max_iters:iterations media csr)
+    in
+    Printf.printf "pagerank: %d iterations, residual %.3e (%d sim-ns)\n"
+      pr.Analytics.Kernels.pr_iterations pr.Analytics.Kernels.pr_residual ns;
+    let ranked =
+      Array.mapi (fun v r -> (r, csr.Analytics.Csr.vertices.(v))) pr.Analytics.Kernels.ranks
+    in
+    Array.sort (fun (a, _) (b, _) -> compare b a) ranked;
+    for i = 0 to min 4 (Array.length ranked - 1) do
+      let r, node = ranked.(i) in
+      Printf.printf "  #%d node %d  rank %.6f\n" (i + 1) node r
+    done;
+    if validate then begin
+      let ref_ranks, _ =
+        Analytics.Kernels.pagerank_reference ~max_iters:iterations csr
+      in
+      let ok = ref true in
+      Array.iteri
+        (fun v r ->
+          if abs_float (r -. pr.Analytics.Kernels.ranks.(v)) > 1e-9 then
+            ok := false)
+        ref_ranks;
+      check "pagerank" !ok
+    end
+  end;
+  if want "wcc" then begin
+    let w, ns = timed (fun () -> Analytics.Kernels.wcc ?pool media csr) in
+    Printf.printf "wcc: %d components in %d rounds (%d sim-ns)\n"
+      w.Analytics.Kernels.components w.Analytics.Kernels.wcc_rounds ns;
+    if validate then
+      check "wcc" (Analytics.Kernels.wcc_reference csr = w.Analytics.Kernels.labels)
+  end;
+  Core.commit db txn;
+  if !mismatches > 0 then exit 1
+
+let analytics_bench_run sf seed threads writers min_kernel_speedup out =
+  let rec doubling n = if n >= threads then [ threads ] else n :: doubling (n * 2) in
+  let threads_list = if threads <= 1 then [ 1 ] else 1 :: doubling 2 in
+  let cfg =
+    {
+      Analytics_bench.default_config with
+      sf;
+      seed;
+      threads = threads_list;
+      storm_writers = writers;
+    }
+  in
+  match Analytics_bench.run cfg with
+  | r ->
+      Analytics_bench.print_summary r;
+      Analytics_bench.write_json out r;
+      (match Analytics_bench.validate_file ~min_kernel_speedup out with
+      | Ok () -> Printf.printf "OK: %s written and validated\n" out
+      | Error msg ->
+          Printf.printf "FAILED: %s invalid: %s\n" out msg;
+          exit 1)
+  | exception Analytics_bench.Battery_failure msg ->
+      Printf.printf "FAILED: analytics battery: %s\n" msg;
+      exit 1
+
+let algo_t =
+  let doc = "Kernel to run: bfs, pagerank, wcc or all." in
+  Arg.(
+    value
+    & opt (enum [ ("bfs", "bfs"); ("pagerank", "pagerank"); ("wcc", "wcc"); ("all", "all") ]) "all"
+    & info [ "algo" ] ~doc)
+
+let source_t =
+  let doc = "LDBC person id of the BFS source (default: first person)." in
+  Arg.(value & opt int (-1) & info [ "source" ] ~doc)
+
+let iterations_t =
+  let doc = "PageRank iteration cap." in
+  Arg.(value & opt int 50 & info [ "iterations" ] ~doc)
+
+let an_threads_t =
+  let doc = "Worker domains for export and kernels (1 = serial)." in
+  Arg.(value & opt int 1 & info [ "threads" ] ~doc)
+
+let an_validate_t =
+  let doc = "Check every kernel against its serial reference; exit 1 on mismatch." in
+  Arg.(value & flag & info [ "validate" ] ~doc)
+
+let ab_sf_t =
+  let doc = "Scale factor of the bench dataset." in
+  Arg.(value & opt float 0.5 & info [ "sf" ] ~doc)
+
+let ab_threads_t =
+  let doc = "Maximum kernel domains; the bench measures 1,2,4,...,$(docv)." in
+  Arg.(value & opt int 4 & info [ "threads" ] ~docv:"N" ~doc)
+
+let ab_writers_t =
+  let doc = "Writer domains in the snapshot storm drill." in
+  Arg.(value & opt int 2 & info [ "writers" ] ~doc)
+
+let ab_min_kernel_speedup_t =
+  let doc =
+    "Fail unless the highest-domain PageRank and BFS are at least $(docv) \
+     times faster than serial (0 disables the check)."
+  in
+  Arg.(value & opt float 0. & info [ "min-kernel-speedup" ] ~docv:"X" ~doc)
+
+let ab_out_t =
+  let doc = "Output JSON path." in
+  Arg.(value & opt string "BENCH_analytics.json" & info [ "out" ] ~doc)
+
 (* --- query (Cypher-like) -------------------------------------------------------- *)
 
 let query_run sf storage engine qstr params explain profile =
@@ -765,6 +937,27 @@ let query_cmd =
       const query_run $ sf_t $ mode_t $ engine_t $ qstr_t $ qparams_t
       $ explain_t $ profile_t)
 
+let analytics_cmd =
+  Cmd.v
+    (Cmd.info "analytics"
+       ~doc:
+         "Export a snapshot-consistent CSR and run BFS / PageRank / WCC \
+          (optionally validated against serial references)")
+    Term.(
+      const analytics_run $ sf_t $ mode_t $ algo_t $ source_t $ iterations_t
+      $ an_threads_t $ an_validate_t)
+
+let analytics_bench_cmd =
+  Cmd.v
+    (Cmd.info "analytics-bench"
+       ~doc:
+         "Measure CSR export + kernels at 1/2/4 domains, assert the \
+          determinism and writer-storm snapshot contracts, emit \
+          BENCH_analytics.json")
+    Term.(
+      const analytics_bench_run $ ab_sf_t $ seed_t $ ab_threads_t
+      $ ab_writers_t $ ab_min_kernel_speedup_t $ ab_out_t)
+
 let () =
   let info =
     Cmd.info "poseidon_cli" ~version:"1.0"
@@ -775,5 +968,6 @@ let () =
        (Cmd.group info
           [
             generate_cmd; sr_cmd; iu_cmd; crash_cmd; stats_cmd; faults_cmd;
-            htap_cmd; recover_bench_cmd; checkpoint_cmd; query_cmd;
+            htap_cmd; recover_bench_cmd; checkpoint_cmd; analytics_cmd;
+            analytics_bench_cmd; query_cmd;
           ]))

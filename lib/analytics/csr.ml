@@ -1,0 +1,180 @@
+module G = Storage.Graph_store
+module Layout = Storage.Layout
+module Mvto = Mvcc.Mvto
+module Version = Mvcc.Version
+module Media = Pmem.Media
+
+type t = {
+  n : int;
+  m : int;
+  snapshot_ts : int;
+  node_label : int option;
+  rel_label : int option;
+  vertices : int array;
+  vidx : int array;
+  row_ptr : int array;
+  col : int array;
+  in_ptr : int array;
+  in_col : int array;
+}
+
+(* Retry one chunk task on transient lock conflicts, keeping the caller's
+   transaction (and thus the snapshot timestamp); the backoff is charged
+   to the calling domain like Mvto.with_txn_retry's.  The task must be
+   restartable: it owns disjoint output slots and overwrites them fully. *)
+let with_chunk_retry media ~max_retries ~backoff_ns ~chunk f =
+  let rng = Random.State.make [| 0xC54E; chunk |] in
+  let rec go attempt =
+    try f ()
+    with Mvto.Abort reason when Mvto.classify_abort reason = Mvto.Transient ->
+      if attempt >= max_retries then raise (Mvto.Abort reason);
+      Media.note_retry media;
+      let cap = backoff_ns * (1 lsl min attempt 10) in
+      Media.charge media ((cap / 2) + Random.State.int rng (max 1 (cap / 2)));
+      go (attempt + 1)
+  in
+  go 0
+
+let export ?pool ?node_label ?rel_label ?(max_retries = 64) ?(backoff_ns = 500)
+    mgr txn =
+  let store = Mvto.store mgr in
+  let media = G.media store in
+  let reg = Media.registry media in
+  Obs.Trace.with_span (Media.tracer media) "analytics:export" @@ fun () ->
+  let sw = Par.stopwatch media pool in
+  let nchunks = G.node_chunks store in
+  let retry ~chunk f = with_chunk_retry media ~max_retries ~backoff_ns ~chunk f in
+  (* Pass 1: visible vertex ids, one task per node chunk.  Chunk ids are
+     dense (chunk * capacity + slot) and iterated ascending, so the
+     chunk-order concat is ascending physical id order. *)
+  let per_chunk = Array.make (max 1 nchunks) [||] in
+  Par.run ?pool
+    (List.init nchunks (fun ci () ->
+         retry ~chunk:ci @@ fun () ->
+         let acc = ref [] in
+         G.iter_nodes_chunk store ci (fun id ->
+             if
+               (match node_label with
+               | Some l -> G.node_label store id = l
+               | None -> true)
+               && Mvto.visible mgr txn (Version.Node, id)
+             then acc := id :: !acc);
+         per_chunk.(ci) <- Array.of_list (List.rev !acc)));
+  let base = Array.make (nchunks + 1) 0 in
+  for ci = 0 to nchunks - 1 do
+    base.(ci + 1) <- base.(ci) + Array.length per_chunk.(ci)
+  done;
+  let n = base.(nchunks) in
+  let vertices = Array.concat (Array.to_list (Array.sub per_chunk 0 nchunks)) in
+  let id_bound = Array.fold_left (fun a id -> max a (id + 1)) 0 vertices in
+  let vidx = Array.make id_bound (-1) in
+  Array.iteri (fun i id -> vidx.(id) <- i) vertices;
+  (* Pass 2: out-degrees.  Each chunk task owns the vertex range its
+     chunk contributed; an edge counts iff the rel is visible, matches
+     the label filter and its destination is in the vertex set. *)
+  let deg = Array.make n 0 in
+  let edge_ok rid =
+    (match rel_label with Some l -> G.rel_label store rid = l | None -> true)
+    && Mvto.visible mgr txn (Version.Rel, rid)
+    &&
+    let dst = G.rel_field store rid Layout.Rel.dst in
+    dst < id_bound && vidx.(dst) >= 0
+  in
+  Par.run ?pool
+    (List.init nchunks (fun ci () ->
+         retry ~chunk:ci @@ fun () ->
+         for k = base.(ci) to base.(ci + 1) - 1 do
+           let d = ref 0 in
+           G.iter_out store vertices.(k) (fun rid ->
+               if edge_ok rid then incr d);
+           deg.(k) <- !d
+         done));
+  let row_ptr = Array.make (n + 1) 0 in
+  for k = 0 to n - 1 do
+    row_ptr.(k + 1) <- row_ptr.(k) + deg.(k)
+  done;
+  let m = row_ptr.(n) in
+  (* Pass 3: adjacency fill, same traversal order as the degree pass, so
+     col.(row_ptr k .. row_ptr (k+1)) is the physical out-chain order —
+     stable because splices prepend and the snapshot hides them. *)
+  let col = Array.make m 0 in
+  Par.run ?pool
+    (List.init nchunks (fun ci () ->
+         retry ~chunk:ci @@ fun () ->
+         for k = base.(ci) to base.(ci + 1) - 1 do
+           let cur = ref row_ptr.(k) in
+           G.iter_out store vertices.(k) (fun rid ->
+               if edge_ok rid then begin
+                 col.(!cur) <- vidx.(G.rel_field store rid Layout.Rel.dst);
+                 incr cur
+               end)
+         done));
+  (* In-CSR by counting sort over the out-CSR: source-ascending within
+     each in-list, deterministic and DRAM-only (charged to the caller). *)
+  let in_ptr = Array.make (n + 1) 0 in
+  for e = 0 to m - 1 do
+    in_ptr.(col.(e) + 1) <- in_ptr.(col.(e) + 1) + 1
+  done;
+  for v = 0 to n - 1 do
+    in_ptr.(v + 1) <- in_ptr.(v + 1) + in_ptr.(v)
+  done;
+  let cursor = Array.copy in_ptr in
+  let in_col = Array.make m 0 in
+  for v = 0 to n - 1 do
+    for e = row_ptr.(v) to row_ptr.(v + 1) - 1 do
+      let w = col.(e) in
+      in_col.(cursor.(w)) <- v;
+      cursor.(w) <- cursor.(w) + 1
+    done
+  done;
+  Par.charge_dram media (((2 * m) + (2 * n)) * 8);
+  let csr =
+    {
+      n;
+      m;
+      snapshot_ts = Mvcc.Txn.id txn;
+      node_label;
+      rel_label;
+      vertices;
+      vidx;
+      row_ptr;
+      col;
+      in_ptr;
+      in_col;
+    }
+  in
+  Obs.Histogram.observe (Obs.Metrics.histogram reg "analytics_export_ns") (sw ());
+  csr
+
+let fnv_prime = 0x100000001b3
+
+let fnv h x =
+  let h = Int64.logxor h (Int64.of_int x) in
+  Int64.mul h (Int64.of_int fnv_prime)
+
+let fingerprint t =
+  let h = ref 0xcbf29ce484222325L in
+  let feed x = h := fnv !h x in
+  feed t.n;
+  feed t.m;
+  feed (match t.node_label with None -> -1 | Some l -> l);
+  feed (match t.rel_label with None -> -1 | Some l -> l);
+  Array.iter feed t.vertices;
+  Array.iter feed t.row_ptr;
+  Array.iter feed t.col;
+  Int64.to_int (Int64.shift_right_logical !h 1)
+
+let equal a b =
+  a.n = b.n && a.m = b.m && a.vertices = b.vertices && a.row_ptr = b.row_ptr
+  && a.col = b.col && a.in_ptr = b.in_ptr && a.in_col = b.in_col
+
+let out_degree t v = t.row_ptr.(v + 1) - t.row_ptr.(v)
+let in_degree t v = t.in_ptr.(v + 1) - t.in_ptr.(v)
+
+let index_of_node t id =
+  if id < 0 || id >= Array.length t.vidx || t.vidx.(id) < 0 then None
+  else Some t.vidx.(id)
+
+let pp_stats ppf t =
+  Format.fprintf ppf "csr{n=%d; m=%d; ts=%d; fp=%x}" t.n t.m t.snapshot_ts
+    (fingerprint t)

@@ -1,0 +1,69 @@
+(** Snapshot-consistent CSR export (the DGAP-style traversal layout).
+
+    The export walks the chunked node/rel tables under one MVTO
+    transaction: a visible-vertex collect pass, an out-degree count
+    pass and an adjacency fill pass, each morsel-parallel with one task
+    per table chunk and per-chunk partials merged in ascending chunk
+    index.  Merge order, vertex order (ascending physical node id) and
+    adjacency order (physical out-chain order) are all independent of
+    the worker count, so two exports of the same snapshot are
+    bitwise-identical — {!fingerprint} is reproducible at any
+    parallelism, including under a concurrent writer storm.
+
+    Snapshot contract: visibility is decided solely by the export
+    transaction's timestamp ([Mvto.visible], which bumps rts).  A chunk
+    task that trips over a record locked by an in-flight writer backs
+    off (charged to the sim clock) and retries the same chunk under the
+    {e same} transaction, preserving the snapshot point.  The open
+    transaction also pins the MVTO watermark, so no slot visible to the
+    export can be physically reclaimed mid-walk. *)
+
+type t = {
+  n : int;  (** vertices *)
+  m : int;  (** edges (directed) *)
+  snapshot_ts : int;  (** export transaction's timestamp *)
+  node_label : int option;  (** vertex filter, [None] = all labels *)
+  rel_label : int option;  (** edge filter, [None] = all labels *)
+  vertices : int array;  (** vertex index -> physical node id, ascending *)
+  vidx : int array;  (** physical node id -> vertex index, -1 = absent *)
+  row_ptr : int array;  (** out-CSR offsets, length n+1 *)
+  col : int array;  (** out-neighbour vertex indices, length m *)
+  in_ptr : int array;  (** in-CSR offsets, length n+1 *)
+  in_col : int array;  (** in-neighbour vertex indices, src-ascending *)
+}
+
+val export :
+  ?pool:Exec.Task_pool.t ->
+  ?node_label:int ->
+  ?rel_label:int ->
+  ?max_retries:int ->
+  ?backoff_ns:int ->
+  Mvcc.Mvto.t ->
+  Mvcc.Txn.t ->
+  t
+(** Export the snapshot visible to [txn].  An edge is included iff the
+    relationship is visible, matches [rel_label] (when given) and both
+    endpoints are in the vertex set.  Per-chunk lock conflicts retry up
+    to [max_retries] (default 64) with capped exponential backoff
+    charged to the media clock (base [backoff_ns], default 500).
+    Observability: an [analytics:export] trace span and the
+    [analytics_export_ns] histogram.
+
+    @raise Mvcc.Mvto.Abort when a fatal abort or retry exhaustion
+    surfaces from a chunk task. *)
+
+val fingerprint : t -> int
+(** FNV-1a-style digest over (n, m, snapshot metadata, vertices,
+    row_ptr, col) — equal across worker counts for the same snapshot. *)
+
+val equal : t -> t -> bool
+(** Structural equality of the exported topology (vertex set and both
+    adjacency layouts); ignores [snapshot_ts]. *)
+
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+val index_of_node : t -> int -> int option
+(** Vertex index of a physical node id, if exported. *)
+
+val pp_stats : Format.formatter -> t -> unit

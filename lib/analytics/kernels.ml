@@ -1,0 +1,295 @@
+module Media = Pmem.Media
+
+type bfs_result = { levels : int array; bfs_rounds : int; bfs_edges : int }
+
+type pr_result = {
+  ranks : float array;
+  pr_iterations : int;
+  pr_residual : float;
+  pr_edges : int;
+}
+
+type wcc_result = {
+  labels : int array;
+  wcc_rounds : int;
+  components : int;
+  wcc_edges : int;
+}
+
+(* Modeled DRAM traffic per unit of kernel work: a vertex visit touches
+   its level/rank slot and row_ptr pair; an edge scan reads the col slot
+   and the destination's slot. *)
+let vertex_bytes = 16
+let edge_bytes = 12
+
+let observe_kernel media pool name f =
+  let reg = Media.registry media in
+  Obs.Trace.with_span (Media.tracer media) ("analytics:" ^ name) @@ fun () ->
+  let sw = Par.stopwatch media pool in
+  let r = f () in
+  Obs.Histogram.observe
+    (Obs.Metrics.histogram reg ~labels:[ ("kernel", name) ] "analytics_kernel_ns")
+    (sw ());
+  r
+
+let bfs ?pool ?(grain = 256) media (csr : Csr.t) ~source =
+  let n = csr.Csr.n in
+  if n = 0 then { levels = [||]; bfs_rounds = 0; bfs_edges = 0 }
+  else if source < 0 || source >= n then invalid_arg "Kernels.bfs: source"
+  else
+    observe_kernel media pool "bfs" @@ fun () ->
+    let reg = Media.registry media in
+    let frontier_hist = Obs.Metrics.histogram reg "analytics_frontier_size" in
+    let row_ptr = csr.Csr.row_ptr and col = csr.Csr.col in
+    let levels = Array.make n (-1) in
+    levels.(source) <- 0;
+    let frontier = ref [| source |] in
+    let depth = ref 0 in
+    let edges = ref 0 in
+    while Array.length !frontier > 0 do
+      let fr = !frontier in
+      Obs.Histogram.observe frontier_hist (Array.length fr);
+      let ms = Par.morsels ~n:(Array.length fr) ~grain in
+      let cands = Array.make (List.length ms) [||] in
+      Par.run ?pool
+        (List.mapi
+           (fun mi (lo, hi) () ->
+             let acc = ref [] and scanned = ref 0 in
+             for k = lo to hi - 1 do
+               let v = fr.(k) in
+               for e = row_ptr.(v) to row_ptr.(v + 1) - 1 do
+                 incr scanned;
+                 let w = col.(e) in
+                 if levels.(w) < 0 then acc := w :: !acc
+               done
+             done;
+             Par.charge_dram media
+               (((hi - lo) * vertex_bytes) + (!scanned * edge_bytes));
+             cands.(mi) <- Array.of_list (List.rev !acc))
+           ms);
+      (* Serial merge in morsel order: first claim wins, so the next
+         frontier's order is worker-count independent. *)
+      let next = ref [] and cnt = ref 0 in
+      Array.iter
+        (fun arr ->
+          Array.iter
+            (fun w ->
+              if levels.(w) < 0 then begin
+                levels.(w) <- !depth + 1;
+                next := w :: !next;
+                incr cnt
+              end)
+            arr)
+        cands;
+      Array.iter (fun fv -> edges := !edges + (row_ptr.(fv + 1) - row_ptr.(fv))) fr;
+      Par.charge_dram media (!cnt * vertex_bytes);
+      frontier := Array.of_list (List.rev !next);
+      incr depth
+    done;
+    { levels; bfs_rounds = !depth; bfs_edges = !edges }
+
+let pagerank ?pool ?(partials = 16) ?(damping = 0.85) ?(eps = 1e-8)
+    ?(max_iters = 50) media (csr : Csr.t) =
+  let n = csr.Csr.n in
+  if n = 0 then { ranks = [||]; pr_iterations = 0; pr_residual = 0.; pr_edges = 0 }
+  else
+    observe_kernel media pool "pagerank" @@ fun () ->
+    let row_ptr = csr.Csr.row_ptr and col = csr.Csr.col in
+    let m = csr.Csr.m in
+    let src_ranges = Par.ranges ~n ~parts:partials in
+    let dst_ranges = Par.ranges ~n ~parts:partials in
+    let np = List.length src_ranges in
+    let part = Array.init np (fun _ -> Array.make n 0.) in
+    let dang = Array.make np 0. in
+    let res = Array.make (List.length dst_ranges) 0. in
+    let rank = ref (Array.make n (1. /. float_of_int n)) in
+    let next = ref (Array.make n 0.) in
+    let iters = ref 0 and residual = ref infinity in
+    while !iters < max_iters && !residual > eps do
+      let r = !rank and nx = !next in
+      (* Scatter: each fixed source range adds damped shares into its
+         private partial and accumulates its dangling mass. *)
+      Par.run ?pool
+        (List.mapi
+           (fun pi (lo, hi) () ->
+             let p = part.(pi) in
+             let d = ref 0. in
+             for v = lo to hi - 1 do
+               let deg = row_ptr.(v + 1) - row_ptr.(v) in
+               if deg = 0 then d := !d +. r.(v)
+               else begin
+                 let share = damping *. r.(v) /. float_of_int deg in
+                 for e = row_ptr.(v) to row_ptr.(v + 1) - 1 do
+                   p.(col.(e)) <- p.(col.(e)) +. share
+                 done
+               end
+             done;
+             dang.(pi) <- !d;
+             Par.charge_dram media
+               (((hi - lo) * vertex_bytes)
+               + ((row_ptr.(hi) - row_ptr.(lo)) * edge_bytes)))
+           src_ranges);
+      let dangling = Array.fold_left ( +. ) 0. dang in
+      let base =
+        ((1. -. damping) +. (damping *. dangling)) /. float_of_int n
+      in
+      (* Gather: fixed destination ranges fold the partials in ascending
+         partial order (deterministic float sum), zero the consumed
+         column slice for the next iteration and compute the local L1
+         residual. *)
+      Par.run ?pool
+        (List.mapi
+           (fun di (lo, hi) () ->
+             let lres = ref 0. in
+             for v = lo to hi - 1 do
+               let acc = ref base in
+               for pi = 0 to np - 1 do
+                 acc := !acc +. part.(pi).(v);
+                 part.(pi).(v) <- 0.
+               done;
+               nx.(v) <- !acc;
+               lres := !lres +. abs_float (!acc -. r.(v))
+             done;
+             res.(di) <- !lres;
+             Par.charge_dram media ((hi - lo) * (np + 2) * 8))
+           dst_ranges);
+      residual := Array.fold_left ( +. ) 0. res;
+      rank := nx;
+      next := r;
+      incr iters
+    done;
+    {
+      ranks = !rank;
+      pr_iterations = !iters;
+      pr_residual = !residual;
+      pr_edges = m * !iters;
+    }
+
+let wcc ?pool ?(grain = 256) media (csr : Csr.t) =
+  let n = csr.Csr.n in
+  if n = 0 then { labels = [||]; wcc_rounds = 0; components = 0; wcc_edges = 0 }
+  else
+    observe_kernel media pool "wcc" @@ fun () ->
+    let row_ptr = csr.Csr.row_ptr and col = csr.Csr.col in
+    let in_ptr = csr.Csr.in_ptr and in_col = csr.Csr.in_col in
+    let labels = ref (Array.init n (fun v -> v)) in
+    let next = ref (Array.make n 0) in
+    let ms = Par.morsels ~n ~grain in
+    let changed = Array.make (List.length ms) false in
+    let rounds = ref 0 and edges = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let l = !labels and nx = !next in
+      Par.run ?pool
+        (List.mapi
+           (fun mi (lo, hi) () ->
+             let ch = ref false in
+             for v = lo to hi - 1 do
+               (* min over self, pointer jump, and both edge directions;
+                  reads only the old buffer, writes only nx.(v). *)
+               let best = ref (min l.(v) l.(l.(v))) in
+               for e = row_ptr.(v) to row_ptr.(v + 1) - 1 do
+                 if l.(col.(e)) < !best then best := l.(col.(e))
+               done;
+               for e = in_ptr.(v) to in_ptr.(v + 1) - 1 do
+                 if l.(in_col.(e)) < !best then best := l.(in_col.(e))
+               done;
+               nx.(v) <- !best;
+               if !best <> l.(v) then ch := true
+             done;
+             changed.(mi) <- !ch;
+             Par.charge_dram media
+               (((hi - lo) * (vertex_bytes + 8))
+               + ((row_ptr.(hi) - row_ptr.(lo) + in_ptr.(hi) - in_ptr.(lo))
+                 * edge_bytes)))
+           ms);
+      edges := !edges + (2 * csr.Csr.m);
+      labels := nx;
+      next := l;
+      incr rounds;
+      continue_ := Array.exists (fun c -> c) changed
+    done;
+    let labels = !labels in
+    let components = ref 0 in
+    Array.iteri (fun v l -> if l = v then incr components) labels;
+    {
+      labels;
+      wcc_rounds = !rounds;
+      components = !components;
+      wcc_edges = !edges;
+    }
+
+(* --- Serial references -------------------------------------------------- *)
+
+let bfs_reference (csr : Csr.t) ~source =
+  let n = csr.Csr.n in
+  if n = 0 then [||]
+  else begin
+    let levels = Array.make n (-1) in
+    let q = Queue.create () in
+    levels.(source) <- 0;
+    Queue.add source q;
+    while not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      for e = csr.Csr.row_ptr.(v) to csr.Csr.row_ptr.(v + 1) - 1 do
+        let w = csr.Csr.col.(e) in
+        if levels.(w) < 0 then begin
+          levels.(w) <- levels.(v) + 1;
+          Queue.add w q
+        end
+      done
+    done;
+    levels
+  end
+
+let pagerank_reference ?(damping = 0.85) ?(eps = 1e-8) ?(max_iters = 50)
+    (csr : Csr.t) =
+  let n = csr.Csr.n in
+  if n = 0 then ([||], 0)
+  else begin
+    let rank = ref (Array.make n (1. /. float_of_int n)) in
+    let iters = ref 0 and residual = ref infinity in
+    while !iters < max_iters && !residual > eps do
+      let r = !rank in
+      let nx = Array.make n 0. in
+      let dangling = ref 0. in
+      for v = 0 to n - 1 do
+        let deg = csr.Csr.row_ptr.(v + 1) - csr.Csr.row_ptr.(v) in
+        if deg = 0 then dangling := !dangling +. r.(v)
+        else begin
+          let share = damping *. r.(v) /. float_of_int deg in
+          for e = csr.Csr.row_ptr.(v) to csr.Csr.row_ptr.(v + 1) - 1 do
+            nx.(csr.Csr.col.(e)) <- nx.(csr.Csr.col.(e)) +. share
+          done
+        end
+      done;
+      let base = ((1. -. damping) +. (damping *. !dangling)) /. float_of_int n in
+      let resid = ref 0. in
+      for v = 0 to n - 1 do
+        nx.(v) <- nx.(v) +. base;
+        resid := !resid +. abs_float (nx.(v) -. r.(v))
+      done;
+      residual := !resid;
+      rank := nx;
+      incr iters
+    done;
+    (!rank, !iters)
+  end
+
+let wcc_reference (csr : Csr.t) =
+  let n = csr.Csr.n in
+  let parent = Array.init n (fun v -> v) in
+  let rec find v = if parent.(v) = v then v else find parent.(v) in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then
+      if ra < rb then parent.(rb) <- ra else parent.(ra) <- rb
+  in
+  for v = 0 to n - 1 do
+    for e = csr.Csr.row_ptr.(v) to csr.Csr.row_ptr.(v + 1) - 1 do
+      union v csr.Csr.col.(e)
+    done
+  done;
+  (* Roots are component minima because union always keeps the smaller
+     root, matching the propagation kernel's fixpoint. *)
+  Array.init n (fun v -> find v)

@@ -1,0 +1,83 @@
+(** Morsel-parallel graph kernels over an exported {!Csr} snapshot, plus
+    serial textbook references for differential testing.
+
+    Determinism contract: morsel boundaries and per-iteration partial
+    counts are fixed fractions of the vertex set — independent of the
+    worker count — and every merge folds partials in ascending morsel
+    index, so each kernel's output is bitwise-identical at any
+    parallelism (including float ranks).  The serial references use
+    different accumulation orders on purpose; tests compare them within
+    1e-9 (PageRank) or exactly (BFS levels, WCC labels).
+
+    Kernels run on DRAM CSR arrays outside the pool allocator, so every
+    morsel charges its touched bytes to the simulated media clock
+    ({!Par.charge_dram}); parallel speedup is measured on per-worker
+    meters, not wall time.  Each kernel opens an [analytics:<kernel>]
+    trace span and observes [analytics_kernel_ns{kernel=...}]; BFS also
+    observes the [analytics_frontier_size] histogram per round. *)
+
+type bfs_result = {
+  levels : int array;  (** -1 = unreached *)
+  bfs_rounds : int;
+  bfs_edges : int;  (** edges scanned across all rounds *)
+}
+
+type pr_result = {
+  ranks : float array;
+  pr_iterations : int;
+  pr_residual : float;  (** final L1 residual *)
+  pr_edges : int;
+}
+
+type wcc_result = {
+  labels : int array;  (** component-minimum vertex index *)
+  wcc_rounds : int;
+  components : int;
+  wcc_edges : int;
+}
+
+val bfs :
+  ?pool:Exec.Task_pool.t ->
+  ?grain:int ->
+  Pmem.Media.t ->
+  Csr.t ->
+  source:int ->
+  bfs_result
+(** Frontier-based top-down BFS over out-edges from vertex index
+    [source].  Per-morsel candidate buffers are merged (and levels
+    assigned) serially in morsel order, so the next frontier is
+    deterministic.  @raise Invalid_argument when [source] is out of
+    range on a non-empty graph. *)
+
+val pagerank :
+  ?pool:Exec.Task_pool.t ->
+  ?partials:int ->
+  ?damping:float ->
+  ?eps:float ->
+  ?max_iters:int ->
+  Pmem.Media.t ->
+  Csr.t ->
+  pr_result
+(** Synchronous power iteration: [partials] (default 16) fixed source
+    ranges scatter [damping * rank/deg] into private rank partials;
+    fixed destination ranges then fold the partials in ascending range
+    order, add the dangling + teleport base, and compute the L1
+    residual.  Stops when the residual drops below [eps] (default 1e-8)
+    or after [max_iters] (default 50) iterations; pass [eps:0.] to pin
+    the iteration count for differentials. *)
+
+val wcc : ?pool:Exec.Task_pool.t -> ?grain:int -> Pmem.Media.t -> Csr.t -> wcc_result
+(** Weakly connected components: double-buffered min-label propagation
+    over out- and in-edges with a fused pointer-jumping step
+    ([l(l(v))]), iterated to fixpoint.  Labels converge to the smallest
+    vertex index of each component. *)
+
+(** {1 Serial references} (uncharged, textbook accumulation order) *)
+
+val bfs_reference : Csr.t -> source:int -> int array
+val pagerank_reference :
+  ?damping:float -> ?eps:float -> ?max_iters:int -> Csr.t -> float array * int
+(** Returns (ranks, iterations). *)
+
+val wcc_reference : Csr.t -> int array
+(** Union-find over the edge list, relabelled to component minima. *)

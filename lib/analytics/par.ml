@@ -1,0 +1,74 @@
+module Media = Pmem.Media
+module Task_pool = Exec.Task_pool
+
+let run ?pool tasks =
+  match (pool, tasks) with
+  | _, [] -> ()
+  | None, _ -> List.iter (fun f -> f ()) tasks
+  | Some p, _ ->
+      let nw = Task_pool.size p in
+      let groups = Array.make nw [] in
+      List.iteri (fun i f -> groups.(i mod nw) <- f :: groups.(i mod nw)) tasks;
+      let mu = Mutex.create () in
+      let cv = Condition.create () in
+      let arrived = ref 0 in
+      (* A worker holding a group cannot pop a second one while blocked
+         in the rendezvous, so each of the [nw] groups lands on its own
+         domain and the per-worker meters observe real overlap. *)
+      let composite group () =
+        Mutex.lock mu;
+        incr arrived;
+        if !arrived = nw then Condition.broadcast cv
+        else while !arrived < nw do Condition.wait cv mu done;
+        Mutex.unlock mu;
+        List.iter (fun f -> f ()) (List.rev group)
+      in
+      Task_pool.run p (List.map composite (Array.to_list groups))
+
+let stopwatch media pool =
+  let self0 = Media.self_meter_value media in
+  let clock0 = Media.clock media in
+  let workers =
+    match pool with Some p -> Task_pool.worker_meters p | None -> []
+  in
+  let w0 = List.map (fun id -> Media.meter_value media id) workers in
+  fun () ->
+    let coord =
+      match (self0, Media.self_meter_value media) with
+      | Some a, Some b -> b - a
+      | _ ->
+          (* Unmetered caller: the global clock is the only signal, but
+             under a pool it also counts worker charges, so attribute
+             coordinator time only when running serial. *)
+          if workers = [] then Media.clock media - clock0 else 0
+    in
+    let dw =
+      List.fold_left2
+        (fun acc id v0 -> max acc (Media.meter_value media id - v0))
+        0 workers w0
+    in
+    coord + dw
+
+let charge_dram media bytes =
+  if bytes > 0 then Media.read media Media.Dram ~off:0 ~len:bytes
+
+let morsels ~n ~grain =
+  let grain = max 1 grain in
+  let rec go lo acc =
+    if lo >= n then List.rev acc
+    else
+      let hi = min n (lo + grain) in
+      go hi ((lo, hi) :: acc)
+  in
+  go 0 []
+
+let ranges ~n ~parts =
+  let parts = max 1 (min parts (max 1 n)) in
+  let base = n / parts and extra = n mod parts in
+  let rec go i lo acc =
+    if i >= parts then List.rev acc
+    else
+      let hi = lo + base + if i < extra then 1 else 0 in
+      go (i + 1) hi ((lo, hi) :: acc)
+  in
+  if n = 0 then [] else go 0 0 []

@@ -1,0 +1,37 @@
+(** Morsel scheduling and simulated-time measurement shared by the CSR
+    exporter, the kernels and the analytics bench.
+
+    Tasks here cost simulated time but almost no real time, so letting
+    pool workers race on the shared queue would leave a whole batch on
+    whichever domain wakes first and per-worker meters would report no
+    overlap.  {!run} therefore pins one round-robin task group to each
+    worker behind a rendezvous barrier (the schedule the recovery
+    orchestrator uses), so max-per-worker busy time reflects a genuine
+    parallel schedule. *)
+
+val run : ?pool:Exec.Task_pool.t -> (unit -> unit) list -> unit
+(** Run the tasks serially ([pool] absent) or one round-robin group per
+    worker domain behind a rendezvous barrier.  Tasks must own disjoint
+    output slots; errors re-raise once in the caller. *)
+
+val stopwatch : Pmem.Media.t -> Exec.Task_pool.t option -> unit -> int
+(** [stopwatch media pool] captures meter baselines and returns a
+    closure yielding elapsed simulated ns: the calling domain's meter
+    delta (global-clock delta when no meter is installed and no pool is
+    in play) plus the max worker-meter delta — the parallel-schedule
+    elapsed time, not the busy-time sum. *)
+
+val charge_dram : Pmem.Media.t -> int -> unit
+(** Charge a DRAM read of [bytes] to the calling domain: kernels run on
+    DRAM CSR arrays outside the pool allocator, so each morsel bills its
+    touched bytes explicitly to stay visible on the sim clock. *)
+
+val morsels : n:int -> grain:int -> (int * int) list
+(** Split [0, n) into fixed-size ranges of [grain] items, in ascending
+    order — independent of worker count, so per-morsel partials merged
+    in morsel order are deterministic at any parallelism. *)
+
+val ranges : n:int -> parts:int -> (int * int) list
+(** Split [0, n) into at most [parts] near-equal contiguous ranges, in
+    ascending order (for per-range partial arrays whose memory must not
+    scale with morsel count). *)

@@ -307,6 +307,11 @@ let meter_value t id =
   Mutex.unlock t.meters_mu;
   v
 
+let self_meter_value t =
+  match !(Domain.DLS.get t.meter_key) with
+  | None -> None
+  | Some id -> Some (meter_value t id)
+
 
 (* Charge a line-granular read of [len] bytes starting at absolute pool
    offset [off] on [device].  For PMem the first line of a 256 B block pays

@@ -105,6 +105,11 @@ val install_meter : t -> int
 val uninstall_meter : t -> unit
 val meter_value : t -> int -> int
 
+val self_meter_value : t -> int option
+(** Value of the calling domain's installed meter, if any — lets code
+    time itself on its own meter without installing (and thereby
+    replacing) one. *)
+
 val read : t -> device -> off:int -> len:int -> unit
 val write : t -> device -> off:int -> len:int -> unit
 val flush_line : t -> device -> off:int -> unit

@@ -1,0 +1,516 @@
+(* Snapshot-consistent analytics tests.
+
+   Layers:
+
+   - structural export checks on handcrafted graphs (adjacency layout,
+     vertex ordering, fingerprint reproducibility) plus the edge cases:
+     empty graph, isolated vertices, self-loops, single-chunk tables;
+
+   - a differential battery on seed-pure random graphs and SNB-generated
+     graphs: serial kernels must equal the parallel kernels bitwise at
+     every tested domain count (the fixed-morsel determinism contract)
+     and match the textbook references (BFS levels and WCC labels
+     exactly, PageRank within 1e-9).  Point counts scale with
+     ANALYTICS_POINTS and the 4-domain legs are skipped on single-core
+     hosts;
+
+   - a snapshot-isolation drill: a CSR export racing IU1-IU8 writer
+     domains must equal a quiesced re-export under the same transaction;
+
+   - a crash-interaction sweep: exports race a fault cut at randomized
+     persist-trace points; analytics holds no persistent state, so the
+     I1-I5 oracle must hold after recovery and post-recovery exports
+     must be deterministic again. *)
+
+module Media = Pmem.Media
+module Task_pool = Exec.Task_pool
+module Value = Storage.Value
+module Mvto = Mvcc.Mvto
+module Csr = Analytics.Csr
+module Kernels = Analytics.Kernels
+module IU = Snb.Updates
+
+let cores = Domain.recommended_domain_count ()
+let degrees = if cores <= 1 then [ 2 ] else [ 2; 4 ]
+
+let points =
+  match Sys.getenv_opt "ANALYTICS_POINTS" with
+  | Some s -> ( try max 1 (int_of_string s) with _ -> 8)
+  | None -> if cores <= 1 then 6 else 10
+
+let snb_sf =
+  match Sys.getenv_opt "ANALYTICS_SF" with
+  | Some s -> ( try float_of_string s with _ -> 0.05)
+  | None -> 0.05
+
+let with_pool db n f =
+  let pool = Task_pool.create ~media:(Core.media db) ~nworkers:n () in
+  Fun.protect ~finally:(fun () -> Task_pool.shutdown pool) (fun () -> f pool)
+
+let export ?pool ?node_label ?rel_label db =
+  Core.with_txn db (fun txn ->
+      Csr.export ?pool ?node_label ?rel_label (Core.mgr db) txn)
+
+(* A small multi-chunk graph database; [edges] are (src index, dst
+   index) over the [n] created nodes. *)
+let mk_graph ?(chunk_capacity = 16) n edges =
+  let db = Core.create ~mode:`Pmem ~pool_size:(1 lsl 24) ~chunk_capacity () in
+  let nodes =
+    Array.init n (fun i ->
+        Core.with_txn db (fun txn ->
+            Core.create_node db txn ~label:"V" ~props:[ ("id", Value.Int i) ]))
+  in
+  List.iter
+    (fun (s, d) ->
+      Core.with_txn db (fun txn ->
+          ignore
+            (Core.create_rel db txn ~label:"E" ~src:nodes.(s) ~dst:nodes.(d)
+               ~props:[])))
+    edges;
+  (db, nodes)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* adjacency as sorted vertex-index lists, for order-insensitive checks *)
+let sorted_adj (c : Csr.t) v =
+  let l = ref [] in
+  for e = c.Csr.row_ptr.(v) to c.Csr.row_ptr.(v + 1) - 1 do
+    l := c.Csr.col.(e) :: !l
+  done;
+  List.sort compare !l
+
+(* --- structural export checks ------------------------------------------ *)
+
+let test_export_basic () =
+  let db, nodes =
+    mk_graph 4 [ (0, 1); (0, 2); (1, 2); (2, 0); (3, 3) ]
+  in
+  let c = export db in
+  check_int "n" 4 c.Csr.n;
+  check_int "m" 5 c.Csr.m;
+  (* vertices are ascending physical ids and vidx inverts them *)
+  Array.iteri
+    (fun i id ->
+      if i > 0 then check_bool "ascending" true (id > c.Csr.vertices.(i - 1));
+      check_int "vidx inverts" i c.Csr.vidx.(id))
+    c.Csr.vertices;
+  let vi i = Option.get (Csr.index_of_node c nodes.(i)) in
+  Alcotest.(check (list int)) "adj 0" [ vi 1; vi 2 ] (sorted_adj c (vi 0));
+  Alcotest.(check (list int)) "adj 3 self" [ vi 3 ] (sorted_adj c (vi 3));
+  check_int "out_degree 0" 2 (Csr.out_degree c (vi 0));
+  check_int "in_degree 2" 2 (Csr.in_degree c (vi 2));
+  check_int "in edges total" c.Csr.m (Array.length c.Csr.in_col);
+  (* a second export of the same (quiesced) store is bitwise equal *)
+  let c2 = export db in
+  check_bool "reproducible" true (Csr.equal c c2);
+  check_int "fingerprint reproducible" (Csr.fingerprint c) (Csr.fingerprint c2);
+  (* mutating the graph must change the fingerprint *)
+  Core.with_txn db (fun txn ->
+      ignore
+        (Core.create_rel db txn ~label:"E" ~src:nodes.(3) ~dst:nodes.(0)
+           ~props:[]));
+  let c3 = export db in
+  check_bool "fingerprint tracks mutations" false
+    (Csr.fingerprint c = Csr.fingerprint c3);
+  (* label-filtered export: everything matches "V"/"E", nothing matches
+     a foreign label *)
+  let cv = export ~node_label:(Core.code db "V") ~rel_label:(Core.code db "E") db in
+  check_bool "filtered == full" true (Csr.equal c3 cv);
+  let none = export ~node_label:(Core.code db "Person") db in
+  check_int "foreign label empty" 0 none.Csr.n;
+  Core.shutdown db
+
+let test_edge_cases () =
+  let media_of db = Core.media db in
+  (* empty graph *)
+  let db = Core.create ~mode:`Pmem ~pool_size:(1 lsl 24) () in
+  let c = export db in
+  check_int "empty n" 0 c.Csr.n;
+  check_int "empty m" 0 c.Csr.m;
+  let pr = Kernels.pagerank (media_of db) c in
+  check_int "empty pagerank" 0 (Array.length pr.Kernels.ranks);
+  let w = Kernels.wcc (media_of db) c in
+  check_int "empty wcc" 0 w.Kernels.components;
+  Core.shutdown db;
+  (* isolated vertices: no edges, uniform dangling PageRank, n components *)
+  let db, _ = mk_graph 7 [] in
+  let c = export db in
+  check_int "isolated m" 0 c.Csr.m;
+  let b = Kernels.bfs (media_of db) c ~source:0 in
+  check_int "bfs reaches only source" 0 b.Kernels.levels.(0);
+  Array.iteri
+    (fun v l -> if v > 0 then check_int "unreached" (-1) l)
+    b.Kernels.levels;
+  let w = Kernels.wcc (media_of db) c in
+  check_int "isolated components" 7 w.Kernels.components;
+  let pr = Kernels.pagerank ~eps:0. ~max_iters:10 (media_of db) c in
+  Array.iter
+    (fun r ->
+      check_bool "uniform dangling rank" true (abs_float (r -. (1. /. 7.)) < 1e-12))
+    pr.Kernels.ranks;
+  Core.shutdown db;
+  (* self loops keep the kernels total and convergent *)
+  let db, _ = mk_graph 3 [ (0, 0); (0, 1); (1, 2); (2, 2) ] in
+  let c = export db in
+  check_int "self-loop m" 4 c.Csr.m;
+  let b = Kernels.bfs (media_of db) c ~source:0 in
+  Alcotest.(check (array int)) "self-loop bfs" [| 0; 1; 2 |] b.Kernels.levels;
+  let w = Kernels.wcc (media_of db) c in
+  check_int "self-loop wcc" 1 w.Kernels.components;
+  Core.shutdown db;
+  (* single chunk (default capacity): fewer tasks than workers still
+     drains the rendezvous barrier *)
+  let db, _ =
+    mk_graph ~chunk_capacity:4096 6 [ (0, 1); (1, 2); (2, 3); (4, 5) ]
+  in
+  check_int "single node chunk" 1 (Storage.Table.nchunks
+                                     (Storage.Graph_store.node_table (Core.store db)));
+  let serial = export db in
+  with_pool db 2 (fun pool ->
+      let par = export ~pool db in
+      check_bool "single-chunk parallel == serial" true (Csr.equal serial par));
+  Core.shutdown db
+
+(* --- differential battery ---------------------------------------------- *)
+
+let diff_check ~lbl media ?pool csr_serial ~serial_out db =
+  let b_s, pr_s, w_s = serial_out in
+  let csr = export ?pool db in
+  check_int (lbl "fingerprint") (Csr.fingerprint csr_serial) (Csr.fingerprint csr);
+  check_bool (lbl "csr equal") true (Csr.equal csr_serial csr);
+  if csr.Csr.n > 0 then begin
+    let b = Kernels.bfs ?pool media csr ~source:0 in
+    Alcotest.(check (array int)) (lbl "bfs levels") b_s.Kernels.levels
+      b.Kernels.levels;
+    let pr = Kernels.pagerank ?pool ~eps:0. ~max_iters:15 media csr in
+    check_bool (lbl "ranks bitwise") true (pr.Kernels.ranks = pr_s.Kernels.ranks);
+    let w = Kernels.wcc ?pool media csr in
+    Alcotest.(check (array int)) (lbl "wcc labels") w_s.Kernels.labels
+      w.Kernels.labels
+  end
+
+let reference_check ~lbl media csr =
+  if csr.Csr.n > 0 then begin
+    let b = Kernels.bfs media csr ~source:0 in
+    Alcotest.(check (array int)) (lbl "bfs == reference")
+      (Kernels.bfs_reference csr ~source:0)
+      b.Kernels.levels;
+    let pr = Kernels.pagerank ~eps:0. ~max_iters:15 media csr in
+    let ref_ranks, ref_iters =
+      Kernels.pagerank_reference ~eps:0. ~max_iters:15 csr
+    in
+    check_int (lbl "pr iterations") ref_iters pr.Kernels.pr_iterations;
+    Array.iteri
+      (fun v r ->
+        check_bool (lbl "pr within 1e-9") true
+          (abs_float (r -. pr.Kernels.ranks.(v)) <= 1e-9))
+      ref_ranks;
+    let w = Kernels.wcc media csr in
+    Alcotest.(check (array int)) (lbl "wcc == reference")
+      (Kernels.wcc_reference csr) w.Kernels.labels
+  end
+
+let test_differential_random () =
+  for p = 1 to points do
+    let rng = Random.State.make [| 0xA9A1; p |] in
+    let n = 1 + Random.State.int rng 120 in
+    let nedges = Random.State.int rng (3 * n) in
+    let edges =
+      List.init nedges (fun _ ->
+          (Random.State.int rng n, Random.State.int rng n))
+    in
+    let db, _ = mk_graph n edges in
+    let media = Core.media db in
+    let lbl d what = Printf.sprintf "[point %d, n=%d, %d dom] %s" p n d what in
+    let csr = export db in
+    let serial_out =
+      ( Kernels.bfs media csr ~source:0,
+        Kernels.pagerank ~eps:0. ~max_iters:15 media csr,
+        Kernels.wcc media csr )
+    in
+    reference_check ~lbl:(lbl 1) media csr;
+    List.iter
+      (fun d ->
+        with_pool db d (fun pool ->
+            diff_check ~lbl:(lbl d) media ~pool csr ~serial_out db))
+      degrees;
+    Core.shutdown db
+  done
+
+let mk_snb ?(indexed = false) sf =
+  let db = Core.create ~mode:`Pmem ~pool_size:(1 lsl 26) ~chunk_capacity:256 () in
+  let ds =
+    Snb.Gen.generate
+      ~params:{ Snb.Gen.default_params with sf }
+      (Core.store db)
+  in
+  if indexed then
+    List.iter
+      (fun l -> ignore (Core.create_index db ~label:l ~prop:"id" ()))
+      [ "Person"; "Post"; "Comment"; "Forum"; "Place"; "Tag" ];
+  (db, ds)
+
+let test_differential_snb () =
+  let db, ds = mk_snb snb_sf in
+  let media = Core.media db in
+  let lbl d what = Printf.sprintf "[snb sf=%.2f, %d dom] %s" snb_sf d what in
+  (* full graph *)
+  let csr = export db in
+  check_int "snb vertex count" (Core.node_count db) csr.Csr.n;
+  let serial_out =
+    ( Kernels.bfs media csr ~source:0,
+      Kernels.pagerank ~eps:0. ~max_iters:15 media csr,
+      Kernels.wcc media csr )
+  in
+  reference_check ~lbl:(lbl 1) media csr;
+  List.iter
+    (fun d ->
+      with_pool db d (fun pool ->
+          diff_check ~lbl:(lbl d) media ~pool csr ~serial_out db))
+    degrees;
+  (* KNOWS subgraph: persons only *)
+  let sc = ds.Snb.Gen.schema in
+  let knows =
+    export ~node_label:sc.Snb.Schema.person ~rel_label:sc.Snb.Schema.knows db
+  in
+  check_int "knows vertices = persons" (Array.length ds.Snb.Gen.persons)
+    knows.Csr.n;
+  reference_check ~lbl:(fun w -> "[knows] " ^ w) media knows;
+  List.iter
+    (fun d ->
+      with_pool db d (fun pool ->
+          let par =
+            export ~pool ~node_label:sc.Snb.Schema.person
+              ~rel_label:sc.Snb.Schema.knows db
+          in
+          check_bool (lbl d "knows parallel == serial") true
+            (Csr.equal knows par)))
+    degrees;
+  Core.shutdown db
+
+(* --- snapshot-isolation drill ------------------------------------------- *)
+
+let test_snapshot_drill () =
+  let db, ds = mk_snb ~indexed:true 0.02 in
+  let mgr = Core.mgr db in
+  let sc = ds.Snb.Gen.schema in
+  let specs = Array.of_list IU.all in
+  let nspecs = Array.length specs in
+  let ctx = IU.make_ctx () in
+  let draw_mu = Mutex.create () in
+  let stop = Atomic.make false in
+  let writer k () =
+    let rng = Random.State.make [| 0x510; k |] in
+    let committed = ref 0 in
+    while not (Atomic.get stop) do
+      let si = Random.State.int rng nspecs in
+      let params =
+        Mutex.lock draw_mu;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock draw_mu)
+          (fun () -> specs.(si).IU.draw ds rng ctx)
+      in
+      try
+        ignore (Core.execute_update db ~params (specs.(si).IU.plan sc));
+        incr committed
+      with Core.Abort _ -> ()
+    done;
+    !committed
+  in
+  let txn = Core.begin_txn db in
+  let doms = List.init 2 (fun k -> Domain.spawn (writer k)) in
+  let under_storm =
+    Fun.protect
+      ~finally:(fun () -> Atomic.set stop true)
+      (fun () ->
+        with_pool db (List.fold_left max 1 degrees) (fun pool ->
+            Csr.export ~pool mgr txn))
+  in
+  let commits = List.fold_left (fun a d -> a + Domain.join d) 0 doms in
+  let quiesced = Csr.export mgr txn in
+  Core.commit db txn;
+  check_bool "writers committed during the storm" true (commits > 0);
+  check_bool "storm export == quiesced export (same txn)" true
+    (Csr.equal under_storm quiesced);
+  check_int "storm fingerprint stable" (Csr.fingerprint under_storm)
+    (Csr.fingerprint quiesced);
+  (* a later snapshot must see the storm's inserts *)
+  let after = export db in
+  check_bool "post-storm snapshot differs" true
+    (after.Csr.n > under_storm.Csr.n);
+  Core.shutdown db
+
+(* --- crash interaction --------------------------------------------------- *)
+
+(* Exports race a fault cut: analytics holds no persistent state, so any
+   sampled crash point must leave recovery untouched (I1-I5 oracle) and
+   post-recovery exports deterministic. *)
+let test_crash_with_racing_export () =
+  let module CE = Pmem.Crash_explorer in
+  let module Faults = Pmem.Faults in
+  let seed = 0xCE5A in
+  let sweep_points = max 2 (points / 3) in
+  let ops = 14 in
+  let fresh () =
+    let db =
+      Core.create ~mode:`Pmem ~pool_size:(1 lsl 24) ~chunk_capacity:16 ()
+    in
+    ignore (Core.create_index db ~label:"N" ~prop:"id" ());
+    (db, Crash_oracle.empty_model ())
+  in
+  let pending = ref None in
+  let step p f =
+    pending := Some p;
+    f ();
+    pending := None
+  in
+  let next_ldbc = ref 10_000 in
+  let run_mix db model rng =
+    next_ldbc := 10_000;
+    for _ = 1 to ops do
+      if Random.State.int rng 3 = 0 && model.Crash_oracle.nodes <> [] then begin
+        let id, v =
+          List.nth model.Crash_oracle.nodes
+            (Random.State.int rng (List.length model.Crash_oracle.nodes))
+        in
+        step (Crash_oracle.Update [ (id, v, v + 1) ]) (fun () ->
+            Core.with_txn db (fun txn ->
+                Core.set_node_prop db txn id ~key:"v" (Value.Int (v + 1)));
+            model.Crash_oracle.nodes <-
+              List.map
+                (fun (i, x) -> if i = id then (i, v + 1) else (i, x))
+                model.Crash_oracle.nodes)
+      end
+      else begin
+        let ldbc = !next_ldbc in
+        incr next_ldbc;
+        step (Crash_oracle.Insert { ldbc; v = ldbc; rel_dsts = [] }) (fun () ->
+            let id =
+              Core.with_txn db (fun txn ->
+                  Core.create_node db txn ~label:"N"
+                    ~props:[ ("id", Value.Int ldbc); ("v", Value.Int ldbc) ])
+            in
+            model.Crash_oracle.nodes <-
+              (id, ldbc) :: model.Crash_oracle.nodes)
+      end
+    done
+  in
+  let db0, model0 = fresh () in
+  let trace =
+    CE.record (Core.media db0) (fun () ->
+        run_mix db0 model0 (Random.State.make [| seed |]))
+  in
+  let total = CE.stores trace + CE.flushes trace + CE.fences trace in
+  check_bool "persist trace nonempty" true (total > 0);
+  let rng = Random.State.make [| seed; 0x3A11 |] in
+  for point = 1 to sweep_points do
+    let j = Random.State.int rng total in
+    let kind, ordinal =
+      let ns = CE.stores trace and nf = CE.flushes trace in
+      if j < ns then (`Write, j + 1)
+      else if j < ns + nf then (`Flush, j - ns + 1)
+      else (`Fence, j - ns - nf + 1)
+    in
+    let db, model = fresh () in
+    let stop = Atomic.make false in
+    (* the racing reader: exports under snapshot transactions; aborts,
+       retry exhaustion or the crash itself are all survivable *)
+    let reader =
+      Domain.spawn (fun () ->
+          let n = ref 0 in
+          while not (Atomic.get stop) do
+            (try
+               Core.with_txn db (fun txn ->
+                   ignore (Csr.export (Core.mgr db) txn))
+             with _ -> ());
+            incr n
+          done;
+          !n)
+    in
+    let media = Core.media db and pool_ = Core.pool db in
+    Faults.install ~pool:pool_ media
+      (Faults.plan ~crash_at:(kind, ordinal) ());
+    let fired =
+      Fun.protect
+        ~finally:(fun () ->
+          Atomic.set stop true;
+          ignore (Domain.join reader);
+          Faults.uninstall media)
+      @@ fun () ->
+      match run_mix db model (Random.State.make [| seed |]) with
+      | () -> false
+      | exception Faults.Crash_point _ -> true
+    in
+    let lbl what =
+      Printf.sprintf "[seed=%d] point %d (%s #%d, fired=%b): %s" seed point
+        (match kind with `Write -> "store" | `Flush -> "clwb" | _ -> "sfence")
+        ordinal fired what
+    in
+    Core.crash db;
+    let db = Core.reopen ~recovery_threads:2 db in
+    let pending = if fired then !pending else None in
+    Crash_oracle.check ~vkey:"v" ~index_label:"N" ~index_key:"id" ?pending db
+      model;
+    (* post-recovery analytics: deterministic and reference-equal again *)
+    let serial = export db in
+    check_int (lbl "export sees all committed nodes") (Core.node_count db)
+      serial.Csr.n;
+    with_pool db 2 (fun pool ->
+        let par = export ~pool db in
+        check_bool (lbl "post-recovery parallel == serial") true
+          (Csr.equal serial par));
+    if serial.Csr.n > 0 then
+      Alcotest.(check (array int))
+        (lbl "post-recovery wcc == reference")
+        (Kernels.wcc_reference serial)
+        (Kernels.wcc (Core.media db) serial).Kernels.labels;
+    Core.shutdown db
+  done
+
+(* --- observability ------------------------------------------------------- *)
+
+let test_metrics_presence () =
+  let db, _ = mk_graph 12 [ (0, 1); (1, 2); (2, 3); (3, 0) ] in
+  let media = Core.media db in
+  let csr = export db in
+  ignore (Kernels.bfs media csr ~source:0);
+  ignore (Kernels.pagerank ~max_iters:3 media csr);
+  ignore (Kernels.wcc media csr);
+  let names =
+    List.map
+      (fun s -> (s.Obs.Metrics.name, s.Obs.Metrics.labels))
+      (Obs.Metrics.snapshot (Media.registry media))
+  in
+  let has n l = List.mem (n, l) names in
+  check_bool "export histogram" true (has "analytics_export_ns" []);
+  check_bool "frontier histogram" true (has "analytics_frontier_size" []);
+  List.iter
+    (fun k ->
+      check_bool ("kernel histogram " ^ k) true
+        (has "analytics_kernel_ns" [ ("kernel", k) ]))
+    [ "bfs"; "pagerank"; "wcc" ];
+  Core.shutdown db
+
+let () =
+  Alcotest.run "analytics"
+    [
+      ( "export",
+        [
+          Alcotest.test_case "structure + fingerprint" `Quick test_export_basic;
+          Alcotest.test_case "edge cases" `Quick test_edge_cases;
+          Alcotest.test_case "metrics" `Quick test_metrics_presence;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "random graphs" `Slow test_differential_random;
+          Alcotest.test_case "snb graphs" `Slow test_differential_snb;
+        ] );
+      ( "snapshot",
+        [ Alcotest.test_case "writer storm" `Slow test_snapshot_drill ] );
+      ( "crash",
+        [
+          Alcotest.test_case "racing export sweep" `Slow
+            test_crash_with_racing_export;
+        ] );
+    ]
