@@ -15,12 +15,16 @@ check:
 # tiny HTAP run: exercises the concurrent driver end to end and fails
 # unless BENCH_htap.json parses, throughput is nonzero on both the update
 # and the analytics side, no snapshot-isolation violation was seen, the
-# per-operator profile agrees between interp and jit, and the metrics
-# snapshot is valid Prometheus exposition
+# per-operator profile agrees between interp and jit, the metrics
+# snapshot is valid Prometheus exposition, and the persist discipline
+# holds its budget (group commit + coalesced flushing keep the run at
+# ~15.5 flushes and ~3.6 fences per committed txn; the caps below leave
+# ~15% headroom for scheduling noise on small runs)
 bench-smoke: build
 	dune exec bin/poseidon_cli.exe -- htap --sf 0.01 --mode aot \
 	  --writers 2 --readers 2 --duration 15 --seed 7 --out BENCH_htap.json \
-	  --profile --metrics-out BENCH_htap.prom
+	  --profile --metrics-out BENCH_htap.prom \
+	  --max-flushes-per-commit 18 --max-fences-per-commit 4.5
 	dune exec bin/poseidon_cli.exe -- stats --validate BENCH_htap.prom
 
 # crash-to-ready recovery benchmark: serial vs 2/4-domain parallel

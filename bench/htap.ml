@@ -1044,7 +1044,8 @@ let write_json path r =
    the highest domain count: per-worker adaptive throughput must be at
    least [ratio] x the serial-AOT throughput, and compiled-parallel must
    be at least as fast as interpreter-parallel. *)
-let validate ?(require_nonzero = true) ?min_adaptive_ratio (content : string) :
+let validate ?(require_nonzero = true) ?min_adaptive_ratio
+    ?max_flushes_per_commit ?max_fences_per_commit (content : string) :
     (unit, string) Stdlib.result =
   match Json.parse content with
   | exception Json.Parse_error msg -> Error ("JSON parse error: " ^ msg)
@@ -1122,6 +1123,42 @@ let validate ?(require_nonzero = true) ?min_adaptive_ratio (content : string) :
         | Some _, Some _ -> Some (c ^ ": p50 > p99")
         | _ -> Some (c ^ ": missing percentiles")
       in
+      (* persist-discipline budget: media flushes / fences amortised per
+         committed transaction must stay under the CI caps, so a
+         regression that reintroduces per-store persists trips the smoke
+         gate rather than only showing up in the nightly numbers *)
+      let check_persist_budget () =
+        let committed =
+          Option.value ~default:0 (get [ "updates"; "committed" ])
+        in
+        if committed <= 0 then Ok ()
+        else
+          let gate cap name keys =
+            match cap with
+            | None -> Ok ()
+            | Some cap ->
+                let n = Option.value ~default:0 (get keys) in
+                let per = float_of_int n /. float_of_int committed in
+                if per <= cap then Ok ()
+                else
+                  Error
+                    (Printf.sprintf
+                       "%s per committed txn %.2f exceeds budget %.2f (%d \
+                        over %d commits)"
+                       name per cap n committed)
+          in
+          match
+            gate max_flushes_per_commit "media flushes" [ "media"; "flushes" ]
+          with
+          | Error _ as e -> e
+          | Ok () ->
+              gate max_fences_per_commit "media fences" [ "media"; "fences" ]
+      in
+      let check_fig10 () =
+        match check_persist_budget () with
+        | Error _ as e -> e
+        | Ok () -> check_fig10 ()
+      in
       match Json.path j [ "bench" ] with
       | Some (Json.Str "htap") -> (
           let missing =
@@ -1170,14 +1207,16 @@ let validate ?(require_nonzero = true) ?min_adaptive_ratio (content : string) :
                   else check_fig10 ()))
       | _ -> Error "not a BENCH_htap document")
 
-let validate_file ?require_nonzero ?min_adaptive_ratio path =
+let validate_file ?require_nonzero ?min_adaptive_ratio ?max_flushes_per_commit
+    ?max_fences_per_commit path =
   let ic = open_in_bin path in
   let content =
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  validate ?require_nonzero ?min_adaptive_ratio content
+  validate ?require_nonzero ?min_adaptive_ratio ?max_flushes_per_commit
+    ?max_fences_per_commit content
 
 let print_summary (r : result) =
   Printf.printf

@@ -139,6 +139,8 @@ val write_json : string -> result -> unit
 val validate :
   ?require_nonzero:bool ->
   ?min_adaptive_ratio:float ->
+  ?max_flushes_per_commit:float ->
+  ?max_fences_per_commit:float ->
   string ->
   (unit, string) Stdlib.result
 (** Validate an emitted BENCH_htap.json document (schema htap/v2):
@@ -149,11 +151,16 @@ val validate :
     hits in the Fig. 10 steady state.  [min_adaptive_ratio] gates the
     highest-domain Fig. 10 row: per-worker adaptive throughput must be
     >= ratio x serial-AOT throughput, and compiled-parallel must not be
-    slower than interpreter-parallel. *)
+    slower than interpreter-parallel.  [max_flushes_per_commit] /
+    [max_fences_per_commit] cap the media flushes / fences amortised per
+    committed transaction - the CI tripwire for persist-discipline
+    regressions. *)
 
 val validate_file :
   ?require_nonzero:bool ->
   ?min_adaptive_ratio:float ->
+  ?max_flushes_per_commit:float ->
+  ?max_fences_per_commit:float ->
   string ->
   (unit, string) Stdlib.result
 val print_summary : result -> unit

@@ -388,7 +388,8 @@ let faults variants stride seed =
 (* --- htap ------------------------------------------------------------------------ *)
 
 let htap sf storage engine writers readers duration workers seed out profile
-    metrics_out min_adaptive_ratio =
+    metrics_out min_adaptive_ratio max_flushes_per_commit max_fences_per_commit
+    =
   let cfg =
     {
       Htap.sf;
@@ -419,7 +420,10 @@ let htap sf storage engine writers readers duration workers seed out profile
             (fun () -> output_string oc r.Htap.metrics_prom);
           Printf.printf "wrote %s (%d bytes, validated)\n" path
             (String.length r.Htap.metrics_prom)));
-  match Htap.validate_file ?min_adaptive_ratio out with
+  match
+    Htap.validate_file ?min_adaptive_ratio ?max_flushes_per_commit
+      ?max_fences_per_commit out
+  with
   | Ok () -> Printf.printf "OK: %s written and validated\n" out
   | Error msg ->
       Printf.printf "FAILED: %s invalid: %s\n" out msg;
@@ -471,6 +475,27 @@ let min_adaptive_ratio_t =
     value
     & opt (some float) None
     & info [ "min-adaptive-ratio" ] ~docv:"RATIO" ~doc)
+
+let max_flushes_per_commit_t =
+  let doc =
+    "Gate the persist discipline: media line flushes amortised per \
+     committed transaction must not exceed $(docv); the run fails \
+     otherwise."
+  in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "max-flushes-per-commit" ] ~docv:"N" ~doc)
+
+let max_fences_per_commit_t =
+  let doc =
+    "Gate the persist discipline: fence drains amortised per committed \
+     transaction must not exceed $(docv); the run fails otherwise."
+  in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "max-fences-per-commit" ] ~docv:"N" ~doc)
 
 (* --- recover-bench ------------------------------------------------------------- *)
 
@@ -900,7 +925,8 @@ let htap_cmd =
     Term.(
       const htap $ sf_t $ mode_t $ engine_t $ writers_t $ readers_t
       $ duration_t $ workers_t $ seed_t $ out_t $ profile_t $ metrics_out_t
-      $ min_adaptive_ratio_t)
+      $ min_adaptive_ratio_t $ max_flushes_per_commit_t
+      $ max_fences_per_commit_t)
 
 let recover_bench_cmd =
   Cmd.v

@@ -134,14 +134,16 @@ let buf_i64 b v = Buffer.add_int64_le b v
 
 let serialize g =
   let b = Buffer.create 4096 in
-  (* dict *)
+  (* dict: the decoded string table in code order *)
   let im = g.g_dict in
-  buf_int b im.Dict.im_hash_off;
-  buf_int b im.Dict.im_hash_cap;
   buf_int b im.Dict.im_next_code;
   buf_int b im.Dict.im_epoch;
-  buf_int b (Bytes.length im.Dict.im_bytes);
-  Buffer.add_bytes b im.Dict.im_bytes;
+  buf_int b (Array.length im.Dict.im_strings);
+  Array.iter
+    (fun s ->
+      buf_int b (String.length s);
+      Buffer.add_string b s)
+    im.Dict.im_strings;
   (* tables: nodes, rels, props - in the recovery tables_phase order *)
   buf_int b (Array.length g.g_tables);
   Array.iter
@@ -197,13 +199,16 @@ let cur_int c = Int64.to_int (cur_i64 c)
 
 let deserialize ~seq ~snap_epoch ~watermark ~next_ts bytes =
   let c = { cb = bytes; cp = 0 } in
-  let im_hash_off = cur_int c in
-  let im_hash_cap = cur_int c in
   let im_next_code = cur_int c in
   let im_epoch = cur_int c in
-  let dlen = cur_int c in
-  let im_bytes = Bytes.sub c.cb c.cp dlen in
-  c.cp <- c.cp + dlen;
+  let nstrings = cur_int c in
+  let im_strings =
+    Array.init nstrings (fun _ ->
+        let len = cur_int c in
+        let s = Bytes.sub_string c.cb c.cp len in
+        c.cp <- c.cp + len;
+        s)
+  in
   let ntables = cur_int c in
   let tables =
     Array.init ntables (fun _ ->
@@ -252,7 +257,7 @@ let deserialize ~seq ~snap_epoch ~watermark ~next_ts bytes =
     g_snap_epoch = snap_epoch;
     g_watermark = watermark;
     g_next_ts = next_ts;
-    g_dict = { Dict.im_hash_off; im_hash_cap; im_next_code; im_epoch; im_bytes };
+    g_dict = { Dict.im_next_code; im_epoch; im_strings };
     g_tables = tables;
     g_indexes = indexes;
   }

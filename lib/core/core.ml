@@ -246,6 +246,14 @@ let commit t txn =
   Mvto.commit t.mgr txn;
   apply_index_ops t ops
 
+(* Commit several prepared transactions as one group-commit batch (a
+   single undo-log publish fence + one log invalidation); index
+   maintenance is applied after the batch is durable, same as [commit]. *)
+let commit_group t txns =
+  let ops = List.map (index_ops t) txns in
+  Mvto.commit_group t.mgr txns;
+  List.iter (apply_index_ops t) ops
+
 let abort t txn = Mvto.abort t.mgr txn
 
 let with_txn t f =

@@ -114,6 +114,13 @@ val begin_txn : t -> Mvcc.Txn.t
 val commit : t -> Mvcc.Txn.t -> unit
 (** Commit and apply secondary-index maintenance for the write set. *)
 
+val commit_group : t -> Mvcc.Txn.t list -> unit
+(** Commit several prepared transactions as one group-commit batch
+    sharing a single undo-log publish fence and one log invalidation
+    (the deterministic equivalent of the concurrent commit ring forming
+    a batch).  All-or-nothing under a crash: the members share one undo
+    log.  Index maintenance is applied once the batch is durable. *)
+
 val abort : t -> Mvcc.Txn.t -> unit
 val with_txn : t -> (Mvcc.Txn.t -> 'a) -> 'a
 

@@ -50,6 +50,14 @@ type stats = {
   mutable retries : int; (* transient aborts absorbed by with_txn_retry *)
 }
 
+(* A committing transaction's slot on the group-commit ring: the leader
+   stores the outcome and flips [cr_done] as the per-txn durability ack. *)
+type commit_req = {
+  cr_txn : Txn.t;
+  mutable cr_done : bool;
+  mutable cr_error : exn option;
+}
+
 type t = {
   store : G.t;
   chains : Version.chains;
@@ -69,9 +77,19 @@ type t = {
          flushed+fenced on every first read instead of being left to
          opportunistic write-back (rts can be re-initialised on recovery,
          so durability is not required for correctness) *)
+  (* group commit (Section 5.1 + the batched-persist primitives):
+     concurrently committing transactions enqueue here and share one
+     undo-log publish fence and one invalidation per batch *)
+  gcommit_mu : Mutex.t;
+  gcommit_cv : Condition.t;
+  mutable gcommit_queue : commit_req list; (* newest first *)
+  mutable gcommit_leader : bool;
+  gcommit_hist : Obs.Histogram.t;
+  mutable group_commit : bool;
 }
 
 let create store =
+  let registry = Media.registry (Pool.media (G.pool store)) in
   let t =
     {
       store;
@@ -87,11 +105,18 @@ let create store =
       stats_mu = Mutex.create ();
       write_through = false;
       durable_rts = false;
+      gcommit_mu = Mutex.create ();
+      gcommit_cv = Condition.create ();
+      gcommit_queue = [];
+      gcommit_leader = false;
+      gcommit_hist =
+        Obs.Metrics.histogram registry "group_commit_batch_size"
+          ~help:"committing transactions sharing one log-persist epoch";
+      group_commit = true;
     }
   in
   (* Lifetime stats double as callback metrics; [recover] re-creates the
      manager and re-points the callbacks at the fresh stats record. *)
-  let registry = Media.registry (Pool.media (G.pool store)) in
   let cb name help read =
     Obs.Metrics.callback registry name ~help ~kind:`Counter read
   in
@@ -110,6 +135,13 @@ let stats t = t.stats
 let chains t = t.chains
 let set_write_through t on = t.write_through <- on
 let set_durable_rts t on = t.durable_rts <- on
+
+let set_group_commit t on =
+  (* flipping the switch is safe between batches: the ring drains fully
+     before a leader steps down *)
+  Mutex.lock t.gcommit_mu;
+  t.group_commit <- on;
+  Mutex.unlock t.gcommit_mu
 
 let bump_stat t f =
   Mutex.lock t.stats_mu;
@@ -406,7 +438,14 @@ let with_dirty t txn key mutate =
       if h_ets <> inf then raise (abort_exn "update: object deleted");
       if h_rts > Txn.id txn then
         raise (abort_exn "update: already read by newer transaction");
-      set_lock t key (Txn.id txn);
+      (* plain store: an aligned word never tears, so at any crash cut
+         the media word is whole-old (0: record untouched, nothing to
+         undo) or whole-new (recovery's stale-lock scan clears it - the
+         admission checks above guarantee bts < txn id, so it can never
+         be misread as an uncommitted insert).  No write-back or fence
+         is owed before the commit publishes the undo log. *)
+      (let f_txn, _, _, _ = fields (fst key) in
+       Pool.write_int (G.pool t.store) (record_off t key + f_txn) (Txn.id txn));
       let saved =
         {
           Version.image = read_image t key;
@@ -457,7 +496,10 @@ let insert_node t txn ~label ~props =
     }
   in
   let id = G.insert_node t.store n in
-  List.iter (fun (k, v) -> G.set_node_prop t.store id ~key:k v) props;
+  (* the record is commit-locked and unreachable until our commit fence:
+     defer slot persistence, the commit's coalesced data flush covers the
+     chain (see [stage_member]) *)
+  List.iter (fun (k, v) -> G.set_node_prop ~durable:false t.store id ~key:k v) props;
   Txn.add_write txn (Version.Node, id) Txn.Insert;
   id
 
@@ -487,7 +529,7 @@ let insert_rel t txn ~label ~src ~dst ~props =
         else Version.with_stripe t.chains kb f)
   in
   let id = lock2 (fun () -> G.insert_rel t.store r) in
-  List.iter (fun (k, v) -> G.set_rel_prop t.store id ~key:k v) props;
+  List.iter (fun (k, v) -> G.set_rel_prop ~durable:false t.store id ~key:k v) props;
   Txn.add_write txn (Version.Rel, id) Txn.Insert;
   id
 
@@ -498,38 +540,63 @@ let defer t key ets =
   t.deferred := (key, ets) :: !(t.deferred);
   Mutex.unlock t.deferred_mu
 
+(* Stage the pre-image of every existing batch of a property chain into
+   the commit's undo log (pass 1 of the two-pass commit: the chain is
+   walked read-only here and mutated only after {!Pmdk_tx.publish}). *)
+let stage_prop_chain t tx ~first =
+  let ps = G.prop_store t.store in
+  let rec go link =
+    match Layout.unlink link with
+    | None -> ()
+    | Some id ->
+        let off = Storage.Table.record_off (Props.table ps) id in
+        Pmdk_tx.stage_range tx ~off ~len:Layout.prop_size;
+        go (Pool.read_int (G.pool t.store) (off + Layout.Prop.next))
+  in
+  go first
+
+(* Flush-only registration of every batch of a property chain: deferred
+   slot writes and freshly prepended batches ride the commit's merged,
+   coalesced data flush instead of paying a persist each.  No pre-images
+   are logged - a rollback restores the owning record's first_prop and
+   the batches become unreachable. *)
+let flush_prop_chain t tx ~first =
+  let ps = G.prop_store t.store in
+  let rec go link =
+    match Layout.unlink link with
+    | None -> ()
+    | Some id ->
+        let off = Storage.Table.record_off (Props.table ps) id in
+        Pmdk_tx.flush_on_commit tx ~off ~len:Layout.prop_size;
+        go (Pool.read_int (G.pool t.store) (off + Layout.Prop.next))
+  in
+  go first
+
 (* Apply a dirty version's property map to the PMem chain as a diff:
    changed values update in place, removed keys clear their slot, new
    keys fill free slots or prepend a batch (DG5: in-place updates, no
    copy-on-write).  Old snapshot readers are unaffected - superseded
    versions in the DRAM chain carry materialised property copies.  The
-   touched batches are snapshotted into the commit's undo log first, so
-   a crash rolls the whole transaction back. *)
+   touched batches were snapshotted into the commit's undo log by
+   [stage_prop_chain] before the log published, so a crash rolls the
+   whole transaction back; the slot writes themselves are deferred and
+   the final chain is folded into the commit's data flush, which
+   precedes the invalidation fence. *)
 let apply_prop_diff t tx ~owner ~first ~old_props ~new_props =
   let ps = G.prop_store t.store in
-  (* log the pre-images of every existing batch of the chain *)
-  let rec log_batches link =
-    match Layout.unlink link with
-    | None -> ()
-    | Some id ->
-        let off = Storage.Table.record_off (Props.table ps) id in
-        Pmdk_tx.add_range tx ~off ~len:Layout.prop_size;
-        log_batches
-          (Pool.read_int (G.pool t.store) (off + Layout.Prop.next))
-  in
-  log_batches first;
   let first' =
     List.fold_left
       (fun link (k, v) ->
         if List.assoc_opt k old_props = Some v then link
-        else Props.set ps ~owner ~first:link ~key:k v)
+        else Props.set ~durable:false ps ~owner ~first:link ~key:k v)
       first new_props
   in
   List.iter
     (fun (k, _) ->
       if not (List.mem_assoc k new_props) then
-        ignore (Props.remove ps ~first:first' ~key:k))
+        ignore (Props.remove ~durable:false ps ~first:first' ~key:k))
     old_props;
+  flush_prop_chain t tx ~first:first';
   first'
 
 (* Write a dirty version back into its PMem record.  Link fields
@@ -629,51 +696,187 @@ let gc t =
         Version.set t.chains key keep
       end)
 
-let commit t txn =
-  if not (Txn.is_active txn) then raise (abort_exn "txn not active");
+(* --- Two-pass commit -----------------------------------------------------
+
+   Pass 1 ([stage_member]) snapshots every range the transaction will
+   mutate into the undo log's DRAM staging area: record headers, full
+   records for updates/deletes, and the pre-images of existing property
+   batches.  One {!Pmdk_tx.publish} then persists all of them with a
+   single coalesced flush batch and a single fence.  Pass 2
+   ([apply_member]) performs the actual mutations; {!Pmdk_tx.commit}
+   persists them (merged intervals, one fence) and invalidates the log.
+
+   Group commit rides on the same structure: the ring leader stages all
+   queued members into ONE undo-log transaction, publishes once, applies
+   every member, and the log invalidation linearises the whole batch -
+   the members' effects become durable together, and each member's
+   durability ack fires only after that shared epoch. *)
+
+let stage_member t tx txn =
+  List.iter
+    (fun (key, wop) ->
+      Version.with_stripe t.chains key @@ fun () ->
+      (* stamp the chunk's checkpoint epoch before any commit-time
+         record mutation (mark-before-mutate) *)
+      (match key with
+      | Version.Node, nid -> G.mark_node t.store nid
+      | Version.Rel, rid -> G.mark_rel t.store rid);
+      let off = record_off t key in
+      match wop with
+      | Txn.Insert ->
+          (* the record header was persisted at insert; only the unlock
+             word needs a snapshot.  The deferred property writes (plain
+             slot stores, plain first_prop swing) ride the commit's data
+             flush, which precedes the fence that makes the unlock
+             durable. *)
+          let f_txn, _, _, _ = fields (fst key) in
+          Pmdk_tx.stage_range tx ~off:(off + f_txn) ~len:8;
+          Pmdk_tx.flush_on_commit tx ~off ~len:(record_len key);
+          let f_prop =
+            match fst key with
+            | Version.Node -> Layout.Node.first_prop
+            | Version.Rel -> Layout.Rel.first_prop
+          in
+          flush_prop_chain t tx
+            ~first:(Pool.read_int (G.pool t.store) (off + f_prop))
+      | Txn.Update _ ->
+          Pmdk_tx.stage_range tx ~off ~len:(record_len key);
+          let f_prop =
+            match fst key with
+            | Version.Node -> Layout.Node.first_prop
+            | Version.Rel -> Layout.Rel.first_prop
+          in
+          stage_prop_chain t tx
+            ~first:(Pool.read_int (G.pool t.store) (off + f_prop))
+      | Txn.Delete _ -> Pmdk_tx.stage_range tx ~off ~len:(record_len key))
+    (List.rev (Txn.writes txn))
+
+let apply_member t tx txn =
   let id = Txn.id txn in
-  let writes = List.rev (Txn.writes txn) in
-  if writes <> [] then begin
-    Pmdk_tx.run (G.pool t.store) (fun tx ->
-        List.iter
-          (fun (key, wop) ->
-            Version.with_stripe t.chains key @@ fun () ->
-            (* stamp the chunk's checkpoint epoch before any commit-time
-               record mutation (mark-before-mutate) *)
-            (match key with
-            | Version.Node, nid -> G.mark_node t.store nid
-            | Version.Rel, rid -> G.mark_rel t.store rid);
-            let off = record_off t key in
-            match wop with
-            | Txn.Insert ->
-                (* just unlock: the record was persisted at insert *)
-                let f_txn, _, _, _ = fields (fst key) in
-                Pmdk_tx.add_range tx ~off:(off + f_txn) ~len:8;
-                Pool.write_int (G.pool t.store) (off + f_txn) 0
-            | Txn.Update { dirty; saved } ->
-                Pmdk_tx.add_range tx ~off ~len:(record_len key);
-                install t tx key dirty saved id;
-                Version.set_ets saved id;
-                (* drop the dirty entry: the PMem record now carries it *)
-                let chain = Version.find t.chains key in
-                Version.set t.chains key
-                  (List.filter (fun v -> v != dirty) chain)
-            | Txn.Delete { dirty; saved } ->
-                let _, _, f_ets, _ = fields (fst key) in
-                let f_txn, _, _, _ = fields (fst key) in
-                Pmdk_tx.add_range tx ~off ~len:(record_len key);
-                Pool.write_int (G.pool t.store) (off + f_ets) id;
-                Pool.write_int (G.pool t.store) (off + f_txn) 0;
-                Version.set_ets saved id;
-                let chain = Version.find t.chains key in
-                Version.set t.chains key
-                  (List.filter (fun v -> v != dirty) chain);
-                defer t key id)
-          writes)
-  end;
+  List.iter
+    (fun (key, wop) ->
+      Version.with_stripe t.chains key @@ fun () ->
+      let off = record_off t key in
+      match wop with
+      | Txn.Insert ->
+          (* just unlock: the record was persisted at insert *)
+          let f_txn, _, _, _ = fields (fst key) in
+          Pool.write_int (G.pool t.store) (off + f_txn) 0
+      | Txn.Update { dirty; saved } ->
+          install t tx key dirty saved id;
+          Version.set_ets saved id;
+          (* drop the dirty entry: the PMem record now carries it *)
+          let chain = Version.find t.chains key in
+          Version.set t.chains key (List.filter (fun v -> v != dirty) chain)
+      | Txn.Delete { dirty; saved } ->
+          let f_txn, _, f_ets, _ = fields (fst key) in
+          Pool.write_int (G.pool t.store) (off + f_ets) id;
+          Pool.write_int (G.pool t.store) (off + f_txn) 0;
+          Version.set_ets saved id;
+          let chain = Version.find t.chains key in
+          Version.set t.chains key (List.filter (fun v -> v != dirty) chain);
+          defer t key id)
+    (List.rev (Txn.writes txn))
+
+let finalize_commit t txn =
   txn.Txn.status <- Txn.Committed;
   unregister t txn;
-  bump_stat t (fun s -> s.commits <- s.commits + 1);
+  bump_stat t (fun s -> s.commits <- s.commits + 1)
+
+(* Commit one transaction in its own undo-log transaction. *)
+let commit_one t txn =
+  Pmdk_tx.run (G.pool t.store) (fun tx ->
+      stage_member t tx txn;
+      Pmdk_tx.publish tx;
+      apply_member t tx txn);
+  finalize_commit t txn
+
+(* Leader: commit a whole batch under one undo-log transaction.  Never
+   raises - outcomes land in each member's [cr_error] so the ring cannot
+   lose its leader; each caller re-raises its own at its own call site. *)
+let commit_batch t reqs =
+  match
+    Pmdk_tx.run (G.pool t.store) (fun tx ->
+        List.iter (fun r -> stage_member t tx r.cr_txn) reqs;
+        Pmdk_tx.publish tx;
+        List.iter (fun r -> apply_member t tx r.cr_txn) reqs)
+  with
+  | () ->
+      Obs.Histogram.observe t.gcommit_hist (List.length reqs);
+      List.iter (fun r -> finalize_commit t r.cr_txn) reqs
+  | exception Pmdk_tx.Log_full when List.length reqs > 1 ->
+      (* the batch outgrew the log while staging (nothing was mutated and
+         the log transaction aborted clean): retry one at a time *)
+      List.iter
+        (fun r ->
+          match commit_one t r.cr_txn with
+          | () -> ()
+          | exception e -> r.cr_error <- Some e)
+        reqs
+  | exception e -> List.iter (fun r -> r.cr_error <- Some e) reqs
+
+let commit t txn =
+  if not (Txn.is_active txn) then raise (abort_exn "txn not active");
+  if Txn.writes txn = [] then begin
+    txn.Txn.status <- Txn.Committed;
+    unregister t txn;
+    bump_stat t (fun s -> s.commits <- s.commits + 1)
+  end
+  else if not t.group_commit then commit_one t txn
+  else begin
+    let req = { cr_txn = txn; cr_done = false; cr_error = None } in
+    Mutex.lock t.gcommit_mu;
+    t.gcommit_queue <- req :: t.gcommit_queue;
+    if t.gcommit_leader then
+      (* a leader is persisting; wait for our durability ack *)
+      while not req.cr_done do
+        Condition.wait t.gcommit_cv t.gcommit_mu
+      done
+    else begin
+      t.gcommit_leader <- true;
+      let rec drain () =
+        match t.gcommit_queue with
+        | [] -> t.gcommit_leader <- false
+        | q ->
+            t.gcommit_queue <- [];
+            Mutex.unlock t.gcommit_mu;
+            let reqs = List.rev q in
+            commit_batch t reqs;
+            Mutex.lock t.gcommit_mu;
+            List.iter (fun r -> r.cr_done <- true) reqs;
+            Condition.broadcast t.gcommit_cv;
+            drain ()
+      in
+      drain ()
+    end;
+    Mutex.unlock t.gcommit_mu;
+    match req.cr_error with Some e -> raise e | None -> ()
+  end;
+  gc t
+
+(* Deterministic group commit: persist several prepared transactions as
+   ONE batch sharing a single undo-log publish fence and a single log
+   invalidation - exactly the batch the concurrent commit ring forms
+   when writers collide, minus the scheduling nondeterminism.  The crash
+   sweeps use it to place power cuts inside a multi-member fence
+   epoch. *)
+let commit_group t txns =
+  List.iter
+    (fun txn ->
+      if not (Txn.is_active txn) then raise (abort_exn "txn not active"))
+    txns;
+  let writers, readers = List.partition (fun txn -> Txn.writes txn <> []) txns in
+  List.iter (fun txn -> finalize_commit t txn) readers;
+  (match writers with
+  | [] -> ()
+  | writers ->
+      let reqs =
+        List.map (fun txn -> { cr_txn = txn; cr_done = false; cr_error = None }) writers
+      in
+      commit_batch t reqs;
+      List.iter
+        (fun r -> match r.cr_error with Some e -> raise e | None -> ())
+        reqs);
   gc t
 
 let abort t txn =

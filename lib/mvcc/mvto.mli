@@ -74,6 +74,13 @@ val set_durable_rts : t -> bool -> unit
 (** Ablation of Section 5.1's design discussion: flush+fence every rts
     bump instead of leaving the line to opportunistic write-back. *)
 
+val set_group_commit : t -> bool -> unit
+(** Default on: concurrently committing transactions enqueue on a commit
+    ring and share one undo-log publish fence and one log invalidation
+    per batch, with per-transaction durability acks
+    ([group_commit_batch_size] histogram).  Off commits each transaction
+    in its own undo-log transaction (the pre-batching discipline). *)
+
 val watermark : t -> int
 (** Oldest active transaction id ([max_int] when none). *)
 
@@ -83,6 +90,15 @@ val active_count : t -> int
 
 val begin_txn : t -> Txn.t
 val commit : t -> Txn.t -> unit
+
+val commit_group : t -> Txn.t list -> unit
+(** Commit several prepared transactions as one group-commit batch
+    sharing a single undo-log publish fence and a single log
+    invalidation - the deterministic equivalent of the concurrent ring
+    forming a batch.  All-or-nothing on a crash: the members share one
+    undo log, so recovery either rolls the whole batch back or none of
+    it.  Raises the first member's commit error, if any. *)
+
 val abort : t -> Txn.t -> unit
 val with_txn : t -> (Txn.t -> 'a) -> 'a
 (** Commit on return, abort on exception (re-raised). *)

@@ -12,18 +12,50 @@
      +8   n_entries (u64)    only entries < n_entries are valid
      +16  entries: { off u64; len u64; pre-image bytes (8-byte padded) }
 
-   Ordering discipline:
-   - an entry's bytes are persisted *before* n_entries is bumped, so a torn
-     entry is never replayed;
-   - [commit] persists every snapshotted range, fences, then clears [state]
-     with one atomic store - the linearization point;
-   - [recover] rolls entries back in reverse order. *)
+   Persist discipline (van Renen et al.'s batched-persist primitives):
+   callers *stage* snapshots in DRAM and *publish* them in batches.  A
+   publish writes every staged entry contiguously into the log region,
+   write-backs the whole span with coalesced 256 B-aligned flush batches,
+   issues ONE fence, and only then bumps [n_entries] - so the torn-entry
+   invariant survives: an entry's bytes are durable strictly before the
+   count that makes it valid, and a torn tail is never replayed.  Ranges
+   already snapshotted this transaction are deduplicated with an interval
+   check (re-snapshotting them would both waste log space and overwrite
+   the true pre-image's provenance with a possibly-dirty one).
+
+   [state] and [n_entries] share one cache line, so raising the state on
+   the first publish and clearing state+count at commit each cost a
+   single write-back.  [begin_] is persistence-free: every exit path
+   (format, commit, abort, recover) leaves state=0 / n_entries=0 durable.
+   Torn write-backs of that line are harmless in all four combinations:
+   state=1/count=0 rolls back nothing, state=0/count=N is idle (the stale
+   count is rewritten before it could ever be trusted), and the two
+   "clean" states are the intended ones.
+
+   - [commit] persists every snapshotted range (merged intervals, batched
+     flushes), fences, then invalidates the log with one atomic
+     write-back of the shared line - the linearization point;
+   - [recover] rolls entries back newest-first, trusting [n_entries] and
+     the per-entry lengths only after validating them against the log
+     region and pool bounds (a torn or fault-corrupted count word must
+     not drive reads past the log). *)
 
 type t = {
   pool : Pool.t;
-  mutable entries : (int * int) list; (* (off, len), newest first *)
-  mutable write_head : int; (* next free byte in the log region *)
-  mutable n : int;
+  mutable intervals : (int * int) list;
+      (* disjoint [start, stop) spans already snapshotted, ascending *)
+  mutable staged : (int * int * Bytes.t) list; (* unpublished, newest first *)
+  mutable images : (int * int * Bytes.t) list;
+      (* every captured pre-image (published or not), newest first; abort
+         restores from these DRAM copies instead of re-reading the log *)
+  mutable flush_extra : (int * int) list;
+      (* [start, stop) spans to include in commit's data flush without
+         snapshotting: freshly written structures that need durability
+         before the commit point but no undo (a rollback unlinks them) *)
+  mutable write_head : int; (* next free log byte after published entries *)
+  mutable projected_head : int; (* write_head + staged bytes *)
+  mutable n : int; (* published entry count *)
+  mutable state_raised : bool; (* durable state=1 already published *)
   mutable live : bool;
 }
 
@@ -35,6 +67,8 @@ let state_off = base
 let nentries_off = base + 8
 let entries_off = base + 16
 let limit = base + Alloc.log_size
+let line = Media.line_size
+let flush_batch = 256
 
 let active_tx : (int, t) Hashtbl.t = Hashtbl.create 4
 let active_mu = Mutex.create ()
@@ -59,80 +93,264 @@ let take_active pool =
   Mutex.unlock active_mu;
   tx
 
+(* Flushes saved by coalescing, vs. the per-entry persists the pre-batching
+   code issued: exported on the pool's media registry. *)
+let note_coalesced pool n =
+  if n > 0 then
+    Obs.Metrics.add
+      (Obs.Metrics.counter
+         (Media.registry (Pool.media pool))
+         "media_flushes_coalesced_total"
+         ~help:"line flushes avoided by undo-log batching and range merging")
+      n
+
+let lines_spanned ~off ~len =
+  if len <= 0 then 0 else ((off + len - 1) / line) - (off / line) + 1
+
+(* One logical flush of a contiguous span, issued as 256 B-aligned batches
+   (the write-combining granularity of the batched-persist primitives). *)
+let flush_batched p ~off ~len =
+  let fin = off + len in
+  let cur = ref off in
+  while !cur < fin do
+    let stop = min fin (((!cur / flush_batch) + 1) * flush_batch) in
+    Pool.flush_range p ~off:!cur ~len:(stop - !cur);
+    cur := stop
+  done
+
 let begin_ pool =
   Mutex.lock (Pool.tx_mutex pool);
   let tx =
-    { pool; entries = []; write_head = entries_off; n = 0; live = true }
+    {
+      pool;
+      intervals = [];
+      staged = [];
+      images = [];
+      flush_extra = [];
+      write_head = entries_off;
+      projected_head = entries_off;
+      n = 0;
+      state_raised = false;
+      live = true;
+    }
   in
-  (* register before touching the log: an injected crash point in the
-     state stores below must leave a handle for [recover] to release *)
+  (* register before the first log touch: an injected crash point in the
+     publishes below must leave a handle for [recover] to release.  No
+     stores here - the durable state/count words are already 0. *)
   register tx;
-  (* order matters: clear the previous transaction's entry count BEFORE
-     raising [state] - with the opposite order, a power failure between
-     the two stores leaves state=1 paired with the stale count, and
-     recovery would roll back the *committed* predecessor's pre-images *)
-  Pool.atomic_write_int pool nentries_off 0;
-  Pool.atomic_write_int pool state_off 1;
   tx
 
 let pad8 n = (n + 7) land lnot 7
 
-(* Snapshot the current contents of [off, off+len) so that a crash or abort
-   restores them.  Must be called before modifying the range. *)
-let add_range tx ~off ~len =
+(* --- interval bookkeeping (satellite of DG4: per-txn dedup) ------------- *)
+
+(* Pieces of [s, e) not covered by the ascending disjoint interval list. *)
+let subtract (s, e) ivs =
+  let rec go s ivs acc =
+    if s >= e then List.rev acc
+    else
+      match ivs with
+      | [] -> List.rev ((s, e) :: acc)
+      | (a, b) :: rest ->
+          if b <= s then go s rest acc
+          else if a >= e then List.rev ((s, e) :: acc)
+          else if a <= s then go (max s b) rest acc
+          else go b rest ((s, a) :: acc)
+  in
+  go s ivs []
+
+(* Insert [s, e), merging overlapping or adjacent neighbours. *)
+let insert_interval (s, e) ivs =
+  let rec merge = function
+    | (a, b) :: (c, d) :: rest when c <= b -> merge ((a, max b d) :: rest)
+    | x :: rest -> x :: merge rest
+    | [] -> []
+  in
+  merge (List.sort compare ((s, e) :: ivs))
+
+(* Snapshot the current contents of [off, off+len) into DRAM; portions
+   already snapshotted this transaction are skipped.  The snapshot is not
+   durable until {!publish}; the range must not be modified before then. *)
+let stage_range tx ~off ~len =
   if not tx.live then raise Not_active;
   if len > 0 then begin
-    let need = 16 + pad8 len in
-    if tx.write_head + need > limit then raise Log_full;
-    let p = tx.pool in
-    Pool.write_int p tx.write_head off;
-    Pool.write_int p (tx.write_head + 8) len;
-    Pool.write_bytes p (tx.write_head + 16) (Pool.read_bytes p off len);
-    Pool.persist p ~off:tx.write_head ~len:need;
-    tx.write_head <- tx.write_head + need;
-    tx.n <- tx.n + 1;
-    Pool.atomic_write_int p nentries_off tx.n;
-    tx.entries <- (off, len) :: tx.entries
+    List.iter
+      (fun (s, e) ->
+        let l = e - s in
+        let need = 16 + pad8 l in
+        if tx.projected_head + need > limit then raise Log_full;
+        let img = Pool.read_bytes tx.pool s l in
+        tx.staged <- (s, l, img) :: tx.staged;
+        tx.images <- (s, l, img) :: tx.images;
+        tx.projected_head <- tx.projected_head + need)
+      (subtract (off, off + len) tx.intervals);
+    tx.intervals <- insert_interval (off, off + len) tx.intervals
   end
+
+(* Make every staged snapshot durable: contiguous entry writes, one
+   coalesced flush of the whole span, ONE fence, then the count bump
+   (entry bytes strictly before the count).  The count and - on the first
+   publish - the state share a cache line; their write-back needs no
+   trailing fence: if the crash lands before the write-back completes,
+   the durable count still excludes these entries, and the caller has not
+   yet modified any of the staged ranges. *)
+let publish tx =
+  if not tx.live then raise Not_active;
+  if tx.staged <> [] then begin
+    let p = tx.pool in
+    let start = tx.write_head in
+    let naive = ref 0 in
+    List.iter
+      (fun (off, len, img) ->
+        let head = tx.write_head in
+        Pool.write_int p head off;
+        Pool.write_int p (head + 8) len;
+        Pool.write_bytes p (head + 16) img;
+        let need = 16 + pad8 len in
+        (* the pre-batching code persisted each entry separately *)
+        naive := !naive + lines_spanned ~off:head ~len:need;
+        tx.write_head <- head + need;
+        tx.n <- tx.n + 1)
+      (List.rev tx.staged);
+    tx.staged <- [];
+    let span = tx.write_head - start in
+    flush_batched p ~off:start ~len:span;
+    note_coalesced p (!naive - lines_spanned ~off:start ~len:span);
+    Pool.sfence p;
+    Pool.write_int p nentries_off tx.n;
+    if not tx.state_raised then begin
+      Pool.write_int p state_off 1;
+      tx.state_raised <- true
+    end;
+    Pool.clwb p nentries_off
+  end
+
+(* Snapshot a range and make it durable immediately (the eager PMDK
+   add_range contract: callers may modify the range as soon as this
+   returns). *)
+let add_range tx ~off ~len =
+  stage_range tx ~off ~len;
+  publish tx
+
+(* Ride the commit's coalesced data flush without snapshotting.  For
+   freshly allocated structures (new property batches, insert-locked
+   records): they need to be durable before the commit point, but a
+   rollback merely unlinks them, so burning log space on their garbage
+   pre-images buys nothing. *)
+let flush_on_commit tx ~off ~len =
+  if not tx.live then raise Not_active;
+  if len > 0 then tx.flush_extra <- insert_interval (off, off + len) tx.flush_extra
 
 let finish tx =
   tx.live <- false;
   unregister tx.pool;
   Mutex.unlock (Pool.tx_mutex tx.pool)
 
+(* Clear state and n_entries together: one line, one write-back.  The
+   line's write-back follows every preceding data write-back in program
+   order, so data-before-invalidation holds at every cut without a
+   dedicated fence in between: the single trailing fence closes the
+   whole commit epoch.  A torn write-back of this line is safe in every
+   combination (see the header comment). *)
+let clear_log p =
+  Pool.write_int p state_off 0;
+  Pool.write_int p nentries_off 0;
+  Pool.clwb p state_off;
+  Pool.sfence p
+
 let commit tx =
   if not tx.live then raise Not_active;
+  publish tx;
   let p = tx.pool in
-  (* persist all modified ranges, then invalidate the log atomically *)
-  List.iter (fun (off, len) -> Pool.flush_range p ~off ~len) tx.entries;
-  Pool.sfence p;
-  Pool.atomic_write_int p state_off 0;
-  finish tx
+  (* snapshotted intervals and flush-only extras share one merged,
+     batched data flush *)
+  let spans =
+    List.fold_left
+      (fun acc (s, e) -> insert_interval (s, e) acc)
+      tx.intervals tx.flush_extra
+  in
+  if tx.n = 0 && not tx.state_raised then begin
+    (* read-only (log idle), but flush-only extras still need their
+       durability point before we return *)
+    if spans <> [] then begin
+      List.iter (fun (s, e) -> flush_batched p ~off:s ~len:(e - s)) spans;
+      Pool.sfence p
+    end;
+    finish tx
+  end
+  else begin
+    (* persist all modified ranges - merged intervals, batched flushes -
+       then invalidate the log atomically *)
+    let naive =
+      List.fold_left
+        (fun acc (off, len, _) -> acc + lines_spanned ~off ~len)
+        0 tx.images
+      + List.fold_left
+          (fun acc (s, e) -> acc + lines_spanned ~off:s ~len:(e - s))
+          0 tx.flush_extra
+    in
+    let actual =
+      List.fold_left
+        (fun acc (s, e) -> acc + lines_spanned ~off:s ~len:(e - s))
+        0 spans
+    in
+    List.iter (fun (s, e) -> flush_batched p ~off:s ~len:(e - s)) spans;
+    note_coalesced p (naive - actual);
+    (* the data write-backs above precede the invalidation's write-back,
+       so clear_log's one fence suffices for the commit epoch *)
+    clear_log p;
+    finish tx
+  end
 
+(* Roll back an interrupted transaction from the durable log.  The count
+   word and each entry header come straight off media, so after a torn or
+   fault-corrupted write they can hold anything: entries are trusted only
+   while they lie entirely within the log region and name a range inside
+   the pool; the first malformed entry and everything after it are
+   treated as the torn tail (never counted durable). *)
 let rollback_log pool =
+  let pool_size = Pool.size pool in
   let n = Pool.read_int pool nentries_off in
-  (* collect entry locations, then undo newest-first *)
-  let locs = Array.make n (0, 0, 0) in
+  let locs = ref [] in
   let head = ref entries_off in
-  for i = 0 to n - 1 do
-    let off = Pool.read_int pool !head in
-    let len = Pool.read_int pool (!head + 8) in
-    locs.(i) <- (off, len, !head + 16);
-    head := !head + 16 + pad8 len
-  done;
-  for i = n - 1 downto 0 do
-    let off, len, data = locs.(i) in
-    Pool.write_bytes pool off (Pool.read_bytes pool data len);
-    Pool.flush_range pool ~off ~len
-  done;
+  (try
+     for _i = 1 to n do
+       if !head + 16 > limit then raise Exit;
+       let off = Pool.read_int pool !head in
+       let len = Pool.read_int pool (!head + 8) in
+       if len <= 0 || pad8 len > limit - (!head + 16) then raise Exit;
+       if off < 0 || off > pool_size - len then raise Exit;
+       locs := (off, len, !head + 16) :: !locs;
+       head := !head + 16 + pad8 len
+     done
+   with Exit -> ());
+  (* undo newest-first *)
+  List.iter
+    (fun (off, len, data) ->
+      Pool.write_bytes pool off (Pool.read_bytes pool data len);
+      Pool.flush_range pool ~off ~len)
+    !locs;
   Pool.sfence pool;
-  Pool.atomic_write_int pool state_off 0;
-  Pool.atomic_write_int pool nentries_off 0
+  clear_log pool
 
 let abort tx =
   if not tx.live then raise Not_active;
-  rollback_log tx.pool;
-  finish tx
+  if not tx.state_raised then
+    (* nothing was published, so nothing may have been modified and the
+       durable state/count words are still 0 *)
+    finish tx
+  else begin
+    let p = tx.pool in
+    (* restore from the DRAM-held pre-images, newest first *)
+    List.iter
+      (fun (off, _len, img) ->
+        Pool.write_bytes p off img;
+        flush_batched p ~off ~len:(Bytes.length img))
+      tx.images;
+    Pool.sfence p;
+    clear_log p;
+    finish tx
+  end
 
 (* Crash recovery: if a transaction was active when the crash happened, its
    undo log is rolled back.  Returns [true] when a rollback was applied. *)

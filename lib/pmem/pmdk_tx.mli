@@ -4,7 +4,13 @@
     persists every snapshotted range and invalidates the log with a single
     atomic store.  After a crash, {!recover} rolls back any active log.
     One transaction per pool at a time (serialised on the pool's tx
-    mutex). *)
+    mutex).
+
+    Batching callers use the two-step form: {!stage_range} captures
+    pre-images in DRAM (deduplicating ranges already snapshotted this
+    transaction) and {!publish} makes every staged snapshot durable with
+    one coalesced flush batch and one fence - the per-commit persist cost
+    is then independent of the number of snapshotted ranges. *)
 
 type t
 
@@ -12,16 +18,46 @@ exception Log_full
 exception Not_active
 
 val begin_ : Pool.t -> t
+(** Open a transaction.  Persistence-free: every exit path leaves the
+    durable log idle, so there is nothing to clear. *)
+
 val add_range : t -> off:int -> len:int -> unit
 (** Snapshot the current contents of the range; must precede modification.
+    Durable on return ({!stage_range} + {!publish}).
     @raise Log_full when the undo log region overflows. *)
+
+val stage_range : t -> off:int -> len:int -> unit
+(** Snapshot the range into DRAM only; not durable (and the range must
+    not be modified) until the next {!publish}.  Portions already
+    snapshotted this transaction are skipped.
+    @raise Log_full when the undo log region would overflow. *)
+
+val publish : t -> unit
+(** Persist every staged snapshot: contiguous log writes, one coalesced
+    256 B-aligned flush batch, one fence, then the entry-count bump
+    (entry bytes strictly before the count). *)
+
+val flush_on_commit : t -> off:int -> len:int -> unit
+(** Include the range in {!commit}'s merged, coalesced data flush
+    without snapshotting it.  For freshly written structures that must
+    be durable before the commit point but need no undo (a rollback
+    unlinks them): new property batches, insert-locked records. *)
 
 val commit : t -> unit
 val abort : t -> unit
 (** Roll the snapshotted ranges back immediately. *)
 
 val recover : Pool.t -> bool
-(** Roll back an interrupted transaction, if any; [true] when applied. *)
+(** Roll back an interrupted transaction, if any; [true] when applied.
+    The on-media entry count and entry lengths are validated against the
+    log region and pool bounds: a torn or fault-corrupted count word
+    clamps to the valid prefix instead of driving reads out of bounds. *)
 
 val run : Pool.t -> (t -> 'a) -> 'a
 (** [run pool f] wraps [f] in a transaction, aborting on exception. *)
+
+(** {1 Log geometry (tests)} *)
+
+val state_off : int
+val nentries_off : int
+val entries_off : int

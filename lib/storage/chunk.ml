@@ -111,6 +111,20 @@ let set_used t slot used =
   let w' = if used then Int64.logor w bit else Int64.logand w (Int64.lognot bit) in
   Pool.atomic_write_i64 t.pool woff w'
 
+(* Relaxed variant: aligned word store + write-back, no trailing fence.
+   The store still never tears, and its write-back precedes whatever
+   fence the caller issues next in program order, so callers whose
+   record only becomes reachable at a later fence epoch (an MVTO
+   commit) keep content-before-bit-before-visibility without paying a
+   fence per slot. *)
+let set_used_relaxed t slot used =
+  let woff = bitmap_word_off t slot in
+  let w = Pool.read_i64 t.pool woff in
+  let bit = Int64.shift_left 1L (slot mod 64) in
+  let w' = if used then Int64.logor w bit else Int64.logand w (Int64.lognot bit) in
+  Pool.write_i64 t.pool woff w';
+  Pool.clwb t.pool woff
+
 let find_free t =
   let words = (t.capacity + 63) / 64 in
   let rec scan w =

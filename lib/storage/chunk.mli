@@ -37,6 +37,12 @@ val set_used : t -> int -> bool -> unit
 (** Failure-atomic bitmap-word store (DG4); caller serialises concurrent
     updates to the same word. *)
 
+val set_used_relaxed : t -> int -> bool -> unit
+(** Like {!set_used} but without the trailing fence: the aligned word
+    store never tears and its write-back is ordered before the caller's
+    next fence.  Only for records that become reachable at a later fence
+    epoch. *)
+
 val find_free : t -> int option
 val used_count : t -> int
 

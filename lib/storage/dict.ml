@@ -12,13 +12,22 @@
    Strings live in bump-allocated heap segments, so encoding a new string
    costs no per-string PMem allocation (DG5).
 
-   An optional DRAM mirror (the "hybrid" variant discussed in Sections 4.2
-   and 8) caches both directions; it is rebuilt on recovery.
+   The default layout is the *hybrid* DRAM-cached one (Sections 4.2 and
+   8): only the heap and the code array are PMem-durable, and a complete
+   DRAM mirror serves both directions.  The persistent hash table is not
+   maintained at runtime - the mirror is rebuilt on restart from the code
+   array (or warmed from a checkpoint image of the strings).  A fresh
+   encode then costs one coalesced flush pass (string bytes, code entry,
+   heap bump) plus the atomic [next_code] bump: two fences instead of the
+   six the eager layout pays.  With [~hybrid:false] (the ablation the
+   paper rejects) the persistent hash is maintained eagerly and every
+   store is persisted in place.
 
-   Crash consistency: string bytes, the code-array entry and the hash entry
-   are persisted before [next_code] is bumped atomically; [recover] then
-   scrubs any hash entries whose code is >= [next_code] by rebuilding the
-   hash from the code array. *)
+   Crash consistency: string bytes, the code-array entry (and, eager
+   mode, the hash entry) are durable strictly before [next_code] is
+   bumped atomically - the bump is the publication point, so a torn
+   insert below it is unreachable garbage.  Restart rebuilds whichever
+   side is stale from the code array. *)
 
 module Pool = Pmem.Pool
 module Alloc = Pmem.Alloc
@@ -163,6 +172,18 @@ let push_heap t s =
   set_atomic t f_heap_bump (off + ((need + 7) / 8 * 8));
   off
 
+(* Hybrid-mode heap store: plain writes only; returns (offset, length).
+   The caller flushes the range and the bump word before publishing the
+   code - until then a crash leaves only unreachable heap garbage. *)
+let push_heap_deferred t s =
+  let need = 4 + String.length s in
+  if get t f_heap_bump + need > get t f_seg_end then alloc_segment t;
+  let off = get t f_heap_bump in
+  Pool.write_u32 t.pool off (String.length s);
+  Pool.write_string t.pool (off + 4) s;
+  Pool.write_int t.pool (t.hdr + f_heap_bump) (off + ((need + 7) / 8 * 8));
+  (off, need)
+
 let hash_entry t i =
   let base = get t f_hash_off + (16 * i) in
   (Pool.read_int t.pool base, Pool.read_int t.pool (base + 8))
@@ -246,35 +267,57 @@ let grow_code_array t needed =
     Alloc.free t.pool ~off:old_off ~size:(8 * old_cap)
   end
 
-(* Encode a string, assigning a fresh code when absent. *)
+(* Hybrid fresh code: plain stores, one coalesced flush pass, one fence,
+   then the atomic [next_code] bump (its own write-back + fence) as the
+   publication point.  A crash before the bump leaves only unreachable
+   heap/code garbage; after it, everything below the bump was already
+   durable.  The persistent hash is left stale - the warmed mirror is
+   the primary map. *)
+let encode_fresh_hybrid t s =
+  mark t;
+  let code = get t f_next_code in
+  let heap_off, need = push_heap_deferred t s in
+  grow_code_array t code;
+  let entry = get t f_code_off + (8 * code) in
+  Pool.write_int t.pool entry heap_off;
+  Pool.flush_range t.pool ~off:heap_off ~len:need;
+  Pool.clwb t.pool entry;
+  Pool.clwb t.pool (t.hdr + f_heap_bump);
+  Pool.sfence t.pool;
+  set_atomic t f_next_code (code + 1);
+  Hashtbl.replace t.to_code s code;
+  Hashtbl.replace t.of_code code s;
+  code
+
+(* Encode a string, assigning a fresh code when absent.  In hybrid mode
+   the warmed mirror is complete, so a mirror miss after [ensure_warm]
+   means the string is genuinely fresh (the stale persistent hash is
+   never consulted). *)
 let encode t s =
   Mutex.lock t.mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) @@ fun () ->
-  match if t.hybrid then Hashtbl.find_opt t.to_code s else None with
-  | Some c -> c
-  | None -> (
-      ensure_warm t;
-      match hash_find t s with
-      | Some c ->
-          if t.hybrid then begin
-            Hashtbl.replace t.to_code s c;
-            Hashtbl.replace t.of_code c s
-          end;
-          c
-      | None ->
-          mark t;
-          let code = get t f_next_code in
-          let heap_off = push_heap t s in
-          grow_code_array t code;
-          Pool.write_int t.pool (get t f_code_off + (8 * code)) heap_off;
-          Pool.persist t.pool ~off:(get t f_code_off + (8 * code)) ~len:8;
-          hash_insert t ~heap_off ~code s;
-          set_atomic t f_next_code (code + 1);
-          if t.hybrid then begin
-            Hashtbl.replace t.to_code s code;
-            Hashtbl.replace t.of_code code s
-          end;
-          code)
+  if t.hybrid then
+    match Hashtbl.find_opt t.to_code s with
+    | Some c -> c
+    | None -> (
+        ensure_warm t;
+        match Hashtbl.find_opt t.to_code s with
+        | Some c -> c
+        | None -> encode_fresh_hybrid t s)
+  else (
+    ensure_warm t;
+    match hash_find t s with
+    | Some c -> c
+    | None ->
+        mark t;
+        let code = get t f_next_code in
+        let heap_off = push_heap t s in
+        grow_code_array t code;
+        Pool.write_int t.pool (get t f_code_off + (8 * code)) heap_off;
+        Pool.persist t.pool ~off:(get t f_code_off + (8 * code)) ~len:8;
+        hash_insert t ~heap_off ~code s;
+        set_atomic t f_next_code (code + 1);
+        code)
 
 let lookup t s =
   if t.hybrid then
@@ -282,7 +325,7 @@ let lookup t s =
     | Some c -> Some c
     | None ->
         ensure_warm t;
-        hash_find t s
+        Hashtbl.find_opt t.to_code s
   else begin
     ensure_warm t;
     hash_find t s
@@ -308,60 +351,54 @@ let count t = get t f_next_code - 1
 
 (* ---- incremental checkpoint support ---------------------------------
 
-   A dict checkpoint is a byte image of the string->code hash region
-   plus the header stamps needed to validate and delta-replay it.
-   Restore fast paths:
-   - epoch stamp <= snapshot epoch: nothing touched the dict since the
-     checkpoint, so the live hash region is already exact — zero work;
-   - stamps match but codes advanced: blit the image back (wiping any
-     torn partial insert) and replay only codes assigned since the
-     checkpoint, in code order — byte-identical to what the live run
-     did, reading only the delta strings;
-   - hash region moved or grew since the checkpoint: return [false] and
-     let the caller fall back to the full staged rebuild. *)
+   A dict checkpoint carries the decoded string table (code order) plus
+   the header stamps needed to validate and delta-replay it.  Hybrid
+   restore populates the DRAM mirror from the checkpointed strings and
+   replays only codes assigned since the snapshot with charged heap
+   reads - no PMem writes at all, so recovery leaves the dict regions
+   bitwise untouched.  Non-hybrid mode maintains the persistent hash at
+   runtime instead; its restore returns [false] and the caller falls
+   back to the full staged rebuild. *)
 
 type image = {
-  im_hash_off : int;
-  im_hash_cap : int;
   im_next_code : int;
   im_epoch : int;
-  im_bytes : Bytes.t;
+  im_strings : string array; (* index e holds code e+1's string *)
 }
 
 let snapshot t =
   Mutex.lock t.mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) @@ fun () ->
-  let off = get t f_hash_off and cap = get t f_hash_cap in
-  {
-    im_hash_off = off;
-    im_hash_cap = cap;
-    im_next_code = get t f_next_code;
-    im_epoch = epoch_stamp t;
-    im_bytes = Pool.read_bytes t.pool off (16 * cap);
-  }
+  let next = get t f_next_code in
+  let strings =
+    Array.init (next - 1) (fun e ->
+        let code = e + 1 in
+        match if t.hybrid then Hashtbl.find_opt t.of_code code else None with
+        | Some s -> s
+        | None ->
+            let heap_off = Pool.read_int t.pool (get t f_code_off + (8 * code)) in
+            if heap_off = 0 then "" else read_heap_string t heap_off)
+  in
+  { im_next_code = next; im_epoch = epoch_stamp t; im_strings = strings }
 
 let restore t (im : image) ~snap_epoch =
+  ignore snap_epoch;
   let cur_next = get t f_next_code in
-  if
-    get t f_hash_off <> im.im_hash_off
-    || get t f_hash_cap <> im.im_hash_cap
-    || cur_next < im.im_next_code
-  then false
-  else if epoch_stamp t <= snap_epoch then true (* untouched since ckpt *)
+  if (not t.hybrid) || cur_next < im.im_next_code then false
   else begin
-    Pool.write_bytes t.pool im.im_hash_off im.im_bytes;
-    Pool.flush_range t.pool ~off:im.im_hash_off
-      ~len:(Bytes.length im.im_bytes);
-    let cnt = ref 0 in
-    for i = 0 to im.im_hash_cap - 1 do
-      if not (Int64.equal (Bytes.get_int64_le im.im_bytes (16 * i)) 0L) then
-        incr cnt
-    done;
-    set_atomic t f_hash_count !cnt;
+    Array.iteri
+      (fun e s ->
+        Hashtbl.replace t.to_code s (e + 1);
+        Hashtbl.replace t.of_code (e + 1) s)
+      im.im_strings;
+    (* codes assigned after the snapshot: charged delta reads *)
     for code = im.im_next_code to cur_next - 1 do
       let heap_off = Pool.read_int t.pool (get t f_code_off + (8 * code)) in
-      if heap_off <> 0 then
-        hash_insert t ~heap_off ~code (read_heap_string t heap_off)
+      if heap_off <> 0 then begin
+        let s = read_heap_string t heap_off in
+        Hashtbl.replace t.to_code s code;
+        Hashtbl.replace t.of_code code s
+      end
     done;
     true
   end
@@ -435,7 +472,7 @@ let rebuild_read_tasks t ~grain =
   done;
   (plan, List.rev !tasks)
 
-let rebuild_write_tasks t plan ~grain =
+let rebuild_write_tasks_eager t plan ~grain =
   let live = ref 0 in
   Array.iter (fun h -> if h <> 0 then incr live) plan.rp_heap_offs;
   (* Pre-grow so no insertion can trip the load-factor threshold: the
@@ -514,11 +551,18 @@ let rebuild_write_tasks t plan ~grain =
         Pool.flush_range t.pool ~off:lo ~len:(hi - lo))
     ranges
 
+let rebuild_write_tasks t plan ~grain =
+  if t.hybrid then begin
+    (* hybrid mode never consults the persistent hash: no writes - the
+       dict regions stay bitwise untouched by recovery - just mark the
+       live entries so [rebuild_finish] can warm the mirror *)
+    plan.rp_slots <-
+      Array.map (fun h -> if h <> 0 then 0 else -1) plan.rp_heap_offs;
+    []
+  end
+  else rebuild_write_tasks_eager t plan ~grain
+
 let rebuild_finish t plan =
-  let live = ref 0 in
-  Array.iter (fun s -> if s >= 0 then incr live) plan.rp_slots;
-  (* atomic store + fence also orders the write tasks' flushes *)
-  set_atomic t f_hash_count !live;
   if t.hybrid then
     for e = 0 to plan.rp_count - 1 do
       if plan.rp_slots.(e) >= 0 then begin
@@ -526,6 +570,12 @@ let rebuild_finish t plan =
         Hashtbl.replace t.of_code (e + 1) plan.rp_strings.(e)
       end
     done
+  else begin
+    let live = ref 0 in
+    Array.iter (fun s -> if s >= 0 then incr live) plan.rp_slots;
+    (* atomic store + fence also orders the write tasks' flushes *)
+    set_atomic t f_hash_count !live
+  end
 
 (* Reattach after restart: rebuild the persistent hash from the code array
    (scrubbing entries from interrupted inserts) and warm the DRAM mirror.

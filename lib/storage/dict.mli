@@ -1,8 +1,13 @@
 (** Persistent bidirectional string dictionary (DD3).
 
-    Keeps both translation directions in PMem (code array + open
-    addressing hash) with an optional DRAM mirror (the hybrid variant of
-    Sections 4.2/8).  String storage is bump-allocated from segments, so
+    The default layout is the hybrid DRAM-cached one of Sections 4.2/8:
+    PMem-durable string heap + code array, with a complete DRAM mirror
+    serving both directions; the persistent string->code hash is not
+    maintained at runtime (the mirror is rebuilt on restart from the
+    code array, or warmed from a checkpoint image).  A fresh encode
+    costs one coalesced flush pass plus the atomic next_code bump.
+    [~hybrid:false] keeps the eager persistent-hash layout as an
+    ablation.  String storage is bump-allocated from segments, so
     encoding costs no per-string PMem allocation (DG5). *)
 
 type t
@@ -11,8 +16,10 @@ exception Unknown_code of int
 
 val create : ?hybrid:bool -> Pmem.Pool.t -> t
 val open_ : ?hybrid:bool -> Pmem.Pool.t -> hdr:int -> unit -> t
-(** Reattach after a restart: rebuilds the persistent hash from the code
-    array (scrubbing torn inserts) and warms the DRAM mirror. *)
+(** Reattach after a restart.  Hybrid: warms the DRAM mirror from the
+    code array, writing nothing to PMem.  Eager ([~hybrid:false]):
+    rebuilds the persistent hash from the code array (scrubbing torn
+    inserts). *)
 
 (** {1 Staged recovery rebuild}
 
@@ -34,12 +41,15 @@ val rebuild_read_tasks : t -> grain:int -> rebuild_plan * (unit -> unit) list
     [grain] codes per task. *)
 
 val rebuild_write_tasks : t -> rebuild_plan -> grain:int -> (unit -> unit) list
-(** Computes the final probe layout serially in DRAM (identical to
-    inserting codes one by one), then returns tasks that zero-fill and
-    write disjoint hash-table regions.  Call after all read tasks. *)
+(** Eager mode: computes the final probe layout serially in DRAM
+    (identical to inserting codes one by one), then returns tasks that
+    zero-fill and write disjoint hash-table regions.  Hybrid mode:
+    returns no tasks - recovery leaves the dict regions bitwise
+    untouched.  Call after all read tasks. *)
 
 val rebuild_finish : t -> rebuild_plan -> unit
-(** Publish the entry count (with fence) and warm the DRAM mirror. *)
+(** Hybrid: warm the DRAM mirror.  Eager: publish the entry count
+    (with fence). *)
 
 val header_off : t -> int
 val encode : t -> string -> int
@@ -64,7 +74,7 @@ val epoch_stamp : t -> int
 val warmed : t -> bool
 
 val defer_warm : t -> (unit -> unit) -> unit
-(** Switch to lazy mode: the persistent hash is stale until [fn] runs
+(** Switch to lazy mode: the string->code side is stale until [fn] runs
     (checkpoint restore or full rebuild).  {!decode} still serves
     instantly through the code array; the first {!encode} or {!lookup}
     triggers the warm, blocking concurrent touchers with charged capped
@@ -76,20 +86,19 @@ val ensure_warm : t -> unit
 (** {1 Incremental checkpoint} *)
 
 type image = {
-  im_hash_off : int;
-  im_hash_cap : int;
   im_next_code : int;
   im_epoch : int;
-  im_bytes : Bytes.t;
+  im_strings : string array;  (** index e holds code e+1's string *)
 }
-(** Byte image of the hash region plus the header stamps needed to
-    validate and delta-replay it. *)
+(** The decoded string table in code order plus the header stamps needed
+    to validate and delta-replay it. *)
 
 val snapshot : t -> image
-(** Capture the current hash region (caller ensures quiescence). *)
+(** Capture the current string table (caller ensures quiescence). *)
 
 val restore : t -> image -> snap_epoch:int -> bool
-(** Reinstate a checkpointed hash image and replay codes assigned since
-    the checkpoint in code order (reading only the delta strings).
-    Returns [false] — caller must fall back to the full staged rebuild —
-    when the hash region moved or grew since the checkpoint. *)
+(** Hybrid: populate the DRAM mirror from the checkpointed strings and
+    replay codes assigned since the checkpoint in code order (reading
+    only the delta strings); no PMem writes.  Returns [false] — caller
+    must fall back to the full staged rebuild — in eager mode or when
+    the image is newer than the pool. *)

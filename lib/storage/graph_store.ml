@@ -218,25 +218,42 @@ let set_rel_field t id field v =
 (* Record creation (raw, used by loaders and by the MVTO layer, which sets
    the transactional header fields through the [node]/[rel] values). *)
 
+(* Record-before-bit ordering without a dedicated fence: the record
+   bytes are written back first, then the bitmap publish's own
+   failure-atomic store (write-back + fence) retires both - at any crash
+   cut where the bit is durable, the record write-backs have already
+   executed. *)
+(* Record bytes are written back before the bitmap bit, and the bit's
+   write-back precedes the caller's next fence (the MVTO commit epoch,
+   or the splice fence of a following insert_rel), so neither the
+   content flush nor the publication owes a fence of its own. *)
 let insert_node t (n : node) =
-  let id, _off = Table.reserve t.nodes in
-  write_node t id n;
-  Table.publish t.nodes id;
+  let id, off = Table.reserve t.nodes in
+  write_node ~persist:false t id n;
+  Pool.flush_range t.pool ~off ~len:node_size;
+  Table.publish_relaxed t.nodes id;
   id
 
 (* Insert a relationship and splice it into both adjacency lists.  The
    record is persisted before publication; each list-head update is one
-   failure-atomic 8-byte store, so a crash leaves at worst a published
+   failure-atomic 8-byte store (the two heads are independent, so they
+   share a single fence), and a crash leaves at worst a published
    relationship reachable from one list - recovery-safe because the record
    itself is complete. *)
 let insert_rel t (r : rel) =
-  let id, _off = Table.reserve t.rels in
+  let id, off = Table.reserve t.rels in
   let src_head = node_field t r.src Node.first_out in
   let dst_head = node_field t r.dst Node.first_in in
-  write_rel t id { r with next_src = src_head; next_dst = dst_head };
-  Table.publish t.rels id;
-  set_node_field t r.src Node.first_out (id + 1);
-  set_node_field t r.dst Node.first_in (id + 1);
+  write_rel ~persist:false t id { r with next_src = src_head; next_dst = dst_head };
+  Pool.flush_range t.pool ~off ~len:rel_size;
+  Table.publish_relaxed t.rels id;
+  let so = node_off t r.src + Node.first_out in
+  let doff = node_off t r.dst + Node.first_in in
+  Pool.write_int t.pool so (id + 1);
+  Pool.write_int t.pool doff (id + 1);
+  Pool.clwb t.pool so;
+  Pool.clwb t.pool doff;
+  Pool.sfence t.pool;
   id
 
 (* Adjacency iteration (DD4): follows offset chains directly in PMem. *)
@@ -310,19 +327,27 @@ let node_prop t id key =
 let rel_prop t id key =
   Props.get t.props ~first:(rel_field t id Rel.first_prop) ~key
 
-let set_node_prop t id ~key value =
+(* [~durable:false] defers slot persistence and swings [first_prop] with
+   a plain store; only legal while the record is unreachable
+   (insert-locked) and the caller flushes the record + chain before the
+   commit fence that makes it visible. *)
+let set_node_prop ?(durable = true) t id ~key value =
   Table.mark t.nodes id;
   let first = node_field t id Node.first_prop in
   let value = encode_value t value in
-  let first' = Props.set t.props ~owner:(id + 1) ~first ~key value in
-  if first' <> first then set_node_field t id Node.first_prop first'
+  let first' = Props.set ~durable t.props ~owner:(id + 1) ~first ~key value in
+  if first' <> first then
+    if durable then set_node_field t id Node.first_prop first'
+    else Pool.write_int t.pool (node_off t id + Node.first_prop) first'
 
-let set_rel_prop t id ~key value =
+let set_rel_prop ?(durable = true) t id ~key value =
   Table.mark t.rels id;
   let first = rel_field t id Rel.first_prop in
   let value = encode_value t value in
-  let first' = Props.set t.props ~owner:(id + 1) ~first ~key value in
-  if first' <> first then set_rel_field t id Rel.first_prop first'
+  let first' = Props.set ~durable t.props ~owner:(id + 1) ~first ~key value in
+  if first' <> first then
+    if durable then set_rel_field t id Rel.first_prop first'
+    else Pool.write_int t.pool (rel_off t id + Rel.first_prop) first'
 
 let node_props t id = Props.all t.props ~first:(node_field t id Node.first_prop)
 let rel_props t id = Props.all t.props ~first:(rel_field t id Rel.first_prop)

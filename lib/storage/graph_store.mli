@@ -100,8 +100,14 @@ val in_degree : t -> int -> int
 
 val node_prop : t -> int -> int -> Value.t option
 val rel_prop : t -> int -> int -> Value.t option
-val set_node_prop : t -> int -> key:int -> Value.t -> unit
-val set_rel_prop : t -> int -> key:int -> Value.t -> unit
+(** [~durable:false] on the property setters defers slot persistence and
+    swings the record's first_prop with a plain store; only legal while
+    the record is unreachable (insert-locked) and the caller flushes the
+    record and chain before the commit fence that makes it visible
+    (see {!Props.set}). *)
+
+val set_node_prop : ?durable:bool -> t -> int -> key:int -> Value.t -> unit
+val set_rel_prop : ?durable:bool -> t -> int -> key:int -> Value.t -> unit
 val node_props : t -> int -> (int * Value.t) list
 val rel_props : t -> int -> (int * Value.t) list
 

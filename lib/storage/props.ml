@@ -7,7 +7,14 @@
    Crash consistency per slot: the 8-byte payload is persisted first, then
    the (key, tag) pair - which shares one aligned 8-byte word - is written
    with a failure-atomic store.  An unfinished slot therefore still carries
-   [no_key] and is invisible. *)
+   [no_key] and is invisible.
+
+   [~durable:false] defers both persists: the caller owns a later
+   durability point that flushes the whole batch (MVTO folds the chains of
+   commit-locked records into the undo-log commit's coalesced data flush).
+   Until that point a crash may leave the slot torn - only legal when the
+   owning record is itself unreachable (insert-locked: recovery reclaims
+   it) or when the chain is flushed before the owning commit's fence. *)
 
 module Pool = Pmem.Pool
 module Alloc = Pmem.Alloc
@@ -46,15 +53,30 @@ let slot_key pool off i = Pool.read_u32 pool (off + Prop.slot_key i)
 let slot_tag pool off i = Pool.read_u32 pool (off + Prop.slot_tag i)
 let slot_payload pool off i = Pool.read_i64 pool (off + Prop.slot_payload i)
 
-let write_slot pool off i ~key ~tag ~payload =
+let write_slot ?(durable = true) pool off i ~key ~tag ~payload =
   Pool.write_i64 pool (off + Prop.slot_payload i) payload;
-  Pool.persist pool ~off:(off + Prop.slot_payload i) ~len:8;
-  Pool.atomic_write_i64 pool (off + Prop.slot_key i) (key_tag_word ~key ~tag)
+  if durable then begin
+    Pool.persist pool ~off:(off + Prop.slot_payload i) ~len:8;
+    Pool.atomic_write_i64 pool (off + Prop.slot_key i) (key_tag_word ~key ~tag)
+  end
+  else Pool.write_i64 pool (off + Prop.slot_key i) (key_tag_word ~key ~tag)
 
-let clear_slot pool off i =
-  Pool.atomic_write_i64 pool (off + Prop.slot_key i) (key_tag_word ~key:no_key ~tag:0)
+let clear_slot ?(durable = true) pool off i =
+  let w = key_tag_word ~key:no_key ~tag:0 in
+  if durable then Pool.atomic_write_i64 pool (off + Prop.slot_key i) w
+  else Pool.write_i64 pool (off + Prop.slot_key i) w
 
-(* Allocate a fresh batch for [owner] (id + 1 encoding kept by caller). *)
+(* Allocate a fresh batch for [owner] (id + 1 encoding kept by caller).
+   Batch allocation stays fully durable even when slot writes are
+   deferred: the link words must never be stale on media - a recycled
+   slot's old [next] pointer surviving a crash would send a chain free
+   into batches owned by live records - and the bitmap bit must be
+   durably set before any commit makes the chain reachable, or recovery
+   would hand the slot back to the free list under a live chain.  The
+   batch bytes are written back before the bitmap bit, and the chain
+   only becomes reachable at a later fence epoch (the commit that swings
+   a record's first_prop), so content-before-bit-before-visibility holds
+   without a dedicated fence here. *)
 let new_batch t ~owner ~next =
   let pool = Table.pool t.table in
   let id, off = Table.reserve t.table in
@@ -63,8 +85,8 @@ let new_batch t ~owner ~next =
   for i = 0 to prop_slots - 1 do
     Pool.write_i64 pool (off + Prop.slot_key i) (key_tag_word ~key:no_key ~tag:0)
   done;
-  Pool.persist pool ~off ~len:prop_size;
-  Table.publish t.table id;
+  Pool.flush_range pool ~off ~len:prop_size;
+  Table.publish_relaxed t.table id;
   (id, off)
 
 (* Find (batch offset, slot) holding [key] in the chain starting at
@@ -95,12 +117,12 @@ let get t ~first ~key =
 (* Set [key] to [value] in the chain rooted at [first]; returns the
    (possibly new) chain root.  In-place update when the key exists (DG5:
    no copy-on-write); otherwise fills a free slot or prepends a batch. *)
-let set t ~owner ~first ~key value =
+let set ?(durable = true) t ~owner ~first ~key value =
   let pool = Table.pool t.table in
   let tag = Value.tag value and payload = Value.payload value in
   match find t ~first ~key with
   | Some (off, i) ->
-      write_slot pool off i ~key ~tag ~payload;
+      write_slot ~durable pool off i ~key ~tag ~payload;
       first
   | None ->
       let rec free_slot link =
@@ -118,18 +140,18 @@ let set t ~owner ~first ~key value =
       in
       (match free_slot first with
       | Some (off, i) ->
-          write_slot pool off i ~key ~tag ~payload;
+          write_slot ~durable pool off i ~key ~tag ~payload;
           first
       | None ->
           let id, off = new_batch t ~owner ~next:first in
-          write_slot pool off 0 ~key ~tag ~payload;
+          write_slot ~durable pool off 0 ~key ~tag ~payload;
           id + 1)
 
-let remove t ~first ~key =
+let remove ?(durable = true) t ~first ~key =
   match find t ~first ~key with
   | None -> false
   | Some (off, i) ->
-      clear_slot (Table.pool t.table) off i;
+      clear_slot ~durable (Table.pool t.table) off i;
       true
 
 let fold t ~first ~init f =

@@ -20,11 +20,16 @@ val dir_off : t -> int
 val get : t -> first:int -> key:int -> Value.t option
 (** Chain roots use the id+1 encoding; 0 = empty chain. *)
 
-val set : t -> owner:int -> first:int -> key:int -> Value.t -> int
+val set : ?durable:bool -> t -> owner:int -> first:int -> key:int -> Value.t -> int
 (** In-place update when the key exists (DG5), else fills a free slot or
-    prepends a batch; returns the (possibly new) chain root. *)
+    prepends a batch; returns the (possibly new) chain root.
+    [~durable:false] (default [true]) defers the slot persists: the
+    caller must flush the touched batches before the chain becomes
+    reachable by a committed record (MVTO folds them into the undo-log
+    commit's coalesced data flush); batch allocation stays
+    failure-atomic. *)
 
-val remove : t -> first:int -> key:int -> bool
+val remove : ?durable:bool -> t -> first:int -> key:int -> bool
 val fold : t -> first:int -> init:'a -> ('a -> int -> Value.t -> 'a) -> 'a
 val all : t -> first:int -> (int * Value.t) list
 val free_chain : t -> first:int -> unit

@@ -276,6 +276,13 @@ let publish t id =
   Chunk.set_used c slot true;
   Mutex.unlock t.mu
 
+let publish_relaxed t id =
+  let c, slot = locate t id in
+  mark t id;
+  Mutex.lock t.mu;
+  Chunk.set_used_relaxed c slot true;
+  Mutex.unlock t.mu
+
 let delete t id =
   let c, slot = locate t id in
   mark t id;

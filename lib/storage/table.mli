@@ -102,6 +102,12 @@ val publish : t -> int -> unit
 (** Set the bitmap bit that makes a reserved record reachable
     (failure-atomic). *)
 
+val publish_relaxed : t -> int -> unit
+(** Like {!publish}, but the bit's write-back rides the caller's next
+    fence instead of paying its own: for records that only become
+    reachable at a later fence epoch (an MVTO commit).  The word store
+    itself still never tears. *)
+
 val delete : t -> int -> unit
 (** Clear the bitmap bit and queue the slot for reuse. *)
 

@@ -403,6 +403,260 @@ let test_snb_update_mix_sweep () =
     (r.CE.fence_schedules + r.CE.variant_schedules + r.CE.flush_schedules)
     r.CE.crashes_triggered
 
+(* --- group-commit fence-epoch sweep -----------------------------------
+
+   Cuts placed inside a MULTI-member commit epoch: several prepared
+   transactions persisted by [Core.commit_group] share one undo-log
+   publish fence and one log invalidation, so a power cut anywhere in
+   that window must roll back or retire the members TOGETHER.  The
+   oracle enforces exactly that: the pending delta spans every member's
+   writes and is checked all-or-nothing.  Members only touch the
+   un-indexed "v" property, so bypassing the per-transaction index
+   maintenance of [Core.commit] is sound here.
+
+   Both new sweeps also assert the recovery fingerprint: after the
+   armed recovery, a second power cut with no intervening work followed
+   by another recovery must leave the durable image bitwise identical
+   (recovery converges instead of compounding). *)
+
+let durable_digest pool =
+  let h = ref 0xcbf29ce484222325L in
+  for w = 0 to (Pool.size pool / 8) - 1 do
+    h :=
+      Int64.mul (Int64.logxor !h (Pool.durable_i64 pool (w * 8))) 0x100000001b3L
+  done;
+  !h
+
+let reopen_fingerprinted db =
+  let db = Core.reopen db in
+  let d1 = durable_digest (Core.pool db) in
+  Core.crash db;
+  let db = Core.reopen db in
+  let d2 = durable_digest (Core.pool db) in
+  if not (Int64.equal d1 d2) then
+    Alcotest.fail "recovery is not bitwise idempotent on the durable image";
+  db
+
+type grp_st = {
+  mutable gdb : Core.t;
+  gmodel : Crash_oracle.model;
+  mutable gpending : Crash_oracle.delta option;
+  ga : int;
+  gb : int;
+  gd : int;
+}
+
+let grp_fresh () =
+  let db = Core.create ~mode:`Pmem ~pool_size:(1 lsl 23) ~chunk_capacity:64 () in
+  ignore (Core.create_index db ~label:"N" ~prop:"id" ());
+  let mk ldbc v =
+    Core.with_txn db (fun txn ->
+        Core.create_node db txn ~label:"N"
+          ~props:[ ("id", Value.Int ldbc); ("v", Value.Int v) ])
+  in
+  let ga = mk 0 10 and gb = mk 1 20 and gd = mk 2 30 in
+  {
+    gdb = db;
+    gmodel = { Crash_oracle.nodes = [ (ga, 10); (gb, 20); (gd, 30) ]; rels = [] };
+    gpending = None;
+    ga;
+    gb;
+    gd;
+  }
+
+(* One group-commit batch: a transaction per [ups] entry list, all
+   persisted in a single commit epoch, plus optionally a read-only
+   member riding the batch. *)
+let grp_step st ?(read_only = false) groups =
+  let pending = Crash_oracle.Update (List.concat groups) in
+  st.gpending <- Some pending;
+  let txns =
+    List.map
+      (fun ups ->
+        let txn = Core.begin_txn st.gdb in
+        List.iter
+          (fun (id, _, nv) ->
+            Core.set_node_prop st.gdb txn id ~key:"v" (Value.Int nv))
+          ups;
+        txn)
+      groups
+  in
+  let txns =
+    if read_only then begin
+      let txn = Core.begin_txn st.gdb in
+      ignore (Core.node_prop st.gdb txn st.ga ~key:"v");
+      txns @ [ txn ]
+    end
+    else txns
+  in
+  Core.commit_group st.gdb txns;
+  st.gmodel.Crash_oracle.nodes <-
+    List.map
+      (fun (id, v) ->
+        match
+          List.find_opt (fun (i, _, _) -> i = id) (List.concat groups)
+        with
+        | Some (_, _, nv) -> (id, nv)
+        | None -> (id, v))
+      st.gmodel.Crash_oracle.nodes;
+  st.gpending <- None
+
+let grp_run st =
+  grp_step st [ [ (st.ga, 10, 11) ]; [ (st.gb, 20, 21) ] ];
+  grp_step st [ [ (st.ga, 11, 12); (st.gd, 30, 31) ]; [ (st.gb, 21, 22) ] ];
+  grp_step st ~read_only:true [ [ (st.gd, 31, 32) ] ]
+
+let grp_target : grp_st CE.target =
+  {
+    CE.fresh = grp_fresh;
+    pool = (fun st -> Core.pool st.gdb);
+    run = grp_run;
+    recover =
+      (fun st ->
+        st.gdb <- reopen_fingerprinted st.gdb;
+        st);
+    check = (fun st -> Crash_oracle.check ?pending:st.gpending st.gdb st.gmodel);
+  }
+
+let test_group_commit_epoch_sweep () =
+  (* stride 3: cuts land INSIDE the coalesced flush batches of the
+     shared publish, not only at their fence boundaries *)
+  let r = CE.explore ~evict_variants:1 ~flush_stride:3 grp_target in
+  Alcotest.(check bool) "trace has fences" true (r.CE.trace_fences > 0);
+  Alcotest.(check int) "a schedule per fence boundary" r.CE.trace_fences
+    r.CE.fence_schedules;
+  Alcotest.(check bool) "flush-boundary schedules ran" true
+    (r.CE.flush_schedules > 0);
+  Alcotest.(check int) "every schedule crashed"
+    (r.CE.fence_schedules + r.CE.variant_schedules + r.CE.flush_schedules)
+    r.CE.crashes_triggered
+
+(* --- dictionary-promotion sweep ---------------------------------------
+
+   Cuts placed inside the hybrid dictionary's fresh-string encode window
+   (PMem heap push + code-array publish): committed codes must keep
+   decoding bitwise after recovery no matter where the cut lands, and a
+   string whose encode was in flight must never surface half-built.
+   Strings span multiple cache lines so the encode's flush batch has
+   interior clwb boundaries for the stride cuts to hit. *)
+
+type dict_st = {
+  mutable tdb : Core.t;
+  tmodel : Crash_oracle.model;
+  mutable tpending : Crash_oracle.delta option;
+  mutable tstrings : (int * string) list;  (** committed id -> "s" prop *)
+  ta : int;
+  mutable tn1 : int;
+}
+
+let big_string tag = tag ^ "-" ^ String.make 90 'x'
+
+let dict_fresh () =
+  let db = Core.create ~mode:`Pmem ~pool_size:(1 lsl 23) ~chunk_capacity:64 () in
+  ignore (Core.create_index db ~label:"N" ~prop:"id" ());
+  let ta =
+    Core.with_txn db (fun txn ->
+        Core.create_node db txn ~label:"N"
+          ~props:
+            [
+              ("id", Value.Int 0);
+              ("v", Value.Int 10);
+              ("s", Value.Text (big_string "seed"));
+            ])
+  in
+  {
+    tdb = db;
+    tmodel = { Crash_oracle.nodes = [ (ta, 10) ]; rels = [] };
+    tpending = None;
+    tstrings = [ (ta, big_string "seed") ];
+    ta;
+    tn1 = -1;
+  }
+
+let dict_insert_step st ~ldbc ~v ~tag ~record =
+  st.tpending <- Some (Crash_oracle.Insert { ldbc; v; rel_dsts = [] });
+  let id =
+    Core.with_txn st.tdb (fun txn ->
+        Core.create_node st.tdb txn ~label:"N"
+          ~props:
+            [
+              ("id", Value.Int ldbc);
+              ("v", Value.Int v);
+              ("s", Value.Text (big_string tag));
+            ])
+  in
+  st.tmodel.Crash_oracle.nodes <- (id, v) :: st.tmodel.Crash_oracle.nodes;
+  st.tstrings <- (id, big_string tag) :: st.tstrings;
+  record id;
+  st.tpending <- None
+
+(* Swing an existing node's string to a FRESH one (a new encode inside
+   an update transaction).  While the swing is in flight the node's "s"
+   may legitimately be either string, so it leaves [tstrings] for the
+   duration; its atomicity is still covered through the "v" bump the
+   same transaction carries. *)
+let dict_update_step st ~id ~ov ~nv ~tag =
+  st.tstrings <- List.remove_assoc id st.tstrings;
+  st.tpending <- Some (Crash_oracle.Update [ (id, ov, nv) ]);
+  Core.with_txn st.tdb (fun txn ->
+      Core.set_node_prop st.tdb txn id ~key:"v" (Value.Int nv);
+      Core.set_node_prop st.tdb txn id ~key:"s"
+        (Value.Text (big_string tag)));
+  st.tmodel.Crash_oracle.nodes <-
+    List.map
+      (fun (i, v) -> if i = id then (i, nv) else (i, v))
+      st.tmodel.Crash_oracle.nodes;
+  st.tstrings <- (id, big_string tag) :: st.tstrings;
+  st.tpending <- None
+
+let dict_run st =
+  dict_insert_step st ~ldbc:100 ~v:1 ~tag:"first" ~record:(fun id ->
+      st.tn1 <- id);
+  dict_update_step st ~id:st.ta ~ov:10 ~nv:11 ~tag:"swung";
+  dict_insert_step st ~ldbc:101 ~v:2 ~tag:"second" ~record:(fun _ -> ());
+  dict_update_step st ~id:st.tn1 ~ov:1 ~nv:5 ~tag:"swung2"
+
+let dict_check st =
+  Crash_oracle.check ?pending:st.tpending st.tdb st.tmodel;
+  (* committed dictionary codes decode bitwise: a cut inside the encode
+     window may strand heap bytes but never publish a half-built code *)
+  Core.with_txn st.tdb (fun txn ->
+      List.iter
+        (fun (id, s) ->
+          if List.mem_assoc id st.tmodel.Crash_oracle.nodes then
+            match Core.node_prop st.tdb txn id ~key:"s" with
+            | None -> Alcotest.failf "node %d: string prop lost" id
+            | Some v -> (
+                match Core.decode_value st.tdb v with
+                | Value.Text s' when String.equal s' s -> ()
+                | Value.Text s' ->
+                    Alcotest.failf "node %d: string prop corrupted: %S" id s'
+                | _ -> Alcotest.failf "node %d: string prop not text" id))
+        st.tstrings)
+
+let dict_target : dict_st CE.target =
+  {
+    CE.fresh = dict_fresh;
+    pool = (fun st -> Core.pool st.tdb);
+    run = dict_run;
+    recover =
+      (fun st ->
+        st.tdb <- reopen_fingerprinted st.tdb;
+        st);
+    check = dict_check;
+  }
+
+let test_dict_promotion_sweep () =
+  let r = CE.explore ~evict_variants:1 ~flush_stride:4 dict_target in
+  Alcotest.(check bool) "trace has fences" true (r.CE.trace_fences > 0);
+  Alcotest.(check int) "a schedule per fence boundary" r.CE.trace_fences
+    r.CE.fence_schedules;
+  Alcotest.(check bool) "flush-boundary schedules ran" true
+    (r.CE.flush_schedules > 0);
+  Alcotest.(check int) "every schedule crashed"
+    (r.CE.fence_schedules + r.CE.variant_schedules + r.CE.flush_schedules)
+    r.CE.crashes_triggered
+
 (* --- graceful degradation: transient SSD faults ---------------------- *)
 
 let test_ssd_faults_absorbed () =
@@ -462,6 +716,10 @@ let () =
             test_exhaustive_fence_sweep;
           Alcotest.test_case "snb update-mix sweep" `Quick
             test_snb_update_mix_sweep;
+          Alcotest.test_case "group-commit epoch sweep" `Quick
+            test_group_commit_epoch_sweep;
+          Alcotest.test_case "dict promotion sweep" `Quick
+            test_dict_promotion_sweep;
         ] );
       ( "ssd",
         [

@@ -23,8 +23,33 @@ let cfg =
     profile = true;
   }
 
+(* Single-core runners: under full-suite load the OS can starve one
+   domain for most of a short simulated window (and the charged retry
+   backoff of the txns it did start then eats the remainder), so a run
+   can legitimately end with zero throughput on one side.  Correctness
+   invariants are load-independent and asserted on EVERY attempt; only
+   the progress assertions are scheduling-sensitive, so on a starved run
+   we retry with a doubled window (bounded) instead of failing.  The
+   seed is kept, so any invariant violation stays replayable. *)
+let rec run_tolerant ?(tries = 3) ?(also_starved = fun _ -> false) cfg =
+  let r = Htap.run cfg in
+  Alcotest.(check int)
+    (Printf.sprintf "[seed=%d] zero si violations (every attempt)"
+       cfg.Htap.seed)
+    0 (Htap.si_violations r);
+  let starved =
+    r.Htap.committed_updates = 0
+    || r.Htap.analytic_reads = 0
+    || r.Htap.counter_commits = 0
+    || also_starved r
+  in
+  if starved && tries > 1 then
+    run_tolerant ~tries:(tries - 1) ~also_starved
+      { cfg with Htap.duration_ms = cfg.Htap.duration_ms *. 2. }
+  else r
+
 (* one run shared by the assertion tests below *)
-let result = lazy (Htap.run cfg)
+let result = lazy (run_tolerant cfg)
 
 (* every worker RNG is derived from cfg.seed (Htap.writer_rng /
    Htap.reader_rng), so a failure here is replayed by rerunning with the
@@ -49,7 +74,7 @@ let test_progress_on_both_sides () =
   Alcotest.(check bool) "txn commits cover updates" true
     (r.Htap.commits >= r.Htap.committed_updates);
   Alcotest.(check bool) "sim clock advanced past the duration" true
-    (r.Htap.sim_elapsed_ns >= int_of_float (cfg.Htap.duration_ms *. 1e6))
+    (r.Htap.sim_elapsed_ns >= int_of_float (r.Htap.cfg.Htap.duration_ms *. 1e6))
 
 let test_latency_classes_ordered () =
   let r = Lazy.force result in
@@ -173,7 +198,9 @@ let test_validate_rejects_bad_doc () =
    interpreter -> compiled mid-query. *)
 let test_si_invariants_compiled_parallel () =
   let r =
-    Htap.run
+    run_tolerant
+      ~also_starved:(fun r ->
+        r.Htap.reg_parallel_morsels = 0 || r.Htap.reg_replay_hits = 0)
       {
         cfg with
         Htap.mode = Jit.Engine.Jit;
@@ -195,7 +222,7 @@ let test_si_invariants_compiled_parallel () =
 
 let test_si_invariants_adaptive () =
   let r =
-    Htap.run
+    run_tolerant
       {
         cfg with
         Htap.mode = Jit.Engine.Adaptive;
@@ -215,7 +242,7 @@ let test_si_invariants_adaptive () =
    seed-independent. *)
 let test_si_invariants_writer_heavy () =
   let r =
-    Htap.run
+    run_tolerant
       {
         cfg with
         Htap.writers = 3;

@@ -243,6 +243,131 @@ let test_tx_recover_idempotent () =
   Alcotest.(check bool) "nothing to recover" false (Pmdk_tx.recover p);
   Alcotest.(check bool) "still nothing" false (Pmdk_tx.recover p)
 
+(* A media fault mangles the durable entry count after the cut: recovery
+   must clamp to the entries that actually lie within the log instead of
+   letting the bogus word drive reads past it. *)
+let test_tx_recover_corrupt_count_word () =
+  let p = mk_formatted () in
+  let off = Alloc.alloc p 64 in
+  Pool.write_i64 p off 1L;
+  Pool.persist p ~off ~len:8;
+  let tx = Pmdk_tx.begin_ p in
+  Pmdk_tx.add_range tx ~off ~len:8;
+  Pool.write_i64 p off 2L;
+  Pool.crash ~evict_prob:1.0 p;
+  Pool.write_int p Pmdk_tx.nentries_off max_int;
+  Pool.persist p ~off:Pmdk_tx.nentries_off ~len:8;
+  Alcotest.(check bool) "rollback applied" true (Pmdk_tx.recover p);
+  (* the one real entry is the valid prefix: its pre-image comes back *)
+  Alcotest.(check int64) "pre-image restored" 1L (Pool.read_i64 p off);
+  Alcotest.(check int) "log cleared" 0 (Pool.read_int p Pmdk_tx.state_off);
+  Alcotest.(check int) "count cleared" 0 (Pool.read_int p Pmdk_tx.nentries_off);
+  Alcotest.(check bool) "second recover idle" false (Pmdk_tx.recover p);
+  (* the pool stays fully usable *)
+  Pmdk_tx.run p (fun tx ->
+      Pmdk_tx.add_range tx ~off ~len:8;
+      Pool.write_i64 p off 3L);
+  Alcotest.(check int64) "next tx commits" 3L (Pool.read_i64 p off)
+
+(* Same, but the corruption hits an entry header rather than the count:
+   the malformed entry and everything after it are the torn tail - the
+   valid prefix is still undone, nothing out-of-bounds is touched. *)
+let test_tx_recover_corrupt_entry_off () =
+  let p = mk_formatted () in
+  let a = Alloc.alloc p 64 and b = Alloc.alloc p 64 in
+  Pool.write_i64 p a 1L;
+  Pool.write_i64 p b 2L;
+  Pool.persist p ~off:a ~len:8;
+  Pool.persist p ~off:b ~len:8;
+  let tx = Pmdk_tx.begin_ p in
+  Pmdk_tx.add_range tx ~off:a ~len:8;
+  Pool.write_i64 p a 100L;
+  Pmdk_tx.add_range tx ~off:b ~len:8;
+  Pool.write_i64 p b 200L;
+  Pool.crash ~evict_prob:1.0 p;
+  (* second entry = header(16) + padded 8-byte image after the first *)
+  let e2 = Pmdk_tx.entries_off + 16 + 8 in
+  Pool.write_int p e2 (Pool.size p);
+  Pool.persist p ~off:e2 ~len:8;
+  Alcotest.(check bool) "rollback applied" true (Pmdk_tx.recover p);
+  Alcotest.(check int64) "valid prefix undone" 1L (Pool.read_i64 p a);
+  Alcotest.(check int64) "malformed tail not replayed" 200L (Pool.read_i64 p b);
+  Alcotest.(check int) "log cleared" 0 (Pool.read_int p Pmdk_tx.state_off);
+  Alcotest.(check bool) "second recover idle" false (Pmdk_tx.recover p)
+
+let test_tx_recover_corrupt_entry_len () =
+  let p = mk_formatted () in
+  let off = Alloc.alloc p 64 in
+  Pool.write_i64 p off 5L;
+  Pool.persist p ~off ~len:8;
+  let tx = Pmdk_tx.begin_ p in
+  Pmdk_tx.add_range tx ~off ~len:8;
+  Pool.write_i64 p off 6L;
+  Pool.crash ~evict_prob:1.0 p;
+  (* absurd length: the entry could never fit the log region *)
+  Pool.write_int p (Pmdk_tx.entries_off + 8) (Pool.size p * 4);
+  Pool.persist p ~off:(Pmdk_tx.entries_off + 8) ~len:8;
+  Alcotest.(check bool) "rollback applied" true (Pmdk_tx.recover p);
+  Alcotest.(check int64) "malformed entry not replayed" 6L (Pool.read_i64 p off);
+  Alcotest.(check int) "log cleared" 0 (Pool.read_int p Pmdk_tx.state_off);
+  Alcotest.(check bool) "second recover idle" false (Pmdk_tx.recover p);
+  Pmdk_tx.run p (fun tx ->
+      Pmdk_tx.add_range tx ~off ~len:8;
+      Pool.write_i64 p off 7L);
+  Alcotest.(check int64) "next tx commits" 7L (Pool.read_i64 p off)
+
+(* Regression for the interval dedup: a hot range re-snapshotted many
+   times while the log is already near-full.  Without the dedup each
+   duplicate [add_range] burns a fresh log entry (~2.4 MB here, an
+   instant [Log_full]); with it the duplicates cost nothing. *)
+let test_tx_dedup_survives_near_full_log () =
+  let p = mk_formatted () in
+  let len = 256 * 1024 in
+  let r1 = Alloc.alloc p len
+  and r2 = Alloc.alloc p len
+  and r3 = Alloc.alloc p len in
+  Pool.write_i64 p r1 1L;
+  Pool.write_i64 p r2 2L;
+  Pool.write_i64 p r3 3L;
+  Pool.persist p ~off:r1 ~len:8;
+  Pool.persist p ~off:r2 ~len:8;
+  Pool.persist p ~off:r3 ~len:8;
+  Pmdk_tx.run p (fun tx ->
+      (* three quarter-MiB snapshots fill ~3/4 of the 1 MiB log *)
+      Pmdk_tx.add_range tx ~off:r1 ~len;
+      Pmdk_tx.add_range tx ~off:r2 ~len;
+      Pmdk_tx.add_range tx ~off:r3 ~len;
+      (* a hot 8-byte counter re-snapshotted 100k times *)
+      for _ = 1 to 100_000 do
+        Pmdk_tx.add_range tx ~off:r1 ~len:8
+      done;
+      (* overlap straddling a covered range's end: only the uncovered
+         8-byte tail may stage *)
+      Pmdk_tx.add_range tx ~off:(r1 + len - 8) ~len:16;
+      Pool.write_i64 p r1 42L;
+      Pool.write_i64 p r3 43L);
+  Alcotest.(check int64) "committed" 42L (Pool.read_i64 p r1);
+  Alcotest.(check int64) "committed tail" 43L (Pool.read_i64 p r3)
+
+(* The dedup must also keep the FIRST pre-image: re-snapshotting a range
+   already covered this transaction would capture dirty bytes as the
+   "pre-image" and roll back to the wrong value. *)
+let test_tx_duplicate_range_keeps_first_preimage () =
+  let p = mk_formatted () in
+  let off = Alloc.alloc p 64 in
+  Pool.write_i64 p off 7L;
+  Pool.persist p ~off ~len:8;
+  (try
+     Pmdk_tx.run p (fun tx ->
+         Pmdk_tx.add_range tx ~off ~len:8;
+         Pool.write_i64 p off 8L;
+         (* a second snapshot now would capture the dirty 8L *)
+         Pmdk_tx.add_range tx ~off ~len:8;
+         Pool.write_i64 p off 9L;
+         failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int64) "first pre-image restored" 7L (Pool.read_i64 p off)
+
 let test_tx_crash_qcheck =
   (* property: for a random set of committed and one interrupted tx, after
      crash+recover every committed write is durable and the interrupted
@@ -349,6 +474,16 @@ let () =
           Alcotest.test_case "abort restores" `Quick test_tx_abort_restores;
           Alcotest.test_case "multi range reverse undo" `Quick
             test_tx_multi_range_reverse_undo;
+          Alcotest.test_case "recover corrupt count word" `Quick
+            test_tx_recover_corrupt_count_word;
+          Alcotest.test_case "recover corrupt entry off" `Quick
+            test_tx_recover_corrupt_entry_off;
+          Alcotest.test_case "recover corrupt entry len" `Quick
+            test_tx_recover_corrupt_entry_len;
+          Alcotest.test_case "dedup survives near-full log" `Quick
+            test_tx_dedup_survives_near_full_log;
+          Alcotest.test_case "duplicate range keeps first pre-image" `Quick
+            test_tx_duplicate_range_keeps_first_preimage;
           Alcotest.test_case "recover idempotent" `Quick
             test_tx_recover_idempotent;
         ]
